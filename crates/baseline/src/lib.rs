@@ -1,0 +1,1022 @@
+//! # trx-baseline
+//!
+//! A glsl-fuzz-style baseline, simulated faithfully enough to reproduce the
+//! paper's comparisons (§4):
+//!
+//! * **Coarse transformations.** Where spirv-fuzz follows the §2.3 design
+//!   principles (small, independent transformations), glsl-fuzz's
+//!   transformations are conceptually large. Each [`CoarseUnit`] here
+//!   bundles several primitive transformations (a dead conditional plus its
+//!   guard constant plus a store, an outline wrap, a synonym chain plus its
+//!   replacement) into a single all-or-nothing unit.
+//! * **Cross-compilation.** glsl-fuzz reaches SPIR-V through glslang, which
+//!   cannot express SPIR-V-level artefacts. [`cross_compile`] canonicalises
+//!   a module the way a GLSL round-trip would: function-control hints are
+//!   dropped, commutative operands are put in canonical order, and blocks
+//!   are re-laid-out in reverse postorder. All three are
+//!   semantics-preserving — and all three erase exactly the features that
+//!   trigger a slice of each target's bugs.
+//! * **A hand-crafted reducer.** glsl-fuzz reduces by reverting recorded
+//!   transformations; granularity is the *unit*, so reduced variants carry
+//!   every constituent of each needed unit — the source of its larger
+//!   final deltas (§4.2).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use trx_core::transformations::*;
+use trx_core::{apply, apply_sequence, Context, InstructionDescriptor, Transformation};
+use trx_ir::cfg::Cfg;
+use trx_ir::{ConstantValue, FunctionControl, Id, Module, Op, StorageClass, Terminator, Type};
+
+/// The kinds of coarse transformation the baseline applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoarseKind {
+    /// Guarded dead conditional with a side-effecting body.
+    DeadConditional,
+    /// Dead conditional whose body discards the fragment.
+    DeadDiscard,
+    /// A block outlined into an always-taken selection.
+    OutlineSelection,
+    /// An identity-arithmetic chain with a use rewrite.
+    IdentityChain,
+    /// A vector construct/extract round trip with a use rewrite.
+    VectorRoundTrip,
+    /// An array-initialiser round trip (GLSL `int a[3] = int[](..)`) with a
+    /// use rewrite — a shape only the GLSL-level fuzzer produces.
+    ArrayRoundTrip,
+    /// A donor function plus a call to it.
+    DonorCall,
+}
+
+impl CoarseKind {
+    /// All coarse kinds.
+    pub const ALL: [CoarseKind; 7] = [
+        CoarseKind::DeadConditional,
+        CoarseKind::DeadDiscard,
+        CoarseKind::OutlineSelection,
+        CoarseKind::IdentityChain,
+        CoarseKind::VectorRoundTrip,
+        CoarseKind::ArrayRoundTrip,
+        CoarseKind::DonorCall,
+    ];
+}
+
+/// One coarse transformation: an all-or-nothing bundle of primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseUnit {
+    /// What the bundle represents at "GLSL level".
+    pub kind: CoarseKind,
+    /// The constituent primitive transformations, in application order.
+    pub parts: Vec<Transformation>,
+}
+
+/// Applies a list of units in order (each unit's parts in order, skipping
+/// parts whose preconditions fail, per Definition 2.5).
+pub fn apply_units(ctx: &mut Context, units: &[CoarseUnit]) {
+    for unit in units {
+        apply_sequence(ctx, &unit.parts);
+    }
+}
+
+/// Options for the baseline fuzzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineOptions {
+    /// Maximum number of coarse units applied per run.
+    pub max_units: usize,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        BaselineOptions { max_units: 24 }
+    }
+}
+
+/// The outcome of a baseline fuzzing run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The transformed context (before cross-compilation).
+    pub context: Context,
+    /// The applied coarse units.
+    pub units: Vec<CoarseUnit>,
+}
+
+/// The glsl-fuzz-style fuzzer.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineFuzzer {
+    options: BaselineOptions,
+}
+
+impl BaselineFuzzer {
+    /// Creates a baseline fuzzer.
+    #[must_use]
+    pub fn new(options: BaselineOptions) -> Self {
+        BaselineFuzzer { options }
+    }
+
+    /// Runs the baseline fuzzer with all randomness derived from `seed`.
+    #[must_use]
+    pub fn run(&self, mut context: Context, donors: &[Module], seed: u64) -> BaselineResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut units = Vec::new();
+        let unit_count = rng.gen_range(2..=self.options.max_units);
+        for _ in 0..unit_count {
+            let kind = *CoarseKind::ALL.as_slice().choose(&mut rng).expect("non-empty");
+            if let Some(unit) = build_unit(kind, &mut context, donors, &mut rng) {
+                units.push(unit);
+            }
+        }
+        BaselineResult { context, units }
+    }
+}
+
+/// Records a transformation into `parts` if it applies.
+fn push_if_applied(
+    ctx: &mut Context,
+    parts: &mut Vec<Transformation>,
+    t: impl Into<Transformation>,
+) -> bool {
+    let t = t.into();
+    if apply(ctx, &t) {
+        parts.push(t);
+        true
+    } else {
+        false
+    }
+}
+
+fn fresh(ctx: &Context) -> Id {
+    Id::new(ctx.module.id_bound)
+}
+
+fn ensure_bool_true(ctx: &mut Context, parts: &mut Vec<Transformation>) -> Option<Id> {
+    let t_bool = match ctx.module.lookup_type(&Type::Bool) {
+        Some(t) => t,
+        None => {
+            let id = fresh(ctx);
+            if !push_if_applied(ctx, parts, AddType { fresh_id: id, ty: Type::Bool }) {
+                return None;
+            }
+            id
+        }
+    };
+    match ctx.module.lookup_constant(t_bool, &ConstantValue::Bool(true)) {
+        Some(c) => Some(c),
+        None => {
+            let id = fresh(ctx);
+            push_if_applied(
+                ctx,
+                parts,
+                AddConstant { fresh_id: id, ty: t_bool, value: ConstantValue::Bool(true) },
+            )
+            .then_some(id)
+        }
+    }
+}
+
+fn ensure_int_constant(
+    ctx: &mut Context,
+    parts: &mut Vec<Transformation>,
+    value: i32,
+) -> Option<Id> {
+    let t_int = ctx.module.lookup_type(&Type::Int)?;
+    match ctx.module.lookup_constant(t_int, &ConstantValue::Int(value)) {
+        Some(c) => Some(c),
+        None => {
+            let id = fresh(ctx);
+            push_if_applied(
+                ctx,
+                parts,
+                AddConstant { fresh_id: id, ty: t_int, value: ConstantValue::Int(value) },
+            )
+            .then_some(id)
+        }
+    }
+}
+
+fn random_branch_block(ctx: &Context, rng: &mut StdRng) -> Option<Id> {
+    let candidates: Vec<Id> = ctx
+        .module
+        .functions
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .filter(|b| matches!(b.terminator, Terminator::Branch { .. }) && b.merge.is_none())
+        .map(|b| b.label)
+        .collect();
+    candidates.as_slice().choose(rng).copied()
+}
+
+fn insertion_points(module: &Module) -> Vec<InstructionDescriptor> {
+    let mut out = Vec::new();
+    for function in &module.functions {
+        for block in &function.blocks {
+            for index in block.phi_count()..=block.instructions.len() {
+                let mut anchored = None;
+                for back in (0..=index.min(block.instructions.len())).rev() {
+                    if back < block.instructions.len() {
+                        if let Some(result) = block.instructions[back].result {
+                            anchored = Some(InstructionDescriptor::after_result(
+                                result,
+                                (index - back) as u32,
+                            ));
+                            break;
+                        }
+                    }
+                }
+                out.push(anchored.unwrap_or_else(|| {
+                    InstructionDescriptor::in_block(block.label, index as u32)
+                }));
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn build_unit(
+    kind: CoarseKind,
+    ctx: &mut Context,
+    donors: &[Module],
+    rng: &mut StdRng,
+) -> Option<CoarseUnit> {
+    let mut parts = Vec::new();
+    let ok = match kind {
+        CoarseKind::DeadConditional | CoarseKind::DeadDiscard => {
+            let block = random_branch_block(ctx, rng)?;
+            let condition = ensure_bool_true(ctx, &mut parts)?;
+            let dead = fresh(ctx);
+            if !push_if_applied(
+                ctx,
+                &mut parts,
+                AddDeadBlock { fresh_block_id: dead, block, condition },
+            ) {
+                return None;
+            }
+            match kind {
+                CoarseKind::DeadDiscard => {
+                    push_if_applied(ctx, &mut parts, ReplaceBranchWithKill { block: dead })
+                }
+                _ => {
+                    // Store something observable-looking into an output.
+                    let pointer = ctx
+                        .module
+                        .globals
+                        .iter()
+                        .find(|g| g.storage == StorageClass::Output)
+                        .map(|g| g.id)?;
+                    let pointee =
+                        match ctx.module.type_of(ctx.module.value_type(pointer)?)? {
+                            Type::Pointer { pointee, .. } => *pointee,
+                            _ => return None,
+                        };
+                    let value = ctx
+                        .module
+                        .constants
+                        .iter()
+                        .find(|c| c.ty == pointee)
+                        .map(|c| c.id)?;
+                    push_if_applied(
+                        ctx,
+                        &mut parts,
+                        AddStore {
+                            pointer,
+                            value,
+                            insert_before: InstructionDescriptor::in_block(dead, 0),
+                        },
+                    )
+                }
+            }
+        }
+        CoarseKind::OutlineSelection => {
+            let block = random_branch_block(ctx, rng)?;
+            let condition = ensure_bool_true(ctx, &mut parts)?;
+            let function = ctx.module.functions.iter().find(|f| f.block(block).is_some())?;
+            let escaping = WrapRegionInSelection::escaping_defs(function, block);
+            let mut next = ctx.module.id_bound;
+            let mut take = || {
+                let id = Id::new(next);
+                next += 1;
+                id
+            };
+            let fresh_header_id = take();
+            let fresh_merge_id = take();
+            let escapes: Vec<EscapePatch> = escaping
+                .into_iter()
+                .map(|def| EscapePatch { def, fresh_undef: take(), fresh_phi: take() })
+                .collect();
+            push_if_applied(
+                ctx,
+                &mut parts,
+                WrapRegionInSelection {
+                    block,
+                    form: SelectionForm::Then,
+                    condition,
+                    fresh_header_id,
+                    fresh_merge_id,
+                    escapes,
+                },
+            )
+        }
+        CoarseKind::IdentityChain => {
+            // x -> x + 0 -> (x + 0) * 1, then rewrite a use of x.
+            let results = int_results(&ctx.module);
+            let &(source, _ty) = results.as_slice().choose(rng)?;
+            let zero = ensure_int_constant(ctx, &mut parts, 0)?;
+            let one = ensure_int_constant(ctx, &mut parts, 1)?;
+            let first = fresh(ctx);
+            if !push_if_applied(
+                ctx,
+                &mut parts,
+                AddArithmeticSynonym {
+                    fresh_id: first,
+                    source,
+                    identity_constant: zero,
+                    identity: ArithmeticIdentity::AddZero,
+                    insert_before: InstructionDescriptor::after_result(source, 1),
+                },
+            ) {
+                return None;
+            }
+            let second = fresh(ctx);
+            if !push_if_applied(
+                ctx,
+                &mut parts,
+                AddArithmeticSynonym {
+                    fresh_id: second,
+                    source: first,
+                    identity_constant: one,
+                    identity: ArithmeticIdentity::MulOne,
+                    insert_before: InstructionDescriptor::after_result(first, 1),
+                },
+            ) {
+                return None;
+            }
+            // The chained value is synonymous with `source` transitively;
+            // rewrite one use.
+            for use_descriptor in uses_of(&ctx.module, source) {
+                if push_if_applied(
+                    ctx,
+                    &mut parts,
+                    ReplaceIdWithSynonym { use_descriptor, synonym: second },
+                ) {
+                    break;
+                }
+            }
+            true
+        }
+        CoarseKind::ArrayRoundTrip => {
+            let results = int_results(&ctx.module);
+            let &(source, ty) = results.as_slice().choose(rng)?;
+            let len = rng.gen_range(2..=4u32);
+            let arr_ty = match ctx.module.lookup_type(&Type::Array { element: ty, len }) {
+                Some(t) => t,
+                None => {
+                    let id = fresh(ctx);
+                    if !push_if_applied(
+                        ctx,
+                        &mut parts,
+                        AddType { fresh_id: id, ty: Type::Array { element: ty, len } },
+                    ) {
+                        return None;
+                    }
+                    id
+                }
+            };
+            let constructed = fresh(ctx);
+            if !push_if_applied(
+                ctx,
+                &mut parts,
+                CompositeConstruct {
+                    fresh_id: constructed,
+                    ty: arr_ty,
+                    parts: vec![source; len as usize],
+                    insert_before: InstructionDescriptor::after_result(source, 1),
+                },
+            ) {
+                return None;
+            }
+            let extracted = fresh(ctx);
+            if !push_if_applied(
+                ctx,
+                &mut parts,
+                CompositeExtract {
+                    fresh_id: extracted,
+                    composite: constructed,
+                    indices: vec![rng.gen_range(0..len)],
+                    insert_before: InstructionDescriptor::after_result(constructed, 1),
+                },
+            ) {
+                return None;
+            }
+            for use_descriptor in uses_of(&ctx.module, source) {
+                if push_if_applied(
+                    ctx,
+                    &mut parts,
+                    ReplaceIdWithSynonym { use_descriptor, synonym: extracted },
+                ) {
+                    break;
+                }
+            }
+            true
+        }
+        CoarseKind::VectorRoundTrip => {
+            let results = int_results(&ctx.module);
+            let &(source, ty) = results.as_slice().choose(rng)?;
+            let vec_ty = match ctx
+                .module
+                .lookup_type(&Type::Vector { component: ty, count: 2 })
+            {
+                Some(t) => t,
+                None => {
+                    let id = fresh(ctx);
+                    if !push_if_applied(
+                        ctx,
+                        &mut parts,
+                        AddType { fresh_id: id, ty: Type::Vector { component: ty, count: 2 } },
+                    ) {
+                        return None;
+                    }
+                    id
+                }
+            };
+            let constructed = fresh(ctx);
+            if !push_if_applied(
+                ctx,
+                &mut parts,
+                CompositeConstruct {
+                    fresh_id: constructed,
+                    ty: vec_ty,
+                    parts: vec![source, source],
+                    insert_before: InstructionDescriptor::after_result(source, 1),
+                },
+            ) {
+                return None;
+            }
+            let extracted = fresh(ctx);
+            if !push_if_applied(
+                ctx,
+                &mut parts,
+                CompositeExtract {
+                    fresh_id: extracted,
+                    composite: constructed,
+                    indices: vec![0],
+                    insert_before: InstructionDescriptor::after_result(constructed, 1),
+                },
+            ) {
+                return None;
+            }
+            for use_descriptor in uses_of(&ctx.module, source) {
+                if push_if_applied(
+                    ctx,
+                    &mut parts,
+                    ReplaceIdWithSynonym { use_descriptor, synonym: extracted },
+                ) {
+                    break;
+                }
+            }
+            true
+        }
+        CoarseKind::DonorCall => {
+            // The baseline only imports loop-free single-block donors and
+            // immediately calls them — one indivisible unit.
+            let donor = donors.choose(rng)?;
+            let candidates: Vec<&trx_ir::Function> = donor
+                .functions
+                .iter()
+                .filter(|f| f.id != donor.entry_point && f.blocks.len() == 1)
+                .collect();
+            let function = (*candidates.as_slice().choose(rng)?).clone();
+            let payload = remap_single_block_donor(ctx, &mut parts, donor, &function)?;
+            let callee = payload.function.id;
+            let param_types: Vec<Id> =
+                payload.function.params.iter().map(|p| p.ty).collect();
+            if !push_if_applied(ctx, &mut parts, payload) {
+                return None;
+            }
+            let mut args = Vec::new();
+            for ty in param_types {
+                let value = match ctx.module.type_of(ty)? {
+                    Type::Int => ConstantValue::Int(0),
+                    Type::Float => ConstantValue::float(0.0),
+                    Type::Bool => ConstantValue::Bool(false),
+                    _ => return None,
+                };
+                let c = match ctx.module.lookup_constant(ty, &value) {
+                    Some(c) => c,
+                    None => {
+                        let id = fresh(ctx);
+                        if !push_if_applied(
+                            ctx,
+                            &mut parts,
+                            AddConstant { fresh_id: id, ty, value },
+                        ) {
+                            return None;
+                        }
+                        id
+                    }
+                };
+                args.push(c);
+            }
+            let points = insertion_points(&ctx.module);
+            let point = points.as_slice().choose(rng).copied()?;
+            let call_id = fresh(ctx);
+            push_if_applied(
+                ctx,
+                &mut parts,
+                FunctionCall { fresh_id: call_id, callee, args, insert_before: point },
+            )
+        }
+    };
+    if !ok || parts.is_empty() {
+        return None;
+    }
+    // glsl-fuzz-style transformations carry substantial boilerplate: each
+    // conceptual change also emits wrapper expressions around nearby code.
+    // Model that by decorating every unit with a handful of extra bundled
+    // instructions (identity chains and copies) that the unit-granularity
+    // reducer can never strip individually.
+    decorate_unit(ctx, &mut parts, rng);
+    Some(CoarseUnit { kind, parts })
+}
+
+/// Appends 2–5 wrapper instructions (copies and identity arithmetic around
+/// random integer results) to the unit under construction.
+fn decorate_unit(ctx: &mut Context, parts: &mut Vec<Transformation>, rng: &mut StdRng) {
+    let extras = rng.gen_range(6..=14usize);
+    for _ in 0..extras {
+        let results = int_results(&ctx.module);
+        let Some(&(source, _)) = results.as_slice().choose(rng) else {
+            return;
+        };
+        if rng.gen_bool(0.5) {
+            let id = fresh(ctx);
+            push_if_applied(
+                ctx,
+                parts,
+                CopyObject {
+                    fresh_id: id,
+                    source,
+                    insert_before: InstructionDescriptor::after_result(source, 1),
+                },
+            );
+        } else {
+            let Some(zero) = ensure_int_constant(ctx, parts, 0) else { return };
+            let id = fresh(ctx);
+            push_if_applied(
+                ctx,
+                parts,
+                AddArithmeticSynonym {
+                    fresh_id: id,
+                    source,
+                    identity_constant: zero,
+                    identity: ArithmeticIdentity::AddZero,
+                    insert_before: InstructionDescriptor::after_result(source, 1),
+                },
+            );
+        }
+    }
+}
+
+fn int_results(module: &Module) -> Vec<(Id, Id)> {
+    let t_int = module.lookup_type(&Type::Int);
+    module
+        .functions
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .flat_map(|b| b.instructions.iter())
+        .filter_map(|i| match (i.result, i.ty) {
+            (Some(r), Some(ty)) if Some(ty) == t_int => Some((r, ty)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn uses_of(module: &Module, id: Id) -> Vec<trx_core::UseDescriptor> {
+    let mut out = Vec::new();
+    for function in &module.functions {
+        for block in &function.blocks {
+            for (index, inst) in block.instructions.iter().enumerate() {
+                let target = inst.result.map_or_else(
+                    || {
+                        let mut anchored =
+                            InstructionDescriptor::in_block(block.label, index as u32);
+                        for back in (0..index).rev() {
+                            if let Some(r) = block.instructions[back].result {
+                                anchored = InstructionDescriptor::after_result(
+                                    r,
+                                    (index - back) as u32,
+                                );
+                                break;
+                            }
+                        }
+                        anchored
+                    },
+                    InstructionDescriptor::of_result,
+                );
+                for (operand, used) in inst.op.id_operands().into_iter().enumerate() {
+                    if used == id {
+                        out.push(trx_core::UseDescriptor::Instruction {
+                            target,
+                            operand: operand as u32,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Remaps a single-block, call-free donor function into the context,
+/// recording the supporting type/constant additions into `parts`.
+#[allow(clippy::too_many_lines)]
+fn remap_single_block_donor(
+    ctx: &mut Context,
+    parts: &mut Vec<Transformation>,
+    donor: &Module,
+    function: &trx_ir::Function,
+) -> Option<AddFunction> {
+    use std::collections::HashMap;
+    for inst in &function.blocks[0].instructions {
+        if matches!(inst.op, Op::Call { .. }) {
+            return None;
+        }
+        let mut external = false;
+        inst.op.for_each_id_operand(|id| {
+            if donor.global(id).is_some() {
+                external = true;
+            }
+        });
+        if external {
+            return None;
+        }
+    }
+    let mut type_cache: HashMap<Id, Id> = HashMap::new();
+    let mut const_cache: HashMap<Id, Id> = HashMap::new();
+
+    fn ensure_type(
+        ctx: &mut Context,
+        parts: &mut Vec<Transformation>,
+        donor: &Module,
+        ty: Id,
+        cache: &mut HashMap<Id, Id>,
+    ) -> Option<Id> {
+        if let Some(&t) = cache.get(&ty) {
+            return Some(t);
+        }
+        let decl = donor.type_of(ty)?.clone();
+        let remapped = match decl {
+            Type::Void | Type::Bool | Type::Int | Type::Float => decl,
+            Type::Vector { component, count } => Type::Vector {
+                component: ensure_type(ctx, parts, donor, component, cache)?,
+                count,
+            },
+            Type::Array { element, len } => {
+                Type::Array { element: ensure_type(ctx, parts, donor, element, cache)?, len }
+            }
+            Type::Struct { members } => Type::Struct {
+                members: members
+                    .into_iter()
+                    .map(|m| ensure_type(ctx, parts, donor, m, cache))
+                    .collect::<Option<_>>()?,
+            },
+            Type::Pointer { storage, pointee } => Type::Pointer {
+                storage,
+                pointee: ensure_type(ctx, parts, donor, pointee, cache)?,
+            },
+            Type::Function { ret, params } => Type::Function {
+                ret: ensure_type(ctx, parts, donor, ret, cache)?,
+                params: params
+                    .into_iter()
+                    .map(|p| ensure_type(ctx, parts, donor, p, cache))
+                    .collect::<Option<_>>()?,
+            },
+        };
+        let target = match ctx.module.lookup_type(&remapped) {
+            Some(t) => t,
+            None => {
+                let id = fresh(ctx);
+                if !push_if_applied(ctx, parts, AddType { fresh_id: id, ty: remapped }) {
+                    return None;
+                }
+                id
+            }
+        };
+        cache.insert(ty, target);
+        Some(target)
+    }
+
+    fn ensure_constant(
+        ctx: &mut Context,
+        parts: &mut Vec<Transformation>,
+        donor: &Module,
+        id: Id,
+        type_cache: &mut HashMap<Id, Id>,
+        const_cache: &mut HashMap<Id, Id>,
+    ) -> Option<Id> {
+        if let Some(&c) = const_cache.get(&id) {
+            return Some(c);
+        }
+        let decl = donor.constant(id)?.clone();
+        let ty = ensure_type(ctx, parts, donor, decl.ty, type_cache)?;
+        let value = match decl.value {
+            ConstantValue::Composite(ps) => ConstantValue::Composite(
+                ps.into_iter()
+                    .map(|p| ensure_constant(ctx, parts, donor, p, type_cache, const_cache))
+                    .collect::<Option<_>>()?,
+            ),
+            other => other,
+        };
+        let target = match ctx.module.lookup_constant(ty, &value) {
+            Some(c) => c,
+            None => {
+                let id = fresh(ctx);
+                if !push_if_applied(ctx, parts, AddConstant { fresh_id: id, ty, value }) {
+                    return None;
+                }
+                id
+            }
+        };
+        const_cache.insert(id, target);
+        Some(target)
+    }
+
+    let fn_ty = ensure_type(ctx, parts, donor, function.ty, &mut type_cache)?;
+    for p in &function.params {
+        ensure_type(ctx, parts, donor, p.ty, &mut type_cache)?;
+    }
+    for inst in &function.blocks[0].instructions {
+        if let Some(ty) = inst.ty {
+            ensure_type(ctx, parts, donor, ty, &mut type_cache)?;
+        }
+        for operand in inst.op.id_operands() {
+            if donor.constant(operand).is_some() {
+                ensure_constant(ctx, parts, donor, operand, &mut type_cache, &mut const_cache)?;
+            }
+        }
+    }
+    for operand in function.blocks[0].terminator.id_operands() {
+        if donor.constant(operand).is_some() {
+            ensure_constant(ctx, parts, donor, operand, &mut type_cache, &mut const_cache)?;
+        }
+    }
+
+    let mut internal: HashMap<Id, Id> = HashMap::new();
+    let mut next = ctx.module.id_bound;
+    let mut take = |internal: &mut HashMap<Id, Id>, old: Id| {
+        let new = Id::new(next);
+        next += 1;
+        internal.insert(old, new);
+        new
+    };
+    let new_id = take(&mut internal, function.id);
+    let params: Vec<trx_ir::FunctionParam> = function
+        .params
+        .iter()
+        .map(|p| trx_ir::FunctionParam {
+            id: take(&mut internal, p.id),
+            ty: type_cache[&p.ty],
+        })
+        .collect();
+    take(&mut internal, function.blocks[0].label);
+    for inst in &function.blocks[0].instructions {
+        if let Some(r) = inst.result {
+            take(&mut internal, r);
+        }
+    }
+    let subst = |id: &mut Id| {
+        if let Some(new) = internal.get(id) {
+            *id = *new;
+        } else if let Some(new) = const_cache.get(id) {
+            *id = *new;
+        }
+    };
+    let mut block = function.blocks[0].clone();
+    subst(&mut block.label);
+    for inst in &mut block.instructions {
+        if let Some(r) = &mut inst.result {
+            subst(r);
+        }
+        if let Some(ty) = inst.ty {
+            inst.ty = Some(type_cache[&ty]);
+        }
+        inst.op.for_each_id_operand_mut(subst);
+    }
+    block.terminator.for_each_id_operand_mut(subst);
+
+    Some(AddFunction {
+        function: trx_ir::Function {
+            id: new_id,
+            ty: fn_ty,
+            control: FunctionControl::None,
+            params,
+            blocks: vec![block],
+        },
+        livesafe: true,
+    })
+}
+
+/// Simulates the glslang round trip: canonicalises away the SPIR-V-level
+/// artefacts a GLSL front end cannot express. Semantics-preserving.
+#[must_use]
+pub fn cross_compile(module: &Module) -> Module {
+    let mut out = module.clone();
+    for function in &mut out.functions {
+        // GLSL has no function-control hints.
+        function.control = FunctionControl::None;
+        // Canonical operand order: constants on the right of commutative
+        // operations (glslang's expression emission).
+        for block in &mut function.blocks {
+            for inst in &mut block.instructions {
+                if let Op::Binary { op, lhs, rhs } = &mut inst.op {
+                    if op.is_commutative()
+                        && module.constant(*lhs).is_some()
+                        && module.constant(*rhs).is_none()
+                    {
+                        std::mem::swap(lhs, rhs);
+                    }
+                }
+            }
+        }
+        // Structured emission lays blocks out in reverse postorder.
+        let cfg = Cfg::new(function);
+        let rpo = cfg.reverse_postorder();
+        let mut ordered: Vec<trx_ir::Block> = Vec::with_capacity(function.blocks.len());
+        let mut taken = vec![false; function.blocks.len()];
+        for index in rpo {
+            ordered.push(function.blocks[index].clone());
+            taken[index] = true;
+        }
+        // Unreachable blocks keep their relative order at the end.
+        for (index, block) in function.blocks.iter().enumerate() {
+            if !taken[index] {
+                ordered.push(block.clone());
+            }
+        }
+        function.blocks = ordered;
+    }
+    out
+}
+
+/// The hand-crafted baseline reducer: delta debugging at *unit* granularity.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineReducer;
+
+/// The outcome of a baseline reduction.
+#[derive(Debug, Clone)]
+pub struct BaselineReduction {
+    /// The surviving units.
+    pub units: Vec<CoarseUnit>,
+    /// The reduced variant context.
+    pub context: Context,
+    /// Interestingness-test invocations.
+    pub tests_run: usize,
+}
+
+impl BaselineReducer {
+    /// Reduces `units` against `original`, keeping unit subsets for which
+    /// `interesting` holds of the resulting variant. Units are
+    /// all-or-nothing: the reducer cannot strip a unit's constituents,
+    /// which is exactly why its final deltas are larger than the
+    /// transformation-level reducer's.
+    pub fn reduce(
+        &self,
+        original: &Context,
+        units: &[CoarseUnit],
+        mut interesting: impl FnMut(&Context) -> bool,
+    ) -> BaselineReduction {
+        let mut current: Vec<CoarseUnit> = units.to_vec();
+        let mut tests_run = 0;
+        let mut check = |candidate: &[CoarseUnit], tests_run: &mut usize| {
+            *tests_run += 1;
+            let mut ctx = original.clone();
+            apply_units(&mut ctx, candidate);
+            (interesting(&ctx), ctx)
+        };
+        let (ok, ctx) = check(&current, &mut tests_run);
+        if !ok {
+            return BaselineReduction { units: current, context: ctx, tests_run };
+        }
+        let mut chunk = (current.len() / 2).max(1);
+        loop {
+            let mut removed = false;
+            let mut end = current.len();
+            while end > 0 {
+                let start = end.saturating_sub(chunk);
+                let mut candidate = Vec::new();
+                candidate.extend_from_slice(&current[..start]);
+                candidate.extend_from_slice(&current[end..]);
+                let (ok, _) = check(&candidate, &mut tests_run);
+                if ok {
+                    current = candidate;
+                    removed = true;
+                    end = start.min(current.len());
+                } else {
+                    end = start;
+                }
+            }
+            if removed {
+                continue;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+        let mut context = original.clone();
+        apply_units(&mut context, &current);
+        BaselineReduction { units: current, context, tests_run }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_ir::validate::validate;
+    use trx_ir::{interp, Inputs, ModuleBuilder, Value};
+
+    fn seed_context() -> Context {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let u = b.uniform("k", t_int);
+        let c2 = b.constant_int(2);
+        let mut f = b.begin_entry_function("main");
+        let loaded = f.load(u);
+        let sum = f.iadd(t_int, loaded, c2);
+        f.store_output("out", sum);
+        f.ret();
+        f.finish();
+        Context::new(b.finish(), Inputs::new().with("k", Value::Int(4))).unwrap()
+    }
+
+    #[test]
+    fn baseline_fuzzing_preserves_semantics() {
+        for seed in 0..8 {
+            let ctx = seed_context();
+            let reference = interp::execute(&ctx.module, &ctx.inputs).unwrap();
+            let result = BaselineFuzzer::default().run(ctx, &[], seed);
+            validate(&result.context.module).unwrap();
+            let variant =
+                interp::execute(&result.context.module, &result.context.inputs).unwrap();
+            assert_eq!(reference, variant, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cross_compile_is_semantics_preserving_and_canonicalising() {
+        let ctx = seed_context();
+        let result = BaselineFuzzer::default().run(ctx, &[], 3);
+        let module = &result.context.module;
+        let crossed = cross_compile(module);
+        validate(&crossed).unwrap();
+        assert_eq!(
+            interp::execute(module, &result.context.inputs).unwrap(),
+            interp::execute(&crossed, &result.context.inputs).unwrap()
+        );
+        assert!(crossed
+            .functions
+            .iter()
+            .all(|f| f.control == FunctionControl::None));
+    }
+
+    #[test]
+    fn units_replay_deterministically() {
+        let a = BaselineFuzzer::default().run(seed_context(), &[], 9);
+        let mut replay = seed_context();
+        apply_units(&mut replay, &a.units);
+        assert_eq!(replay.module, a.context.module);
+    }
+
+    #[test]
+    fn unit_reduction_shrinks_unit_count() {
+        let ctx = seed_context();
+        let result = BaselineFuzzer::default().run(ctx, &[], 5);
+        assert!(!result.units.is_empty(), "seed 5 should produce units");
+        // Interesting iff any OpKill is present (requires a DeadDiscard
+        // unit); every other unit should be stripped.
+        let has_kill = |variant: &Context| {
+            variant
+                .module
+                .functions
+                .iter()
+                .flat_map(|f| f.blocks.iter())
+                .any(|b| matches!(b.terminator, Terminator::Kill))
+        };
+        let full = {
+            let mut c = seed_context();
+            apply_units(&mut c, &result.units);
+            c
+        };
+        if !has_kill(&full) {
+            return; // this seed produced no discard unit; nothing to check
+        }
+        let reduction = BaselineReducer.reduce(&seed_context(), &result.units, has_kill);
+        assert!(reduction.units.len() <= result.units.len());
+        assert!(reduction.tests_run > 0);
+        assert!(has_kill(&reduction.context));
+    }
+}

@@ -1,0 +1,757 @@
+//! # trx-basicblocks
+//!
+//! The paper's §2.1 "basic blocks" language, implemented end to end: the
+//! language itself, the five transformation templates of Table 1, facts,
+//! sequence application with precondition skipping (Definition 2.5) and a
+//! delta-debugging reducer.
+//!
+//! The crate's tests reproduce Figure 4 (the transformation chain
+//! `T1..T5`) and Figure 5 (the minimized subsequence `T1, T2, T5`) exactly.
+//!
+//! Every block contains instructions of the form `x := y`, `x := y1 + y2`
+//! or `print(y)`; a block branches unconditionally to a single successor or
+//! conditionally on a boolean variable.
+//!
+//! # Example
+//!
+//! ```
+//! use trx_basicblocks::*;
+//!
+//! let program = figure4::original_program();
+//! let inputs = figure4::inputs();
+//! assert_eq!(run(&program, &inputs).unwrap(), vec![6]);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod improved;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// An operand: a variable or an integer literal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A variable reference.
+    Var(String),
+    /// An integer literal.
+    Lit(i64),
+}
+
+impl Operand {
+    /// Shorthand for a variable operand.
+    #[must_use]
+    pub fn var(name: &str) -> Self {
+        Operand::Var(name.to_owned())
+    }
+}
+
+/// An instruction of the basic-blocks language.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `x := y`
+    Assign {
+        /// Destination variable.
+        dst: String,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `x := y1 + y2`
+    Add {
+        /// Destination variable.
+        dst: String,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `print(y)`
+    Print {
+        /// The printed operand.
+        src: Operand,
+    },
+}
+
+/// A block terminator: unconditional or conditional branch, or the end of
+/// the program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Branch {
+    /// Fall off the end (the last block of the figures has no successor).
+    Halt,
+    /// Unconditional branch.
+    Goto(String),
+    /// Conditional branch on a boolean variable: edges labelled `var` and
+    /// `!var`.
+    CondGoto {
+        /// The condition variable.
+        var: String,
+        /// Successor when the variable is true.
+        if_true: String,
+        /// Successor when it is false.
+        if_false: String,
+    },
+}
+
+/// A basic block: a name, instructions, and a terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// The block's name (`a`, `b`, `c` in the figures).
+    pub name: String,
+    /// Straight-line instructions.
+    pub instrs: Vec<Instr>,
+    /// The terminator.
+    pub branch: Branch,
+}
+
+/// A program: an ordered list of blocks; the first is the entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// The blocks, entry first.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Program {
+    /// Finds a block by name.
+    #[must_use]
+    pub fn block(&self, name: &str) -> Option<&BasicBlock> {
+        self.blocks.iter().find(|b| b.name == name)
+    }
+
+    /// Finds a block by name, mutably.
+    #[must_use]
+    pub fn block_mut(&mut self, name: &str) -> Option<&mut BasicBlock> {
+        self.blocks.iter_mut().find(|b| b.name == name)
+    }
+
+    /// All variables assigned anywhere in the program.
+    #[must_use]
+    pub fn assigned_vars(&self) -> BTreeSet<String> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter_map(|i| match i {
+                Instr::Assign { dst, .. } | Instr::Add { dst, .. } => Some(dst.clone()),
+                Instr::Print { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Total instruction count (a simple size measure).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+}
+
+/// Input values: boolean inputs are modelled as non-zero integers.
+pub type Inputs = BTreeMap<String, i64>;
+
+/// An execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An undefined variable was read.
+    UndefinedVariable(String),
+    /// A branch targeted a missing block.
+    MissingBlock(String),
+    /// The step limit was exceeded (treated as non-termination).
+    StepLimit,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UndefinedVariable(v) => write!(f, "undefined variable {v}"),
+            ExecError::MissingBlock(b) => write!(f, "missing block {b}"),
+            ExecError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Runs `program` on `inputs`, returning the printed values.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] on undefined variables, missing branch targets,
+/// or when 100,000 steps elapse without halting.
+pub fn run(program: &Program, inputs: &Inputs) -> Result<Vec<i64>, ExecError> {
+    let mut env: BTreeMap<String, i64> = inputs.clone();
+    let mut output = Vec::new();
+    let Some(mut current) = program.blocks.first() else {
+        return Ok(output);
+    };
+    let mut steps = 0usize;
+    loop {
+        for instr in &current.instrs {
+            steps += 1;
+            if steps > 100_000 {
+                return Err(ExecError::StepLimit);
+            }
+            let read = |env: &BTreeMap<String, i64>, op: &Operand| match op {
+                Operand::Lit(v) => Ok(*v),
+                Operand::Var(name) => env
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| ExecError::UndefinedVariable(name.clone())),
+            };
+            match instr {
+                Instr::Assign { dst, src } => {
+                    let value = read(&env, src)?;
+                    env.insert(dst.clone(), value);
+                }
+                Instr::Add { dst, lhs, rhs } => {
+                    let value = read(&env, lhs)?.wrapping_add(read(&env, rhs)?);
+                    env.insert(dst.clone(), value);
+                }
+                Instr::Print { src } => output.push(read(&env, src)?),
+            }
+        }
+        steps += 1;
+        if steps > 100_000 {
+            return Err(ExecError::StepLimit);
+        }
+        match &current.branch {
+            Branch::Halt => return Ok(output),
+            Branch::Goto(target) => {
+                current = program
+                    .block(target)
+                    .ok_or_else(|| ExecError::MissingBlock(target.clone()))?;
+            }
+            Branch::CondGoto { var, if_true, if_false } => {
+                let value = env
+                    .get(var)
+                    .copied()
+                    .ok_or_else(|| ExecError::UndefinedVariable(var.clone()))?;
+                let target = if value != 0 { if_true } else { if_false };
+                current = program
+                    .block(target)
+                    .ok_or_else(|| ExecError::MissingBlock(target.clone()))?;
+            }
+        }
+    }
+}
+
+/// The context the transformations operate on: program, inputs, and facts.
+#[derive(Debug, Clone, Default)]
+pub struct Ctx {
+    /// The program.
+    pub program: Program,
+    /// The input values.
+    pub inputs: Inputs,
+    /// Blocks known never to execute (the `dead` annotation in Figure 4).
+    pub dead_blocks: BTreeSet<String>,
+}
+
+/// The five transformation templates of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transformation {
+    /// `SplitBlock(b, o, f)`: instructions `b[o]` onward move to a new
+    /// block `f`.
+    SplitBlock {
+        /// The block to split.
+        block: String,
+        /// The split offset.
+        offset: usize,
+        /// Fresh name for the new block.
+        fresh: String,
+    },
+    /// `AddDeadBlock(b, f1, f2)`: a new block `f1` is introduced, guarded
+    /// by the fresh always-true variable `f2`; records "`f1` is dead".
+    AddDeadBlock {
+        /// The block gaining a conditional.
+        block: String,
+        /// Fresh name for the dead block.
+        fresh_block: String,
+        /// Fresh name for the guard variable.
+        fresh_var: String,
+    },
+    /// `AddLoad(b, o, f, x)`: `f := x` added at index `o`.
+    AddLoad {
+        /// The block receiving the load.
+        block: String,
+        /// Insertion offset.
+        offset: usize,
+        /// Fresh destination variable.
+        fresh: String,
+        /// Existing source variable.
+        source: String,
+    },
+    /// `AddStore(b, o, x1, x2)`: `x1 := x2` added at index `o`; requires
+    /// the fact "`b` is dead".
+    AddStore {
+        /// The (dead) block receiving the store.
+        block: String,
+        /// Insertion offset.
+        offset: usize,
+        /// Existing destination variable.
+        dst: String,
+        /// Existing source variable.
+        src: String,
+    },
+    /// `ChangeRHS(b, o, x)`: in `b[o]` of the form `y := z`, `z` is
+    /// replaced by `x`, provided `x` and `z` are guaranteed equal there.
+    ChangeRhs {
+        /// The block holding the assignment.
+        block: String,
+        /// The instruction offset.
+        offset: usize,
+        /// The replacement variable.
+        replacement: String,
+    },
+}
+
+fn block_name_fresh(ctx: &Ctx, name: &str) -> bool {
+    ctx.program.block(name).is_none()
+}
+
+fn var_exists(ctx: &Ctx, name: &str) -> bool {
+    ctx.inputs.contains_key(name) || ctx.program.assigned_vars().contains(name)
+}
+
+/// `x` is guaranteed to equal literal `lit` everywhere: `x` is an input
+/// that the program never reassigns and whose input value is `lit`.
+fn input_constantly(ctx: &Ctx, name: &str, lit: i64) -> bool {
+    ctx.inputs.get(name) == Some(&lit) && !ctx.program.assigned_vars().contains(name)
+}
+
+impl Transformation {
+    /// The transformation's precondition over the context (Table 1's
+    /// "Precondition" column).
+    #[must_use]
+    pub fn precondition(&self, ctx: &Ctx) -> bool {
+        match self {
+            Transformation::SplitBlock { block, offset, fresh } => {
+                block_name_fresh(ctx, fresh)
+                    && ctx
+                        .program
+                        .block(block)
+                        .is_some_and(|b| *offset <= b.instrs.len())
+            }
+            Transformation::AddDeadBlock { block, fresh_block, fresh_var } => {
+                block_name_fresh(ctx, fresh_block)
+                    && fresh_block != fresh_var
+                    && !var_exists(ctx, fresh_var)
+                    && ctx
+                        .program
+                        .block(block)
+                        .is_some_and(|b| matches!(b.branch, Branch::Goto(_)))
+            }
+            Transformation::AddLoad { block, offset, fresh, source } => {
+                !var_exists(ctx, fresh)
+                    && var_exists(ctx, source)
+                    && ctx
+                        .program
+                        .block(block)
+                        .is_some_and(|b| *offset <= b.instrs.len())
+            }
+            Transformation::AddStore { block, offset, dst, src } => {
+                ctx.dead_blocks.contains(block)
+                    && var_exists(ctx, dst)
+                    && var_exists(ctx, src)
+                    && ctx
+                        .program
+                        .block(block)
+                        .is_some_and(|b| *offset <= b.instrs.len())
+            }
+            Transformation::ChangeRhs { block, offset, replacement } => {
+                let Some(b) = ctx.program.block(block) else {
+                    return false;
+                };
+                let Some(Instr::Assign { src: Operand::Lit(lit), .. }) =
+                    b.instrs.get(*offset)
+                else {
+                    return false;
+                };
+                input_constantly(ctx, replacement, *lit)
+            }
+        }
+    }
+
+    /// The transformation's effect (Table 1's "Effect" column).
+    ///
+    /// # Panics
+    ///
+    /// May panic if the precondition does not hold.
+    pub fn apply(&self, ctx: &mut Ctx) {
+        match self {
+            Transformation::SplitBlock { block, offset, fresh } => {
+                let b = ctx.program.block_mut(block).expect("precondition");
+                let moved = b.instrs.split_off(*offset);
+                let branch = std::mem::replace(&mut b.branch, Branch::Goto(fresh.clone()));
+                let index = ctx
+                    .program
+                    .blocks
+                    .iter()
+                    .position(|blk| blk.name == *block)
+                    .expect("precondition");
+                ctx.program.blocks.insert(
+                    index + 1,
+                    BasicBlock { name: fresh.clone(), instrs: moved, branch },
+                );
+            }
+            Transformation::AddDeadBlock { block, fresh_block, fresh_var } => {
+                let b = ctx.program.block_mut(block).expect("precondition");
+                let Branch::Goto(successor) = b.branch.clone() else {
+                    unreachable!("precondition requires an unconditional branch");
+                };
+                b.instrs.push(Instr::Assign {
+                    dst: fresh_var.clone(),
+                    src: Operand::Lit(1),
+                });
+                b.branch = Branch::CondGoto {
+                    var: fresh_var.clone(),
+                    if_true: successor.clone(),
+                    if_false: fresh_block.clone(),
+                };
+                let index = ctx
+                    .program
+                    .blocks
+                    .iter()
+                    .position(|blk| blk.name == *block)
+                    .expect("precondition");
+                ctx.program.blocks.insert(
+                    index + 1,
+                    BasicBlock {
+                        name: fresh_block.clone(),
+                        instrs: Vec::new(),
+                        branch: Branch::Goto(successor),
+                    },
+                );
+                ctx.dead_blocks.insert(fresh_block.clone());
+            }
+            Transformation::AddLoad { block, offset, fresh, source } => {
+                let b = ctx.program.block_mut(block).expect("precondition");
+                b.instrs.insert(
+                    *offset,
+                    Instr::Assign { dst: fresh.clone(), src: Operand::var(source) },
+                );
+            }
+            Transformation::AddStore { block, offset, dst, src } => {
+                let b = ctx.program.block_mut(block).expect("precondition");
+                b.instrs.insert(
+                    *offset,
+                    Instr::Assign { dst: dst.clone(), src: Operand::var(src) },
+                );
+            }
+            Transformation::ChangeRhs { block, offset, replacement } => {
+                let b = ctx.program.block_mut(block).expect("precondition");
+                if let Some(Instr::Assign { src, .. }) = b.instrs.get_mut(*offset) {
+                    *src = Operand::var(replacement);
+                }
+            }
+        }
+    }
+}
+
+/// Applies a sequence, skipping transformations whose preconditions fail
+/// (Definition 2.5). Returns the applied mask.
+pub fn apply_sequence(ctx: &mut Ctx, sequence: &[Transformation]) -> Vec<bool> {
+    sequence
+        .iter()
+        .map(|t| {
+            if t.precondition(ctx) {
+                t.apply(ctx);
+                true
+            } else {
+                false
+            }
+        })
+        .collect()
+}
+
+/// Delta-debugs a transformation sequence to a 1-minimal subsequence for
+/// which `interesting` holds of the transformed context (the §2.1 reducer).
+pub fn reduce(
+    original: &Ctx,
+    sequence: &[Transformation],
+    mut interesting: impl FnMut(&Ctx) -> bool,
+) -> Vec<Transformation> {
+    let mut current = sequence.to_vec();
+    let mut check = |candidate: &[Transformation]| {
+        let mut ctx = original.clone();
+        apply_sequence(&mut ctx, candidate);
+        interesting(&ctx)
+    };
+    if !check(&current) {
+        return current;
+    }
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut removed = false;
+        let mut end = current.len();
+        while end > 0 {
+            let start = end.saturating_sub(chunk);
+            let mut candidate = Vec::new();
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if check(&candidate) {
+                current = candidate;
+                removed = true;
+                end = start.min(current.len());
+            } else {
+                end = start;
+            }
+        }
+        if removed {
+            continue;
+        }
+        if chunk == 1 {
+            return current;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// The exact programs and transformations of Figures 4 and 5.
+pub mod figure4 {
+    use super::{BasicBlock, Branch, Inputs, Instr, Operand, Program, Transformation};
+
+    /// The original program: block `a` = `[s := i + j; t := s + s;
+    /// print(t)]`.
+    #[must_use]
+    pub fn original_program() -> Program {
+        Program {
+            blocks: vec![BasicBlock {
+                name: "a".into(),
+                instrs: vec![
+                    Instr::Add {
+                        dst: "s".into(),
+                        lhs: Operand::var("i"),
+                        rhs: Operand::var("j"),
+                    },
+                    Instr::Add {
+                        dst: "t".into(),
+                        lhs: Operand::var("s"),
+                        rhs: Operand::var("s"),
+                    },
+                    Instr::Print { src: Operand::var("t") },
+                ],
+                branch: Branch::Halt,
+            }],
+        }
+    }
+
+    /// The inputs of Figure 4: `i = 1, j = 2, k = true`.
+    #[must_use]
+    pub fn inputs() -> Inputs {
+        [("i".to_owned(), 1), ("j".to_owned(), 2), ("k".to_owned(), 1)]
+            .into_iter()
+            .collect()
+    }
+
+    /// The transformation sequence `T1..T5` of Figure 4.
+    #[must_use]
+    pub fn transformations() -> Vec<Transformation> {
+        vec![
+            // T1 = SplitBlock(a, 1, b)
+            Transformation::SplitBlock { block: "a".into(), offset: 1, fresh: "b".into() },
+            // T2 = AddDeadBlock(a, c, u)
+            Transformation::AddDeadBlock {
+                block: "a".into(),
+                fresh_block: "c".into(),
+                fresh_var: "u".into(),
+            },
+            // T3 = AddStore(c, 0, s, i)
+            Transformation::AddStore {
+                block: "c".into(),
+                offset: 0,
+                dst: "s".into(),
+                src: "i".into(),
+            },
+            // T4 = AddLoad(b, 0, v, s)
+            Transformation::AddLoad {
+                block: "b".into(),
+                offset: 0,
+                fresh: "v".into(),
+                source: "s".into(),
+            },
+            // T5 = ChangeRHS(a, 1, k)
+            Transformation::ChangeRhs {
+                block: "a".into(),
+                offset: 1,
+                replacement: "k".into(),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::figure4::{inputs, original_program, transformations};
+    use super::*;
+
+    fn original_ctx() -> Ctx {
+        Ctx { program: original_program(), inputs: inputs(), dead_blocks: BTreeSet::new() }
+    }
+
+    fn bug_triggers(ctx: &Ctx) -> bool {
+        // The hypothetical bug of §2.1: "it suffices to add a dead block and
+        // obfuscate the fact that it is dead" — i.e. some conditional guard
+        // is assigned from a variable rather than a literal.
+        ctx.program.blocks.iter().any(|b| {
+            let Branch::CondGoto { var, .. } = &b.branch else {
+                return false;
+            };
+            b.instrs.iter().any(|i| {
+                matches!(
+                    i,
+                    Instr::Assign { dst, src: Operand::Var(_) } if dst == var
+                )
+            })
+        })
+    }
+
+    #[test]
+    fn original_prints_six() {
+        assert_eq!(run(&original_program(), &inputs()).unwrap(), vec![6]);
+    }
+
+    #[test]
+    fn figure4_chain_preserves_output_at_every_step() {
+        let mut ctx = original_ctx();
+        for (index, t) in transformations().into_iter().enumerate() {
+            assert!(t.precondition(&ctx), "T{} precondition", index + 1);
+            t.apply(&mut ctx);
+            assert_eq!(
+                run(&ctx.program, &ctx.inputs).unwrap(),
+                vec![6],
+                "output changed after T{}",
+                index + 1
+            );
+        }
+        // Final shape: blocks a, c, b with c dead.
+        assert!(ctx.dead_blocks.contains("c"));
+        assert_eq!(ctx.program.blocks.len(), 3);
+        // T5 rewrote `u := true` into `u := k`.
+        let a = ctx.program.block("a").unwrap();
+        assert_eq!(
+            a.instrs[1],
+            Instr::Assign { dst: "u".into(), src: Operand::var("k") }
+        );
+        // T3's store sits in the dead block.
+        let c = ctx.program.block("c").unwrap();
+        assert_eq!(
+            c.instrs[0],
+            Instr::Assign { dst: "s".into(), src: Operand::var("i") }
+        );
+        // T4's load leads block b.
+        let b = ctx.program.block("b").unwrap();
+        assert_eq!(
+            b.instrs[0],
+            Instr::Assign { dst: "v".into(), src: Operand::var("s") }
+        );
+    }
+
+    #[test]
+    fn skipping_semantics_of_definition_2_5() {
+        // Apply the subsequence T1, T3, T4, T5 — the paper's example:
+        // "only T1 and T4 are applied: T3's precondition does not hold
+        // because block c does not exist; T5 cannot be applied because the
+        // assignment u := true is not present."
+        let ts = transformations();
+        let subsequence = vec![ts[0].clone(), ts[2].clone(), ts[3].clone(), ts[4].clone()];
+        let mut ctx = original_ctx();
+        let applied = apply_sequence(&mut ctx, &subsequence);
+        assert_eq!(applied, vec![true, false, true, false]);
+        assert_eq!(run(&ctx.program, &ctx.inputs).unwrap(), vec![6]);
+    }
+
+    #[test]
+    fn figure5_reduction_finds_t1_t2_t5() {
+        let full = transformations();
+        // The full sequence triggers the hypothetical bug...
+        let mut ctx = original_ctx();
+        apply_sequence(&mut ctx, &full);
+        assert!(bug_triggers(&ctx));
+        // ...and reduction converges on exactly T1, T2, T5 (Figure 5).
+        let minimized = reduce(&original_ctx(), &full, bug_triggers);
+        assert_eq!(
+            minimized,
+            vec![full[0].clone(), full[1].clone(), full[4].clone()]
+        );
+        // The reduced variant is the P3 of Figure 5 and still prints 6.
+        let mut reduced_ctx = original_ctx();
+        apply_sequence(&mut reduced_ctx, &minimized);
+        assert_eq!(run(&reduced_ctx.program, &reduced_ctx.inputs).unwrap(), vec![6]);
+        assert!(bug_triggers(&reduced_ctx));
+    }
+
+    #[test]
+    fn figure5_intermediate_programs_do_not_trigger() {
+        // Ticks and cross in Figure 5: P0, P1, P2 do not trigger, P3 does.
+        let full = transformations();
+        let minimized = [full[0].clone(), full[1].clone(), full[4].clone()];
+        for prefix_len in 0..minimized.len() {
+            let mut ctx = original_ctx();
+            apply_sequence(&mut ctx, &minimized[..prefix_len]);
+            assert!(
+                !bug_triggers(&ctx),
+                "P{prefix_len} must not trigger (1-minimality)"
+            );
+        }
+    }
+
+    #[test]
+    fn store_outside_dead_block_rejected() {
+        let t = Transformation::AddStore {
+            block: "a".into(),
+            offset: 0,
+            dst: "s".into(),
+            src: "i".into(),
+        };
+        let ctx = original_ctx();
+        assert!(!t.precondition(&ctx));
+    }
+
+    #[test]
+    fn change_rhs_requires_matching_input() {
+        // u := true may only become u := k because k = true in the input.
+        let mut ctx = original_ctx();
+        apply_sequence(&mut ctx, &transformations()[..2]);
+        let with_j = Transformation::ChangeRhs {
+            block: "a".into(),
+            offset: 1,
+            replacement: "j".into(),
+        };
+        // j = 2 != 1, so the guarantee fails.
+        assert!(!with_j.precondition(&ctx));
+        let with_i = Transformation::ChangeRhs {
+            block: "a".into(),
+            offset: 1,
+            replacement: "i".into(),
+        };
+        // i = 1 == true's encoding, so this is allowed.
+        assert!(with_i.precondition(&ctx));
+    }
+
+    #[test]
+    fn execution_errors_are_reported() {
+        let program = Program {
+            blocks: vec![BasicBlock {
+                name: "a".into(),
+                instrs: vec![Instr::Print { src: Operand::var("nope") }],
+                branch: Branch::Halt,
+            }],
+        };
+        assert_eq!(
+            run(&program, &Inputs::new()),
+            Err(ExecError::UndefinedVariable("nope".into()))
+        );
+        let looping = Program {
+            blocks: vec![BasicBlock {
+                name: "a".into(),
+                instrs: vec![],
+                branch: Branch::Goto("a".into()),
+            }],
+        };
+        assert_eq!(run(&looping, &Inputs::new()), Err(ExecError::StepLimit));
+    }
+
+    #[test]
+    fn program_size_counts_instructions_and_terminators() {
+        assert_eq!(original_program().size(), 4);
+    }
+}

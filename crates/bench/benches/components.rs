@@ -1,0 +1,102 @@
+//! Criterion benches for the core components: fuzzer throughput, reducer
+//! latency, interpreter speed, optimizer pipeline, and the binary codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use trx_core::Context;
+use trx_fuzzer::{Fuzzer, FuzzerOptions};
+use trx_harness::campaign::{classify, generate_test, Tool};
+use trx_harness::corpus::{donor_modules, reference_shader};
+use trx_ir::{binary, interp};
+use trx_reducer::Reducer;
+use trx_targets::catalog;
+
+fn reference_context(index: usize) -> Context {
+    let r = reference_shader(index);
+    Context::new(r.module, r.inputs).expect("reference validates")
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let ctx = reference_context(2); // loop shader: the most work per run
+    c.bench_function("interpreter/loop-shader", |b| {
+        b.iter(|| interp::execute(&ctx.module, &ctx.inputs).unwrap());
+    });
+}
+
+fn bench_fuzzer(c: &mut Criterion) {
+    let donors = donor_modules();
+    c.bench_function("fuzzer/one-run-default-options", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Fuzzer::new(FuzzerOptions::default()).run(reference_context(0), &donors, seed)
+        });
+    });
+}
+
+fn bench_reducer(c: &mut Criterion) {
+    // A fixed bug-triggering test against SwiftShader.
+    let donors = donor_modules();
+    let target = catalog::target_by_name("SwiftShader").unwrap();
+    let mut found = None;
+    for seed in 0..2_000 {
+        let test = generate_test(Tool::SpirvFuzz, seed, &donors);
+        if let Some(signature) = classify(
+            Tool::SpirvFuzz,
+            &target,
+            &test.original,
+            &test.variant.module,
+            &test.original.inputs,
+        ) {
+            found = Some((test, signature));
+            break;
+        }
+    }
+    let (test, signature) = found.expect("a bug-triggering seed exists");
+    c.bench_function("reducer/one-bug-triggering-sequence", |b| {
+        b.iter(|| {
+            Reducer::default().reduce(&test.original, &test.transformations, |variant| {
+                classify(
+                    Tool::SpirvFuzz,
+                    &target,
+                    &test.original,
+                    &variant.module,
+                    &test.original.inputs,
+                )
+                .as_ref()
+                    == Some(&signature)
+            })
+        });
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let donors = donor_modules();
+    let test = generate_test(Tool::SpirvFuzz, 3, &donors);
+    let target = catalog::target_by_name("Mesa").unwrap();
+    c.bench_function("optimizer/full-pipeline-compile", |b| {
+        b.iter(|| target.compile(&test.variant.module));
+    });
+}
+
+fn bench_binary_codec(c: &mut Criterion) {
+    let donors = donor_modules();
+    let test = generate_test(Tool::SpirvFuzz, 4, &donors);
+    let words = binary::encode(&test.variant.module);
+    c.bench_function("binary/encode", |b| {
+        b.iter(|| binary::encode(&test.variant.module));
+    });
+    c.bench_function("binary/decode", |b| {
+        b.iter(|| binary::decode(&words).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_fuzzer,
+    bench_reducer,
+    bench_optimizer,
+    bench_binary_codec
+);
+criterion_main!(benches);

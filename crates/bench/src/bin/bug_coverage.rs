@@ -1,0 +1,49 @@
+//! Diagnostic: which injected bugs does each tool reach? Useful for judging
+//! how much of each simulated target's bug surface the fuzzers cover.
+//!
+//! Usage: `bug_coverage [--tests N] [--seed S]`
+
+use std::collections::BTreeSet;
+
+use trx_bench::{arg_u64, arg_usize};
+use trx_harness::campaign::{run_campaign, BugSignature, Tool};
+use trx_targets::catalog;
+use trx_targets::BugEffect;
+
+fn main() {
+    let tests = arg_usize("--tests", 2000);
+    let seed = arg_u64("--seed", 0);
+    let targets = catalog::all_targets();
+    for tool in Tool::ALL {
+        eprintln!("running {} x {tests} ...", tool.name());
+        let outcome = run_campaign(tool, &targets, tests, seed);
+        println!("== {} ==", tool.name());
+        for (t, target) in targets.iter().enumerate() {
+            let found: BTreeSet<String> = outcome
+                .distinct(t)
+                .into_iter()
+                .filter_map(|s| match s {
+                    BugSignature::Crash(text) => Some(text),
+                    BugSignature::Miscompilation => None,
+                })
+                .collect();
+            let missed: Vec<&str> = target
+                .bugs()
+                .iter()
+                .filter_map(|b| match &b.effect {
+                    BugEffect::Crash { signature } if !found.contains(signature) => {
+                        Some(b.id.0.as_str())
+                    }
+                    _ => None,
+                })
+                .collect();
+            println!(
+                "  {:<14} crash sigs found {:>2}/{:<2}  missed: {}",
+                target.name(),
+                found.len(),
+                target.crash_bug_count(),
+                if missed.is_empty() { "-".to_owned() } else { missed.join(", ") }
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates a Figure 3 style artefact: a bug report whose delta between
+//! original and reduced variant is a single changed instruction — the
+//! `DontInline` attribute that provoked a SwiftShader bug in the paper.
+//!
+//! Usage: `figure3 [--seed S]`
+
+use trx_bench::arg_u64;
+use trx_harness::campaign::{generate_test, reduce_test, classify, BugSignature, Tool};
+use trx_harness::corpus::donor_modules;
+use trx_ir::disasm;
+use trx_targets::catalog;
+
+fn main() {
+    let base_seed = arg_u64("--seed", 0);
+    let target = catalog::target_by_name("SwiftShader").expect("target exists");
+    let donors = donor_modules();
+    let wanted = "SwiftShader: Reactor assert: out-of-line call support";
+
+    // Search seeds for a test triggering the DontInline bug. Prefer seeds
+    // over call-shaped references (like the paper's original, which already
+    // contains functions): those reduce to a single SetFunctionControl and
+    // give the Figure 3 one-instruction delta.
+    let call_shaped = |seed: u64| matches!(seed % 21 % 5, 3);
+    let candidates = (base_seed..base_seed + 5_000)
+        .filter(|&s| call_shaped(s))
+        .chain((base_seed..base_seed + 5_000).filter(|&s| !call_shaped(s)));
+    for seed in candidates {
+        let test = generate_test(Tool::SpirvFuzz, seed, &donors);
+        let signature = classify(
+            Tool::SpirvFuzz,
+            &target,
+            &test.original,
+            &test.variant.module,
+            &test.original.inputs,
+        );
+        let Some(signature) = signature else {
+            continue;
+        };
+        let BugSignature::Crash(text) = &signature else {
+            continue;
+        };
+        if text != wanted {
+            continue;
+        }
+        let text = text.clone();
+        eprintln!("seed {seed} triggers the bug; reducing ...");
+        let reduced = reduce_test(Tool::SpirvFuzz, seed, &target, &donors, &signature)
+            .expect("the test reproduces");
+        // Rebuild the reduced module by replaying, for the delta printout.
+        let mut replay = test.original.clone();
+        let reduction = trx_reducer::Reducer::default().reduce(
+            &test.original,
+            &test.transformations,
+            |variant| {
+                classify(
+                    Tool::SpirvFuzz,
+                    &target,
+                    &test.original,
+                    &variant.module,
+                    &test.original.inputs,
+                )
+                .as_ref()
+                    == Some(&signature)
+            },
+        );
+        trx_core::apply_sequence(&mut replay, &reduction.sequence);
+
+        let original_text = disasm::disassemble(&test.original.module);
+        let reduced_text = disasm::disassemble(&replay.module);
+        println!("Figure 3 analogue: delta between original and reduced variant");
+        println!(
+            "(original: {} instructions; reduced variant: {} instructions; \
+             sequence reduced to {} transformations)\n",
+            test.original.module.instruction_count(),
+            replay.module.instruction_count(),
+            reduction.sequence.len(),
+        );
+        println!("crash signature: {text}\n");
+        print!("{}", disasm::changed_lines(&original_text, &reduced_text));
+        println!(
+            "\nreduced transformation kinds: {:?}",
+            reduced.kinds.iter().map(|k| k.name()).collect::<Vec<_>>()
+        );
+        return;
+    }
+    eprintln!("no seed in range triggered the DontInline bug; try a different --seed");
+    std::process::exit(1);
+}

@@ -1,0 +1,49 @@
+//! Regenerates Figure 7 (§4.1): complementarity Venn segments per target.
+//!
+//! Usage: `figure7 [--tests N] [--groups G] [--seed S]`
+
+use trx_bench::{arg_u64, arg_usize, render_table};
+use trx_harness::experiments::{bug_finding, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig {
+        tests_per_tool: arg_usize("--tests", 600),
+        groups: arg_usize("--groups", 10),
+        seed: arg_u64("--seed", 0),
+    };
+    eprintln!(
+        "running {} tests per tool (seed {}) ...",
+        config.tests_per_tool, config.seed
+    );
+    let data = bug_finding(config);
+    println!("Figure 7: Venn segments (A = spirv-fuzz, B = spirv-fuzz-simple, C = glsl-fuzz)\n");
+    let headers = ["Target", "A only", "B only", "C only", "A&B", "A&C", "B&C", "A&B&C"];
+    let mut rows: Vec<Vec<String>> = data
+        .venn
+        .iter()
+        .map(|(name, v)| {
+            vec![
+                name.clone(),
+                v.only_a.to_string(),
+                v.only_b.to_string(),
+                v.only_c.to_string(),
+                v.a_and_b.to_string(),
+                v.a_and_c.to_string(),
+                v.b_and_c.to_string(),
+                v.all.to_string(),
+            ]
+        })
+        .collect();
+    let v = &data.venn_all;
+    rows.push(vec![
+        "All".into(),
+        v.only_a.to_string(),
+        v.only_b.to_string(),
+        v.only_c.to_string(),
+        v.a_and_b.to_string(),
+        v.a_and_c.to_string(),
+        v.b_and_c.to_string(),
+        v.all.to_string(),
+    ]);
+    print!("{}", render_table(&headers, &rows));
+}

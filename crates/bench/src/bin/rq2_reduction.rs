@@ -1,0 +1,30 @@
+//! Regenerates the §4.2 (RQ2) reduction-quality comparison: median
+//! instruction-count delta between original and reduced variant, spirv-fuzz
+//! vs glsl-fuzz. The paper reports medians of 8 vs 29.
+//!
+//! Usage: `rq2_reduction [--tests N] [--cap K] [--seed S]`
+
+use trx_bench::{arg_u64, arg_usize};
+use trx_harness::experiments::reduction_quality;
+use trx_harness::stats::median;
+
+fn main() {
+    let tests = arg_usize("--tests", 300);
+    let cap = arg_usize("--cap", 10);
+    let seed = arg_u64("--seed", 0);
+    eprintln!("running {tests} tests/tool, cap {cap} reductions/signature (seed {seed}) ...");
+    let data = reduction_quality(tests, cap, seed);
+    let (spirv_median, glsl_median) = data.medians();
+    println!("RQ2: quality of test-case reduction (instruction-count deltas)\n");
+    println!("  spirv-fuzz reductions: {}", data.spirv_fuzz_deltas.len());
+    println!("  glsl-fuzz  reductions: {}", data.glsl_fuzz_deltas.len());
+    println!();
+    println!("  median delta, spirv-fuzz : {spirv_median:.1}   (paper: 8)");
+    println!("  median delta, glsl-fuzz  : {glsl_median:.1}   (paper: 29)");
+    let unreduced: Vec<f64> = data.unreduced_deltas.iter().map(|&d| d as f64).collect();
+    if let Some(m) = median(&unreduced) {
+        println!("  median delta before reduction: {m:.1}");
+    }
+    println!("\n(Absolute numbers depend on the simulated substrate; the shape to check");
+    println!(" is that both tools reduce deltas dramatically and spirv-fuzz's are smaller.)");
+}

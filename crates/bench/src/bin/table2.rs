@@ -1,0 +1,28 @@
+//! Regenerates Table 2: the SPIR-V targets under test.
+
+use trx_bench::render_table;
+use trx_targets::catalog::all_targets;
+
+fn main() {
+    println!("Table 2: the SPIR-V targets we test\n");
+    let rows: Vec<Vec<String>> = all_targets()
+        .iter()
+        .map(|t| {
+            vec![
+                t.name().to_owned(),
+                t.version().to_owned(),
+                t.gpu_type().to_owned(),
+                t.bugs().len().to_string(),
+                t.crash_bug_count().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Target", "Version", "GPU type", "Injected bugs", "Crash bugs"],
+            &rows
+        )
+    );
+    println!("\n(\"Injected bugs\"/\"Crash bugs\" are ground-truth counts of the simulated targets.)");
+}

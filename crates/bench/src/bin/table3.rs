@@ -1,0 +1,52 @@
+//! Regenerates Table 3 (§4.1): bug-finding ability of spirv-fuzz,
+//! spirv-fuzz-simple and glsl-fuzz.
+//!
+//! Usage: `table3 [--tests N] [--groups G] [--seed S]`
+//! (the paper used N = 10,000, G = 10).
+
+use trx_bench::{arg_u64, arg_usize, render_table};
+use trx_harness::experiments::{bug_finding, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig {
+        tests_per_tool: arg_usize("--tests", 600),
+        groups: arg_usize("--groups", 10),
+        seed: arg_u64("--seed", 0),
+    };
+    eprintln!(
+        "running {} tests per tool in {} groups (seed {}) ...",
+        config.tests_per_tool, config.groups, config.seed
+    );
+    let data = bug_finding(config);
+    println!(
+        "Table 3: distinct bug signatures ({} tests/tool, medians over {} groups)\n",
+        config.tests_per_tool, config.groups
+    );
+    let headers = [
+        "Target",
+        "s-fuzz tot",
+        "s-fuzz med",
+        "simple tot",
+        "simple med",
+        "glsl tot",
+        "glsl med",
+        "beats simple?",
+        "beats glsl?",
+    ];
+    let fmt_row = |r: &trx_harness::experiments::Table3Row| {
+        vec![
+            r.target.clone(),
+            r.totals[0].to_string(),
+            format!("{:.1}", r.medians[0]),
+            r.totals[1].to_string(),
+            format!("{:.1}", r.medians[1]),
+            r.totals[2].to_string(),
+            format!("{:.1}", r.medians[2]),
+            format!("{} ({:.2}%)", if r.beats_simple >= 50.0 { "Yes" } else { "No" }, r.beats_simple),
+            format!("{} ({:.2}%)", if r.beats_glsl >= 50.0 { "Yes" } else { "No" }, r.beats_glsl),
+        ]
+    };
+    let mut rows: Vec<Vec<String>> = data.rows.iter().map(fmt_row).collect();
+    rows.push(fmt_row(&data.all_row));
+    print!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,95 @@
+//! # trx-bench
+//!
+//! Experiment binaries that regenerate every table and figure of the paper
+//! (`table2`, `table3`, `figure7`, `rq2_reduction`, `table4`, `figure3`,
+//! `figure8`) plus Criterion performance benches for the core components.
+//!
+//! Shared here: a minimal fixed-width table printer and a tiny CLI-flag
+//! parser used by the binaries.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Renders rows as a fixed-width text table with a header rule.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Reads `--flag value` style options from the command line, returning the
+/// value for `name` parsed as `usize`, or `default`.
+#[must_use]
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads `--flag value` style options, returning the value for `name`
+/// parsed as `u64`, or `default`.
+#[must_use]
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let table = render_table(
+            &["name", "count"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn missing_flag_yields_default() {
+        assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+        assert_eq!(arg_u64("--definitely-not-passed", 9), 9);
+    }
+}

@@ -1,0 +1,237 @@
+//! The fact store (§3.2 of the paper).
+//!
+//! Transformations establish facts that later transformations' preconditions
+//! can take on trust:
+//!
+//! * `DeadBlock(b)` — block `b` will never be executed;
+//! * `Synonymous(u[i⃗], v[j⃗])` — the data at index path `i⃗` of `u` equals the
+//!   data at index path `j⃗` of `v` wherever both are available;
+//! * `Irrelevant(i)` — the value of id `i` does not affect the final result;
+//! * `IrrelevantPointee(p)` — the data pointed to by `p` does not affect the
+//!   final result;
+//! * `LiveSafe(f)` — calling `f` from anywhere does not affect the final
+//!   result, provided `IrrelevantPointee` pointers are passed for pointer
+//!   arguments.
+//!
+//! Synonym facts are kept in a union–find structure over
+//! [`DataDescriptor`]s, so `Synonymous` is reflexive, symmetric and
+//! transitive by construction.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use trx_ir::Id;
+
+/// Identifies a piece of data: an id plus an index path into its value
+/// (empty path = the whole value).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataDescriptor {
+    /// The id holding the data.
+    pub id: Id,
+    /// Composite index path inside the id's value.
+    pub path: Vec<u32>,
+}
+
+impl DataDescriptor {
+    /// Descriptor for the whole value of `id`.
+    #[must_use]
+    pub fn whole(id: Id) -> Self {
+        DataDescriptor { id, path: Vec::new() }
+    }
+
+    /// Descriptor for a sub-object of `id` at `path`.
+    #[must_use]
+    pub fn at(id: Id, path: Vec<u32>) -> Self {
+        DataDescriptor { id, path }
+    }
+}
+
+/// The set of facts associated with a transformation context.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FactStore {
+    // Ordered sets: fuzzer passes iterate these, and deterministic-per-seed
+    // fuzzing requires a deterministic iteration order.
+    dead_blocks: BTreeSet<Id>,
+    irrelevant_ids: BTreeSet<Id>,
+    irrelevant_pointees: BTreeSet<Id>,
+    live_safe_functions: BTreeSet<Id>,
+    /// Union–find parent pointers; roots are absent.
+    synonym_parent: HashMap<DataDescriptor, DataDescriptor>,
+}
+
+impl FactStore {
+    /// Creates an empty fact store.
+    #[must_use]
+    pub fn new() -> Self {
+        FactStore::default()
+    }
+
+    /// Records that block `b` can never be executed.
+    pub fn add_dead_block(&mut self, b: Id) {
+        self.dead_blocks.insert(b);
+    }
+
+    /// Returns `true` if `b` is known dead.
+    #[must_use]
+    pub fn block_is_dead(&self, b: Id) -> bool {
+        self.dead_blocks.contains(&b)
+    }
+
+    /// Iterates over all known-dead blocks.
+    pub fn dead_blocks(&self) -> impl Iterator<Item = Id> + '_ {
+        self.dead_blocks.iter().copied()
+    }
+
+    /// Records that the value of `id` does not affect the final result.
+    pub fn add_irrelevant(&mut self, id: Id) {
+        self.irrelevant_ids.insert(id);
+    }
+
+    /// Returns `true` if `id` is known irrelevant.
+    #[must_use]
+    pub fn id_is_irrelevant(&self, id: Id) -> bool {
+        self.irrelevant_ids.contains(&id)
+    }
+
+    /// Records that the data pointed to by `p` does not affect the final
+    /// result.
+    pub fn add_irrelevant_pointee(&mut self, p: Id) {
+        self.irrelevant_pointees.insert(p);
+    }
+
+    /// Returns `true` if the data pointed to by `p` is known irrelevant.
+    #[must_use]
+    pub fn pointee_is_irrelevant(&self, p: Id) -> bool {
+        self.irrelevant_pointees.contains(&p)
+    }
+
+    /// Records that `f` is live-safe.
+    pub fn add_live_safe(&mut self, f: Id) {
+        self.live_safe_functions.insert(f);
+    }
+
+    /// Returns `true` if `f` is known live-safe.
+    #[must_use]
+    pub fn function_is_live_safe(&self, f: Id) -> bool {
+        self.live_safe_functions.contains(&f)
+    }
+
+    fn find(&self, d: &DataDescriptor) -> DataDescriptor {
+        let mut current = d.clone();
+        while let Some(parent) = self.synonym_parent.get(&current) {
+            current = parent.clone();
+        }
+        current
+    }
+
+    /// Records that the data named by `a` and `b` are equal wherever both
+    /// are available.
+    pub fn add_synonym(&mut self, a: DataDescriptor, b: DataDescriptor) {
+        let ra = self.find(&a);
+        let rb = self.find(&b);
+        if ra != rb {
+            self.synonym_parent.insert(ra, rb);
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are known synonymous.
+    #[must_use]
+    pub fn are_synonymous(&self, a: &DataDescriptor, b: &DataDescriptor) -> bool {
+        a == b || self.find(a) == self.find(b)
+    }
+
+    /// All whole-value ids known synonymous with the whole value of `id`
+    /// (excluding `id` itself).
+    #[must_use]
+    pub fn whole_synonyms_of(&self, id: Id) -> Vec<Id> {
+        let target = self.find(&DataDescriptor::whole(id));
+        let mut out: Vec<Id> = self
+            .synonym_parent
+            .keys()
+            .filter(|d| d.path.is_empty() && d.id != id)
+            .filter(|d| self.find(d) == target)
+            .map(|d| d.id)
+            .collect();
+        // Roots do not appear as keys; check whether the root itself is a
+        // whole-value descriptor for another id.
+        if target.path.is_empty() && target.id != id {
+            out.push(target.id);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids carrying the `Irrelevant` fact.
+    pub fn irrelevant_ids(&self) -> impl Iterator<Item = Id> + '_ {
+        self.irrelevant_ids.iter().copied()
+    }
+
+    /// Pointer ids carrying the `IrrelevantPointee` fact.
+    pub fn irrelevant_pointees(&self) -> impl Iterator<Item = Id> + '_ {
+        self.irrelevant_pointees.iter().copied()
+    }
+
+    /// Functions carrying the `LiveSafe` fact.
+    pub fn live_safe_functions(&self) -> impl Iterator<Item = Id> + '_ {
+        self.live_safe_functions.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u32) -> DataDescriptor {
+        DataDescriptor::whole(Id::new(id))
+    }
+
+    #[test]
+    fn synonym_relation_is_transitive() {
+        let mut facts = FactStore::new();
+        facts.add_synonym(d(1), d(2));
+        facts.add_synonym(d(2), d(3));
+        assert!(facts.are_synonymous(&d(1), &d(3)));
+        assert!(facts.are_synonymous(&d(3), &d(1)));
+        assert!(!facts.are_synonymous(&d(1), &d(4)));
+    }
+
+    #[test]
+    fn synonym_relation_is_reflexive() {
+        let facts = FactStore::new();
+        assert!(facts.are_synonymous(&d(7), &d(7)));
+    }
+
+    #[test]
+    fn paths_distinguish_descriptors() {
+        let mut facts = FactStore::new();
+        let composite_elem = DataDescriptor::at(Id::new(10), vec![2]);
+        facts.add_synonym(d(1), composite_elem.clone());
+        assert!(facts.are_synonymous(&d(1), &composite_elem));
+        assert!(!facts.are_synonymous(&d(1), &d(10)));
+    }
+
+    #[test]
+    fn whole_synonyms_listed() {
+        let mut facts = FactStore::new();
+        facts.add_synonym(d(1), d(2));
+        facts.add_synonym(d(3), d(1));
+        let syns = facts.whole_synonyms_of(Id::new(1));
+        assert_eq!(syns, vec![Id::new(2), Id::new(3)]);
+    }
+
+    #[test]
+    fn simple_facts_round_trip() {
+        let mut facts = FactStore::new();
+        facts.add_dead_block(Id::new(5));
+        facts.add_irrelevant(Id::new(6));
+        facts.add_irrelevant_pointee(Id::new(7));
+        facts.add_live_safe(Id::new(8));
+        assert!(facts.block_is_dead(Id::new(5)));
+        assert!(!facts.block_is_dead(Id::new(6)));
+        assert!(facts.id_is_irrelevant(Id::new(6)));
+        assert!(facts.pointee_is_irrelevant(Id::new(7)));
+        assert!(facts.function_is_live_safe(Id::new(8)));
+    }
+}

@@ -1,0 +1,226 @@
+//! The [`Transformation`] sum type (Definition 2.4) and sequence application
+//! (Definition 2.5).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::transformations::blocks::{
+    AddDeadBlock, InvertConditionalBranch, MoveBlockDown, PropagateInstructionUp,
+    ReplaceBranchWithKill, SplitBlock, WrapRegionInSelection,
+};
+use crate::transformations::functions::{
+    AddFunction, AddParameter, FunctionCall, InlineFunction, SetFunctionControl,
+};
+use crate::transformations::memory::{AddAccessChain, AddLoad, AddStore};
+use crate::transformations::misc::{
+    ReplaceConstantWithUniform, ReplaceIrrelevantId, SwapCommutativeOperands,
+};
+use crate::transformations::supporting::{
+    AddConstant, AddGlobalVariable, AddLocalVariable, AddType,
+};
+use crate::transformations::synonyms::{
+    AddArithmeticSynonym, CompositeConstruct, CompositeExtract, CopyObject,
+    ReplaceIdWithSynonym,
+};
+use crate::Context;
+
+macro_rules! transformations {
+    ($(($variant:ident, $supporting:expr)),+ $(,)?) => {
+        /// A semantics-preserving transformation: a `(Type, Pre, Effect)`
+        /// triple per Definition 2.4 of the paper.
+        ///
+        /// Whenever [`Transformation::precondition`] holds of a context,
+        /// applying [`Transformation::apply_unchecked`] yields a context whose program
+        /// is valid and computes the same result on the same input.
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        pub enum Transformation {
+            $(
+                #[doc = concat!("See [`", stringify!($variant), "`].")]
+                $variant($variant),
+            )+
+        }
+
+        /// The *type* of a transformation, used for deduplication (§2.1,
+        /// Figure 6): `types(t)` in the algorithm is the set of these values
+        /// occurring in a reduced test's sequence.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum TransformationKind {
+            $($variant,)+
+        }
+
+        impl TransformationKind {
+            /// All transformation kinds.
+            pub const ALL: &'static [TransformationKind] = &[
+                $(TransformationKind::$variant,)+
+            ];
+
+            /// Returns `true` for "supporting" kinds — enablers that are not
+            /// interesting in isolation and are ignored by the deduplication
+            /// heuristic (§3.5).
+            #[must_use]
+            pub fn is_supporting(self) -> bool {
+                match self {
+                    $(TransformationKind::$variant => $supporting,)+
+                }
+            }
+
+            /// The kind's name, as used in reports.
+            #[must_use]
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(TransformationKind::$variant => stringify!($variant),)+
+                }
+            }
+        }
+
+        impl Transformation {
+            /// The transformation's type.
+            #[must_use]
+            pub fn kind(&self) -> TransformationKind {
+                match self {
+                    $(Transformation::$variant(_) => TransformationKind::$variant,)+
+                }
+            }
+
+            /// `Pre(C)`: whether the transformation can be applied to the
+            /// context.
+            #[must_use]
+            pub fn precondition(&self, ctx: &Context) -> bool {
+                match self {
+                    $(Transformation::$variant(t) => t.precondition(ctx),)+
+                }
+            }
+
+            /// `Effect(C)`: applies the transformation.
+            ///
+            /// # Panics
+            ///
+            /// May panic if [`Transformation::precondition`] does not hold;
+            /// use [`apply`](crate::apply) for checked application.
+            pub fn apply_unchecked(&self, ctx: &mut Context) {
+                match self {
+                    $(Transformation::$variant(t) => t.apply(ctx),)+
+                }
+            }
+        }
+
+        $(
+            impl From<$variant> for Transformation {
+                fn from(t: $variant) -> Self {
+                    Transformation::$variant(t)
+                }
+            }
+        )+
+    };
+}
+
+transformations![
+    (AddType, true),
+    (AddConstant, true),
+    (AddGlobalVariable, true),
+    (AddLocalVariable, true),
+    (SplitBlock, true),
+    (AddFunction, true),
+    (ReplaceIdWithSynonym, true),
+    (AddDeadBlock, false),
+    (ReplaceBranchWithKill, false),
+    (CopyObject, false),
+    (AddArithmeticSynonym, false),
+    (CompositeConstruct, false),
+    (CompositeExtract, false),
+    (AddAccessChain, false),
+    (AddLoad, false),
+    (AddStore, false),
+    (ReplaceIrrelevantId, false),
+    (AddParameter, false),
+    (FunctionCall, false),
+    (InlineFunction, false),
+    (SetFunctionControl, false),
+    (MoveBlockDown, false),
+    (PropagateInstructionUp, false),
+    (WrapRegionInSelection, false),
+    (SwapCommutativeOperands, false),
+    (InvertConditionalBranch, false),
+    (ReplaceConstantWithUniform, false),
+];
+
+impl fmt::Display for TransformationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies one transformation if its precondition holds.
+///
+/// Returns `true` if the transformation was applied. In debug builds the
+/// resulting module is re-validated; a failure indicates a broken `Effect`
+/// and panics.
+pub fn apply(ctx: &mut Context, transformation: &Transformation) -> bool {
+    if !transformation.precondition(ctx) {
+        return false;
+    }
+    transformation.apply_unchecked(ctx);
+    debug_assert!(
+        trx_ir::validate::validate(&ctx.module).is_ok(),
+        "effect of {:?} broke validity: {:?}",
+        transformation.kind(),
+        trx_ir::validate::validate(&ctx.module).err(),
+    );
+    true
+}
+
+/// Applies a transformation sequence, skipping entries whose preconditions
+/// fail (Definition 2.5). Returns a mask recording which entries applied.
+///
+/// This skipping behaviour is what makes reduction sound: "because the effect
+/// of a transformation is guaranteed to preserve program output when the
+/// precondition holds, the reducer can try any subsequence of
+/// transformations, skipping those whose preconditions fail" (§2.1).
+pub fn apply_sequence(ctx: &mut Context, sequence: &[Transformation]) -> Vec<bool> {
+    sequence
+        .iter()
+        .map(|transformation| apply(ctx, transformation))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supporting_list_matches_paper() {
+        use TransformationKind::*;
+        let supporting: Vec<TransformationKind> = TransformationKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| k.is_supporting())
+            .collect();
+        assert_eq!(
+            supporting,
+            vec![
+                AddType,
+                AddConstant,
+                AddGlobalVariable,
+                AddLocalVariable,
+                SplitBlock,
+                AddFunction,
+                ReplaceIdWithSynonym
+            ]
+        );
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let mut names: Vec<&str> = TransformationKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TransformationKind::ALL.len());
+    }
+
+    #[test]
+    fn kinds_display_as_names() {
+        assert_eq!(TransformationKind::AddDeadBlock.to_string(), "AddDeadBlock");
+    }
+}

@@ -1,0 +1,665 @@
+//! Function-level transformations: donor functions, calls, parameters,
+//! inlining and function-control attributes.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use trx_ir::{
+    Block, Function, FunctionControl, FunctionParam, Id, Instruction, Op, Terminator, Type,
+    TypeDecl,
+};
+
+use super::util::{cover_ids, insert_at, retarget_phi_preds};
+use crate::descriptor::InstructionDescriptor;
+use crate::Context;
+
+fn validates_after(ctx: &Context, apply: impl FnOnce(&mut Context)) -> bool {
+    let mut probe = ctx.clone();
+    apply(&mut probe);
+    trx_ir::validate::validate(&probe.module).is_ok()
+}
+
+/// Sets a function's inlining control attribute.
+///
+/// The delta of Figure 3 — a single added `DontInline` — sufficed to expose
+/// a SwiftShader bug; this transformation produces exactly such deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetFunctionControl {
+    /// The function whose control changes.
+    pub function: Id,
+    /// The new control value.
+    pub control: FunctionControl,
+}
+
+impl SetFunctionControl {
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        ctx.module
+            .function(self.function)
+            .is_some_and(|f| f.control != self.control)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        ctx.module
+            .function_mut(self.function)
+            .expect("precondition")
+            .control = self.control;
+    }
+}
+
+/// Adds a parameter to a function, updating every call site to pass a given
+/// constant. The new parameter is recorded `Irrelevant` — "because the
+/// values that are provided do not matter" (§3.2) — which later lets
+/// `ReplaceIrrelevantId` enrich the arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddParameter {
+    /// The function gaining a parameter.
+    pub function: Id,
+    /// Id for the new formal parameter.
+    pub fresh_param_id: Id,
+    /// The parameter's type.
+    pub param_ty: Id,
+    /// Constant passed at every existing call site.
+    pub argument: Id,
+    /// Id for the new function type, used only when no structurally equal
+    /// type exists yet.
+    pub fresh_function_type_id: Id,
+}
+
+impl AddParameter {
+    fn new_type(&self, ctx: &Context) -> Option<Type> {
+        let f = ctx.module.function(self.function)?;
+        match ctx.module.type_of(f.ty)? {
+            Type::Function { ret, params } => {
+                let mut params = params.clone();
+                params.push(self.param_ty);
+                Some(Type::Function { ret: *ret, params })
+            }
+            _ => None,
+        }
+    }
+
+    fn cheap_pre(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_param_id, self.fresh_function_type_id]) {
+            return false;
+        }
+        if self.function == ctx.module.entry_point {
+            return false;
+        }
+        if self.new_type(ctx).is_none() {
+            return false;
+        }
+        ctx.module
+            .constant(self.argument)
+            .is_some_and(|c| c.ty == self.param_ty)
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        self.cheap_pre(ctx) && validates_after(ctx, |c| self.apply(c))
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let new_type = self.new_type(ctx).expect("precondition");
+        let ty_id = match ctx.module.lookup_type(&new_type) {
+            Some(existing) => existing,
+            None => {
+                ctx.module
+                    .types
+                    .push(TypeDecl { id: self.fresh_function_type_id, ty: new_type });
+                cover_ids(&mut ctx.module, &[self.fresh_function_type_id]);
+                self.fresh_function_type_id
+            }
+        };
+        let function = ctx.module.function_mut(self.function).expect("precondition");
+        function.ty = ty_id;
+        function
+            .params
+            .push(FunctionParam { id: self.fresh_param_id, ty: self.param_ty });
+        // Update every call site.
+        let callee = self.function;
+        let argument = self.argument;
+        for f in &mut ctx.module.functions {
+            for b in &mut f.blocks {
+                for inst in &mut b.instructions {
+                    if let Op::Call { callee: c, args } = &mut inst.op {
+                        if *c == callee {
+                            args.push(argument);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.facts.add_irrelevant(self.fresh_param_id);
+        cover_ids(&mut ctx.module, &[self.fresh_param_id]);
+    }
+}
+
+/// Adds a complete function to the module.
+///
+/// The payload encodes the entire function with pre-assigned fresh ids, "so
+/// that the donors are not required during reduction" (§3.2). When `livesafe`
+/// is set, the payload must be structurally live-safe — loop-free, free of
+/// `OpKill`/`OpUnreachable`, storing only through local pointers, and calling
+/// only live-safe functions — and the `LiveSafe` fact is recorded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddFunction {
+    /// The function to add, expressed in the target module's id space.
+    pub function: Function,
+    /// Whether the function is live-safe (callable from live code).
+    pub livesafe: bool,
+}
+
+impl AddFunction {
+    fn payload_ids(&self) -> Vec<Id> {
+        let f = &self.function;
+        let mut ids = vec![f.id];
+        ids.extend(f.params.iter().map(|p| p.id));
+        for b in &f.blocks {
+            ids.push(b.label);
+            ids.extend(b.instructions.iter().filter_map(|i| i.result));
+        }
+        ids
+    }
+
+    /// Labels of blocks that are targets of back edges (loop headers).
+    fn back_edge_headers(&self) -> Vec<Id> {
+        let index: HashMap<Id, usize> = self
+            .function
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.label, i))
+            .collect();
+        let n = self.function.blocks.len();
+        let mut headers = Vec::new();
+        if n == 0 {
+            return headers;
+        }
+        let mut state = vec![0u8; n]; // 0 = unseen, 1 = visiting, 2 = done
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            let succs = self.function.blocks[node].successors();
+            if *cursor < succs.len() {
+                let target = succs[*cursor];
+                *cursor += 1;
+                if let Some(&next) = index.get(&target) {
+                    match state[next] {
+                        0 => {
+                            state[next] = 1;
+                            stack.push((next, 0));
+                        }
+                        1 => headers.push(self.function.blocks[next].label),
+                        _ => {}
+                    }
+                }
+            } else {
+                state[node] = 2;
+                stack.pop();
+            }
+        }
+        headers.sort_unstable();
+        headers.dedup();
+        headers
+    }
+
+    /// Verifies the loop-limiter pattern on a back-edge header, per §3.2's
+    /// "truncating loops via an iteration limit". The header must look like:
+    ///
+    /// ```text
+    ///   ... phis ...
+    ///   %ld  = OpLoad %counter          ; counter: function-local variable
+    ///   %inc = OpIAdd %ld %positive     ; positive integer constant
+    ///          OpStore %counter %inc
+    ///   %cmp = OpSLessThan %ld %limit   ; integer constant bound
+    ///   ...
+    ///   OpBranchConditional %cond %continue %merge
+    /// ```
+    ///
+    /// where `%cond` is `%cmp` or `LogicalAnd(_, %cmp)` (either operand) and
+    /// the false arm is the loop merge. The counter may be used *only* by
+    /// this load and store, so it increases monotonically and the header
+    /// executes at most `limit` times.
+    fn limiter_pattern_ok(&self, ctx: &Context, header: Id) -> bool {
+        let Some(block) = self.function.block(header) else {
+            return false;
+        };
+        let Some(trx_ir::Merge::Loop { merge, .. }) = block.merge else {
+            return false;
+        };
+        let body = &block.instructions[block.phi_count()..];
+        if body.len() < 4 {
+            return false;
+        }
+        let (Some(ld), Op::Load { pointer: counter }) = (body[0].result, &body[0].op) else {
+            return false;
+        };
+        let counter = *counter;
+        // The counter is a local variable of this very function.
+        let is_local_var = self
+            .function
+            .blocks
+            .iter()
+            .flat_map(|b| b.instructions.iter())
+            .any(|i| i.result == Some(counter) && i.is_variable());
+        if !is_local_var {
+            return false;
+        }
+        let (Some(inc), Op::Binary { op: trx_ir::BinOp::IAdd, lhs, rhs }) =
+            (body[1].result, &body[1].op)
+        else {
+            return false;
+        };
+        if *lhs != ld
+            || ctx
+                .module
+                .constant(*rhs)
+                .and_then(|c| c.value.as_int()).is_none_or(|v| v < 1)
+        {
+            return false;
+        }
+        let Op::Store { pointer, value } = &body[2].op else {
+            return false;
+        };
+        if *pointer != counter || *value != inc {
+            return false;
+        }
+        let (Some(cmp), Op::Binary { op: trx_ir::BinOp::SLessThan, lhs, rhs }) =
+            (body[3].result, &body[3].op)
+        else {
+            return false;
+        };
+        if *lhs != ld || ctx.module.constant(*rhs).and_then(|c| c.value.as_int()).is_none() {
+            return false;
+        }
+        // The counter must have no other uses.
+        let counter_uses = self
+            .function
+            .blocks
+            .iter()
+            .flat_map(|b| b.instructions.iter())
+            .map(|i| {
+                let mut count = 0;
+                i.op.for_each_id_operand(|id| {
+                    if id == counter {
+                        count += 1;
+                    }
+                });
+                count
+            })
+            .sum::<usize>();
+        if counter_uses != 2 {
+            return false;
+        }
+        // The exit condition: false arm is the merge, and the condition is
+        // the comparison (possibly conjoined with the original condition).
+        let Terminator::BranchConditional { cond, true_target, false_target } =
+            &block.terminator
+        else {
+            return false;
+        };
+        if *false_target != merge || *true_target == merge {
+            return false;
+        }
+        if *cond == cmp {
+            return true;
+        }
+        block.instructions.iter().any(|i| {
+            i.result == Some(*cond)
+                && matches!(
+                    &i.op,
+                    Op::Binary { op: trx_ir::BinOp::LogicalAnd, lhs, rhs }
+                        if *lhs == cmp || *rhs == cmp
+                )
+        })
+    }
+
+    fn livesafe_structure_ok(&self, ctx: &Context) -> bool {
+        // Loops are allowed only when truncated by a recognized iteration
+        // limiter (§3.2).
+        if !self
+            .back_edge_headers()
+            .into_iter()
+            .all(|header| self.limiter_pattern_ok(ctx, header))
+        {
+            return false;
+        }
+        // Pointers that are safe to store through: locally declared
+        // variables, pointer parameters (the caller must pass
+        // IrrelevantPointee pointers), and access chains rooted at those.
+        let mut safe_pointers: HashSet<Id> = self
+            .function
+            .params
+            .iter()
+            .filter(|p| {
+                matches!(ctx.module.type_of(p.ty), Some(Type::Pointer { .. }))
+            })
+            .map(|p| p.id)
+            .collect();
+        for b in &self.function.blocks {
+            for inst in &b.instructions {
+                match &inst.op {
+                    Op::Variable { .. } => {
+                        safe_pointers.extend(inst.result);
+                    }
+                    Op::AccessChain { base, .. }
+                        if safe_pointers.contains(base) => {
+                            safe_pointers.extend(inst.result);
+                        }
+                    _ => {}
+                }
+            }
+        }
+        for b in &self.function.blocks {
+            if matches!(b.terminator, Terminator::Kill | Terminator::Unreachable) {
+                return false;
+            }
+            for inst in &b.instructions {
+                match &inst.op {
+                    Op::Store { pointer, .. } if !safe_pointers.contains(pointer) => {
+                        return false;
+                    }
+                    Op::Call { callee, .. }
+                        if !ctx.facts.function_is_live_safe(*callee) =>
+                    {
+                        return false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+
+    fn cheap_pre(&self, ctx: &Context) -> bool {
+        let ids = self.payload_ids();
+        if !ctx.fresh_and_distinct(&ids) {
+            return false;
+        }
+        if self.function.blocks.is_empty() {
+            return false;
+        }
+        if self.livesafe && !self.livesafe_structure_ok(ctx) {
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        self.cheap_pre(ctx) && validates_after(ctx, |c| self.apply(c))
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        ctx.module.functions.push(self.function.clone());
+        let ids = self.payload_ids();
+        cover_ids(&mut ctx.module, &ids);
+        if self.livesafe {
+            ctx.facts.add_live_safe(self.function.id);
+        }
+    }
+}
+
+/// Inserts a function call: to a live-safe function from anywhere (passing
+/// `IrrelevantPointee` pointers for pointer parameters), or to any function
+/// from a known-dead block (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionCall {
+    /// Id for the call's result.
+    pub fresh_id: Id,
+    /// The function called.
+    pub callee: Id,
+    /// Arguments, one per parameter.
+    pub args: Vec<Id>,
+    /// Where to insert the call.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl FunctionCall {
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_id]) {
+            return false;
+        }
+        if self.callee == ctx.module.entry_point {
+            return false;
+        }
+        let Some(callee) = ctx.module.function(self.callee) else {
+            return false;
+        };
+        let Some(Type::Function { params, .. }) = ctx.module.type_of(callee.ty).cloned()
+        else {
+            return false;
+        };
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        if !ctx.insertion_ok(point) {
+            return false;
+        }
+        let caller = &ctx.module.functions[point.function];
+        if ctx.call_creates_cycle(caller.id, self.callee) {
+            return false;
+        }
+        if self.args.len() != params.len() {
+            return false;
+        }
+        let args_ok = self.args.iter().zip(&params).all(|(&arg, &want)| {
+            ctx.module.value_type(arg) == Some(want) && ctx.available_at(point, arg)
+        });
+        if !args_ok {
+            return false;
+        }
+        let block_label = caller.blocks[point.block].label;
+        if ctx.facts.block_is_dead(block_label) {
+            return true;
+        }
+        // Live call sites demand a live-safe callee and irrelevant pointees
+        // for every pointer argument.
+        ctx.facts.function_is_live_safe(self.callee)
+            && self.args.iter().zip(&params).all(|(&arg, &want)| {
+                match ctx.module.type_of(want) {
+                    Some(Type::Pointer { .. }) => ctx.facts.pointee_is_irrelevant(arg),
+                    _ => true,
+                }
+            })
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        let callee = ctx.module.function(self.callee).expect("precondition");
+        let ret = match ctx.module.type_of(callee.ty) {
+            Some(Type::Function { ret, .. }) => *ret,
+            _ => unreachable!("precondition checked the callee type"),
+        };
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::with_result(
+                self.fresh_id,
+                ret,
+                Op::Call { callee: self.callee, args: self.args.clone() },
+            ),
+        );
+        // The result is unused at birth; its value cannot affect the output,
+        // and only irrelevant use sites may ever consume it.
+        ctx.facts.add_irrelevant(self.fresh_id);
+        cover_ids(&mut ctx.module, &[self.fresh_id]);
+    }
+}
+
+/// Inlines one call, duplicating the callee's blocks in place of the call.
+///
+/// Per §3.3 ("maximizing independence"), the instance carries an explicit
+/// mapping from callee ids to fresh ids, fixed at fuzzing time; reduction can
+/// then drop unrelated transformations without perturbing the ids the inlined
+/// body uses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InlineFunction {
+    /// Result id of the call instruction to inline.
+    pub call_result: Id,
+    /// Fresh label for the block receiving control after the inlined body.
+    pub ret_block_id: Id,
+    /// Mapping from each callee label/result id to a fresh id.
+    pub id_map: Vec<(Id, Id)>,
+}
+
+impl InlineFunction {
+    fn callee_of_call<'m>(&self, ctx: &'m Context) -> Option<&'m Function> {
+        let (_, inst) = ctx.module.find_result(self.call_result)?;
+        match &inst.op {
+            Op::Call { callee, .. } => ctx.module.function(*callee),
+            _ => None,
+        }
+    }
+
+    fn cheap_pre(&self, ctx: &Context) -> bool {
+        let Some(callee) = self.callee_of_call(ctx) else {
+            return false;
+        };
+        // Domain must cover callee labels and results exactly.
+        let mut domain: Vec<Id> = callee.blocks.iter().map(|b| b.label).collect();
+        domain.extend(
+            callee
+                .blocks
+                .iter()
+                .flat_map(|b| b.instructions.iter().filter_map(|i| i.result)),
+        );
+        domain.sort_unstable();
+        let mut mapped: Vec<Id> = self.id_map.iter().map(|(old, _)| *old).collect();
+        mapped.sort_unstable();
+        if domain != mapped {
+            return false;
+        }
+        let mut images: Vec<Id> = self.id_map.iter().map(|(_, new)| *new).collect();
+        images.push(self.ret_block_id);
+        ctx.fresh_and_distinct(&images)
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        self.cheap_pre(ctx) && validates_after(ctx, |c| self.apply(c))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let (loc, call_inst) = ctx.module.find_result(self.call_result).expect("precondition");
+        let (call_ty, call_args, callee_id) = match &call_inst.op {
+            Op::Call { callee, args } => (call_inst.ty, args.clone(), *callee),
+            _ => unreachable!("precondition requires a call"),
+        };
+        let callee = ctx.module.function(callee_id).expect("precondition").clone();
+
+        let map: HashMap<Id, Id> = self.id_map.iter().copied().collect();
+        let param_map: HashMap<Id, Id> = callee
+            .params
+            .iter()
+            .map(|p| p.id)
+            .zip(call_args.iter().copied())
+            .collect();
+        let subst = |id: &mut Id| {
+            if let Some(new) = map.get(id) {
+                *id = *new;
+            } else if let Some(arg) = param_map.get(id) {
+                *id = *arg;
+            }
+        };
+
+        // Copy and rename the callee body; rewrite returns into branches to
+        // the return block and collect returned values for the result phi.
+        let mut inlined: Vec<Block> = Vec::with_capacity(callee.blocks.len());
+        let mut returned: Vec<(Id, Id)> = Vec::new();
+        let mut hoisted_vars: Vec<Instruction> = Vec::new();
+        for src in &callee.blocks {
+            let mut block = src.clone();
+            subst_block_label(&mut block, &subst);
+            block.instructions.retain_mut(|inst| {
+                if let Some(r) = &mut inst.result {
+                    subst(r);
+                }
+                inst.op.for_each_id_operand_mut(&subst);
+                if let Op::Phi { incoming } = &mut inst.op {
+                    for (_, pred) in incoming {
+                        subst(pred);
+                    }
+                }
+                if inst.is_variable() {
+                    hoisted_vars.push(inst.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            block.terminator.for_each_id_operand_mut(&subst);
+            block.terminator.for_each_target_mut(&subst);
+            if let Some(merge) = &mut block.merge {
+                merge.for_each_label_mut(&subst);
+            }
+            match block.terminator {
+                Terminator::Return => {
+                    block.terminator = Terminator::Branch { target: self.ret_block_id };
+                }
+                Terminator::ReturnValue { value } => {
+                    returned.push((value, block.label));
+                    block.terminator = Terminator::Branch { target: self.ret_block_id };
+                }
+                _ => {}
+            }
+            inlined.push(block);
+        }
+        let inlined_entry = inlined[0].label;
+
+        // Carve up the caller block.
+        let function = &mut ctx.module.functions[loc.function];
+        let caller_label = function.blocks[loc.block].label;
+        let call_block = &mut function.blocks[loc.block];
+        let tail = call_block.instructions.split_off(loc.index + 1);
+        call_block.instructions.pop(); // the call itself
+        let old_merge = call_block.merge.take();
+        let old_terminator = std::mem::replace(
+            &mut call_block.terminator,
+            Terminator::Branch { target: inlined_entry },
+        );
+
+        // Assemble the return block: result phi (for non-void callees that
+        // return), then the tail of the original block.
+        let mut ret_instructions = Vec::new();
+        let callee_returns_value = !returned.is_empty()
+            && call_ty.is_some_and(|ty| {
+                !matches!(ctx.module.type_of(ty), Some(Type::Void))
+            });
+        if callee_returns_value {
+            ret_instructions.push(Instruction {
+                result: Some(self.call_result),
+                ty: call_ty,
+                op: Op::Phi { incoming: returned },
+            });
+        }
+        ret_instructions.extend(tail);
+        let ret_block = Block {
+            label: self.ret_block_id,
+            instructions: ret_instructions,
+            merge: old_merge,
+            terminator: old_terminator,
+        };
+
+        let function = &mut ctx.module.functions[loc.function];
+        let mut insertion = loc.block + 1;
+        for block in inlined {
+            function.blocks.insert(insertion, block);
+            insertion += 1;
+        }
+        function.blocks.insert(insertion, ret_block);
+        // Hoisted callee variables go to the caller's entry block.
+        let entry = &mut function.blocks[0].instructions;
+        entry.splice(0..0, hoisted_vars);
+        // Successor phi edges from the caller block now originate at the
+        // return block.
+        retarget_phi_preds(&mut ctx.module, loc.function, caller_label, self.ret_block_id);
+
+        let mut new_ids: Vec<Id> = self.id_map.iter().map(|(_, n)| *n).collect();
+        new_ids.push(self.ret_block_id);
+        cover_ids(&mut ctx.module, &new_ids);
+    }
+}
+
+fn subst_block_label(block: &mut Block, subst: &impl Fn(&mut Id)) {
+    subst(&mut block.label);
+}

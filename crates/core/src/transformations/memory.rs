@@ -1,0 +1,195 @@
+//! Memory transformations: loads anywhere, stores where provably harmless.
+
+use serde::{Deserialize, Serialize};
+
+use trx_ir::{Id, Instruction, Op, Type};
+
+use super::util::{cover_ids, insert_at};
+use crate::descriptor::InstructionDescriptor;
+use crate::Context;
+
+/// Inserts a load through an existing pointer. Loads never change program
+/// behaviour, so this may be applied anywhere ("a load from an existing
+/// program variable into a fresh variable may be safely added at any program
+/// point", §2.1).
+///
+/// If the pointer carries the `IrrelevantPointee` fact, the loaded value is
+/// recorded `Irrelevant`: data that cannot affect the result yields a value
+/// that must not be given relevant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddLoad {
+    /// Id for the loaded value.
+    pub fresh_id: Id,
+    /// The pointer to load through.
+    pub pointer: Id,
+    /// Where to insert the load.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl AddLoad {
+    fn pointee(&self, ctx: &Context) -> Option<Id> {
+        let ty = ctx.module.value_type(self.pointer)?;
+        match ctx.module.type_of(ty)? {
+            Type::Pointer { pointee, .. } => Some(*pointee),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_id]) {
+            return false;
+        }
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        ctx.insertion_ok(point)
+            && self.pointee(ctx).is_some()
+            && ctx.available_at(point, self.pointer)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        let pointee = self.pointee(ctx).expect("precondition");
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::with_result(self.fresh_id, pointee, Op::Load { pointer: self.pointer }),
+        );
+        if ctx.facts.pointee_is_irrelevant(self.pointer) {
+            ctx.facts.add_irrelevant(self.fresh_id);
+        }
+        cover_ids(&mut ctx.module, &[self.fresh_id]);
+    }
+}
+
+/// Inserts a store through a pointer. Sound in exactly two situations
+/// (Table 1's `AddStore` and its §2.3 discussion):
+///
+/// * the insertion point lies in a block carrying the `DeadBlock` fact — a
+///   store in code that never runs has no effect; or
+/// * the pointer carries the `IrrelevantPointee` fact — the stored-to data
+///   cannot affect the final result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddStore {
+    /// The pointer stored through.
+    pub pointer: Id,
+    /// The value stored.
+    pub value: Id,
+    /// Where to insert the store.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl AddStore {
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        if !ctx.insertion_ok(point) {
+            return false;
+        }
+        let Some(ptr_ty) = ctx.module.value_type(self.pointer) else {
+            return false;
+        };
+        let Some(&Type::Pointer { storage, pointee }) = ctx.module.type_of(ptr_ty) else {
+            return false;
+        };
+        if !storage.is_writable() {
+            return false;
+        }
+        if ctx.module.value_type(self.value) != Some(pointee) {
+            return false;
+        }
+        if !ctx.available_at(point, self.pointer) || !ctx.available_at(point, self.value) {
+            return false;
+        }
+        let block_label =
+            ctx.module.functions[point.function].blocks[point.block].label;
+        ctx.facts.pointee_is_irrelevant(self.pointer) || ctx.facts.block_is_dead(block_label)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::without_result(Op::Store {
+                pointer: self.pointer,
+                value: self.value,
+            }),
+        );
+    }
+}
+
+/// Inserts an `OpAccessChain` forming a pointer to a sub-object of an
+/// existing pointer's pointee. Pure: creating a pointer has no effect until
+/// it is loaded from or stored through.
+///
+/// Indices must be declared integer constants (so struct indexing stays
+/// statically checkable), and the resulting pointer type must already be
+/// declared (an `AddType` enabler). If the base pointer's pointee is
+/// irrelevant, so is the sub-object's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddAccessChain {
+    /// Id for the new pointer.
+    pub fresh_id: Id,
+    /// The base pointer.
+    pub base: Id,
+    /// Ids of integer-constant indices.
+    pub indices: Vec<Id>,
+    /// Where to insert the chain.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl AddAccessChain {
+    fn result_pointer_type(&self, ctx: &Context) -> Option<Id> {
+        let base_ty = ctx.module.value_type(self.base)?;
+        let &Type::Pointer { storage, pointee } = ctx.module.type_of(base_ty)? else {
+            return None;
+        };
+        let mut current = pointee;
+        for &index in &self.indices {
+            let literal = ctx.module.constant(index)?.value.as_int()?;
+            let literal = u32::try_from(literal).ok()?;
+            current = match ctx.module.type_of(current)? {
+                Type::Vector { component, count } => {
+                    (literal < *count).then_some(*component)?
+                }
+                Type::Array { element, len } => (literal < *len).then_some(*element)?,
+                Type::Struct { members } => members.get(literal as usize).copied()?,
+                _ => return None,
+            };
+        }
+        ctx.module
+            .lookup_type(&Type::Pointer { storage, pointee: current })
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_id]) || self.indices.is_empty() {
+            return false;
+        }
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        ctx.insertion_ok(point)
+            && self.result_pointer_type(ctx).is_some()
+            && ctx.available_at(point, self.base)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        let ty = self.result_pointer_type(ctx).expect("precondition");
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::with_result(
+                self.fresh_id,
+                ty,
+                Op::AccessChain { base: self.base, indices: self.indices.clone() },
+            ),
+        );
+        if ctx.facts.pointee_is_irrelevant(self.base) {
+            ctx.facts.add_irrelevant_pointee(self.fresh_id);
+        }
+        cover_ids(&mut ctx.module, &[self.fresh_id]);
+    }
+}

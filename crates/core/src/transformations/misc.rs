@@ -1,0 +1,245 @@
+//! Operand-level transformations: commutation, irrelevant-id replacement and
+//! constant obfuscation through uniforms.
+
+use serde::{Deserialize, Serialize};
+
+use trx_ir::{ConstantValue, Id, Instruction, Op, StorageClass, Type, Value};
+
+use super::util::{analyze_use, insert_at, replacement_available, UseSite};
+use super::util::cover_ids;
+use crate::descriptor::{ResolvedPoint, UseDescriptor};
+use crate::Context;
+
+/// Swaps the operands of a commutative binary operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapCommutativeOperands {
+    /// Result id of the binary instruction.
+    pub instruction: Id,
+}
+
+impl SwapCommutativeOperands {
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        match ctx.module.find_result(self.instruction) {
+            Some((_, inst)) => match &inst.op {
+                Op::Binary { op, .. } => op.is_commutative(),
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let (loc, _) = ctx.module.find_result(self.instruction).expect("precondition");
+        let inst = &mut ctx.module.functions[loc.function].blocks[loc.block]
+            .instructions[loc.index];
+        if let Op::Binary { lhs, rhs, .. } = &mut inst.op {
+            std::mem::swap(lhs, rhs);
+        }
+    }
+}
+
+/// Replaces a use of an id whose value is known not to matter with another
+/// id of the same type (§3.2's `ReplaceIrrelevantId`).
+///
+/// A use qualifies when the used id carries the `Irrelevant` fact, or when
+/// the use is an argument to a call whose corresponding formal parameter
+/// carries it (the situation `AddParameter` sets up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplaceIrrelevantId {
+    /// The use being rewritten.
+    pub use_descriptor: UseDescriptor,
+    /// The id substituted in.
+    pub replacement: Id,
+}
+
+impl ReplaceIrrelevantId {
+    fn use_is_irrelevant(&self, ctx: &Context, used: Id) -> bool {
+        if ctx.facts.id_is_irrelevant(used) {
+            return true;
+        }
+        // Argument position of a call whose formal parameter is irrelevant?
+        let UseDescriptor::Instruction { target, operand } = &self.use_descriptor else {
+            return false;
+        };
+        let Some(point) = target.resolve_instruction(&ctx.module) else {
+            return false;
+        };
+        let inst = &ctx.module.functions[point.function].blocks[point.block]
+            .instructions[point.index];
+        let Op::Call { callee, .. } = &inst.op else {
+            return false;
+        };
+        let Some(callee) = ctx.module.function(*callee) else {
+            return false;
+        };
+        // Operand 0 is the callee; arguments start at 1.
+        let Some(param_index) = (*operand as usize).checked_sub(1) else {
+            return false;
+        };
+        callee
+            .params
+            .get(param_index)
+            .is_some_and(|p| ctx.facts.id_is_irrelevant(p.id))
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        let Some((used, site)) = analyze_use(ctx, &self.use_descriptor) else {
+            return false;
+        };
+        used != self.replacement
+            && self.use_is_irrelevant(ctx, used)
+            && ctx.module.value_type(used) == ctx.module.value_type(self.replacement)
+            && ctx.module.value_type(self.replacement).is_some()
+            && replacement_available(ctx, site, self.replacement)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let replaced = self.use_descriptor.replace_with(&mut ctx.module, self.replacement);
+        debug_assert!(replaced, "use resolved in precondition");
+    }
+}
+
+/// Replaces a use of a scalar constant with a load from a uniform whose
+/// runtime value — known to the fuzzer from the input set — equals that
+/// constant (§3.2's `ReplaceConstantWithUniform`).
+///
+/// This is the transformation that "obfuscates from the compiler the fact
+/// that a block is dead by making the block's dynamic reachability depend on
+/// the value of an input".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplaceConstantWithUniform {
+    /// The constant use being obfuscated.
+    pub use_descriptor: UseDescriptor,
+    /// The uniform global whose runtime value equals the constant.
+    pub uniform: Id,
+    /// Id for the inserted load.
+    pub fresh_load_id: Id,
+}
+
+impl ReplaceConstantWithUniform {
+    fn constant_as_value(value: &ConstantValue) -> Option<Value> {
+        match value {
+            ConstantValue::Bool(v) => Some(Value::Bool(*v)),
+            ConstantValue::Int(v) => Some(Value::Int(*v)),
+            ConstantValue::Float(bits) => Some(Value::Float(f32::from_bits(*bits))),
+            ConstantValue::Composite(_) => None,
+        }
+    }
+
+    fn uniform_matches(&self, ctx: &Context, constant_ty: Id, value: &ConstantValue) -> bool {
+        let Some(global) = ctx.module.global(self.uniform) else {
+            return false;
+        };
+        if global.storage != StorageClass::Uniform {
+            return false;
+        }
+        let pointee = match ctx.module.type_of(global.ty) {
+            Some(&Type::Pointer { pointee, .. }) => pointee,
+            _ => return false,
+        };
+        if pointee != constant_ty {
+            return false;
+        }
+        let Some(name) = ctx.module.interface.uniform_name(self.uniform) else {
+            return false;
+        };
+        let Some(expected) = Self::constant_as_value(value) else {
+            return false;
+        };
+        let runtime = ctx
+            .inputs
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Value::zero_of(&ctx.module, pointee));
+        runtime == expected
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_load_id]) {
+            return false;
+        }
+        let Some((used, _site)) = analyze_use(ctx, &self.use_descriptor) else {
+            return false;
+        };
+        let Some(constant) = ctx.module.constant(used) else {
+            return false;
+        };
+        self.uniform_matches(ctx, constant.ty, &constant.value)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let (_, site) = analyze_use(ctx, &self.use_descriptor).expect("precondition");
+        let pointee = match ctx
+            .module
+            .global(self.uniform)
+            .and_then(|g| ctx.module.type_of(g.ty))
+        {
+            Some(&Type::Pointer { pointee, .. }) => pointee,
+            _ => unreachable!("precondition checked the uniform"),
+        };
+        let load = Instruction::with_result(
+            self.fresh_load_id,
+            pointee,
+            Op::Load { pointer: self.uniform },
+        );
+        match site {
+            UseSite::Plain(point) => {
+                // Insert just before the user, then rewrite the (shifted)
+                // user in place by index — no re-resolution races.
+                insert_at(&mut ctx.module, point, load);
+                let user = &mut ctx.module.functions[point.function].blocks[point.block]
+                    .instructions[point.index + 1];
+                let operand = match self.use_descriptor {
+                    UseDescriptor::Instruction { operand, .. } => operand,
+                    UseDescriptor::Terminator { .. } => unreachable!("site is Plain"),
+                };
+                replace_operand_at(user, operand, self.fresh_load_id);
+            }
+            UseSite::PhiIncoming { function, pred } => {
+                // The value flows in from `pred`; load at the end of that
+                // block.
+                let pred_index = ctx.module.functions[function]
+                    .block_index(pred)
+                    .expect("precondition");
+                let len = ctx.module.functions[function].blocks[pred_index]
+                    .instructions
+                    .len();
+                insert_at(
+                    &mut ctx.module,
+                    ResolvedPoint { function, block: pred_index, index: len },
+                    load,
+                );
+                let replaced =
+                    self.use_descriptor.replace_with(&mut ctx.module, self.fresh_load_id);
+                debug_assert!(replaced, "phi use resolved in precondition");
+            }
+            UseSite::Terminator { function, block } => {
+                let block_index = ctx.module.functions[function]
+                    .block_index(block)
+                    .expect("precondition");
+                let len = ctx.module.functions[function].blocks[block_index]
+                    .instructions
+                    .len();
+                insert_at(
+                    &mut ctx.module,
+                    ResolvedPoint { function, block: block_index, index: len },
+                    load,
+                );
+                let replaced =
+                    self.use_descriptor.replace_with(&mut ctx.module, self.fresh_load_id);
+                debug_assert!(replaced, "terminator use resolved in precondition");
+            }
+        }
+        cover_ids(&mut ctx.module, &[self.fresh_load_id]);
+    }
+}
+
+fn replace_operand_at(inst: &mut Instruction, operand: u32, replacement: Id) {
+    let mut current = 0u32;
+    inst.op.for_each_id_operand_mut(|id| {
+        if current == operand {
+            *id = replacement;
+        }
+        current += 1;
+    });
+}

@@ -1,0 +1,26 @@
+//! The transformation catalogue, grouped by family.
+//!
+//! Every public struct here is one transformation template; see
+//! [`Transformation`](crate::Transformation) for the sum type and the
+//! engine.
+
+pub(crate) mod blocks;
+pub(crate) mod functions;
+pub(crate) mod memory;
+pub(crate) mod misc;
+pub(crate) mod supporting;
+pub(crate) mod synonyms;
+mod util;
+
+pub use blocks::{
+    AddDeadBlock, InvertConditionalBranch, MoveBlockDown, PropagateInstructionUp,
+    ReplaceBranchWithKill, SelectionForm, SplitBlock, WrapRegionInSelection, EscapePatch,
+};
+pub use functions::{AddFunction, AddParameter, FunctionCall, InlineFunction, SetFunctionControl};
+pub use memory::{AddAccessChain, AddLoad, AddStore};
+pub use misc::{ReplaceConstantWithUniform, ReplaceIrrelevantId, SwapCommutativeOperands};
+pub use supporting::{AddConstant, AddGlobalVariable, AddLocalVariable, AddType};
+pub use synonyms::{
+    AddArithmeticSynonym, ArithmeticIdentity, CompositeConstruct, CompositeExtract, CopyObject,
+    ReplaceIdWithSynonym,
+};

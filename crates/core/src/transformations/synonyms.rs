@@ -1,0 +1,327 @@
+//! Synonym-creating and synonym-exploiting transformations.
+
+use serde::{Deserialize, Serialize};
+
+use trx_ir::{BinOp, ConstantValue, Id, Instruction, Op, Type};
+
+use super::util::{analyze_use, cover_ids, insert_at, replacement_available};
+use crate::descriptor::{InstructionDescriptor, UseDescriptor};
+use crate::facts::DataDescriptor;
+use crate::Context;
+
+/// Inserts `fresh = OpCopyObject(source)`, recording that the copy is
+/// synonymous with its source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyObject {
+    /// Id for the copy.
+    pub fresh_id: Id,
+    /// The id being copied.
+    pub source: Id,
+    /// Where to insert the copy.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl CopyObject {
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_id]) {
+            return false;
+        }
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        ctx.insertion_ok(point)
+            && ctx.module.value_type(self.source).is_some()
+            && ctx.available_at(point, self.source)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        let ty = ctx.module.value_type(self.source).expect("precondition");
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::with_result(self.fresh_id, ty, Op::CopyObject { src: self.source }),
+        );
+        ctx.facts.add_synonym(
+            DataDescriptor::whole(self.fresh_id),
+            DataDescriptor::whole(self.source),
+        );
+        cover_ids(&mut ctx.module, &[self.fresh_id]);
+    }
+}
+
+/// Identity-style arithmetic used to manufacture a synonym.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithmeticIdentity {
+    /// `x + 0` on integers.
+    AddZero,
+    /// `x - 0` on integers.
+    SubZero,
+    /// `x * 1` on integers.
+    MulOne,
+    /// `x | false` on booleans.
+    OrFalse,
+    /// `x & true` on booleans.
+    AndTrue,
+}
+
+impl ArithmeticIdentity {
+    /// All identities, for enumeration by fuzzer passes.
+    pub const ALL: [ArithmeticIdentity; 5] = [
+        ArithmeticIdentity::AddZero,
+        ArithmeticIdentity::SubZero,
+        ArithmeticIdentity::MulOne,
+        ArithmeticIdentity::OrFalse,
+        ArithmeticIdentity::AndTrue,
+    ];
+
+    fn binop(self) -> BinOp {
+        match self {
+            ArithmeticIdentity::AddZero => BinOp::IAdd,
+            ArithmeticIdentity::SubZero => BinOp::ISub,
+            ArithmeticIdentity::MulOne => BinOp::IMul,
+            ArithmeticIdentity::OrFalse => BinOp::LogicalOr,
+            ArithmeticIdentity::AndTrue => BinOp::LogicalAnd,
+        }
+    }
+
+    fn operand_type(self) -> Type {
+        match self {
+            ArithmeticIdentity::AddZero
+            | ArithmeticIdentity::SubZero
+            | ArithmeticIdentity::MulOne => Type::Int,
+            ArithmeticIdentity::OrFalse | ArithmeticIdentity::AndTrue => Type::Bool,
+        }
+    }
+
+    fn identity_value(self) -> ConstantValue {
+        match self {
+            ArithmeticIdentity::AddZero | ArithmeticIdentity::SubZero => ConstantValue::Int(0),
+            ArithmeticIdentity::MulOne => ConstantValue::Int(1),
+            ArithmeticIdentity::OrFalse => ConstantValue::Bool(false),
+            ArithmeticIdentity::AndTrue => ConstantValue::Bool(true),
+        }
+    }
+}
+
+/// Inserts an identity operation (`x + 0`, `x * 1`, `x && true`, …) whose
+/// result is synonymous with `source`.
+///
+/// Only exact identities are used (integer and boolean); float "identities"
+/// are excluded because IEEE-754 breaks them on signed zeros and NaNs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddArithmeticSynonym {
+    /// Id for the identity operation's result.
+    pub fresh_id: Id,
+    /// The value the synonym mirrors.
+    pub source: Id,
+    /// Id of the identity-element constant (0, 1, `false` or `true`).
+    pub identity_constant: Id,
+    /// Which identity to use.
+    pub identity: ArithmeticIdentity,
+    /// Where to insert the operation.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl AddArithmeticSynonym {
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_id]) {
+            return false;
+        }
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        if !ctx.insertion_ok(point) || !ctx.available_at(point, self.source) {
+            return false;
+        }
+        let Some(source_ty) = ctx.module.value_type(self.source) else {
+            return false;
+        };
+        if ctx.module.type_of(source_ty) != Some(&self.identity.operand_type()) {
+            return false;
+        }
+        ctx.module
+            .constant(self.identity_constant)
+            .is_some_and(|c| c.ty == source_ty && c.value == self.identity.identity_value())
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        let ty = ctx.module.value_type(self.source).expect("precondition");
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::with_result(
+                self.fresh_id,
+                ty,
+                Op::Binary {
+                    op: self.identity.binop(),
+                    lhs: self.source,
+                    rhs: self.identity_constant,
+                },
+            ),
+        );
+        ctx.facts.add_synonym(
+            DataDescriptor::whole(self.fresh_id),
+            DataDescriptor::whole(self.source),
+        );
+        cover_ids(&mut ctx.module, &[self.fresh_id]);
+    }
+}
+
+/// Inserts an `OpCompositeConstruct`, recording a synonym between each
+/// component of the result and the constituent it was built from (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompositeConstruct {
+    /// Id for the constructed composite.
+    pub fresh_id: Id,
+    /// Id of the composite type to construct.
+    pub ty: Id,
+    /// Constituent ids, one per component.
+    pub parts: Vec<Id>,
+    /// Where to insert the construction.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl CompositeConstruct {
+    fn member_types(&self, ctx: &Context) -> Option<Vec<Id>> {
+        match ctx.module.type_of(self.ty)? {
+            Type::Vector { component, count } => Some(vec![*component; *count as usize]),
+            Type::Array { element, len } => Some(vec![*element; *len as usize]),
+            Type::Struct { members } => Some(members.clone()),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_id]) {
+            return false;
+        }
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        if !ctx.insertion_ok(point) {
+            return false;
+        }
+        let Some(member_types) = self.member_types(ctx) else {
+            return false;
+        };
+        member_types.len() == self.parts.len()
+            && self.parts.iter().zip(member_types).all(|(&p, want)| {
+                ctx.module.value_type(p) == Some(want) && ctx.available_at(point, p)
+            })
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::with_result(
+                self.fresh_id,
+                self.ty,
+                Op::CompositeConstruct { parts: self.parts.clone() },
+            ),
+        );
+        for (i, &part) in self.parts.iter().enumerate() {
+            ctx.facts.add_synonym(
+                DataDescriptor::at(self.fresh_id, vec![i as u32]),
+                DataDescriptor::whole(part),
+            );
+        }
+        cover_ids(&mut ctx.module, &[self.fresh_id]);
+    }
+}
+
+/// Inserts an `OpCompositeExtract`, recording a synonym between the result
+/// and the extracted component (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompositeExtract {
+    /// Id for the extracted value.
+    pub fresh_id: Id,
+    /// The composite being indexed.
+    pub composite: Id,
+    /// Literal index path.
+    pub indices: Vec<u32>,
+    /// Where to insert the extraction.
+    pub insert_before: InstructionDescriptor,
+}
+
+impl CompositeExtract {
+    fn result_type(&self, ctx: &Context) -> Option<Id> {
+        let mut ty = ctx.module.value_type(self.composite)?;
+        for &idx in &self.indices {
+            ty = match ctx.module.type_of(ty)? {
+                Type::Vector { component, count } => (idx < *count).then_some(*component)?,
+                Type::Array { element, len } => (idx < *len).then_some(*element)?,
+                Type::Struct { members } => members.get(idx as usize).copied()?,
+                _ => return None,
+            };
+        }
+        Some(ty)
+    }
+
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        if !ctx.fresh_and_distinct(&[self.fresh_id]) || self.indices.is_empty() {
+            return false;
+        }
+        let Some(point) = self.insert_before.resolve(&ctx.module) else {
+            return false;
+        };
+        ctx.insertion_ok(point)
+            && self.result_type(ctx).is_some()
+            && ctx.available_at(point, self.composite)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let point = self.insert_before.resolve(&ctx.module).expect("precondition");
+        let ty = self.result_type(ctx).expect("precondition");
+        insert_at(
+            &mut ctx.module,
+            point,
+            Instruction::with_result(
+                self.fresh_id,
+                ty,
+                Op::CompositeExtract {
+                    composite: self.composite,
+                    indices: self.indices.clone(),
+                },
+            ),
+        );
+        ctx.facts.add_synonym(
+            DataDescriptor::whole(self.fresh_id),
+            DataDescriptor::at(self.composite, self.indices.clone()),
+        );
+        cover_ids(&mut ctx.module, &[self.fresh_id]);
+    }
+}
+
+/// Replaces a use of an id with a known-synonymous id (§3.2's
+/// `ReplaceIdWithSynonym`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplaceIdWithSynonym {
+    /// The use being rewritten.
+    pub use_descriptor: UseDescriptor,
+    /// The synonymous id to substitute.
+    pub synonym: Id,
+}
+
+impl ReplaceIdWithSynonym {
+    pub(crate) fn precondition(&self, ctx: &Context) -> bool {
+        let Some((used, site)) = analyze_use(ctx, &self.use_descriptor) else {
+            return false;
+        };
+        used != self.synonym
+            && ctx.facts.are_synonymous(
+                &DataDescriptor::whole(used),
+                &DataDescriptor::whole(self.synonym),
+            )
+            && ctx.module.value_type(used) == ctx.module.value_type(self.synonym)
+            && replacement_available(ctx, site, self.synonym)
+    }
+
+    pub(crate) fn apply(&self, ctx: &mut Context) {
+        let replaced = self.use_descriptor.replace_with(&mut ctx.module, self.synonym);
+        debug_assert!(replaced, "use resolved in precondition");
+    }
+}

@@ -1,0 +1,1214 @@
+//! Behavioural tests for every transformation: each is applied to a concrete
+//! module, the module must stay valid, and — per Definition 2.4 — the
+//! execution result must be unchanged.
+
+use trx_core::transformations::*;
+use trx_core::{
+    apply, apply_sequence, Context, InstructionDescriptor, Transformation, UseDescriptor,
+};
+use trx_ir::validate::validate;
+use trx_ir::{
+    interp, ConstantValue, Execution, FunctionControl, Id, Inputs, ModuleBuilder, Op,
+    StorageClass, Terminator, Type, Value,
+};
+
+/// A seed module with arithmetic, a conditional diamond, a helper function
+/// call, and composites: enough surface for every transformation.
+///
+/// Returns the context plus ids useful to tests.
+struct Seed {
+    ctx: Context,
+    t_int: Id,
+    helper: Id,
+    /// Result id of the call to `helper` in main.
+    call_result: Id,
+    /// Result id of `sum` (an IAdd in the merge block).
+    sum: Id,
+    /// Labels: then-branch block of the diamond.
+    then_block: Id,
+    merge_block: Id,
+}
+
+fn seed() -> Seed {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let u = b.uniform("k", t_int);
+    let c1 = b.constant_int(1);
+    let c2 = b.constant_int(2);
+    let c10 = b.constant_int(10);
+
+    let mut h = b.begin_function(t_int, &[t_int]);
+    let p = h.param_ids()[0];
+    let tripled0 = h.iadd(t_int, p, p);
+    let tripled = h.iadd(t_int, tripled0, p);
+    h.ret_value(tripled);
+    let helper = h.finish();
+
+    let mut f = b.begin_entry_function("main");
+    let loaded = f.load(u);
+    let call_result = f.call(helper, vec![loaded]);
+    let cond = f.slt(call_result, c10);
+    let then_block = f.reserve_label();
+    let merge_block = f.reserve_label();
+    f.selection_merge(merge_block);
+    f.branch_cond(cond, then_block, merge_block);
+    f.begin_block_with_label(then_block);
+    let doubled = f.imul(t_int, call_result, c2);
+    f.branch(merge_block);
+    f.begin_block_with_label(merge_block);
+    let phi = f.phi(t_int, vec![(doubled, then_block), (c1, f.current_label())]);
+    // NOTE: the second incoming pred must be the *entry* block, fixed below.
+    let sum = f.iadd(t_int, phi, c1);
+    f.store_output("out", sum);
+    f.ret();
+    f.finish();
+    let mut module = b.finish();
+
+    // Fix the placeholder phi pred: the non-then edge comes from the entry
+    // block of main.
+    let main = module.functions.iter_mut().find(|f| f.id == module.entry_point).unwrap();
+    let entry_label = main.entry_label();
+    let mb = main.block_mut(merge_block).unwrap();
+    if let Op::Phi { incoming } = &mut mb.instructions[0].op {
+        incoming[1].1 = entry_label;
+    }
+
+    validate(&module).expect("seed must validate");
+    let inputs = Inputs::new().with("k", Value::Int(2));
+    let ctx = Context::new(module, inputs).unwrap();
+    Seed { ctx, t_int, helper, call_result, sum, then_block, merge_block }
+}
+
+fn run(ctx: &Context) -> Execution {
+    interp::execute(&ctx.module, &ctx.inputs).expect("execution must not fault")
+}
+
+/// Applies `t`, asserting the precondition held, the module stays valid, and
+/// semantics are preserved.
+fn check_preserves(ctx: &mut Context, t: impl Into<Transformation>) {
+    let t = t.into();
+    let before = run(ctx);
+    assert!(apply(ctx, &t), "precondition unexpectedly failed for {:?}", t.kind());
+    validate(&ctx.module).expect("module must stay valid");
+    let after = run(ctx);
+    assert_eq!(before, after, "{:?} changed semantics", t.kind());
+}
+
+fn fresh(ctx: &Context, n: u32) -> Id {
+    Id::new(ctx.module.id_bound + n)
+}
+
+#[test]
+fn seed_module_behaves() {
+    let s = seed();
+    // k = 2 -> helper(2) = 6 < 10 -> doubled = 12 -> sum = 13.
+    assert_eq!(run(&s.ctx).outputs["out"], Value::Int(13));
+}
+
+#[test]
+fn add_type_and_constant() {
+    let mut s = seed();
+    let t_vec = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType { fresh_id: t_vec, ty: Type::Vector { component: s.t_int, count: 3 } },
+    );
+    let c = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddConstant { fresh_id: c, ty: s.t_int, value: ConstantValue::Int(77) },
+    );
+    // Re-adding the same type or constant must fail the precondition.
+    let again = AddType {
+        fresh_id: fresh(&s.ctx, 0),
+        ty: Type::Vector { component: s.t_int, count: 3 },
+    };
+    assert!(!Transformation::from(again).precondition(&s.ctx));
+    let again = AddConstant {
+        fresh_id: fresh(&s.ctx, 0),
+        ty: s.t_int,
+        value: ConstantValue::Int(77),
+    };
+    assert!(!Transformation::from(again).precondition(&s.ctx));
+}
+
+#[test]
+fn add_global_and_local_variables() {
+    let mut s = seed();
+    // Pointer types must exist first (supporting-transformation chains).
+    let ptr_private = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: ptr_private,
+            ty: Type::Pointer { storage: StorageClass::Private, pointee: s.t_int },
+        },
+    );
+    let g = fresh(&s.ctx, 0);
+    check_preserves(&mut s.ctx, AddGlobalVariable { fresh_id: g, pointee: s.t_int });
+    assert!(s.ctx.facts.pointee_is_irrelevant(g));
+
+    let ptr_fn = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: ptr_fn,
+            ty: Type::Pointer { storage: StorageClass::Function, pointee: s.t_int },
+        },
+    );
+    let v = fresh(&s.ctx, 0);
+    let entry = s.ctx.module.entry_point;
+    check_preserves(&mut s.ctx, AddLocalVariable { fresh_id: v, function: entry, pointee: s.t_int });
+    assert!(s.ctx.facts.pointee_is_irrelevant(v));
+    // The variable landed in the entry block.
+    assert!(s.ctx.module.entry_function().entry_block().instructions[0].is_variable());
+}
+
+#[test]
+fn split_block_retargets_phis() {
+    let mut s = seed();
+    // Split main's entry block before the comparison (two instructions in:
+    // load, call, cond). Splitting before `cond` leaves load+call behind.
+    let new_block = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        SplitBlock {
+            position: InstructionDescriptor::after_result(s.call_result, 1),
+            fresh_block_id: new_block,
+        },
+    );
+    // The merge-block phi edge formerly from the entry must now come from
+    // the new block.
+    let main = s.ctx.module.entry_function();
+    let merge = main.block(s.merge_block).unwrap();
+    if let Op::Phi { incoming } = &merge.instructions[0].op {
+        assert!(incoming.iter().any(|(_, p)| *p == new_block));
+    } else {
+        panic!("expected phi");
+    }
+}
+
+#[test]
+fn split_block_rejects_phi_prefix() {
+    let s = seed();
+    let t = SplitBlock {
+        position: InstructionDescriptor::in_block(s.merge_block, 0),
+        fresh_block_id: fresh(&s.ctx, 0),
+    };
+    assert!(!Transformation::from(t).precondition(&s.ctx));
+    // ... but splitting right after the phi is fine.
+    let t = SplitBlock {
+        position: InstructionDescriptor::in_block(s.merge_block, 1),
+        fresh_block_id: fresh(&s.ctx, 0),
+    };
+    assert!(Transformation::from(t).precondition(&s.ctx));
+}
+
+/// Sets up a dead block in the seed's then-branch, returning its label.
+fn with_dead_block(s: &mut Seed) -> Id {
+    let c_true = fresh(&s.ctx, 0);
+    let t_bool = s.ctx.module.lookup_type(&Type::Bool).unwrap();
+    check_preserves(
+        &mut s.ctx,
+        AddConstant { fresh_id: c_true, ty: t_bool, value: ConstantValue::Bool(true) },
+    );
+    let dead = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddDeadBlock { fresh_block_id: dead, block: s.then_block, condition: c_true },
+    );
+    assert!(s.ctx.facts.block_is_dead(dead));
+    dead
+}
+
+#[test]
+fn add_dead_block_and_kill() {
+    let mut s = seed();
+    let dead = with_dead_block(&mut s);
+    // The dead block exists, is branched to under false, and the phi in the
+    // merge block gained an incoming edge for it.
+    let main = s.ctx.module.entry_function();
+    let merge = main.block(s.merge_block).unwrap();
+    if let Op::Phi { incoming } = &merge.instructions[0].op {
+        assert_eq!(incoming.len(), 3);
+    } else {
+        panic!("expected phi");
+    }
+    // A store in the dead block is allowed (Table 1's AddStore).
+    let out_global = s.ctx.module.interface.outputs[0].global;
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    check_preserves(
+        &mut s.ctx,
+        AddStore {
+            pointer: out_global,
+            value: c1,
+            insert_before: InstructionDescriptor::in_block(dead, 0),
+        },
+    );
+    // Replacing the dead block's branch with OpKill preserves semantics.
+    check_preserves(&mut s.ctx, ReplaceBranchWithKill { block: dead });
+    let main = s.ctx.module.entry_function();
+    assert_eq!(main.block(dead).unwrap().terminator, Terminator::Kill);
+}
+
+#[test]
+fn store_outside_dead_block_rejected() {
+    let mut s = seed();
+    let out_global = s.ctx.module.interface.outputs[0].global;
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    let t = AddStore {
+        pointer: out_global,
+        value: c1,
+        insert_before: InstructionDescriptor::of_result(s.sum),
+    };
+    assert!(!Transformation::from(t).precondition(&s.ctx));
+    // A store through an irrelevant pointee is fine anywhere, though.
+    let ptr_ty = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: ptr_ty,
+            ty: Type::Pointer { storage: StorageClass::Private, pointee: s.t_int },
+        },
+    );
+    let g = fresh(&s.ctx, 0);
+    check_preserves(&mut s.ctx, AddGlobalVariable { fresh_id: g, pointee: s.t_int });
+    check_preserves(
+        &mut s.ctx,
+        AddStore {
+            pointer: g,
+            value: c1,
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+}
+
+#[test]
+fn copy_object_and_synonym_replacement() {
+    let mut s = seed();
+    let copy = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        CopyObject {
+            fresh_id: copy,
+            source: s.call_result,
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+    // The copy cannot replace the use inside `doubled` (defined later, no
+    // domination)...
+    let main = s.ctx.module.entry_function();
+    let doubled = main
+        .block(s.then_block)
+        .unwrap()
+        .instructions
+        .iter()
+        .find_map(|i| i.result)
+        .unwrap();
+    let bad = ReplaceIdWithSynonym {
+        use_descriptor: UseDescriptor::Instruction {
+            target: InstructionDescriptor::of_result(doubled),
+            operand: 0,
+        },
+        synonym: copy,
+    };
+    assert!(!Transformation::from(bad).precondition(&s.ctx));
+
+    // ...so copy earlier instead and replace there.
+    let copy2 = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        CopyObject {
+            fresh_id: copy2,
+            source: s.call_result,
+            insert_before: InstructionDescriptor::in_block(s.then_block, 0),
+        },
+    );
+    check_preserves(
+        &mut s.ctx,
+        ReplaceIdWithSynonym {
+            use_descriptor: UseDescriptor::Instruction {
+                target: InstructionDescriptor::of_result(doubled),
+                operand: 0,
+            },
+            synonym: copy2,
+        },
+    );
+    let (_, inst) = s.ctx.module.find_result(doubled).unwrap();
+    assert!(inst.op.id_operands().contains(&copy2));
+}
+
+#[test]
+fn arithmetic_synonyms() {
+    let mut s = seed();
+    let c0 = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddConstant { fresh_id: c0, ty: s.t_int, value: ConstantValue::Int(0) },
+    );
+    let syn = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddArithmeticSynonym {
+            fresh_id: syn,
+            source: s.call_result,
+            identity_constant: c0,
+            identity: ArithmeticIdentity::AddZero,
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+    // Wrong identity constant rejected.
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    let bad = AddArithmeticSynonym {
+        fresh_id: fresh(&s.ctx, 0),
+        source: s.call_result,
+        identity_constant: c1,
+        identity: ArithmeticIdentity::AddZero,
+        insert_before: InstructionDescriptor::of_result(s.sum),
+    };
+    assert!(!Transformation::from(bad).precondition(&s.ctx));
+}
+
+#[test]
+fn composite_construct_extract_roundtrip() {
+    let mut s = seed();
+    let t_vec = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType { fresh_id: t_vec, ty: Type::Vector { component: s.t_int, count: 2 } },
+    );
+    // Find the comparison in main's entry block: it uses call_result.
+    let cond = s
+        .ctx
+        .module
+        .entry_function()
+        .entry_block()
+        .instructions
+        .iter()
+        .find(|i| matches!(i.op, Op::Binary { op: trx_ir::BinOp::SLessThan, .. }))
+        .and_then(|i| i.result)
+        .unwrap();
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    let vec_id = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        CompositeConstruct {
+            fresh_id: vec_id,
+            ty: t_vec,
+            parts: vec![s.call_result, c1],
+            insert_before: InstructionDescriptor::of_result(cond),
+        },
+    );
+    let extracted = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        CompositeExtract {
+            fresh_id: extracted,
+            composite: vec_id,
+            indices: vec![0],
+            insert_before: InstructionDescriptor::of_result(cond),
+        },
+    );
+    // construct[0] ~ call_result and extracted ~ construct[0], so extracted
+    // can replace the comparison's use of call_result.
+    check_preserves(
+        &mut s.ctx,
+        ReplaceIdWithSynonym {
+            use_descriptor: UseDescriptor::Instruction {
+                target: InstructionDescriptor::of_result(cond),
+                operand: 0,
+            },
+            synonym: extracted,
+        },
+    );
+    let (_, inst) = s.ctx.module.find_result(cond).unwrap();
+    assert!(inst.op.id_operands().contains(&extracted));
+}
+
+#[test]
+fn add_load_marks_irrelevant() {
+    let mut s = seed();
+    let ptr_ty = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: ptr_ty,
+            ty: Type::Pointer { storage: StorageClass::Private, pointee: s.t_int },
+        },
+    );
+    let g = fresh(&s.ctx, 0);
+    check_preserves(&mut s.ctx, AddGlobalVariable { fresh_id: g, pointee: s.t_int });
+    let loaded = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddLoad {
+            fresh_id: loaded,
+            pointer: g,
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+    assert!(s.ctx.facts.id_is_irrelevant(loaded));
+}
+
+#[test]
+fn add_parameter_and_replace_irrelevant_argument() {
+    let mut s = seed();
+    let param = fresh(&s.ctx, 0);
+    let fn_ty = fresh(&s.ctx, 1);
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    check_preserves(
+        &mut s.ctx,
+        AddParameter {
+            function: s.helper,
+            fresh_param_id: param,
+            param_ty: s.t_int,
+            argument: c1,
+            fresh_function_type_id: fn_ty,
+        },
+    );
+    assert!(s.ctx.facts.id_is_irrelevant(param));
+    let helper = s.ctx.module.function(s.helper).unwrap();
+    assert_eq!(helper.params.len(), 2);
+    // The call site now passes c1 as operand 2 (callee, original arg, new
+    // arg); replace it with something "interesting".
+    let c10 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(10)).unwrap();
+    check_preserves(
+        &mut s.ctx,
+        ReplaceIrrelevantId {
+            use_descriptor: UseDescriptor::Instruction {
+                target: InstructionDescriptor::of_result(s.call_result),
+                operand: 2,
+            },
+            replacement: c10,
+        },
+    );
+}
+
+#[test]
+fn entry_point_cannot_gain_parameters() {
+    let s = seed();
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    let t = AddParameter {
+        function: s.ctx.module.entry_point,
+        fresh_param_id: fresh(&s.ctx, 0),
+        param_ty: s.t_int,
+        argument: c1,
+        fresh_function_type_id: fresh(&s.ctx, 1),
+    };
+    assert!(!Transformation::from(t).precondition(&s.ctx));
+}
+
+/// Builds a livesafe donor payload in the context's id space.
+fn donor_payload(s: &mut Seed) -> AddFunction {
+    let bound = s.ctx.module.id_bound;
+    let mut ids = (bound..).map(Id::new);
+    let fn_ty = s
+        .ctx
+        .module
+        .lookup_type(&Type::Function { ret: s.t_int, params: vec![s.t_int] })
+        .expect("helper's type exists");
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    let fid = ids.next().unwrap();
+    let pid = ids.next().unwrap();
+    let label = ids.next().unwrap();
+    let r = ids.next().unwrap();
+    let function = trx_ir::Function {
+        id: fid,
+        ty: fn_ty,
+        control: FunctionControl::None,
+        params: vec![trx_ir::FunctionParam { id: pid, ty: s.t_int }],
+        blocks: vec![trx_ir::Block {
+            label,
+            instructions: vec![trx_ir::Instruction::with_result(
+                r,
+                s.t_int,
+                Op::Binary { op: trx_ir::BinOp::IAdd, lhs: pid, rhs: c1 },
+            )],
+            merge: None,
+            terminator: Terminator::ReturnValue { value: r },
+        }],
+    };
+    AddFunction { function, livesafe: true }
+}
+
+#[test]
+fn add_function_and_call_from_live_code() {
+    let mut s = seed();
+    let payload = donor_payload(&mut s);
+    let donor_id = payload.function.id;
+    check_preserves(&mut s.ctx, payload);
+    assert!(s.ctx.facts.function_is_live_safe(donor_id));
+
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    let call = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        FunctionCall {
+            fresh_id: call,
+            callee: donor_id,
+            args: vec![c1],
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+    assert!(s.ctx.facts.id_is_irrelevant(call));
+}
+
+#[test]
+fn non_livesafe_function_callable_only_from_dead_blocks() {
+    let mut s = seed();
+    let mut payload = donor_payload(&mut s);
+    payload.livesafe = false;
+    let donor_id = payload.function.id;
+    check_preserves(&mut s.ctx, payload);
+
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    // From live code: rejected.
+    let live_call = FunctionCall {
+        fresh_id: fresh(&s.ctx, 0),
+        callee: donor_id,
+        args: vec![c1],
+        insert_before: InstructionDescriptor::of_result(s.sum),
+    };
+    assert!(!Transformation::from(live_call).precondition(&s.ctx));
+    // From a dead block: fine.
+    let dead = with_dead_block(&mut s);
+    let call_id = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        FunctionCall {
+            fresh_id: call_id,
+            callee: donor_id,
+            args: vec![c1],
+            insert_before: InstructionDescriptor::in_block(dead, 0),
+        },
+    );
+}
+
+#[test]
+fn inline_function_preserves_semantics() {
+    let mut s = seed();
+    let helper = s.ctx.module.function(s.helper).unwrap();
+    let mut old_ids: Vec<Id> = helper.blocks.iter().map(|b| b.label).collect();
+    old_ids.extend(
+        helper
+            .blocks
+            .iter()
+            .flat_map(|b| b.instructions.iter().filter_map(|i| i.result)),
+    );
+    let bound = s.ctx.module.id_bound;
+    let id_map: Vec<(Id, Id)> = old_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &old)| (old, Id::new(bound + i as u32)))
+        .collect();
+    let ret_block_id = Id::new(bound + old_ids.len() as u32);
+    check_preserves(
+        &mut s.ctx,
+        InlineFunction { call_result: s.call_result, ret_block_id, id_map },
+    );
+    // The call is gone from main; the helper function remains.
+    let main = s.ctx.module.entry_function();
+    let calls: usize = main
+        .instructions()
+        .filter(|i| matches!(i.op, Op::Call { .. }))
+        .count();
+    assert_eq!(calls, 0);
+    assert!(s.ctx.module.function(s.helper).is_some());
+}
+
+#[test]
+fn set_function_control_dont_inline() {
+    let mut s = seed();
+    check_preserves(
+        &mut s.ctx,
+        SetFunctionControl { function: s.helper, control: FunctionControl::DontInline },
+    );
+    assert_eq!(
+        s.ctx.module.function(s.helper).unwrap().control,
+        FunctionControl::DontInline
+    );
+    // Setting the same control again is a no-op and fails the precondition.
+    let t = SetFunctionControl { function: s.helper, control: FunctionControl::DontInline };
+    assert!(!Transformation::from(t).precondition(&s.ctx));
+}
+
+#[test]
+fn move_block_down_respects_dominance() {
+    let mut s = seed();
+    // then_block -> merge_block order: then_block dominates nothing below it
+    // except itself; moving it down past merge_block would put a dominator
+    // question at stake. The merge block is dominated by the entry, not by
+    // then_block, so the swap is legal.
+    check_preserves(&mut s.ctx, MoveBlockDown { block: s.then_block });
+    // Entry can never move.
+    let entry_label = s.ctx.module.entry_function().entry_label();
+    let t = MoveBlockDown { block: entry_label };
+    assert!(!Transformation::from(t).precondition(&s.ctx));
+}
+
+#[test]
+fn propagate_instruction_up_builds_phi() {
+    let mut s = seed();
+    // The merge block's first non-phi instruction is `sum = phi + 1`, and
+    // `phi` is a phi of the block: propagation substitutes per-pred values,
+    // the Figure 8a pattern.
+    let preds = s.ctx.module.entry_function().predecessors(s.merge_block);
+    assert_eq!(preds.len(), 2);
+    let bound = s.ctx.module.id_bound;
+    let fresh_ids: Vec<(Id, Id)> = preds
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, Id::new(bound + i as u32)))
+        .collect();
+    check_preserves(
+        &mut s.ctx,
+        PropagateInstructionUp { block: s.merge_block, fresh_ids },
+    );
+    // `sum` is now a phi.
+    let (_, inst) = s.ctx.module.find_result(s.sum).unwrap();
+    assert!(matches!(inst.op, Op::Phi { .. }));
+}
+
+#[test]
+fn wrap_region_in_selection_both_forms() {
+    for form in [SelectionForm::Then, SelectionForm::Else] {
+        let mut s = seed();
+        let t_bool = s.ctx.module.lookup_type(&Type::Bool).unwrap();
+        let c = fresh(&s.ctx, 0);
+        let value = ConstantValue::Bool(matches!(form, SelectionForm::Then));
+        check_preserves(&mut s.ctx, AddConstant { fresh_id: c, ty: t_bool, value });
+        // `doubled` (defined in then_block) is used by the merge-block phi,
+        // so it must be routed through an escape patch.
+        let main = s.ctx.module.entry_function();
+        let doubled = main
+            .block(s.then_block)
+            .unwrap()
+            .instructions
+            .iter()
+            .find_map(|i| i.result)
+            .unwrap();
+        let header = fresh(&s.ctx, 0);
+        let merge = fresh(&s.ctx, 1);
+        let escape =
+            EscapePatch { def: doubled, fresh_undef: fresh(&s.ctx, 2), fresh_phi: fresh(&s.ctx, 3) };
+        check_preserves(
+            &mut s.ctx,
+            WrapRegionInSelection {
+                block: s.then_block,
+                form,
+                condition: c,
+                fresh_header_id: header,
+                fresh_merge_id: merge,
+                escapes: vec![escape],
+            },
+        );
+        let main = s.ctx.module.entry_function();
+        assert!(main.block(header).is_some());
+        assert!(main.block(merge).is_some());
+        // Missing escapes are rejected.
+        let t = WrapRegionInSelection {
+            block: s.merge_block,
+            form,
+            condition: c,
+            fresh_header_id: fresh(&s.ctx, 0),
+            fresh_merge_id: fresh(&s.ctx, 1),
+            escapes: vec![],
+        };
+        // merge_block has phis, so it is rejected for that reason too.
+        assert!(!Transformation::from(t).precondition(&s.ctx));
+    }
+}
+
+#[test]
+fn swap_commutative_operands() {
+    let mut s = seed();
+    check_preserves(&mut s.ctx, SwapCommutativeOperands { instruction: s.sum });
+    // Comparisons like SLessThan are not commutative.
+    let main = s.ctx.module.entry_function();
+    let cond = main
+        .entry_block()
+        .instructions
+        .iter()
+        .find(|i| matches!(i.op, Op::Binary { op: trx_ir::BinOp::SLessThan, .. }))
+        .and_then(|i| i.result)
+        .unwrap();
+    let t = SwapCommutativeOperands { instruction: cond };
+    assert!(!Transformation::from(t).precondition(&s.ctx));
+}
+
+#[test]
+fn invert_conditional_branch() {
+    let mut s = seed();
+    let entry_label = s.ctx.module.entry_function().entry_label();
+    let not1 = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        InvertConditionalBranch { block: entry_label, fresh_not_id: not1 },
+    );
+    // Applying twice (with another fresh id) still preserves semantics.
+    let not2 = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        InvertConditionalBranch { block: entry_label, fresh_not_id: not2 },
+    );
+}
+
+#[test]
+fn replace_constant_with_uniform() {
+    let mut s = seed();
+    // The constant 2 in `doubled = call_result * 2` equals uniform "k" = 2.
+    let uniform = s.ctx.module.interface.uniforms[0].global;
+    let main = s.ctx.module.entry_function();
+    let doubled = main
+        .block(s.then_block)
+        .unwrap()
+        .instructions
+        .iter()
+        .find_map(|i| i.result)
+        .unwrap();
+    let load_id = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        ReplaceConstantWithUniform {
+            use_descriptor: UseDescriptor::Instruction {
+                target: InstructionDescriptor::of_result(doubled),
+                operand: 1,
+            },
+            uniform,
+            fresh_load_id: load_id,
+        },
+    );
+    // Mismatched value rejected: constant 10 != uniform k = 2.
+    let cond_use = UseDescriptor::Terminator {
+        block: s.ctx.module.entry_function().entry_label(),
+        operand: 0,
+    };
+    let t = ReplaceConstantWithUniform {
+        use_descriptor: cond_use,
+        uniform,
+        fresh_load_id: fresh(&s.ctx, 0),
+    };
+    assert!(!Transformation::from(t).precondition(&s.ctx));
+}
+
+#[test]
+fn sequence_application_skips_failed_preconditions() {
+    let mut s = seed();
+    let dead_without_constant = AddDeadBlock {
+        fresh_block_id: fresh(&s.ctx, 0),
+        block: s.then_block,
+        // No true constant exists yet, so this cannot apply.
+        condition: fresh(&s.ctx, 1),
+    };
+    let control: Transformation =
+        SetFunctionControl { function: s.helper, control: FunctionControl::Inline }.into();
+    let before = run(&s.ctx);
+    let applied = apply_sequence(
+        &mut s.ctx,
+        &[dead_without_constant.into(), control],
+    );
+    assert_eq!(applied, vec![false, true]);
+    assert_eq!(before, run(&s.ctx));
+}
+
+#[test]
+fn transformations_serialize_round_trip() {
+    let s = seed();
+    let ts: Vec<Transformation> = vec![
+        SetFunctionControl { function: s.helper, control: FunctionControl::DontInline }.into(),
+        MoveBlockDown { block: s.then_block }.into(),
+        CopyObject {
+            fresh_id: fresh(&s.ctx, 0),
+            source: s.call_result,
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        }
+        .into(),
+    ];
+    let json = serde_json::to_string(&ts).unwrap();
+    let back: Vec<Transformation> = serde_json::from_str(&json).unwrap();
+    assert_eq!(ts, back);
+}
+
+#[test]
+fn add_access_chain_into_nested_composite() {
+    let mut s = seed();
+    // Build array<vec3<int>, 2> and a private global of that type.
+    let t_vec = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType { fresh_id: t_vec, ty: Type::Vector { component: s.t_int, count: 3 } },
+    );
+    let t_arr = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType { fresh_id: t_arr, ty: Type::Array { element: t_vec, len: 2 } },
+    );
+    let t_ptr_arr = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: t_ptr_arr,
+            ty: Type::Pointer { storage: StorageClass::Private, pointee: t_arr },
+        },
+    );
+    let g = fresh(&s.ctx, 0);
+    check_preserves(&mut s.ctx, AddGlobalVariable { fresh_id: g, pointee: t_arr });
+
+    let c0 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(0));
+    let c0 = match c0 {
+        Some(c) => c,
+        None => {
+            let id = fresh(&s.ctx, 0);
+            check_preserves(
+                &mut s.ctx,
+                AddConstant { fresh_id: id, ty: s.t_int, value: ConstantValue::Int(0) },
+            );
+            id
+        }
+    };
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    // The depth-2 result pointer type must exist first.
+    let t_ptr_int = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: t_ptr_int,
+            ty: Type::Pointer { storage: StorageClass::Private, pointee: s.t_int },
+        },
+    );
+    let chain = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddAccessChain {
+            fresh_id: chain,
+            base: g,
+            indices: vec![c0, c1],
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+    // The chained pointer inherits irrelevance; loads and stores through it
+    // stay legal anywhere.
+    assert!(s.ctx.facts.pointee_is_irrelevant(chain));
+    check_preserves(
+        &mut s.ctx,
+        AddStore {
+            pointer: chain,
+            value: c1,
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+    // Out-of-range index rejected.
+    let c9 = {
+        let id = fresh(&s.ctx, 0);
+        check_preserves(
+            &mut s.ctx,
+            AddConstant { fresh_id: id, ty: s.t_int, value: ConstantValue::Int(9) },
+        );
+        id
+    };
+    let bad = AddAccessChain {
+        fresh_id: fresh(&s.ctx, 0),
+        base: g,
+        indices: vec![c9],
+        insert_before: InstructionDescriptor::of_result(s.sum),
+    };
+    assert!(!Transformation::from(bad).precondition(&s.ctx));
+}
+
+/// Builds a loop-bearing function payload with a §3.2-style iteration
+/// limiter; `sabotage` lets tests break the pattern in specific ways.
+fn limited_loop_payload(s: &Seed, sabotage: &str) -> AddFunction {
+    use trx_ir::{BinOp, Block, Function, FunctionParam, Instruction, Merge};
+    let m = &s.ctx.module;
+    let t_int = s.t_int;
+    let t_bool = m.lookup_type(&Type::Bool).expect("bool exists");
+    let t_ptr = m
+        .lookup_type(&Type::Pointer { storage: StorageClass::Function, pointee: t_int })
+        .expect("pointer type interned by caller");
+    let c0 = m.lookup_constant(t_int, &ConstantValue::Int(0)).expect("0");
+    let c1 = m.lookup_constant(t_int, &ConstantValue::Int(1)).expect("1");
+    let c8 = m.lookup_constant(t_int, &ConstantValue::Int(8)).expect("8");
+    let fn_ty = m
+        .lookup_type(&Type::Function { ret: t_int, params: vec![t_int] })
+        .expect("helper type exists");
+
+    let mut next = m.id_bound;
+    let mut id = || {
+        let v = Id::new(next);
+        next += 1;
+        v
+    };
+    let (fid, pid) = (id(), id());
+    let (entry, header, body, cont, merge) = (id(), id(), id(), id(), id());
+    let (counter, i_phi, acc_phi, ld, inc, cmp, cond, conj, acc2, i2) =
+        (id(), id(), id(), id(), id(), id(), id(), id(), id(), id());
+
+    let mut header_instructions = vec![
+        Instruction::with_result(i_phi, t_int, Op::Phi {
+            incoming: vec![(c0, entry), (i2, cont)],
+        }),
+        Instruction::with_result(acc_phi, t_int, Op::Phi {
+            incoming: vec![(c0, entry), (acc2, cont)],
+        }),
+        Instruction::with_result(ld, t_int, Op::Load { pointer: counter }),
+        Instruction::with_result(inc, t_int, Op::Binary {
+            op: BinOp::IAdd,
+            lhs: ld,
+            rhs: c1,
+        }),
+        Instruction::without_result(Op::Store { pointer: counter, value: inc }),
+        Instruction::with_result(cmp, t_bool, Op::Binary {
+            op: BinOp::SLessThan,
+            lhs: ld,
+            rhs: c8,
+        }),
+        Instruction::with_result(cond, t_bool, Op::Binary {
+            op: BinOp::SLessThan,
+            lhs: i_phi,
+            rhs: pid,
+        }),
+        Instruction::with_result(conj, t_bool, Op::Binary {
+            op: BinOp::LogicalAnd,
+            lhs: cond,
+            rhs: cmp,
+        }),
+    ];
+    match sabotage {
+        "drop-store" => {
+            header_instructions.retain(|i| !matches!(i.op, Op::Store { .. }));
+        }
+        "skip-limiter-in-branch" => {
+            // Branch on the raw condition: the limiter no longer gates the
+            // loop.
+            header_instructions.pop();
+        }
+        _ => {}
+    }
+    let branch_cond = if sabotage == "skip-limiter-in-branch" { cond } else { conj };
+
+    let function = Function {
+        id: fid,
+        ty: fn_ty,
+        control: FunctionControl::None,
+        params: vec![FunctionParam { id: pid, ty: t_int }],
+        blocks: vec![
+            Block {
+                label: entry,
+                instructions: vec![Instruction::with_result(
+                    counter,
+                    t_ptr,
+                    Op::Variable { storage: StorageClass::Function, initializer: None },
+                )],
+                merge: None,
+                terminator: Terminator::Branch { target: header },
+            },
+            Block {
+                label: header,
+                instructions: header_instructions,
+                merge: Some(Merge::Loop { merge, cont }),
+                terminator: Terminator::BranchConditional {
+                    cond: branch_cond,
+                    true_target: body,
+                    false_target: merge,
+                },
+            },
+            Block {
+                label: body,
+                instructions: vec![Instruction::with_result(acc2, t_int, Op::Binary {
+                    op: BinOp::IAdd,
+                    lhs: acc_phi,
+                    rhs: c1,
+                })],
+                merge: None,
+                terminator: Terminator::Branch { target: cont },
+            },
+            Block {
+                label: cont,
+                instructions: vec![Instruction::with_result(i2, t_int, Op::Binary {
+                    op: BinOp::IAdd,
+                    lhs: i_phi,
+                    rhs: c1,
+                })],
+                merge: None,
+                terminator: Terminator::Branch { target: header },
+            },
+            Block {
+                label: merge,
+                instructions: vec![],
+                merge: None,
+                terminator: Terminator::ReturnValue { value: acc_phi },
+            },
+        ],
+    };
+    AddFunction { function, livesafe: true }
+}
+
+fn seed_with_limiter_prereqs() -> Seed {
+    let mut s = seed();
+    let ptr = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: ptr,
+            ty: Type::Pointer { storage: StorageClass::Function, pointee: s.t_int },
+        },
+    );
+    for value in [0, 8] {
+        if s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(value)).is_none() {
+            let id = fresh(&s.ctx, 0);
+            check_preserves(
+                &mut s.ctx,
+                AddConstant { fresh_id: id, ty: s.t_int, value: ConstantValue::Int(value) },
+            );
+        }
+    }
+    s
+}
+
+#[test]
+fn limited_loops_are_accepted_as_livesafe() {
+    let mut s = seed_with_limiter_prereqs();
+    let payload = limited_loop_payload(&s, "none");
+    check_preserves(&mut s.ctx, payload.clone());
+    assert!(s.ctx.facts.function_is_live_safe(payload.function.id));
+    // And calling it from live code terminates with semantics preserved.
+    let c1 = s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(1)).unwrap();
+    let call_id = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        FunctionCall {
+            fresh_id: call_id,
+            callee: payload.function.id,
+            args: vec![c1],
+            insert_before: InstructionDescriptor::of_result(s.sum),
+        },
+    );
+}
+
+#[test]
+fn unlimited_loops_are_rejected_as_livesafe() {
+    let s = seed_with_limiter_prereqs();
+    for sabotage in ["drop-store", "skip-limiter-in-branch"] {
+        let payload = limited_loop_payload(&s, sabotage);
+        assert!(
+            !Transformation::from(payload).precondition(&s.ctx),
+            "sabotage {sabotage:?} must fail the live-safe precondition"
+        );
+    }
+}
+
+#[test]
+fn sabotaged_loops_still_addable_as_non_livesafe() {
+    let mut s = seed_with_limiter_prereqs();
+    let mut payload = limited_loop_payload(&s, "skip-limiter-in-branch");
+    payload.livesafe = false;
+    check_preserves(&mut s.ctx, payload);
+}
+
+/// Regression: wrapping a block whose *pointer-typed* definition escapes
+/// must be rejected — the escape patch would need a pointer phi and a
+/// pointer `OpUndef`, which logical addressing (and the validator) forbid.
+/// Found by the workspace property tests.
+#[test]
+fn wrap_region_rejects_pointer_escapes() {
+    let mut s = seed();
+    // Build: a block defining an AccessChain pointer used in a later block.
+    let t_bool = s.ctx.module.lookup_type(&Type::Bool).unwrap();
+    let c_true = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddConstant { fresh_id: c_true, ty: t_bool, value: ConstantValue::Bool(true) },
+    );
+    let t_vec = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType { fresh_id: t_vec, ty: Type::Vector { component: s.t_int, count: 2 } },
+    );
+    let t_ptr_vec = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: t_ptr_vec,
+            ty: Type::Pointer { storage: StorageClass::Private, pointee: t_vec },
+        },
+    );
+    let t_ptr_int = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddType {
+            fresh_id: t_ptr_int,
+            ty: Type::Pointer { storage: StorageClass::Private, pointee: s.t_int },
+        },
+    );
+    let g = fresh(&s.ctx, 0);
+    check_preserves(&mut s.ctx, AddGlobalVariable { fresh_id: g, pointee: t_vec });
+    let c0 = match s.ctx.module.lookup_constant(s.t_int, &ConstantValue::Int(0)) {
+        Some(c) => c,
+        None => {
+            let id = fresh(&s.ctx, 0);
+            check_preserves(
+                &mut s.ctx,
+                AddConstant { fresh_id: id, ty: s.t_int, value: ConstantValue::Int(0) },
+            );
+            id
+        }
+    };
+    // Pointer defined in then_block...
+    let chain = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddAccessChain {
+            fresh_id: chain,
+            base: g,
+            indices: vec![c0],
+            insert_before: InstructionDescriptor::in_block(s.then_block, 0),
+        },
+    );
+    // ...with a use in the merge block? Loads would need domination; the
+    // then_block dominates nothing outside itself here, so instead split
+    // the block after the chain: the tail block's load makes the pointer
+    // escape the *original* block when we try to wrap it.
+    let tail = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        SplitBlock {
+            position: InstructionDescriptor::after_result(chain, 1),
+            fresh_block_id: tail,
+        },
+    );
+    let loaded = fresh(&s.ctx, 0);
+    check_preserves(
+        &mut s.ctx,
+        AddLoad {
+            fresh_id: loaded,
+            pointer: chain,
+            insert_before: InstructionDescriptor::in_block(tail, 0),
+        },
+    );
+    // Wrapping then_block (which now ends in Branch{tail}) must fail: the
+    // escaping def `chain` is a pointer.
+    let function = s.ctx.module.entry_function();
+    let escaping = WrapRegionInSelection::escaping_defs(function, s.then_block);
+    assert!(escaping.contains(&chain), "the pointer escapes");
+    let bound = s.ctx.module.id_bound;
+    let wrap = WrapRegionInSelection {
+        block: s.then_block,
+        form: SelectionForm::Then,
+        condition: c_true,
+        fresh_header_id: Id::new(bound),
+        fresh_merge_id: Id::new(bound + 1),
+        escapes: escaping
+            .into_iter()
+            .enumerate()
+            .map(|(i, def)| EscapePatch {
+                def,
+                fresh_undef: Id::new(bound + 2 + 2 * i as u32),
+                fresh_phi: Id::new(bound + 3 + 2 * i as u32),
+            })
+            .collect(),
+    };
+    assert!(
+        !Transformation::from(wrap).precondition(&s.ctx),
+        "pointer escapes must be rejected (no pointer phis under logical addressing)"
+    );
+}

@@ -1,0 +1,201 @@
+//! # trx-dedup
+//!
+//! Test-case deduplication "almost for free" (§2.1, §3.5, Figure 6).
+//!
+//! Given a set of *reduced* test cases, each characterised by the set of
+//! transformation types in its minimized sequence, the algorithm greedily
+//! selects tests whose type sets are pairwise disjoint, preferring tests
+//! with fewer types:
+//!
+//! ```text
+//! ToInvestigate <- {}
+//! i <- 1
+//! while Tests != {}:
+//!     if exists t in Tests with |types(t)| == i:
+//!         ToInvestigate <- ToInvestigate + {t}
+//!         Tests <- { t' in Tests | types(t) ∩ types(t') == {} }
+//!     else:
+//!         i <- i + 1
+//! ```
+//!
+//! Per §3.5, a fixed list of *supporting* transformation types is ignored
+//! when computing `types(t)`: declaration helpers, `SplitBlock`,
+//! `AddFunction` (enablers for other transformations) and
+//! `ReplaceIdWithSynonym` (which "reaps the benefits of prior
+//! transformations but is not interesting in isolation").
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+use trx_core::{Transformation, TransformationKind};
+
+/// The set of transformation types characterising a reduced test, with
+/// supporting types removed (§3.5).
+#[must_use]
+pub fn interesting_types(sequence: &[Transformation]) -> BTreeSet<TransformationKind> {
+    sequence
+        .iter()
+        .map(Transformation::kind)
+        .filter(|k| !k.is_supporting())
+        .collect()
+}
+
+/// The raw set of transformation types, ignore list disabled — the ablation
+/// arm for evaluating the §3.5 refinement.
+#[must_use]
+pub fn all_types(sequence: &[Transformation]) -> BTreeSet<TransformationKind> {
+    sequence.iter().map(Transformation::kind).collect()
+}
+
+/// Runs the Figure 6 algorithm over pre-computed type sets, returning the
+/// indices of the tests recommended for manual investigation, in selection
+/// order.
+///
+/// Tests whose (filtered) type set is empty are never recommended: they
+/// consist solely of supporting transformations and carry no signal.
+/// Ties at the same cardinality are broken by index, making the result
+/// deterministic.
+#[must_use]
+pub fn deduplicate_sets(type_sets: &[BTreeSet<TransformationKind>]) -> Vec<usize> {
+    let mut to_investigate = Vec::new();
+    let mut remaining: Vec<usize> = (0..type_sets.len())
+        .filter(|&i| !type_sets[i].is_empty())
+        .collect();
+    let mut cardinality = 1;
+    while !remaining.is_empty() {
+        match remaining
+            .iter()
+            .copied()
+            .find(|&i| type_sets[i].len() == cardinality)
+        {
+            Some(chosen) => {
+                to_investigate.push(chosen);
+                let chosen_types = &type_sets[chosen];
+                remaining.retain(|&i| type_sets[i].is_disjoint(chosen_types));
+            }
+            None => cardinality += 1,
+        }
+    }
+    to_investigate
+}
+
+/// Convenience wrapper: deduplicates reduced transformation sequences
+/// directly.
+#[must_use]
+pub fn deduplicate(sequences: &[Vec<Transformation>]) -> Vec<usize> {
+    let sets: Vec<BTreeSet<TransformationKind>> = sequences
+        .iter()
+        .map(|s| interesting_types(s))
+        .collect();
+    deduplicate_sets(&sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TransformationKind as K;
+
+    fn set(kinds: &[K]) -> BTreeSet<K> {
+        kinds.iter().copied().collect()
+    }
+
+    #[test]
+    fn selected_tests_have_disjoint_types() {
+        let sets = vec![
+            set(&[K::AddDeadBlock, K::MoveBlockDown]),
+            set(&[K::AddDeadBlock]),
+            set(&[K::CopyObject]),
+            set(&[K::MoveBlockDown, K::CopyObject]),
+            set(&[K::FunctionCall, K::InlineFunction]),
+        ];
+        let picked = deduplicate_sets(&sets);
+        for (a_pos, &a) in picked.iter().enumerate() {
+            for &b in &picked[a_pos + 1..] {
+                assert!(
+                    sets[a].is_disjoint(&sets[b]),
+                    "tests {a} and {b} share a type"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_type_sets_preferred() {
+        let sets = vec![
+            set(&[K::AddDeadBlock, K::MoveBlockDown, K::CopyObject]),
+            set(&[K::AddDeadBlock]),
+        ];
+        let picked = deduplicate_sets(&sets);
+        // The singleton is picked first; the triple overlaps and is dropped.
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn paper_scenario_from_section_2_1() {
+        // 35 reports with {SplitBlock(support), AddDeadBlock, ChangeRHS-like},
+        // 42 with {AddStore, AddLoad}, 23 with >= four of five types.
+        // Modelled here with our kinds: set A uses {AddDeadBlock,
+        // ReplaceConstantWithUniform}, set B uses {AddStore, AddLoad}, the
+        // rest use four+ kinds spanning both. Expect one report from A and
+        // one from B.
+        let a = set(&[K::AddDeadBlock, K::ReplaceConstantWithUniform]);
+        let b = set(&[K::AddStore, K::AddLoad]);
+        let big = set(&[
+            K::AddDeadBlock,
+            K::ReplaceConstantWithUniform,
+            K::AddStore,
+            K::AddLoad,
+        ]);
+        let mut sets = Vec::new();
+        for _ in 0..35 {
+            sets.push(a.clone());
+        }
+        for _ in 0..42 {
+            sets.push(b.clone());
+        }
+        for _ in 0..23 {
+            sets.push(big.clone());
+        }
+        let picked = deduplicate_sets(&sets);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(sets[picked[0]], a);
+        assert_eq!(sets[picked[1]], b);
+    }
+
+    #[test]
+    fn supporting_only_tests_never_recommended() {
+        let sets = vec![BTreeSet::new(), set(&[K::AddDeadBlock])];
+        assert_eq!(deduplicate_sets(&sets), vec![1]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(deduplicate_sets(&[]).is_empty());
+        assert!(deduplicate(&[]).is_empty());
+    }
+
+    #[test]
+    fn interesting_types_filters_supporting_kinds() {
+        use trx_core::transformations::{AddType, SetFunctionControl};
+        use trx_ir::{FunctionControl, Id, Type};
+        let seq: Vec<Transformation> = vec![
+            AddType { fresh_id: Id::new(100), ty: Type::Int }.into(),
+            SetFunctionControl {
+                function: Id::new(1),
+                control: FunctionControl::DontInline,
+            }
+            .into(),
+        ];
+        let types = interesting_types(&seq);
+        assert_eq!(types, set(&[K::SetFunctionControl]));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let sets = vec![set(&[K::CopyObject]), set(&[K::AddLoad])];
+        // Both singletons are disjoint; both get picked, lowest index first.
+        assert_eq!(deduplicate_sets(&sets), vec![0, 1]);
+    }
+}

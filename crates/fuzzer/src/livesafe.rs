@@ -1,0 +1,165 @@
+//! Loop-limiter instrumentation (§3.2): "AddFunction can be configured to
+//! make its function live-safe by ... truncating loops via an iteration
+//! limit".
+//!
+//! [`instrument_loops`] rewrites each loop header of a donor function so a
+//! per-loop counter variable caps its iterations. The resulting shape is
+//! exactly the pattern `AddFunction`'s live-safe precondition recognizes, so
+//! the instrumented payload can be added with `livesafe: true` and called
+//! from live code. The instrumented function's own result may differ from
+//! the donor's — that is fine: live-safe call results are recorded
+//! `Irrelevant` and never given relevant uses.
+
+use trx_ir::{
+    BinOp, Function, Id, Instruction, Merge, Op, StorageClass, Terminator,
+};
+
+/// Module-level ids the instrumentation needs; the caller interns them (via
+/// supporting transformations) before building the payload.
+#[derive(Debug, Clone, Copy)]
+pub struct LimiterIds {
+    /// The 32-bit int type.
+    pub t_int: Id,
+    /// The bool type.
+    pub t_bool: Id,
+    /// `Pointer { Function, int }`.
+    pub t_ptr_int: Id,
+    /// Integer constant 1.
+    pub one: Id,
+    /// The iteration bound (a positive integer constant).
+    pub limit: Id,
+}
+
+/// The default iteration bound, matching the spirit of spirv-fuzz's loop
+/// limiters: small enough to terminate fast, large enough to exercise the
+/// loop.
+pub const DEFAULT_LOOP_LIMIT: i32 = 8;
+
+/// Instruments every loop of `function` with an iteration limiter, drawing
+/// fresh ids from `fresh`.
+///
+/// Returns `None` when the function contains a loop shape the limiter
+/// cannot handle: a back-edge header without a `Loop` merge annotation, or
+/// whose conditional branch does not exit to its merge block on the false
+/// arm (the shape every structured emitter, including this workspace's
+/// builders, produces).
+pub fn instrument_loops(
+    function: &Function,
+    ids: &LimiterIds,
+    mut fresh: impl FnMut() -> Id,
+) -> Option<Function> {
+    let headers = back_edge_headers(function);
+    if headers.is_empty() {
+        return Some(function.clone());
+    }
+    let mut out = function.clone();
+    for header in headers {
+        let block = out.block_mut(header)?;
+        let Some(Merge::Loop { merge, .. }) = block.merge else {
+            return None;
+        };
+        let Terminator::BranchConditional { cond, true_target, false_target } =
+            block.terminator
+        else {
+            return None;
+        };
+        if false_target != merge || true_target == merge {
+            return None;
+        }
+
+        // Counter quadruple right after the phi prefix.
+        let counter = fresh();
+        let ld = fresh();
+        let inc = fresh();
+        let cmp = fresh();
+        let conjoined = fresh();
+        let at = block.phi_count();
+        block.instructions.splice(
+            at..at,
+            [
+                Instruction::with_result(ld, ids.t_int, Op::Load { pointer: counter }),
+                Instruction::with_result(
+                    inc,
+                    ids.t_int,
+                    Op::Binary { op: BinOp::IAdd, lhs: ld, rhs: ids.one },
+                ),
+                Instruction::without_result(Op::Store { pointer: counter, value: inc }),
+                Instruction::with_result(
+                    cmp,
+                    ids.t_bool,
+                    Op::Binary { op: BinOp::SLessThan, lhs: ld, rhs: ids.limit },
+                ),
+            ],
+        );
+        // Conjoin the limiter with the original condition at the end of the
+        // header, and branch on the conjunction.
+        block.instructions.push(Instruction::with_result(
+            conjoined,
+            ids.t_bool,
+            Op::Binary { op: BinOp::LogicalAnd, lhs: cond, rhs: cmp },
+        ));
+        block.terminator = Terminator::BranchConditional {
+            cond: conjoined,
+            true_target,
+            false_target,
+        };
+        // Declare the counter in the entry block.
+        out.blocks[0].instructions.insert(
+            0,
+            Instruction::with_result(
+                counter,
+                ids.t_ptr_int,
+                Op::Variable { storage: StorageClass::Function, initializer: None },
+            ),
+        );
+    }
+    Some(out)
+}
+
+/// Returns `true` if the function's block graph contains a cycle.
+#[must_use]
+pub fn has_loops(function: &Function) -> bool {
+    !back_edge_headers(function).is_empty()
+}
+
+/// Labels of blocks targeted by back edges.
+fn back_edge_headers(function: &Function) -> Vec<Id> {
+    use std::collections::HashMap;
+    let index: HashMap<Id, usize> = function
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.label, i))
+        .collect();
+    let n = function.blocks.len();
+    let mut headers = Vec::new();
+    if n == 0 {
+        return headers;
+    }
+    let mut state = vec![0u8; n];
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+        let succs = function.blocks[node].successors();
+        if *cursor < succs.len() {
+            let target = succs[*cursor];
+            *cursor += 1;
+            if let Some(&next) = index.get(&target) {
+                match state[next] {
+                    0 => {
+                        state[next] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => headers.push(function.blocks[next].label),
+                    _ => {}
+                }
+            }
+        } else {
+            state[node] = 2;
+            stack.pop();
+        }
+    }
+    headers.sort_unstable();
+    headers.dedup();
+    headers
+}

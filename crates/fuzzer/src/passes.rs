@@ -1,0 +1,1267 @@
+//! Fuzzer passes: each "sweeps through the module looking for opportunities
+//! to apply a particular combination of transformations, probabilistically
+//! deciding which of these opportunities to take" (§3.2).
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use trx_core::transformations::*;
+use trx_core::{Context, InstructionDescriptor, Transformation};
+use trx_ir::{
+    ConstantValue, Function, FunctionControl, Id, Module, Op, StorageClass, Terminator, Type,
+};
+
+use crate::opportunities::{
+    block_labels, call_results, insertion_points, insertion_points_in,
+    instruction_uses, result_ids, terminator_uses,
+};
+
+/// Identifies a fuzzer pass; the recommendations strategy maps each pass to
+/// follow-on passes worth running soon after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum PassId {
+    AddDeadBlocks,
+    ReplaceBranchWithKills,
+    SplitBlocks,
+    ObfuscateConstants,
+    AddDeadStores,
+    AddIrrelevantStores,
+    CopyObjects,
+    ArithmeticSynonyms,
+    CompositeSynonyms,
+    ReplaceSynonyms,
+    AddLoads,
+    AddAccessChains,
+    AddVariables,
+    AddParameters,
+    ReplaceIrrelevantIds,
+    AddFunctionsFromDonors,
+    AddCalls,
+    InlineFunctions,
+    PermuteBlocks,
+    PropagateUp,
+    WrapSelections,
+    FunctionControls,
+    SwapOperands,
+    InvertBranches,
+}
+
+impl PassId {
+    /// All passes, in a fixed order.
+    pub const ALL: [PassId; 24] = [
+        PassId::AddDeadBlocks,
+        PassId::ReplaceBranchWithKills,
+        PassId::SplitBlocks,
+        PassId::ObfuscateConstants,
+        PassId::AddDeadStores,
+        PassId::AddIrrelevantStores,
+        PassId::CopyObjects,
+        PassId::ArithmeticSynonyms,
+        PassId::CompositeSynonyms,
+        PassId::ReplaceSynonyms,
+        PassId::AddLoads,
+        PassId::AddAccessChains,
+        PassId::AddVariables,
+        PassId::AddParameters,
+        PassId::ReplaceIrrelevantIds,
+        PassId::AddFunctionsFromDonors,
+        PassId::AddCalls,
+        PassId::InlineFunctions,
+        PassId::PermuteBlocks,
+        PassId::PropagateUp,
+        PassId::WrapSelections,
+        PassId::FunctionControls,
+        PassId::SwapOperands,
+        PassId::InvertBranches,
+    ];
+
+    /// Follow-on passes worth running soon after this one — the manually
+    /// curated table behind the recommendations strategy (§3.2).
+    #[must_use]
+    pub fn follow_ons(self) -> &'static [PassId] {
+        match self {
+            PassId::AddDeadBlocks => &[
+                PassId::AddDeadStores,
+                PassId::ReplaceBranchWithKills,
+                PassId::ObfuscateConstants,
+                PassId::AddCalls,
+            ],
+            PassId::SplitBlocks => &[PassId::AddDeadBlocks, PassId::PermuteBlocks],
+            PassId::ObfuscateConstants => &[PassId::PermuteBlocks],
+            PassId::CopyObjects
+            | PassId::ArithmeticSynonyms
+            | PassId::CompositeSynonyms => &[PassId::ReplaceSynonyms],
+            PassId::AddLoads => &[PassId::ReplaceIrrelevantIds],
+            PassId::AddVariables => &[
+                PassId::AddLoads,
+                PassId::AddAccessChains,
+                PassId::AddIrrelevantStores,
+                PassId::AddCalls,
+            ],
+            PassId::AddAccessChains => &[PassId::AddLoads, PassId::AddIrrelevantStores],
+            PassId::AddParameters => &[PassId::ReplaceIrrelevantIds],
+            PassId::AddFunctionsFromDonors => &[PassId::AddCalls, PassId::FunctionControls],
+            PassId::AddCalls => &[PassId::InlineFunctions, PassId::AddParameters],
+            PassId::InlineFunctions => &[PassId::PermuteBlocks, PassId::SplitBlocks],
+            PassId::WrapSelections => &[PassId::PermuteBlocks, PassId::InvertBranches],
+            _ => &[],
+        }
+    }
+}
+
+/// Mutable state threaded through a pass run.
+pub(crate) struct PassContext<'a> {
+    pub ctx: &'a mut Context,
+    pub rng: &'a mut StdRng,
+    pub recorded: &'a mut Vec<Transformation>,
+    pub donors: &'a [Module],
+    pub limit: usize,
+}
+
+impl PassContext<'_> {
+    fn budget_left(&self) -> bool {
+        self.recorded.len() < self.limit
+    }
+
+    /// Applies a transformation if its precondition holds, recording it.
+    fn try_apply(&mut self, t: impl Into<Transformation>) -> bool {
+        if !self.budget_left() {
+            return false;
+        }
+        let t = t.into();
+        if trx_core::apply(self.ctx, &t) {
+            self.recorded.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The next `n` fresh ids if the transformation built from them is
+    /// applied immediately.
+    fn fresh_ids(&self, n: u32) -> Vec<Id> {
+        (0..n).map(|i| Id::new(self.ctx.module.id_bound + i)).collect()
+    }
+
+    fn fresh(&self) -> Id {
+        Id::new(self.ctx.module.id_bound)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// Interns a type via `AddType` if needed.
+    fn ensure_type(&mut self, ty: Type) -> Option<Id> {
+        if let Some(id) = self.ctx.module.lookup_type(&ty) {
+            return Some(id);
+        }
+        let fresh = self.fresh();
+        self.try_apply(AddType { fresh_id: fresh, ty }).then_some(fresh)
+    }
+
+    /// Interns a constant via `AddConstant` (and its type) if needed.
+    fn ensure_constant(&mut self, ty: Type, value: ConstantValue) -> Option<Id> {
+        let ty_id = self.ensure_type(ty)?;
+        if let Some(id) = self.ctx.module.lookup_constant(ty_id, &value) {
+            return Some(id);
+        }
+        let fresh = self.fresh();
+        self.try_apply(AddConstant { fresh_id: fresh, ty: ty_id, value })
+            .then_some(fresh)
+    }
+
+    fn ensure_bool_true(&mut self) -> Option<Id> {
+        self.ensure_constant(Type::Bool, ConstantValue::Bool(true))
+    }
+
+    fn ensure_bool_false(&mut self) -> Option<Id> {
+        self.ensure_constant(Type::Bool, ConstantValue::Bool(false))
+    }
+
+    /// A zero-ish constant of the (scalar) type named by `ty_id`, declaring
+    /// it if needed.
+    fn trivial_constant_of(&mut self, ty_id: Id) -> Option<Id> {
+        match self.ctx.module.type_of(ty_id)? {
+            Type::Int => self.ensure_constant(Type::Int, ConstantValue::Int(0)),
+            Type::Float => self.ensure_constant(Type::Float, ConstantValue::float(0.0)),
+            Type::Bool => self.ensure_bool_false(),
+            _ => None,
+        }
+    }
+
+    /// Candidate value ids of a given type: constants plus instruction
+    /// results (availability is the precondition's problem).
+    fn values_of_type(&self, ty: Id) -> Vec<Id> {
+        let mut out: Vec<Id> = self
+            .ctx
+            .module
+            .constants
+            .iter()
+            .filter(|c| c.ty == ty)
+            .map(|c| c.id)
+            .collect();
+        out.extend(
+            result_ids(&self.ctx.module)
+                .into_iter()
+                .filter(|(_, t)| *t == ty)
+                .map(|(r, _)| r),
+        );
+        out
+    }
+
+    /// Writable pointers in scope: output/private globals and local
+    /// variables.
+    fn writable_pointers(&self) -> Vec<Id> {
+        let mut out: Vec<Id> = self
+            .ctx
+            .module
+            .globals
+            .iter()
+            .filter(|g| g.storage.is_writable())
+            .map(|g| g.id)
+            .collect();
+        for f in &self.ctx.module.functions {
+            for b in &f.blocks {
+                for inst in &b.instructions {
+                    if inst.is_variable() {
+                        out.extend(inst.result);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn all_pointers(&self) -> Vec<Id> {
+        let mut out: Vec<Id> = self.ctx.module.globals.iter().map(|g| g.id).collect();
+        for f in &self.ctx.module.functions {
+            for b in &f.blocks {
+                for inst in &b.instructions {
+                    if inst.is_variable() {
+                        out.extend(inst.result);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn pointee_of(&self, pointer: Id) -> Option<Id> {
+        let ty = self.ctx.module.value_type(pointer)?;
+        match self.ctx.module.type_of(ty)? {
+            Type::Pointer { pointee, .. } => Some(*pointee),
+            _ => None,
+        }
+    }
+}
+
+/// Runs one pass over the module.
+pub(crate) fn run_pass(id: PassId, pc: &mut PassContext<'_>) {
+    match id {
+        PassId::AddDeadBlocks => add_dead_blocks(pc),
+        PassId::ReplaceBranchWithKills => replace_branch_with_kills(pc),
+        PassId::SplitBlocks => split_blocks(pc),
+        PassId::ObfuscateConstants => obfuscate_constants(pc),
+        PassId::AddDeadStores => add_dead_stores(pc),
+        PassId::AddIrrelevantStores => add_irrelevant_stores(pc),
+        PassId::CopyObjects => copy_objects(pc),
+        PassId::ArithmeticSynonyms => arithmetic_synonyms(pc),
+        PassId::CompositeSynonyms => composite_synonyms(pc),
+        PassId::ReplaceSynonyms => replace_synonyms(pc),
+        PassId::AddLoads => add_loads(pc),
+        PassId::AddAccessChains => add_access_chains(pc),
+        PassId::AddVariables => add_variables(pc),
+        PassId::AddParameters => add_parameters(pc),
+        PassId::ReplaceIrrelevantIds => replace_irrelevant_ids(pc),
+        PassId::AddFunctionsFromDonors => add_functions_from_donors(pc),
+        PassId::AddCalls => add_calls(pc),
+        PassId::InlineFunctions => inline_functions(pc),
+        PassId::PermuteBlocks => permute_blocks(pc),
+        PassId::PropagateUp => propagate_up(pc),
+        PassId::WrapSelections => wrap_selections(pc),
+        PassId::FunctionControls => function_controls(pc),
+        PassId::SwapOperands => swap_operands(pc),
+        PassId::InvertBranches => invert_branches(pc),
+    }
+}
+
+fn add_dead_blocks(pc: &mut PassContext<'_>) {
+    let candidates: Vec<Id> = pc
+        .ctx
+        .module
+        .functions
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .filter(|b| matches!(b.terminator, Terminator::Branch { .. }) && b.merge.is_none())
+        .map(|b| b.label)
+        .collect();
+    for block in candidates {
+        if !pc.chance(0.3) {
+            continue;
+        }
+        let Some(condition) = pc.ensure_bool_true() else {
+            return;
+        };
+        let fresh = pc.fresh();
+        pc.try_apply(AddDeadBlock { fresh_block_id: fresh, block, condition });
+    }
+}
+
+fn replace_branch_with_kills(pc: &mut PassContext<'_>) {
+    let dead: Vec<Id> = pc.ctx.facts.dead_blocks().collect();
+    for block in dead {
+        if pc.chance(0.3) {
+            pc.try_apply(ReplaceBranchWithKill { block });
+        }
+    }
+}
+
+fn split_blocks(pc: &mut PassContext<'_>) {
+    let mut points = insertion_points(&pc.ctx.module);
+    points.shuffle(pc.rng);
+    for position in points.into_iter().take(6) {
+        if pc.chance(0.4) {
+            let fresh = pc.fresh();
+            pc.try_apply(SplitBlock { position, fresh_block_id: fresh });
+        }
+    }
+}
+
+fn obfuscate_constants(pc: &mut PassContext<'_>) {
+    let uniforms: Vec<Id> = pc
+        .ctx
+        .module
+        .interface
+        .uniforms
+        .iter()
+        .map(|b| b.global)
+        .collect();
+    if uniforms.is_empty() {
+        return;
+    }
+    let mut uses: Vec<_> = instruction_uses(&pc.ctx.module);
+    uses.extend(terminator_uses(&pc.ctx.module));
+    uses.retain(|(_, used)| pc.ctx.module.constant(*used).is_some());
+    uses.shuffle(pc.rng);
+    for (use_descriptor, _) in uses.into_iter().take(8) {
+        if !pc.chance(0.5) {
+            continue;
+        }
+        for &uniform in &uniforms {
+            let fresh = pc.fresh();
+            if pc.try_apply(ReplaceConstantWithUniform {
+                use_descriptor,
+                uniform,
+                fresh_load_id: fresh,
+            }) {
+                break;
+            }
+        }
+    }
+}
+
+fn add_dead_stores(pc: &mut PassContext<'_>) {
+    let dead: Vec<Id> = pc.ctx.facts.dead_blocks().collect();
+    if dead.is_empty() {
+        return;
+    }
+    let pointers = pc.writable_pointers();
+    let points = insertion_points_in(&pc.ctx.module, |label| dead.contains(&label));
+    for insert_before in points {
+        if !pc.chance(0.5) {
+            continue;
+        }
+        let Some(&pointer) = pointers.as_slice().choose(pc.rng) else {
+            return;
+        };
+        let Some(pointee) = pc.pointee_of(pointer) else {
+            continue;
+        };
+        let mut values = pc.values_of_type(pointee);
+        if values.is_empty() {
+            if let Some(c) = pc.trivial_constant_of(pointee) {
+                values.push(c);
+            }
+        }
+        if let Some(&value) = values.as_slice().choose(pc.rng) {
+            pc.try_apply(AddStore { pointer, value, insert_before });
+        }
+    }
+}
+
+fn add_irrelevant_stores(pc: &mut PassContext<'_>) {
+    let pointers: Vec<Id> = pc.ctx.facts.irrelevant_pointees().collect();
+    if pointers.is_empty() {
+        return;
+    }
+    let mut points = insertion_points(&pc.ctx.module);
+    points.shuffle(pc.rng);
+    for insert_before in points.into_iter().take(6) {
+        if !pc.chance(0.5) {
+            continue;
+        }
+        let Some(&pointer) = pointers.as_slice().choose(pc.rng) else {
+            return;
+        };
+        let Some(pointee) = pc.pointee_of(pointer) else {
+            continue;
+        };
+        let mut values = pc.values_of_type(pointee);
+        if values.is_empty() {
+            if let Some(c) = pc.trivial_constant_of(pointee) {
+                values.push(c);
+            }
+        }
+        if let Some(&value) = values.as_slice().choose(pc.rng) {
+            pc.try_apply(AddStore { pointer, value, insert_before });
+        }
+    }
+}
+
+fn copy_objects(pc: &mut PassContext<'_>) {
+    let mut points = insertion_points(&pc.ctx.module);
+    points.shuffle(pc.rng);
+    let mut sources: Vec<Id> = result_ids(&pc.ctx.module).into_iter().map(|(r, _)| r).collect();
+    sources.extend(pc.ctx.module.constants.iter().map(|c| c.id));
+    for insert_before in points.into_iter().take(6) {
+        if !pc.chance(0.4) {
+            continue;
+        }
+        if let Some(&source) = sources.as_slice().choose(pc.rng) {
+            let fresh = pc.fresh();
+            pc.try_apply(CopyObject { fresh_id: fresh, source, insert_before });
+        }
+    }
+}
+
+fn arithmetic_synonyms(pc: &mut PassContext<'_>) {
+    let t_int = pc.ctx.module.lookup_type(&Type::Int);
+    let t_bool = pc.ctx.module.lookup_type(&Type::Bool);
+    let mut candidates: Vec<(Id, ArithmeticIdentity)> = Vec::new();
+    for (result, ty) in result_ids(&pc.ctx.module) {
+        if Some(ty) == t_int {
+            candidates.push((result, ArithmeticIdentity::AddZero));
+            candidates.push((result, ArithmeticIdentity::MulOne));
+            candidates.push((result, ArithmeticIdentity::SubZero));
+        } else if Some(ty) == t_bool {
+            candidates.push((result, ArithmeticIdentity::OrFalse));
+            candidates.push((result, ArithmeticIdentity::AndTrue));
+        }
+    }
+    candidates.shuffle(pc.rng);
+    for (source, identity) in candidates.into_iter().take(5) {
+        if !pc.chance(0.5) {
+            continue;
+        }
+        let (ty, value) = match identity {
+            ArithmeticIdentity::AddZero | ArithmeticIdentity::SubZero => {
+                (Type::Int, ConstantValue::Int(0))
+            }
+            ArithmeticIdentity::MulOne => (Type::Int, ConstantValue::Int(1)),
+            ArithmeticIdentity::OrFalse => (Type::Bool, ConstantValue::Bool(false)),
+            ArithmeticIdentity::AndTrue => (Type::Bool, ConstantValue::Bool(true)),
+        };
+        let Some(identity_constant) = pc.ensure_constant(ty, value) else {
+            return;
+        };
+        // Insert right after the source's definition when possible.
+        let insert_before = InstructionDescriptor::after_result(source, 1);
+        let fresh = pc.fresh();
+        pc.try_apply(AddArithmeticSynonym {
+            fresh_id: fresh,
+            source,
+            identity_constant,
+            identity,
+            insert_before,
+        });
+    }
+}
+
+fn composite_synonyms(pc: &mut PassContext<'_>) {
+    // Construct vectors out of scalar results, then extract from existing
+    // composites.
+    let scalars: Vec<(Id, Id)> = result_ids(&pc.ctx.module)
+        .into_iter()
+        .filter(|(_, ty)| {
+            pc.ctx
+                .module
+                .type_of(*ty)
+                .is_some_and(|t| matches!(t, Type::Int | Type::Float | Type::Bool))
+        })
+        .collect();
+    let mut grouped: BTreeMap<Id, Vec<Id>> = BTreeMap::new();
+    for (r, ty) in &scalars {
+        grouped.entry(*ty).or_default().push(*r);
+    }
+    for (ty, values) in grouped {
+        if !pc.chance(0.6) {
+            continue;
+        }
+        let Some(&part) = values.as_slice().choose(pc.rng) else {
+            continue;
+        };
+        let Some(ty_decl) = pc.ctx.module.type_of(ty).cloned() else {
+            continue;
+        };
+        let count = pc.rng.gen_range(2..=4u32);
+        let Some(vec_ty) = pc.ensure_type(Type::Vector { component: ty, count }) else {
+            return;
+        };
+        let _ = ty_decl;
+        let insert_before = InstructionDescriptor::after_result(part, 1);
+        let fresh = pc.fresh();
+        let construct = CompositeConstruct {
+            fresh_id: fresh,
+            ty: vec_ty,
+            parts: vec![part; count as usize],
+            insert_before,
+        };
+        if pc.try_apply(construct) {
+            // Extract a component back out, creating a synonym chain.
+            let index = pc.rng.gen_range(0..count);
+            let extract_fresh = pc.fresh();
+            pc.try_apply(CompositeExtract {
+                fresh_id: extract_fresh,
+                composite: fresh,
+                indices: vec![index],
+                insert_before: InstructionDescriptor::after_result(fresh, 1),
+            });
+        }
+    }
+    // Also extract from pre-existing composite results.
+    let composites: Vec<(Id, Id)> = result_ids(&pc.ctx.module)
+        .into_iter()
+        .filter(|(_, ty)| {
+            pc.ctx.module.type_of(*ty).is_some_and(Type::is_composite)
+        })
+        .collect();
+    for (composite, ty) in composites.into_iter().take(4) {
+        if !pc.chance(0.4) {
+            continue;
+        }
+        let max = match pc.ctx.module.type_of(ty) {
+            Some(Type::Vector { count, .. }) => *count,
+            Some(Type::Array { len, .. }) => *len,
+            Some(Type::Struct { members }) => members.len() as u32,
+            _ => continue,
+        };
+        if max == 0 {
+            continue;
+        }
+        let index = pc.rng.gen_range(0..max);
+        let fresh = pc.fresh();
+        pc.try_apply(CompositeExtract {
+            fresh_id: fresh,
+            composite,
+            indices: vec![index],
+            insert_before: InstructionDescriptor::after_result(composite, 1),
+        });
+    }
+}
+
+fn replace_synonyms(pc: &mut PassContext<'_>) {
+    let mut uses = instruction_uses(&pc.ctx.module);
+    uses.shuffle(pc.rng);
+    let mut done = 0;
+    for (use_descriptor, used) in uses {
+        if done >= 8 {
+            break;
+        }
+        let synonyms = pc.ctx.facts.whole_synonyms_of(used);
+        if synonyms.is_empty() || !pc.chance(0.5) {
+            continue;
+        }
+        let Some(&synonym) = synonyms.as_slice().choose(pc.rng) else {
+            continue;
+        };
+        if pc.try_apply(ReplaceIdWithSynonym { use_descriptor, synonym }) {
+            done += 1;
+        }
+    }
+}
+
+fn add_loads(pc: &mut PassContext<'_>) {
+    let pointers = pc.all_pointers();
+    if pointers.is_empty() {
+        return;
+    }
+    let mut points = insertion_points(&pc.ctx.module);
+    points.shuffle(pc.rng);
+    for insert_before in points.into_iter().take(5) {
+        if !pc.chance(0.4) {
+            continue;
+        }
+        if let Some(&pointer) = pointers.as_slice().choose(pc.rng) {
+            let fresh = pc.fresh();
+            pc.try_apply(AddLoad { fresh_id: fresh, pointer, insert_before });
+        }
+    }
+}
+
+fn add_access_chains(pc: &mut PassContext<'_>) {
+    // Pointers whose pointee is composite.
+    let candidates: Vec<Id> = pc
+        .all_pointers()
+        .into_iter()
+        .filter(|&p| {
+            pc.ctx
+                .module
+                .value_type(p)
+                .and_then(|t| match pc.ctx.module.type_of(t) {
+                    Some(Type::Pointer { pointee, .. }) => pc.ctx.module.type_of(*pointee),
+                    _ => None,
+                })
+                .is_some_and(Type::is_composite)
+        })
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let mut points = insertion_points(&pc.ctx.module);
+    points.shuffle(pc.rng);
+    for insert_before in points.into_iter().take(4) {
+        if !pc.chance(0.5) {
+            continue;
+        }
+        let Some(&base) = candidates.as_slice().choose(pc.rng) else {
+            return;
+        };
+        // Walk the pointee, choosing a constant index per level, as deep as
+        // the type allows (bounded by 3).
+        let Some(base_ty) = pc.ctx.module.value_type(base) else { continue };
+        let Some(&Type::Pointer { storage, pointee }) = pc.ctx.module.type_of(base_ty)
+        else {
+            continue;
+        };
+        let mut current = pointee;
+        let mut indices = Vec::new();
+        for _ in 0..3 {
+            let (limit, next) = match pc.ctx.module.type_of(current) {
+                Some(Type::Vector { component, count }) => (*count, *component),
+                Some(Type::Array { element, len }) => (*len, *element),
+                Some(Type::Struct { members }) if !members.is_empty() => {
+                    let index = pc.rng.gen_range(0..members.len() as u32);
+                    let member = members[index as usize];
+                    let Some(c) =
+                        pc.ensure_constant(Type::Int, ConstantValue::Int(index as i32))
+                    else {
+                        return;
+                    };
+                    indices.push(c);
+                    current = member;
+                    continue;
+                }
+                _ => break,
+            };
+            let index = pc.rng.gen_range(0..limit);
+            let Some(c) = pc.ensure_constant(Type::Int, ConstantValue::Int(index as i32))
+            else {
+                return;
+            };
+            indices.push(c);
+            current = next;
+        }
+        if indices.is_empty() {
+            continue;
+        }
+        // The resulting pointer type must exist.
+        if pc
+            .ensure_type(Type::Pointer { storage, pointee: current })
+            .is_none()
+        {
+            return;
+        }
+        let fresh = pc.fresh();
+        pc.try_apply(AddAccessChain { fresh_id: fresh, base, indices, insert_before });
+    }
+}
+
+fn add_variables(pc: &mut PassContext<'_>) {
+    let scalar_types = [Type::Int, Type::Float, Type::Bool];
+    for ty in scalar_types {
+        if !pc.chance(0.4) {
+            continue;
+        }
+        let Some(scalar) = pc.ensure_type(ty.clone()) else {
+            return;
+        };
+        // Sometimes build a nested composite (array of vectors) so access
+        // chains can go deep.
+        let pointee = if pc.chance(0.3) && !matches!(ty, Type::Bool) {
+            let Some(vec_ty) = pc.ensure_type(Type::Vector { component: scalar, count: 3 })
+            else {
+                return;
+            };
+            match pc.ensure_type(Type::Array { element: vec_ty, len: 2 }) {
+                Some(t) => t,
+                None => return,
+            }
+        } else {
+            scalar
+        };
+        if pc.chance(0.5) {
+            if pc
+                .ensure_type(Type::Pointer { storage: StorageClass::Private, pointee })
+                .is_none()
+            {
+                return;
+            }
+            let fresh = pc.fresh();
+            pc.try_apply(AddGlobalVariable { fresh_id: fresh, pointee });
+        } else {
+            if pc
+                .ensure_type(Type::Pointer { storage: StorageClass::Function, pointee })
+                .is_none()
+            {
+                return;
+            }
+            let functions: Vec<Id> = pc.ctx.module.functions.iter().map(|f| f.id).collect();
+            if let Some(&function) = functions.as_slice().choose(pc.rng) {
+                let fresh = pc.fresh();
+                pc.try_apply(AddLocalVariable { fresh_id: fresh, function, pointee });
+            }
+        }
+    }
+}
+
+fn add_parameters(pc: &mut PassContext<'_>) {
+    let entry = pc.ctx.module.entry_point;
+    let functions: Vec<Id> = pc
+        .ctx
+        .module
+        .functions
+        .iter()
+        .map(|f| f.id)
+        .filter(|&f| f != entry)
+        .collect();
+    for function in functions {
+        if !pc.chance(0.3) {
+            continue;
+        }
+        let Some(argument) = pc.ensure_constant(Type::Int, ConstantValue::Int(0)) else {
+            return;
+        };
+        let Some(param_ty) = pc.ensure_type(Type::Int) else {
+            return;
+        };
+        let ids = pc.fresh_ids(2);
+        pc.try_apply(AddParameter {
+            function,
+            fresh_param_id: ids[0],
+            param_ty,
+            argument,
+            fresh_function_type_id: ids[1],
+        });
+    }
+}
+
+fn replace_irrelevant_ids(pc: &mut PassContext<'_>) {
+    let mut uses = instruction_uses(&pc.ctx.module);
+    uses.shuffle(pc.rng);
+    let mut done = 0;
+    for (use_descriptor, used) in uses {
+        if done >= 6 {
+            break;
+        }
+        if !pc.chance(0.5) {
+            continue;
+        }
+        let Some(ty) = pc.ctx.module.value_type(used) else {
+            continue;
+        };
+        let candidates = pc.values_of_type(ty);
+        let Some(&replacement) = candidates.as_slice().choose(pc.rng) else {
+            continue;
+        };
+        if pc.try_apply(ReplaceIrrelevantId { use_descriptor, replacement }) {
+            done += 1;
+        }
+    }
+}
+
+/// Remaps one donor function into the target module's id space, producing
+/// the `AddFunction` payload. Types and constants the donor uses are interned
+/// into the target first (recording supporting transformations).
+fn remap_donor_function(
+    pc: &mut PassContext<'_>,
+    donor: &Module,
+    function: &Function,
+) -> Option<Function> {
+    // Reject donors that reach outside themselves (globals, calls).
+    for block in &function.blocks {
+        for inst in &block.instructions {
+            if matches!(inst.op, Op::Call { .. }) {
+                return None;
+            }
+            let mut external = false;
+            inst.op.for_each_id_operand(|id| {
+                if donor.global(id).is_some() {
+                    external = true;
+                }
+            });
+            if external {
+                return None;
+            }
+        }
+    }
+
+    fn ensure_donor_type(
+        pc: &mut PassContext<'_>,
+        donor: &Module,
+        ty: Id,
+        cache: &mut HashMap<Id, Id>,
+    ) -> Option<Id> {
+        if let Some(&mapped) = cache.get(&ty) {
+            return Some(mapped);
+        }
+        let decl = donor.type_of(ty)?.clone();
+        let remapped = match decl {
+            Type::Void | Type::Bool | Type::Int | Type::Float => decl,
+            Type::Vector { component, count } => Type::Vector {
+                component: ensure_donor_type(pc, donor, component, cache)?,
+                count,
+            },
+            Type::Array { element, len } => {
+                Type::Array { element: ensure_donor_type(pc, donor, element, cache)?, len }
+            }
+            Type::Struct { members } => Type::Struct {
+                members: members
+                    .into_iter()
+                    .map(|m| ensure_donor_type(pc, donor, m, cache))
+                    .collect::<Option<_>>()?,
+            },
+            Type::Pointer { storage, pointee } => Type::Pointer {
+                storage,
+                pointee: ensure_donor_type(pc, donor, pointee, cache)?,
+            },
+            Type::Function { ret, params } => Type::Function {
+                ret: ensure_donor_type(pc, donor, ret, cache)?,
+                params: params
+                    .into_iter()
+                    .map(|p| ensure_donor_type(pc, donor, p, cache))
+                    .collect::<Option<_>>()?,
+            },
+        };
+        let target = pc.ensure_type(remapped)?;
+        cache.insert(ty, target);
+        Some(target)
+    }
+
+    fn ensure_donor_constant(
+        pc: &mut PassContext<'_>,
+        donor: &Module,
+        id: Id,
+        type_cache: &mut HashMap<Id, Id>,
+        const_cache: &mut HashMap<Id, Id>,
+    ) -> Option<Id> {
+        if let Some(&mapped) = const_cache.get(&id) {
+            return Some(mapped);
+        }
+        let decl = donor.constant(id)?.clone();
+        let target_ty = ensure_donor_type(pc, donor, decl.ty, type_cache)?;
+        let value = match decl.value {
+            ConstantValue::Composite(parts) => ConstantValue::Composite(
+                parts
+                    .into_iter()
+                    .map(|p| ensure_donor_constant(pc, donor, p, type_cache, const_cache))
+                    .collect::<Option<_>>()?,
+            ),
+            other => other,
+        };
+        let target_ty_decl = pc.ctx.module.type_of(target_ty)?.clone();
+        let target = pc.ensure_constant(target_ty_decl, value)?;
+        const_cache.insert(id, target);
+        Some(target)
+    }
+
+    let mut type_cache = HashMap::new();
+    let mut const_cache = HashMap::new();
+
+    // Intern the function type, parameter types and all instruction types.
+    let fn_ty = ensure_donor_type(pc, donor, function.ty, &mut type_cache)?;
+    for p in &function.params {
+        ensure_donor_type(pc, donor, p.ty, &mut type_cache)?;
+    }
+    for block in &function.blocks {
+        for inst in &block.instructions {
+            if let Some(ty) = inst.ty {
+                ensure_donor_type(pc, donor, ty, &mut type_cache)?;
+            }
+            // Constants used as operands.
+            let operands = inst.op.id_operands();
+            for operand in operands {
+                if donor.constant(operand).is_some() {
+                    ensure_donor_constant(pc, donor, operand, &mut type_cache, &mut const_cache)?;
+                }
+            }
+        }
+        for operand in block.terminator.id_operands() {
+            if donor.constant(operand).is_some() {
+                ensure_donor_constant(pc, donor, operand, &mut type_cache, &mut const_cache)?;
+            }
+        }
+    }
+
+    // Fresh ids for everything internal.
+    let mut internal: HashMap<Id, Id> = HashMap::new();
+    let mut next = pc.ctx.module.id_bound;
+    let mut fresh = |internal: &mut HashMap<Id, Id>, old: Id| {
+        let new = Id::new(next);
+        next += 1;
+        internal.insert(old, new);
+        new
+    };
+    let new_fn_id = fresh(&mut internal, function.id);
+    let params: Vec<trx_ir::FunctionParam> = function
+        .params
+        .iter()
+        .map(|p| trx_ir::FunctionParam {
+            id: fresh(&mut internal, p.id),
+            ty: type_cache[&p.ty],
+        })
+        .collect();
+    for block in &function.blocks {
+        fresh(&mut internal, block.label);
+        for inst in &block.instructions {
+            if let Some(r) = inst.result {
+                fresh(&mut internal, r);
+            }
+        }
+    }
+
+    let subst = |id: &mut Id| {
+        if let Some(new) = internal.get(id) {
+            *id = *new;
+        } else if let Some(new) = const_cache.get(id) {
+            *id = *new;
+        }
+    };
+
+    let blocks: Vec<trx_ir::Block> = function
+        .blocks
+        .iter()
+        .map(|src| {
+            let mut block = src.clone();
+            subst(&mut block.label);
+            for inst in &mut block.instructions {
+                if let Some(r) = &mut inst.result {
+                    subst(r);
+                }
+                if let Some(ty) = inst.ty {
+                    inst.ty = Some(type_cache[&ty]);
+                }
+                if let Op::Variable { initializer: Some(init), .. } = &mut inst.op {
+                    subst(init);
+                }
+                inst.op.for_each_id_operand_mut(subst);
+                if let Op::Phi { incoming } = &mut inst.op {
+                    for (_, pred) in incoming {
+                        subst(pred);
+                    }
+                }
+            }
+            block.terminator.for_each_id_operand_mut(subst);
+            block.terminator.for_each_target_mut(subst);
+            if let Some(merge) = &mut block.merge {
+                merge.for_each_label_mut(subst);
+            }
+            block
+        })
+        .collect();
+
+    Some(Function {
+        id: new_fn_id,
+        ty: fn_ty,
+        control: function.control,
+        params,
+        blocks,
+    })
+}
+
+fn add_functions_from_donors(pc: &mut PassContext<'_>) {
+    if pc.donors.is_empty() {
+        return;
+    }
+    let donor_index = pc.rng.gen_range(0..pc.donors.len());
+    let donor = pc.donors[donor_index].clone();
+    let candidates: Vec<usize> = (0..donor.functions.len()).collect();
+    let Some(&fi) = candidates.as_slice().choose(pc.rng) else {
+        return;
+    };
+    let function = donor.functions[fi].clone();
+    if function.id == donor.entry_point {
+        return;
+    }
+    // Donors with loops get §3.2's iteration limiters so they can still be
+    // added live-safe. Intern the limiter's ids *before* remapping, so the
+    // payload's pre-assigned fresh ids stay fresh.
+    let has_loops = crate::livesafe::has_loops(&function);
+    let limiter_ids = if has_loops {
+        let Some(t_int) = pc.ensure_type(Type::Int) else { return };
+        let Some(t_bool) = pc.ensure_type(Type::Bool) else { return };
+        let Some(t_ptr_int) = pc.ensure_type(Type::Pointer {
+            storage: StorageClass::Function,
+            pointee: t_int,
+        }) else {
+            return;
+        };
+        let Some(one) = pc.ensure_constant(Type::Int, ConstantValue::Int(1)) else {
+            return;
+        };
+        let Some(limit) = pc.ensure_constant(
+            Type::Int,
+            ConstantValue::Int(crate::livesafe::DEFAULT_LOOP_LIMIT),
+        ) else {
+            return;
+        };
+        Some(crate::livesafe::LimiterIds { t_int, t_bool, t_ptr_int, one, limit })
+    } else {
+        None
+    };
+    let Some(payload) = remap_donor_function(pc, &donor, &function) else {
+        return;
+    };
+    let instrumented = limiter_ids.and_then(|ids| {
+        let mut next = pc.ctx.module.id_bound.max(payload_max_id(&payload) + 1);
+        crate::livesafe::instrument_loops(&payload, &ids, move || {
+            let id = Id::new(next);
+            next += 1;
+            id
+        })
+    });
+    if let Some(instrumented) = instrumented {
+        if pc.try_apply(AddFunction { function: instrumented, livesafe: true }) {
+            return;
+        }
+    }
+    // Loop-free payloads are live-safe as is; otherwise fall back to a
+    // dead-block-only (non-live-safe) addition.
+    if !pc.try_apply(AddFunction { function: payload.clone(), livesafe: true }) {
+        pc.try_apply(AddFunction { function: payload, livesafe: false });
+    }
+}
+
+fn payload_max_id(payload: &Function) -> u32 {
+    let mut max = payload.id.raw();
+    for p in &payload.params {
+        max = max.max(p.id.raw());
+    }
+    for b in &payload.blocks {
+        max = max.max(b.label.raw());
+        for i in &b.instructions {
+            if let Some(r) = i.result {
+                max = max.max(r.raw());
+            }
+        }
+    }
+    max
+}
+
+fn add_calls(pc: &mut PassContext<'_>) {
+    let entry = pc.ctx.module.entry_point;
+    let callees: Vec<Id> = pc
+        .ctx
+        .module
+        .functions
+        .iter()
+        .map(|f| f.id)
+        .filter(|&f| f != entry)
+        .collect();
+    if callees.is_empty() {
+        return;
+    }
+    let mut points = insertion_points(&pc.ctx.module);
+    points.shuffle(pc.rng);
+    for insert_before in points.into_iter().take(5) {
+        if !pc.chance(0.4) {
+            continue;
+        }
+        let Some(&callee) = callees.as_slice().choose(pc.rng) else {
+            return;
+        };
+        let Some(callee_fn) = pc.ctx.module.function(callee) else {
+            continue;
+        };
+        let Some(Type::Function { params, .. }) =
+            pc.ctx.module.type_of(callee_fn.ty).cloned()
+        else {
+            continue;
+        };
+        let mut args = Vec::with_capacity(params.len());
+        let mut ok = true;
+        for param_ty in &params {
+            let arg = match pc.ctx.module.type_of(*param_ty) {
+                Some(Type::Pointer { .. }) => {
+                    // Pass an irrelevant pointee of matching type.
+                    let candidates: Vec<Id> = pc
+                        .ctx
+                        .facts
+                        .irrelevant_pointees()
+                        .filter(|&p| pc.ctx.module.value_type(p) == Some(*param_ty))
+                        .collect();
+                    candidates.as_slice().choose(pc.rng).copied()
+                }
+                _ => pc.trivial_constant_of(*param_ty),
+            };
+            match arg {
+                Some(a) => args.push(a),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let fresh = pc.fresh();
+        pc.try_apply(FunctionCall { fresh_id: fresh, callee, args, insert_before });
+    }
+}
+
+fn inline_functions(pc: &mut PassContext<'_>) {
+    let calls = call_results(&pc.ctx.module);
+    for call_result in calls {
+        if !pc.chance(0.3) {
+            continue;
+        }
+        let Some((_, inst)) = pc.ctx.module.find_result(call_result) else {
+            continue;
+        };
+        let Op::Call { callee, .. } = &inst.op else {
+            continue;
+        };
+        let Some(callee_fn) = pc.ctx.module.function(*callee) else {
+            continue;
+        };
+        let mut olds: Vec<Id> = callee_fn.blocks.iter().map(|b| b.label).collect();
+        olds.extend(
+            callee_fn
+                .blocks
+                .iter()
+                .flat_map(|b| b.instructions.iter().filter_map(|i| i.result)),
+        );
+        let bound = pc.ctx.module.id_bound;
+        let id_map: Vec<(Id, Id)> = olds
+            .iter()
+            .enumerate()
+            .map(|(i, &old)| (old, Id::new(bound + i as u32)))
+            .collect();
+        let ret_block_id = Id::new(bound + olds.len() as u32);
+        pc.try_apply(InlineFunction { call_result, ret_block_id, id_map });
+    }
+}
+
+fn permute_blocks(pc: &mut PassContext<'_>) {
+    // §3.3: a permutation is achieved by many MoveBlockDown instances, so the
+    // reducer can converge on a simpler permutation.
+    let labels: Vec<Id> = block_labels(&pc.ctx.module).into_iter().map(|(_, b)| b).collect();
+    let attempts = pc.rng.gen_range(3..12usize);
+    for _ in 0..attempts {
+        if let Some(&block) = labels.as_slice().choose(pc.rng) {
+            if pc.chance(0.7) {
+                pc.try_apply(MoveBlockDown { block });
+            }
+        }
+    }
+}
+
+fn propagate_up(pc: &mut PassContext<'_>) {
+    let labels = block_labels(&pc.ctx.module);
+    for (function_id, block) in labels {
+        if !pc.chance(0.25) {
+            continue;
+        }
+        let Some(function) = pc.ctx.module.function(function_id) else {
+            continue;
+        };
+        let preds = function.predecessors(block);
+        if preds.is_empty() {
+            continue;
+        }
+        let bound = pc.ctx.module.id_bound;
+        let fresh_ids: Vec<(Id, Id)> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, Id::new(bound + i as u32)))
+            .collect();
+        pc.try_apply(PropagateInstructionUp { block, fresh_ids });
+    }
+}
+
+fn wrap_selections(pc: &mut PassContext<'_>) {
+    let labels = block_labels(&pc.ctx.module);
+    for (function_id, block) in labels {
+        if !pc.chance(0.25) {
+            continue;
+        }
+        let form = if pc.chance(0.5) { SelectionForm::Then } else { SelectionForm::Else };
+        let condition = match form {
+            SelectionForm::Then => pc.ensure_bool_true(),
+            SelectionForm::Else => pc.ensure_bool_false(),
+        };
+        let Some(condition) = condition else {
+            return;
+        };
+        let Some(function) = pc.ctx.module.function(function_id) else {
+            continue;
+        };
+        let escaping = WrapRegionInSelection::escaping_defs(function, block);
+        let bound = pc.ctx.module.id_bound;
+        let mut next = bound;
+        let mut take = || {
+            let id = Id::new(next);
+            next += 1;
+            id
+        };
+        let fresh_header_id = take();
+        let fresh_merge_id = take();
+        let escapes: Vec<EscapePatch> = escaping
+            .into_iter()
+            .map(|def| EscapePatch { def, fresh_undef: take(), fresh_phi: take() })
+            .collect();
+        pc.try_apply(WrapRegionInSelection {
+            block,
+            form,
+            condition,
+            fresh_header_id,
+            fresh_merge_id,
+            escapes,
+        });
+    }
+}
+
+fn function_controls(pc: &mut PassContext<'_>) {
+    let functions: Vec<Id> = pc.ctx.module.functions.iter().map(|f| f.id).collect();
+    for function in functions {
+        if !pc.chance(0.3) {
+            continue;
+        }
+        let control = *FunctionControl::ALL.as_slice().choose(pc.rng).expect("non-empty");
+        pc.try_apply(SetFunctionControl { function, control });
+    }
+}
+
+fn swap_operands(pc: &mut PassContext<'_>) {
+    let results: Vec<Id> = result_ids(&pc.ctx.module).into_iter().map(|(r, _)| r).collect();
+    for instruction in results {
+        if pc.chance(0.15) {
+            pc.try_apply(SwapCommutativeOperands { instruction });
+        }
+    }
+}
+
+fn invert_branches(pc: &mut PassContext<'_>) {
+    let labels: Vec<Id> = block_labels(&pc.ctx.module).into_iter().map(|(_, b)| b).collect();
+    for block in labels {
+        if pc.chance(0.2) {
+            let fresh = pc.fresh();
+            pc.try_apply(InvertConditionalBranch { block, fresh_not_id: fresh });
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! The gfauto analogue (§3.2, §3.4): run fuzzers against targets, classify
+//! outcomes into bug signatures, and build interestingness tests for the
+//! reducer.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use trx_baseline::{cross_compile, BaselineFuzzer, CoarseUnit};
+use trx_core::{Context, Transformation};
+use trx_fuzzer::{Fuzzer, FuzzerOptions};
+use trx_ir::{Module, Inputs};
+use trx_reducer::Reducer;
+use trx_targets::{Target, TargetResult};
+
+use crate::corpus::{donor_modules, reference_shader, Reference, REFERENCE_COUNT};
+
+/// The tool configurations compared in §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tool {
+    /// Transformation-based fuzzing with the recommendations strategy.
+    SpirvFuzz,
+    /// The same with recommendations disabled.
+    SpirvFuzzSimple,
+    /// The coarse-grained baseline behind a GLSL-like front end.
+    GlslFuzz,
+}
+
+impl Tool {
+    /// All tools, in Table 3 column order.
+    pub const ALL: [Tool; 3] = [Tool::SpirvFuzz, Tool::SpirvFuzzSimple, Tool::GlslFuzz];
+
+    /// The tool's display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::SpirvFuzz => "spirv-fuzz",
+            Tool::SpirvFuzzSimple => "spirv-fuzz-simple",
+            Tool::GlslFuzz => "glsl-fuzz",
+        }
+    }
+}
+
+/// A bug signature (§4.1): crashes carry a distinct signature string; all
+/// miscompilations share one special signature, "because all miscompilations
+/// contribute the same bug signature".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BugSignature {
+    /// A compiler crash or internal error with a scraped signature.
+    Crash(String),
+    /// A wrong-code result.
+    Miscompilation,
+}
+
+impl std::fmt::Display for BugSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BugSignature::Crash(s) => write!(f, "crash: {s}"),
+            BugSignature::Miscompilation => write!(f, "miscompilation"),
+        }
+    }
+}
+
+/// A generated variant, ready to run against any number of targets.
+#[derive(Debug, Clone)]
+pub struct GeneratedTest {
+    /// Which tool generated it.
+    pub tool: Tool,
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// The reference it was derived from.
+    pub reference: Reference,
+    /// The original context (reference module + inputs, empty facts).
+    pub original: Context,
+    /// The transformed variant context.
+    pub variant: Context,
+    /// spirv-fuzz artefact: the applied transformation sequence.
+    pub transformations: Vec<Transformation>,
+    /// glsl-fuzz artefact: the applied coarse units.
+    pub units: Vec<CoarseUnit>,
+}
+
+/// Generates the test for `(tool, seed)`: picks a reference round-robin and
+/// fuzzes it. Fully deterministic.
+#[must_use]
+pub fn generate_test(tool: Tool, seed: u64, donors: &[Module]) -> GeneratedTest {
+    let reference = reference_shader(seed as usize % REFERENCE_COUNT);
+    let original = Context::new(reference.module.clone(), reference.inputs.clone())
+        .expect("references validate");
+    match tool {
+        Tool::SpirvFuzz | Tool::SpirvFuzzSimple => {
+            let options = if tool == Tool::SpirvFuzz {
+                FuzzerOptions::default()
+            } else {
+                FuzzerOptions::simple()
+            };
+            let result = Fuzzer::new(options).run(original.clone(), donors, seed);
+            GeneratedTest {
+                tool,
+                seed,
+                reference,
+                original,
+                variant: result.context,
+                transformations: result.transformations,
+                units: Vec::new(),
+            }
+        }
+        Tool::GlslFuzz => {
+            let result = BaselineFuzzer::default().run(original.clone(), donors, seed);
+            GeneratedTest {
+                tool,
+                seed,
+                reference,
+                original,
+                variant: result.context,
+                transformations: Vec::new(),
+                units: result.units,
+            }
+        }
+    }
+}
+
+/// The module a target actually sees for a given tool: glsl-fuzz goes
+/// through the cross-compilation front end.
+#[must_use]
+pub fn module_for_target(tool: Tool, module: &Module) -> Module {
+    match tool {
+        Tool::GlslFuzz => cross_compile(module),
+        _ => module.clone(),
+    }
+}
+
+/// Classifies one variant against one target. `None` means no bug was
+/// observed.
+#[must_use]
+pub fn classify(
+    tool: Tool,
+    target: &Target,
+    original: &Context,
+    variant_module: &Module,
+    inputs: &Inputs,
+) -> Option<BugSignature> {
+    let original_module = module_for_target(tool, &original.module);
+    let prepared_variant = module_for_target(tool, variant_module);
+
+    match target.execute(&prepared_variant, inputs) {
+        TargetResult::CompilerCrash(signature) => Some(BugSignature::Crash(signature)),
+        TargetResult::RuntimeFault(fault) => {
+            // A fault out of compiled code is a compiler bug with a scrapable
+            // signature of its own.
+            Some(BugSignature::Crash(format!("runtime fault: {fault}")))
+        }
+        TargetResult::Executed(variant_result) => {
+            match target.execute(&original_module, inputs) {
+                TargetResult::Executed(original_result) => {
+                    (original_result != variant_result)
+                        .then_some(BugSignature::Miscompilation)
+                }
+                // The reference itself crashes this target: the variant's
+                // clean run cannot be cross-checked.
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Runs `(tool, seed)` against `target` end to end.
+#[must_use]
+pub fn run_single_test(
+    tool: Tool,
+    seed: u64,
+    target: &Target,
+    donors: &[Module],
+) -> Option<BugSignature> {
+    let test = generate_test(tool, seed, donors);
+    classify(tool, target, &test.original, &test.variant.module, &test.original.inputs)
+}
+
+/// The signature sets a campaign observed, per target.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// `per_test[t][i]` = the signature test `i` triggered on target `t`.
+    pub per_test: Vec<Vec<Option<BugSignature>>>,
+}
+
+impl CampaignOutcome {
+    /// Distinct signatures for target index `t` over an inclusive test
+    /// range.
+    #[must_use]
+    pub fn distinct_in_range(
+        &self,
+        target_index: usize,
+        range: std::ops::Range<usize>,
+    ) -> BTreeSet<BugSignature> {
+        self.per_test[target_index][range]
+            .iter()
+            .flatten()
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct signatures for target index `t` over all tests.
+    #[must_use]
+    pub fn distinct(&self, target_index: usize) -> BTreeSet<BugSignature> {
+        self.distinct_in_range(target_index, 0..self.per_test[target_index].len())
+    }
+}
+
+/// Runs `tests` seeds of `tool` against every target, in parallel across
+/// seeds. Each generated variant is evaluated against all targets, as in
+/// §4.1 where the same 10,000 tests are run per target.
+#[must_use]
+pub fn run_campaign(
+    tool: Tool,
+    targets: &[Target],
+    tests: usize,
+    seed_base: u64,
+) -> CampaignOutcome {
+    let donors = donor_modules();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(tests.max(1));
+    let results: Vec<Vec<Option<BugSignature>>> = parallel_map(threads, tests, |i| {
+        let seed = seed_base + i as u64;
+        let test = generate_test(tool, seed, &donors);
+        targets
+            .iter()
+            .map(|target| {
+                classify(
+                    tool,
+                    target,
+                    &test.original,
+                    &test.variant.module,
+                    &test.original.inputs,
+                )
+            })
+            .collect()
+    });
+    // Transpose to per-target.
+    let mut per_test = vec![Vec::with_capacity(tests); targets.len()];
+    for row in results {
+        for (t, signature) in row.into_iter().enumerate() {
+            per_test[t].push(signature);
+        }
+    }
+    CampaignOutcome { per_test }
+}
+
+/// A simple indexed parallel map over `0..count` using scoped threads.
+pub fn parallel_map<T: Send>(
+    threads: usize,
+    count: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, count);
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (worker, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(worker * chunk + offset));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled by worker")).collect()
+}
+
+/// A reduced bug-triggering test: everything the §4.2/§4.3 experiments need.
+#[derive(Debug, Clone)]
+pub struct ReducedTest {
+    /// Which tool found it.
+    pub tool: Tool,
+    /// The signature it triggers.
+    pub signature: BugSignature,
+    /// Ground-truth root cause (crash bugs only).
+    pub ground_truth: Option<trx_targets::BugId>,
+    /// Instruction-count delta between original and reduced variant — the
+    /// RQ2 reduction-quality measure.
+    pub delta_instructions: usize,
+    /// Transformation kinds of the reduced sequence (spirv-fuzz tests).
+    pub kinds: BTreeSet<trx_core::TransformationKind>,
+    /// Length of the reduced sequence (transformations or units).
+    pub reduced_length: usize,
+    /// Interestingness tests run during reduction.
+    pub tests_run: usize,
+}
+
+/// Reduces a bug-triggering test found by `(tool, seed)` on `target`.
+///
+/// Returns `None` if the test does not actually trigger `signature`
+/// (e.g. when called with a stale signature).
+#[must_use]
+pub fn reduce_test(
+    tool: Tool,
+    seed: u64,
+    target: &Target,
+    donors: &[Module],
+    signature: &BugSignature,
+) -> Option<ReducedTest> {
+    let test = generate_test(tool, seed, donors);
+    let inputs = test.original.inputs.clone();
+    let original = test.original.clone();
+
+    // The interestingness test (§3.4): same crash signature, or a
+    // still-differing result for miscompilations.
+    let still_interesting = |variant: &Context| -> bool {
+        classify(tool, target, &original, &variant.module, &inputs).as_ref()
+            == Some(signature)
+    };
+    if !still_interesting(&test.variant) {
+        return None;
+    }
+
+    let original_count =
+        module_for_target(tool, &original.module).instruction_count();
+    let (reduced_module, kinds, reduced_length, tests_run) = match tool {
+        Tool::SpirvFuzz | Tool::SpirvFuzzSimple => {
+            let reduction = Reducer::default().reduce(
+                &original,
+                &test.transformations,
+                still_interesting,
+            );
+            let kinds = trx_dedup::interesting_types(&reduction.sequence);
+            (
+                reduction.context.module,
+                kinds,
+                reduction.sequence.len(),
+                reduction.stats.tests_run,
+            )
+        }
+        Tool::GlslFuzz => {
+            let reduction = trx_baseline::BaselineReducer.reduce(
+                &original,
+                &test.units,
+                still_interesting,
+            );
+            let kinds = trx_dedup::interesting_types(
+                &reduction
+                    .units
+                    .iter()
+                    .flat_map(|u| u.parts.iter().cloned())
+                    .collect::<Vec<_>>(),
+            );
+            (
+                reduction.context.module,
+                kinds,
+                reduction.units.len(),
+                reduction.tests_run,
+            )
+        }
+    };
+
+    let reduced_count = module_for_target(tool, &reduced_module).instruction_count();
+    let delta_instructions = reduced_count.abs_diff(original_count);
+
+    // Ground truth: which injected bug the reduced variant trips.
+    let prepared = module_for_target(tool, &reduced_module);
+    let ground_truth = match target.compile(&prepared) {
+        trx_targets::CompileOutcome::Crash { bug, .. } => Some(bug),
+        trx_targets::CompileOutcome::Success { fired, .. } => fired.into_iter().next(),
+    };
+
+    Some(ReducedTest {
+        tool,
+        signature: signature.clone(),
+        ground_truth,
+        delta_instructions,
+        kinds,
+        reduced_length,
+        tests_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_targets::catalog;
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let parallel = parallel_map(4, 17, |i| i * i);
+        let serial: Vec<usize> = (0..17).map(|i| i * i).collect();
+        assert_eq!(parallel, serial);
+        assert!(parallel_map(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_tool_and_seed() {
+        let donors = donor_modules();
+        for tool in Tool::ALL {
+            let a = generate_test(tool, 5, &donors);
+            let b = generate_test(tool, 5, &donors);
+            assert_eq!(a.variant.module, b.variant.module, "{}", tool.name());
+        }
+    }
+
+    #[test]
+    fn small_campaign_finds_bugs_somewhere() {
+        let targets = catalog::all_targets();
+        let outcome = run_campaign(Tool::SpirvFuzz, &targets, 30, 0);
+        let total: usize = (0..targets.len())
+            .map(|t| outcome.distinct(t).len())
+            .sum();
+        assert!(total > 0, "30 tests should surface at least one signature");
+    }
+
+    #[test]
+    fn signature_ordering_is_stable() {
+        let a = BugSignature::Crash("a".into());
+        let b = BugSignature::Crash("b".into());
+        assert!(a < b);
+        assert!(BugSignature::Crash("z".into()) < BugSignature::Miscompilation);
+    }
+}
+
+/// Classifies one variant against one target using the *image* oracle of
+/// §3.4: both modules are rendered over a `width` × `height` fragment grid
+/// and compared per fragment — "miscompilations manifest as an unexpected
+/// image being rendered".
+///
+/// Slower than [`classify`] but catches wrong-code bugs that only show up
+/// for some fragment coordinates.
+#[must_use]
+pub fn classify_rendered(
+    tool: Tool,
+    target: &Target,
+    original: &Context,
+    variant_module: &Module,
+    inputs: &Inputs,
+    width: u32,
+    height: u32,
+) -> Option<BugSignature> {
+    use trx_ir::interp;
+    let original_module = module_for_target(tool, &original.module);
+    let prepared_variant = module_for_target(tool, variant_module);
+
+    let compiled_variant = match target.compile(&prepared_variant) {
+        trx_targets::CompileOutcome::Crash { signature, .. } => {
+            return Some(BugSignature::Crash(signature));
+        }
+        trx_targets::CompileOutcome::Success { module, .. } => module,
+    };
+    let variant_image = match interp::render(&compiled_variant, inputs, width, height) {
+        Ok(image) => image,
+        Err(fault) => return Some(BugSignature::Crash(format!("runtime fault: {fault}"))),
+    };
+    let compiled_original = match target.compile(&original_module) {
+        trx_targets::CompileOutcome::Crash { .. } => return None,
+        trx_targets::CompileOutcome::Success { module, .. } => module,
+    };
+    let Ok(original_image) = interp::render(&compiled_original, inputs, width, height)
+    else {
+        return None;
+    };
+    (original_image.diff_count(&variant_image) > 0).then_some(BugSignature::Miscompilation)
+}
+
+#[cfg(test)]
+mod image_oracle_tests {
+    use super::*;
+    use trx_core::transformations::PropagateInstructionUp;
+    use trx_core::apply;
+    use trx_ir::{Id, ModuleBuilder, Op, UnOp};
+    use trx_targets::catalog;
+
+    /// A shader whose loop bound depends on the fragment coordinate, so
+    /// wrong-code only shows in a rendered image.
+    fn coord_loop_context() -> Context {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let t_float = b.type_float();
+        let t_vec2 = b.type_vector(t_float, 2);
+        let frag = b.builtin("frag_coord", t_vec2);
+        let c0 = b.constant_int(0);
+        let c1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let coord = f.load(frag);
+        let x = f.composite_extract(coord, vec![0]);
+        let limit = f.unary(UnOp::ConvertFToS, t_int, x);
+        let pre = f.current_label();
+        let header = f.reserve_label();
+        let body = f.reserve_label();
+        let cont = f.reserve_label();
+        let merge = f.reserve_label();
+        f.branch(header);
+        f.begin_block_with_label(header);
+        let i = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+        let sum = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+        let cond = f.sle(i, limit);
+        f.loop_merge(merge, cont);
+        f.branch_cond(cond, body, merge);
+        f.begin_block_with_label(body);
+        let sum2 = f.iadd(t_int, sum, c1);
+        f.branch(cont);
+        f.begin_block_with_label(cont);
+        let i2 = f.iadd(t_int, i, c1);
+        f.branch(header);
+        f.begin_block_with_label(merge);
+        f.store_output("color", sum);
+        f.ret();
+        f.finish();
+        let mut module = b.finish();
+        let entry = module.entry_point;
+        let main = module.functions.iter_mut().find(|f| f.id == entry).unwrap();
+        let header_block = main.block_mut(header).unwrap();
+        if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+            incoming[1].0 = i2;
+        }
+        if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+            incoming[1].0 = sum2;
+        }
+        Context::new(module, Inputs::default()).unwrap()
+    }
+
+    #[test]
+    fn image_oracle_catches_coordinate_dependent_miscompilation() {
+        let mesa = catalog::target_by_name("Mesa").unwrap();
+        let original = coord_loop_context();
+
+        // Apply the Figure 8a transformation to provoke the loop bug.
+        let mut variant = original.clone();
+        let header = variant.module.entry_function().blocks[1].label;
+        let preds = variant.module.entry_function().predecessors(header);
+        let bound = variant.module.id_bound;
+        let fresh_ids: Vec<(Id, Id)> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, Id::new(bound + i as u32)))
+            .collect();
+        assert!(apply(
+            &mut variant,
+            &PropagateInstructionUp { block: header, fresh_ids }.into(),
+        ));
+
+        // Single-invocation classification misses nothing here only by
+        // luck of the default inputs; the image oracle reports reliably.
+        let rendered = classify_rendered(
+            Tool::SpirvFuzz,
+            &mesa,
+            &original,
+            &variant.module,
+            &original.inputs,
+            8,
+            1,
+        );
+        assert_eq!(rendered, Some(BugSignature::Miscompilation));
+
+        // The untransformed module renders identically to itself.
+        let clean = classify_rendered(
+            Tool::SpirvFuzz,
+            &mesa,
+            &original,
+            &original.module,
+            &original.inputs,
+            8,
+            1,
+        );
+        assert_eq!(clean, None);
+    }
+}
+
+#[cfg(test)]
+mod classify_tests {
+    use super::*;
+    use trx_ir::ModuleBuilder;
+    use trx_targets::{InjectedBug, Miscompilation, PassKind, Target, Trigger};
+
+    fn simple_context() -> Context {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(5);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        Context::new(b.finish(), Inputs::default()).unwrap()
+    }
+
+    fn drop_store_target(trigger: Trigger) -> Target {
+        Target::new(
+            "toy",
+            "1.0",
+            "None",
+            vec![PassKind::DeadCodeElimination],
+            vec![InjectedBug::miscompile(
+                "toy-drop",
+                None,
+                trigger,
+                Miscompilation::DropLastStore,
+            )],
+        )
+    }
+
+    #[test]
+    fn identical_results_are_no_bug() {
+        let ctx = simple_context();
+        let clean = Target::new("clean", "1.0", "None", vec![], vec![]);
+        assert_eq!(
+            classify(Tool::SpirvFuzz, &clean, &ctx, &ctx.module, &ctx.inputs),
+            None
+        );
+    }
+
+    #[test]
+    fn miscompilation_on_variant_only_is_reported() {
+        let original = simple_context();
+        // A variant distinguished by instruction count: add an extra (dead)
+        // constant so the trigger fires on the variant but not the original.
+        let trigger =
+            Trigger::InstructionCountAtLeast(original.module.instruction_count() + 1);
+        let target = drop_store_target(trigger);
+        let mut variant = original.clone();
+        // Any growth: a copy of the stored constant, via a transformation.
+        let c = variant.module.constants[0].id;
+        let anchor = variant.module.entry_function().entry_label();
+        let copy = trx_core::transformations::CopyObject {
+            fresh_id: trx_ir::Id::new(variant.module.id_bound),
+            source: c,
+            insert_before: trx_core::InstructionDescriptor::in_block(anchor, 0),
+        };
+        assert!(trx_core::apply(&mut variant, &copy.into()));
+        assert_eq!(
+            classify(Tool::SpirvFuzz, &target, &original, &variant.module, &original.inputs),
+            Some(BugSignature::Miscompilation)
+        );
+    }
+
+    #[test]
+    fn bug_on_both_sides_is_not_a_mismatch() {
+        // When the implementation miscompiles original AND variant the same
+        // way, cross-checking sees agreement — the known blind spot of
+        // single-compiler metamorphic testing.
+        let original = simple_context();
+        let target = drop_store_target(Trigger::InstructionCountAtLeast(1));
+        assert_eq!(
+            classify(Tool::SpirvFuzz, &target, &original, &original.module, &original.inputs),
+            None
+        );
+    }
+}

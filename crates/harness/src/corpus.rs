@@ -1,0 +1,395 @@
+//! The seed corpus: reference shaders and donor modules.
+//!
+//! The paper used 21 GraphicsFuzz reference shaders (numerically stable,
+//! suitable for detecting miscompilations) and 43 donors (§4). We generate a
+//! deterministic family of the same flavour: small fragment-shader-like
+//! modules mixing arithmetic, conditional diamonds, bounded loops, helper
+//! calls and composites, each paired with a concrete input set.
+
+use trx_ir::{
+    BinOp, Id, Inputs, Module, ModuleBuilder, Op, Value,
+};
+
+/// Number of reference shaders, matching the paper's corpus size.
+pub const REFERENCE_COUNT: usize = 21;
+/// Number of donor modules, matching the paper's corpus size.
+pub const DONOR_COUNT: usize = 43;
+
+/// A reference shader plus the input it is well-defined on.
+#[derive(Debug, Clone)]
+pub struct Reference {
+    /// A short descriptive name.
+    pub name: String,
+    /// The module.
+    pub module: Module,
+    /// The input set.
+    pub inputs: Inputs,
+}
+
+/// Builds the full set of reference shaders.
+#[must_use]
+pub fn reference_shaders() -> Vec<Reference> {
+    (0..REFERENCE_COUNT).map(reference_shader).collect()
+}
+
+/// Builds reference shader number `index` (deterministic).
+///
+/// # Panics
+///
+/// Panics if `index >= REFERENCE_COUNT`.
+#[must_use]
+pub fn reference_shader(index: usize) -> Reference {
+    assert!(index < REFERENCE_COUNT, "only {REFERENCE_COUNT} references exist");
+    // Cycle through five shapes, varying constants by index so each is a
+    // distinct program.
+    let salt = (index as i32) + 1;
+    let (name, module, inputs) = match index % 5 {
+        0 => arithmetic_shader(salt),
+        1 => diamond_shader(salt),
+        2 => loop_shader(salt),
+        3 => call_shader(salt),
+        _ => composite_shader(salt),
+    };
+    Reference { name: format!("{name}-{index}"), module, inputs }
+}
+
+fn arithmetic_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_bool = b.type_bool();
+    let u = b.uniform("k", t_int);
+    // An always-true boolean uniform, mirroring GraphicsFuzz's
+    // injectionSwitch: the fuzzer can obfuscate dead-block guards with it.
+    let _flag = b.uniform("flag", t_bool);
+    let c_a = b.constant_int(3 + salt);
+    let c_b = b.constant_int(7 * salt);
+    let mut f = b.begin_entry_function("main");
+    let loaded = f.load(u);
+    let x = f.imul(t_int, loaded, c_a);
+    let y = f.iadd(t_int, x, c_b);
+    let z = f.isub(t_int, y, loaded);
+    let w = f.binary(BinOp::SRem, t_int, z, c_a);
+    let out = f.iadd(t_int, z, w);
+    f.store_output("color", out);
+    f.ret();
+    f.finish();
+    let inputs = Inputs::new()
+        .with("k", Value::Int(salt * 2))
+        .with("flag", Value::Bool(true));
+    ("arithmetic", b.finish(), inputs)
+}
+
+fn diamond_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_bool = b.type_bool();
+    let u = b.uniform("threshold", t_int);
+    let _flag = b.uniform("flag", t_bool);
+    let c_low = b.constant_int(salt);
+    let c_high = b.constant_int(100 + salt);
+    let c_step = b.constant_int(2);
+    let mut f = b.begin_entry_function("main");
+    let loaded = f.load(u);
+    let cond = f.slt(loaded, c_high);
+    let then_l = f.reserve_label();
+    let else_l = f.reserve_label();
+    let merge_l = f.reserve_label();
+    f.selection_merge(merge_l);
+    f.branch_cond(cond, then_l, else_l);
+    f.begin_block_with_label(then_l);
+    let a = f.imul(t_int, loaded, c_step);
+    f.branch(merge_l);
+    f.begin_block_with_label(else_l);
+    let b_val = f.iadd(t_int, loaded, c_low);
+    f.branch(merge_l);
+    f.begin_block_with_label(merge_l);
+    let phi = f.phi(t_int, vec![(a, then_l), (b_val, else_l)]);
+    let shifted = f.iadd(t_int, phi, c_low);
+    f.store_output("color", shifted);
+    f.ret();
+    f.finish();
+    let inputs = Inputs::new()
+        .with("threshold", Value::Int(salt * 3))
+        .with("flag", Value::Bool(true));
+    ("diamond", b.finish(), inputs)
+}
+
+fn loop_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    // sum = 0; for (i = 0; i <= N; i++) sum += i * k;  (inclusive bound:
+    // exactly the shape whose last iteration the Figure 8a bug skips)
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let u = b.uniform("k", t_int);
+    let c0 = b.constant_int(0);
+    let c1 = b.constant_int(1);
+    let c_n = b.constant_int(4 + salt);
+    let mut f = b.begin_entry_function("main");
+    let loaded = f.load(u);
+    let pre = f.current_label();
+    let header = f.reserve_label();
+    let body = f.reserve_label();
+    let cont = f.reserve_label();
+    let merge = f.reserve_label();
+    f.branch(header);
+    f.begin_block_with_label(header);
+    let i = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+    let sum = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+    let cond = f.sle(i, c_n);
+    f.loop_merge(merge, cont);
+    f.branch_cond(cond, body, merge);
+    f.begin_block_with_label(body);
+    let term = f.imul(t_int, i, loaded);
+    let sum2 = f.iadd(t_int, sum, term);
+    f.branch(cont);
+    f.begin_block_with_label(cont);
+    let i2 = f.iadd(t_int, i, c1);
+    f.branch(header);
+    f.begin_block_with_label(merge);
+    f.store_output("color", sum);
+    f.ret();
+    f.finish();
+    let mut module = b.finish();
+    // Patch the back-edge phi inputs.
+    let main = module
+        .functions
+        .iter_mut()
+        .find(|f| f.id == module.entry_point)
+        .expect("entry exists");
+    let header_block = main.block_mut(header).expect("header exists");
+    if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+        incoming[1].0 = i2;
+    }
+    if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+        incoming[1].0 = sum2;
+    }
+    let inputs = Inputs::new().with("k", Value::Int(salt));
+    ("loop", module, inputs)
+}
+
+fn call_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let u = b.uniform("k", t_int);
+    let c_m = b.constant_int(5 + salt);
+
+    let mut h = b.begin_function(t_int, &[t_int]);
+    let p = h.param_ids()[0];
+    let squared = h.imul(t_int, p, p);
+    let biased = h.iadd(t_int, squared, c_m);
+    h.ret_value(biased);
+    let helper = h.finish();
+
+    let mut f = b.begin_entry_function("main");
+    let loaded = f.load(u);
+    let first = f.call(helper, vec![loaded]);
+    let second = f.call(helper, vec![first]);
+    let mixed = f.isub(t_int, second, first);
+    f.store_output("color", mixed);
+    f.ret();
+    f.finish();
+    let inputs = Inputs::new().with("k", Value::Int(salt % 7));
+    ("call", b.finish(), inputs)
+}
+
+fn composite_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_vec3 = b.type_vector(t_int, 3);
+    let u = b.uniform("k", t_int);
+    let c1 = b.constant_int(salt);
+    let c2 = b.constant_int(salt * 2);
+    let idx0 = b.constant_int(0);
+    let idx2 = b.constant_int(2);
+    let mut f = b.begin_entry_function("main");
+    let loaded = f.load(u);
+    let v = f.local_var(t_vec3, None);
+    let vec = f.composite_construct(t_vec3, vec![loaded, c1, c2]);
+    f.store(v, vec);
+    let p0 = f.access_chain(v, vec![idx0]);
+    let p2 = f.access_chain(v, vec![idx2]);
+    let e0 = f.load(p0);
+    let e2 = f.load(p2);
+    let sum = f.iadd(t_int, e0, e2);
+    let direct = f.composite_extract(vec, vec![1]);
+    let out = f.iadd(t_int, sum, direct);
+    f.store_output("color", out);
+    f.ret();
+    f.finish();
+    let inputs = Inputs::new().with("k", Value::Int(salt + 1));
+    ("composite", b.finish(), inputs)
+}
+
+/// Builds the full set of donor modules. Donor functions are self-contained
+/// (no globals, no calls) so both fuzzers can transplant them.
+#[must_use]
+pub fn donor_modules() -> Vec<Module> {
+    (0..DONOR_COUNT).map(donor_module).collect()
+}
+
+/// Builds donor module number `index` (deterministic).
+///
+/// # Panics
+///
+/// Panics if `index >= DONOR_COUNT`.
+#[must_use]
+pub fn donor_module(index: usize) -> Module {
+    assert!(index < DONOR_COUNT, "only {DONOR_COUNT} donors exist");
+    let salt = (index as i32) + 1;
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_bool = b.type_bool();
+    let c_a = b.constant_int(salt);
+    let c_b = b.constant_int(salt * 3 + 1);
+
+    // A scalar helper.
+    let mut h1 = b.begin_function(t_int, &[t_int]);
+    let p = h1.param_ids()[0];
+    let x = h1.imul(t_int, p, c_a);
+    let y = h1.iadd(t_int, x, c_b);
+    h1.ret_value(y);
+    h1.finish();
+
+    // A two-parameter helper with a select.
+    let mut h2 = b.begin_function(t_int, &[t_int, t_int]);
+    let ps = h2.param_ids();
+    let cmp = h2.slt(ps[0], ps[1]);
+    let picked = h2.select(t_int, cmp, ps[0], ps[1]);
+    let scaled = h2.imul(t_int, picked, c_a);
+    h2.ret_value(scaled);
+    h2.finish();
+
+    // A diamond-shaped helper with two returns (varies by index): feeds the
+    // MultipleReturnsInCallee trigger once transplanted.
+    if index.is_multiple_of(3) {
+        let mut h4 = b.begin_function(t_int, &[t_int]);
+        let p = h4.param_ids()[0];
+        let cmp = h4.slt(p, c_b);
+        let low_l = h4.reserve_label();
+        let high_l = h4.reserve_label();
+        // Both arms return: the merge annotation points at the unreachable
+        // join that structured control flow requires.
+        let join_l = h4.reserve_label();
+        h4.selection_merge(join_l);
+        h4.branch_cond(cmp, low_l, high_l);
+        h4.begin_block_with_label(low_l);
+        let doubled = h4.iadd(t_int, p, p);
+        h4.ret_value(doubled);
+        h4.begin_block_with_label(high_l);
+        h4.ret_value(c_a);
+        h4.begin_block_with_label(join_l);
+        h4.ret_value(c_b);
+        h4.finish();
+    }
+
+    // A helper containing a loop (every third donor): importable live-safe
+    // only through the §3.2 loop-limiter instrumentation. The back-edge phi
+    // inputs are patched after the module is finished.
+    let mut loop_patch: Option<(Id, Id, Id)> = None;
+    if index % 3 == 1 {
+        let c0 = b.constant_int(0);
+        let c1 = b.constant_int(1);
+        let mut h5 = b.begin_function(t_int, &[t_int]);
+        let p = h5.param_ids()[0];
+        let pre = h5.current_label();
+        let header = h5.reserve_label();
+        let body = h5.reserve_label();
+        let cont = h5.reserve_label();
+        let merge = h5.reserve_label();
+        h5.branch(header);
+        h5.begin_block_with_label(header);
+        let i = h5.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+        let acc = h5.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+        let cond = h5.slt(i, p);
+        h5.loop_merge(merge, cont);
+        h5.branch_cond(cond, body, merge);
+        h5.begin_block_with_label(body);
+        let acc2 = h5.iadd(t_int, acc, c_a);
+        h5.branch(cont);
+        h5.begin_block_with_label(cont);
+        let i2 = h5.iadd(t_int, i, c1);
+        h5.branch(header);
+        h5.begin_block_with_label(merge);
+        h5.ret_value(acc);
+        h5.finish();
+        loop_patch = Some((header, i2, acc2));
+    }
+
+    // A boolean helper (varies by index parity).
+    if index.is_multiple_of(2) {
+        let mut h3 = b.begin_function(t_bool, &[t_int]);
+        let p = h3.param_ids()[0];
+        let is_big = h3.binary(BinOp::SGreaterThan, t_bool, p, c_b);
+        h3.ret_value(is_big);
+        h3.finish();
+    }
+
+    let mut f = b.begin_entry_function("main");
+    f.store_output("unused", c_a);
+    f.ret();
+    f.finish();
+    let mut module = b.finish();
+    if let Some((header, i2, acc2)) = loop_patch {
+        let function = module
+            .functions
+            .iter_mut()
+            .find(|f| f.block(header).is_some())
+            .expect("loop helper exists");
+        let header_block = function.block_mut(header).expect("header exists");
+        if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+            incoming[1].0 = i2;
+        }
+        if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+            incoming[1].0 = acc2;
+        }
+    }
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_ir::validate::validate;
+    use trx_ir::interp;
+
+    #[test]
+    fn all_references_validate_and_run() {
+        for r in reference_shaders() {
+            validate(&r.module).unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            let result = interp::execute(&r.module, &r.inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            assert!(result.outputs.contains_key("color"), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn references_are_distinct_programs() {
+        let refs = reference_shaders();
+        for i in 0..refs.len() {
+            for j in i + 1..refs.len() {
+                assert_ne!(refs[i].module, refs[j].module, "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_donors_validate() {
+        let donors = donor_modules();
+        assert_eq!(donors.len(), DONOR_COUNT);
+        for (i, d) in donors.iter().enumerate() {
+            validate(d).unwrap_or_else(|e| panic!("donor {i}: {e}"));
+            assert!(d.functions.len() >= 3, "donor {i} has helpers");
+        }
+    }
+
+    #[test]
+    fn corpus_sizes_match_the_paper() {
+        assert_eq!(reference_shaders().len(), 21);
+        assert_eq!(donor_modules().len(), 43);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(reference_shader(7).module, reference_shader(7).module);
+        assert_eq!(donor_module(11), donor_module(11));
+    }
+}

@@ -1,0 +1,373 @@
+//! Drivers for the paper's controlled experiments (§4): each function
+//! regenerates the data behind one table or figure.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use trx_targets::{catalog, Target};
+
+use crate::campaign::{
+    generate_test, parallel_map, reduce_test, run_campaign, BugSignature, CampaignOutcome,
+    ReducedTest, Tool,
+};
+use crate::corpus::donor_modules;
+use crate::stats::{mann_whitney_u, median};
+use crate::venn::{venn_segments, VennSegments};
+
+/// Configuration shared by the experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Tests per tool configuration (the paper used 10,000).
+    pub tests_per_tool: usize,
+    /// Number of disjoint groups for the median/MWU analysis (the paper
+    /// used 10 groups of 1,000).
+    pub groups: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { tests_per_tool: 600, groups: 10, seed: 0 }
+    }
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Target name.
+    pub target: String,
+    /// Total distinct signatures per tool, in [`Tool::ALL`] order.
+    pub totals: [usize; 3],
+    /// Median distinct signatures across groups, per tool.
+    pub medians: [f64; 3],
+    /// MWU confidence (%) that spirv-fuzz beats spirv-fuzz-simple.
+    pub beats_simple: f64,
+    /// MWU confidence (%) that spirv-fuzz beats glsl-fuzz.
+    pub beats_glsl: f64,
+}
+
+/// The full Table 3 dataset plus per-target Venn segments (Figure 7).
+#[derive(Debug, Clone)]
+pub struct BugFindingData {
+    /// Per-target rows.
+    pub rows: Vec<Table3Row>,
+    /// The "All" row aggregating every target.
+    pub all_row: Table3Row,
+    /// Per-target Figure 7 Venn segments
+    /// (A = spirv-fuzz, B = spirv-fuzz-simple, C = glsl-fuzz).
+    pub venn: Vec<(String, VennSegments)>,
+    /// The aggregate Venn segments.
+    pub venn_all: VennSegments,
+}
+
+fn group_counts(outcome: &CampaignOutcome, target: usize, groups: usize) -> Vec<f64> {
+    let tests = outcome.per_test[target].len();
+    let group_size = (tests / groups).max(1);
+    (0..groups)
+        .map(|g| {
+            let start = g * group_size;
+            let end = ((g + 1) * group_size).min(tests);
+            if start >= end {
+                0.0
+            } else {
+                outcome.distinct_in_range(target, start..end).len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Runs the §4.1 bug-finding experiment (Table 3 + Figure 7).
+#[must_use]
+pub fn bug_finding(config: ExperimentConfig) -> BugFindingData {
+    let targets = catalog::all_targets();
+    let outcomes: Vec<CampaignOutcome> = Tool::ALL
+        .iter()
+        .map(|&tool| run_campaign(tool, &targets, config.tests_per_tool, config.seed))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut venn = Vec::new();
+    // Aggregate ("All") bookkeeping: union across targets, per group.
+    let mut all_groups: [Vec<f64>; 3] = [
+        vec![0.0; config.groups],
+        vec![0.0; config.groups],
+        vec![0.0; config.groups],
+    ];
+    let mut all_totals: [BTreeSet<(usize, BugSignature)>; 3] =
+        [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+    let mut venn_sets_all: [BTreeSet<(usize, BugSignature)>; 3] =
+        [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+
+    for (t, target) in targets.iter().enumerate() {
+        let mut totals = [0usize; 3];
+        let mut medians = [0f64; 3];
+        let mut groups_per_tool: Vec<Vec<f64>> = Vec::new();
+        let mut distinct_sets: Vec<BTreeSet<BugSignature>> = Vec::new();
+        for (k, outcome) in outcomes.iter().enumerate() {
+            let distinct = outcome.distinct(t);
+            totals[k] = distinct.len();
+            for signature in &distinct {
+                all_totals[k].insert((t, signature.clone()));
+                venn_sets_all[k].insert((t, signature.clone()));
+            }
+            let groups = group_counts(outcome, t, config.groups);
+            medians[k] = median(&groups).unwrap_or(0.0);
+            // Aggregate groups: distinct-signature count per group summed
+            // over targets approximates the paper's "All" medians.
+            for (g, &count) in groups.iter().enumerate() {
+                all_groups[k][g] += count;
+            }
+            groups_per_tool.push(groups);
+            distinct_sets.push(distinct);
+        }
+        let beats_simple = mann_whitney_u(&groups_per_tool[0], &groups_per_tool[1])
+            .map_or(50.0, |m| m.confidence_first_larger);
+        let beats_glsl = mann_whitney_u(&groups_per_tool[0], &groups_per_tool[2])
+            .map_or(50.0, |m| m.confidence_first_larger);
+        rows.push(Table3Row {
+            target: target.name().to_owned(),
+            totals,
+            medians,
+            beats_simple,
+            beats_glsl,
+        });
+        venn.push((
+            target.name().to_owned(),
+            venn_segments(&distinct_sets[0], &distinct_sets[1], &distinct_sets[2]),
+        ));
+    }
+
+    let all_row = Table3Row {
+        target: "All".to_owned(),
+        totals: [
+            all_totals[0].len(),
+            all_totals[1].len(),
+            all_totals[2].len(),
+        ],
+        medians: [
+            median(&all_groups[0]).unwrap_or(0.0),
+            median(&all_groups[1]).unwrap_or(0.0),
+            median(&all_groups[2]).unwrap_or(0.0),
+        ],
+        beats_simple: mann_whitney_u(&all_groups[0], &all_groups[1])
+            .map_or(50.0, |m| m.confidence_first_larger),
+        beats_glsl: mann_whitney_u(&all_groups[0], &all_groups[2])
+            .map_or(50.0, |m| m.confidence_first_larger),
+    };
+    let venn_all = venn_segments(&venn_sets_all[0], &venn_sets_all[1], &venn_sets_all[2]);
+
+    BugFindingData { rows, all_row, venn, venn_all }
+}
+
+/// The §4.2 reduction-quality data.
+#[derive(Debug, Clone)]
+pub struct ReductionQualityData {
+    /// Instruction-count deltas for every spirv-fuzz reduction.
+    pub spirv_fuzz_deltas: Vec<usize>,
+    /// Instruction-count deltas for every glsl-fuzz reduction.
+    pub glsl_fuzz_deltas: Vec<usize>,
+    /// Pre-reduction instruction-count deltas (original vs unreduced
+    /// variant), to substantiate the paper's "thousands of instructions"
+    /// remark.
+    pub unreduced_deltas: Vec<usize>,
+}
+
+impl ReductionQualityData {
+    /// Median delta per tool: the paper reports 8 (spirv-fuzz) vs 29
+    /// (glsl-fuzz).
+    #[must_use]
+    pub fn medians(&self) -> (f64, f64) {
+        let s: Vec<f64> = self.spirv_fuzz_deltas.iter().map(|&d| d as f64).collect();
+        let g: Vec<f64> = self.glsl_fuzz_deltas.iter().map(|&d| d as f64).collect();
+        (median(&s).unwrap_or(0.0), median(&g).unwrap_or(0.0))
+    }
+}
+
+/// The §4.2 targets: those that need no GPU, so "a very large number of
+/// reduction instances" can run.
+#[must_use]
+pub fn reduction_targets() -> Vec<Target> {
+    ["AMD-LLPC", "spirv-opt", "spirv-opt-old", "SwiftShader"]
+        .iter()
+        .filter_map(|name| catalog::target_by_name(name))
+        .collect()
+}
+
+/// Runs the §4.2 reduction-quality experiment: finds crash-triggering tests
+/// for the reduction targets, reduces each (capped per signature), and
+/// records instruction-count deltas.
+#[must_use]
+pub fn reduction_quality(
+    tests_per_tool: usize,
+    cap_per_signature: usize,
+    seed: u64,
+) -> ReductionQualityData {
+    let targets = reduction_targets();
+    let donors = donor_modules();
+    let mut spirv_fuzz_deltas = Vec::new();
+    let mut glsl_fuzz_deltas = Vec::new();
+    let mut unreduced_deltas = Vec::new();
+
+    for &tool in &[Tool::SpirvFuzz, Tool::GlslFuzz] {
+        let outcome = run_campaign(tool, &targets, tests_per_tool, seed);
+        // Collect (target, seed, signature) triples for crash bugs, capped
+        // per signature.
+        let mut per_signature: BTreeMap<(usize, BugSignature), usize> = BTreeMap::new();
+        let mut work: Vec<(usize, u64, BugSignature)> = Vec::new();
+        for (t, results) in outcome.per_test.iter().enumerate() {
+            for (i, signature) in results.iter().enumerate() {
+                let Some(signature @ BugSignature::Crash(_)) = signature else {
+                    continue;
+                };
+                let counter =
+                    per_signature.entry((t, signature.clone())).or_insert(0);
+                if *counter < cap_per_signature {
+                    *counter += 1;
+                    work.push((t, seed + i as u64, signature.clone()));
+                }
+            }
+        }
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let reduced: Vec<Option<(ReducedTest, usize)>> =
+            parallel_map(threads, work.len(), |w| {
+                let (t, test_seed, signature) = &work[w];
+                let reduced =
+                    reduce_test(tool, *test_seed, &targets[*t], &donors, signature)?;
+                // Unreduced delta for context.
+                let test = generate_test(tool, *test_seed, &donors);
+                let unreduced = crate::campaign::module_for_target(
+                    tool,
+                    &test.variant.module,
+                )
+                .instruction_count()
+                .abs_diff(
+                    crate::campaign::module_for_target(tool, &test.original.module)
+                        .instruction_count(),
+                );
+                Some((reduced, unreduced))
+            });
+        for entry in reduced.into_iter().flatten() {
+            let (test, unreduced) = entry;
+            unreduced_deltas.push(unreduced);
+            match tool {
+                Tool::GlslFuzz => glsl_fuzz_deltas.push(test.delta_instructions),
+                _ => spirv_fuzz_deltas.push(test.delta_instructions),
+            }
+        }
+    }
+
+    ReductionQualityData { spirv_fuzz_deltas, glsl_fuzz_deltas, unreduced_deltas }
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Target name.
+    pub target: String,
+    /// Reduced test cases fed to deduplication.
+    pub tests: usize,
+    /// Distinct crash signatures those tests collectively exhibit.
+    pub sigs: usize,
+    /// Test cases the algorithm recommends investigating.
+    pub reports: usize,
+    /// Distinct bugs actually covered by the recommendations.
+    pub distinct: usize,
+    /// Duplicate recommendations (`reports - distinct`).
+    pub dups: usize,
+}
+
+/// Runs the §4.3 deduplication experiment (Table 4): gathers reduced
+/// crash-triggering tests per target (NVIDIA excluded, as in the paper),
+/// runs the Figure 6 algorithm on their transformation-type sets, and
+/// scores the recommendations against ground truth.
+#[must_use]
+pub fn dedup_effectiveness(
+    tests_per_tool: usize,
+    cap_per_signature: usize,
+    seed: u64,
+) -> Vec<Table4Row> {
+    let targets: Vec<Target> = catalog::all_targets()
+        .into_iter()
+        .filter(|t| t.name() != "NVIDIA")
+        .collect();
+    let donors = donor_modules();
+    let tool = Tool::SpirvFuzz;
+    let outcome = run_campaign(tool, &targets, tests_per_tool, seed);
+
+    let mut rows = Vec::new();
+    for (t, target) in targets.iter().enumerate() {
+        // Crash-triggering seeds, capped per signature.
+        let mut per_signature: BTreeMap<BugSignature, usize> = BTreeMap::new();
+        let mut work: Vec<(u64, BugSignature)> = Vec::new();
+        for (i, signature) in outcome.per_test[t].iter().enumerate() {
+            let Some(signature @ BugSignature::Crash(_)) = signature else {
+                continue;
+            };
+            let counter = per_signature.entry(signature.clone()).or_insert(0);
+            if *counter < cap_per_signature {
+                *counter += 1;
+                work.push((seed + i as u64, signature.clone()));
+            }
+        }
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let reduced: Vec<Option<ReducedTest>> = parallel_map(threads, work.len(), |w| {
+            let (test_seed, signature) = &work[w];
+            reduce_test(tool, *test_seed, target, &donors, signature)
+        });
+        let reduced: Vec<ReducedTest> = reduced.into_iter().flatten().collect();
+        if reduced.is_empty() {
+            continue;
+        }
+        let sigs: BTreeSet<_> = reduced.iter().filter_map(|r| r.ground_truth.clone()).collect();
+        let type_sets: Vec<BTreeSet<trx_core::TransformationKind>> =
+            reduced.iter().map(|r| r.kinds.clone()).collect();
+        let picked = trx_dedup::deduplicate_sets(&type_sets);
+        let picked_bugs: BTreeSet<_> = picked
+            .iter()
+            .filter_map(|&i| reduced[i].ground_truth.clone())
+            .collect();
+        rows.push(Table4Row {
+            target: target.name().to_owned(),
+            tests: reduced.len(),
+            sigs: sigs.len(),
+            reports: picked.len(),
+            distinct: picked_bugs.len(),
+            dups: picked.len().saturating_sub(picked_bugs.len()),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bug_finding_run_produces_rows() {
+        let config = ExperimentConfig { tests_per_tool: 12, groups: 3, seed: 100 };
+        let data = bug_finding(config);
+        assert_eq!(data.rows.len(), 9);
+        assert_eq!(data.venn.len(), 9);
+        assert_eq!(data.all_row.target, "All");
+        // Venn totals must match the union sizes implied by tool totals.
+        for ((name, v), row) in data.venn.iter().zip(&data.rows) {
+            assert_eq!(name, &row.target);
+            for k in 0..3 {
+                assert!(v.total() >= row.totals[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_targets_exclude_gpu_targets() {
+        let names: Vec<String> = reduction_targets()
+            .iter()
+            .map(|t| t.name().to_owned())
+            .collect();
+        assert_eq!(names, vec!["AMD-LLPC", "spirv-opt", "spirv-opt-old", "SwiftShader"]);
+    }
+}

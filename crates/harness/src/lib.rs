@@ -1,0 +1,34 @@
+//! # trx-harness
+//!
+//! The testing harness (the paper's gfauto, §3.2): seed corpus, campaign
+//! runner, bug-signature classification, interestingness tests, statistics
+//! and drivers for every experiment in §4.
+//!
+//! # Example
+//!
+//! ```
+//! use trx_harness::campaign::{run_single_test, Tool};
+//! use trx_harness::corpus::donor_modules;
+//! use trx_targets::catalog;
+//!
+//! let target = catalog::target_by_name("SwiftShader").unwrap();
+//! let donors = donor_modules();
+//! // Any outcome is fine; the call is deterministic per seed.
+//! let outcome = run_single_test(Tool::SpirvFuzz, 1, &target, &donors);
+//! let again = run_single_test(Tool::SpirvFuzz, 1, &target, &donors);
+//! assert_eq!(outcome, again);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod experiments;
+pub mod regression;
+pub mod report;
+pub mod stats;
+pub mod venn;
+
+pub use campaign::{BugSignature, Tool};
+pub use experiments::ExperimentConfig;

@@ -1,0 +1,202 @@
+//! Regression tests from reduced transformation sequences (§2.1, "Bug
+//! reports and regression tests").
+//!
+//! Given a 1-minimal sequence `T1..Tn` over an original `(P0, I0)`, any pair
+//! `((Pj, Ij), (Pn, In))` with `j < n` illustrates the bug; `j = 0` shows
+//! the complete delta, `j = n-1` only the final transformation. The pair
+//! "provides a natural regression test ... the test should execute both
+//! programs on their respective inputs and check that their results are the
+//! same".
+
+use trx_core::{apply_sequence, Context, Transformation};
+use trx_ir::{interp, Execution, Fault, Module, Inputs};
+use trx_targets::{Target, TargetResult};
+
+/// A self-contained regression test: two equivalent programs and the input
+/// they must agree on.
+#[derive(Debug, Clone)]
+pub struct RegressionTest {
+    /// The less-transformed program (`P_j`).
+    pub before: Module,
+    /// The fully-reduced variant (`P_n`).
+    pub after: Module,
+    /// The shared input.
+    pub inputs: Inputs,
+    /// How many leading transformations `before` includes.
+    pub prefix: usize,
+}
+
+/// How a [`RegressionTest`] run went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionOutcome {
+    /// Both programs ran and agreed — the implementation passes.
+    Pass,
+    /// The implementation crashed or the results disagreed.
+    Fail {
+        /// A human-readable account of the failure.
+        reason: String,
+    },
+}
+
+impl RegressionTest {
+    /// Builds the regression pair `((P_j, I), (P_n, I))` from an original
+    /// context and a (reduced) transformation sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix > sequence.len()`.
+    #[must_use]
+    pub fn from_sequence(
+        original: &Context,
+        sequence: &[Transformation],
+        prefix: usize,
+    ) -> Self {
+        assert!(prefix <= sequence.len(), "prefix must not exceed the sequence");
+        let mut before = original.clone();
+        apply_sequence(&mut before, &sequence[..prefix]);
+        let mut after = original.clone();
+        apply_sequence(&mut after, sequence);
+        RegressionTest {
+            before: before.module,
+            after: after.module,
+            inputs: original.inputs.clone(),
+            prefix,
+        }
+    }
+
+    /// The most useful pairs in practice (§2.1): `j = 0` (complete delta)
+    /// and `j = n - 1` (final transformation only).
+    #[must_use]
+    pub fn complete_delta(original: &Context, sequence: &[Transformation]) -> Self {
+        Self::from_sequence(original, sequence, 0)
+    }
+
+    /// See [`RegressionTest::complete_delta`].
+    #[must_use]
+    pub fn final_transformation(original: &Context, sequence: &[Transformation]) -> Self {
+        Self::from_sequence(original, sequence, sequence.len().saturating_sub(1))
+    }
+
+    /// The ground-truth check: both programs agree under the reference
+    /// interpreter (this must always pass for sequences built from
+    /// semantics-preserving transformations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter faults (which indicate a malformed pair, not
+    /// an implementation bug).
+    pub fn check_reference(&self) -> Result<bool, Fault> {
+        let a = interp::execute(&self.before, &self.inputs)?;
+        let b = interp::execute(&self.after, &self.inputs)?;
+        Ok(a == b)
+    }
+
+    /// Runs the regression test against an implementation, as a conformance
+    /// suite would.
+    #[must_use]
+    pub fn run_against(&self, target: &Target) -> RegressionOutcome {
+        let describe = |result: &TargetResult| match result {
+            TargetResult::Executed(Execution { outputs, killed }) => {
+                format!("outputs {outputs:?}, killed {killed}")
+            }
+            TargetResult::CompilerCrash(sig) => format!("compiler crash: {sig}"),
+            TargetResult::RuntimeFault(f) => format!("runtime fault: {f}"),
+        };
+        let a = target.execute(&self.before, &self.inputs);
+        let b = target.execute(&self.after, &self.inputs);
+        match (&a, &b) {
+            (TargetResult::Executed(ra), TargetResult::Executed(rb)) if ra == rb => {
+                RegressionOutcome::Pass
+            }
+            _ => RegressionOutcome::Fail {
+                reason: format!(
+                    "P{} gave [{}], P_n gave [{}]",
+                    self.prefix,
+                    describe(&a),
+                    describe(&b)
+                ),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{classify, generate_test, BugSignature, Tool};
+    use crate::corpus::donor_modules;
+    use trx_reducer::Reducer;
+    use trx_targets::catalog;
+
+    /// Find a crash on SwiftShader, reduce it, and check that the resulting
+    /// regression test (a) always agrees under the reference interpreter and
+    /// (b) fails on the buggy target.
+    #[test]
+    fn regression_pair_fails_on_buggy_target_and_agrees_in_reference() {
+        let donors = donor_modules();
+        let target = catalog::target_by_name("SwiftShader").unwrap();
+        for seed in 0..400 {
+            let test = generate_test(Tool::SpirvFuzz, seed, &donors);
+            let Some(signature @ BugSignature::Crash(_)) = classify(
+                Tool::SpirvFuzz,
+                &target,
+                &test.original,
+                &test.variant.module,
+                &test.original.inputs,
+            ) else {
+                continue;
+            };
+            let reduction = Reducer::default().reduce(
+                &test.original,
+                &test.transformations,
+                |variant| {
+                    classify(
+                        Tool::SpirvFuzz,
+                        &target,
+                        &test.original,
+                        &variant.module,
+                        &test.original.inputs,
+                    )
+                    .as_ref()
+                        == Some(&signature)
+                },
+            );
+            for regression in [
+                RegressionTest::complete_delta(&test.original, &reduction.sequence),
+                RegressionTest::final_transformation(&test.original, &reduction.sequence),
+            ] {
+                assert_eq!(regression.check_reference(), Ok(true));
+                assert!(matches!(
+                    regression.run_against(&target),
+                    RegressionOutcome::Fail { .. }
+                ));
+                // A clean implementation passes the same regression test.
+                let clean = trx_targets::Target::new(
+                    "clean",
+                    "1.0",
+                    "None",
+                    vec![
+                        trx_targets::PassKind::Inlining,
+                        trx_targets::PassKind::ConstantFolding,
+                        trx_targets::PassKind::DeadCodeElimination,
+                        trx_targets::PassKind::CfgSimplification,
+                    ],
+                    vec![],
+                );
+                assert_eq!(regression.run_against(&clean), RegressionOutcome::Pass);
+            }
+            return;
+        }
+        panic!("no crash-triggering seed found in range");
+    }
+
+    #[test]
+    fn prefix_bounds_are_enforced() {
+        let donors = donor_modules();
+        let test = generate_test(Tool::SpirvFuzz, 0, &donors);
+        let n = test.transformations.len();
+        let r = RegressionTest::from_sequence(&test.original, &test.transformations, n);
+        assert_eq!(r.prefix, n);
+        assert_eq!(r.check_reference(), Ok(true));
+    }
+}

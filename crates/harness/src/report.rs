@@ -1,0 +1,220 @@
+//! Persistent bug reports.
+//!
+//! spirv-fuzz serialises transformation sequences (as protocol buffers) so
+//! that bug reports are *replayable*: the reduced sequence plus the original
+//! shader reproduces the failing variant exactly. This module provides the
+//! same artefact as JSON: a [`BugReport`] carries the reference identity,
+//! the reduced sequence, the human-readable delta, and enough metadata to
+//! re-run the interestingness test.
+
+use serde::{Deserialize, Serialize};
+
+use trx_core::{apply_sequence, Context, Transformation};
+use trx_ir::disasm;
+
+use crate::campaign::BugSignature;
+use crate::corpus::reference_shader;
+
+/// A self-contained, replayable bug report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BugReport {
+    /// The target the bug was observed on.
+    pub target: String,
+    /// The observed signature.
+    pub signature: BugSignature,
+    /// Index of the reference shader the test started from.
+    pub reference_index: usize,
+    /// The reduced transformation sequence (the replayable core of the
+    /// report).
+    pub sequence: Vec<Transformation>,
+    /// The delta between the original and the minimally-transformed
+    /// variant, in `-`/`+` line form (the Figure 3 presentation).
+    pub delta: String,
+    /// Instruction counts of original and reduced variant.
+    pub instruction_counts: (usize, usize),
+}
+
+/// Failures when building or replaying a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The reference index is out of range.
+    UnknownReference(usize),
+    /// Replaying the sequence failed to apply some transformation.
+    ReplayIncomplete {
+        /// Index of the first transformation that did not apply.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::UnknownReference(i) => write!(f, "unknown reference index {i}"),
+            ReportError::ReplayIncomplete { position } => {
+                write!(f, "transformation {position} no longer applies")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl BugReport {
+    /// Builds a report from a reduced sequence over reference
+    /// `reference_index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::UnknownReference`] for an out-of-range index.
+    pub fn new(
+        target: &str,
+        signature: BugSignature,
+        reference_index: usize,
+        sequence: Vec<Transformation>,
+    ) -> Result<Self, ReportError> {
+        if reference_index >= crate::corpus::REFERENCE_COUNT {
+            return Err(ReportError::UnknownReference(reference_index));
+        }
+        let reference = reference_shader(reference_index);
+        let original = Context::new(reference.module, reference.inputs)
+            .expect("references validate");
+        let mut variant = original.clone();
+        apply_sequence(&mut variant, &sequence);
+        let original_text = disasm::disassemble(&original.module);
+        let variant_text = disasm::disassemble(&variant.module);
+        Ok(BugReport {
+            target: target.to_owned(),
+            signature,
+            reference_index,
+            sequence,
+            delta: disasm::changed_lines(&original_text, &variant_text),
+            instruction_counts: (
+                original.module.instruction_count(),
+                variant.module.instruction_count(),
+            ),
+        })
+    }
+
+    /// Replays the report, returning the reproduced variant context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::ReplayIncomplete`] if some recorded
+    /// transformation no longer applies — which indicates a corrupted
+    /// report, since sequences replay deterministically against the fixed
+    /// corpus.
+    pub fn replay(&self) -> Result<Context, ReportError> {
+        if self.reference_index >= crate::corpus::REFERENCE_COUNT {
+            return Err(ReportError::UnknownReference(self.reference_index));
+        }
+        let reference = reference_shader(self.reference_index);
+        let mut context = Context::new(reference.module, reference.inputs)
+            .expect("references validate");
+        let applied = apply_sequence(&mut context, &self.sequence);
+        if let Some(position) = applied.iter().position(|&a| !a) {
+            return Err(ReportError::ReplayIncomplete { position });
+        }
+        Ok(context)
+    }
+
+    /// Serialises the report to JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for reports produced by [`BugReport::new`] (all fields
+    /// are serde-friendly).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports serialise")
+    }
+
+    /// Parses a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{classify, generate_test, Tool};
+    use crate::corpus::donor_modules;
+    use trx_reducer::Reducer;
+    use trx_targets::catalog;
+
+    fn some_reduced_report() -> BugReport {
+        let donors = donor_modules();
+        let target = catalog::target_by_name("spirv-opt-old").unwrap();
+        for seed in 0..300 {
+            let test = generate_test(Tool::SpirvFuzz, seed, &donors);
+            let Some(signature @ BugSignature::Crash(_)) = classify(
+                Tool::SpirvFuzz,
+                &target,
+                &test.original,
+                &test.variant.module,
+                &test.original.inputs,
+            ) else {
+                continue;
+            };
+            let reduction = Reducer::default().reduce(
+                &test.original,
+                &test.transformations,
+                |variant| {
+                    classify(
+                        Tool::SpirvFuzz,
+                        &target,
+                        &test.original,
+                        &variant.module,
+                        &test.original.inputs,
+                    )
+                    .as_ref()
+                        == Some(&signature)
+                },
+            );
+            return BugReport::new(
+                target.name(),
+                signature,
+                seed as usize % crate::corpus::REFERENCE_COUNT,
+                reduction.sequence,
+            )
+            .expect("valid reference index");
+        }
+        panic!("no crash found in seed range");
+    }
+
+    #[test]
+    fn report_round_trips_through_json_and_replays() {
+        let report = some_reduced_report();
+        let json = report.to_json();
+        let parsed = BugReport::from_json(&json).expect("parses");
+        assert_eq!(report, parsed);
+        let replayed = parsed.replay().expect("replays cleanly");
+        // The replayed variant still triggers the recorded signature.
+        let target = catalog::target_by_name(&parsed.target).unwrap();
+        let observed = classify(
+            Tool::SpirvFuzz,
+            &target,
+            &replayed, // original == replayed base; classification only
+            &replayed.module,
+            &replayed.inputs,
+        );
+        assert_eq!(observed.as_ref(), Some(&parsed.signature));
+        assert!(!parsed.delta.is_empty());
+    }
+
+    #[test]
+    fn unknown_reference_rejected() {
+        let err = BugReport::new(
+            "x",
+            BugSignature::Miscompilation,
+            9_999,
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err, ReportError::UnknownReference(9_999));
+    }
+}

@@ -1,0 +1,174 @@
+//! Statistics for the evaluation: medians and the Mann–Whitney U test used
+//! throughout §4.1 (Table 3's confidence columns).
+
+/// The median of a sample (mean of the two central elements for even sizes).
+///
+/// Returns `None` for an empty sample.
+#[must_use]
+pub fn median(sample: &[f64]) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    })
+}
+
+/// The outcome of a one-sided Mann–Whitney U comparison of two samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// One-sided confidence (in percent) that the first sample is
+    /// stochastically larger than the second — the number reported in
+    /// Table 3's "spirv-fuzz beats ...?" columns.
+    pub confidence_first_larger: f64,
+}
+
+impl MannWhitney {
+    /// `true` when the first sample is judged larger with the usual 95%
+    /// threshold.
+    #[must_use]
+    pub fn significant(&self) -> bool {
+        self.confidence_first_larger >= 95.0
+    }
+}
+
+/// Runs the Mann–Whitney U test (normal approximation with tie correction),
+/// following the original Mann & Whitney 1947 formulation the paper cites.
+///
+/// Returns `None` when either sample is empty or all values are identical
+/// (no ordering information).
+#[must_use]
+pub fn mann_whitney_u(first: &[f64], second: &[f64]) -> Option<MannWhitney> {
+    if first.is_empty() || second.is_empty() {
+        return None;
+    }
+    let n1 = first.len() as f64;
+    let n2 = second.len() as f64;
+
+    // Rank the pooled sample with mid-ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = first
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(second.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs in samples"));
+
+    let total = pooled.len();
+    let mut ranks = vec![0.0f64; total];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < total {
+        let mut j = i;
+        while j + 1 < total && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let tied = (j - i + 1) as f64;
+        let mid_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for rank in ranks.iter_mut().take(j + 1).skip(i) {
+            *rank = mid_rank;
+        }
+        tie_correction += tied * tied * tied - tied;
+        i = j + 1;
+    }
+
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, group), _)| *group == 0)
+        .map(|(_, &rank)| rank)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let n = n1 + n2;
+    let mean = n1 * n2 / 2.0;
+    let variance = (n1 * n2 / 12.0) * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+    if variance <= 0.0 {
+        // All observations identical: no evidence either way.
+        return Some(MannWhitney { u: u1, confidence_first_larger: 50.0 });
+    }
+    // Continuity-corrected z for the one-sided "first larger" alternative.
+    let z = (u1 - mean - 0.5) / variance.sqrt();
+    let confidence = normal_cdf(z) * 100.0;
+    Some(MannWhitney { u: u1, confidence_first_larger: confidence })
+}
+
+/// The standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max error ~1.5e-7, plenty for reporting percentages).
+#[must_use]
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
+            - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.959_96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.959_96) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clearly_larger_sample_wins() {
+        let big = vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0, 19.0];
+        let small = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 0.0];
+        let result = mann_whitney_u(&big, &small).unwrap();
+        assert!(result.confidence_first_larger > 99.9, "{result:?}");
+        assert!(result.significant());
+        let reversed = mann_whitney_u(&small, &big).unwrap();
+        assert!(reversed.confidence_first_larger < 0.1, "{reversed:?}");
+    }
+
+    #[test]
+    fn identical_samples_are_inconclusive() {
+        let a = vec![5.0; 10];
+        let result = mann_whitney_u(&a, &a).unwrap();
+        assert!((result.confidence_first_larger - 50.0).abs() < f64::EPSILON);
+        assert!(!result.significant());
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let a = vec![1.0, 2.0, 2.0, 3.0, 4.0];
+        let b = vec![2.0, 2.0, 3.0, 3.0, 1.0];
+        let result = mann_whitney_u(&a, &b).unwrap();
+        assert!(result.confidence_first_larger > 0.0);
+        assert!(result.confidence_first_larger < 100.0);
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Three-set Venn segment counts, used for Figure 7 ("complementarity of
+//! spirv-fuzz, spirv-fuzz-simple and glsl-fuzz with respect to bug
+//! finding").
+
+use std::collections::BTreeSet;
+
+/// The seven segment counts of a three-set Venn diagram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VennSegments {
+    /// Only in A.
+    pub only_a: usize,
+    /// Only in B.
+    pub only_b: usize,
+    /// Only in C.
+    pub only_c: usize,
+    /// In A and B, not C.
+    pub a_and_b: usize,
+    /// In A and C, not B.
+    pub a_and_c: usize,
+    /// In B and C, not A.
+    pub b_and_c: usize,
+    /// In all three.
+    pub all: usize,
+}
+
+impl VennSegments {
+    /// Total number of distinct elements across the three sets.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.only_a
+            + self.only_b
+            + self.only_c
+            + self.a_and_b
+            + self.a_and_c
+            + self.b_and_c
+            + self.all
+    }
+}
+
+/// Computes the Venn segments of three sets.
+pub fn venn_segments<T: Ord + Clone>(
+    a: &BTreeSet<T>,
+    b: &BTreeSet<T>,
+    c: &BTreeSet<T>,
+) -> VennSegments {
+    let mut segments = VennSegments::default();
+    let mut union: BTreeSet<T> = BTreeSet::new();
+    union.extend(a.iter().cloned());
+    union.extend(b.iter().cloned());
+    union.extend(c.iter().cloned());
+    for item in union {
+        match (a.contains(&item), b.contains(&item), c.contains(&item)) {
+            (true, false, false) => segments.only_a += 1,
+            (false, true, false) => segments.only_b += 1,
+            (false, false, true) => segments.only_c += 1,
+            (true, true, false) => segments.a_and_b += 1,
+            (true, false, true) => segments.a_and_c += 1,
+            (false, true, true) => segments.b_and_c += 1,
+            (true, true, true) => segments.all += 1,
+            (false, false, false) => unreachable!("item from the union"),
+        }
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> BTreeSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn segments_partition_the_union() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5]);
+        let c = set(&[4, 5, 6]);
+        let v = venn_segments(&a, &b, &c);
+        assert_eq!(v.only_a, 2); // 1, 2
+        assert_eq!(v.a_and_b, 1); // 3
+        assert_eq!(v.all, 1); // 4
+        assert_eq!(v.b_and_c, 1); // 5
+        assert_eq!(v.only_c, 1); // 6
+        assert_eq!(v.only_b, 0);
+        assert_eq!(v.a_and_c, 0);
+        assert_eq!(v.total(), 6);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let e = BTreeSet::<u32>::new();
+        assert_eq!(venn_segments(&e, &e, &e).total(), 0);
+    }
+}

@@ -1,0 +1,746 @@
+use std::collections::HashMap;
+
+use crate::{
+    BinOp, Block, ConstantDecl, ConstantValue, Function, FunctionControl, FunctionParam,
+    GlobalVariable, Id, IdAllocator, Instruction, Interface, Merge, Module, Op, StorageClass,
+    Terminator, Type, UnOp,
+};
+use crate::module::InterfaceBinding;
+
+/// Incrementally constructs a [`Module`].
+///
+/// The builder interns types and constants (declaring each distinct one
+/// exactly once), allocates fresh ids, and tracks the type of every value it
+/// creates so that instruction helpers can infer result types.
+///
+/// # Example
+///
+/// ```
+/// use trx_ir::{ModuleBuilder, validate::validate};
+///
+/// let mut b = ModuleBuilder::new();
+/// let t_int = b.type_int();
+/// let u = b.uniform("threshold", t_int);
+/// let c10 = b.constant_int(10);
+/// let mut f = b.begin_entry_function("main");
+/// let loaded = f.load(u);
+/// let sum = f.iadd(t_int, loaded, c10);
+/// f.store_output("result", sum);
+/// f.ret();
+/// f.finish();
+/// let module = b.finish();
+/// assert!(validate(&module).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+    alloc: IdAllocator,
+    value_types: HashMap<Id, Id>,
+}
+
+impl Default for ModuleBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModuleBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ModuleBuilder {
+            module: Module {
+                id_bound: 1,
+                types: Vec::new(),
+                constants: Vec::new(),
+                globals: Vec::new(),
+                functions: Vec::new(),
+                entry_point: Id::PLACEHOLDER,
+                interface: Interface::default(),
+            },
+            alloc: IdAllocator::new(1),
+            value_types: HashMap::new(),
+        }
+    }
+
+    /// Allocates a fresh id.
+    pub fn fresh_id(&mut self) -> Id {
+        self.alloc.fresh()
+    }
+
+    /// Interns a type, declaring it if not yet present.
+    pub fn intern_type(&mut self, ty: Type) -> Id {
+        if let Some(id) = self.module.lookup_type(&ty) {
+            return id;
+        }
+        let id = self.alloc.fresh();
+        self.module.types.push(crate::TypeDecl { id, ty });
+        id
+    }
+
+    /// The `Void` type id.
+    pub fn type_void(&mut self) -> Id {
+        self.intern_type(Type::Void)
+    }
+
+    /// The `Bool` type id.
+    pub fn type_bool(&mut self) -> Id {
+        self.intern_type(Type::Bool)
+    }
+
+    /// The 32-bit signed integer type id.
+    pub fn type_int(&mut self) -> Id {
+        self.intern_type(Type::Int)
+    }
+
+    /// The 32-bit float type id.
+    pub fn type_float(&mut self) -> Id {
+        self.intern_type(Type::Float)
+    }
+
+    /// A vector type id.
+    pub fn type_vector(&mut self, component: Id, count: u32) -> Id {
+        self.intern_type(Type::Vector { component, count })
+    }
+
+    /// An array type id.
+    pub fn type_array(&mut self, element: Id, len: u32) -> Id {
+        self.intern_type(Type::Array { element, len })
+    }
+
+    /// A struct type id.
+    pub fn type_struct(&mut self, members: Vec<Id>) -> Id {
+        self.intern_type(Type::Struct { members })
+    }
+
+    /// A pointer type id.
+    pub fn type_pointer(&mut self, storage: StorageClass, pointee: Id) -> Id {
+        self.intern_type(Type::Pointer { storage, pointee })
+    }
+
+    /// A function type id.
+    pub fn type_function(&mut self, ret: Id, params: Vec<Id>) -> Id {
+        self.intern_type(Type::Function { ret, params })
+    }
+
+    /// Interns a constant, declaring it if not yet present.
+    pub fn intern_constant(&mut self, ty: Id, value: ConstantValue) -> Id {
+        if let Some(id) = self.module.lookup_constant(ty, &value) {
+            return id;
+        }
+        let id = self.alloc.fresh();
+        self.module.constants.push(ConstantDecl { id, ty, value });
+        self.value_types.insert(id, ty);
+        id
+    }
+
+    /// A boolean constant id.
+    pub fn constant_bool(&mut self, v: bool) -> Id {
+        let ty = self.type_bool();
+        self.intern_constant(ty, ConstantValue::Bool(v))
+    }
+
+    /// An integer constant id.
+    pub fn constant_int(&mut self, v: i32) -> Id {
+        let ty = self.type_int();
+        self.intern_constant(ty, ConstantValue::Int(v))
+    }
+
+    /// A float constant id.
+    pub fn constant_float(&mut self, v: f32) -> Id {
+        let ty = self.type_float();
+        self.intern_constant(ty, ConstantValue::float(v))
+    }
+
+    /// A composite constant id built from already-declared constants.
+    pub fn constant_composite(&mut self, ty: Id, parts: Vec<Id>) -> Id {
+        self.intern_constant(ty, ConstantValue::Composite(parts))
+    }
+
+    fn add_global(
+        &mut self,
+        storage: StorageClass,
+        pointee: Id,
+        initializer: Option<Id>,
+    ) -> Id {
+        let ty = self.type_pointer(storage, pointee);
+        let id = self.alloc.fresh();
+        self.module.globals.push(GlobalVariable { id, ty, storage, initializer });
+        self.value_types.insert(id, ty);
+        id
+    }
+
+    /// Declares a uniform input with the given external name and pointee
+    /// type, returning its pointer id.
+    pub fn uniform(&mut self, name: &str, pointee: Id) -> Id {
+        let id = self.add_global(StorageClass::Uniform, pointee, None);
+        self.module
+            .interface
+            .uniforms
+            .push(InterfaceBinding { name: name.to_owned(), global: id });
+        id
+    }
+
+    /// Declares a built-in input (e.g. the fragment coordinate).
+    pub fn builtin(&mut self, name: &str, pointee: Id) -> Id {
+        let id = self.add_global(StorageClass::Input, pointee, None);
+        self.module
+            .interface
+            .builtins
+            .push(InterfaceBinding { name: name.to_owned(), global: id });
+        id
+    }
+
+    /// Declares a named output, returning its pointer id.
+    pub fn output(&mut self, name: &str, pointee: Id) -> Id {
+        if let Some(b) = self.module.interface.outputs.iter().find(|b| b.name == name) {
+            return b.global;
+        }
+        let id = self.add_global(StorageClass::Output, pointee, None);
+        self.module
+            .interface
+            .outputs
+            .push(InterfaceBinding { name: name.to_owned(), global: id });
+        id
+    }
+
+    /// Declares a module-private global, returning its pointer id.
+    pub fn private_global(&mut self, pointee: Id, initializer: Option<Id>) -> Id {
+        self.add_global(StorageClass::Private, pointee, initializer)
+    }
+
+    /// Begins the entry-point function (`void main()`); the given name is
+    /// documentation only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry point was already begun.
+    pub fn begin_entry_function(&mut self, _name: &str) -> FunctionBuilder<'_> {
+        assert!(
+            self.module.entry_point.is_placeholder(),
+            "entry point already declared"
+        );
+        let t_void = self.type_void();
+        let fb = self.begin_function(t_void, &[]);
+        fb.mb.module.entry_point = fb.func.id;
+        fb
+    }
+
+    /// Begins an ordinary function with the given return and parameter types.
+    pub fn begin_function(&mut self, ret: Id, params: &[Id]) -> FunctionBuilder<'_> {
+        let ty = self.type_function(ret, params.to_vec());
+        let id = self.alloc.fresh();
+        let params: Vec<FunctionParam> = params
+            .iter()
+            .map(|&ty| {
+                let pid = self.alloc.fresh();
+                self.value_types.insert(pid, ty);
+                FunctionParam { id: pid, ty }
+            })
+            .collect();
+        let func = Function {
+            id,
+            ty,
+            control: FunctionControl::None,
+            params,
+            blocks: Vec::new(),
+        };
+        let entry = self.alloc.fresh();
+        FunctionBuilder {
+            mb: self,
+            func,
+            variables: Vec::new(),
+            current: Some(OpenBlock { label: entry, instructions: Vec::new(), merge: None }),
+        }
+    }
+
+    /// The type id of a value produced so far.
+    #[must_use]
+    pub fn value_type(&self, id: Id) -> Option<Id> {
+        self.value_types.get(&id).copied()
+    }
+
+    /// Read-only access to the module under construction.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Finalises and returns the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry point was declared.
+    #[must_use]
+    pub fn finish(mut self) -> Module {
+        assert!(
+            !self.module.entry_point.is_placeholder(),
+            "module has no entry point"
+        );
+        self.module.id_bound = self.alloc.bound();
+        self.module
+    }
+}
+
+#[derive(Debug)]
+struct OpenBlock {
+    label: Id,
+    instructions: Vec<Instruction>,
+    merge: Option<Merge>,
+}
+
+/// Incrementally constructs a [`Function`] inside a [`ModuleBuilder`].
+///
+/// A block is always "open"; instruction helpers append to it, and terminator
+/// helpers close it. Use [`FunctionBuilder::begin_block`] to open the next
+/// one. Local variables declared with [`FunctionBuilder::local_var`] are
+/// hoisted to the start of the entry block when the function is finished, as
+/// SPIR-V requires.
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    mb: &'a mut ModuleBuilder,
+    func: Function,
+    variables: Vec<Instruction>,
+    current: Option<OpenBlock>,
+}
+
+impl FunctionBuilder<'_> {
+    /// The id of the function being built.
+    #[must_use]
+    pub fn id(&self) -> Id {
+        self.func.id
+    }
+
+    /// Ids of the function's parameters.
+    pub fn param_ids(&self) -> Vec<Id> {
+        self.func.params.iter().map(|p| p.id).collect()
+    }
+
+    /// The label of the block currently being filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is open.
+    #[must_use]
+    pub fn current_label(&self) -> Id {
+        self.current.as_ref().expect("no open block").label
+    }
+
+    /// Sets the function's inlining control.
+    pub fn set_control(&mut self, control: FunctionControl) {
+        self.func.control = control;
+    }
+
+    /// Reserves a label for a future block without opening it.
+    pub fn reserve_label(&mut self) -> Id {
+        self.mb.alloc.fresh()
+    }
+
+    /// Opens a new block with a fresh label, returning the label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is already open (terminate it first).
+    pub fn begin_block(&mut self) -> Id {
+        let label = self.mb.alloc.fresh();
+        self.begin_block_with_label(label);
+        label
+    }
+
+    /// Opens a new block with a previously reserved label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is already open.
+    pub fn begin_block_with_label(&mut self, label: Id) {
+        assert!(self.current.is_none(), "a block is already open");
+        self.current = Some(OpenBlock { label, instructions: Vec::new(), merge: None });
+    }
+
+    /// Annotates the open block as a selection header merging at `merge`.
+    pub fn selection_merge(&mut self, merge: Id) {
+        self.current.as_mut().expect("no open block").merge = Some(Merge::Selection { merge });
+    }
+
+    /// Annotates the open block as a loop header.
+    pub fn loop_merge(&mut self, merge: Id, cont: Id) {
+        self.current.as_mut().expect("no open block").merge = Some(Merge::Loop { merge, cont });
+    }
+
+    fn close(&mut self, terminator: Terminator) {
+        let open = self.current.take().expect("no open block to terminate");
+        self.func.blocks.push(Block {
+            label: open.label,
+            instructions: open.instructions,
+            merge: open.merge,
+            terminator,
+        });
+    }
+
+    /// Terminates the open block with an unconditional branch.
+    pub fn branch(&mut self, target: Id) {
+        self.close(Terminator::Branch { target });
+    }
+
+    /// Terminates the open block with a conditional branch.
+    pub fn branch_cond(&mut self, cond: Id, true_target: Id, false_target: Id) {
+        self.close(Terminator::BranchConditional { cond, true_target, false_target });
+    }
+
+    /// Terminates the open block with `OpReturn`.
+    pub fn ret(&mut self) {
+        self.close(Terminator::Return);
+    }
+
+    /// Terminates the open block with `OpReturnValue`.
+    pub fn ret_value(&mut self, value: Id) {
+        self.close(Terminator::ReturnValue { value });
+    }
+
+    /// Terminates the open block with `OpKill`.
+    pub fn kill(&mut self) {
+        self.close(Terminator::Kill);
+    }
+
+    /// Terminates the open block with `OpUnreachable`.
+    pub fn unreachable(&mut self) {
+        self.close(Terminator::Unreachable);
+    }
+
+    /// Appends an instruction with a fresh result id of type `ty`.
+    pub fn push(&mut self, ty: Id, op: Op) -> Id {
+        let id = self.mb.alloc.fresh();
+        self.mb.value_types.insert(id, ty);
+        self.current
+            .as_mut()
+            .expect("no open block")
+            .instructions
+            .push(Instruction::with_result(id, ty, op));
+        id
+    }
+
+    /// Appends a result-less instruction.
+    pub fn push_void(&mut self, op: Op) {
+        self.current
+            .as_mut()
+            .expect("no open block")
+            .instructions
+            .push(Instruction::without_result(op));
+    }
+
+    /// A binary operation.
+    pub fn binary(&mut self, op: BinOp, ty: Id, lhs: Id, rhs: Id) -> Id {
+        self.push(ty, Op::Binary { op, lhs, rhs })
+    }
+
+    /// Integer addition.
+    pub fn iadd(&mut self, ty: Id, lhs: Id, rhs: Id) -> Id {
+        self.binary(BinOp::IAdd, ty, lhs, rhs)
+    }
+
+    /// Integer subtraction.
+    pub fn isub(&mut self, ty: Id, lhs: Id, rhs: Id) -> Id {
+        self.binary(BinOp::ISub, ty, lhs, rhs)
+    }
+
+    /// Integer multiplication.
+    pub fn imul(&mut self, ty: Id, lhs: Id, rhs: Id) -> Id {
+        self.binary(BinOp::IMul, ty, lhs, rhs)
+    }
+
+    /// Float addition.
+    pub fn fadd(&mut self, ty: Id, lhs: Id, rhs: Id) -> Id {
+        self.binary(BinOp::FAdd, ty, lhs, rhs)
+    }
+
+    /// Float multiplication.
+    pub fn fmul(&mut self, ty: Id, lhs: Id, rhs: Id) -> Id {
+        self.binary(BinOp::FMul, ty, lhs, rhs)
+    }
+
+    /// Signed less-than comparison (boolean result).
+    pub fn slt(&mut self, lhs: Id, rhs: Id) -> Id {
+        let t_bool = self.mb.type_bool();
+        self.binary(BinOp::SLessThan, t_bool, lhs, rhs)
+    }
+
+    /// Signed less-than-or-equal comparison (boolean result).
+    pub fn sle(&mut self, lhs: Id, rhs: Id) -> Id {
+        let t_bool = self.mb.type_bool();
+        self.binary(BinOp::SLessThanEqual, t_bool, lhs, rhs)
+    }
+
+    /// Integer equality comparison (boolean result).
+    pub fn ieq(&mut self, lhs: Id, rhs: Id) -> Id {
+        let t_bool = self.mb.type_bool();
+        self.binary(BinOp::IEqual, t_bool, lhs, rhs)
+    }
+
+    /// A unary operation.
+    pub fn unary(&mut self, op: UnOp, ty: Id, src: Id) -> Id {
+        self.push(ty, Op::Unary { op, src })
+    }
+
+    /// `OpSelect`.
+    pub fn select(&mut self, ty: Id, cond: Id, if_true: Id, if_false: Id) -> Id {
+        self.push(ty, Op::Select { cond, if_true, if_false })
+    }
+
+    /// `OpCopyObject`.
+    pub fn copy_object(&mut self, src: Id) -> Id {
+        let ty = self
+            .mb
+            .value_type(src)
+            .expect("copy_object source must have a known type");
+        self.push(ty, Op::CopyObject { src })
+    }
+
+    /// `OpUndef` of the given type.
+    pub fn undef(&mut self, ty: Id) -> Id {
+        self.push(ty, Op::Undef)
+    }
+
+    /// `OpPhi` with `(value, predecessor)` pairs.
+    pub fn phi(&mut self, ty: Id, incoming: Vec<(Id, Id)>) -> Id {
+        self.push(ty, Op::Phi { incoming })
+    }
+
+    /// Declares a function-local variable; hoisted to the entry block on
+    /// [`FunctionBuilder::finish`].
+    pub fn local_var(&mut self, pointee: Id, initializer: Option<Id>) -> Id {
+        let ty = self.mb.type_pointer(StorageClass::Function, pointee);
+        let id = self.mb.alloc.fresh();
+        self.mb.value_types.insert(id, ty);
+        self.variables.push(Instruction::with_result(
+            id,
+            ty,
+            Op::Variable { storage: StorageClass::Function, initializer },
+        ));
+        id
+    }
+
+    fn pointee_of(&self, pointer: Id) -> (StorageClass, Id) {
+        let ptr_ty = self
+            .mb
+            .value_type(pointer)
+            .expect("pointer must have a known type");
+        match self.mb.module.type_of(ptr_ty) {
+            Some(&Type::Pointer { storage, pointee }) => (storage, pointee),
+            other => panic!("expected pointer type, found {other:?}"),
+        }
+    }
+
+    /// `OpLoad` through a pointer; the result type is inferred.
+    pub fn load(&mut self, pointer: Id) -> Id {
+        let (_, pointee) = self.pointee_of(pointer);
+        self.push(pointee, Op::Load { pointer })
+    }
+
+    /// `OpStore` through a pointer.
+    pub fn store(&mut self, pointer: Id, value: Id) {
+        self.push_void(Op::Store { pointer, value });
+    }
+
+    /// `OpAccessChain`; index types are checked against the pointee shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index into a struct is not a declared integer constant,
+    /// or the chain walks off the pointee type.
+    pub fn access_chain(&mut self, base: Id, indices: Vec<Id>) -> Id {
+        let (storage, mut pointee) = self.pointee_of(base);
+        for &idx in &indices {
+            pointee = match self.mb.module.type_of(pointee) {
+                Some(Type::Vector { component, .. }) => *component,
+                Some(Type::Array { element, .. }) => *element,
+                Some(Type::Struct { members }) => {
+                    let lit = self
+                        .mb
+                        .module
+                        .constant(idx)
+                        .and_then(|c| c.value.as_int())
+                        .expect("struct index must be an integer constant");
+                    members[usize::try_from(lit).expect("negative struct index")]
+                }
+                other => panic!("cannot index into {other:?}"),
+            };
+        }
+        let ty = self.mb.type_pointer(storage, pointee);
+        self.push(ty, Op::AccessChain { base, indices })
+    }
+
+    /// `OpCompositeConstruct` of type `ty`.
+    pub fn composite_construct(&mut self, ty: Id, parts: Vec<Id>) -> Id {
+        self.push(ty, Op::CompositeConstruct { parts })
+    }
+
+    /// `OpCompositeExtract`; the result type is inferred from the path.
+    pub fn composite_extract(&mut self, composite: Id, indices: Vec<u32>) -> Id {
+        let mut ty = self
+            .mb
+            .value_type(composite)
+            .expect("composite must have a known type");
+        for &idx in &indices {
+            ty = match self.mb.module.type_of(ty) {
+                Some(Type::Vector { component, .. }) => *component,
+                Some(Type::Array { element, .. }) => *element,
+                Some(Type::Struct { members }) => members[idx as usize],
+                other => panic!("cannot extract from {other:?}"),
+            };
+        }
+        self.push(ty, Op::CompositeExtract { composite, indices })
+    }
+
+    /// `OpFunctionCall`; the result type is the callee's return type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callee id does not name an already-finished function.
+    pub fn call(&mut self, callee: Id, args: Vec<Id>) -> Id {
+        let fn_ty = self
+            .mb
+            .module
+            .function(callee)
+            .map(|f| f.ty)
+            .expect("callee must be a finished function");
+        let ret = match self.mb.module.type_of(fn_ty) {
+            Some(Type::Function { ret, .. }) => *ret,
+            other => panic!("callee type is not a function type: {other:?}"),
+        };
+        self.push(ret, Op::Call { callee, args })
+    }
+
+    /// Stores `value` to the named shader output (declared on first use).
+    pub fn store_output(&mut self, name: &str, value: Id) {
+        let pointee = self
+            .mb
+            .value_type(value)
+            .expect("output value must have a known type");
+        let global = self.mb.output(name, pointee);
+        self.store(global, value);
+    }
+
+    /// Loads the named uniform input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no uniform with that name was declared.
+    pub fn load_uniform(&mut self, name: &str) -> Id {
+        let global = self
+            .mb
+            .module
+            .interface
+            .uniforms
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.global)
+            .expect("uniform not declared");
+        self.load(global)
+    }
+
+    /// Finishes the function, hoisting local variables into the entry block,
+    /// and returns the function id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is still open or the function has no blocks.
+    pub fn finish(mut self) -> Id {
+        assert!(self.current.is_none(), "unterminated block at end of function");
+        assert!(!self.func.blocks.is_empty(), "function has no blocks");
+        let vars = std::mem::take(&mut self.variables);
+        let entry = &mut self.func.blocks[0].instructions;
+        entry.splice(0..0, vars);
+        let id = self.func.id;
+        self.mb.module.functions.push(self.func);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn types_and_constants_are_interned() {
+        let mut b = ModuleBuilder::new();
+        assert_eq!(b.type_int(), b.type_int());
+        assert_eq!(b.constant_int(4), b.constant_int(4));
+        assert_ne!(b.constant_int(4), b.constant_int(5));
+    }
+
+    #[test]
+    fn straight_line_function_validates() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c = b.constant_int(3);
+        let mut f = b.begin_entry_function("main");
+        let x = f.imul(t_int, c, c);
+        f.store_output("out", x);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        validate(&m).expect("module should validate");
+        assert_eq!(m.interface.outputs.len(), 1);
+    }
+
+    #[test]
+    fn locals_are_hoisted_to_entry() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let v = f.local_var(t_int, Some(c));
+        let loaded = f.load(v);
+        f.store_output("out", loaded);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        validate(&m).expect("module should validate");
+        let entry = m.entry_function().entry_block();
+        assert!(entry.instructions[0].is_variable());
+    }
+
+    #[test]
+    fn conditional_with_merge_validates() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c1 = b.constant_int(1);
+        let c2 = b.constant_int(2);
+        let mut f = b.begin_entry_function("main");
+        let cond = f.slt(c1, c2);
+        let then_l = f.reserve_label();
+        let merge_l = f.reserve_label();
+        f.selection_merge(merge_l);
+        f.branch_cond(cond, then_l, merge_l);
+        f.begin_block_with_label(then_l);
+        f.branch(merge_l);
+        f.begin_block_with_label(merge_l);
+        let phi_src = f.iadd(t_int, c1, c2);
+        f.store_output("out", phi_src);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        validate(&m).expect("module should validate");
+    }
+
+    #[test]
+    fn functions_can_be_called() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let mut helper = b.begin_function(t_int, &[t_int]);
+        let p = helper.param_ids()[0];
+        let doubled = helper.iadd(t_int, p, p);
+        helper.ret_value(doubled);
+        let helper_id = helper.finish();
+
+        let c = b.constant_int(21);
+        let mut f = b.begin_entry_function("main");
+        let r = f.call(helper_id, vec![c]);
+        f.store_output("out", r);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        validate(&m).expect("module should validate");
+    }
+}

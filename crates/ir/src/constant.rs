@@ -1,0 +1,123 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Id;
+
+/// The value of a module-level constant.
+///
+/// Floats are stored by their IEEE-754 bit pattern so that constants can be
+/// hashed and compared exactly — a requirement for the fuzzer's
+/// "find-or-declare constant" lookups and for deterministic replay.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstantValue {
+    /// A boolean constant.
+    Bool(bool),
+    /// A 32-bit signed integer constant.
+    Int(i32),
+    /// A 32-bit float constant, stored as its bit pattern.
+    Float(u32),
+    /// A composite constant built from previously declared constants.
+    Composite(Vec<Id>),
+}
+
+impl ConstantValue {
+    /// Convenience constructor for a float constant from an `f32`.
+    #[must_use]
+    pub fn float(value: f32) -> Self {
+        ConstantValue::Float(value.to_bits())
+    }
+
+    /// The float value, if this is a float constant.
+    #[must_use]
+    pub fn as_float(&self) -> Option<f32> {
+        match self {
+            ConstantValue::Float(bits) => Some(f32::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer constant.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            ConstantValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean constant.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ConstantValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ConstantValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstantValue::Bool(v) => write!(f, "{v}"),
+            ConstantValue::Int(v) => write!(f, "{v}"),
+            ConstantValue::Float(bits) => write!(f, "{:?}", f32::from_bits(*bits)),
+            ConstantValue::Composite(parts) => {
+                write!(f, "{{")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// A module-level constant declaration: `id` has type `ty` and value `value`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstantDecl {
+    /// The result id of the constant.
+    pub id: Id,
+    /// The id of the constant's type.
+    pub ty: Id,
+    /// The constant's value.
+    pub value: ConstantValue,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trips_through_bits() {
+        let c = ConstantValue::float(1.5);
+        assert_eq!(c.as_float(), Some(1.5));
+    }
+
+    #[test]
+    fn accessors_reject_wrong_kind() {
+        assert_eq!(ConstantValue::Int(3).as_bool(), None);
+        assert_eq!(ConstantValue::Bool(true).as_int(), None);
+        assert_eq!(ConstantValue::Int(3).as_float(), None);
+    }
+
+    #[test]
+    fn negative_zero_distinct_from_zero() {
+        // Bit-pattern storage keeps -0.0 and 0.0 distinct, which matters for
+        // exact constant lookup.
+        assert_ne!(ConstantValue::float(0.0), ConstantValue::float(-0.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ConstantValue::Int(-7).to_string(), "-7");
+        assert_eq!(ConstantValue::Bool(true).to_string(), "true");
+        assert_eq!(
+            ConstantValue::Composite(vec![Id::new(1), Id::new(2)]).to_string(),
+            "{%1 %2}"
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Textual disassembly of modules and a line-oriented diff.
+//!
+//! The paper reports bugs as the *delta* between an original program and a
+//! minimally-transformed variant (Figure 3 shows such a delta). The
+//! disassembler renders a module in a SPIR-V-like textual form, and
+//! [`diff_lines`] computes an LCS-based line diff suitable for human-readable
+//! bug reports.
+
+use std::fmt::{self, Write as _};
+
+use crate::{ConstantValue, Id, Instruction, Merge, Module, Op, Terminator, Type};
+
+/// Renders an instruction without module context (ids only).
+pub(crate) fn fmt_instruction(inst: &Instruction, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{}", instruction_line(inst))
+}
+
+fn operand_list(op: &Op) -> String {
+    let mut s = String::new();
+    match op {
+        Op::Binary { lhs, rhs, .. } => {
+            let _ = write!(s, " {lhs} {rhs}");
+        }
+        Op::Unary { src, .. } => {
+            let _ = write!(s, " {src}");
+        }
+        Op::CopyObject { src } => {
+            let _ = write!(s, " {src}");
+        }
+        Op::Select { cond, if_true, if_false } => {
+            let _ = write!(s, " {cond} {if_true} {if_false}");
+        }
+        Op::CompositeConstruct { parts } => {
+            for p in parts {
+                let _ = write!(s, " {p}");
+            }
+        }
+        Op::CompositeExtract { composite, indices } => {
+            let _ = write!(s, " {composite}");
+            for i in indices {
+                let _ = write!(s, " {i}");
+            }
+        }
+        Op::CompositeInsert { object, composite, indices } => {
+            let _ = write!(s, " {object} {composite}");
+            for i in indices {
+                let _ = write!(s, " {i}");
+            }
+        }
+        Op::Variable { storage, initializer } => {
+            let _ = write!(s, " {storage}");
+            if let Some(init) = initializer {
+                let _ = write!(s, " {init}");
+            }
+        }
+        Op::AccessChain { base, indices } => {
+            let _ = write!(s, " {base}");
+            for i in indices {
+                let _ = write!(s, " {i}");
+            }
+        }
+        Op::Load { pointer } => {
+            let _ = write!(s, " {pointer}");
+        }
+        Op::Store { pointer, value } => {
+            let _ = write!(s, " {pointer} {value}");
+        }
+        Op::Call { callee, args } => {
+            let _ = write!(s, " {callee}");
+            for a in args {
+                let _ = write!(s, " {a}");
+            }
+        }
+        Op::Phi { incoming } => {
+            for (value, pred) in incoming {
+                let _ = write!(s, " [{value} <- {pred}]");
+            }
+        }
+        Op::Undef | Op::Nop => {}
+    }
+    s
+}
+
+/// The one-line textual form of an instruction.
+#[must_use]
+pub fn instruction_line(inst: &Instruction) -> String {
+    let mut line = String::new();
+    if let Some(result) = inst.result {
+        let _ = write!(line, "{result} = ");
+    }
+    let _ = write!(line, "{}", inst.op.mnemonic());
+    if let Some(ty) = inst.ty {
+        let _ = write!(line, " {ty}");
+    }
+    line.push_str(&operand_list(&inst.op));
+    line
+}
+
+fn type_line(id: Id, ty: &Type) -> String {
+    match ty {
+        Type::Void => format!("{id} = OpTypeVoid"),
+        Type::Bool => format!("{id} = OpTypeBool"),
+        Type::Int => format!("{id} = OpTypeInt 32 1"),
+        Type::Float => format!("{id} = OpTypeFloat 32"),
+        Type::Vector { component, count } => {
+            format!("{id} = OpTypeVector {component} {count}")
+        }
+        Type::Array { element, len } => format!("{id} = OpTypeArray {element} {len}"),
+        Type::Struct { members } => {
+            let members: Vec<String> = members.iter().map(ToString::to_string).collect();
+            format!("{id} = OpTypeStruct {}", members.join(" "))
+        }
+        Type::Pointer { storage, pointee } => {
+            format!("{id} = OpTypePointer {storage} {pointee}")
+        }
+        Type::Function { ret, params } => {
+            let params: Vec<String> = params.iter().map(ToString::to_string).collect();
+            format!("{id} = OpTypeFunction {ret} {}", params.join(" "))
+        }
+    }
+}
+
+/// Disassembles a module to its textual form, one instruction per line.
+#[must_use]
+pub fn disassemble(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; id bound: {}", module.id_bound);
+    let _ = writeln!(out, "OpEntryPoint {}", module.entry_point);
+    for (kind, bindings) in [
+        ("Uniform", &module.interface.uniforms),
+        ("Builtin", &module.interface.builtins),
+        ("Output", &module.interface.outputs),
+    ] {
+        for b in bindings {
+            let _ = writeln!(out, "OpInterface {kind} {} \"{}\"", b.global, b.name);
+        }
+    }
+    for decl in &module.types {
+        let _ = writeln!(out, "{}", type_line(decl.id, &decl.ty));
+    }
+    for c in &module.constants {
+        let line = match &c.value {
+            ConstantValue::Composite(parts) => {
+                let parts: Vec<String> = parts.iter().map(ToString::to_string).collect();
+                format!("{} = OpConstantComposite {} {}", c.id, c.ty, parts.join(" "))
+            }
+            value => format!("{} = OpConstant {} {value}", c.id, c.ty),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    for g in &module.globals {
+        let init = g
+            .initializer
+            .map_or_else(String::new, |i| format!(" {i}"));
+        let _ = writeln!(out, "{} = OpVariable {} {}{init}", g.id, g.ty, g.storage);
+    }
+    for f in &module.functions {
+        let _ = writeln!(
+            out,
+            "{} = OpFunction {} {} {}",
+            f.id,
+            f.ty,
+            f.control.mnemonic(),
+            if f.id == module.entry_point { "; entry" } else { "" }
+        );
+        for p in &f.params {
+            let _ = writeln!(out, "{} = OpFunctionParameter {}", p.id, p.ty);
+        }
+        for b in &f.blocks {
+            let _ = writeln!(out, "{} = OpLabel", b.label);
+            for inst in &b.instructions {
+                let _ = writeln!(out, "  {}", instruction_line(inst));
+            }
+            match b.merge {
+                Some(Merge::Selection { merge }) => {
+                    let _ = writeln!(out, "  OpSelectionMerge {merge}");
+                }
+                Some(Merge::Loop { merge, cont }) => {
+                    let _ = writeln!(out, "  OpLoopMerge {merge} {cont}");
+                }
+                None => {}
+            }
+            let _ = writeln!(out, "  {}", terminator_line(&b.terminator));
+        }
+        let _ = writeln!(out, "OpFunctionEnd");
+    }
+    out
+}
+
+/// The one-line textual form of a terminator.
+#[must_use]
+pub fn terminator_line(t: &Terminator) -> String {
+    match t {
+        Terminator::Branch { target } => format!("OpBranch {target}"),
+        Terminator::BranchConditional { cond, true_target, false_target } => {
+            format!("OpBranchConditional {cond} {true_target} {false_target}")
+        }
+        Terminator::Return => "OpReturn".into(),
+        Terminator::ReturnValue { value } => format!("OpReturnValue {value}"),
+        Terminator::Kill => "OpKill".into(),
+        Terminator::Unreachable => "OpUnreachable".into(),
+    }
+}
+
+/// One line of a [`diff_lines`] result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffLine {
+    /// Present in both texts.
+    Common(String),
+    /// Present only in the left (original) text.
+    Removed(String),
+    /// Present only in the right (variant) text.
+    Added(String),
+}
+
+/// Computes an LCS-based line diff between two texts.
+#[must_use]
+pub fn diff_lines(left: &str, right: &str) -> Vec<DiffLine> {
+    let a: Vec<&str> = left.lines().collect();
+    let b: Vec<&str> = right.lines().collect();
+    // Standard dynamic-programming LCS table.
+    let mut table = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in (0..a.len()).rev() {
+        for j in (0..b.len()).rev() {
+            table[i][j] = if a[i] == b[j] {
+                table[i + 1][j + 1] + 1
+            } else {
+                table[i + 1][j].max(table[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] == b[j] {
+            out.push(DiffLine::Common(a[i].to_owned()));
+            i += 1;
+            j += 1;
+        } else if table[i + 1][j] >= table[i][j + 1] {
+            out.push(DiffLine::Removed(a[i].to_owned()));
+            i += 1;
+        } else {
+            out.push(DiffLine::Added(b[j].to_owned()));
+            j += 1;
+        }
+    }
+    out.extend(a[i..].iter().map(|l| DiffLine::Removed((*l).to_owned())));
+    out.extend(b[j..].iter().map(|l| DiffLine::Added((*l).to_owned())));
+    out
+}
+
+/// Renders only the changed lines of a diff (with +/- markers), the form
+/// used in bug reports.
+#[must_use]
+pub fn changed_lines(left: &str, right: &str) -> String {
+    let mut out = String::new();
+    for line in diff_lines(left, right) {
+        match line {
+            DiffLine::Removed(l) => {
+                let _ = writeln!(out, "- {l}");
+            }
+            DiffLine::Added(l) => {
+                let _ = writeln!(out, "+ {l}");
+            }
+            DiffLine::Common(_) => {}
+        }
+    }
+    out
+}
+
+/// Number of changed (added + removed) lines between two texts.
+#[must_use]
+pub fn changed_line_count(left: &str, right: &str) -> usize {
+    diff_lines(left, right)
+        .iter()
+        .filter(|l| !matches!(l, DiffLine::Common(_)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    #[test]
+    fn disassembly_contains_all_functions() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let mut g = b.begin_function(t_int, &[t_int]);
+        let p = g.param_ids()[0];
+        g.ret_value(p);
+        let g_id = g.finish();
+        let c = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let r = f.call(g_id, vec![c]);
+        f.store_output("out", r);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        let text = disassemble(&m);
+        assert!(text.contains("OpFunction"));
+        assert!(text.contains("OpFunctionCall"));
+        assert!(text.contains("OpEntryPoint"));
+        assert_eq!(text.matches("OpFunctionEnd").count(), 2);
+    }
+
+    #[test]
+    fn identical_texts_have_empty_delta() {
+        assert_eq!(changed_line_count("a\nb\nc", "a\nb\nc"), 0);
+    }
+
+    #[test]
+    fn single_line_change_detected() {
+        let left = "x\ny\nz";
+        let right = "x\nY\nz";
+        assert_eq!(changed_line_count(left, right), 2); // one removed + one added
+        let rendered = changed_lines(left, right);
+        assert!(rendered.contains("- y"));
+        assert!(rendered.contains("+ Y"));
+    }
+
+    #[test]
+    fn pure_insertion_detected() {
+        let left = "a\nc";
+        let right = "a\nb\nc";
+        let diff = diff_lines(left, right);
+        assert_eq!(
+            diff,
+            vec![
+                DiffLine::Common("a".into()),
+                DiffLine::Added("b".into()),
+                DiffLine::Common("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn instruction_display_matches_line() {
+        use crate::{Instruction, Op};
+        let inst = Instruction::with_result(
+            Id::new(5),
+            Id::new(2),
+            Op::Load { pointer: Id::new(3) },
+        );
+        assert_eq!(inst.to_string(), "%5 = OpLoad %2 %3");
+    }
+}

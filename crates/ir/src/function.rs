@@ -1,0 +1,181 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Block, Id};
+
+/// Function inlining control, mirroring SPIR-V function control masks.
+///
+/// The paper's Figure 3 shows a real SwiftShader bug provoked by nothing more
+/// than adding `DontInline` to a function — the `SetFunctionControl`
+/// transformation exists to produce exactly such deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FunctionControl {
+    /// No hint.
+    #[default]
+    None,
+    /// Request that the function be inlined.
+    Inline,
+    /// Request that the function not be inlined.
+    DontInline,
+}
+
+impl FunctionControl {
+    /// All control values, in encoding order.
+    pub const ALL: [FunctionControl; 3] =
+        [FunctionControl::None, FunctionControl::Inline, FunctionControl::DontInline];
+
+    /// The textual form used by the disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FunctionControl::None => "None",
+            FunctionControl::Inline => "Inline",
+            FunctionControl::DontInline => "DontInline",
+        }
+    }
+}
+
+/// A formal function parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionParam {
+    /// The parameter's result id.
+    pub id: Id,
+    /// The id of the parameter's type.
+    pub ty: Id,
+}
+
+/// A function: a result id, a function type, parameters and basic blocks.
+///
+/// The first block is the function's entry block. The syntactic block order
+/// matters only in that a block must appear after its immediate dominator
+/// (`MoveBlockDown` permutes blocks within that constraint).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// The function's result id.
+    pub id: Id,
+    /// The id of the function's [`Type::Function`](crate::Type::Function).
+    pub ty: Id,
+    /// Inlining control.
+    pub control: FunctionControl,
+    /// Formal parameters, in order.
+    pub params: Vec<FunctionParam>,
+    /// Basic blocks; the first is the entry block.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks (never true for validated
+    /// modules).
+    #[must_use]
+    pub fn entry_block(&self) -> &Block {
+        &self.blocks[0]
+    }
+
+    /// The label of the entry block.
+    #[must_use]
+    pub fn entry_label(&self) -> Id {
+        self.blocks[0].label
+    }
+
+    /// Finds a block by label.
+    #[must_use]
+    pub fn block(&self, label: Id) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.label == label)
+    }
+
+    /// Finds a block by label, mutably.
+    #[must_use]
+    pub fn block_mut(&mut self, label: Id) -> Option<&mut Block> {
+        self.blocks.iter_mut().find(|b| b.label == label)
+    }
+
+    /// The index of a block within the syntactic block order.
+    #[must_use]
+    pub fn block_index(&self, label: Id) -> Option<usize> {
+        self.blocks.iter().position(|b| b.label == label)
+    }
+
+    /// Labels of blocks that branch to `label`.
+    pub fn predecessors(&self, label: Id) -> Vec<Id> {
+        self.blocks
+            .iter()
+            .filter(|b| b.successors().contains(&label))
+            .map(|b| b.label)
+            .collect()
+    }
+
+    /// Iterates over all instructions of the function, in block order.
+    pub fn instructions(&self) -> impl Iterator<Item = &crate::Instruction> {
+        self.blocks.iter().flat_map(|b| b.instructions.iter())
+    }
+
+    /// Total number of instructions, counting labels and terminators, so
+    /// that the measure matches the paper's SPIR-V instruction counts
+    /// (each block contributes `OpLabel` + body + terminator, and the
+    /// function contributes `OpFunction`/`OpFunctionEnd` and one
+    /// `OpFunctionParameter` per parameter).
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        let body: usize = self
+            .blocks
+            .iter()
+            .map(|b| {
+                // label + instructions + merge (if any) + terminator
+                1 + b.instructions.len() + usize::from(b.merge.is_some()) + 1
+            })
+            .sum();
+        2 + self.params.len() + body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Terminator;
+
+    fn sample() -> Function {
+        Function {
+            id: Id::new(1),
+            ty: Id::new(2),
+            control: FunctionControl::None,
+            params: vec![],
+            blocks: vec![
+                Block::branching_to(Id::new(10), Id::new(11)),
+                Block {
+                    label: Id::new(11),
+                    instructions: vec![],
+                    merge: None,
+                    terminator: Terminator::Return,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn entry_block_is_first() {
+        assert_eq!(sample().entry_label(), Id::new(10));
+    }
+
+    #[test]
+    fn predecessors_found() {
+        assert_eq!(sample().predecessors(Id::new(11)), vec![Id::new(10)]);
+        assert!(sample().predecessors(Id::new(10)).is_empty());
+    }
+
+    #[test]
+    fn instruction_count_includes_structure() {
+        // OpFunction + OpFunctionEnd + 2 * (OpLabel + terminator) = 6.
+        assert_eq!(sample().instruction_count(), 6);
+    }
+
+    #[test]
+    fn block_lookup() {
+        let f = sample();
+        assert!(f.block(Id::new(11)).is_some());
+        assert!(f.block(Id::new(99)).is_none());
+        assert_eq!(f.block_index(Id::new(11)), Some(1));
+    }
+}

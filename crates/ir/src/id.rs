@@ -1,0 +1,158 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A result id, unique within a [`Module`](crate::Module).
+///
+/// Ids name types, constants, global variables, functions, function
+/// parameters, basic blocks and value-producing instructions, mirroring
+/// SPIR-V's single flat id namespace. `Id(0)` is reserved and never names
+/// anything; [`Id::PLACEHOLDER`] exposes it for staged construction.
+///
+/// # Example
+///
+/// ```
+/// use trx_ir::Id;
+///
+/// let id = Id::new(7);
+/// assert_eq!(id.raw(), 7);
+/// assert_eq!(id.to_string(), "%7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Id(u32);
+
+impl Id {
+    /// The reserved null id. Never names a module entity.
+    pub const PLACEHOLDER: Id = Id(0);
+
+    /// Creates an id from its raw numeric form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero; zero is reserved for [`Id::PLACEHOLDER`].
+    #[must_use]
+    pub fn new(raw: u32) -> Self {
+        assert_ne!(raw, 0, "id 0 is reserved");
+        Id(raw)
+    }
+
+    /// Returns the raw numeric form of the id.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this is the reserved placeholder id.
+    #[must_use]
+    pub fn is_placeholder(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Allocates fresh [`Id`]s above a module's current id bound.
+///
+/// Transformations that introduce new instructions record the fresh ids they
+/// will use ahead of time (see §3.3 of the paper: an explicit id mapping keeps
+/// transformations independent during reduction). The allocator is the fuzzer's
+/// source of those ids.
+///
+/// # Example
+///
+/// ```
+/// use trx_ir::IdAllocator;
+///
+/// let mut alloc = IdAllocator::new(10);
+/// assert_eq!(alloc.fresh().raw(), 10);
+/// assert_eq!(alloc.fresh().raw(), 11);
+/// assert_eq!(alloc.bound(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdAllocator {
+    next: u32,
+}
+
+impl IdAllocator {
+    /// Creates an allocator whose first fresh id is `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[must_use]
+    pub fn new(bound: u32) -> Self {
+        assert_ne!(bound, 0, "id bound must be positive");
+        IdAllocator { next: bound }
+    }
+
+    /// Returns a fresh id, advancing the bound.
+    pub fn fresh(&mut self) -> Id {
+        let id = Id::new(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Returns `count` fresh ids, advancing the bound.
+    pub fn fresh_many(&mut self, count: usize) -> Vec<Id> {
+        (0..count).map(|_| self.fresh()).collect()
+    }
+
+    /// The current bound: all allocated ids are strictly below it.
+    #[must_use]
+    pub fn bound(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_percent_prefix() {
+        assert_eq!(Id::new(42).to_string(), "%42");
+    }
+
+    #[test]
+    #[should_panic(expected = "id 0 is reserved")]
+    fn zero_id_rejected() {
+        let _ = Id::new(0);
+    }
+
+    #[test]
+    fn placeholder_is_recognised() {
+        assert!(Id::PLACEHOLDER.is_placeholder());
+        assert!(!Id::new(1).is_placeholder());
+    }
+
+    #[test]
+    fn allocator_yields_distinct_ids() {
+        let mut alloc = IdAllocator::new(5);
+        let a = alloc.fresh();
+        let b = alloc.fresh();
+        assert_ne!(a, b);
+        assert_eq!(alloc.bound(), 7);
+    }
+
+    #[test]
+    fn fresh_many_allocates_in_order() {
+        let mut alloc = IdAllocator::new(1);
+        let ids = alloc.fresh_many(3);
+        assert_eq!(ids.iter().map(|i| i.raw()).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(Id::new(1) < Id::new(2));
+    }
+}

@@ -1,0 +1,955 @@
+//! A deterministic reference interpreter for [`Module`]s.
+//!
+//! This plays the role of `Semantics(P, I)` from Definition 2.1 of the paper:
+//! executing a validated module on an input either yields a deterministic
+//! [`Execution`] or a [`Fault`]. Non-termination is converted into a fault by
+//! a step limit, matching the paper's convention ("we regard a
+//! non-terminating program as faulting").
+//!
+//! All operations are total: integer arithmetic wraps, division by zero
+//! yields zero, shifts mask their amount, float→int conversion saturates, and
+//! out-of-range runtime indexes clamp. Because the semantics is total, no
+//! transformation can introduce undefined behaviour — the property the
+//! paper's "almost free" reduction relies on.
+
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    BinOp, ConstantValue, Function, Id, Module, Op, StorageClass, Terminator, Type, UnOp,
+};
+
+/// A runtime value.
+///
+/// Equality compares floats by bit pattern, so results are comparable without
+/// NaN pitfalls — exactly what the miscompilation oracle needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A 32-bit signed integer.
+    Int(i32),
+    /// A 32-bit float.
+    Float(f32),
+    /// A composite (vector/array/struct) value.
+    Composite(Vec<Value>),
+    /// A pointer into interpreter memory.
+    Pointer(Pointer),
+}
+
+/// A pointer value: a memory cell plus an index path into its contents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pointer {
+    /// Index of the memory cell.
+    pub cell: usize,
+    /// Path of composite indexes inside the cell.
+    pub path: Vec<u32>,
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Composite(a), Value::Composite(b)) => a == b,
+            (Value::Pointer(a), Value::Pointer(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:?}"),
+            Value::Composite(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Pointer(p) => write!(f, "ptr(cell {}, path {:?})", p.cell, p.path),
+        }
+    }
+}
+
+impl Value {
+    /// The zero value of type `ty` in `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not a data type (e.g. void or function).
+    #[must_use]
+    pub fn zero_of(module: &Module, ty: Id) -> Value {
+        match module.type_of(ty).expect("type must be declared") {
+            Type::Bool => Value::Bool(false),
+            Type::Int => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Vector { component, count } => Value::Composite(
+                (0..*count).map(|_| Value::zero_of(module, *component)).collect(),
+            ),
+            Type::Array { element, len } => Value::Composite(
+                (0..*len).map(|_| Value::zero_of(module, *element)).collect(),
+            ),
+            Type::Struct { members } => Value::Composite(
+                members.iter().map(|&m| Value::zero_of(module, m)).collect(),
+            ),
+            other => panic!("no zero value for type {other:?}"),
+        }
+    }
+
+    /// The runtime value of a declared constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a constant of `module`.
+    #[must_use]
+    pub fn of_constant(module: &Module, id: Id) -> Value {
+        let c = module.constant(id).expect("id must name a constant");
+        match &c.value {
+            ConstantValue::Bool(v) => Value::Bool(*v),
+            ConstantValue::Int(v) => Value::Int(*v),
+            ConstantValue::Float(bits) => Value::Float(f32::from_bits(*bits)),
+            ConstantValue::Composite(parts) => {
+                Value::Composite(parts.iter().map(|&p| Value::of_constant(module, p)).collect())
+            }
+        }
+    }
+
+    /// The boolean inside, if any.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if any.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float inside, if any.
+    #[must_use]
+    pub fn as_float(&self) -> Option<f32> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Concrete input values for a module's uniforms and builtins, keyed by
+/// interface name. Missing entries default to zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inputs {
+    values: BTreeMap<String, Value>,
+}
+
+impl Inputs {
+    /// Creates an empty input set (all uniforms zero).
+    #[must_use]
+    pub fn new() -> Self {
+        Inputs::default()
+    }
+
+    /// Sets the value for an interface name, returning `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, name: &str, value: Value) -> Self {
+        self.values.insert(name.to_owned(), value);
+        self
+    }
+
+    /// Sets the value for an interface name.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// The value bound to `name`, if set.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Iterates over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// The observable result of executing a module on an input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Execution {
+    /// Final values of the module's outputs, keyed by interface name.
+    pub outputs: BTreeMap<String, Value>,
+    /// Whether the invocation was discarded by `OpKill`.
+    pub killed: bool,
+}
+
+/// An execution fault (Definition 2.2's "Impl faults").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The step limit was exceeded (treated as non-termination).
+    StepLimitExceeded,
+    /// The call-depth limit was exceeded.
+    CallDepthExceeded,
+    /// The module was malformed at the point of execution. Validated modules
+    /// never trap; a trap from an optimized module indicates the optimizer
+    /// emitted garbage.
+    Trap(String),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::StepLimitExceeded => write!(f, "step limit exceeded"),
+            Fault::CallDepthExceeded => write!(f, "call depth exceeded"),
+            Fault::Trap(msg) => write!(f, "trap: {msg}"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+/// Interpreter resource limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum number of instruction/branch steps.
+    pub step_limit: u64,
+    /// Maximum call depth.
+    pub call_depth_limit: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { step_limit: 200_000, call_depth_limit: 64 }
+    }
+}
+
+/// Executes `module` on `inputs` with default limits.
+///
+/// # Errors
+///
+/// Returns a [`Fault`] on step-limit exhaustion, call-depth exhaustion, or a
+/// malformed module.
+pub fn execute(module: &Module, inputs: &Inputs) -> Result<Execution, Fault> {
+    execute_with_config(module, inputs, ExecConfig::default())
+}
+
+/// Executes `module` on `inputs` with explicit limits.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with_config(
+    module: &Module,
+    inputs: &Inputs,
+    config: ExecConfig,
+) -> Result<Execution, Fault> {
+    let mut state = Machine::new(module, inputs, config)?;
+    let entry = module
+        .function(module.entry_point)
+        .ok_or_else(|| Fault::Trap("entry point missing".into()))?;
+    let outcome = state.run_function(entry, Vec::new(), 0)?;
+    let killed = matches!(outcome, FnOutcome::Killed);
+    let mut outputs = BTreeMap::new();
+    for binding in &module.interface.outputs {
+        let cell = state
+            .global_cells
+            .get(&binding.global)
+            .ok_or_else(|| Fault::Trap("output global missing".into()))?;
+        outputs.insert(binding.name.clone(), state.memory[*cell].clone());
+    }
+    Ok(Execution { outputs, killed })
+}
+
+/// A rendered image: one [`Execution`] per fragment of a `width` × `height`
+/// grid, with the builtin `frag_coord` set to the fragment's coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    /// Grid width in fragments.
+    pub width: u32,
+    /// Grid height in fragments.
+    pub height: u32,
+    /// Per-fragment results, row-major.
+    pub pixels: Vec<Execution>,
+}
+
+impl Image {
+    /// Number of fragments whose results differ from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the images have different dimensions.
+    #[must_use]
+    pub fn diff_count(&self, other: &Image) -> usize {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        self.pixels
+            .iter()
+            .zip(&other.pixels)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+/// Renders `module` over a `width` × `height` fragment grid.
+///
+/// Each invocation receives the builtin named `frag_coord` (when declared) as
+/// a 2-component float vector holding the fragment's `(x, y)` position.
+///
+/// # Errors
+///
+/// Returns the first [`Fault`] any invocation produces.
+pub fn render(
+    module: &Module,
+    inputs: &Inputs,
+    width: u32,
+    height: u32,
+) -> Result<Image, Fault> {
+    let mut pixels = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let frag = Value::Composite(vec![
+                Value::Float(x as f32 + 0.5),
+                Value::Float(y as f32 + 0.5),
+            ]);
+            let per_pixel = inputs.clone().with("frag_coord", frag);
+            pixels.push(execute(module, &per_pixel)?);
+        }
+    }
+    Ok(Image { width, height, pixels })
+}
+
+enum FnOutcome {
+    Returned(Option<Value>),
+    Killed,
+}
+
+struct Machine<'m> {
+    module: &'m Module,
+    config: ExecConfig,
+    steps: u64,
+    memory: Vec<Value>,
+    global_cells: HashMap<Id, usize>,
+}
+
+impl<'m> Machine<'m> {
+    fn new(module: &'m Module, inputs: &Inputs, config: ExecConfig) -> Result<Self, Fault> {
+        let mut machine = Machine {
+            module,
+            config,
+            steps: 0,
+            memory: Vec::new(),
+            global_cells: HashMap::new(),
+        };
+        for g in &module.globals {
+            let pointee = match module.type_of(g.ty) {
+                Some(&Type::Pointer { pointee, .. }) => pointee,
+                _ => return Err(Fault::Trap(format!("global {} is not a pointer", g.id))),
+            };
+            let initial = match g.storage {
+                StorageClass::Uniform | StorageClass::Input => {
+                    let name = module
+                        .interface
+                        .uniforms
+                        .iter()
+                        .chain(&module.interface.builtins)
+                        .find(|b| b.global == g.id)
+                        .map(|b| b.name.as_str());
+                    name.and_then(|n| inputs.get(n))
+                        .cloned()
+                        .unwrap_or_else(|| Value::zero_of(module, pointee))
+                }
+                _ => g
+                    .initializer
+                    .map(|c| Value::of_constant(module, c))
+                    .unwrap_or_else(|| Value::zero_of(module, pointee)),
+            };
+            let cell = machine.memory.len();
+            machine.memory.push(initial);
+            machine.global_cells.insert(g.id, cell);
+        }
+        Ok(machine)
+    }
+
+    fn step(&mut self) -> Result<(), Fault> {
+        self.steps += 1;
+        if self.steps > self.config.step_limit {
+            Err(Fault::StepLimitExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn run_function(
+        &mut self,
+        function: &Function,
+        args: Vec<Value>,
+        depth: u32,
+    ) -> Result<FnOutcome, Fault> {
+        if depth > self.config.call_depth_limit {
+            return Err(Fault::CallDepthExceeded);
+        }
+        let mut regs: HashMap<Id, Value> = HashMap::new();
+        if args.len() != function.params.len() {
+            return Err(Fault::Trap("call arity mismatch".into()));
+        }
+        for (param, arg) in function.params.iter().zip(args) {
+            regs.insert(param.id, arg);
+        }
+        let mut current = function.entry_label();
+        let mut previous: Option<Id> = None;
+        loop {
+            self.step()?;
+            let block = function
+                .block(current)
+                .ok_or_else(|| Fault::Trap(format!("missing block {current}")))?;
+
+            // Phis read their inputs simultaneously on entry.
+            if let Some(prev) = previous {
+                let phi_values: Vec<(Id, Value)> = block
+                    .phis()
+                    .map(|phi| {
+                        let Op::Phi { incoming } = &phi.op else { unreachable!() };
+                        let source = incoming
+                            .iter()
+                            .find(|(_, pred)| *pred == prev)
+                            .map(|(value, _)| *value)
+                            .ok_or_else(|| {
+                                Fault::Trap(format!("phi in {current} misses predecessor {prev}"))
+                            })?;
+                        let value = self.read(&regs, source)?;
+                        Ok((phi.result.expect("phi has a result"), value))
+                    })
+                    .collect::<Result<_, Fault>>()?;
+                regs.extend(phi_values);
+            } else if block.phi_count() > 0 {
+                return Err(Fault::Trap(format!("phi in entry block {current}")));
+            }
+
+            for inst in block.instructions.iter().skip(block.phi_count()) {
+                self.step()?;
+                match &inst.op {
+                    Op::Call { callee, args } => {
+                        let callee_fn = self
+                            .module
+                            .function(*callee)
+                            .ok_or_else(|| Fault::Trap(format!("missing callee {callee}")))?;
+                        let arg_values = args
+                            .iter()
+                            .map(|&a| self.read(&regs, a))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        match self.run_function(callee_fn, arg_values, depth + 1)? {
+                            FnOutcome::Killed => return Ok(FnOutcome::Killed),
+                            FnOutcome::Returned(value) => {
+                                if let Some(result) = inst.result {
+                                    regs.insert(
+                                        result,
+                                        value.unwrap_or(Value::Bool(false)),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    op => {
+                        if let Some(value) = self.eval(&mut regs, inst.result, inst.ty, op)? {
+                            let result = inst
+                                .result
+                                .ok_or_else(|| Fault::Trap("value with no result id".into()))?;
+                            regs.insert(result, value);
+                        }
+                    }
+                }
+            }
+
+            match &block.terminator {
+                Terminator::Branch { target } => {
+                    previous = Some(current);
+                    current = *target;
+                }
+                Terminator::BranchConditional { cond, true_target, false_target } => {
+                    let cond = self
+                        .read(&regs, *cond)?
+                        .as_bool()
+                        .ok_or_else(|| Fault::Trap("non-bool branch condition".into()))?;
+                    previous = Some(current);
+                    current = if cond { *true_target } else { *false_target };
+                }
+                Terminator::Return => return Ok(FnOutcome::Returned(None)),
+                Terminator::ReturnValue { value } => {
+                    let value = self.read(&regs, *value)?;
+                    return Ok(FnOutcome::Returned(Some(value)));
+                }
+                Terminator::Kill => return Ok(FnOutcome::Killed),
+                Terminator::Unreachable => {
+                    return Err(Fault::Trap("executed OpUnreachable".into()))
+                }
+            }
+        }
+    }
+
+    fn read(&self, regs: &HashMap<Id, Value>, id: Id) -> Result<Value, Fault> {
+        if let Some(v) = regs.get(&id) {
+            return Ok(v.clone());
+        }
+        if self.module.constant(id).is_some() {
+            return Ok(Value::of_constant(self.module, id));
+        }
+        if let Some(cell) = self.global_cells.get(&id) {
+            return Ok(Value::Pointer(Pointer { cell: *cell, path: Vec::new() }));
+        }
+        Err(Fault::Trap(format!("read of undefined id {id}")))
+    }
+
+    fn navigate<'v>(value: &'v Value, path: &[u32]) -> Result<&'v Value, Fault> {
+        let mut current = value;
+        for &idx in path {
+            match current {
+                Value::Composite(parts) => {
+                    // Clamp, keeping the semantics total.
+                    let idx = (idx as usize).min(parts.len().saturating_sub(1));
+                    current = parts
+                        .get(idx)
+                        .ok_or_else(|| Fault::Trap("index into empty composite".into()))?;
+                }
+                _ => return Err(Fault::Trap("pointer path into non-composite".into())),
+            }
+        }
+        Ok(current)
+    }
+
+    fn navigate_mut<'v>(value: &'v mut Value, path: &[u32]) -> Result<&'v mut Value, Fault> {
+        let mut current = value;
+        for &idx in path {
+            match current {
+                Value::Composite(parts) => {
+                    let idx = (idx as usize).min(parts.len().saturating_sub(1));
+                    current = parts
+                        .get_mut(idx)
+                        .ok_or_else(|| Fault::Trap("index into empty composite".into()))?;
+                }
+                _ => return Err(Fault::Trap("pointer path into non-composite".into())),
+            }
+        }
+        Ok(current)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn eval(
+        &mut self,
+        regs: &mut HashMap<Id, Value>,
+        result: Option<Id>,
+        ty: Option<Id>,
+        op: &Op,
+    ) -> Result<Option<Value>, Fault> {
+        let value = match op {
+            Op::Nop => return Ok(None),
+            Op::Undef => {
+                // Deterministic choice: undef is the zero value.
+                let ty = ty.ok_or_else(|| Fault::Trap("undef without type".into()))?;
+                Value::zero_of(self.module, ty)
+            }
+            Op::CopyObject { src } => self.read(regs, *src)?,
+            Op::Binary { op, lhs, rhs } => {
+                let l = self.read(regs, *lhs)?;
+                let r = self.read(regs, *rhs)?;
+                eval_binary(*op, &l, &r)?
+            }
+            Op::Unary { op, src } => {
+                let v = self.read(regs, *src)?;
+                eval_unary(*op, &v)?
+            }
+            Op::Select { cond, if_true, if_false } => {
+                let c = self
+                    .read(regs, *cond)?
+                    .as_bool()
+                    .ok_or_else(|| Fault::Trap("non-bool select condition".into()))?;
+                if c {
+                    self.read(regs, *if_true)?
+                } else {
+                    self.read(regs, *if_false)?
+                }
+            }
+            Op::CompositeConstruct { parts } => Value::Composite(
+                parts
+                    .iter()
+                    .map(|&p| self.read(regs, p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Op::CompositeExtract { composite, indices } => {
+                let v = self.read(regs, *composite)?;
+                Self::navigate(&v, indices)?.clone()
+            }
+            Op::CompositeInsert { object, composite, indices } => {
+                let mut v = self.read(regs, *composite)?;
+                let object = self.read(regs, *object)?;
+                *Self::navigate_mut(&mut v, indices)? = object;
+                v
+            }
+            Op::Variable { initializer, .. } => {
+                let ty = ty.ok_or_else(|| Fault::Trap("variable without type".into()))?;
+                let pointee = match self.module.type_of(ty) {
+                    Some(&Type::Pointer { pointee, .. }) => pointee,
+                    _ => return Err(Fault::Trap("variable type is not a pointer".into())),
+                };
+                let initial = initializer
+                    .map(|c| Value::of_constant(self.module, c))
+                    .unwrap_or_else(|| Value::zero_of(self.module, pointee));
+                let cell = self.memory.len();
+                self.memory.push(initial);
+                Value::Pointer(Pointer { cell, path: Vec::new() })
+            }
+            Op::AccessChain { base, indices } => {
+                let base = match self.read(regs, *base)? {
+                    Value::Pointer(p) => p,
+                    _ => return Err(Fault::Trap("access chain base is not a pointer".into())),
+                };
+                let mut path = base.path;
+                for &idx in indices {
+                    let idx = self
+                        .read(regs, idx)?
+                        .as_int()
+                        .ok_or_else(|| Fault::Trap("non-int access index".into()))?;
+                    path.push(u32::try_from(idx.max(0)).unwrap_or(0));
+                }
+                Value::Pointer(Pointer { cell: base.cell, path })
+            }
+            Op::Load { pointer } => {
+                let p = match self.read(regs, *pointer)? {
+                    Value::Pointer(p) => p,
+                    _ => return Err(Fault::Trap("load from non-pointer".into())),
+                };
+                let cell = self
+                    .memory
+                    .get(p.cell)
+                    .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
+                Self::navigate(cell, &p.path)?.clone()
+            }
+            Op::Store { pointer, value } => {
+                let p = match self.read(regs, *pointer)? {
+                    Value::Pointer(p) => p,
+                    _ => return Err(Fault::Trap("store to non-pointer".into())),
+                };
+                let value = self.read(regs, *value)?;
+                let cell = self
+                    .memory
+                    .get_mut(p.cell)
+                    .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
+                *Self::navigate_mut(cell, &p.path)? = value;
+                return Ok(None);
+            }
+            Op::Phi { .. } => {
+                return Err(Fault::Trap("phi executed outside block entry".into()))
+            }
+            Op::Call { .. } => unreachable!("calls handled by run_function"),
+        };
+        let _ = result;
+        Ok(Some(value))
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, Fault> {
+    use BinOp::*;
+    let int = |v: &Value| v.as_int().ok_or_else(|| Fault::Trap("expected int".into()));
+    let float = |v: &Value| v.as_float().ok_or_else(|| Fault::Trap("expected float".into()));
+    let boolean = |v: &Value| v.as_bool().ok_or_else(|| Fault::Trap("expected bool".into()));
+    Ok(match op {
+        IAdd => Value::Int(int(l)?.wrapping_add(int(r)?)),
+        ISub => Value::Int(int(l)?.wrapping_sub(int(r)?)),
+        IMul => Value::Int(int(l)?.wrapping_mul(int(r)?)),
+        SDiv => {
+            let (a, b) = (int(l)?, int(r)?);
+            Value::Int(if b == 0 { 0 } else { a.wrapping_div(b) })
+        }
+        SRem => {
+            let (a, b) = (int(l)?, int(r)?);
+            Value::Int(if b == 0 { 0 } else { a.wrapping_rem(b) })
+        }
+        FAdd => Value::Float(float(l)? + float(r)?),
+        FSub => Value::Float(float(l)? - float(r)?),
+        FMul => Value::Float(float(l)? * float(r)?),
+        FDiv => Value::Float(float(l)? / float(r)?),
+        BitAnd => Value::Int(int(l)? & int(r)?),
+        BitOr => Value::Int(int(l)? | int(r)?),
+        BitXor => Value::Int(int(l)? ^ int(r)?),
+        ShiftLeft => Value::Int(int(l)?.wrapping_shl(int(r)? as u32 & 31)),
+        ShiftRightArith => Value::Int(int(l)?.wrapping_shr(int(r)? as u32 & 31)),
+        LogicalAnd => Value::Bool(boolean(l)? && boolean(r)?),
+        LogicalOr => Value::Bool(boolean(l)? || boolean(r)?),
+        IEqual => Value::Bool(int(l)? == int(r)?),
+        INotEqual => Value::Bool(int(l)? != int(r)?),
+        SLessThan => Value::Bool(int(l)? < int(r)?),
+        SLessThanEqual => Value::Bool(int(l)? <= int(r)?),
+        SGreaterThan => Value::Bool(int(l)? > int(r)?),
+        SGreaterThanEqual => Value::Bool(int(l)? >= int(r)?),
+        FOrdEqual => Value::Bool(float(l)? == float(r)?),
+        FOrdNotEqual => Value::Bool(float(l)? != float(r)?),
+        FOrdLessThan => Value::Bool(float(l)? < float(r)?),
+        FOrdLessThanEqual => Value::Bool(float(l)? <= float(r)?),
+        FOrdGreaterThan => Value::Bool(float(l)? > float(r)?),
+        FOrdGreaterThanEqual => Value::Bool(float(l)? >= float(r)?),
+    })
+}
+
+fn eval_unary(op: UnOp, v: &Value) -> Result<Value, Fault> {
+    Ok(match op {
+        UnOp::SNegate => Value::Int(
+            v.as_int()
+                .ok_or_else(|| Fault::Trap("expected int".into()))?
+                .wrapping_neg(),
+        ),
+        UnOp::FNegate => {
+            Value::Float(-v.as_float().ok_or_else(|| Fault::Trap("expected float".into()))?)
+        }
+        UnOp::LogicalNot => {
+            Value::Bool(!v.as_bool().ok_or_else(|| Fault::Trap("expected bool".into()))?)
+        }
+        UnOp::BitNot => {
+            Value::Int(!v.as_int().ok_or_else(|| Fault::Trap("expected int".into()))?)
+        }
+        UnOp::ConvertSToF => Value::Float(
+            v.as_int().ok_or_else(|| Fault::Trap("expected int".into()))? as f32,
+        ),
+        UnOp::ConvertFToS => {
+            let f = v.as_float().ok_or_else(|| Fault::Trap("expected float".into()))?;
+            // Saturating conversion; NaN maps to zero. `as` already does
+            // exactly this in Rust, deterministically.
+            Value::Int(f as i32)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c6 = b.constant_int(6);
+        let c7 = b.constant_int(7);
+        let mut f = b.begin_entry_function("main");
+        let prod = f.imul(t_int, c6, c7);
+        f.store_output("out", prod);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        let r = execute(&m, &Inputs::default()).unwrap();
+        assert_eq!(r.outputs["out"], Value::Int(42));
+        assert!(!r.killed);
+    }
+
+    #[test]
+    fn uniforms_feed_execution() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let u = b.uniform("k", t_int);
+        let c = b.constant_int(10);
+        let mut f = b.begin_entry_function("main");
+        let loaded = f.load(u);
+        let sum = f.iadd(t_int, loaded, c);
+        f.store_output("out", sum);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+
+        let inputs = Inputs::new().with("k", Value::Int(32));
+        let r = execute(&m, &inputs).unwrap();
+        assert_eq!(r.outputs["out"], Value::Int(42));
+
+        // Missing uniforms default to zero.
+        let r0 = execute(&m, &Inputs::default()).unwrap();
+        assert_eq!(r0.outputs["out"], Value::Int(10));
+    }
+
+    #[test]
+    fn loop_with_phi_terminates() {
+        // sum = 0; for (i = 0; i < 5; i++) sum += i;  =>  10
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c0 = b.constant_int(0);
+        let c1 = b.constant_int(1);
+        let c5 = b.constant_int(5);
+        let mut f = b.begin_entry_function("main");
+        let header = f.reserve_label();
+        let body = f.reserve_label();
+        let cont = f.reserve_label();
+        let merge = f.reserve_label();
+        let pre = f.current_label();
+        f.branch(header);
+
+        f.begin_block_with_label(header);
+        let i = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+        let sum = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+        let cond = f.slt(i, c5);
+        f.loop_merge(merge, cont);
+        f.branch_cond(cond, body, merge);
+
+        f.begin_block_with_label(body);
+        let sum2 = f.iadd(t_int, sum, i);
+        f.branch(cont);
+
+        f.begin_block_with_label(cont);
+        let i2 = f.iadd(t_int, i, c1);
+        f.branch(header);
+
+        f.begin_block_with_label(merge);
+        f.store_output("out", sum);
+        f.ret();
+        f.finish();
+        let mut m = b.finish();
+
+        // Patch the placeholder back-edge phi inputs.
+        let f = m.functions.first_mut().unwrap();
+        let header_block = f.block_mut(header).unwrap();
+        if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+            incoming[1].0 = i2;
+        }
+        if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+            incoming[1].0 = sum2;
+        }
+        crate::validate::validate(&m).expect("loop module should validate");
+        let r = execute(&m, &Inputs::default()).unwrap();
+        assert_eq!(r.outputs["out"], Value::Int(10));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut b = ModuleBuilder::new();
+        let c0 = b.constant_int(0);
+        let mut f = b.begin_entry_function("main");
+        let spin = f.reserve_label();
+        f.store_output("out", c0);
+        f.branch(spin);
+        f.begin_block_with_label(spin);
+        f.branch(spin);
+        f.finish();
+        let m = b.finish();
+        let fault = execute_with_config(
+            &m,
+            &Inputs::default(),
+            ExecConfig { step_limit: 1000, call_depth_limit: 8 },
+        )
+        .unwrap_err();
+        assert_eq!(fault, Fault::StepLimitExceeded);
+    }
+
+    #[test]
+    fn kill_discards_fragment() {
+        let mut b = ModuleBuilder::new();
+        let c1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c1);
+        f.kill();
+        f.finish();
+        let m = b.finish();
+        let r = execute(&m, &Inputs::default()).unwrap();
+        assert!(r.killed);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c0 = b.constant_int(0);
+        let c9 = b.constant_int(9);
+        let mut f = b.begin_entry_function("main");
+        let q = f.binary(BinOp::SDiv, t_int, c9, c0);
+        f.store_output("out", q);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        let r = execute(&m, &Inputs::default()).unwrap();
+        assert_eq!(r.outputs["out"], Value::Int(0));
+    }
+
+    #[test]
+    fn composites_and_memory() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let t_vec = b.type_vector(t_int, 3);
+        let c1 = b.constant_int(1);
+        let c2 = b.constant_int(2);
+        let c3 = b.constant_int(3);
+        let idx1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let v = f.local_var(t_vec, None);
+        let vec = f.composite_construct(t_vec, vec![c1, c2, c3]);
+        f.store(v, vec);
+        let elem_ptr = f.access_chain(v, vec![idx1]);
+        let elem = f.load(elem_ptr);
+        f.store_output("out", elem);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        crate::validate::validate(&m).expect("should validate");
+        let r = execute(&m, &Inputs::default()).unwrap();
+        assert_eq!(r.outputs["out"], Value::Int(2));
+    }
+
+    #[test]
+    fn function_calls_return_values() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let mut g = b.begin_function(t_int, &[t_int, t_int]);
+        let params = g.param_ids();
+        let sum = g.iadd(t_int, params[0], params[1]);
+        g.ret_value(sum);
+        let g_id = g.finish();
+
+        let c20 = b.constant_int(20);
+        let c22 = b.constant_int(22);
+        let mut f = b.begin_entry_function("main");
+        let r = f.call(g_id, vec![c20, c22]);
+        f.store_output("out", r);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        let r = execute(&m, &Inputs::default()).unwrap();
+        assert_eq!(r.outputs["out"], Value::Int(42));
+    }
+
+    #[test]
+    fn render_produces_distinct_pixels() {
+        let mut b = ModuleBuilder::new();
+        let t_float = b.type_float();
+        let t_vec2 = b.type_vector(t_float, 2);
+        let frag = b.builtin("frag_coord", t_vec2);
+        let mut f = b.begin_entry_function("main");
+        let coord = f.load(frag);
+        let x = f.composite_extract(coord, vec![0]);
+        f.store_output("color", x);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        let img = render(&m, &Inputs::default(), 4, 2).unwrap();
+        assert_eq!(img.pixels.len(), 8);
+        assert_ne!(img.pixels[0].outputs["color"], img.pixels[1].outputs["color"]);
+        assert_eq!(img.diff_count(&img.clone()), 0);
+    }
+
+    #[test]
+    fn value_equality_is_bitwise_for_floats() {
+        assert_eq!(Value::Float(f32::NAN), Value::Float(f32::NAN));
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+    }
+}

@@ -1,0 +1,71 @@
+//! # trx-ir
+//!
+//! An SSA shader intermediate representation modelled on the Vulkan subset of
+//! SPIR-V, built as the substrate for transformation-based compiler testing.
+//!
+//! A [`Module`] holds type, constant and global-variable declarations followed
+//! by functions made of basic [`Block`]s. Every value-producing instruction
+//! has a unique result [`Id`]; `Phi` instructions select values by predecessor,
+//! and structured control flow is expressed through selection/loop [`Merge`]
+//! annotations, exactly as in SPIR-V.
+//!
+//! The crate provides:
+//!
+//! * a [`ModuleBuilder`]/[`FunctionBuilder`] pair for ergonomic construction,
+//! * a [`validate`](validate::validate) pass enforcing SSA, dominance and
+//!   structural rules,
+//! * a deterministic reference [`interpreter`](interp) with a step limit
+//!   (non-termination is reported as a fault, following Definition 2.2 of the
+//!   paper),
+//! * a word-oriented [`binary`] encoding with round-trip decode,
+//! * a textual [`disasm`]sembler used for human-readable bug-report deltas.
+//!
+//! # Example
+//!
+//! ```
+//! use trx_ir::{ModuleBuilder, Inputs, Value, interp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ModuleBuilder::new();
+//! let t_int = b.type_int();
+//! let c1 = b.constant_int(1);
+//! let c2 = b.constant_int(2);
+//! let mut f = b.begin_entry_function("main");
+//! let sum = f.iadd(t_int, c1, c2);
+//! f.store_output("out", sum);
+//! f.ret();
+//! f.finish();
+//! let module = b.finish();
+//!
+//! let result = interp::execute(&module, &Inputs::default())?;
+//! assert_eq!(result.outputs["out"], Value::Int(3));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binary;
+mod block;
+mod builder;
+pub mod cfg;
+mod constant;
+pub mod disasm;
+mod function;
+mod id;
+mod instruction;
+pub mod interp;
+mod module;
+mod types;
+pub mod validate;
+
+pub use block::{Block, Merge};
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use constant::{ConstantDecl, ConstantValue};
+pub use function::{Function, FunctionControl, FunctionParam};
+pub use id::{Id, IdAllocator};
+pub use instruction::{BinOp, Instruction, Op, Terminator, UnOp};
+pub use interp::{Execution, Fault, Inputs, Value};
+pub use module::{GlobalVariable, Interface, Module, TypeDecl};
+pub use types::{StorageClass, Type};

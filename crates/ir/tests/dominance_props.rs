@@ -1,0 +1,147 @@
+//! Property tests pitting the Cooper–Harvey–Kennedy dominator computation
+//! against the textbook definition: `a` dominates `b` iff every path from
+//! the entry to `b` passes through `a` — equivalently, iff `b` becomes
+//! unreachable when `a` is deleted.
+
+use proptest::prelude::*;
+
+use trx_ir::cfg::{Cfg, Dominators};
+use trx_ir::{Block, Function, FunctionControl, Id, Terminator};
+
+/// Builds a function with `n` blocks and the given successor indexes per
+/// block (0, 1 or 2 successors).
+fn function_from(succs: &[Vec<usize>]) -> Function {
+    let blocks = succs
+        .iter()
+        .enumerate()
+        .map(|(i, targets)| Block {
+            label: Id::new((i + 1) as u32),
+            instructions: vec![],
+            merge: None,
+            terminator: match targets.as_slice() {
+                [] => Terminator::Return,
+                [t] => Terminator::Branch { target: Id::new((*t + 1) as u32) },
+                [t, f, ..] => Terminator::BranchConditional {
+                    cond: Id::new(999),
+                    true_target: Id::new((*t + 1) as u32),
+                    false_target: Id::new((*f + 1) as u32),
+                },
+            },
+        })
+        .collect();
+    Function {
+        id: Id::new(1000),
+        ty: Id::new(1001),
+        control: FunctionControl::None,
+        params: vec![],
+        blocks,
+    }
+}
+
+/// Reachability from the entry with block `removed` deleted (`None` =
+/// nothing deleted).
+fn reachable_without(succs: &[Vec<usize>], removed: Option<usize>) -> Vec<bool> {
+    let n = succs.len();
+    let mut seen = vec![false; n];
+    if removed == Some(0) {
+        return seen;
+    }
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(node) = stack.pop() {
+        for &next in &succs[node] {
+            if Some(next) == removed || seen[next] {
+                continue;
+            }
+            seen[next] = true;
+            stack.push(next);
+        }
+    }
+    seen
+}
+
+fn arbitrary_cfg() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    // 1..=7 blocks; each block gets 0..=2 successors drawn from the block
+    // count.
+    (1usize..=7).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..n, 0..=2),
+            n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dominance_matches_path_definition(succs in arbitrary_cfg()) {
+        let function = function_from(&succs);
+        let dom = Dominators::compute(&function);
+        let reachable = reachable_without(&succs, None);
+        let n = succs.len();
+        for a in 0..n {
+            for (b, &b_reachable) in reachable.iter().enumerate() {
+                let la = Id::new((a + 1) as u32);
+                let lb = Id::new((b + 1) as u32);
+                let expected = if a == b {
+                    true
+                } else if !b_reachable {
+                    // Convention: unreachable blocks are dominated only by
+                    // themselves.
+                    false
+                } else {
+                    // a dominates b iff deleting a cuts b off from the entry.
+                    !reachable_without(&succs, Some(a))[b]
+                };
+                prop_assert_eq!(
+                    dom.dominates(la, lb),
+                    expected,
+                    "dominates({}, {}) in {:?}",
+                    a,
+                    b,
+                    succs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_strictly_dominates_and_is_tightest(succs in arbitrary_cfg()) {
+        let function = function_from(&succs);
+        let dom = Dominators::compute(&function);
+        let n = succs.len();
+        for b in 0..n {
+            let lb = Id::new((b + 1) as u32);
+            if let Some(idom) = dom.idom(lb) {
+                prop_assert!(dom.strictly_dominates(idom, lb));
+                // Every other strict dominator of b also dominates idom(b).
+                for a in 0..n {
+                    let la = Id::new((a + 1) as u32);
+                    if la != idom && dom.strictly_dominates(la, lb) {
+                        prop_assert!(
+                            dom.dominates(la, idom),
+                            "{:?} strictly dominates {:?} but not its idom {:?}",
+                            la, lb, idom
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_is_a_permutation_of_reachable_blocks(succs in arbitrary_cfg()) {
+        let function = function_from(&succs);
+        let cfg = Cfg::new(&function);
+        let rpo = cfg.reverse_postorder();
+        let reachable = reachable_without(&succs, None);
+        let expected: usize = reachable.iter().filter(|&&r| r).count();
+        prop_assert_eq!(rpo.len(), expected);
+        let mut sorted = rpo.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), rpo.len(), "rpo must not repeat blocks");
+        prop_assert_eq!(rpo.first().copied(), Some(0), "rpo starts at the entry");
+    }
+}

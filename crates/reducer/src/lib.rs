@@ -1,0 +1,451 @@
+//! # trx-reducer
+//!
+//! Test-case reduction "almost for free" (§2.1, §3.4): delta debugging over
+//! the *transformation sequence* rather than over program text.
+//!
+//! Because every transformation is semantics-preserving and sequence
+//! application skips transformations whose preconditions fail
+//! (Definition 2.5), any subsequence of a bug-inducing sequence yields a
+//! valid, UB-free variant — no external sanitizers or oracles are needed.
+//! The reducer searches for a **1-minimal** subsequence: one that still
+//! triggers the bug, such that removing any single transformation stops it
+//! triggering.
+//!
+//! The algorithm is the one described in §3.4: a chunk size `c` starts at
+//! `⌊n/2⌋`; the sequence is divided into chunks of size `c` *from the back*
+//! (the leading chunk may be smaller); each chunk is tentatively removed;
+//! when no chunk of size `c` can be removed, `c` is halved; reduction stops
+//! when no chunk of size 1 can be removed.
+//!
+//! After delta debugging, [`Reducer::reduce`] optionally shrinks the bodies
+//! of any remaining `AddFunction` payloads — the analogue of spirv-fuzz's
+//! final spirv-reduce pass, "merely an optimization" per §3.4.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use trx_core::{apply_sequence, Context, Transformation};
+
+/// Statistics about a reduction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Number of interestingness-test invocations.
+    pub tests_run: usize,
+    /// Number of successful chunk removals.
+    pub chunks_removed: usize,
+    /// Number of instructions removed from `AddFunction` payloads by the
+    /// shrink phase.
+    pub payload_instructions_removed: usize,
+}
+
+/// The outcome of a reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The 1-minimal transformation subsequence.
+    pub sequence: Vec<Transformation>,
+    /// The reduced variant context (original plus `sequence`).
+    pub context: Context,
+    /// Counters describing the run.
+    pub stats: ReductionStats,
+}
+
+/// Configuration for the reducer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReducerOptions {
+    /// Whether to run the `AddFunction` payload shrink phase after delta
+    /// debugging.
+    pub shrink_added_functions: bool,
+    /// Safety cap on interestingness-test invocations.
+    pub max_tests: usize,
+}
+
+impl Default for ReducerOptions {
+    fn default() -> Self {
+        ReducerOptions { shrink_added_functions: true, max_tests: 100_000 }
+    }
+}
+
+/// The transformation-sequence reducer.
+#[derive(Debug, Clone, Default)]
+pub struct Reducer {
+    options: ReducerOptions,
+}
+
+impl Reducer {
+    /// Creates a reducer with the given options.
+    #[must_use]
+    pub fn new(options: ReducerOptions) -> Self {
+        Reducer { options }
+    }
+
+    /// Reduces `sequence` against `original`, keeping subsequences for which
+    /// `interesting` returns `true` on the resulting variant.
+    ///
+    /// `interesting` receives the variant context produced by applying a
+    /// candidate subsequence to `original`. It must return `true` for the
+    /// full initial sequence, or the input is returned unchanged.
+    pub fn reduce(
+        &self,
+        original: &Context,
+        sequence: &[Transformation],
+        mut interesting: impl FnMut(&Context) -> bool,
+    ) -> Reduction {
+        let mut stats = ReductionStats::default();
+        let mut current: Vec<Transformation> = sequence.to_vec();
+
+        let max_tests = self.options.max_tests;
+        let mut check = |candidate: &[Transformation], stats: &mut ReductionStats| {
+            if stats.tests_run >= max_tests {
+                return None;
+            }
+            stats.tests_run += 1;
+            let mut ctx = original.clone();
+            apply_sequence(&mut ctx, candidate);
+            Some((interesting(&ctx), ctx))
+        };
+
+        // The full sequence must be interesting to begin with.
+        let Some((initially_interesting, full_ctx)) = check(&current, &mut stats) else {
+            let mut ctx = original.clone();
+            apply_sequence(&mut ctx, &current);
+            return Reduction { sequence: current, context: ctx, stats };
+        };
+        if !initially_interesting {
+            return Reduction { sequence: current, context: full_ctx, stats };
+        }
+
+        let mut chunk_size = (current.len() / 2).max(1);
+        let mut budget_exhausted = false;
+        loop {
+            let mut removed_any = false;
+            // Chunks from the back: the final chunk is [n - c, n), then
+            // [n - 2c, n - c), ...; the leading chunk may be smaller than c.
+            let mut end = current.len();
+            while end > 0 {
+                let start = end.saturating_sub(chunk_size);
+                let mut candidate = Vec::with_capacity(current.len() - (end - start));
+                candidate.extend_from_slice(&current[..start]);
+                candidate.extend_from_slice(&current[end..]);
+                match check(&candidate, &mut stats) {
+                    Some((true, _)) => {
+                        current = candidate;
+                        stats.chunks_removed += 1;
+                        removed_any = true;
+                        // Continue leftwards over the shortened sequence.
+                        end = start.min(current.len());
+                    }
+                    Some((false, _)) => {
+                        end = start;
+                    }
+                    None => {
+                        budget_exhausted = true;
+                        end = 0;
+                    }
+                }
+            }
+            if budget_exhausted {
+                break;
+            }
+            if removed_any {
+                // Another pass at the same granularity (§3.4 repeats until
+                // no chunk of size c can be removed).
+                continue;
+            }
+            if chunk_size == 1 {
+                break;
+            }
+            chunk_size = (chunk_size / 2).max(1);
+        }
+
+        if self.options.shrink_added_functions && !budget_exhausted {
+            self.shrink_payloads(original, &mut current, &mut stats, &mut interesting);
+        }
+
+        let mut context = original.clone();
+        apply_sequence(&mut context, &current);
+        Reduction { sequence: current, context, stats }
+    }
+
+    /// Tries to delete instructions from the bodies of `AddFunction`
+    /// payloads while the test stays interesting (the spirv-reduce
+    /// analogue).
+    fn shrink_payloads(
+        &self,
+        original: &Context,
+        current: &mut Vec<Transformation>,
+        stats: &mut ReductionStats,
+        interesting: &mut impl FnMut(&Context) -> bool,
+    ) {
+        for index in 0..current.len() {
+            let Transformation::AddFunction(payload) = &current[index] else {
+                continue;
+            };
+            let mut payload = payload.clone();
+            let mut progress = true;
+            while progress {
+                progress = false;
+                // Try removing each instruction, from the back.
+                let positions: Vec<(usize, usize)> = payload
+                    .function
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(bi, b)| (0..b.instructions.len()).map(move |ii| (bi, ii)))
+                    .collect();
+                for &(bi, ii) in positions.iter().rev() {
+                    if stats.tests_run >= self.options.max_tests {
+                        return;
+                    }
+                    let mut candidate_payload = payload.clone();
+                    candidate_payload.function.blocks[bi].instructions.remove(ii);
+                    let mut candidate = current.clone();
+                    candidate[index] = Transformation::AddFunction(candidate_payload.clone());
+                    stats.tests_run += 1;
+                    let mut ctx = original.clone();
+                    let applied = apply_sequence(&mut ctx, &candidate);
+                    // The shrunken payload must still apply — otherwise the
+                    // variant silently loses the whole function.
+                    if applied[index] && interesting(&ctx) {
+                        payload = candidate_payload;
+                        *current = candidate;
+                        stats.payload_instructions_removed += 1;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_core::transformations::SetFunctionControl;
+    use trx_ir::{FunctionControl, Inputs, ModuleBuilder};
+
+    fn tiny_context() -> Context {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(1);
+        let t_int = b.type_int();
+        let mut h = b.begin_function(t_int, &[]);
+        h.ret_value(c);
+        let helper = h.finish();
+        let mut f = b.begin_entry_function("main");
+        let r = f.call(helper, vec![]);
+        f.store_output("out", r);
+        f.ret();
+        f.finish();
+        Context::new(b.finish(), Inputs::default()).unwrap()
+    }
+
+    fn helper_of(ctx: &Context) -> trx_ir::Id {
+        ctx.module
+            .functions
+            .iter()
+            .map(|f| f.id)
+            .find(|&id| id != ctx.module.entry_point)
+            .unwrap()
+    }
+
+    /// A synthetic sequence of N SetFunctionControl flips.
+    fn flip_sequence(ctx: &Context, n: usize) -> Vec<Transformation> {
+        let helper = helper_of(ctx);
+        (0..n)
+            .map(|i| {
+                let control = if i % 2 == 0 {
+                    FunctionControl::DontInline
+                } else {
+                    FunctionControl::Inline
+                };
+                SetFunctionControl { function: helper, control }.into()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reduces_to_single_needed_transformation() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 17);
+        // Interesting iff the helper ends with DontInline; the 1-minimal
+        // answer is a single DontInline flip.
+        let reduction = Reducer::default().reduce(&ctx, &sequence, |variant| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        });
+        assert_eq!(reduction.sequence.len(), 1);
+        assert_eq!(
+            reduction.context.module.function(helper).unwrap().control,
+            FunctionControl::DontInline
+        );
+        assert!(reduction.stats.tests_run > 0);
+        assert!(reduction.stats.chunks_removed > 0);
+    }
+
+    #[test]
+    fn uninteresting_input_returned_unchanged() {
+        let ctx = tiny_context();
+        let sequence = flip_sequence(&ctx, 5);
+        let reduction = Reducer::default().reduce(&ctx, &sequence, |_| false);
+        assert_eq!(reduction.sequence.len(), 5);
+    }
+
+    #[test]
+    fn empty_sequence_is_handled() {
+        let ctx = tiny_context();
+        let reduction = Reducer::default().reduce(&ctx, &[], |_| true);
+        assert!(reduction.sequence.is_empty());
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let ctx = tiny_context();
+        let sequence = flip_sequence(&ctx, 13);
+        let helper = helper_of(&ctx);
+        let is_interesting = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        let reduction = Reducer::default().reduce(&ctx, &sequence, is_interesting);
+        // Dropping any single remaining transformation must lose
+        // interestingness.
+        for skip in 0..reduction.sequence.len() {
+            let mut candidate = reduction.sequence.clone();
+            candidate.remove(skip);
+            let mut variant = ctx.clone();
+            apply_sequence(&mut variant, &candidate);
+            assert!(
+                !is_interesting(&variant),
+                "sequence is not 1-minimal: position {skip} removable"
+            );
+        }
+    }
+
+    #[test]
+    fn test_budget_is_respected() {
+        let ctx = tiny_context();
+        let sequence = flip_sequence(&ctx, 40);
+        let helper = helper_of(&ctx);
+        let reducer =
+            Reducer::new(ReducerOptions { shrink_added_functions: false, max_tests: 3 });
+        let reduction = reducer.reduce(&ctx, &sequence, |variant| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        });
+        assert!(reduction.stats.tests_run <= 3);
+    }
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    use super::*;
+    use trx_core::transformations::AddFunction;
+    use trx_ir::{
+        BinOp, Block, Function, FunctionControl, FunctionParam, Id, Inputs, Instruction,
+        ModuleBuilder, Op, Terminator, Type,
+    };
+
+    /// Builds a context plus an AddFunction whose payload contains dead
+    /// instructions the shrink phase can delete.
+    fn context_and_bloated_function() -> (Context, Vec<Transformation>) {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c1);
+        f.ret();
+        f.finish();
+        let module = b.finish();
+        let ctx = Context::new(module, Inputs::default()).unwrap();
+
+        let fn_ty = ctx
+            .module
+            .lookup_type(&Type::Function { ret: t_int, params: vec![t_int] }).unwrap_or_else(|| {
+                    // Declare via a supporting transformation.
+                    Id::new(ctx.module.id_bound)
+                });
+        let mut sequence: Vec<Transformation> = Vec::new();
+        let mut next = ctx.module.id_bound;
+        let mut fresh = || {
+            let id = Id::new(next);
+            next += 1;
+            id
+        };
+        let declared_fn_ty = if ctx
+            .module
+            .lookup_type(&Type::Function { ret: t_int, params: vec![t_int] })
+            .is_none()
+        {
+            let id = fresh();
+            sequence.push(
+                trx_core::transformations::AddType {
+                    fresh_id: id,
+                    ty: Type::Function { ret: t_int, params: vec![t_int] },
+                }
+                .into(),
+            );
+            id
+        } else {
+            fn_ty
+        };
+        let fid = fresh();
+        let pid = fresh();
+        let label = fresh();
+        // Three dead adds, then the returned value.
+        let dead1 = fresh();
+        let dead2 = fresh();
+        let dead3 = fresh();
+        let kept = fresh();
+        let mk = |result, lhs, rhs| {
+            Instruction::with_result(
+                result,
+                t_int,
+                Op::Binary { op: BinOp::IAdd, lhs, rhs },
+            )
+        };
+        let function = Function {
+            id: fid,
+            ty: declared_fn_ty,
+            control: FunctionControl::None,
+            params: vec![FunctionParam { id: pid, ty: t_int }],
+            blocks: vec![Block {
+                label,
+                instructions: vec![
+                    mk(dead1, pid, pid),
+                    mk(dead2, dead1, pid),
+                    mk(dead3, dead2, dead2),
+                    mk(kept, pid, pid),
+                ],
+                merge: None,
+                terminator: Terminator::ReturnValue { value: kept },
+            }],
+        };
+        sequence.push(AddFunction { function, livesafe: true }.into());
+        (ctx, sequence)
+    }
+
+    #[test]
+    fn payload_shrink_removes_dead_instructions() {
+        let (ctx, sequence) = context_and_bloated_function();
+        // Interesting iff the module contains a second function at all.
+        let reduction = Reducer::default().reduce(&ctx, &sequence, |variant| {
+            variant.module.functions.len() == 2
+        });
+        assert!(
+            reduction.stats.payload_instructions_removed >= 3,
+            "the three dead adds should be shrunk away, got {}",
+            reduction.stats.payload_instructions_removed
+        );
+        // The surviving payload still applies and keeps the function.
+        assert_eq!(reduction.context.module.functions.len(), 2);
+    }
+
+    #[test]
+    fn payload_shrink_can_be_disabled() {
+        let (ctx, sequence) = context_and_bloated_function();
+        let reducer =
+            Reducer::new(ReducerOptions { shrink_added_functions: false, max_tests: 10_000 });
+        let reduction = reducer.reduce(&ctx, &sequence, |variant| {
+            variant.module.functions.len() == 2
+        });
+        assert_eq!(reduction.stats.payload_instructions_removed, 0);
+    }
+}

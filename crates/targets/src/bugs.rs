@@ -1,0 +1,385 @@
+//! Injected bugs: crash bugs with distinct signatures and miscompilation
+//! bugs realised as wrong-but-valid rewrites.
+
+use serde::{Deserialize, Serialize};
+
+use trx_ir::validate::validate;
+use trx_ir::{BinOp, Module, Op, Terminator};
+
+use crate::passes::PassKind;
+use crate::triggers::Trigger;
+
+/// Identifies one injected bug (one *root cause*). Ground truth for the
+/// deduplication experiment (Table 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BugId(pub String);
+
+impl BugId {
+    /// Creates a bug id.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        BugId(name.to_owned())
+    }
+}
+
+impl std::fmt::Display for BugId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A wrong-but-valid rewrite applied when a miscompilation bug fires.
+///
+/// Every mutation keeps the module valid (it self-checks with the validator
+/// and becomes a no-op otherwise), so the only observable symptom is a wrong
+/// result — exactly how real miscompilations present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Miscompilation {
+    /// Flip the first `SLessThan` feeding a conditional branch into
+    /// `SLessThanEqual` (or vice versa): the Figure 8a off-by-one, which in
+    /// Mesa "caused the last loop iteration to be skipped".
+    OffByOneComparison,
+    /// Swap the targets of the first conditional branch found.
+    SwapBranchTargets,
+    /// Delete the syntactically last store in the entry function.
+    DropLastStore,
+    /// Rewrite the first `OpSelect` into a copy of its false-arm.
+    FoldSelectWrongArm,
+    /// Replace the first non-trivial `IMul` with a copy of its left
+    /// operand (as if folding `x * k` to `x`).
+    DropMultiplication,
+    /// Replace the first `OpKill` in the entry function with `OpReturn`
+    /// (the fragment is no longer discarded).
+    IgnoreKill,
+    /// Swap the values of the first two incomings of the first phi with
+    /// distinct values (wrong value flows along each edge).
+    CrossPhiValues,
+}
+
+impl Miscompilation {
+    /// Applies the mutation. Returns `true` if the module changed (the
+    /// mutation found its shape and the result stayed valid).
+    pub fn apply(self, module: &mut Module) -> bool {
+        let backup = module.clone();
+        let changed = self.apply_inner(module);
+        if changed && validate(module).is_err() {
+            *module = backup;
+            return false;
+        }
+        changed
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply_inner(self, module: &mut Module) -> bool {
+        match self {
+            Miscompilation::OffByOneComparison => {
+                let mut flipped = false;
+                for function in &mut module.functions {
+                    // Conditions used by conditional branches, traced
+                    // through phis (the buggy pass consistently rewrites
+                    // every comparison feeding a branch).
+                    let mut conds: Vec<trx_ir::Id> = function
+                        .blocks
+                        .iter()
+                        .filter_map(|b| match &b.terminator {
+                            Terminator::BranchConditional { cond, .. } => Some(*cond),
+                            _ => None,
+                        })
+                        .collect();
+                    loop {
+                        let mut grew = false;
+                        for block in &function.blocks {
+                            for inst in &block.instructions {
+                                let (Some(result), Op::Phi { incoming }) =
+                                    (inst.result, &inst.op)
+                                else {
+                                    continue;
+                                };
+                                if !conds.contains(&result) {
+                                    continue;
+                                }
+                                for (value, _) in incoming {
+                                    if !conds.contains(value) {
+                                        conds.push(*value);
+                                        grew = true;
+                                    }
+                                }
+                            }
+                        }
+                        if !grew {
+                            break;
+                        }
+                    }
+                    for block in &mut function.blocks {
+                        for inst in &mut block.instructions {
+                            if let (Some(result), Op::Binary { op, .. }) =
+                                (inst.result, &mut inst.op)
+                            {
+                                if !conds.contains(&result) {
+                                    continue;
+                                }
+                                match op {
+                                    BinOp::SLessThan => {
+                                        *op = BinOp::SLessThanEqual;
+                                        flipped = true;
+                                    }
+                                    BinOp::SLessThanEqual => {
+                                        *op = BinOp::SLessThan;
+                                        flipped = true;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                flipped
+            }
+            Miscompilation::SwapBranchTargets => {
+                for function in &mut module.functions {
+                    for block in &mut function.blocks {
+                        if let Terminator::BranchConditional {
+                            true_target,
+                            false_target,
+                            ..
+                        } = &mut block.terminator
+                        {
+                            if true_target != false_target {
+                                std::mem::swap(true_target, false_target);
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            Miscompilation::DropLastStore => {
+                let entry = module.entry_point;
+                let Some(function) =
+                    module.functions.iter_mut().find(|f| f.id == entry)
+                else {
+                    return false;
+                };
+                for block in function.blocks.iter_mut().rev() {
+                    if let Some(pos) = block
+                        .instructions
+                        .iter()
+                        .rposition(|i| matches!(i.op, Op::Store { .. }))
+                    {
+                        block.instructions.remove(pos);
+                        return true;
+                    }
+                }
+                false
+            }
+            Miscompilation::FoldSelectWrongArm => {
+                for function in &mut module.functions {
+                    for block in &mut function.blocks {
+                        for inst in &mut block.instructions {
+                            if let Op::Select { if_false, .. } = inst.op {
+                                inst.op = Op::CopyObject { src: if_false };
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            Miscompilation::DropMultiplication => {
+                // Skip multiplications by literal one: dropping those is a
+                // correct fold and would make the bug unobservable.
+                let ones: Vec<trx_ir::Id> = module
+                    .constants
+                    .iter()
+                    .filter(|c| c.value == trx_ir::ConstantValue::Int(1))
+                    .map(|c| c.id)
+                    .collect();
+                for function in &mut module.functions {
+                    for block in &mut function.blocks {
+                        for inst in &mut block.instructions {
+                            if let Op::Binary { op: BinOp::IMul, lhs, rhs } = inst.op {
+                                if ones.contains(&rhs) || ones.contains(&lhs) {
+                                    continue;
+                                }
+                                inst.op = Op::CopyObject { src: lhs };
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            Miscompilation::IgnoreKill => {
+                let entry = module.entry_point;
+                let Some(function) =
+                    module.functions.iter_mut().find(|f| f.id == entry)
+                else {
+                    return false;
+                };
+                for block in &mut function.blocks {
+                    if matches!(block.terminator, Terminator::Kill) {
+                        block.terminator = Terminator::Return;
+                        return true;
+                    }
+                }
+                false
+            }
+            Miscompilation::CrossPhiValues => {
+                for function in &mut module.functions {
+                    for block in &mut function.blocks {
+                        for inst in &mut block.instructions {
+                            if let Op::Phi { incoming } = &mut inst.op {
+                                if incoming.len() >= 2 && incoming[0].0 != incoming[1].0 {
+                                    let tmp = incoming[0].0;
+                                    incoming[0].0 = incoming[1].0;
+                                    incoming[1].0 = tmp;
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// What an injected bug does when its trigger fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BugEffect {
+    /// The compiler crashes with this signature.
+    Crash {
+        /// The crash signature, as scraped from compiler output (§3.4).
+        signature: String,
+    },
+    /// The compiler silently emits wrong code.
+    Miscompile(Miscompilation),
+}
+
+/// One injected bug: a distinct root cause with a trigger and an effect,
+/// evaluated after a particular pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedBug {
+    /// Unique identity (ground truth for deduplication experiments).
+    pub id: BugId,
+    /// After which pass the trigger is evaluated; `None` = on the input
+    /// module before any pass ("front-end" bugs).
+    pub stage: Option<PassKind>,
+    /// The feature pattern that provokes the bug.
+    pub trigger: Trigger,
+    /// What happens when it fires.
+    pub effect: BugEffect,
+}
+
+impl InjectedBug {
+    /// A crash bug.
+    #[must_use]
+    pub fn crash(
+        name: &str,
+        stage: Option<PassKind>,
+        trigger: Trigger,
+        signature: &str,
+    ) -> Self {
+        InjectedBug {
+            id: BugId::new(name),
+            stage,
+            trigger,
+            effect: BugEffect::Crash { signature: signature.to_owned() },
+        }
+    }
+
+    /// A miscompilation bug.
+    #[must_use]
+    pub fn miscompile(
+        name: &str,
+        stage: Option<PassKind>,
+        trigger: Trigger,
+        mutation: Miscompilation,
+    ) -> Self {
+        InjectedBug {
+            id: BugId::new(name),
+            stage,
+            trigger,
+            effect: BugEffect::Miscompile(mutation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_ir::{interp, Inputs, ModuleBuilder, Value};
+
+    #[test]
+    fn swap_branch_targets_changes_behaviour() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let u = b.uniform("k", t_int);
+        let c5 = b.constant_int(5);
+        let c1 = b.constant_int(1);
+        let c2 = b.constant_int(2);
+        let mut f = b.begin_entry_function("main");
+        let loaded = f.load(u);
+        let cond = f.slt(loaded, c5);
+        let then_l = f.reserve_label();
+        let merge_l = f.reserve_label();
+        let entry = f.current_label();
+        f.selection_merge(merge_l);
+        f.branch_cond(cond, then_l, merge_l);
+        f.begin_block_with_label(then_l);
+        f.branch(merge_l);
+        f.begin_block_with_label(merge_l);
+        let phi = f.phi(t_int, vec![(c1, then_l), (c2, entry)]);
+        f.store_output("out", phi);
+        f.ret();
+        f.finish();
+        let mut m = b.finish();
+
+        let inputs = Inputs::new().with("k", Value::Int(3));
+        let before = interp::execute(&m, &inputs).unwrap();
+        assert!(Miscompilation::SwapBranchTargets.apply(&mut m));
+        validate(&m).expect("mutation keeps module valid");
+        let after = interp::execute(&m, &inputs).unwrap();
+        assert_ne!(before, after, "the miscompilation must be observable");
+    }
+
+    #[test]
+    fn mutations_are_noops_without_their_shape() {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        for mutation in [
+            Miscompilation::OffByOneComparison,
+            Miscompilation::SwapBranchTargets,
+            Miscompilation::FoldSelectWrongArm,
+            Miscompilation::DropMultiplication,
+            Miscompilation::IgnoreKill,
+            Miscompilation::CrossPhiValues,
+        ] {
+            let mut copy = m.clone();
+            let changed = mutation.apply(&mut copy);
+            if !changed {
+                assert_eq!(copy, m, "{mutation:?} must be a no-op when it misses");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_last_store_makes_output_zero() {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(9);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        let mut m = b.finish();
+        assert!(Miscompilation::DropLastStore.apply(&mut m));
+        let r = interp::execute(&m, &Inputs::default()).unwrap();
+        assert_eq!(r.outputs["out"], Value::Int(0));
+    }
+}

@@ -1,0 +1,769 @@
+//! The catalogue of nine simulated SPIR-V targets, mirroring Table 2 of the
+//! paper. Each stands in for a real driver/tool with a distinct mix of
+//! injected bugs.
+//!
+//! Bugs split into two camps, which is what differentiates the fuzzers in
+//! the bug-finding experiment (§4.1):
+//!
+//! * features only the transformation-based fuzzer produces (function
+//!   control hints, `OpKill` rewrites, block-order deviations, swapped
+//!   commutative operands) — the baseline's GLSL-like front end
+//!   canonicalises these away, just as glslang cannot express `DontInline`;
+//! * features both tools can produce (conditionals, nesting, block counts,
+//!   phis, calls).
+
+use crate::bugs::{InjectedBug, Miscompilation};
+use crate::passes::PassKind;
+use crate::target::Target;
+use crate::triggers::Trigger;
+
+use Miscompilation as M;
+use PassKind as P;
+use Trigger as T;
+
+fn standard_pipeline() -> Vec<PassKind> {
+    vec![
+        P::Inlining,
+        P::CopyPropagation,
+        P::ConstantFolding,
+        P::PhiSimplification,
+        P::LocalCse,
+        P::StoreLoadForwarding,
+        P::DeadCodeElimination,
+        P::CfgSimplification,
+    ]
+}
+
+fn short_pipeline() -> Vec<PassKind> {
+    vec![
+        P::CopyPropagation,
+        P::ConstantFolding,
+        P::DeadCodeElimination,
+        P::CfgSimplification,
+    ]
+}
+
+/// The nine targets of Table 2.
+#[must_use]
+pub fn all_targets() -> Vec<Target> {
+    vec![
+        amd_llpc(),
+        mesa(),
+        mesa_old(),
+        nvidia(),
+        pixel_5(),
+        pixel_4(),
+        spirv_opt(),
+        spirv_opt_old(),
+        swiftshader(),
+    ]
+}
+
+/// Looks a target up by name.
+#[must_use]
+pub fn target_by_name(name: &str) -> Option<Target> {
+    all_targets().into_iter().find(|t| t.name() == name)
+}
+
+fn amd_llpc() -> Target {
+    Target::new(
+        "AMD-LLPC",
+        "git-4781635",
+        "Discrete",
+        standard_pipeline(),
+        vec![
+            InjectedBug::crash(
+                "llpc-fatal-branch-fold",
+                Some(P::ConstantFolding),
+                T::ConstantConditionalPresent,
+                "LLPC FATAL: unexpected constant branch in lowering",
+            ),
+            InjectedBug::crash(
+                "llpc-assert-inline-multi-ret",
+                Some(P::Inlining),
+                T::MultipleReturnsInCallee,
+                "llpc: assert(callee->hasSingleReturn())",
+            ),
+            InjectedBug::crash(
+                "llpc-segv-deep-chain",
+                Some(P::StoreLoadForwarding),
+                T::AccessChainDepthAtLeast(2),
+                "SIGSEGV in llpc::MemoryOpLowering::visitChain",
+            ),
+            InjectedBug::crash(
+                "llpc-unreachable-select",
+                Some(P::ConstantFolding),
+                T::SelectPresent,
+                "llvm_unreachable: select lowering",
+            ),
+            InjectedBug::miscompile(
+                "llpc-wrong-loop-bound",
+                Some(P::PhiSimplification),
+                T::ConditionIsPhi,
+                M::OffByOneComparison,
+            ),
+            InjectedBug::crash(
+                "llpc-ice-array-agg",
+                Some(P::LocalCse),
+                T::ArrayConstructPresent,
+                "llpc: ICE in aggregate lowering (array initializer)",
+            ),
+            InjectedBug::miscompile(
+                "llpc-wrong-layout",
+                Some(P::CfgSimplification),
+                T::BlockOrderDeviatesFromRpo,
+                M::SwapBranchTargets,
+            ),
+        ],
+    )
+}
+
+fn mesa() -> Target {
+    Target::new(
+        "Mesa",
+        "20.2.1",
+        "Integrated",
+        standard_pipeline(),
+        vec![
+            // The Figure 8a bug: PropagateInstructionUp makes the loop/branch
+            // condition a phi; the optimizer then skips the last iteration.
+            InjectedBug::miscompile(
+                "mesa-loop-last-iteration",
+                Some(P::PhiSimplification),
+                T::ConditionIsPhi,
+                M::OffByOneComparison,
+            ),
+            InjectedBug::crash(
+                "mesa-nir-validate-phi",
+                Some(P::CfgSimplification),
+                T::PhiWithIncomingsAtLeast(3),
+                "nir_validate: phi has too many sources",
+            ),
+            InjectedBug::crash(
+                "mesa-assert-dead-cf",
+                Some(P::CopyPropagation),
+                T::ConstantConditionalPresent,
+                "mesa: assert(!\"dead control flow not lowered\")",
+            ),
+            InjectedBug::crash(
+                "mesa-crash-uniform-guard",
+                Some(P::ConstantFolding),
+                T::UniformLoadGuardsBranch,
+                "i965: SIGSEGV in opt_algebraic (uniform-guarded branch)",
+            ),
+            InjectedBug::miscompile(
+                "mesa-store-past-discard",
+                Some(P::DeadCodeElimination),
+                T::StoreBeforeKill,
+                M::DropLastStore,
+            ),
+            InjectedBug::crash(
+                "mesa-stackoverflow-nesting",
+                Some(P::CopyPropagation),
+                T::SelectionNestingAtLeast(3),
+                "mesa: stack overflow in nir_opt_peephole_select",
+            ),
+            InjectedBug::crash(
+                "mesa-ice-params",
+                Some(P::Inlining),
+                T::FunctionParamsAtLeast(3),
+                "mesa: ICE: too many parameters after inlining",
+            ),
+            InjectedBug::crash(
+                "mesa-ice-array-init",
+                Some(P::LocalCse),
+                T::ArrayConstructPresent,
+                "mesa: ICE: nir array constructor in vectorizer",
+            ),
+            InjectedBug::miscompile(
+                "mesa-phi-cross",
+                Some(P::PhiSimplification),
+                T::PhiCountAtLeast(4),
+                M::CrossPhiValues,
+            ),
+        ],
+    )
+}
+
+fn mesa_old() -> Target {
+    let mut bugs = mesa().bugs().to_vec();
+    bugs.extend(vec![
+        InjectedBug::crash(
+            "mesaold-assert-kill",
+            Some(P::CfgSimplification),
+            T::KillPresent,
+            "mesa-19: assert(block->successors[0]) after discard",
+        ),
+        InjectedBug::crash(
+            "mesaold-ice-callee-kill",
+            Some(P::Inlining),
+            T::KillInCallee,
+            "mesa-19: ICE: discard in callee not supported",
+        ),
+        InjectedBug::crash(
+            "mesaold-crash-blockcount",
+            Some(P::CfgSimplification),
+            T::BlockCountAtLeast(12),
+            "mesa-19: SIGSEGV in nir_lower_cf (worklist overflow)",
+        ),
+        InjectedBug::miscompile(
+            "mesaold-select-arm",
+            Some(P::ConstantFolding),
+            T::SelectPresent,
+            M::FoldSelectWrongArm,
+        ),
+        InjectedBug::crash(
+            "mesaold-ice-undef",
+            Some(P::CopyPropagation),
+            T::UndefUsed,
+            "mesa-19: ICE: ssa_undef reached copy-prop",
+        ),
+        InjectedBug::crash(
+            "mesaold-segv-array-copy",
+            Some(P::StoreLoadForwarding),
+            T::ArrayConstructPresent,
+            "mesa-19: SIGSEGV copying array temporary",
+        ),
+        InjectedBug::crash(
+            "mesaold-ice-composite",
+            Some(P::LocalCse),
+            T::CompositeArityAtLeast(4),
+            "mesa-19: assert(vec->num_components <= 3)",
+        ),
+    ]);
+    Target::new("Mesa-Old", "19.1.0", "Integrated", standard_pipeline(), bugs)
+}
+
+fn nvidia() -> Target {
+    let mut bugs = vec![
+        InjectedBug::crash(
+            "nv-ice-dontinline",
+            Some(P::Inlining),
+            T::DontInlineFunctionCalled,
+            "NVIDIA: internal compiler error 0x1A (function control)",
+        ),
+        InjectedBug::crash(
+            "nv-ice-inline-hint",
+            Some(P::Inlining),
+            T::InlineHintPresent,
+            "NVIDIA: internal compiler error 0x1B (inline hint)",
+        ),
+        InjectedBug::crash(
+            "nv-hang-kill",
+            None,
+            T::KillPresent,
+            "NVIDIA: GPU channel timeout after discard",
+        ),
+        InjectedBug::crash(
+            "nv-ice-callee-kill",
+            Some(P::Inlining),
+            T::KillInCallee,
+            "NVIDIA: assertion `!callee_discards' failed",
+        ),
+        InjectedBug::crash(
+            "nv-ice-rpo",
+            Some(P::CfgSimplification),
+            T::BlockOrderDeviatesFromRpo,
+            "NVIDIA: ICE in scheduler (basic block order)",
+        ),
+        InjectedBug::crash(
+            "nv-ice-const-left",
+            Some(P::ConstantFolding),
+            T::ConstantOnLeftOfCommutative,
+            "NVIDIA: assertion `isImm(src1)' failed",
+        ),
+        InjectedBug::crash(
+            "nv-ice-phi3",
+            Some(P::PhiSimplification),
+            T::PhiWithIncomingsAtLeast(3),
+            "NVIDIA: ICE: phi source overflow",
+        ),
+        InjectedBug::crash(
+            "nv-ice-phicount",
+            Some(P::PhiSimplification),
+            T::PhiCountAtLeast(6),
+            "NVIDIA: register allocator assert (phi pressure)",
+        ),
+        InjectedBug::crash(
+            "nv-ice-params2",
+            Some(P::Inlining),
+            T::FunctionParamsAtLeast(2),
+            "NVIDIA: ABI lowering assert (param count)",
+        ),
+        InjectedBug::crash(
+            "nv-ice-params4",
+            Some(P::Inlining),
+            T::FunctionParamsAtLeast(4),
+            "NVIDIA: SIGSEGV in param spill",
+        ),
+        InjectedBug::crash(
+            "nv-ice-call-depth",
+            Some(P::Inlining),
+            T::CallOutsideEntryBlock,
+            "NVIDIA: ICE: call in divergent region",
+        ),
+        InjectedBug::crash(
+            "nv-ice-nesting2",
+            Some(P::CopyPropagation),
+            T::SelectionNestingAtLeast(2),
+            "NVIDIA: ICE in structurizer (depth 2)",
+        ),
+        InjectedBug::crash(
+            "nv-ice-nesting4",
+            Some(P::CopyPropagation),
+            T::SelectionNestingAtLeast(4),
+            "NVIDIA: stack exhaustion in structurizer",
+        ),
+        InjectedBug::crash(
+            "nv-ice-blocks10",
+            Some(P::CfgSimplification),
+            T::BlockCountAtLeast(10),
+            "NVIDIA: ICE: CFG too large for fast path",
+        ),
+        InjectedBug::crash(
+            "nv-ice-blocks16",
+            Some(P::CfgSimplification),
+            T::BlockCountAtLeast(16),
+            "NVIDIA: SIGSEGV in block layout",
+        ),
+        InjectedBug::crash(
+            "nv-ice-chain2",
+            Some(P::StoreLoadForwarding),
+            T::AccessChainDepthAtLeast(2),
+            "NVIDIA: ICE: nested access chain",
+        ),
+        InjectedBug::crash(
+            "nv-ice-composite4",
+            Some(P::LocalCse),
+            T::CompositeArityAtLeast(4),
+            "NVIDIA: assert in vector legalization",
+        ),
+        InjectedBug::crash(
+            "nv-ice-undef",
+            Some(P::CopyPropagation),
+            T::UndefUsed,
+            "NVIDIA: ICE: undef operand in copy-prop",
+        ),
+        InjectedBug::crash(
+            "nv-ice-multiret",
+            Some(P::Inlining),
+            T::MultipleReturnsInCallee,
+            "NVIDIA: assert: single-exit violated",
+        ),
+        InjectedBug::crash(
+            "nv-ice-uniform-guard",
+            Some(P::ConstantFolding),
+            T::UniformLoadGuardsBranch,
+            "NVIDIA: ICE: uniform branch predication",
+        ),
+    ];
+    bugs.push(InjectedBug::crash(
+        "nv-ice-array-spill",
+        Some(P::StoreLoadForwarding),
+        T::ArrayConstructPresent,
+        "NVIDIA: ICE: array temporary spill",
+    ));
+    bugs.push(InjectedBug::miscompile(
+        "nv-wrong-loop",
+        Some(P::PhiSimplification),
+        T::ConditionIsPhi,
+        M::OffByOneComparison,
+    ));
+    bugs.push(InjectedBug::miscompile(
+        "nv-wrong-layout",
+        Some(P::CfgSimplification),
+        T::BlockOrderDeviatesFromRpo,
+        M::SwapBranchTargets,
+    ));
+    Target::new("NVIDIA", "440.100", "Discrete", standard_pipeline(), bugs)
+}
+
+fn pixel_5() -> Target {
+    Target::new(
+        "Pixel-5",
+        "RD1A.201105.003.C1",
+        "Mobile",
+        standard_pipeline(),
+        vec![
+            // The Figure 8b bug: a valid block reordering leads to holes in
+            // the rendered image.
+            InjectedBug::miscompile(
+                "adreno620-block-order",
+                Some(P::CfgSimplification),
+                T::BlockOrderDeviatesFromRpo,
+                M::SwapBranchTargets,
+            ),
+            InjectedBug::crash(
+                "adreno620-pm4-hang",
+                None,
+                T::KillPresent,
+                "adreno620: PM4 stream hang after discard",
+            ),
+            InjectedBug::crash(
+                "adreno620-ice-phi",
+                Some(P::PhiSimplification),
+                T::ConditionIsPhi,
+                "adreno620: ICE: branch on phi",
+            ),
+            InjectedBug::crash(
+                "adreno620-assert-nesting",
+                Some(P::CopyPropagation),
+                T::SelectionNestingAtLeast(2),
+                "adreno620: assert(depth < MAX_NESTING)",
+            ),
+            InjectedBug::crash(
+                "adreno620-segv-uniform-branch",
+                Some(P::ConstantFolding),
+                T::UniformLoadGuardsBranch,
+                "adreno620: SIGSEGV in uniform analysis",
+            ),
+            InjectedBug::crash(
+                "adreno620-crash-callee",
+                Some(P::Inlining),
+                T::CallOutsideEntryBlock,
+                "adreno620: ICE: non-entry call site",
+            ),
+            InjectedBug::miscompile(
+                "adreno620-discard-ignored",
+                None,
+                T::StoreBeforeKill,
+                M::IgnoreKill,
+            ),
+            InjectedBug::crash(
+                "adreno620-ice-undef",
+                Some(P::CopyPropagation),
+                T::UndefUsed,
+                "adreno620: ICE: undef in register coalescing",
+            ),
+            InjectedBug::crash(
+                "adreno620-ice-composite",
+                Some(P::LocalCse),
+                T::CompositeArityAtLeast(4),
+                "adreno620: vector width assert",
+            ),
+        ],
+    )
+}
+
+fn pixel_4() -> Target {
+    Target::new(
+        "Pixel-4",
+        "QD1A.190821.014.C2",
+        "Mobile",
+        short_pipeline(),
+        vec![
+            InjectedBug::miscompile(
+                "adreno640-block-order",
+                Some(P::CfgSimplification),
+                T::BlockOrderDeviatesFromRpo,
+                M::SwapBranchTargets,
+            ),
+            InjectedBug::crash(
+                "adreno640-hang-kill",
+                None,
+                T::KillPresent,
+                "adreno640: GPU fault after discard",
+            ),
+            InjectedBug::crash(
+                "adreno640-ice-phi3",
+                Some(P::CfgSimplification),
+                T::PhiWithIncomingsAtLeast(3),
+                "adreno640: ICE: phi with 3+ sources",
+            ),
+            InjectedBug::crash(
+                "adreno640-assert-dead",
+                Some(P::ConstantFolding),
+                T::ConstantConditionalPresent,
+                "adreno640: assert: constant branch survived folding",
+            ),
+            InjectedBug::crash(
+                "adreno640-ice-params",
+                None,
+                T::FunctionParamsAtLeast(2),
+                "adreno640: ICE: parameter passing",
+            ),
+            InjectedBug::crash(
+                "adreno640-segv-blocks",
+                Some(P::CfgSimplification),
+                T::BlockCountAtLeast(10),
+                "adreno640: SIGSEGV in CFG lowering",
+            ),
+            InjectedBug::miscompile(
+                "adreno640-mul-dropped",
+                Some(P::ConstantFolding),
+                T::InstructionCountAtLeast(50),
+                M::DropMultiplication,
+            ),
+            InjectedBug::crash(
+                "adreno640-ice-select",
+                Some(P::ConstantFolding),
+                T::SelectPresent,
+                "adreno640: ICE: csel lowering",
+            ),
+            InjectedBug::crash(
+                "adreno640-crash-multi-ret",
+                None,
+                T::MultipleReturnsInCallee,
+                "adreno640: assert: multiple returns",
+            ),
+        ],
+    )
+}
+
+fn spirv_opt() -> Target {
+    Target::new(
+        "spirv-opt",
+        "git-02195a0",
+        "N/A",
+        standard_pipeline(),
+        vec![
+            InjectedBug::crash(
+                "spirv-opt-assert-dominance",
+                Some(P::CfgSimplification),
+                T::BlockOrderDeviatesFromRpo,
+                "spirv-opt: assert(dominator_analysis->Dominates())",
+            ),
+            InjectedBug::crash(
+                "spirv-opt-fold-ice",
+                Some(P::ConstantFolding),
+                T::ConstantConditionalPresent,
+                "spirv-opt: ICE in FoldConditionalBranch",
+            ),
+            InjectedBug::crash(
+                "spirv-opt-inline-dontinline",
+                Some(P::Inlining),
+                T::DontInlineFunctionCalled,
+                "spirv-opt: unreachable: DontInline in inline pass",
+            ),
+            InjectedBug::crash(
+                "spirv-opt-phi-ice",
+                Some(P::PhiSimplification),
+                T::PhiWithIncomingsAtLeast(4),
+                "spirv-opt: ICE: OpPhi operand overflow",
+            ),
+            InjectedBug::crash(
+                "spirv-opt-chain",
+                Some(P::StoreLoadForwarding),
+                T::AccessChainDepthAtLeast(2),
+                "spirv-opt: assert in MemPass::GetPtr",
+            ),
+        ],
+    )
+}
+
+fn spirv_opt_old() -> Target {
+    let mut bugs = spirv_opt().bugs().to_vec();
+    bugs.extend(vec![
+        InjectedBug::crash(
+            "spirv-opt-old-kill",
+            Some(P::CfgSimplification),
+            T::KillPresent,
+            "spirv-opt-2019: ICE: OpKill block in merge analysis",
+        ),
+        InjectedBug::crash(
+            "spirv-opt-old-undef",
+            Some(P::CopyPropagation),
+            T::UndefUsed,
+            "spirv-opt-2019: assert: undef operand",
+        ),
+        InjectedBug::crash(
+            "spirv-opt-old-nesting",
+            Some(P::CopyPropagation),
+            T::SelectionNestingAtLeast(2),
+            "spirv-opt-2019: stack overflow in structured CFG walk",
+        ),
+        InjectedBug::crash(
+            "spirv-opt-old-callee-kill",
+            Some(P::Inlining),
+            T::KillInCallee,
+            "spirv-opt-2019: ICE: OpKill in inlined callee",
+        ),
+        InjectedBug::crash(
+            "spirv-opt-old-const-left",
+            Some(P::ConstantFolding),
+            T::ConstantOnLeftOfCommutative,
+            "spirv-opt-2019: assert: canonical operand order",
+        ),
+        InjectedBug::crash(
+            "spirv-opt-old-params",
+            Some(P::Inlining),
+            T::FunctionParamsAtLeast(2),
+            "spirv-opt-2019: ICE: CloneSameBlockOps (params)",
+        ),
+        InjectedBug::crash(
+            "spirv-opt-old-multi-ret",
+            Some(P::Inlining),
+            T::MultipleReturnsInCallee,
+            "spirv-opt-2019: assert: MergeReturn missing",
+        ),
+    ]);
+    Target::new("spirv-opt-old", "git-2276e59", "N/A", standard_pipeline(), bugs)
+}
+
+fn swiftshader() -> Target {
+    Target::new(
+        "SwiftShader",
+        "git-b5bf826",
+        "Software",
+        standard_pipeline(),
+        vec![
+            // The Figure 3 bug: adding DontInline alone provokes it.
+            InjectedBug::crash(
+                "swiftshader-reactor-dontinline",
+                Some(P::Inlining),
+                T::DontInlineFunctionCalled,
+                "SwiftShader: Reactor assert: out-of-line call support",
+            ),
+            InjectedBug::crash(
+                "swiftshader-ice-kill",
+                None,
+                T::StoreBeforeKill,
+                "SwiftShader: ICE: side effects before discard",
+            ),
+            InjectedBug::crash(
+                "swiftshader-assert-phi",
+                Some(P::PhiSimplification),
+                T::ConditionIsPhi,
+                "SwiftShader: assert(cond.isScalarPredicate())",
+            ),
+            InjectedBug::crash(
+                "swiftshader-ice-undef",
+                Some(P::CopyPropagation),
+                T::UndefUsed,
+                "SwiftShader: ICE: undefined SSA value materialized",
+            ),
+            InjectedBug::crash(
+                "swiftshader-segv-nesting",
+                Some(P::CopyPropagation),
+                T::SelectionNestingAtLeast(3),
+                "SwiftShader: SIGSEGV in control-flow restructuring",
+            ),
+            InjectedBug::crash(
+                "swiftshader-ice-blocks",
+                Some(P::CfgSimplification),
+                T::BlockCountAtLeast(14),
+                "SwiftShader: ICE: basic block budget exceeded",
+            ),
+            InjectedBug::crash(
+                "swiftshader-assert-callee",
+                Some(P::Inlining),
+                T::CallOutsideEntryBlock,
+                "SwiftShader: assert: call emitted outside prologue",
+            ),
+            InjectedBug::miscompile(
+                "swiftshader-phi-cross",
+                Some(P::PhiSimplification),
+                T::PhiWithIncomingsAtLeast(3),
+                M::CrossPhiValues,
+            ),
+            InjectedBug::miscompile(
+                "swiftshader-store-discard",
+                None,
+                T::KillInCallee,
+                M::DropLastStore,
+            ),
+            InjectedBug::crash(
+                "swiftshader-ice-inline-hint",
+                Some(P::Inlining),
+                T::InlineHintPresent,
+                "SwiftShader: ICE: AlwaysInline not honoured",
+            ),
+            InjectedBug::crash(
+                "swiftshader-ice-chain",
+                Some(P::StoreLoadForwarding),
+                T::AccessChainDepthAtLeast(3),
+                "SwiftShader: assert: chained GEP depth",
+            ),
+            InjectedBug::crash(
+                "swiftshader-assert-const-left",
+                Some(P::ConstantFolding),
+                T::ConstantOnLeftOfCommutative,
+                "SwiftShader: assert: immediate must be rhs",
+            ),
+            InjectedBug::crash(
+                "swiftshader-ice-composite4",
+                Some(P::LocalCse),
+                T::CompositeArityAtLeast(4),
+                "SwiftShader: ICE: 4-wide construct in scalarizer",
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn nine_targets_matching_table_2() {
+        let targets = all_targets();
+        assert_eq!(targets.len(), 9);
+        let names: Vec<&str> = targets.iter().map(Target::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "AMD-LLPC",
+                "Mesa",
+                "Mesa-Old",
+                "NVIDIA",
+                "Pixel-5",
+                "Pixel-4",
+                "spirv-opt",
+                "spirv-opt-old",
+                "SwiftShader"
+            ]
+        );
+    }
+
+    #[test]
+    fn bug_ids_are_unique_within_each_target() {
+        // Mesa-Old and spirv-opt-old intentionally share root causes with
+        // their newer selves (same codebase, older snapshot), so uniqueness
+        // is a per-target property.
+        for target in all_targets() {
+            let mut seen = HashSet::new();
+            for bug in target.bugs() {
+                assert!(
+                    seen.insert(bug.id.clone()),
+                    "{}: duplicate bug id {}",
+                    target.name(),
+                    bug.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_signatures_are_unique_per_target() {
+        for target in all_targets() {
+            let mut seen = HashSet::new();
+            for bug in target.bugs() {
+                if let crate::bugs::BugEffect::Crash { signature } = &bug.effect {
+                    assert!(
+                        seen.insert(signature.clone()),
+                        "{}: duplicate signature {signature}",
+                        target.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nvidia_has_the_most_bugs() {
+        let targets = all_targets();
+        let nvidia = targets.iter().find(|t| t.name() == "NVIDIA").unwrap();
+        for t in &targets {
+            if t.name() != "NVIDIA" {
+                assert!(nvidia.bugs().len() >= t.bugs().len());
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(target_by_name("Mesa").is_some());
+        assert!(target_by_name("nope").is_none());
+    }
+}

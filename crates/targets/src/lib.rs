@@ -1,0 +1,48 @@
+//! # trx-targets
+//!
+//! Simulated SPIR-V compilers under test: real optimizer pipelines over
+//! `trx-ir` modules with **injected bugs** standing in for the drivers and
+//! tools of the paper's Table 2.
+//!
+//! A clean pipeline is a correct implementation in the sense of
+//! Definition 2.2; each [`bugs::InjectedBug`] breaks that correctness in one
+//! specific way — either a crash with a distinct signature or a
+//! wrong-but-valid rewrite — when a specific module feature
+//! ([`triggers::Trigger`]) appears. Because bug identities are known, the
+//! catalogue provides ground truth for the reduction-quality (§4.2) and
+//! deduplication (§4.3, Table 4) experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use trx_ir::{ModuleBuilder, Inputs};
+//! use trx_targets::{catalog, TargetResult};
+//!
+//! let mut b = ModuleBuilder::new();
+//! let c = b.constant_int(1);
+//! let mut f = b.begin_entry_function("main");
+//! f.store_output("out", c);
+//! f.ret();
+//! f.finish();
+//! let module = b.finish();
+//!
+//! let target = catalog::target_by_name("SwiftShader").unwrap();
+//! match target.execute(&module, &Inputs::default()) {
+//!     TargetResult::Executed(e) => assert!(!e.killed),
+//!     other => panic!("clean module must run: {other:?}"),
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bugs;
+pub mod catalog;
+pub mod passes;
+mod target;
+pub mod triggers;
+
+pub use bugs::{BugEffect, BugId, InjectedBug, Miscompilation};
+pub use passes::PassKind;
+pub use target::{CompileOutcome, Target, TargetResult};
+pub use triggers::Trigger;

@@ -1,0 +1,284 @@
+//! A simulated compiler under test: an optimizer pipeline with injected
+//! bugs.
+
+use trx_ir::{interp, Execution, Fault, Inputs, Module};
+
+use crate::bugs::{BugEffect, BugId, InjectedBug};
+use crate::passes::PassKind;
+
+/// The result of compiling a module with a [`Target`].
+#[derive(Debug, Clone)]
+pub enum CompileOutcome {
+    /// Compilation succeeded, possibly with silent miscompilations.
+    Success {
+        /// The optimized (and possibly wrong) module.
+        module: Module,
+        /// Ground truth: miscompilation bugs that fired during this compile.
+        fired: Vec<BugId>,
+    },
+    /// The compiler crashed.
+    Crash {
+        /// The crash signature (what gfauto would scrape from the tool's
+        /// stderr, §3.4).
+        signature: String,
+        /// Ground truth: the injected bug responsible.
+        bug: BugId,
+    },
+}
+
+/// The result of compiling and running a module on a target — the paper's
+/// `Impl(P, I)` (Definition 2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetResult {
+    /// Ran to completion with this result.
+    Executed(Execution),
+    /// The compiler crashed with this signature.
+    CompilerCrash(String),
+    /// The compiled code faulted at runtime.
+    RuntimeFault(Fault),
+}
+
+/// A simulated compiler: name, descriptive metadata (Table 2), an optimizer
+/// pipeline and a set of injected bugs.
+#[derive(Debug, Clone)]
+pub struct Target {
+    name: String,
+    version: String,
+    gpu_type: String,
+    pipeline: Vec<PassKind>,
+    bugs: Vec<InjectedBug>,
+}
+
+impl Target {
+    /// Creates a target.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        version: &str,
+        gpu_type: &str,
+        pipeline: Vec<PassKind>,
+        bugs: Vec<InjectedBug>,
+    ) -> Self {
+        Target {
+            name: name.to_owned(),
+            version: version.to_owned(),
+            gpu_type: gpu_type.to_owned(),
+            pipeline,
+            bugs,
+        }
+    }
+
+    /// The target's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulated driver/tool version (Table 2).
+    #[must_use]
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// The simulated GPU type (Table 2).
+    #[must_use]
+    pub fn gpu_type(&self) -> &str {
+        &self.gpu_type
+    }
+
+    /// The injected bugs (ground truth for experiments).
+    #[must_use]
+    pub fn bugs(&self) -> &[InjectedBug] {
+        &self.bugs
+    }
+
+    /// Number of injected crash bugs.
+    #[must_use]
+    pub fn crash_bug_count(&self) -> usize {
+        self.bugs
+            .iter()
+            .filter(|b| matches!(b.effect, BugEffect::Crash { .. }))
+            .count()
+    }
+
+    /// Compiles (optimizes) `module`, triggering any injected bugs whose
+    /// patterns appear.
+    #[must_use]
+    pub fn compile(&self, module: &Module) -> CompileOutcome {
+        let mut current = module.clone();
+        let mut fired: Vec<BugId> = Vec::new();
+
+        // Front-end bugs fire on the input module.
+        if let Some(outcome) = self.run_stage_bugs(None, &mut current, &mut fired) {
+            return outcome;
+        }
+        for (index, pass) in self.pipeline.iter().enumerate() {
+            // A pass's bugs fire while it *processes* the offending pattern,
+            // so triggers are evaluated on the pass's input. Each bug is
+            // evaluated only at the first occurrence of its stage.
+            let first_occurrence =
+                self.pipeline.iter().position(|p| p == pass) == Some(index);
+            if first_occurrence {
+                if let Some(outcome) =
+                    self.run_stage_bugs(Some(*pass), &mut current, &mut fired)
+                {
+                    return outcome;
+                }
+            }
+            pass.run(&mut current);
+        }
+        CompileOutcome::Success { module: current, fired }
+    }
+
+    fn run_stage_bugs(
+        &self,
+        stage: Option<PassKind>,
+        module: &mut Module,
+        fired: &mut Vec<BugId>,
+    ) -> Option<CompileOutcome> {
+        for bug in self.bugs.iter().filter(|b| b.stage == stage) {
+            if !bug.trigger.holds(module) {
+                continue;
+            }
+            match &bug.effect {
+                BugEffect::Crash { signature } => {
+                    return Some(CompileOutcome::Crash {
+                        signature: signature.clone(),
+                        bug: bug.id.clone(),
+                    });
+                }
+                BugEffect::Miscompile(mutation) => {
+                    if !fired.contains(&bug.id) && mutation.apply(module) {
+                        fired.push(bug.id.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Compiles and runs `module` on `inputs` — the paper's `Impl(P, I)`.
+    #[must_use]
+    pub fn execute(&self, module: &Module, inputs: &Inputs) -> TargetResult {
+        match self.compile(module) {
+            CompileOutcome::Crash { signature, .. } => TargetResult::CompilerCrash(signature),
+            CompileOutcome::Success { module, .. } => {
+                match interp::execute(&module, inputs) {
+                    Ok(execution) => TargetResult::Executed(execution),
+                    Err(fault) => TargetResult::RuntimeFault(fault),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::Miscompilation;
+    use crate::triggers::Trigger;
+    use trx_ir::{ModuleBuilder, Value};
+
+    fn module_with_const_conditional() -> Module {
+        let mut b = ModuleBuilder::new();
+        let c_true = b.constant_bool(true);
+        let c1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let then_l = f.reserve_label();
+        let merge_l = f.reserve_label();
+        f.selection_merge(merge_l);
+        f.branch_cond(c_true, then_l, merge_l);
+        f.begin_block_with_label(then_l);
+        f.branch(merge_l);
+        f.begin_block_with_label(merge_l);
+        f.store_output("out", c1);
+        f.ret();
+        f.finish();
+        b.finish()
+    }
+
+    fn crash_target() -> Target {
+        Target::new(
+            "toy",
+            "1.0",
+            "None",
+            vec![PassKind::ConstantFolding],
+            vec![InjectedBug::crash(
+                "toy-bug",
+                None,
+                Trigger::ConstantConditionalPresent,
+                "assert failed: fold_branch",
+            )],
+        )
+    }
+
+    #[test]
+    fn crash_bug_fires_on_trigger() {
+        let m = module_with_const_conditional();
+        match crash_target().compile(&m) {
+            CompileOutcome::Crash { signature, bug } => {
+                assert_eq!(signature, "assert failed: fold_branch");
+                assert_eq!(bug.0, "toy-bug");
+            }
+            CompileOutcome::Success { .. } => panic!("expected a crash"),
+        }
+    }
+
+    #[test]
+    fn clean_module_compiles() {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(7);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        match crash_target().compile(&m) {
+            CompileOutcome::Success { fired, .. } => assert!(fired.is_empty()),
+            CompileOutcome::Crash { .. } => panic!("unexpected crash"),
+        }
+        let result = crash_target().execute(&m, &Inputs::default());
+        assert_eq!(
+            result,
+            TargetResult::Executed(
+                interp::execute(&m, &Inputs::default()).unwrap()
+            )
+        );
+    }
+
+    #[test]
+    fn miscompilation_fires_and_changes_output() {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(9);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+
+        // A target whose bug drops the last store whenever any store exists.
+        let target = Target::new(
+            "toy-miscompile",
+            "1.0",
+            "None",
+            vec![],
+            vec![InjectedBug::miscompile(
+                "toy-drop-store",
+                None,
+                Trigger::InstructionCountAtLeast(1),
+                Miscompilation::DropLastStore,
+            )],
+        );
+        match target.execute(&m, &Inputs::default()) {
+            TargetResult::Executed(e) => assert_eq!(e.outputs["out"], Value::Int(0)),
+            other => panic!("expected execution, got {other:?}"),
+        }
+        // Ground truth is reported.
+        match target.compile(&m) {
+            CompileOutcome::Success { fired, .. } => {
+                assert_eq!(fired.len(), 1);
+            }
+            CompileOutcome::Crash { .. } => panic!("unexpected crash"),
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Trigger predicates: the module features that provoke injected bugs.
+//!
+//! Compiler bugs "tend to be triggered by particular features of input
+//! programs" (§2.1) — each simulated bug watches for one such feature.
+
+use trx_ir::cfg::{Cfg, Dominators};
+use trx_ir::{ConstantValue, FunctionControl, Id, Module, Op, Terminator};
+
+/// A predicate over modules that decides whether an injected bug fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// A function marked `DontInline` has at least one call site (the
+    /// Figure 3 SwiftShader scenario).
+    DontInlineFunctionCalled,
+    /// Any function carries the `Inline` hint.
+    InlineHintPresent,
+    /// `OpKill` appears anywhere.
+    KillPresent,
+    /// `OpKill` appears in a non-entry function.
+    KillInCallee,
+    /// Some phi has at least this many incoming edges.
+    PhiWithIncomingsAtLeast(usize),
+    /// The module contains at least this many phis.
+    PhiCountAtLeast(usize),
+    /// Some function has at least this many blocks.
+    BlockCountAtLeast(usize),
+    /// Some function's syntactic block order deviates from reverse
+    /// postorder (the Figure 8b Pixel 5 scenario, produced by
+    /// `MoveBlockDown`).
+    BlockOrderDeviatesFromRpo,
+    /// A conditional branch whose condition is a phi result (the Figure 8a
+    /// Mesa scenario, produced by `PropagateInstructionUp`).
+    ConditionIsPhi,
+    /// A conditional branch whose condition is *directly* a load from a
+    /// uniform — the shape `ReplaceConstantWithUniform` leaves behind when
+    /// it obfuscates a dead block's boolean guard. (References that merely
+    /// *compare* uniform values do not match.)
+    UniformLoadGuardsBranch,
+    /// A conditional branch on a constant `true`/`false` (an unobfuscated
+    /// dead block).
+    ConstantConditionalPresent,
+    /// Some function has at least this many formal parameters.
+    FunctionParamsAtLeast(usize),
+    /// Some function other than the entry point exists and is called.
+    CalleePresent,
+    /// A call appears in a block other than a function's entry block.
+    CallOutsideEntryBlock,
+    /// Some callee contains more than one return.
+    MultipleReturnsInCallee,
+    /// An `OpSelect` instruction is present.
+    SelectPresent,
+    /// An `OpUndef` is present and used.
+    UndefUsed,
+    /// A composite construction with at least this many parts.
+    CompositeArityAtLeast(usize),
+    /// An `OpCompositeConstruct` whose result is an *array* type (GLSL
+    /// array initialisers lower to this shape; the transformation-based
+    /// fuzzer's composite passes only build vectors).
+    ArrayConstructPresent,
+    /// An access chain with at least this many indices.
+    AccessChainDepthAtLeast(usize),
+    /// Nested selection constructs at least this deep.
+    SelectionNestingAtLeast(usize),
+    /// The module has at least this many functions.
+    FunctionCountAtLeast(usize),
+    /// The module has at least this many instructions.
+    InstructionCountAtLeast(usize),
+    /// Commutative operands appear in "swapped" order: some commutative
+    /// binary has a constant on the left.
+    ConstantOnLeftOfCommutative,
+    /// Some store is syntactically followed by `OpKill` in the same block's
+    /// function.
+    StoreBeforeKill,
+    /// A loop construct (loop merge annotation) is present.
+    LoopPresent,
+}
+
+impl Trigger {
+    /// Evaluates the trigger against `module`.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn holds(&self, module: &Module) -> bool {
+        match self {
+            Trigger::DontInlineFunctionCalled => module.functions.iter().any(|f| {
+                f.control == FunctionControl::DontInline && call_sites_of(module, f.id) > 0
+            }),
+            Trigger::InlineHintPresent => module
+                .functions
+                .iter()
+                .any(|f| f.control == FunctionControl::Inline),
+            Trigger::KillPresent => all_terminators(module)
+                .any(|t| matches!(t, Terminator::Kill)),
+            Trigger::KillInCallee => module
+                .functions
+                .iter()
+                .filter(|f| f.id != module.entry_point)
+                .flat_map(|f| f.blocks.iter())
+                .any(|b| matches!(b.terminator, Terminator::Kill)),
+            Trigger::PhiWithIncomingsAtLeast(n) => all_ops(module).any(|op| {
+                matches!(op, Op::Phi { incoming } if incoming.len() >= *n)
+            }),
+            Trigger::PhiCountAtLeast(n) => {
+                all_ops(module).filter(|op| matches!(op, Op::Phi { .. })).count() >= *n
+            }
+            Trigger::BlockCountAtLeast(n) => {
+                module.functions.iter().any(|f| f.blocks.len() >= *n)
+            }
+            Trigger::BlockOrderDeviatesFromRpo => {
+                module.functions.iter().any(|f| {
+                    let cfg = Cfg::new(f);
+                    let rpo = cfg.reverse_postorder();
+                    // Deviates if reachable blocks are not in RPO order
+                    // syntactically.
+                    let mut last = None;
+                    for (rank, &index) in rpo.iter().enumerate() {
+                        if let Some(last_index) = last {
+                            if index < last_index {
+                                let _ = rank;
+                                return true;
+                            }
+                        }
+                        last = Some(index);
+                    }
+                    false
+                })
+            }
+            Trigger::ConditionIsPhi => module.functions.iter().any(|f| {
+                f.blocks.iter().any(|b| match &b.terminator {
+                    Terminator::BranchConditional { cond, .. } => {
+                        f.blocks.iter().flat_map(|b2| b2.instructions.iter()).any(|i| {
+                            i.result == Some(*cond) && i.is_phi()
+                        })
+                    }
+                    _ => false,
+                })
+            }),
+            Trigger::UniformLoadGuardsBranch => module.functions.iter().any(|f| {
+                f.blocks.iter().any(|b| match &b.terminator {
+                    Terminator::BranchConditional { cond, .. } => {
+                        derives_from_uniform_load(module, f, *cond, 0)
+                    }
+                    _ => false,
+                })
+            }),
+            Trigger::ConstantConditionalPresent => {
+                all_terminators(module).any(|t| match t {
+                    Terminator::BranchConditional { cond, .. } => matches!(
+                        module.constant(*cond).map(|c| &c.value),
+                        Some(ConstantValue::Bool(_))
+                    ),
+                    _ => false,
+                })
+            }
+            Trigger::FunctionParamsAtLeast(n) => {
+                module.functions.iter().any(|f| f.params.len() >= *n)
+            }
+            Trigger::CalleePresent => module
+                .functions
+                .iter()
+                .any(|f| f.id != module.entry_point && call_sites_of(module, f.id) > 0),
+            Trigger::CallOutsideEntryBlock => module.functions.iter().any(|f| {
+                f.blocks.iter().skip(1).any(|b| {
+                    b.instructions.iter().any(|i| matches!(i.op, Op::Call { .. }))
+                })
+            }),
+            Trigger::MultipleReturnsInCallee => module
+                .functions
+                .iter()
+                .filter(|f| f.id != module.entry_point)
+                .any(|f| {
+                    f.blocks
+                        .iter()
+                        .filter(|b| {
+                            matches!(
+                                b.terminator,
+                                Terminator::Return | Terminator::ReturnValue { .. }
+                            )
+                        })
+                        .count()
+                        > 1
+                }),
+            Trigger::SelectPresent => {
+                all_ops(module).any(|op| matches!(op, Op::Select { .. }))
+            }
+            Trigger::UndefUsed => {
+                let undefs: Vec<Id> = module
+                    .functions
+                    .iter()
+                    .flat_map(|f| f.blocks.iter())
+                    .flat_map(|b| b.instructions.iter())
+                    .filter(|i| matches!(i.op, Op::Undef))
+                    .filter_map(|i| i.result)
+                    .collect();
+                !undefs.is_empty()
+                    && all_ops(module).any(|op| {
+                        let mut used = false;
+                        op.for_each_id_operand(|id| used |= undefs.contains(&id));
+                        used
+                    })
+            }
+            Trigger::CompositeArityAtLeast(n) => all_ops(module).any(|op| {
+                matches!(op, Op::CompositeConstruct { parts } if parts.len() >= *n)
+            }),
+            Trigger::ArrayConstructPresent => module.functions.iter().any(|f| {
+                f.blocks.iter().flat_map(|b| b.instructions.iter()).any(|i| {
+                    matches!(i.op, Op::CompositeConstruct { .. })
+                        && i.ty.is_some_and(|t| {
+                            matches!(module.type_of(t), Some(trx_ir::Type::Array { .. }))
+                        })
+                })
+            }),
+            Trigger::AccessChainDepthAtLeast(n) => all_ops(module).any(|op| {
+                matches!(op, Op::AccessChain { indices, .. } if indices.len() >= *n)
+            }),
+            Trigger::SelectionNestingAtLeast(n) => {
+                module.functions.iter().any(|f| selection_nesting(f) >= *n)
+            }
+            Trigger::FunctionCountAtLeast(n) => module.functions.len() >= *n,
+            Trigger::InstructionCountAtLeast(n) => module.instruction_count() >= *n,
+            Trigger::ConstantOnLeftOfCommutative => all_ops(module).any(|op| match op {
+                Op::Binary { op, lhs, rhs } => {
+                    op.is_commutative()
+                        && module.constant(*lhs).is_some()
+                        && module.constant(*rhs).is_none()
+                }
+                _ => false,
+            }),
+            Trigger::StoreBeforeKill => module.functions.iter().any(|f| {
+                let has_kill = f
+                    .blocks
+                    .iter()
+                    .any(|b| matches!(b.terminator, Terminator::Kill));
+                has_kill
+                    && f.blocks
+                        .iter()
+                        .any(|b| b.instructions.iter().any(|i| matches!(i.op, Op::Store { .. })))
+            }),
+            Trigger::LoopPresent => module.functions.iter().any(|f| {
+                f.blocks
+                    .iter()
+                    .any(|b| matches!(b.merge, Some(trx_ir::Merge::Loop { .. })))
+            }),
+        }
+    }
+}
+
+fn all_ops(module: &Module) -> impl Iterator<Item = &Op> {
+    module
+        .functions
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .flat_map(|b| b.instructions.iter())
+        .map(|i| &i.op)
+}
+
+fn all_terminators(module: &Module) -> impl Iterator<Item = &Terminator> {
+    module
+        .functions
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .map(|b| &b.terminator)
+}
+
+fn call_sites_of(module: &Module, callee: Id) -> usize {
+    all_ops(module)
+        .filter(|op| matches!(op, Op::Call { callee: c, .. } if *c == callee))
+        .count()
+}
+
+/// Does `id` derive from a load of a uniform within `depth` instruction
+/// hops?
+fn derives_from_uniform_load(
+    module: &Module,
+    function: &trx_ir::Function,
+    id: Id,
+    depth: usize,
+) -> bool {
+    let Some(inst) = function
+        .blocks
+        .iter()
+        .flat_map(|b| b.instructions.iter())
+        .find(|i| i.result == Some(id))
+    else {
+        return false;
+    };
+    if let Op::Load { pointer } = &inst.op {
+        if module
+            .global(*pointer)
+            .is_some_and(|g| g.storage == trx_ir::StorageClass::Uniform)
+        {
+            return true;
+        }
+    }
+    if depth == 0 {
+        return false;
+    }
+    let mut found = false;
+    inst.op.for_each_id_operand(|operand| {
+        found |= derives_from_uniform_load(module, function, operand, depth - 1);
+    });
+    found
+}
+
+/// Maximum depth of nested selection constructs in a function, approximated
+/// by walking dominator chains of selection headers.
+fn selection_nesting(function: &trx_ir::Function) -> usize {
+    let dom = Dominators::compute(function);
+    let headers: Vec<Id> = function
+        .blocks
+        .iter()
+        .filter(|b| matches!(b.merge, Some(trx_ir::Merge::Selection { .. })))
+        .map(|b| b.label)
+        .collect();
+    headers
+        .iter()
+        .map(|&h| {
+            // Count how many other headers dominate this one.
+            1 + headers
+                .iter()
+                .filter(|&&other| other != h && dom.strictly_dominates(other, h))
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_ir::{FunctionControl, ModuleBuilder};
+
+    fn plain_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        b.finish()
+    }
+
+    #[test]
+    fn dont_inline_trigger() {
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let c = b.constant_int(1);
+        let mut h = b.begin_function(t_int, &[]);
+        h.set_control(FunctionControl::DontInline);
+        h.ret_value(c);
+        let helper = h.finish();
+        let mut f = b.begin_entry_function("main");
+        let r = f.call(helper, vec![]);
+        f.store_output("out", r);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        assert!(Trigger::DontInlineFunctionCalled.holds(&m));
+        assert!(!Trigger::DontInlineFunctionCalled.holds(&plain_module()));
+    }
+
+    #[test]
+    fn kill_trigger() {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.kill();
+        f.finish();
+        let m = b.finish();
+        assert!(Trigger::KillPresent.holds(&m));
+        assert!(!Trigger::KillInCallee.holds(&m));
+        assert!(Trigger::StoreBeforeKill.holds(&m));
+        assert!(!Trigger::KillPresent.holds(&plain_module()));
+    }
+
+    #[test]
+    fn counting_triggers() {
+        let m = plain_module();
+        assert!(Trigger::FunctionCountAtLeast(1).holds(&m));
+        assert!(!Trigger::FunctionCountAtLeast(2).holds(&m));
+        assert!(Trigger::InstructionCountAtLeast(1).holds(&m));
+        assert!(!Trigger::BlockCountAtLeast(2).holds(&m));
+    }
+
+    #[test]
+    fn constant_conditional_trigger() {
+        let mut b = ModuleBuilder::new();
+        let c_true = b.constant_bool(true);
+        let c1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let then_l = f.reserve_label();
+        let merge_l = f.reserve_label();
+        f.selection_merge(merge_l);
+        f.branch_cond(c_true, then_l, merge_l);
+        f.begin_block_with_label(then_l);
+        f.branch(merge_l);
+        f.begin_block_with_label(merge_l);
+        f.store_output("out", c1);
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        assert!(Trigger::ConstantConditionalPresent.holds(&m));
+        assert!(Trigger::SelectionNestingAtLeast(1).holds(&m));
+        assert!(!Trigger::SelectionNestingAtLeast(2).holds(&m));
+    }
+}

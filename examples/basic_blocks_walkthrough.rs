@@ -1,0 +1,91 @@
+//! A guided walkthrough of the paper's §2.1 example: the "basic blocks"
+//! language of Table 1, the transformation chain of Figure 4, and the
+//! reduction of Figure 5.
+//!
+//! Run with: `cargo run --example basic_blocks_walkthrough`
+
+use transfuzz::basicblocks::{
+    apply_sequence, figure4, reduce, run, Branch, Ctx, Instr, Operand, Program,
+};
+
+fn describe(program: &Program) -> String {
+    let mut out = String::new();
+    for block in &program.blocks {
+        out.push_str(&format!("  {}:\n", block.name));
+        for instr in &block.instrs {
+            let line = match instr {
+                Instr::Assign { dst, src } => format!("{dst} := {}", operand(src)),
+                Instr::Add { dst, lhs, rhs } => {
+                    format!("{dst} := {} + {}", operand(lhs), operand(rhs))
+                }
+                Instr::Print { src } => format!("print({})", operand(src)),
+            };
+            out.push_str(&format!("    {line}\n"));
+        }
+        let branch = match &block.branch {
+            Branch::Halt => "halt".to_owned(),
+            Branch::Goto(t) => format!("goto {t}"),
+            Branch::CondGoto { var, if_true, if_false } => {
+                format!("if {var} goto {if_true} else {if_false}")
+            }
+        };
+        out.push_str(&format!("    {branch}\n"));
+    }
+    out
+}
+
+fn operand(op: &Operand) -> String {
+    match op {
+        Operand::Var(v) => v.clone(),
+        Operand::Lit(v) => v.to_string(),
+    }
+}
+
+fn main() {
+    let mut ctx = Ctx {
+        program: figure4::original_program(),
+        inputs: figure4::inputs(),
+        dead_blocks: Default::default(),
+    };
+    println!("=== Figure 4: the original program (prints 6 on i=1, j=2, k=true) ===");
+    print!("{}", describe(&ctx.program));
+    println!("output: {:?}\n", run(&ctx.program, &ctx.inputs).unwrap());
+
+    let names = ["SplitBlock(a,1,b)", "AddDeadBlock(a,c,u)", "AddStore(c,0,s,i)",
+                 "AddLoad(b,0,v,s)", "ChangeRHS(a,1,k)"];
+    for (t, name) in figure4::transformations().iter().zip(names) {
+        assert!(t.precondition(&ctx), "{name} must be applicable");
+        t.apply(&mut ctx);
+        println!("=== after T = {name} ===");
+        print!("{}", describe(&ctx.program));
+        println!("output: {:?}  (unchanged)\n", run(&ctx.program, &ctx.inputs).unwrap());
+    }
+
+    // Figure 5: suppose a hypothetical compiler bug triggers whenever a
+    // dead block's guard has been obfuscated (assigned from a variable).
+    println!("=== Figure 5: reducing against the hypothetical bug ===");
+    let bug = |ctx: &Ctx| {
+        ctx.program.blocks.iter().any(|b| {
+            let Branch::CondGoto { var, .. } = &b.branch else { return false };
+            b.instrs.iter().any(
+                |i| matches!(i, Instr::Assign { dst, src: Operand::Var(_) } if dst == var),
+            )
+        })
+    };
+    let original = Ctx {
+        program: figure4::original_program(),
+        inputs: figure4::inputs(),
+        dead_blocks: Default::default(),
+    };
+    let minimized = reduce(&original, &figure4::transformations(), bug);
+    println!(
+        "minimized sequence ({} of 5 transformations): {:?}\n",
+        minimized.len(),
+        ["T1 SplitBlock", "T2 AddDeadBlock", "T5 ChangeRHS"]
+    );
+    let mut reduced = original.clone();
+    apply_sequence(&mut reduced, &minimized);
+    println!("=== P3, the reduced variant ===");
+    print!("{}", describe(&reduced.program));
+    println!("output: {:?}", run(&reduced.program, &reduced.inputs).unwrap());
+}

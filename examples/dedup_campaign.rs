@@ -1,0 +1,75 @@
+//! A weekend-sized fuzzing campaign followed by deduplication — the §2.1
+//! scenario ("suppose we ran fuzzing over a weekend and returned to find a
+//! set of minimized bug reports"), with the Figure 6 algorithm picking
+//! which reduced tests deserve manual investigation.
+//!
+//! Run with: `cargo run --release --example dedup_campaign`
+
+use std::collections::BTreeMap;
+
+use transfuzz::dedup::deduplicate_sets;
+use transfuzz::harness::campaign::{
+    reduce_test, run_campaign, BugSignature, ReducedTest, Tool,
+};
+use transfuzz::harness::corpus::donor_modules;
+use transfuzz::targets::catalog;
+
+fn main() {
+    let target = catalog::target_by_name("spirv-opt-old").expect("target exists");
+    let donors = donor_modules();
+    let tests = 400;
+
+    println!("fuzzing {tests} tests against {} ...", target.name());
+    let outcome = run_campaign(Tool::SpirvFuzz, std::slice::from_ref(&target), tests, 0);
+
+    // Reduce every crash-triggering test (capped per signature).
+    let mut reduced: Vec<ReducedTest> = Vec::new();
+    let mut per_signature: BTreeMap<BugSignature, usize> = BTreeMap::new();
+    for (i, signature) in outcome.per_test[0].iter().enumerate() {
+        let Some(signature @ BugSignature::Crash(_)) = signature else {
+            continue;
+        };
+        let counter = per_signature.entry(signature.clone()).or_insert(0);
+        if *counter >= 8 {
+            continue;
+        }
+        *counter += 1;
+        if let Some(r) = reduce_test(Tool::SpirvFuzz, i as u64, &target, &donors, signature) {
+            reduced.push(r);
+        }
+    }
+    println!(
+        "reduced {} bug-triggering tests covering {} distinct crash signatures\n",
+        reduced.len(),
+        per_signature.len()
+    );
+
+    // The Figure 6 algorithm over the reduced tests' transformation types.
+    let type_sets: Vec<_> = reduced.iter().map(|r| r.kinds.clone()).collect();
+    let picked = deduplicate_sets(&type_sets);
+
+    println!("recommended for manual investigation ({} reports):", picked.len());
+    for &index in &picked {
+        let r = &reduced[index];
+        println!(
+            "  - {}\n      transformation types: {:?}\n      ground-truth root cause: {}",
+            r.signature,
+            r.kinds.iter().map(|k| k.name()).collect::<Vec<_>>(),
+            r.ground_truth
+                .as_ref()
+                .map_or_else(|| "<none>".to_owned(), ToString::to_string),
+        );
+    }
+
+    // Score against ground truth, as in Table 4.
+    let distinct: std::collections::BTreeSet<_> = picked
+        .iter()
+        .filter_map(|&i| reduced[i].ground_truth.clone())
+        .collect();
+    println!(
+        "\n{} reports cover {} distinct root causes ({} duplicates)",
+        picked.len(),
+        distinct.len(),
+        picked.len().saturating_sub(distinct.len())
+    );
+}

@@ -1,0 +1,57 @@
+//! The Figure 3 scenario, constructed directly: a single `DontInline`
+//! attribute — one changed instruction between two equal-sized modules — is
+//! enough to crash the simulated SwiftShader.
+//!
+//! Run with: `cargo run --example dont_inline_delta`
+
+use transfuzz::core::transformations::SetFunctionControl;
+use transfuzz::core::{apply, Context, Transformation};
+use transfuzz::harness::corpus::reference_shader;
+use transfuzz::ir::{disasm, FunctionControl};
+use transfuzz::targets::{catalog, TargetResult};
+
+fn main() {
+    let swiftshader = catalog::target_by_name("SwiftShader").expect("target exists");
+
+    // A call-shaped reference (it already contains a helper function, like
+    // the 481-instruction original of Figure 3 contained functions).
+    let reference = reference_shader(3);
+    let original = Context::new(reference.module.clone(), reference.inputs.clone())
+        .expect("reference validates");
+    let helper = original
+        .module
+        .functions
+        .iter()
+        .map(|f| f.id)
+        .find(|&id| id != original.module.entry_point)
+        .expect("the reference has a helper");
+
+    // One transformation: request that the helper not be inlined.
+    let mut variant = original.clone();
+    let t: Transformation =
+        SetFunctionControl { function: helper, control: FunctionControl::DontInline }.into();
+    assert!(apply(&mut variant, &t));
+
+    // The original passes; the variant crashes the compiler.
+    let on_original = swiftshader.execute(&original.module, &original.inputs);
+    let on_variant = swiftshader.execute(&variant.module, &variant.inputs);
+    println!("SwiftShader on original : {on_original:?}");
+    println!("SwiftShader on variant  : {on_variant:?}\n");
+    assert!(matches!(on_original, TargetResult::Executed(_)));
+    assert!(matches!(on_variant, TargetResult::CompilerCrash(_)));
+
+    // The bug-report delta (the form shown in Figure 3): both modules have
+    // the same instruction count and differ in a single instruction.
+    let original_text = disasm::disassemble(&original.module);
+    let variant_text = disasm::disassemble(&variant.module);
+    println!(
+        "original: {} instructions; variant: {} instructions; delta:",
+        original.module.instruction_count(),
+        variant.module.instruction_count()
+    );
+    print!("{}", disasm::changed_lines(&original_text, &variant_text));
+    println!(
+        "\nIt is immediately apparent from the delta that the underlying bug \
+         relates to the handling of function calls."
+    );
+}

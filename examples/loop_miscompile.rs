@@ -1,0 +1,130 @@
+//! The Figure 8a scenario as a rendered-image comparison: a loop shader is
+//! transformed with `PropagateInstructionUp`, the buggy "Mesa" optimizer
+//! skips the last loop iteration, and the per-fragment images differ.
+//!
+//! Run with: `cargo run --example loop_miscompile`
+
+use transfuzz::core::transformations::PropagateInstructionUp;
+use transfuzz::core::{apply, Context, Transformation};
+use transfuzz::ir::{interp, Id, Inputs, Value};
+use transfuzz::targets::{catalog, CompileOutcome};
+
+fn main() {
+    let mesa = catalog::target_by_name("Mesa").expect("target exists");
+
+    // A loop shader whose trip count depends on the fragment coordinate:
+    // sum = 0; for (i = 0; i <= floor(x); i++) sum += 1.
+    let module = build_coord_loop_shader();
+    let ctx = Context::new(module, Inputs::default()).expect("valid module");
+
+    // Apply the Figure 8a transformation: the loop condition computation is
+    // duplicated into the header's predecessors and phi-selected.
+    let mut transformed = ctx.clone();
+    let header = transformed.module.entry_function().blocks[1].label;
+    let preds = transformed.module.entry_function().predecessors(header);
+    let bound = transformed.module.id_bound;
+    let fresh_ids: Vec<(Id, Id)> = preds
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, Id::new(bound + i as u32)))
+        .collect();
+    let t: Transformation = PropagateInstructionUp { block: header, fresh_ids }.into();
+    assert!(apply(&mut transformed, &t), "the propagation applies");
+
+    // Both modules render identical images under the reference interpreter.
+    let (width, height) = (8u32, 1u32);
+    let reference_a = interp::render(&ctx.module, &ctx.inputs, width, height).unwrap();
+    let reference_b =
+        interp::render(&transformed.module, &transformed.inputs, width, height).unwrap();
+    assert_eq!(reference_a.diff_count(&reference_b), 0);
+    println!("reference interpreter: images identical (the transformation is sound)");
+
+    // The buggy compiler miscompiles only the transformed module.
+    let compiled_original = match mesa.compile(&ctx.module) {
+        CompileOutcome::Success { module, .. } => module,
+        CompileOutcome::Crash { signature, .. } => panic!("unexpected crash: {signature}"),
+    };
+    let compiled_variant = match mesa.compile(&transformed.module) {
+        CompileOutcome::Success { module, fired } => {
+            println!("Mesa fired miscompilation bugs: {fired:?}");
+            module
+        }
+        CompileOutcome::Crash { signature, .. } => panic!("unexpected crash: {signature}"),
+    };
+    let image_original =
+        interp::render(&compiled_original, &ctx.inputs, width, height).unwrap();
+    let image_variant =
+        interp::render(&compiled_variant, &ctx.inputs, width, height).unwrap();
+
+    println!("\nper-fragment outputs (sum of 1 over 0..=floor(x)):");
+    print_row("Mesa(original) ", &image_original);
+    print_row("Mesa(variant)  ", &image_variant);
+    let differing = image_original.diff_count(&image_variant);
+    println!("\n{differing} of {} fragments differ — the miscompilation is visible", width);
+    assert!(differing > 0, "the bug must manifest");
+}
+
+fn print_row(label: &str, image: &interp::Image) {
+    let row: Vec<String> = image
+        .pixels
+        .iter()
+        .map(|e| match e.outputs.get("color") {
+            Some(Value::Int(v)) => v.to_string(),
+            other => format!("{other:?}"),
+        })
+        .collect();
+    println!("  {label}: [{}]", row.join(", "));
+}
+
+/// Builds the loop shader over the fragment coordinate.
+fn build_coord_loop_shader() -> transfuzz::ir::Module {
+    use transfuzz::ir::{ModuleBuilder, Op, UnOp};
+
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_float = b.type_float();
+    let t_vec2 = b.type_vector(t_float, 2);
+    let frag = b.builtin("frag_coord", t_vec2);
+    let c0 = b.constant_int(0);
+    let c1 = b.constant_int(1);
+
+    let mut f = b.begin_entry_function("main");
+    let coord = f.load(frag);
+    let x = f.composite_extract(coord, vec![0]);
+    let limit = f.unary(UnOp::ConvertFToS, t_int, x);
+    let pre = f.current_label();
+    let header = f.reserve_label();
+    let body = f.reserve_label();
+    let cont = f.reserve_label();
+    let merge = f.reserve_label();
+    f.branch(header);
+    f.begin_block_with_label(header);
+    let i = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+    let sum = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+    let cond = f.sle(i, limit);
+    f.loop_merge(merge, cont);
+    f.branch_cond(cond, body, merge);
+    f.begin_block_with_label(body);
+    let sum2 = f.iadd(t_int, sum, c1);
+    f.branch(cont);
+    f.begin_block_with_label(cont);
+    let i2 = f.iadd(t_int, i, c1);
+    f.branch(header);
+    f.begin_block_with_label(merge);
+    f.store_output("color", sum);
+    f.ret();
+    f.finish();
+    let mut module = b.finish();
+
+    // Patch the back-edge phi inputs.
+    let entry = module.entry_point;
+    let main = module.functions.iter_mut().find(|f| f.id == entry).unwrap();
+    let header_block = main.block_mut(header).unwrap();
+    if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+        incoming[1].0 = i2;
+    }
+    if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+        incoming[1].0 = sum2;
+    }
+    module
+}

@@ -1,0 +1,88 @@
+//! Quickstart: the full transformation-based testing loop of Figures 1
+//! and 2 — fuzz a reference shader, cross-check a simulated compiler,
+//! reduce the bug-inducing transformation sequence, and print the
+//! resulting bug report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use transfuzz::core::{apply_sequence, Context};
+use transfuzz::fuzzer::{Fuzzer, FuzzerOptions};
+use transfuzz::harness::corpus::{donor_modules, reference_shader};
+use transfuzz::ir::{disasm, interp};
+use transfuzz::reducer::Reducer;
+use transfuzz::targets::{catalog, TargetResult};
+
+fn main() {
+    let target = catalog::target_by_name("SwiftShader").expect("target exists");
+    let donors = donor_modules();
+
+    // Step 1 (Figure 1): take an original program that is well-defined on
+    // its input, and apply many semantics-preserving transformations.
+    for seed in 0.. {
+        let reference = reference_shader(seed as usize % 21);
+        let original = Context::new(reference.module.clone(), reference.inputs.clone())
+            .expect("references validate");
+        let fuzzed = Fuzzer::new(FuzzerOptions::default()).run(original.clone(), &donors, seed);
+
+        // The variant is equivalent to the original by construction
+        // (Theorem 2.6): the reference interpreter agrees on both.
+        let reference_semantics =
+            interp::execute(&original.module, &original.inputs).expect("original runs");
+        let variant_semantics =
+            interp::execute(&fuzzed.context.module, &original.inputs).expect("variant runs");
+        assert_eq!(reference_semantics, variant_semantics);
+
+        // Step 2: compile and execute both through the (buggy) target.
+        let impl_original = target.execute(&original.module, &original.inputs);
+        let impl_variant = target.execute(&fuzzed.context.module, &original.inputs);
+        let crashed = matches!(impl_variant, TargetResult::CompilerCrash(_));
+        let mismatched = matches!(
+            (&impl_original, &impl_variant),
+            (TargetResult::Executed(a), TargetResult::Executed(b)) if a != b
+        );
+        if !crashed && !mismatched {
+            continue; // results agree: no bug found, continue fuzzing
+        }
+
+        println!(
+            "seed {seed} ({}): bug found after {} transformations",
+            reference.name,
+            fuzzed.transformations.len()
+        );
+        println!("  Impl(original) = {impl_original:?}");
+        println!("  Impl(variant)  = {impl_variant:?}\n");
+
+        // Step 3 (Figure 2): delta-debug the transformation sequence down
+        // to a 1-minimal subsequence that still triggers the bug.
+        let observe = |ctx: &Context| target.execute(&ctx.module, &ctx.inputs);
+        let wanted = impl_variant.clone();
+        let reduction = Reducer::default().reduce(
+            &original,
+            &fuzzed.transformations,
+            |variant| observe(variant) == wanted,
+        );
+        println!(
+            "reduced {} transformations -> {} (in {} interestingness tests)",
+            fuzzed.transformations.len(),
+            reduction.sequence.len(),
+            reduction.stats.tests_run
+        );
+        for t in &reduction.sequence {
+            println!("  - {}", t.kind());
+        }
+
+        // Step 4: report the bug as a delta between the original and the
+        // minimally-transformed variant (the Figure 3 form).
+        let mut minimal = original.clone();
+        apply_sequence(&mut minimal, &reduction.sequence);
+        println!("\nbug-report delta (original vs reduced variant):");
+        print!(
+            "{}",
+            disasm::changed_lines(
+                &disasm::disassemble(&original.module),
+                &disasm::disassemble(&minimal.module),
+            )
+        );
+        return;
+    }
+}

@@ -1,0 +1,49 @@
+//! # transfuzz
+//!
+//! Transformation-based compiler testing with test-case reduction and
+//! deduplication *almost for free* — a from-scratch reproduction of the
+//! system described in Donaldson et al., "Test-Case Reduction and
+//! Deduplication Almost for Free with Transformation-Based Compiler
+//! Testing" (PLDI 2021).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`ir`] — an SSA shader IR mirroring the Vulkan subset of SPIR-V, with
+//!   validator, reference interpreter, binary codec and disassembler;
+//! * [`core`] — transformation contexts, facts, and the catalogue of
+//!   semantics-preserving transformations (the paper's §2);
+//! * [`fuzzer`] — fuzzer passes and the recommendations strategy (§3.2);
+//! * [`reducer`] — delta debugging over transformation sequences (§3.4);
+//! * [`dedup`] — the Figure 6 deduplication heuristic (§3.5);
+//! * [`targets`] — nine simulated compilers with injected bugs (Table 2);
+//! * [`baseline`] — a glsl-fuzz-style coarse-grained baseline (§4);
+//! * [`harness`] — campaign runner, corpus, statistics and experiment
+//!   drivers (§4);
+//! * [`basicblocks`] — the pedagogical §2.1 language (Table 1, Figures
+//!   4–5).
+//!
+//! # Quick start
+//!
+//! ```
+//! use transfuzz::harness::campaign::{run_single_test, Tool};
+//! use transfuzz::harness::corpus::donor_modules;
+//! use transfuzz::targets::catalog;
+//!
+//! let target = catalog::target_by_name("SwiftShader").unwrap();
+//! let outcome = run_single_test(Tool::SpirvFuzz, 7, &target, &donor_modules());
+//! // `outcome` is `Some(signature)` when seed 7's variant exposes a bug.
+//! let _ = outcome;
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use trx_baseline as baseline;
+pub use trx_basicblocks as basicblocks;
+pub use trx_core as core;
+pub use trx_dedup as dedup;
+pub use trx_fuzzer as fuzzer;
+pub use trx_harness as harness;
+pub use trx_ir as ir;
+pub use trx_reducer as reducer;
+pub use trx_targets as targets;

@@ -1,0 +1,180 @@
+//! End-to-end integration tests spanning every crate: fuzz → classify →
+//! reduce → deduplicate, with the guarantees the paper's design promises
+//! checked at each stage.
+
+use transfuzz::core::{apply_sequence, Context};
+use transfuzz::harness::campaign::{
+    classify, generate_test, reduce_test, run_campaign, BugSignature, Tool,
+};
+use transfuzz::harness::corpus::{donor_modules, reference_shaders};
+use transfuzz::ir::validate::validate;
+use transfuzz::ir::interp;
+use transfuzz::targets::catalog;
+
+/// Theorem 2.6 in the large: across tools and seeds, every generated
+/// variant is valid and computes the same result as its original.
+#[test]
+fn every_generated_variant_is_equivalent_to_its_original() {
+    let donors = donor_modules();
+    for tool in Tool::ALL {
+        for seed in 0..15 {
+            let test = generate_test(tool, seed, &donors);
+            validate(&test.variant.module).unwrap_or_else(|e| {
+                panic!("{} seed {seed}: invalid variant: {e}", tool.name())
+            });
+            let original =
+                interp::execute(&test.original.module, &test.original.inputs).unwrap();
+            let variant =
+                interp::execute(&test.variant.module, &test.original.inputs).unwrap();
+            assert_eq!(original, variant, "{} seed {seed}", tool.name());
+        }
+    }
+}
+
+/// A found bug must be reproducible from its seed alone (gfauto's replay
+/// property), and its reduced form must trigger the identical signature.
+#[test]
+fn found_bugs_reduce_to_the_same_signature() {
+    let donors = donor_modules();
+    let target = catalog::target_by_name("SwiftShader").unwrap();
+    let outcome = run_campaign(Tool::SpirvFuzz, std::slice::from_ref(&target), 80, 0);
+
+    let mut checked = 0;
+    for (i, signature) in outcome.per_test[0].iter().enumerate() {
+        let Some(signature @ BugSignature::Crash(_)) = signature else {
+            continue;
+        };
+        let reduced = reduce_test(Tool::SpirvFuzz, i as u64, &target, &donors, signature)
+            .expect("the campaign's finding must replay");
+        assert_eq!(&reduced.signature, signature);
+        // Reduction can only shrink the sequence.
+        let test = generate_test(Tool::SpirvFuzz, i as u64, &donors);
+        assert!(reduced.reduced_length <= test.transformations.len());
+        checked += 1;
+        if checked >= 5 {
+            break;
+        }
+    }
+    assert!(checked > 0, "80 tests should find at least one crash");
+}
+
+/// The reduced sequence is 1-minimal: dropping any single element loses the
+/// bug (§3.4's termination criterion), verified against the real oracle.
+#[test]
+fn reduction_is_one_minimal_against_the_real_oracle() {
+    let donors = donor_modules();
+    let target = catalog::target_by_name("spirv-opt-old").unwrap();
+
+    // Find a crash.
+    let mut found = None;
+    for seed in 0..300 {
+        let test = generate_test(Tool::SpirvFuzz, seed, &donors);
+        let signature = classify(
+            Tool::SpirvFuzz,
+            &target,
+            &test.original,
+            &test.variant.module,
+            &test.original.inputs,
+        );
+        if let Some(signature @ BugSignature::Crash(_)) = signature {
+            found = Some((test, signature));
+            break;
+        }
+    }
+    let (test, signature) = found.expect("a crash-triggering seed exists");
+    let still_interesting = |variant: &Context| {
+        classify(
+            Tool::SpirvFuzz,
+            &target,
+            &test.original,
+            &variant.module,
+            &test.original.inputs,
+        )
+        .as_ref()
+            == Some(&signature)
+    };
+    let reduction = transfuzz::reducer::Reducer::default().reduce(
+        &test.original,
+        &test.transformations,
+        still_interesting,
+    );
+    assert!(still_interesting(&reduction.context));
+    for skip in 0..reduction.sequence.len() {
+        let mut candidate = reduction.sequence.clone();
+        candidate.remove(skip);
+        let mut variant = test.original.clone();
+        apply_sequence(&mut variant, &candidate);
+        assert!(
+            !still_interesting(&variant),
+            "dropping position {skip} must lose the bug (1-minimality)"
+        );
+    }
+}
+
+/// Campaigns are deterministic: same seeds, same signature sets.
+#[test]
+fn campaigns_are_reproducible() {
+    let targets = vec![catalog::target_by_name("Mesa").unwrap()];
+    let a = run_campaign(Tool::GlslFuzz, &targets, 40, 7);
+    let b = run_campaign(Tool::GlslFuzz, &targets, 40, 7);
+    assert_eq!(a.per_test, b.per_test);
+}
+
+/// The clean pipelines really are correct compilers: on the unfuzzed
+/// references, targets either crash (an injected front-end bug the
+/// reference itself trips — none should) or agree with the interpreter.
+#[test]
+fn references_execute_identically_through_all_targets() {
+    for reference in reference_shaders() {
+        let semantics = interp::execute(&reference.module, &reference.inputs).unwrap();
+        for target in catalog::all_targets() {
+            match target.execute(&reference.module, &reference.inputs) {
+                transfuzz::targets::TargetResult::Executed(result) => {
+                    assert_eq!(
+                        result, semantics,
+                        "{} miscompiled reference {}",
+                        target.name(),
+                        reference.name
+                    );
+                }
+                other => panic!(
+                    "{} rejected clean reference {}: {other:?}",
+                    target.name(),
+                    reference.name
+                ),
+            }
+        }
+    }
+}
+
+/// Dedup recommendations on real reduced tests are pairwise disjoint in
+/// transformation types.
+#[test]
+fn dedup_on_real_reductions_is_disjoint() {
+    let donors = donor_modules();
+    let target = catalog::target_by_name("spirv-opt-old").unwrap();
+    let outcome = run_campaign(Tool::SpirvFuzz, std::slice::from_ref(&target), 120, 0);
+    let mut reduced = Vec::new();
+    for (i, signature) in outcome.per_test[0].iter().enumerate() {
+        let Some(signature @ BugSignature::Crash(_)) = signature else {
+            continue;
+        };
+        if let Some(r) = reduce_test(Tool::SpirvFuzz, i as u64, &target, &donors, signature) {
+            reduced.push(r);
+        }
+        if reduced.len() >= 12 {
+            break;
+        }
+    }
+    assert!(!reduced.is_empty());
+    let sets: Vec<_> = reduced.iter().map(|r| r.kinds.clone()).collect();
+    let picked = transfuzz::dedup::deduplicate_sets(&sets);
+    for (i, &a) in picked.iter().enumerate() {
+        for &b in &picked[i + 1..] {
+            assert!(
+                sets[a].is_disjoint(&sets[b]),
+                "recommendations {a} and {b} share a transformation type"
+            );
+        }
+    }
+}
