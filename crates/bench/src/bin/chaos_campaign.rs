@@ -1,0 +1,246 @@
+//! Chaos campaign: every catalog target wrapped in a fault injector, run
+//! under the resilient executor, twice — verifying that each run completes
+//! with partial results and a populated error ledger, never panics, and is
+//! bit-identical across same-seed runs. Writes the robustness baseline to
+//! `BENCH_robustness.json`.
+//!
+//! Two scenarios are recorded:
+//!
+//! * `chaos` — the [`FaultPlan::chaos`] mix with TTL 1, where bounded retry
+//!   absorbs every transient and the ledger mostly logs flaky outcomes;
+//! * `persistent-hangs` — hangs that outlive the retry budget, driving the
+//!   circuit breaker to quarantine targets and degrade to partial results.
+//!
+//! Usage: `chaos_campaign [--tests N] [--seed S] [--plan-seed P] [--out FILE]`
+
+use serde::Serialize;
+
+use trx_bench::{arg_u64, arg_usize, render_table};
+use trx_harness::campaign::Tool;
+use trx_harness::executor::{
+    run_campaign_resilient, ExecutorConfig, FailureKind, ResilientOutcome,
+};
+use trx_targets::{catalog, FaultPlan, FaultyTarget};
+
+/// Metrics for one scenario of the robustness baseline.
+#[derive(Debug, Serialize)]
+struct ScenarioBaseline {
+    scenario: String,
+    plan: FaultPlan,
+    tests_survived: usize,
+    cells_flagging_bugs: usize,
+    cells_total: usize,
+    retries_spent: u64,
+    quarantines_triggered: usize,
+    skipped_by_quarantine: u64,
+    ledger_entries: usize,
+    panics_absorbed: usize,
+    hangs_absorbed: usize,
+    unstable_outcomes: usize,
+    distinct_signatures: usize,
+    bit_identical_reruns: bool,
+}
+
+/// The machine-readable baseline this binary writes.
+#[derive(Debug, Serialize)]
+struct RobustnessBaseline {
+    tool: String,
+    tests: usize,
+    targets: Vec<String>,
+    executor: ExecutorConfig,
+    scenarios: Vec<ScenarioBaseline>,
+}
+
+fn run_once(
+    tests: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    config: &ExecutorConfig,
+) -> ResilientOutcome {
+    // Fresh targets per run: attempt counters start empty, so the fault
+    // schedule replays identically. Each target gets a derived plan seed so
+    // fault decisions are decorrelated across targets, as they would be for
+    // independent physical devices.
+    let targets: Vec<FaultyTarget> = catalog::all_targets()
+        .into_iter()
+        .enumerate()
+        .map(|(t, target)| {
+            let plan = FaultPlan { seed: plan.seed.wrapping_add(t as u64), ..plan.clone() };
+            FaultyTarget::new(target, plan)
+        })
+        .collect();
+    run_campaign_resilient(Tool::SpirvFuzz, &targets, tests, seed, config)
+}
+
+fn run_scenario(
+    name: &str,
+    tests: usize,
+    seed: u64,
+    plan: FaultPlan,
+    config: &ExecutorConfig,
+    target_count: usize,
+) -> (ScenarioBaseline, ResilientOutcome) {
+    eprintln!("scenario {name}: {tests} tests x {target_count} targets ...");
+    let first = run_once(tests, seed, &plan, config);
+    let second = run_once(tests, seed, &plan, config);
+    let bit_identical = first.outcome.per_test == second.outcome.per_test
+        && first.ledger == second.ledger
+        && first.retries_spent == second.retries_spent
+        && first.quarantined == second.quarantined;
+
+    let cells_total = tests * target_count;
+    let cells_flagging_bugs = first
+        .outcome
+        .per_test
+        .iter()
+        .map(|cells| cells.iter().filter(|c| c.is_some()).count())
+        .sum::<usize>();
+    let distinct_signatures = (0..target_count)
+        .map(|t| first.outcome.distinct(t).len())
+        .sum::<usize>();
+
+    let baseline = ScenarioBaseline {
+        scenario: name.to_owned(),
+        plan,
+        tests_survived: first.tests_completed,
+        cells_flagging_bugs,
+        cells_total,
+        retries_spent: first.retries_spent,
+        quarantines_triggered: first.quarantined.len(),
+        skipped_by_quarantine: first.skipped_by_quarantine,
+        ledger_entries: first.ledger.len(),
+        panics_absorbed: first.ledger.count(FailureKind::Panic),
+        hangs_absorbed: first.ledger.count(FailureKind::Hang),
+        unstable_outcomes: first.ledger.count(FailureKind::UnstableOutcome),
+        distinct_signatures,
+        bit_identical_reruns: bit_identical,
+    };
+    (baseline, first)
+}
+
+fn scenario_rows(s: &ScenarioBaseline, tests: usize) -> Vec<Vec<String>> {
+    vec![
+        vec![s.scenario.clone(), String::new()],
+        vec!["  tests survived".to_owned(), format!("{}/{tests}", s.tests_survived)],
+        vec![
+            "  cells flagging bugs".to_owned(),
+            format!("{}/{}", s.cells_flagging_bugs, s.cells_total),
+        ],
+        vec!["  retries spent".to_owned(), s.retries_spent.to_string()],
+        vec![
+            "  quarantines triggered".to_owned(),
+            s.quarantines_triggered.to_string(),
+        ],
+        vec![
+            "  skipped by quarantine".to_owned(),
+            s.skipped_by_quarantine.to_string(),
+        ],
+        vec!["  ledger entries".to_owned(), s.ledger_entries.to_string()],
+        vec!["    panics absorbed".to_owned(), s.panics_absorbed.to_string()],
+        vec!["    hangs absorbed".to_owned(), s.hangs_absorbed.to_string()],
+        vec!["    unstable outcomes".to_owned(), s.unstable_outcomes.to_string()],
+        vec![
+            "  distinct signatures".to_owned(),
+            s.distinct_signatures.to_string(),
+        ],
+        vec!["  bit-identical reruns".to_owned(), s.bit_identical_reruns.to_string()],
+    ]
+}
+
+fn main() {
+    let tests = arg_usize("--tests", 120);
+    let seed = arg_u64("--seed", 0);
+    let plan_seed = arg_u64("--plan-seed", 1_000);
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_robustness.json".to_owned())
+    };
+
+    let config = ExecutorConfig::default();
+    let target_names: Vec<String> =
+        catalog::all_targets().iter().map(|t| t.name().to_owned()).collect();
+
+    // Injected panics are expected by the hundred here; silence the default
+    // hook's backtrace spam (the executor records every payload anyway).
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Scenario 1: the standard chaos mix. Transients have TTL 1, so the
+    // retry budget absorbs them; flip-flops surface as unstable outcomes.
+    let (chaos, chaos_outcome) = run_scenario(
+        "chaos",
+        tests,
+        seed,
+        FaultPlan::chaos(plan_seed),
+        &config,
+        target_names.len(),
+    );
+
+    // Scenario 2: a third of tests hang persistently (TTL far beyond the
+    // retry budget), so hard failures accumulate and the circuit breaker
+    // quarantines targets mid-campaign.
+    let persistent_plan = FaultPlan {
+        seed: plan_seed.wrapping_add(100),
+        panic_probability: 0.0,
+        hang_probability: 0.35,
+        transient_crash_probability: 0.0,
+        flip_flop_probability: 0.0,
+        transient_ttl: 1_000,
+    };
+    let (persistent, persistent_outcome) = run_scenario(
+        "persistent-hangs",
+        tests,
+        seed,
+        persistent_plan,
+        &config,
+        target_names.len(),
+    );
+    let _ = std::panic::take_hook();
+
+    let mut rows = scenario_rows(&chaos, tests);
+    rows.extend(scenario_rows(&persistent, tests));
+    println!("{}", render_table(&["metric", "value"], &rows));
+
+    let baseline = RobustnessBaseline {
+        tool: Tool::SpirvFuzz.name().to_owned(),
+        tests,
+        targets: target_names,
+        executor: config,
+        scenarios: vec![chaos, persistent],
+    };
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out, json + "\n") {
+                eprintln!("failed to write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("failed to serialise baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut failed = false;
+    for s in &baseline.scenarios {
+        if !s.bit_identical_reruns {
+            eprintln!("FAIL: {}: same-seed campaigns diverged", s.scenario);
+            failed = true;
+        }
+        if s.tests_survived != tests {
+            eprintln!("FAIL: {}: campaign lost tests", s.scenario);
+            failed = true;
+        }
+    }
+    if chaos_outcome.ledger.is_empty() && persistent_outcome.ledger.is_empty() {
+        eprintln!("FAIL: fault plans injected nothing — both ledgers are empty");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -289,7 +289,7 @@ mod tests {
 
         // Run many seeds; at least one should import the donor function.
         let mut imported = false;
-        for seed in 0..20 {
+        for seed in 0..120 {
             let ctx = seed_context();
             let fn_count = ctx.module.functions.len();
             let result =

@@ -11,9 +11,10 @@ use trx_core::{Context, Transformation};
 use trx_fuzzer::{Fuzzer, FuzzerOptions};
 use trx_ir::{Module, Inputs};
 use trx_reducer::Reducer;
-use trx_targets::{Target, TargetResult};
+use trx_targets::{TargetResult, TestTarget};
 
 use crate::corpus::{donor_modules, reference_shader, Reference, REFERENCE_COUNT};
+use crate::errors::HarnessError;
 
 /// The tool configurations compared in §4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,12 +83,33 @@ pub struct GeneratedTest {
 
 /// Generates the test for `(tool, seed)`: picks a reference round-robin and
 /// fuzzes it. Fully deterministic.
+///
+/// # Panics
+///
+/// Panics if the fixed reference corpus fails validation — an internal
+/// invariant. Resilient callers use [`try_generate_test`] and route the
+/// error into their ledger instead.
 #[must_use]
 pub fn generate_test(tool: Tool, seed: u64, donors: &[Module]) -> GeneratedTest {
+    try_generate_test(tool, seed, donors).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible test generation: like [`generate_test`] but reporting corpus
+/// problems as a typed [`HarnessError`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::ReferenceInvalid`] if the reference shader for
+/// `seed` fails validation.
+pub fn try_generate_test(
+    tool: Tool,
+    seed: u64,
+    donors: &[Module],
+) -> Result<GeneratedTest, HarnessError> {
     let reference = reference_shader(seed as usize % REFERENCE_COUNT);
     let original = Context::new(reference.module.clone(), reference.inputs.clone())
-        .expect("references validate");
-    match tool {
+        .map_err(|e| HarnessError::ReferenceInvalid { seed, reason: e.to_string() })?;
+    Ok(match tool {
         Tool::SpirvFuzz | Tool::SpirvFuzzSimple => {
             let options = if tool == Tool::SpirvFuzz {
                 FuzzerOptions::default()
@@ -117,7 +139,7 @@ pub fn generate_test(tool: Tool, seed: u64, donors: &[Module]) -> GeneratedTest 
                 units: result.units,
             }
         }
-    }
+    })
 }
 
 /// The module a target actually sees for a given tool: glsl-fuzz goes
@@ -131,11 +153,12 @@ pub fn module_for_target(tool: Tool, module: &Module) -> Module {
 }
 
 /// Classifies one variant against one target. `None` means no bug was
-/// observed.
+/// observed. Generic over [`TestTarget`], so fault-injected wrappers run
+/// through the same oracle as plain targets.
 #[must_use]
-pub fn classify(
+pub fn classify<T: TestTarget + ?Sized>(
     tool: Tool,
-    target: &Target,
+    target: &T,
     original: &Context,
     variant_module: &Module,
     inputs: &Inputs,
@@ -151,7 +174,7 @@ pub fn classify(
             Some(BugSignature::Crash(format!("runtime fault: {fault}")))
         }
         TargetResult::Executed(variant_result) => {
-            match target.execute(&original_module, inputs) {
+            match target.execute_reference(&original_module, inputs) {
                 TargetResult::Executed(original_result) => {
                     (original_result != variant_result)
                         .then_some(BugSignature::Miscompilation)
@@ -166,10 +189,10 @@ pub fn classify(
 
 /// Runs `(tool, seed)` against `target` end to end.
 #[must_use]
-pub fn run_single_test(
+pub fn run_single_test<T: TestTarget + ?Sized>(
     tool: Tool,
     seed: u64,
-    target: &Target,
+    target: &T,
     donors: &[Module],
 ) -> Option<BugSignature> {
     let test = generate_test(tool, seed, donors);
@@ -210,9 +233,9 @@ impl CampaignOutcome {
 /// seeds. Each generated variant is evaluated against all targets, as in
 /// §4.1 where the same 10,000 tests are run per target.
 #[must_use]
-pub fn run_campaign(
+pub fn run_campaign<T: TestTarget>(
     tool: Tool,
-    targets: &[Target],
+    targets: &[T],
     tests: usize,
     seed_base: u64,
 ) -> CampaignOutcome {
@@ -269,7 +292,9 @@ pub fn parallel_map<T: Send>(
             });
         }
     });
-    results.into_iter().map(|r| r.expect("filled by worker")).collect()
+    // A panicking worker re-raises out of the scope above, so every slot is
+    // filled here; the fallback avoids a panicking unwrap on the hot path.
+    results.into_iter().flatten().collect()
 }
 
 /// A reduced bug-triggering test: everything the §4.2/§4.3 experiments need.
@@ -297,10 +322,10 @@ pub struct ReducedTest {
 /// Returns `None` if the test does not actually trigger `signature`
 /// (e.g. when called with a stale signature).
 #[must_use]
-pub fn reduce_test(
+pub fn reduce_test<T: TestTarget + ?Sized>(
     tool: Tool,
     seed: u64,
-    target: &Target,
+    target: &T,
     donors: &[Module],
     signature: &BugSignature,
 ) -> Option<ReducedTest> {
@@ -428,9 +453,9 @@ mod tests {
 /// Slower than [`classify`] but catches wrong-code bugs that only show up
 /// for some fragment coordinates.
 #[must_use]
-pub fn classify_rendered(
+pub fn classify_rendered<T: TestTarget + ?Sized>(
     tool: Tool,
-    target: &Target,
+    target: &T,
     original: &Context,
     variant_module: &Module,
     inputs: &Inputs,

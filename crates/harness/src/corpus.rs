@@ -149,18 +149,21 @@ fn loop_shader(salt: i32) -> (&'static str, Module, Inputs) {
     f.ret();
     f.finish();
     let mut module = b.finish();
-    // Patch the back-edge phi inputs.
-    let main = module
+    // Patch the back-edge phi inputs. If the entry function or header block
+    // is missing the phis stay as placeholders and validation rejects the
+    // module downstream — reported as data, not a panic.
+    let header_block = module
         .functions
         .iter_mut()
         .find(|f| f.id == module.entry_point)
-        .expect("entry exists");
-    let header_block = main.block_mut(header).expect("header exists");
-    if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
-        incoming[1].0 = i2;
-    }
-    if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
-        incoming[1].0 = sum2;
+        .and_then(|f| f.block_mut(header));
+    if let Some(header_block) = header_block {
+        if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+            incoming[1].0 = i2;
+        }
+        if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+            incoming[1].0 = sum2;
+        }
     }
     let inputs = Inputs::new().with("k", Value::Int(salt));
     ("loop", module, inputs)
@@ -329,17 +332,20 @@ pub fn donor_module(index: usize) -> Module {
     f.finish();
     let mut module = b.finish();
     if let Some((header, i2, acc2)) = loop_patch {
-        let function = module
+        // If the header block is somehow missing, the placeholder phis are
+        // left in place and the module fails validation downstream — which
+        // surfaces as a typed error rather than a panic here.
+        let header_block = module
             .functions
             .iter_mut()
-            .find(|f| f.block(header).is_some())
-            .expect("loop helper exists");
-        let header_block = function.block_mut(header).expect("header exists");
-        if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
-            incoming[1].0 = i2;
-        }
-        if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
-            incoming[1].0 = acc2;
+            .find_map(|f| f.block_mut(header));
+        if let Some(header_block) = header_block {
+            if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+                incoming[1].0 = i2;
+            }
+            if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+                incoming[1].0 = acc2;
+            }
         }
     }
     module

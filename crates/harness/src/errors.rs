@@ -1,0 +1,73 @@
+//! Typed errors for the harness hot paths.
+//!
+//! The campaign and executor code paths used to panic on internal
+//! inconsistencies; a resilient campaign instead routes these into the
+//! [`crate::executor::ErrorLedger`] so one broken test or target cannot
+//! take down a long-running run.
+
+use std::fmt;
+
+/// An error on a harness hot path (test generation, classification,
+/// checkpointing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// A reference shader failed validation when building a test — an
+    /// internal invariant violation surfaced as data instead of a panic.
+    ReferenceInvalid {
+        /// The seed whose reference failed.
+        seed: u64,
+        /// The validator's message.
+        reason: String,
+    },
+    /// A worker panicked; the payload message was captured.
+    WorkerPanicked {
+        /// What the panic payload said.
+        message: String,
+    },
+    /// A checkpoint does not describe the campaign being resumed.
+    CheckpointMismatch {
+        /// Which field disagreed.
+        reason: String,
+    },
+    /// Serialising or parsing a checkpoint or report failed.
+    Serialization(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::ReferenceInvalid { seed, reason } => {
+                write!(f, "reference for seed {seed} failed validation: {reason}")
+            }
+            HarnessError::WorkerPanicked { message } => {
+                write!(f, "worker panicked: {message}")
+            }
+            HarnessError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint does not match this campaign: {reason}")
+            }
+            HarnessError::Serialization(message) => {
+                write!(f, "serialization failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<serde_json::Error> for HarnessError {
+    fn from(e: serde_json::Error) -> Self {
+        HarnessError::Serialization(e.to_string())
+    }
+}
+
+/// Renders a `catch_unwind` payload as a readable message.
+#[must_use]
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -24,6 +24,8 @@
 
 pub mod campaign;
 pub mod corpus;
+pub mod errors;
+pub mod executor;
 pub mod experiments;
 pub mod regression;
 pub mod report;
@@ -31,4 +33,9 @@ pub mod stats;
 pub mod venn;
 
 pub use campaign::{BugSignature, Tool};
+pub use errors::HarnessError;
+pub use executor::{
+    CampaignCheckpoint, ErrorLedger, ExecutorConfig, FailureKind, LedgerEntry,
+    ResilientOutcome,
+};
 pub use experiments::ExperimentConfig;

@@ -39,19 +39,30 @@ pub struct BugReport {
 pub enum ReportError {
     /// The reference index is out of range.
     UnknownReference(usize),
+    /// The referenced corpus shader failed validation — an internal
+    /// invariant violation reported as data instead of a panic.
+    ReferenceInvalid(String),
     /// Replaying the sequence failed to apply some transformation.
     ReplayIncomplete {
         /// Index of the first transformation that did not apply.
         position: usize,
     },
+    /// Serialising the report failed.
+    Serialization(String),
 }
 
 impl std::fmt::Display for ReportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReportError::UnknownReference(i) => write!(f, "unknown reference index {i}"),
+            ReportError::ReferenceInvalid(reason) => {
+                write!(f, "reference failed validation: {reason}")
+            }
             ReportError::ReplayIncomplete { position } => {
                 write!(f, "transformation {position} no longer applies")
+            }
+            ReportError::Serialization(reason) => {
+                write!(f, "report serialization failed: {reason}")
             }
         }
     }
@@ -77,7 +88,7 @@ impl BugReport {
         }
         let reference = reference_shader(reference_index);
         let original = Context::new(reference.module, reference.inputs)
-            .expect("references validate");
+            .map_err(|e| ReportError::ReferenceInvalid(e.to_string()))?;
         let mut variant = original.clone();
         apply_sequence(&mut variant, &sequence);
         let original_text = disasm::disassemble(&original.module);
@@ -109,7 +120,7 @@ impl BugReport {
         }
         let reference = reference_shader(self.reference_index);
         let mut context = Context::new(reference.module, reference.inputs)
-            .expect("references validate");
+            .map_err(|e| ReportError::ReferenceInvalid(e.to_string()))?;
         let applied = apply_sequence(&mut context, &self.sequence);
         if let Some(position) = applied.iter().position(|&a| !a) {
             return Err(ReportError::ReplayIncomplete { position });
@@ -119,13 +130,14 @@ impl BugReport {
 
     /// Serialises the report to JSON.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Never panics for reports produced by [`BugReport::new`] (all fields
-    /// are serde-friendly).
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("reports serialise")
+    /// Returns [`ReportError::Serialization`] if the serializer fails —
+    /// never the case for reports produced by [`BugReport::new`], but
+    /// surfaced as data so campaign code can route it into an error ledger.
+    pub fn to_json(&self) -> Result<String, ReportError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| ReportError::Serialization(e.to_string()))
     }
 
     /// Parses a report from JSON.
@@ -189,7 +201,7 @@ mod tests {
     #[test]
     fn report_round_trips_through_json_and_replays() {
         let report = some_reduced_report();
-        let json = report.to_json();
+        let json = report.to_json().expect("serialises");
         let parsed = BugReport::from_json(&json).expect("parses");
         assert_eq!(report, parsed);
         let replayed = parsed.replay().expect("replays cleanly");

@@ -10,7 +10,7 @@ pub fn median(sample: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     Some(if n % 2 == 1 {
         sorted[n / 2]
@@ -58,7 +58,7 @@ pub fn mann_whitney_u(first: &[f64], second: &[f64]) -> Option<MannWhitney> {
         .map(|&v| (v, 0usize))
         .chain(second.iter().map(|&v| (v, 1usize)))
         .collect();
-    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs in samples"));
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let total = pooled.len();
     let mut ranks = vec![0.0f64; total];

@@ -229,7 +229,7 @@ impl fmt::Display for Fault {
 impl Error for Fault {}
 
 /// Interpreter resource limits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecConfig {
     /// Maximum number of instruction/branch steps.
     pub step_limit: u64,

@@ -20,6 +20,12 @@
 //! After delta debugging, [`Reducer::reduce`] optionally shrinks the bodies
 //! of any remaining `AddFunction` payloads — the analogue of spirv-fuzz's
 //! final spirv-reduce pass, "merely an optimization" per §3.4.
+//!
+//! For *flaky* oracles — crashes that only reproduce some of the time, a
+//! routine hazard in GPU-driver testing — [`ReducerOptions::votes`] turns
+//! every interestingness query into a `k`-of-`n` vote. Each vote invokes
+//! the oracle once and counts against [`ReducerOptions::max_tests`], so
+//! voting trades test budget for robustness.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -55,13 +61,49 @@ pub struct ReducerOptions {
     /// Whether to run the `AddFunction` payload shrink phase after delta
     /// debugging.
     pub shrink_added_functions: bool,
-    /// Safety cap on interestingness-test invocations.
+    /// Safety cap on interestingness-test invocations. Every *vote* counts
+    /// against this cap.
     pub max_tests: usize,
+    /// Votes (`n`) cast per interestingness query. With a flaky oracle —
+    /// a crash that only reproduces some of the time — a single vote makes
+    /// the reducer keep chunks whose removal failed to reproduce by bad
+    /// luck. Each vote invokes the interestingness closure once.
+    pub votes: u32,
+    /// Votes (`k`) that must say "interesting" for the query to pass.
+    /// Clamped to `1..=votes`. The default 1-of-1 is exact single-shot
+    /// testing; for an oracle with reproduction probability `p`, `k`-of-`n`
+    /// drives the per-query false-negative rate from `1 - p` down to
+    /// `P[Binomial(n, p) < k]`.
+    pub votes_required: u32,
+}
+
+impl ReducerOptions {
+    /// `k`-of-`n` voting with a strict majority: `k = n / 2 + 1`.
+    #[must_use]
+    pub fn with_majority_votes(mut self, n: u32) -> Self {
+        let n = n.max(1);
+        self.votes = n;
+        self.votes_required = n / 2 + 1;
+        self
+    }
+
+    /// Explicit `k`-of-`n` voting.
+    #[must_use]
+    pub fn with_votes(mut self, required: u32, total: u32) -> Self {
+        self.votes = total.max(1);
+        self.votes_required = required.clamp(1, self.votes);
+        self
+    }
 }
 
 impl Default for ReducerOptions {
     fn default() -> Self {
-        ReducerOptions { shrink_added_functions: true, max_tests: 100_000 }
+        ReducerOptions {
+            shrink_added_functions: true,
+            max_tests: 100_000,
+            votes: 1,
+            votes_required: 1,
+        }
     }
 }
 
@@ -94,14 +136,35 @@ impl Reducer {
         let mut current: Vec<Transformation> = sequence.to_vec();
 
         let max_tests = self.options.max_tests;
-        let mut check = |candidate: &[Transformation], stats: &mut ReductionStats| {
-            if stats.tests_run >= max_tests {
-                return None;
+        let votes = self.options.votes.max(1);
+        let votes_required = self.options.votes_required.clamp(1, votes);
+        // One k-of-n interestingness query. Early exit once the verdict is
+        // decided, so votes only cost budget while the outcome is open;
+        // `None` means the test budget ran out mid-query.
+        let mut poll = move |ctx: &Context, stats: &mut ReductionStats| -> Option<bool> {
+            let mut yes = 0u32;
+            for cast in 0..votes {
+                if stats.tests_run >= max_tests {
+                    return None;
+                }
+                stats.tests_run += 1;
+                if interesting(ctx) {
+                    yes += 1;
+                }
+                if yes >= votes_required {
+                    return Some(true);
+                }
+                let remaining = votes - cast - 1;
+                if yes + remaining < votes_required {
+                    return Some(false);
+                }
             }
-            stats.tests_run += 1;
+            Some(false)
+        };
+        let mut check = |candidate: &[Transformation], stats: &mut ReductionStats| {
             let mut ctx = original.clone();
             apply_sequence(&mut ctx, candidate);
-            Some((interesting(&ctx), ctx))
+            poll(&ctx, stats).map(|verdict| (verdict, ctx))
         };
 
         // The full sequence must be interesting to begin with.
@@ -158,7 +221,7 @@ impl Reducer {
         }
 
         if self.options.shrink_added_functions && !budget_exhausted {
-            self.shrink_payloads(original, &mut current, &mut stats, &mut interesting);
+            self.shrink_payloads(original, &mut current, &mut stats, &mut poll);
         }
 
         let mut context = original.clone();
@@ -168,13 +231,14 @@ impl Reducer {
 
     /// Tries to delete instructions from the bodies of `AddFunction`
     /// payloads while the test stays interesting (the spirv-reduce
-    /// analogue).
+    /// analogue). `poll` is the shared k-of-n interestingness query;
+    /// `None` means the test budget ran out.
     fn shrink_payloads(
         &self,
         original: &Context,
         current: &mut Vec<Transformation>,
         stats: &mut ReductionStats,
-        interesting: &mut impl FnMut(&Context) -> bool,
+        poll: &mut impl FnMut(&Context, &mut ReductionStats) -> Option<bool>,
     ) {
         for index in 0..current.len() {
             let Transformation::AddFunction(payload) = &current[index] else {
@@ -193,24 +257,27 @@ impl Reducer {
                     .flat_map(|(bi, b)| (0..b.instructions.len()).map(move |ii| (bi, ii)))
                     .collect();
                 for &(bi, ii) in positions.iter().rev() {
-                    if stats.tests_run >= self.options.max_tests {
-                        return;
-                    }
                     let mut candidate_payload = payload.clone();
                     candidate_payload.function.blocks[bi].instructions.remove(ii);
                     let mut candidate = current.clone();
                     candidate[index] = Transformation::AddFunction(candidate_payload.clone());
-                    stats.tests_run += 1;
                     let mut ctx = original.clone();
                     let applied = apply_sequence(&mut ctx, &candidate);
                     // The shrunken payload must still apply — otherwise the
                     // variant silently loses the whole function.
-                    if applied[index] && interesting(&ctx) {
-                        payload = candidate_payload;
-                        *current = candidate;
-                        stats.payload_instructions_removed += 1;
-                        progress = true;
-                        break;
+                    if !applied[index] {
+                        continue;
+                    }
+                    match poll(&ctx, stats) {
+                        None => return,
+                        Some(true) => {
+                            payload = candidate_payload;
+                            *current = candidate;
+                            stats.payload_instructions_removed += 1;
+                            progress = true;
+                            break;
+                        }
+                        Some(false) => {}
                     }
                 }
             }
@@ -325,12 +392,139 @@ mod tests {
         let ctx = tiny_context();
         let sequence = flip_sequence(&ctx, 40);
         let helper = helper_of(&ctx);
-        let reducer =
-            Reducer::new(ReducerOptions { shrink_added_functions: false, max_tests: 3 });
+        let reducer = Reducer::new(ReducerOptions {
+            shrink_added_functions: false,
+            max_tests: 3,
+            ..ReducerOptions::default()
+        });
         let reduction = reducer.reduce(&ctx, &sequence, |variant| {
             variant.module.function(helper).unwrap().control == FunctionControl::DontInline
         });
         assert!(reduction.stats.tests_run <= 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_keeps_best_so_far() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let is_interesting = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        let full = flip_sequence(&ctx, 31);
+        for budget in 1..40 {
+            let reducer = Reducer::new(ReducerOptions {
+                shrink_added_functions: false,
+                max_tests: budget,
+                ..ReducerOptions::default()
+            });
+            let reduction = reducer.reduce(&ctx, &full, is_interesting);
+            assert!(reduction.stats.tests_run <= budget);
+            // Whatever the budget, the kept sequence is never worse than
+            // the input: it still triggers the bug.
+            assert!(
+                is_interesting(&reduction.context),
+                "budget {budget}: best-so-far sequence lost interestingness"
+            );
+            assert!(reduction.sequence.len() <= full.len());
+        }
+    }
+
+    #[test]
+    fn votes_count_against_the_budget() {
+        let ctx = tiny_context();
+        let sequence = flip_sequence(&ctx, 4);
+        // 3-of-3 voting with an always-true oracle: the initial query alone
+        // costs 3 tests.
+        let mut calls = 0usize;
+        let reducer = Reducer::new(
+            ReducerOptions {
+                shrink_added_functions: false,
+                max_tests: 3,
+                ..ReducerOptions::default()
+            }
+            .with_votes(3, 3),
+        );
+        let reduction = reducer.reduce(&ctx, &sequence, |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(calls, 3, "each vote invokes the oracle");
+        assert_eq!(reduction.stats.tests_run, 3);
+        // Budget spent on the initial query: nothing was reduced.
+        assert_eq!(reduction.sequence.len(), 4);
+    }
+
+    #[test]
+    fn majority_vote_short_circuits() {
+        let ctx = tiny_context();
+        // 2-of-3 with an always-true oracle decides after 2 votes.
+        let mut calls = 0usize;
+        let reducer = Reducer::new(
+            ReducerOptions {
+                shrink_added_functions: false,
+                ..ReducerOptions::default()
+            }
+            .with_majority_votes(3),
+        );
+        let reduction = reducer.reduce(&ctx, &[], |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(calls, 2, "a decided vote stops early");
+        assert!(reduction.sequence.is_empty());
+    }
+
+    /// A deterministic flaky oracle: reports a genuine "interesting" with
+    /// probability ~`1 - flake`, never reports a spurious one (the
+    /// crash-doesn't-reproduce failure mode).
+    struct FlakyOracle {
+        state: u64,
+        flake_millis: u64,
+    }
+
+    impl FlakyOracle {
+        fn flakes(&mut self) -> bool {
+            // SplitMix64 step.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            z % 1000 < self.flake_millis
+        }
+    }
+
+    #[test]
+    fn majority_vote_reduces_under_flaky_oracle() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let truly_interesting = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        let sequence = flip_sequence(&ctx, 17);
+
+        // 30% of genuine reproductions are missed.
+        let mut oracle = FlakyOracle { state: 0xdead_beef, flake_millis: 300 };
+        let reducer = Reducer::new(
+            ReducerOptions {
+                shrink_added_functions: false,
+                ..ReducerOptions::default()
+            }
+            .with_votes(2, 5),
+        );
+        let reduction = reducer.reduce(&ctx, &sequence, |variant| {
+            truly_interesting(variant) && !oracle.flakes()
+        });
+
+        // The reduced sequence must trigger the bug *deterministically* —
+        // verified against the non-flaky oracle.
+        assert!(truly_interesting(&reduction.context));
+        assert!(
+            reduction.sequence.len() <= 3,
+            "2-of-5 voting should get close to minimal, got {}",
+            reduction.sequence.len()
+        );
+        assert!(reduction.stats.tests_run > reduction.stats.chunks_removed);
     }
 }
 
@@ -442,7 +636,11 @@ mod shrink_tests {
     fn payload_shrink_can_be_disabled() {
         let (ctx, sequence) = context_and_bloated_function();
         let reducer =
-            Reducer::new(ReducerOptions { shrink_added_functions: false, max_tests: 10_000 });
+            Reducer::new(ReducerOptions {
+                shrink_added_functions: false,
+                max_tests: 10_000,
+                ..ReducerOptions::default()
+            });
         let reduction = reducer.reduce(&ctx, &sequence, |variant| {
             variant.module.functions.len() == 2
         });

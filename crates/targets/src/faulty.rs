@@ -1,0 +1,417 @@
+//! Fault injection at the harness boundary: a [`FaultyTarget`] wraps any
+//! [`Target`] and makes it misbehave the way real compiler-testing
+//! infrastructure does — hangs, transient crashes that vanish on retry, and
+//! flip-flopping outcomes — while staying fully deterministic per
+//! `(plan seed, test)`.
+//!
+//! The fault decision for a test is a pure function of the plan's seed and a
+//! fingerprint of the `(module, inputs)` pair, so two identical campaign
+//! runs inject identical faults. Retry behaviour is modelled with a
+//! per-test attempt counter: transient faults clear once a test has been
+//! attempted [`FaultPlan::transient_ttl`] times, which is exactly what a
+//! resilient executor's bounded retry loop needs to be able to recover.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use trx_ir::{interp::ExecConfig, Inputs, Module};
+
+use crate::target::{CompileOutcome, Target, TargetResult, TestTarget};
+
+/// The interpreter budget used to force an injected hang: small enough that
+/// any module that reaches execution exhausts it immediately, surfacing as
+/// `Fault::StepLimitExceeded` — indistinguishable from a genuine timeout.
+const HANG_BUDGET: ExecConfig = ExecConfig { step_limit: 1, call_depth_limit: 1 };
+
+/// The kind of fault a plan injects for a particular test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// No fault: the wrapped target behaves normally.
+    None,
+    /// The worker panics (until the transient TTL expires).
+    Panic,
+    /// Execution exhausts a shrunken step budget (until the TTL expires).
+    Hang,
+    /// A spurious compiler crash (until the TTL expires).
+    TransientCrash,
+    /// The outcome alternates between a spurious crash and the real result
+    /// on every attempt, forever.
+    FlipFlop,
+}
+
+/// A seeded, serializable description of which faults to inject and how
+/// often. Probabilities are per *test* (per distinct `(module, inputs)`
+/// pair), evaluated in the order panic → hang → transient crash →
+/// flip-flop; at most one fault kind applies to a given test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed making all fault decisions deterministic.
+    pub seed: u64,
+    /// Probability a test's worker panics.
+    pub panic_probability: f64,
+    /// Probability a test hangs (forced step-limit exhaustion).
+    pub hang_probability: f64,
+    /// Probability a test crashes spuriously.
+    pub transient_crash_probability: f64,
+    /// Probability a test's outcome flip-flops on every attempt.
+    pub flip_flop_probability: f64,
+    /// Number of attempts a transient fault (panic, hang, spurious crash)
+    /// survives before the test starts behaving normally. Must be ≥ 1.
+    pub transient_ttl: u32,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the wrapper becomes a transparent
+    /// pass-through.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_probability: 0.0,
+            hang_probability: 0.0,
+            transient_crash_probability: 0.0,
+            flip_flop_probability: 0.0,
+            transient_ttl: 1,
+        }
+    }
+
+    /// An aggressive plan for chaos campaigns: roughly one test in five is
+    /// disrupted somehow, and transient faults clear after one retry.
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_probability: 0.03,
+            hang_probability: 0.05,
+            transient_crash_probability: 0.08,
+            flip_flop_probability: 0.04,
+            transient_ttl: 1,
+        }
+    }
+
+    /// The fault kind this plan injects for a test with fingerprint `key`.
+    #[must_use]
+    pub fn fault_for(&self, key: u64) -> FaultKind {
+        // One uniform draw in [0, 1), checked against cumulative thresholds.
+        let unit = (mix(self.seed ^ 0x9e37_79b9_7f4a_7c15, key) >> 11) as f64
+            * (1.0 / (1u64 << 53) as f64);
+        let mut threshold = self.panic_probability;
+        if unit < threshold {
+            return FaultKind::Panic;
+        }
+        threshold += self.hang_probability;
+        if unit < threshold {
+            return FaultKind::Hang;
+        }
+        threshold += self.transient_crash_probability;
+        if unit < threshold {
+            return FaultKind::TransientCrash;
+        }
+        threshold += self.flip_flop_probability;
+        if unit < threshold {
+            return FaultKind::FlipFlop;
+        }
+        FaultKind::None
+    }
+}
+
+/// A [`Target`] wrapper that injects the faults described by a
+/// [`FaultPlan`]. Compilation for ground-truth purposes ([`TestTarget::compile`])
+/// is left untouched; only [`TestTarget::execute`] — the path the harness
+/// exercises per test — misbehaves.
+#[derive(Debug)]
+pub struct FaultyTarget {
+    inner: Target,
+    plan: FaultPlan,
+    attempts: Mutex<HashMap<u64, u32>>,
+}
+
+impl FaultyTarget {
+    /// Wraps `inner` with the fault behaviour of `plan`.
+    #[must_use]
+    pub fn new(inner: Target, plan: FaultPlan) -> Self {
+        assert!(plan.transient_ttl >= 1, "transient_ttl must be at least 1");
+        FaultyTarget { inner, plan, attempts: Mutex::new(HashMap::new()) }
+    }
+
+    /// The wrapped target.
+    #[must_use]
+    pub fn inner(&self) -> &Target {
+        &self.inner
+    }
+
+    /// The plan driving the injection.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The fault kind injected for a given test, for inspection in tests
+    /// and benches.
+    #[must_use]
+    pub fn fault_for_test(&self, module: &Module, inputs: &Inputs) -> FaultKind {
+        self.plan.fault_for(test_key(self.plan.seed, module, inputs))
+    }
+
+    /// Forgets all per-test attempt counters, so a repeated campaign over
+    /// this instance replays the exact same fault schedule.
+    pub fn reset_attempts(&self) {
+        self.attempts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Returns the 0-based attempt index for `key` and records the attempt.
+    fn bump_attempt(&self, key: u64) -> u32 {
+        let mut attempts = self
+            .attempts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let counter = attempts.entry(key).or_insert(0);
+        let attempt = *counter;
+        *counter = counter.saturating_add(1);
+        attempt
+    }
+}
+
+impl TestTarget for FaultyTarget {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn compile(&self, module: &Module) -> CompileOutcome {
+        self.inner.compile(module)
+    }
+
+    fn execute(&self, module: &Module, inputs: &Inputs) -> TargetResult {
+        let key = test_key(self.plan.seed, module, inputs);
+        let attempt = self.bump_attempt(key);
+        let ttl = self.plan.transient_ttl;
+        match self.plan.fault_for(key) {
+            FaultKind::Panic if attempt < ttl => {
+                panic!(
+                    "injected panic in {} (test {key:016x}, attempt {attempt})",
+                    self.inner.name()
+                );
+            }
+            FaultKind::Hang if attempt < ttl => self
+                .inner
+                .clone()
+                .with_exec_config(HANG_BUDGET)
+                .execute(module, inputs),
+            FaultKind::TransientCrash if attempt < ttl => TargetResult::CompilerCrash(
+                format!("spurious worker crash in {} (injected)", self.inner.name()),
+            ),
+            FaultKind::FlipFlop if attempt.is_multiple_of(2) => TargetResult::CompilerCrash(
+                format!("flip-flop crash in {} (injected)", self.inner.name()),
+            ),
+            _ => self.inner.execute(module, inputs),
+        }
+    }
+
+    fn execute_reference(&self, module: &Module, inputs: &Inputs) -> TargetResult {
+        // References are shared across tests and (conceptually) compiled
+        // once, so the fault injector leaves them alone — this is also what
+        // keeps concurrent campaigns deterministic, since per-test attempt
+        // counters never apply to shared modules.
+        self.inner.execute(module, inputs)
+    }
+}
+
+/// A stable fingerprint for a `(module, inputs)` pair under a plan seed:
+/// FNV-1a over the debug rendering, which covers every structural detail of
+/// the test. Stability across runs of the same binary is all the
+/// determinism guarantee needs.
+fn test_key(seed: u64, module: &Module, inputs: &Inputs) -> u64 {
+    let mut hasher = FnvWriter(0xcbf2_9ce4_8422_2325);
+    let _ = write!(hasher, "{module:?}|{inputs:?}");
+    mix(seed, hasher.0)
+}
+
+/// SplitMix64-style avalanche of two words into one.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a accumulator usable as a `fmt::Write` sink, so fingerprinting
+/// never materialises the debug string.
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use trx_ir::{Fault, ModuleBuilder};
+
+    fn simple_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(7);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        b.finish()
+    }
+
+    fn modules(n: usize) -> Vec<Module> {
+        (0..n)
+            .map(|i| {
+                let mut b = ModuleBuilder::new();
+                let c = b.constant_int(i as i32);
+                let mut f = b.begin_entry_function("main");
+                f.store_output("out", c);
+                f.ret();
+                f.finish();
+                b.finish()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let target = catalog::target_by_name("SwiftShader").unwrap();
+        let faulty = FaultyTarget::new(target.clone(), FaultPlan::none(1));
+        let module = simple_module();
+        let inputs = Inputs::default();
+        assert_eq!(
+            TestTarget::execute(&faulty, &module, &inputs),
+            Target::execute(&target, &module, &inputs)
+        );
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_and_seed_sensitive() {
+        let plan_a = FaultPlan::chaos(1);
+        let plan_b = FaultPlan::chaos(2);
+        let keys: Vec<u64> = (0..2_000).map(|i| mix(7, i)).collect();
+        let first: Vec<FaultKind> = keys.iter().map(|&k| plan_a.fault_for(k)).collect();
+        let again: Vec<FaultKind> = keys.iter().map(|&k| plan_a.fault_for(k)).collect();
+        assert_eq!(first, again, "same plan, same decisions");
+        let other: Vec<FaultKind> = keys.iter().map(|&k| plan_b.fault_for(k)).collect();
+        assert_ne!(first, other, "different seeds disagree somewhere");
+        // The chaos plan actually injects something.
+        assert!(first.iter().any(|k| *k != FaultKind::None));
+        assert!(first.iter().filter(|k| **k == FaultKind::None).count() > keys.len() / 2);
+    }
+
+    #[test]
+    fn transient_crash_clears_after_ttl() {
+        let target = catalog::target_by_name("SwiftShader").unwrap();
+        let mut plan = FaultPlan::none(3);
+        plan.transient_crash_probability = 1.0;
+        plan.transient_ttl = 2;
+        let faulty = FaultyTarget::new(target.clone(), plan);
+        let module = simple_module();
+        let inputs = Inputs::default();
+        for _ in 0..2 {
+            assert!(matches!(
+                TestTarget::execute(&faulty, &module, &inputs),
+                TargetResult::CompilerCrash(ref s) if s.contains("spurious")
+            ));
+        }
+        assert_eq!(
+            TestTarget::execute(&faulty, &module, &inputs),
+            Target::execute(&target, &module, &inputs),
+            "the fault must clear after transient_ttl attempts"
+        );
+    }
+
+    #[test]
+    fn hang_surfaces_as_step_limit_fault() {
+        let target = catalog::target_by_name("SwiftShader").unwrap();
+        let mut plan = FaultPlan::none(4);
+        plan.hang_probability = 1.0;
+        let faulty = FaultyTarget::new(target, plan);
+        let module = simple_module();
+        assert_eq!(
+            TestTarget::execute(&faulty, &module, &Inputs::default()),
+            TargetResult::RuntimeFault(Fault::StepLimitExceeded)
+        );
+    }
+
+    #[test]
+    fn flip_flop_alternates_forever() {
+        let target = catalog::target_by_name("SwiftShader").unwrap();
+        let mut plan = FaultPlan::none(5);
+        plan.flip_flop_probability = 1.0;
+        let faulty = FaultyTarget::new(target.clone(), plan);
+        let module = simple_module();
+        let inputs = Inputs::default();
+        let clean = Target::execute(&target, &module, &inputs);
+        for round in 0..3 {
+            assert!(
+                matches!(
+                    TestTarget::execute(&faulty, &module, &inputs),
+                    TargetResult::CompilerCrash(ref s) if s.contains("flip-flop")
+                ),
+                "round {round}: even attempts crash"
+            );
+            assert_eq!(
+                TestTarget::execute(&faulty, &module, &inputs),
+                clean,
+                "round {round}: odd attempts behave"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_panic_fires_and_reset_replays_the_schedule() {
+        let target = catalog::target_by_name("SwiftShader").unwrap();
+        let mut plan = FaultPlan::none(6);
+        plan.panic_probability = 1.0;
+        let faulty = FaultyTarget::new(target, plan);
+        let module = simple_module();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TestTarget::execute(&faulty, &module, &Inputs::default())
+        }));
+        assert!(result.is_err(), "first attempt must panic");
+        // Second attempt is past the TTL and succeeds.
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TestTarget::execute(&faulty, &module, &Inputs::default())
+        }));
+        assert!(second.is_ok());
+        // After a reset, the schedule replays from the beginning.
+        faulty.reset_attempts();
+        let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TestTarget::execute(&faulty, &module, &Inputs::default())
+        }));
+        assert!(replay.is_err(), "reset must replay the injected panic");
+    }
+
+    #[test]
+    fn distinct_tests_get_independent_decisions() {
+        let plan = FaultPlan::chaos(8);
+        let inputs = Inputs::default();
+        let kinds: Vec<FaultKind> = modules(400)
+            .iter()
+            .map(|m| plan.fault_for(test_key(plan.seed, m, &inputs)))
+            .collect();
+        assert!(kinds.iter().any(|k| *k != FaultKind::None));
+        assert!(kinds.contains(&FaultKind::None));
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan::chaos(42);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

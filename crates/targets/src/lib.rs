@@ -38,11 +38,13 @@
 
 pub mod bugs;
 pub mod catalog;
+pub mod faulty;
 pub mod passes;
 mod target;
 pub mod triggers;
 
 pub use bugs::{BugEffect, BugId, InjectedBug, Miscompilation};
+pub use faulty::{FaultKind, FaultPlan, FaultyTarget};
 pub use passes::PassKind;
-pub use target::{CompileOutcome, Target, TargetResult};
+pub use target::{CompileOutcome, Target, TargetResult, TestTarget};
 pub use triggers::Trigger;

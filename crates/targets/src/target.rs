@@ -1,7 +1,7 @@
 //! A simulated compiler under test: an optimizer pipeline with injected
 //! bugs.
 
-use trx_ir::{interp, Execution, Fault, Inputs, Module};
+use trx_ir::{interp, interp::ExecConfig, Execution, Fault, Inputs, Module};
 
 use crate::bugs::{BugEffect, BugId, InjectedBug};
 use crate::passes::PassKind;
@@ -38,6 +38,65 @@ pub enum TargetResult {
     RuntimeFault(Fault),
 }
 
+/// Anything the harness can compile and run tests against: a plain
+/// [`Target`], or a wrapper such as [`crate::FaultyTarget`] that injects
+/// harness-level faults around one.
+///
+/// The campaign machinery is generic over this trait, so fault-injected and
+/// clean targets run through exactly the same code paths.
+pub trait TestTarget: Sync {
+    /// The target's display name.
+    fn name(&self) -> &str;
+
+    /// Compiles (optimizes) `module`, triggering any injected bugs.
+    fn compile(&self, module: &Module) -> CompileOutcome;
+
+    /// Compiles and runs `module` on `inputs` — the paper's `Impl(P, I)`.
+    fn execute(&self, module: &Module, inputs: &Inputs) -> TargetResult;
+
+    /// Runs a *reference* module for cross-checking. Defaults to
+    /// [`TestTarget::execute`]; wrappers that inject harness-level faults
+    /// keep this path clean, mirroring harnesses that compile each
+    /// reference once and cache the result. Reference runs shared between
+    /// concurrently-executing tests must stay deterministic, so injected
+    /// per-test fault state cannot apply here.
+    fn execute_reference(&self, module: &Module, inputs: &Inputs) -> TargetResult {
+        self.execute(module, inputs)
+    }
+}
+
+impl TestTarget for Target {
+    fn name(&self) -> &str {
+        Target::name(self)
+    }
+
+    fn compile(&self, module: &Module) -> CompileOutcome {
+        Target::compile(self, module)
+    }
+
+    fn execute(&self, module: &Module, inputs: &Inputs) -> TargetResult {
+        Target::execute(self, module, inputs)
+    }
+}
+
+impl<T: TestTarget + Sync> TestTarget for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn compile(&self, module: &Module) -> CompileOutcome {
+        (**self).compile(module)
+    }
+
+    fn execute(&self, module: &Module, inputs: &Inputs) -> TargetResult {
+        (**self).execute(module, inputs)
+    }
+
+    fn execute_reference(&self, module: &Module, inputs: &Inputs) -> TargetResult {
+        (**self).execute_reference(module, inputs)
+    }
+}
+
 /// A simulated compiler: name, descriptive metadata (Table 2), an optimizer
 /// pipeline and a set of injected bugs.
 #[derive(Debug, Clone)]
@@ -47,6 +106,7 @@ pub struct Target {
     gpu_type: String,
     pipeline: Vec<PassKind>,
     bugs: Vec<InjectedBug>,
+    exec_config: ExecConfig,
 }
 
 impl Target {
@@ -65,7 +125,23 @@ impl Target {
             gpu_type: gpu_type.to_owned(),
             pipeline,
             bugs,
+            exec_config: ExecConfig::default(),
         }
+    }
+
+    /// Returns the target with the interpreter budget replaced — the knob a
+    /// resilient executor (or a fault injector) uses to bound how long a
+    /// compiled test may run.
+    #[must_use]
+    pub fn with_exec_config(mut self, exec_config: ExecConfig) -> Self {
+        self.exec_config = exec_config;
+        self
+    }
+
+    /// The interpreter budget compiled code runs under.
+    #[must_use]
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_config
     }
 
     /// The target's name.
@@ -163,7 +239,7 @@ impl Target {
         match self.compile(module) {
             CompileOutcome::Crash { signature, .. } => TargetResult::CompilerCrash(signature),
             CompileOutcome::Success { module, .. } => {
-                match interp::execute(&module, inputs) {
+                match interp::execute_with_config(&module, inputs, self.exec_config) {
                     Ok(execution) => TargetResult::Executed(execution),
                     Err(fault) => TargetResult::RuntimeFault(fault),
                 }

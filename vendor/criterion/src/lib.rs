@@ -1,0 +1,94 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box` and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up briefly, then timed over a fixed wall-clock window and reported
+//! as mean ns/iter on stdout — enough to compare runs by hand, with no
+//! statistics machinery or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque value barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`]; runs and
+/// times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Criterion {
+    /// Runs `routine` under the name `id`, printing a mean time per
+    /// iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { total: Duration::ZERO, iterations: 0 };
+        routine(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{id:<45} (no iterations)");
+        } else {
+            let ns = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
+            println!("{id:<45} {ns:>14.1} ns/iter ({} iters)", bencher.iterations);
+        }
+        self
+    }
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating elapsed wall-clock over a fixed window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Brief warm-up, then measure for ~300ms or at least 10 iterations.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let window = Duration::from_millis(300);
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        while total < window || iterations < 10 {
+            let t0 = Instant::now();
+            black_box(routine());
+            total += t0.elapsed();
+            iterations += 1;
+            if started.elapsed() > Duration::from_secs(5) {
+                break; // Hard cap for very slow routines.
+            }
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, `prop_assert!` /
+//! `prop_assert_eq!`, integer-range strategies, `prop_flat_map` / `prop_map`,
+//! and `proptest::collection::vec`. Cases are sampled deterministically from
+//! a seed derived from the test's module path and name; there is no
+//! shrinking — a failing case reports its seed index instead.
+
+pub mod test_runner {
+    //! Deterministic test RNG and run configuration.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to sample per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic xoshiro256** generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds a generator whose stream depends only on `name`.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut sm = hash;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Samples uniformly from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing values of a type from a deterministic RNG.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps each sampled value through `f` into a new strategy and
+        /// samples from that.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Maps each sampled value through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $ty;
+                    }
+                    (start as i128 + rng.below(span as u64) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy yielding a fixed value every time.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a strategy producing vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Commonly imported names, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `fn name(pat in strategy, ...)`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; expands one test fn at a time.
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!("proptest case {case} failed: {message}");
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking mid-sample) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {left:?} != {right:?}",
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {:?} != {:?} — {}",
+                left,
+                right,
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..100, b in -3i32..=3) {
+            prop_assert!(a < 100);
+            prop_assert!((-3..=3).contains(&b), "b out of range: {}", b);
+        }
+
+        #[test]
+        fn flat_map_and_vec_compose(v in (1usize..=5).prop_flat_map(|n| {
+            crate::collection::vec(crate::collection::vec(0..n, 0..=2), n)
+        })) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() <= 5);
+            for inner in &v {
+                prop_assert!(inner.len() <= 2);
+                for &x in inner {
+                    prop_assert!(x < v.len());
+                }
+            }
+        }
+
+        #[test]
+        fn map_applies(n in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real crates.io `serde` is unavailable in hermetic builds, so this
+//! crate provides the same *surface* the workspace relies on — the
+//! [`Serialize`]/[`Deserialize`] traits plus `#[derive(Serialize,
+//! Deserialize)]` — over a simple self-describing [`Content`] tree. The
+//! `serde_json` stand-in renders that tree as JSON text.
+//!
+//! Supported shapes: primitives, `String`, tuples, `Vec`, `Option`, `Box`,
+//! ordered/hashed maps and sets, structs (named, tuple, unit) and enums
+//! (unit, newtype, tuple and struct variants) in serde's externally-tagged
+//! representation.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing serialized value: the data model both traits target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map with arbitrary keys (string keys render as JSON objects).
+    Map(Vec<(Content, Content)>),
+}
+
+/// An error produced during (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into its serialized content.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from serialized content.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Views `content` as a map, for struct deserialization.
+pub fn content_as_map<'a>(
+    content: &'a Content,
+    ty: &str,
+) -> Result<&'a [(Content, Content)], Error> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(Error(format!("{ty}: expected map, found {other:?}"))),
+    }
+}
+
+/// Views `content` as a sequence, for tuple deserialization.
+pub fn content_as_seq<'a>(content: &'a Content, ty: &str) -> Result<&'a [Content], Error> {
+    match content {
+        Content::Seq(items) => Ok(items),
+        other => Err(Error(format!("{ty}: expected sequence, found {other:?}"))),
+    }
+}
+
+/// Looks a named field up in a struct map and deserializes it.
+pub fn field<T: Deserialize>(
+    entries: &[(Content, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    for (key, value) in entries {
+        if matches!(key, Content::Str(k) if k == name) {
+            return T::from_content(value);
+        }
+    }
+    Err(Error(format!("{ty}: missing field `{name}`")))
+}
+
+/// Fetches element `index` of a tuple sequence and deserializes it.
+pub fn element<T: Deserialize>(items: &[Content], index: usize, ty: &str) -> Result<T, Error> {
+    let item = items
+        .get(index)
+        .ok_or_else(|| Error(format!("{ty}: missing tuple element {index}")))?;
+    T::from_content(item)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let raw = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error(format!("integer {v} out of range")))?,
+                    other => return Err(Error(format!("expected integer, found {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let raw = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| Error(format!("integer {v} out of range")))?,
+                    other => return Err(Error(format!("expected integer, found {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        u64::from_content(content).and_then(|v| {
+            usize::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+        })
+    }
+}
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        i64::from_content(content).and_then(|v| {
+            isize::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+        })
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(Error(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(Error(format!("expected float, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        // f32 -> f64 is exact, so the round trip is bit-preserving (NaN
+        // payloads are carried by the text codec as bare NaN tokens).
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(v) => Ok(v.clone()),
+            other => Err(Error(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let s = String::from_content(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content_as_seq(content, "Vec")?.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_content(content)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error(format!("expected {N} elements, found {}", v.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let items = content_as_seq(content, "tuple")?;
+                Ok(($(element::<$name>(items, $idx, "tuple")?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+fn serialize_map<'a>(
+    entries: impl Iterator<Item = (&'a (impl Serialize + 'a), &'a (impl Serialize + 'a))>,
+) -> Content {
+    Content::Map(entries.map(|(k, v)| (k.to_content(), v.to_content())).collect())
+}
+
+fn deserialize_map_entries(content: &Content) -> Result<Vec<(Content, Content)>, Error> {
+    match content {
+        Content::Map(entries) => Ok(entries.clone()),
+        // Maps with non-string keys round-trip through JSON as sequences of
+        // [key, value] pairs.
+        Content::Seq(items) => items
+            .iter()
+            .map(|item| match item {
+                Content::Seq(pair) if pair.len() == 2 => {
+                    Ok((pair[0].clone(), pair[1].clone()))
+                }
+                other => Err(Error(format!("expected [key, value] pair, found {other:?}"))),
+            })
+            .collect(),
+        other => Err(Error(format!("expected map, found {other:?}"))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        deserialize_map_entries(content)?
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: order by serialized key rendering.
+        let mut entries: Vec<(Content, Content)> =
+            self.iter().map(|(k, v)| (k.to_content(), v.to_content())).collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        Content::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: Default + std::hash::BuildHasher>
+    Deserialize for HashMap<K, V, S>
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        deserialize_map_entries(content)?
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content_as_seq(content, "BTreeSet")?.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Content::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: Default + std::hash::BuildHasher> Deserialize
+    for HashSet<T, S>
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content_as_seq(content, "HashSet")?.iter().map(T::from_content).collect()
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}

@@ -1,0 +1,426 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unavailable offline). Supports the shapes this
+//! workspace uses: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple or struct-like, in serde's externally-tagged
+//! layout. Newtype structs and variants serialize transparently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields, by count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Def {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    generate_serialize(&def).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    generate_deserialize(&def).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Def {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline stand-in");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Def::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Def::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parses `a: Ty, b: Ty, ...` (skipping attributes and visibility),
+/// returning the field names. Commas nested in groups or angle brackets do
+/// not terminate a field.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: angle brackets are not token groups, so track their
+        // depth explicitly.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the comma-separated types of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        // Trailing comma.
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments on variants).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip to the comma separating variants (covers discriminants).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(def: &Def) -> String {
+    match def {
+        Def::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Content::Null".to_owned(),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                                 ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Def::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{variant} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{variant}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let value = if *n == 1 {
+                            "::serde::Serialize::to_content(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{variant}({binds}) => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str(::std::string::String::from(\"{variant}\")), \
+                             {value})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Named(field_names) => {
+                        let entries: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                                     ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{variant} {{ {fields} }} => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str(::std::string::String::from(\"{variant}\")), \
+                             ::serde::Content::Map(vec![{entries}]))]),",
+                            fields = field_names.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(def: &Def) -> String {
+    match def {
+        Def::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = content; ::std::result::Result::Ok({name}) }}"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::element(items, {i}, \"{name}\")?"))
+                        .collect();
+                    format!(
+                        "{{ let items = ::serde::content_as_seq(content, \"{name}\")?; \
+                         ::std::result::Result::Ok({name}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\", \"{name}\")?"))
+                        .collect();
+                    format!(
+                        "{{ let entries = ::serde::content_as_map(content, \"{name}\")?; \
+                         ::std::result::Result::Ok({name} {{ {} }}) }}",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Def::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(variant, _)| {
+                    format!("\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(variant, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
+                         ::serde::Deserialize::from_content(value)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::element(items, {i}, \"{name}\")?"))
+                            .collect();
+                        Some(format!(
+                            "\"{variant}\" => {{ \
+                             let items = ::serde::content_as_seq(value, \"{name}\")?; \
+                             ::std::result::Result::Ok({name}::{variant}({})) }},",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(field_names) => {
+                        let inits: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::field(entries, \"{f}\", \"{name}\")?")
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{variant}\" => {{ \
+                             let entries = ::serde::content_as_map(value, \"{name}\")?; \
+                             ::std::result::Result::Ok({name}::{variant} {{ {} }}) }},",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(content: &::serde::Content) \
+                       -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match content {{\n\
+                       ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                       }},\n\
+                       ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, value) = &entries[0];\n\
+                         let ::serde::Content::Str(tag) = tag else {{\n\
+                           return ::std::result::Result::Err(::serde::Error::msg(\
+                               \"{name}: variant tag must be a string\"));\n\
+                         }};\n\
+                         match tag.as_str() {{\n\
+                           {tagged_arms}\n\
+                           other => ::std::result::Result::Err(::serde::Error::msg(\
+                               format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                       }},\n\
+                       other => ::std::result::Result::Err(::serde::Error::msg(\
+                           format!(\"{name}: unexpected content {{other:?}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
