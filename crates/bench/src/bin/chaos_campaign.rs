@@ -13,43 +13,13 @@
 //!
 //! Usage: `chaos_campaign [--tests N] [--seed S] [--plan-seed P] [--out FILE]`
 
-use serde::Serialize;
-
-use trx_bench::{arg_u64, arg_usize, render_table};
+use trx_bench::robustness::{RobustnessBaseline, ScenarioBaseline};
+use trx_bench::{arg_string, arg_u64, arg_usize, render_table};
 use trx_harness::campaign::Tool;
 use trx_harness::executor::{
     run_campaign_resilient, ExecutorConfig, FailureKind, ResilientOutcome,
 };
 use trx_targets::{catalog, FaultPlan, FaultyTarget};
-
-/// Metrics for one scenario of the robustness baseline.
-#[derive(Debug, Serialize)]
-struct ScenarioBaseline {
-    scenario: String,
-    plan: FaultPlan,
-    tests_survived: usize,
-    cells_flagging_bugs: usize,
-    cells_total: usize,
-    retries_spent: u64,
-    quarantines_triggered: usize,
-    skipped_by_quarantine: u64,
-    ledger_entries: usize,
-    panics_absorbed: usize,
-    hangs_absorbed: usize,
-    unstable_outcomes: usize,
-    distinct_signatures: usize,
-    bit_identical_reruns: bool,
-}
-
-/// The machine-readable baseline this binary writes.
-#[derive(Debug, Serialize)]
-struct RobustnessBaseline {
-    tool: String,
-    tests: usize,
-    targets: Vec<String>,
-    executor: ExecutorConfig,
-    scenarios: Vec<ScenarioBaseline>,
-}
 
 fn run_once(
     tests: usize,
@@ -151,14 +121,7 @@ fn main() {
     let tests = arg_usize("--tests", 120);
     let seed = arg_u64("--seed", 0);
     let plan_seed = arg_u64("--plan-seed", 1_000);
-    let out = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-            .unwrap_or_else(|| "BENCH_robustness.json".to_owned())
-    };
+    let out = arg_string("--out", "BENCH_robustness.json");
 
     let config = ExecutorConfig::default();
     let target_names: Vec<String> =
@@ -204,26 +167,21 @@ fn main() {
     rows.extend(scenario_rows(&persistent, tests));
     println!("{}", render_table(&["metric", "value"], &rows));
 
+    // Preserve chaos_pipeline's section if the file already carries one.
+    let pipeline = RobustnessBaseline::load(&out).and_then(|b| b.pipeline);
     let baseline = RobustnessBaseline {
         tool: Tool::SpirvFuzz.name().to_owned(),
         tests,
         targets: target_names,
         executor: config,
         scenarios: vec![chaos, persistent],
+        pipeline,
     };
-    match serde_json::to_string_pretty(&baseline) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&out, json + "\n") {
-                eprintln!("failed to write {out}: {e}");
-                std::process::exit(1);
-            }
-            eprintln!("wrote {out}");
-        }
-        Err(e) => {
-            eprintln!("failed to serialise baseline: {e}");
-            std::process::exit(1);
-        }
+    if let Err(e) = baseline.save(&out) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
     }
+    eprintln!("wrote {out}");
 
     let mut failed = false;
     for s in &baseline.scenarios {

@@ -1,0 +1,337 @@
+//! Chaos pipeline: the crash-recoverable triage pipeline (campaign →
+//! reduction → dedup) run against fault-injected targets, killed at
+//! injected points mid-run — including mid-reduction, between individual
+//! probe journal records — and resumed from its write-ahead log. The
+//! binary verifies that every resume produces a **bit-identical** final
+//! report and the exact journal suffix the killed run never wrote, then
+//! fills the `pipeline` section of `BENCH_robustness.json`.
+//!
+//! Kills are simulated by truncating the golden run's record stream at a
+//! chosen append index and handing the prefix to a fresh pipeline
+//! incarnation (fresh process state, fresh targets) — the same state a
+//! SIGKILL-ed process leaves on disk, without the scheduling
+//! nondeterminism of real signal delivery. One additional check goes
+//! through the filesystem: the journal file is cut mid-line (a torn
+//! trailing record, exactly the footprint of a crash during an append)
+//! and resumed via the file-backed runner.
+//!
+//! The fault plan uses *persistent* (attempt-independent) panics and
+//! hangs: deterministic at probe granularity, so resume equivalence is
+//! well-defined even when the kill lands inside a reduction. Probes run
+//! with the watchdog inline (`deadline_ms: 0`): the threaded watchdog is
+//! exercised by its own unit tests, and a wall-clock deadline firing
+//! under CI load would make the equivalence check flaky by design.
+//!
+//! Usage: `chaos_pipeline [--tests N] [--seed S] [--plan-seed P]
+//! [--out FILE] [--kill-points K]`
+//!
+//! A second mode drives real process-death testing from CI: `chaos_pipeline
+//! --wal FILE --report FILE [--kill-after N]` runs the pipeline once with
+//! its journal at `FILE`, aborting the whole process after the `N`-th
+//! journal append (an injected fault point). Re-running the same command
+//! without `--kill-after` resumes from the journal and writes the final
+//! report; a resumed report must be byte-identical to one from an
+//! uninterrupted run.
+
+use std::sync::Arc;
+
+use trx_bench::robustness::{PipelineBaseline, RobustnessBaseline};
+use trx_bench::{arg_string, arg_u64, arg_usize, render_table};
+use trx_harness::campaign::Tool;
+use trx_harness::executor::ExecutorConfig;
+use trx_harness::pipeline::{
+    run_pipeline, run_pipeline_on_file, Journal, PipelineConfig, WalRecord,
+};
+use trx_harness::watchdog::WatchdogConfig;
+use trx_targets::{catalog, FaultPlan, FaultyTarget};
+
+/// Fresh fault-injected targets: per-target derived plan seeds, empty
+/// attempt counters — the state a restarted process would hold.
+fn make_targets(plan: &FaultPlan) -> Arc<Vec<FaultyTarget>> {
+    Arc::new(
+        catalog::all_targets()
+            .into_iter()
+            .enumerate()
+            .map(|(t, target)| {
+                let plan =
+                    FaultPlan { seed: plan.seed.wrapping_add(t as u64), ..plan.clone() };
+                FaultyTarget::new(target, plan)
+            })
+            .collect(),
+    )
+}
+
+/// The `--wal` mode: one file-backed pipeline incarnation, optionally
+/// aborted after the `kill_after`-th journal append. Exits the process.
+fn run_once(
+    config: &PipelineConfig,
+    plan: &FaultPlan,
+    wal: &str,
+    report_path: &str,
+    kill_after: usize,
+) -> ! {
+    use std::io::Write;
+
+    let fail = |message: String| -> ! {
+        eprintln!("FAIL: {message}");
+        std::process::exit(1);
+    };
+    let text = match std::fs::read_to_string(wal) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => fail(format!("cannot read {wal}: {e}")),
+    };
+    // Parse tolerantly (a previous kill may have torn the final line) and
+    // rewrite the journal clean before appending.
+    let journal = match Journal::parse(&text) {
+        Ok(journal) => journal,
+        Err(e) => fail(format!("cannot parse {wal}: {e}")),
+    };
+    let mut clean = String::new();
+    for record in &journal.records {
+        match Journal::encode_line(record) {
+            Ok(line) => {
+                clean.push_str(&line);
+                clean.push('\n');
+            }
+            Err(e) => fail(format!("record does not re-serialise: {e}")),
+        }
+    }
+    if std::fs::write(wal, &clean).is_err() {
+        fail(format!("cannot rewrite {wal}"));
+    }
+    let mut file = match std::fs::OpenOptions::new().append(true).open(wal) {
+        Ok(file) => file,
+        Err(e) => fail(format!("cannot append to {wal}: {e}")),
+    };
+    let mut appended = 0usize;
+    let report = run_pipeline(config, &make_targets(plan), &journal, |record| {
+        if let Ok(line) = Journal::encode_line(record) {
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+        }
+        appended += 1;
+        if kill_after > 0 && appended == kill_after {
+            // The injected fault point: die like a crashed process, not a
+            // clean shutdown — no destructors, no final report.
+            eprintln!("aborting after journal append {appended}");
+            std::process::abort();
+        }
+    });
+    match report {
+        Ok(report) => match report.to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(report_path, json + "\n") {
+                    fail(format!("cannot write {report_path}: {e}"));
+                }
+                eprintln!("wrote {report_path} ({appended} records appended to {wal})");
+                std::process::exit(0);
+            }
+            Err(e) => fail(format!("report does not serialise: {e}")),
+        },
+        Err(e) => fail(format!("pipeline errored: {e}")),
+    }
+}
+
+fn main() {
+    let tests = arg_usize("--tests", 24);
+    let seed = arg_u64("--seed", 0);
+    let plan_seed = arg_u64("--plan-seed", 500);
+    let kill_points = arg_usize("--kill-points", 16).max(1);
+    let out = arg_string("--out", "BENCH_robustness.json");
+
+    // Persistent faults: probabilities fire per test key, never decaying
+    // with attempts, so probe outcomes are a pure function of the module.
+    let plan = FaultPlan {
+        seed: plan_seed,
+        panic_probability: 0.10,
+        hang_probability: 0.05,
+        transient_crash_probability: 0.0,
+        flip_flop_probability: 0.0,
+        transient_ttl: 1_000_000,
+    };
+    let config = PipelineConfig {
+        tool: Tool::SpirvFuzz,
+        tests,
+        seed_base: seed,
+        executor: ExecutorConfig::default(),
+        reducer: trx_reducer::ReducerOptions::default(),
+        watchdog: WatchdogConfig { deadline_ms: 0 },
+    };
+
+    let wal = arg_string("--wal", "");
+    if !wal.is_empty() {
+        std::panic::set_hook(Box::new(|_| {}));
+        let report_path = arg_string("--report", "chaos_pipeline_report.json");
+        let kill_after = arg_usize("--kill-after", 0);
+        run_once(&config, &plan, &wal, &report_path, kill_after);
+    }
+
+    // Injected panics are expected by the hundred; silence the default
+    // hook's backtrace spam (every payload is journaled anyway).
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Golden uninterrupted run.
+    eprintln!("golden run: {tests} tests x {} targets ...", catalog::all_targets().len());
+    let mut records: Vec<WalRecord> = Vec::new();
+    let golden = match run_pipeline(&config, &make_targets(&plan), &Journal::new(), |r| {
+        records.push(r.clone());
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("FAIL: golden pipeline run errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let golden_json = match golden.to_json() {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("FAIL: report does not serialise: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Kill points: a fresh start, a finished journal, and up to
+    // `kill_points` cuts spread across the record stream — which lands
+    // most of them between probe records, i.e. mid-reduction.
+    let mut cuts: Vec<usize> = vec![0, records.len()];
+    let stride = (records.len() / kill_points).max(1);
+    cuts.extend((stride..records.len()).step_by(stride));
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut resume_bit_identical = true;
+    for &k in &cuts {
+        let prefix = Journal { records: records[..k].to_vec() };
+        let mut emitted = Vec::new();
+        let resumed = match run_pipeline(&config, &make_targets(&plan), &prefix, |r| {
+            emitted.push(r.clone());
+        }) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("FAIL: resume after record {k} errored: {e}");
+                resume_bit_identical = false;
+                continue;
+            }
+        };
+        if resumed.to_json().ok().as_deref() != Some(golden_json.as_str()) {
+            eprintln!("FAIL: report diverged resuming after record {k}");
+            resume_bit_identical = false;
+        }
+        if emitted != records[k..] {
+            eprintln!("FAIL: journal suffix diverged resuming after record {k}");
+            resume_bit_identical = false;
+        }
+    }
+
+    // Torn-tail recovery through the filesystem: cut the journal file
+    // mid-line and resume with the file-backed runner.
+    let wal_path = std::env::temp_dir()
+        .join(format!("trx-chaos-pipeline-{}.jsonl", std::process::id()));
+    let mut torn = String::new();
+    for record in &records[..records.len() / 2] {
+        match Journal::encode_line(record) {
+            Ok(line) => {
+                torn.push_str(&line);
+                torn.push('\n');
+            }
+            Err(e) => {
+                eprintln!("FAIL: record does not serialise: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    torn.push_str("{\"Probe\":{\"bug\":0,\"rec");
+    let torn_tail_recovered = std::fs::write(&wal_path, &torn).is_ok()
+        && match run_pipeline_on_file(&config, &make_targets(&plan), &wal_path) {
+            Ok(resumed) => resumed.to_json().ok().as_deref() == Some(golden_json.as_str()),
+            Err(e) => {
+                eprintln!("FAIL: file-backed resume errored: {e}");
+                false
+            }
+        };
+    let _ = std::fs::remove_file(&wal_path);
+    let _ = std::panic::take_hook();
+
+    let probe_records = records
+        .iter()
+        .filter(|r| matches!(r, WalRecord::Probe { .. }))
+        .count();
+    let probe_faults: usize = golden.bugs.iter().map(|b| b.stats.probe_faults).sum();
+    let poisoned_queries: usize =
+        golden.bugs.iter().map(|b| b.stats.poisoned_queries).sum();
+
+    let section = PipelineBaseline {
+        tests,
+        seed,
+        plan,
+        bugs_triaged: golden.bugs.len(),
+        kept_after_dedup: golden.kept.len(),
+        wal_records: records.len(),
+        probe_records,
+        probe_faults,
+        poisoned_queries,
+        kill_points_checked: cuts.len(),
+        resume_bit_identical,
+        torn_tail_recovered,
+    };
+
+    let rows = vec![
+        vec!["bugs triaged".to_owned(), section.bugs_triaged.to_string()],
+        vec!["kept after dedup".to_owned(), section.kept_after_dedup.to_string()],
+        vec!["WAL records".to_owned(), section.wal_records.to_string()],
+        vec!["  probe records".to_owned(), section.probe_records.to_string()],
+        vec!["probe faults absorbed".to_owned(), section.probe_faults.to_string()],
+        vec!["poisoned queries".to_owned(), section.poisoned_queries.to_string()],
+        vec!["kill points checked".to_owned(), section.kill_points_checked.to_string()],
+        vec![
+            "resume bit-identical".to_owned(),
+            section.resume_bit_identical.to_string(),
+        ],
+        vec![
+            "torn tail recovered".to_owned(),
+            section.torn_tail_recovered.to_string(),
+        ],
+    ];
+    println!("{}", render_table(&["metric", "value"], &rows));
+
+    // Fill the pipeline section, preserving chaos_campaign's scenarios.
+    let mut baseline = RobustnessBaseline::load(&out).unwrap_or_else(|| {
+        eprintln!("note: {out} missing or unparseable; writing a skeleton (run chaos_campaign to fill the scenarios)");
+        RobustnessBaseline {
+            tool: Tool::SpirvFuzz.name().to_owned(),
+            tests: 0,
+            targets: catalog::all_targets().iter().map(|t| t.name().to_owned()).collect(),
+            executor: ExecutorConfig::default(),
+            scenarios: Vec::new(),
+            pipeline: None,
+        }
+    });
+    baseline.pipeline = Some(section.clone());
+    if let Err(e) = baseline.save(&out) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+
+    let mut failed = false;
+    if !section.resume_bit_identical {
+        eprintln!("FAIL: a resumed pipeline diverged from the uninterrupted run");
+        failed = true;
+    }
+    if !section.torn_tail_recovered {
+        eprintln!("FAIL: file-backed resume did not recover from a torn tail");
+        failed = true;
+    }
+    if section.bugs_triaged == 0 {
+        eprintln!("FAIL: the campaign surfaced no bugs to triage");
+        failed = true;
+    }
+    if section.probe_faults == 0 {
+        eprintln!("FAIL: the fault plan injected nothing into the reduction stage");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod robustness;
+
 /// Renders rows as a fixed-width text table with a header rule.
 #[must_use]
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -66,6 +68,18 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Reads `--flag value` style options, returning the value for `name` as a
+/// string, or `default`.
+#[must_use]
+pub fn arg_string(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_owned())
 }
 
 #[cfg(test)]

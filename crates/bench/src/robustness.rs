@@ -1,0 +1,115 @@
+//! The shared schema of `BENCH_robustness.json`.
+//!
+//! Two binaries cooperate on one baseline file: `chaos_campaign` writes the
+//! campaign-level scenarios and `chaos_pipeline` fills the `pipeline`
+//! section with the kill-and-resume equivalence results. Each binary
+//! preserves the other's section by loading the existing file before
+//! rewriting it, so the schema lives here instead of being duplicated (and
+//! drifting) in both.
+
+use serde::{Deserialize, Serialize};
+
+use trx_harness::executor::ExecutorConfig;
+use trx_targets::FaultPlan;
+
+/// Metrics for one campaign-level scenario of the robustness baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioBaseline {
+    /// Scenario name (`chaos`, `persistent-hangs`).
+    pub scenario: String,
+    /// The fault plan driving the injection.
+    pub plan: FaultPlan,
+    /// Tests that completed (always the full count — the executor degrades
+    /// to partial cells, never loses tests).
+    pub tests_survived: usize,
+    /// `(test, target)` cells that flagged a bug signature.
+    pub cells_flagging_bugs: usize,
+    /// Total `(test, target)` cells.
+    pub cells_total: usize,
+    /// Retries the executor spent.
+    pub retries_spent: u64,
+    /// Targets quarantined by the circuit breaker.
+    pub quarantines_triggered: usize,
+    /// Cells skipped because their target was quarantined.
+    pub skipped_by_quarantine: u64,
+    /// Incidents recorded in the error ledger.
+    pub ledger_entries: usize,
+    /// Ledger entries of kind `Panic`.
+    pub panics_absorbed: usize,
+    /// Ledger entries of kind `Hang`.
+    pub hangs_absorbed: usize,
+    /// Ledger entries of kind `UnstableOutcome`.
+    pub unstable_outcomes: usize,
+    /// Distinct bug signatures summed over targets.
+    pub distinct_signatures: usize,
+    /// Whether two same-seed runs produced identical outcomes and ledgers.
+    pub bit_identical_reruns: bool,
+}
+
+/// Metrics for the crash-recoverable triage pipeline (`chaos_pipeline`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineBaseline {
+    /// Campaign tests the pipeline ran.
+    pub tests: usize,
+    /// First campaign seed.
+    pub seed: u64,
+    /// The fault plan injected into every target.
+    pub plan: FaultPlan,
+    /// Bugs the pipeline reduced (one per distinct signature per target).
+    pub bugs_triaged: usize,
+    /// Tests the dedup verdict kept.
+    pub kept_after_dedup: usize,
+    /// Total write-ahead-log records of the golden run.
+    pub wal_records: usize,
+    /// WAL records that journal a single probe invocation.
+    pub probe_records: usize,
+    /// Probe faults absorbed across all reductions.
+    pub probe_faults: usize,
+    /// Interestingness queries quarantined as poison tests.
+    pub poisoned_queries: usize,
+    /// Journal positions at which the pipeline was killed and resumed.
+    pub kill_points_checked: usize,
+    /// Whether every kill-and-resume produced a bit-identical report and
+    /// journal suffix.
+    pub resume_bit_identical: bool,
+    /// Whether the file-backed resume recovered from a torn trailing line.
+    pub torn_tail_recovered: bool,
+}
+
+/// The machine-readable robustness baseline (`BENCH_robustness.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessBaseline {
+    /// Tool under campaign.
+    pub tool: String,
+    /// Tests per campaign scenario.
+    pub tests: usize,
+    /// Target names in campaign order.
+    pub targets: Vec<String>,
+    /// Executor configuration the scenarios ran under.
+    pub executor: ExecutorConfig,
+    /// Campaign-level scenarios (written by `chaos_campaign`).
+    pub scenarios: Vec<ScenarioBaseline>,
+    /// Triage-pipeline results (written by `chaos_pipeline`; `null` until
+    /// that binary has run).
+    pub pipeline: Option<PipelineBaseline>,
+}
+
+impl RobustnessBaseline {
+    /// Loads the baseline from `path`, returning `None` when the file is
+    /// missing or does not parse (e.g. a pre-`pipeline` schema).
+    #[must_use]
+    pub fn load(path: &str) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Writes the baseline to `path` as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's or filesystem's error message.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| e.to_string())
+    }
+}

@@ -29,6 +29,7 @@
 
 use std::collections::BTreeSet;
 
+use serde::{Deserialize, Serialize};
 use trx_core::{Transformation, TransformationKind};
 
 /// The set of transformation types characterising a reduced test, with
@@ -90,6 +91,71 @@ pub fn deduplicate(sequences: &[Vec<Transformation>]) -> Vec<usize> {
         .map(|s| interesting_types(s))
         .collect();
     deduplicate_sets(&sets)
+}
+
+/// Incremental deduplication over a growing corpus of reduced tests.
+///
+/// A recoverable triage pipeline completes reductions one at a time — and,
+/// after a crash, replays the completed ones from its journal before
+/// producing new ones. This accumulator absorbs type sets in arrival order
+/// and recommends with the Figure 6 greedy at any point, with two guarantees:
+///
+/// * **Order determinism** — observing the same sets in the same order
+///   always yields the same recommendation (ties break by arrival index).
+/// * **Resume equivalence** — a state serialised mid-corpus, deserialised,
+///   and fed the remaining sets recommends exactly what an uninterrupted
+///   accumulator would.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncrementalDedup {
+    sets: Vec<BTreeSet<TransformationKind>>,
+}
+
+impl IncrementalDedup {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        IncrementalDedup::default()
+    }
+
+    /// Absorbs one reduced test's (already filtered) type set, returning the
+    /// index it will be reported under.
+    pub fn observe(&mut self, types: BTreeSet<TransformationKind>) -> usize {
+        self.sets.push(types);
+        self.sets.len() - 1
+    }
+
+    /// Absorbs a reduced transformation sequence, filtering supporting types
+    /// as [`interesting_types`] does.
+    pub fn observe_sequence(&mut self, sequence: &[Transformation]) -> usize {
+        self.observe(interesting_types(sequence))
+    }
+
+    /// Number of tests observed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no tests have been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The observed type sets, in arrival order.
+    #[must_use]
+    pub fn sets(&self) -> &[BTreeSet<TransformationKind>] {
+        &self.sets
+    }
+
+    /// Runs the Figure 6 greedy over everything observed so far. The corpus
+    /// is retained in full, so this may be called repeatedly as the corpus
+    /// grows; each call is `O(n²)` in observed tests, which is negligible at
+    /// triage scale (bug counts, not test counts).
+    #[must_use]
+    pub fn recommend(&self) -> Vec<usize> {
+        deduplicate_sets(&self.sets)
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +263,82 @@ mod tests {
         let sets = vec![set(&[K::CopyObject]), set(&[K::AddLoad])];
         // Both singletons are disjoint; both get picked, lowest index first.
         assert_eq!(deduplicate_sets(&sets), vec![0, 1]);
+    }
+
+    #[test]
+    fn all_empty_sets_yield_empty_output() {
+        let sets = vec![BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+        assert!(deduplicate_sets(&sets).is_empty());
+    }
+
+    #[test]
+    fn all_pairwise_overlapping_picks_exactly_first_at_min_cardinality() {
+        // Every pair shares a type, so the greedy keeps exactly one test —
+        // and the tie at cardinality 2 must break to the lowest index.
+        let sets = vec![
+            set(&[K::AddDeadBlock, K::CopyObject]),
+            set(&[K::CopyObject, K::AddLoad]),
+            set(&[K::AddLoad, K::AddDeadBlock]),
+        ];
+        assert_eq!(deduplicate_sets(&sets), vec![0]);
+
+        // Rotating the corpus moves the winner with it: the choice is a
+        // function of position, not of set contents hashed some other way.
+        let rotated = vec![sets[1].clone(), sets[2].clone(), sets[0].clone()];
+        assert_eq!(deduplicate_sets(&rotated), vec![0]);
+    }
+
+    #[test]
+    fn overlap_chain_keeps_non_adjacent_tests() {
+        // a–b overlap, b–c overlap, a–c disjoint: picking a kills b only.
+        let sets = vec![
+            set(&[K::AddDeadBlock, K::CopyObject]),
+            set(&[K::CopyObject, K::AddLoad]),
+            set(&[K::AddLoad, K::AddStore]),
+        ];
+        assert_eq!(deduplicate_sets(&sets), vec![0, 2]);
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let sets = vec![
+            set(&[K::AddDeadBlock, K::MoveBlockDown]),
+            set(&[K::AddDeadBlock]),
+            BTreeSet::new(),
+            set(&[K::CopyObject]),
+            set(&[K::MoveBlockDown, K::CopyObject]),
+        ];
+        let mut inc = IncrementalDedup::new();
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(inc.observe(s.clone()), i);
+        }
+        assert_eq!(inc.recommend(), deduplicate_sets(&sets));
+        assert_eq!(inc.len(), sets.len());
+    }
+
+    #[test]
+    fn incremental_survives_serde_round_trip_mid_corpus() {
+        let sets = [
+            set(&[K::AddDeadBlock, K::MoveBlockDown]),
+            set(&[K::AddDeadBlock]),
+            set(&[K::CopyObject]),
+            set(&[K::FunctionCall, K::InlineFunction]),
+        ];
+        let mut uninterrupted = IncrementalDedup::new();
+        let mut before_crash = IncrementalDedup::new();
+        for s in &sets[..2] {
+            uninterrupted.observe(s.clone());
+            before_crash.observe(s.clone());
+        }
+        // Crash: state goes through serde, as the pipeline journal does.
+        let json = serde_json::to_string(&before_crash).expect("serialise");
+        let mut resumed: IncrementalDedup =
+            serde_json::from_str(&json).expect("deserialise");
+        for s in &sets[2..] {
+            uninterrupted.observe(s.clone());
+            resumed.observe(s.clone());
+        }
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(resumed.recommend(), uninterrupted.recommend());
     }
 }

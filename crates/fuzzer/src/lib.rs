@@ -144,13 +144,19 @@ impl Fuzzer {
             }
             // Pop from the recommendation queue or pick at random, with
             // uniform probability (§3.2).
-            let pass = if self.options.recommendations
+            let recommended = self.options.recommendations
                 && !queue.is_empty()
-                && rng.gen_bool(0.5)
-            {
-                queue.pop_front().expect("checked non-empty")
+                && rng.gen_bool(0.5);
+            let drawn = if recommended {
+                queue.pop_front()
             } else {
-                *PassId::ALL.as_slice().choose(&mut rng).expect("non-empty")
+                PassId::ALL.as_slice().choose(&mut rng).copied()
+            };
+            let Some(pass) = drawn else {
+                // Unreachable (the queue was checked non-empty and
+                // PassId::ALL is a non-empty const), but degrade to ending
+                // the run rather than aborting a fuzzing campaign.
+                break;
             };
             passes_run.push(pass);
             {

@@ -1242,7 +1242,11 @@ fn function_controls(pc: &mut PassContext<'_>) {
         if !pc.chance(0.3) {
             continue;
         }
-        let control = *FunctionControl::ALL.as_slice().choose(pc.rng).expect("non-empty");
+        // FunctionControl::ALL is a non-empty const; skip defensively rather
+        // than panicking mid-campaign if that ever changes.
+        let Some(&control) = FunctionControl::ALL.as_slice().choose(pc.rng) else {
+            continue;
+        };
         pc.try_apply(SetFunctionControl { function, control });
     }
 }

@@ -29,6 +29,21 @@ pub enum HarnessError {
         /// Which field disagreed.
         reason: String,
     },
+    /// A write-ahead-log record (other than a torn final line) failed to
+    /// parse — the journal is corrupt, not merely truncated.
+    WalCorrupt {
+        /// 1-based line number of the unparseable record.
+        line: usize,
+        /// The parser's message.
+        reason: String,
+    },
+    /// A write-ahead log does not describe the pipeline being resumed.
+    WalMismatch {
+        /// Which field disagreed.
+        reason: String,
+    },
+    /// Reading or writing a journal file failed.
+    Io(String),
     /// Serialising or parsing a checkpoint or report failed.
     Serialization(String),
 }
@@ -44,6 +59,15 @@ impl fmt::Display for HarnessError {
             }
             HarnessError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint does not match this campaign: {reason}")
+            }
+            HarnessError::WalCorrupt { line, reason } => {
+                write!(f, "journal line {line} is corrupt: {reason}")
+            }
+            HarnessError::WalMismatch { reason } => {
+                write!(f, "journal does not match this pipeline: {reason}")
+            }
+            HarnessError::Io(message) => {
+                write!(f, "journal I/O failed: {message}")
             }
             HarnessError::Serialization(message) => {
                 write!(f, "serialization failed: {message}")

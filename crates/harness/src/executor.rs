@@ -287,7 +287,7 @@ pub struct ResilientOutcome {
 }
 
 /// How one attempt at a `(test, target)` cell ended.
-enum Attempt {
+pub(crate) enum Attempt {
     /// The oracle resolved (possibly to "no bug").
     Signature(Option<BugSignature>),
     /// The fuel budget ran out — a suspected hang.
@@ -298,7 +298,7 @@ enum Attempt {
 
 /// `classify`, but separating suspected hangs from bug signatures and
 /// catching panics. See the module docs for the hang-vs-bug tradeoff.
-fn attempt_classify<T: TestTarget + ?Sized>(
+pub(crate) fn attempt_classify<T: TestTarget + ?Sized>(
     tool: Tool,
     target: &T,
     original: &Context,

@@ -27,10 +27,12 @@ pub mod corpus;
 pub mod errors;
 pub mod executor;
 pub mod experiments;
+pub mod pipeline;
 pub mod regression;
 pub mod report;
 pub mod stats;
 pub mod venn;
+pub mod watchdog;
 
 pub use campaign::{BugSignature, Tool};
 pub use errors::HarnessError;
@@ -39,3 +41,8 @@ pub use executor::{
     ResilientOutcome,
 };
 pub use experiments::ExperimentConfig;
+pub use pipeline::{
+    Journal, PipelineConfig, PipelineReport, TriagedBug, WalRecord,
+    run_pipeline, run_pipeline_on_file,
+};
+pub use watchdog::{supervise, WatchdogConfig, WatchdogOutcome};

@@ -1,0 +1,842 @@
+//! A crash-recoverable triage pipeline: campaign → per-bug reduction →
+//! deduplication, with a write-ahead log.
+//!
+//! The paper's workflow (§3.2–§3.5) strings three long-running stages
+//! together: run a fuzzing campaign, reduce each bug-triggering test's
+//! transformation sequence, and deduplicate the reduced tests by their
+//! transformation-type sets. A multi-day run that dies in stage two loses
+//! everything. This module makes the whole pipeline a journaled
+//! computation: every unit of forward progress is appended to a
+//! write-ahead log *before* the pipeline acts on it, and a restarted
+//! process replays the journal to resume exactly where the previous
+//! process died.
+//!
+//! # WAL format
+//!
+//! The journal is a sequence of [`WalRecord`]s, serialised one JSON object
+//! per line (externally-tagged enum layout). The first record is always
+//! [`WalRecord::Start`], binding the journal to a `(tool, tests,
+//! seed_base)` triple; resuming with a mismatched configuration is a typed
+//! error, not silent corruption. The records that follow mirror the
+//! pipeline's progress at three granularities:
+//!
+//! * [`WalRecord::Campaign`] — a full campaign checkpoint after every
+//!   batch (delegating to [`crate::executor::resume_campaign`]);
+//! * [`WalRecord::Probe`] — one record per interestingness-probe
+//!   *invocation* during reduction. This is the finest granularity in the
+//!   journal, and deliberately so: the reduction search is a pure function
+//!   of its probe-outcome stream, so replaying a probe prefix resumes a
+//!   reduction mid-query and bit-identically, even under flaky oracles
+//!   (see [`trx_reducer::Reducer::reduce_journaled`]);
+//! * [`WalRecord::ReductionDone`] / [`WalRecord::DedupObserved`] /
+//!   [`WalRecord::Verdict`] — completed reductions and dedup decisions.
+//!
+//! [`Journal::parse`] tolerates a torn final line — exactly what a crash
+//! mid-append leaves behind — and rejects corruption anywhere else.
+//!
+//! # Resume semantics
+//!
+//! [`run_pipeline`] takes the parsed journal of the previous incarnation
+//! (empty on a fresh start) and a sink receiving every *new* record. The
+//! journal prefix is replayed without re-executing any work: the campaign
+//! restarts from its last checkpoint, completed reductions are taken from
+//! their `ReductionDone` summaries, the in-flight reduction resumes from
+//! its probe records, and the dedup state is rebuilt incrementally from
+//! the recovered summaries. The record stream a resumed run emits is
+//! exactly the suffix the killed run never wrote, so kill → resume →
+//! kill → resume chains compose.
+//!
+//! For deterministic targets (every catalog target, and fault-injected
+//! wrappers whose faults do not depend on per-test attempt counters) the
+//! resumed run's final report is bit-identical to an uninterrupted run's —
+//! the property `chaos_pipeline` checks by killing the pipeline at every
+//! journal record.
+//!
+//! # Budget layering
+//!
+//! Three nested budgets guard each reduction probe, cheapest-first:
+//!
+//! 1. the interpreter's own [`trx_ir::interp::ExecConfig`] step / memory /
+//!    value budgets — deterministic, per-execution;
+//! 2. the executor's retry discipline for suspected hangs and panics
+//!    (campaign stage) and the reducer's poison-test quarantine
+//!    (reduction stage): a probe that faults `poison_retries` times in one
+//!    query resolves the query "not interesting" instead of wedging;
+//! 3. the wall-clock watchdog ([`crate::watchdog::supervise`]) as the
+//!    last-resort backstop over everything the step budget cannot see.
+//!
+//! Watchdog timeouts surface as probe faults, so they are journaled like
+//! any other probe outcome and flow into the same quarantine accounting.
+//!
+//! The reduction stage journals transformation sequences, so it reduces
+//! spirv-fuzz-style tests; `glsl-fuzz` tests carry empty sequences and
+//! pass through with trivial reductions.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use trx_core::{Context, TransformationKind};
+use trx_dedup::IncrementalDedup;
+use trx_reducer::{ProbeFault, ProbeRecord, Reducer, ReducerOptions, ReductionLog, ReductionStats};
+use trx_targets::TestTarget;
+
+use crate::campaign::{module_for_target, try_generate_test, BugSignature, Tool};
+use crate::corpus::donor_modules;
+use crate::errors::HarnessError;
+use crate::executor::{
+    attempt_classify, resume_campaign, Attempt, CampaignCheckpoint, ExecutorConfig,
+    ResilientOutcome,
+};
+use crate::watchdog::{supervise, WatchdogConfig, WatchdogOutcome};
+
+/// Everything that defines one triage pipeline run. Two runs with equal
+/// configurations (and deterministic targets) produce identical journals
+/// and reports.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// The tool whose tests the campaign generates.
+    pub tool: Tool,
+    /// Number of campaign tests.
+    pub tests: usize,
+    /// First seed of the campaign.
+    pub seed_base: u64,
+    /// Resilient-executor knobs for the campaign stage.
+    pub executor: ExecutorConfig,
+    /// Reducer knobs (including the poison-test quarantine threshold).
+    pub reducer: ReducerOptions,
+    /// Wall-clock watchdog for each reduction probe.
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            tool: Tool::SpirvFuzz,
+            tests: 16,
+            seed_base: 0,
+            executor: ExecutorConfig::default(),
+            reducer: ReducerOptions::default(),
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// The journaled summary of one completed reduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriagedBug {
+    /// Target the bug was observed on.
+    pub target: String,
+    /// Campaign test index that first triggered the signature.
+    pub test_index: usize,
+    /// Seed of that test.
+    pub seed: u64,
+    /// The bug signature.
+    pub signature: BugSignature,
+    /// Length of the reduced transformation sequence.
+    pub reduced_length: usize,
+    /// RQ2 reduction quality: instruction-count delta between the variant
+    /// as compiled for the target and its reduced form.
+    pub delta_instructions: usize,
+    /// Interesting transformation kinds of the reduced sequence — the
+    /// dedup key (§3.5).
+    pub kinds: BTreeSet<TransformationKind>,
+    /// Reduction counters, including probe faults and poisoned queries.
+    pub stats: ReductionStats,
+}
+
+/// One journal entry. See the module docs for the format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Header: binds the journal to a pipeline configuration.
+    Start {
+        /// Display name of the tool.
+        tool: String,
+        /// Campaign test count.
+        tests: usize,
+        /// First campaign seed.
+        seed_base: u64,
+    },
+    /// Campaign progress after one batch.
+    Campaign(CampaignCheckpoint),
+    /// One interestingness-probe invocation during reduction of bug
+    /// `bug`; records for one bug appear in invocation order.
+    Probe {
+        /// Index into the pipeline's deterministic bug list.
+        bug: usize,
+        /// The probe's outcome.
+        record: ProbeRecord,
+    },
+    /// Reduction of bug `bug` completed with this summary.
+    ReductionDone {
+        /// Index into the pipeline's deterministic bug list.
+        bug: usize,
+        /// The completed reduction.
+        summary: TriagedBug,
+    },
+    /// Bug `bug` was folded into the incremental dedup state as arrival
+    /// `arrival`.
+    DedupObserved {
+        /// Index into the pipeline's deterministic bug list.
+        bug: usize,
+        /// Arrival index assigned by [`IncrementalDedup::observe`].
+        arrival: usize,
+    },
+    /// The final dedup recommendation: indices of the bugs to keep.
+    Verdict {
+        /// Kept bug indices, ascending.
+        kept: Vec<usize>,
+    },
+}
+
+/// A parsed write-ahead log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    /// The records, in append order.
+    pub records: Vec<WalRecord>,
+}
+
+impl Journal {
+    /// An empty journal — a fresh start.
+    #[must_use]
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Parses a JSON-lines journal. A torn *final* line (the footprint of
+    /// a crash mid-append) is dropped; an unparseable record anywhere else
+    /// is [`HarnessError::WalCorrupt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::WalCorrupt`] for malformed non-final
+    /// records.
+    pub fn parse(text: &str) -> Result<Journal, HarnessError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut records = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<WalRecord>(line) {
+                Ok(record) => records.push(record),
+                Err(_) if i + 1 == lines.len() => break,
+                Err(e) => {
+                    return Err(HarnessError::WalCorrupt {
+                        line: i + 1,
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Journal { records })
+    }
+
+    /// Serialises one record as a single journal line (no trailing
+    /// newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Serialization`] if the serializer fails.
+    pub fn encode_line(record: &WalRecord) -> Result<String, HarnessError> {
+        Ok(serde_json::to_string(record)?)
+    }
+}
+
+/// The pipeline's final report. Serialisation is deterministic, so two
+/// equal reports render to bit-identical JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Display name of the tool.
+    pub tool: String,
+    /// Campaign test count.
+    pub tests: usize,
+    /// First campaign seed.
+    pub seed_base: u64,
+    /// Tests the campaign processed.
+    pub tests_completed: usize,
+    /// Incidents the resilient executor absorbed.
+    pub incidents: usize,
+    /// Quarantined targets as `(name, test index when the breaker
+    /// opened)`.
+    pub quarantined: Vec<(String, usize)>,
+    /// Every triaged bug, in deterministic (target-major, first-seen)
+    /// order.
+    pub bugs: Vec<TriagedBug>,
+    /// Indices into `bugs` of the tests dedup recommends keeping.
+    pub kept: Vec<usize>,
+}
+
+impl PipelineReport {
+    /// Renders the report as pretty JSON — the artefact the
+    /// kill-and-resume equivalence check compares byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Serialization`] if the serializer fails.
+    pub fn to_json(&self) -> Result<String, HarnessError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Serialization`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, HarnessError> {
+        Ok(serde_json::from_str(json)?)
+    }
+}
+
+/// A bug awaiting reduction, identified deterministically from the
+/// campaign outcome: per target (in campaign order), the first test index
+/// triggering each distinct signature.
+struct PendingBug {
+    target_index: usize,
+    target: String,
+    test_index: usize,
+    seed: u64,
+    signature: BugSignature,
+}
+
+fn select_bugs(
+    outcome: &ResilientOutcome,
+    target_names: &[String],
+    seed_base: u64,
+) -> Vec<PendingBug> {
+    let mut bugs = Vec::new();
+    for (t, cells) in outcome.outcome.per_test.iter().enumerate() {
+        let mut seen: BTreeSet<&BugSignature> = BTreeSet::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if let Some(signature) = cell {
+                if seen.insert(signature) {
+                    bugs.push(PendingBug {
+                        target_index: t,
+                        target: target_names[t].clone(),
+                        test_index: i,
+                        seed: seed_base + i as u64,
+                        signature: signature.clone(),
+                    });
+                }
+            }
+        }
+    }
+    bugs
+}
+
+/// Journal state recovered by replaying a parsed journal.
+#[derive(Default)]
+struct Recovered {
+    checkpoint: Option<CampaignCheckpoint>,
+    probe_logs: BTreeMap<usize, ReductionLog>,
+    done: BTreeMap<usize, TriagedBug>,
+    dedup_observed: BTreeSet<usize>,
+    verdict: Option<Vec<usize>>,
+    started: bool,
+}
+
+fn replay(journal: &Journal, config: &PipelineConfig) -> Result<Recovered, HarnessError> {
+    let mismatch = |reason: String| HarnessError::WalMismatch { reason };
+    let mut recovered = Recovered::default();
+    for (i, record) in journal.records.iter().enumerate() {
+        if i == 0 && !matches!(record, WalRecord::Start { .. }) {
+            return Err(mismatch("journal does not begin with a Start record".to_owned()));
+        }
+        match record {
+            WalRecord::Start { tool, tests, seed_base } => {
+                if i != 0 {
+                    return Err(mismatch(format!(
+                        "unexpected second Start record at line {}",
+                        i + 1
+                    )));
+                }
+                if tool != config.tool.name() {
+                    return Err(mismatch(format!(
+                        "journal is for tool {tool:?}, pipeline runs {:?}",
+                        config.tool.name()
+                    )));
+                }
+                if *tests != config.tests || *seed_base != config.seed_base {
+                    return Err(mismatch(format!(
+                        "journal covers {tests} tests from seed {seed_base}, pipeline \
+                         runs {} from seed {}",
+                        config.tests, config.seed_base
+                    )));
+                }
+                recovered.started = true;
+            }
+            WalRecord::Campaign(cp) => recovered.checkpoint = Some(cp.clone()),
+            WalRecord::Probe { bug, record } => {
+                recovered.probe_logs.entry(*bug).or_default().records.push(*record);
+            }
+            WalRecord::ReductionDone { bug, summary } => {
+                recovered.done.insert(*bug, summary.clone());
+            }
+            WalRecord::DedupObserved { bug, .. } => {
+                recovered.dedup_observed.insert(*bug);
+            }
+            WalRecord::Verdict { kept } => recovered.verdict = Some(kept.clone()),
+        }
+    }
+    Ok(recovered)
+}
+
+/// Reduces one bug under the watchdog, journaling every probe invocation
+/// through `sink` and resuming from `prior`.
+fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+    donors: &[trx_ir::Module],
+    bug: &PendingBug,
+    bug_index: usize,
+    prior: &ReductionLog,
+    sink: &mut impl FnMut(&WalRecord),
+) -> Result<TriagedBug, HarnessError> {
+    let test = try_generate_test(config.tool, bug.seed, donors)?;
+    let original = test.original.clone();
+    let original_count =
+        module_for_target(config.tool, &original.module).instruction_count();
+
+    let tool = config.tool;
+    let watchdog = config.watchdog;
+    let target_index = bug.target_index;
+    let probe_targets = Arc::clone(targets);
+    let probe_original = original.clone();
+    let probe_inputs = original.inputs.clone();
+    let probe_signature = bug.signature.clone();
+    // Each probe ships owned clones onto the watchdog's worker thread; at
+    // triage scale (one reduction per distinct signature) the clone cost
+    // is noise next to the execution itself.
+    let probe = move |variant: &Context| -> Result<bool, ProbeFault> {
+        let targets = Arc::clone(&probe_targets);
+        let original = probe_original.clone();
+        let variant_module = variant.module.clone();
+        let inputs = probe_inputs.clone();
+        let outcome = supervise(watchdog, move || {
+            attempt_classify(tool, &targets[target_index], &original, &variant_module, &inputs)
+        });
+        match outcome {
+            WatchdogOutcome::Completed(Attempt::Signature(signature)) => {
+                Ok(signature.as_ref() == Some(&probe_signature))
+            }
+            WatchdogOutcome::Completed(Attempt::Hang) => {
+                Err(ProbeFault("interpreter fuel budget exhausted".to_owned()))
+            }
+            WatchdogOutcome::Completed(Attempt::Panicked(message))
+            | WatchdogOutcome::Panicked(message) => Err(ProbeFault(message)),
+            WatchdogOutcome::TimedOut { deadline_ms } => Err(ProbeFault(format!(
+                "watchdog deadline of {deadline_ms} ms exceeded"
+            ))),
+        }
+    };
+
+    let journaled = Reducer::new(config.reducer).reduce_journaled(
+        &original,
+        &test.transformations,
+        prior,
+        probe,
+        |_, record| sink(&WalRecord::Probe { bug: bug_index, record }),
+    );
+    let reduction = journaled.reduction;
+    let reduced_count = module_for_target(config.tool, &reduction.context.module)
+        .instruction_count();
+    Ok(TriagedBug {
+        target: bug.target.clone(),
+        test_index: bug.test_index,
+        seed: bug.seed,
+        signature: bug.signature.clone(),
+        reduced_length: reduction.sequence.len(),
+        delta_instructions: reduced_count.abs_diff(original_count),
+        kinds: trx_dedup::interesting_types(&reduction.sequence),
+        stats: reduction.stats,
+    })
+}
+
+/// Runs (or resumes) the triage pipeline.
+///
+/// `journal` is the parsed WAL of the previous incarnation (empty for a
+/// fresh run); `sink` receives every new record in append order — persist
+/// each line *before* acting on later results to keep the journal ahead
+/// of the computation. See the module docs for the resume semantics.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::WalMismatch`] when the journal does not
+/// describe this configuration, and propagates campaign checkpoint and
+/// test-generation errors.
+pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+    journal: &Journal,
+    mut sink: impl FnMut(&WalRecord),
+) -> Result<PipelineReport, HarnessError> {
+    let recovered = replay(journal, config)?;
+    if !recovered.started {
+        sink(&WalRecord::Start {
+            tool: config.tool.name().to_owned(),
+            tests: config.tests,
+            seed_base: config.seed_base,
+        });
+    }
+
+    // Stage 1: campaign, resuming from the last journaled checkpoint.
+    let outcome = resume_campaign(
+        config.tool,
+        targets.as_slice(),
+        config.tests,
+        config.seed_base,
+        &config.executor,
+        recovered.checkpoint,
+        |cp| sink(&WalRecord::Campaign(cp.clone())),
+    )?;
+
+    // Stage 2: the deterministic bug list.
+    let target_names: Vec<String> =
+        targets.iter().map(|t| t.name().to_owned()).collect();
+    let bugs = select_bugs(&outcome, &target_names, config.seed_base);
+
+    // Stage 3: reduction per bug, each one journaled per probe; stage 4
+    // interleaved: each completed reduction feeds the incremental dedup
+    // state immediately, so dedup survives partial recovery too.
+    let donors = donor_modules();
+    let mut dedup = IncrementalDedup::new();
+    let mut summaries = Vec::with_capacity(bugs.len());
+    for (bug_index, bug) in bugs.iter().enumerate() {
+        let summary = match recovered.done.get(&bug_index) {
+            Some(summary) => summary.clone(),
+            None => {
+                let prior = recovered
+                    .probe_logs
+                    .get(&bug_index)
+                    .cloned()
+                    .unwrap_or_default();
+                let summary =
+                    reduce_bug(config, targets, &donors, bug, bug_index, &prior, &mut sink)?;
+                sink(&WalRecord::ReductionDone { bug: bug_index, summary: summary.clone() });
+                summary
+            }
+        };
+        let arrival = dedup.observe(summary.kinds.clone());
+        if !recovered.dedup_observed.contains(&bug_index) {
+            sink(&WalRecord::DedupObserved { bug: bug_index, arrival });
+        }
+        summaries.push(summary);
+    }
+
+    // Stage 4 finale: the dedup verdict (§3.5, Figure 6).
+    let kept = match recovered.verdict {
+        Some(kept) => kept,
+        None => {
+            let kept = dedup.recommend();
+            sink(&WalRecord::Verdict { kept: kept.clone() });
+            kept
+        }
+    };
+
+    Ok(PipelineReport {
+        tool: config.tool.name().to_owned(),
+        tests: config.tests,
+        seed_base: config.seed_base,
+        tests_completed: outcome.tests_completed,
+        incidents: outcome.ledger.len(),
+        quarantined: outcome.quarantined,
+        bugs: summaries,
+        kept,
+    })
+}
+
+/// Runs (or resumes) the pipeline with the journal persisted at
+/// `wal_path`: an existing journal is parsed (rewritten without any torn
+/// tail) and resumed; every new record is appended and flushed before the
+/// pipeline proceeds.
+///
+/// # Errors
+///
+/// Propagates [`run_pipeline`] errors plus [`HarnessError::Io`] for file
+/// failures.
+pub fn run_pipeline_on_file<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+    wal_path: &std::path::Path,
+) -> Result<PipelineReport, HarnessError> {
+    use std::io::Write;
+
+    let io_err = |e: std::io::Error| HarnessError::Io(e.to_string());
+    let text = match std::fs::read_to_string(wal_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(io_err(e)),
+    };
+    let journal = Journal::parse(&text)?;
+    // Rewrite the journal from its parsed records: appending after a torn
+    // tail would corrupt the line the crash interrupted.
+    let mut clean = String::new();
+    for record in &journal.records {
+        clean.push_str(&Journal::encode_line(record)?);
+        clean.push('\n');
+    }
+    std::fs::write(wal_path, &clean).map_err(io_err)?;
+
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(wal_path)
+        .map_err(io_err)?;
+    let mut write_error: Option<std::io::Error> = None;
+    let report = run_pipeline(config, targets, &journal, |record| {
+        if write_error.is_some() {
+            return;
+        }
+        let append = Journal::encode_line(record)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+            .and_then(|line| writeln!(file, "{line}").and_then(|()| file.flush()));
+        if let Err(e) = append {
+            write_error = Some(e);
+        }
+    })?;
+    if let Some(e) = write_error {
+        return Err(io_err(e));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_targets::{catalog, FaultPlan, FaultyTarget, Target};
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            tests: 12,
+            executor: ExecutorConfig {
+                threads: 2,
+                checkpoint_interval: 4,
+                ..ExecutorConfig::default()
+            },
+            // Inline probes: deterministic and cheap; the watchdog's
+            // threaded path is covered separately.
+            watchdog: WatchdogConfig { deadline_ms: 0 },
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn clean_targets() -> Arc<Vec<Target>> {
+        Arc::new(catalog::all_targets().into_iter().take(2).collect())
+    }
+
+    /// Persistent (attempt-independent) faults: deterministic at probe
+    /// granularity, so resume equivalence holds even mid-reduction.
+    fn persistent_panic_targets() -> Arc<Vec<FaultyTarget>> {
+        let plan = FaultPlan {
+            seed: 13,
+            panic_probability: 0.2,
+            hang_probability: 0.0,
+            transient_crash_probability: 0.0,
+            flip_flop_probability: 0.0,
+            transient_ttl: 1_000_000,
+        };
+        Arc::new(
+            catalog::all_targets()
+                .into_iter()
+                .take(2)
+                .map(|t| FaultyTarget::new(t, plan.clone()))
+                .collect(),
+        )
+    }
+
+    fn run_collecting(
+        config: &PipelineConfig,
+        targets: &Arc<Vec<Target>>,
+        journal: &Journal,
+    ) -> (PipelineReport, Vec<WalRecord>) {
+        let mut records = Vec::new();
+        let report = run_pipeline(config, targets, journal, |r| records.push(r.clone()))
+            .expect("pipeline runs");
+        (report, records)
+    }
+
+    #[test]
+    fn pipeline_finds_reduces_and_dedups_bugs() {
+        let config = small_config();
+        let (report, records) = run_collecting(&config, &clean_targets(), &Journal::new());
+        assert_eq!(report.tests_completed, 12);
+        assert!(!report.bugs.is_empty(), "12 tests should surface a bug");
+        assert!(!report.kept.is_empty());
+        assert!(report.kept.len() <= report.bugs.len());
+        for bug in &report.bugs {
+            assert!(bug.stats.tests_run > 0);
+        }
+        // The journal starts with a header and ends with the verdict.
+        assert!(matches!(records.first(), Some(WalRecord::Start { .. })));
+        assert!(matches!(records.last(), Some(WalRecord::Verdict { .. })));
+    }
+
+    #[test]
+    fn pipeline_report_is_deterministic() {
+        let config = small_config();
+        let (a, records_a) = run_collecting(&config, &clean_targets(), &Journal::new());
+        let (b, records_b) = run_collecting(&config, &clean_targets(), &Journal::new());
+        assert_eq!(a, b);
+        assert_eq!(records_a, records_b);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn kill_at_any_wal_record_resumes_bit_identically() {
+        let config = small_config();
+        let targets = clean_targets();
+        let (golden, records) = run_collecting(&config, &targets, &Journal::new());
+        let golden_json = golden.to_json().expect("report serialises");
+
+        // Simulate a kill after every k-th append (stride keeps the test
+        // quick; k = 0 is a fresh start, k = len is a finished journal).
+        let stride = (records.len() / 16).max(1);
+        let mut cuts: Vec<usize> = (0..=records.len()).step_by(stride).collect();
+        if cuts.last() != Some(&records.len()) {
+            cuts.push(records.len());
+        }
+        for k in cuts {
+            let prefix = Journal { records: records[..k].to_vec() };
+            let mut emitted = Vec::new();
+            let resumed =
+                run_pipeline(&config, &clean_targets(), &prefix, |r| emitted.push(r.clone()))
+                    .expect("resume runs");
+            assert_eq!(
+                resumed.to_json().expect("report serialises"),
+                golden_json,
+                "report diverged resuming after record {k}"
+            );
+            assert_eq!(
+                emitted,
+                records[k..].to_vec(),
+                "journal suffix diverged resuming after record {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_survives_text_round_trip_and_torn_tail() {
+        let config = small_config();
+        let (_, records) = run_collecting(&config, &clean_targets(), &Journal::new());
+        let mut text = String::new();
+        for record in &records {
+            text.push_str(&Journal::encode_line(record).expect("encodes"));
+            text.push('\n');
+        }
+        let parsed = Journal::parse(&text).expect("parses");
+        assert_eq!(parsed.records, records);
+
+        // A crash mid-append leaves a torn final line: parse drops it.
+        let torn = format!("{text}{{\"Probe\":{{\"bug\":0,\"rec");
+        let parsed = Journal::parse(&torn).expect("torn tail tolerated");
+        assert_eq!(parsed.records, records);
+
+        // Corruption anywhere else is an error.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{ not json";
+        let corrupt = lines.join("\n");
+        let err = Journal::parse(&corrupt).unwrap_err();
+        assert!(matches!(err, HarnessError::WalCorrupt { line: 2, .. }));
+    }
+
+    #[test]
+    fn mismatched_journal_is_rejected() {
+        let config = small_config();
+        let targets = clean_targets();
+        let journal = Journal {
+            records: vec![WalRecord::Start {
+                tool: config.tool.name().to_owned(),
+                tests: config.tests + 1,
+                seed_base: config.seed_base,
+            }],
+        };
+        let err = run_pipeline(&config, &targets, &journal, |_| {}).unwrap_err();
+        assert!(matches!(err, HarnessError::WalMismatch { .. }));
+
+        // A journal that does not open with a header is equally rejected.
+        let headless = Journal { records: vec![WalRecord::Verdict { kept: vec![] }] };
+        let err = run_pipeline(&config, &targets, &headless, |_| {}).unwrap_err();
+        assert!(matches!(err, HarnessError::WalMismatch { .. }));
+    }
+
+    #[test]
+    fn faulting_probes_are_quarantined_not_fatal() {
+        let config = small_config();
+        let targets = persistent_panic_targets();
+        let mut records = Vec::new();
+        let report = run_pipeline(&config, &targets, &Journal::new(), |r| {
+            records.push(r.clone());
+        })
+        .expect("pipeline absorbs injected faults");
+        assert_eq!(report.tests_completed, 12);
+        // Persistent panics surface as probe faults during reduction and
+        // as incidents during the campaign; neither kills the pipeline.
+        let total_faults: usize =
+            report.bugs.iter().map(|b| b.stats.probe_faults).sum();
+        assert!(
+            report.incidents > 0 || total_faults > 0,
+            "a 20% persistent panic plan must fault somewhere"
+        );
+    }
+
+    #[test]
+    fn chaotic_pipeline_resumes_bit_identically() {
+        // Persistent faults are attempt-independent, so even a journal cut
+        // mid-reduction resumes onto the same probe stream.
+        let config = small_config();
+        let mut records = Vec::new();
+        let golden = run_pipeline(&config, &persistent_panic_targets(), &Journal::new(), |r| {
+            records.push(r.clone());
+        })
+        .expect("golden chaotic run");
+        let mid = records.len() / 2;
+        let prefix = Journal { records: records[..mid].to_vec() };
+        let mut emitted = Vec::new();
+        let resumed =
+            run_pipeline(&config, &persistent_panic_targets(), &prefix, |r| {
+                emitted.push(r.clone())
+            })
+            .expect("resumed chaotic run");
+        assert_eq!(resumed, golden);
+        assert_eq!(emitted, records[mid..].to_vec());
+    }
+
+    #[test]
+    fn file_backed_pipeline_resumes_from_disk() {
+        let config = small_config();
+        let dir = std::env::temp_dir().join("trx-pipeline-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let wal = dir.join(format!("wal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&wal);
+
+        let full = run_pipeline_on_file(&config, &clean_targets(), &wal)
+            .expect("fresh file-backed run");
+
+        // Truncate the on-disk journal to a prefix with a torn tail, as a
+        // kill mid-append would leave it, then resume.
+        let text = std::fs::read_to_string(&wal).expect("journal written");
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = lines.len() / 2;
+        let mut truncated = lines[..keep].join("\n");
+        truncated.push_str("\n{\"Probe\":{\"bug\":0,\"rec");
+        std::fs::write(&wal, truncated).expect("truncate journal");
+
+        let resumed = run_pipeline_on_file(&config, &clean_targets(), &wal)
+            .expect("resumed file-backed run");
+        assert_eq!(resumed, full);
+        // The rewritten journal matches the uninterrupted run's, line for
+        // line.
+        let final_text = std::fs::read_to_string(&wal).expect("journal rewritten");
+        assert_eq!(final_text, text);
+        let _ = std::fs::remove_file(&wal);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let config = small_config();
+        let (report, _) = run_collecting(&config, &clean_targets(), &Journal::new());
+        let json = report.to_json().expect("serialises");
+        let back = PipelineReport::from_json(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,146 @@
+//! Wall-clock watchdog supervision for individual harness jobs.
+//!
+//! The interpreter's step budget ([`trx_ir::interp::ExecConfig`]) bounds
+//! *simulated* work, but a probe can still burn unbounded wall-clock time
+//! outside the interpreter — pathological module cloning, a wedged pass, or
+//! (in a real deployment) a compiler process that never returns. Real
+//! harnesses such as gfauto wrap every tool invocation in a process-level
+//! timeout for exactly this reason.
+//!
+//! [`supervise`] layers that wall-clock deadline *over* the step budget:
+//! the job runs on a dedicated worker thread while the caller waits on a
+//! channel with [`std::sync::mpsc::Receiver::recv_timeout`]. The two
+//! budgets are complementary — the step budget is deterministic and trips
+//! first for hostile-but-terminating modules, the watchdog is the
+//! last-resort backstop for everything the step budget cannot see.
+//!
+//! # The leaked-thread caveat
+//!
+//! Safe Rust cannot kill a thread. When the deadline fires, the runaway
+//! worker is *detached*, not destroyed: it keeps running until its own step
+//! budget trips or the process exits, and its eventual channel send fails
+//! harmlessly. This mirrors what process-level harnesses do with orphaned
+//! compiler invocations, minus the SIGKILL. Callers that supervise
+//! genuinely unbounded jobs should therefore pair the watchdog with a step
+//! budget so leaked threads terminate on their own.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::errors::panic_message;
+
+/// Tuning for [`supervise`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Wall-clock deadline per supervised job, in milliseconds. `0`
+    /// disables the watchdog: the job runs inline on the caller's thread
+    /// (panics are still caught), which is cheaper and fully deterministic.
+    pub deadline_ms: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { deadline_ms: 2_000 }
+    }
+}
+
+/// How a supervised job ended.
+#[derive(Debug)]
+pub enum WatchdogOutcome<T> {
+    /// The job finished within the deadline.
+    Completed(T),
+    /// The deadline fired; the worker thread was detached (see the module
+    /// docs for why it cannot be killed).
+    TimedOut {
+        /// The deadline that fired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The job panicked with this message.
+    Panicked(String),
+}
+
+/// Runs `job` under the wall-clock deadline of `config`.
+///
+/// Panics inside the job are caught and reported as
+/// [`WatchdogOutcome::Panicked`] in every mode, so a supervised job can
+/// never take down the caller.
+pub fn supervise<T: Send + 'static>(
+    config: WatchdogConfig,
+    job: impl FnOnce() -> T + Send + 'static,
+) -> WatchdogOutcome<T> {
+    if config.deadline_ms == 0 {
+        return match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(value) => WatchdogOutcome::Completed(value),
+            Err(payload) => WatchdogOutcome::Panicked(panic_message(payload)),
+        };
+    }
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("trx-watchdog-job".to_owned())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(job));
+            // The receiver is gone when the deadline already fired.
+            let _ = tx.send(result);
+        });
+    if let Err(e) = spawned {
+        return WatchdogOutcome::Panicked(format!("failed to spawn watchdog worker: {e}"));
+    }
+    match rx.recv_timeout(Duration::from_millis(config.deadline_ms)) {
+        Ok(Ok(value)) => WatchdogOutcome::Completed(value),
+        Ok(Err(payload)) => WatchdogOutcome::Panicked(panic_message(payload)),
+        Err(_) => WatchdogOutcome::TimedOut { deadline_ms: config.deadline_ms },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_jobs_complete() {
+        let outcome = supervise(WatchdogConfig::default(), || 6 * 7);
+        assert!(matches!(outcome, WatchdogOutcome::Completed(42)));
+    }
+
+    #[test]
+    fn inline_mode_completes_and_catches_panics() {
+        let inline = WatchdogConfig { deadline_ms: 0 };
+        assert!(matches!(supervise(inline, || "ok"), WatchdogOutcome::Completed("ok")));
+        let panicked = supervise(inline, || -> u32 { panic!("inline boom") });
+        match panicked {
+            WatchdogOutcome::Panicked(message) => assert!(message.contains("inline boom")),
+            other => panic!("expected a caught panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panics_are_caught() {
+        let outcome = supervise(WatchdogConfig::default(), || -> u32 { panic!("boom") });
+        match outcome {
+            WatchdogOutcome::Panicked(message) => assert!(message.contains("boom")),
+            other => panic!("expected a caught panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_jobs_time_out() {
+        // The leaked worker sleeps briefly and exits on its own.
+        let config = WatchdogConfig { deadline_ms: 20 };
+        let outcome = supervise(config, || {
+            std::thread::sleep(Duration::from_millis(500));
+            0u32
+        });
+        assert!(matches!(outcome, WatchdogOutcome::TimedOut { deadline_ms: 20 }));
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = WatchdogConfig { deadline_ms: 123 };
+        let json = serde_json::to_string(&config).expect("serialises");
+        let back: WatchdogConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, config);
+    }
+}

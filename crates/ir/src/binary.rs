@@ -436,8 +436,14 @@ impl RawInstruction<'_> {
             .ok_or_else(|| DecodeError::new(self.offset, "missing operand"))
     }
 
+    /// The operands from `index` onwards; empty when the instruction is
+    /// shorter, so hostile streams can never index out of bounds.
+    fn words_from(&self, index: usize) -> &[u32] {
+        self.operands.get(index..).unwrap_or(&[])
+    }
+
     fn ids_from(&self, index: usize) -> Result<Vec<Id>, DecodeError> {
-        self.operands[index.min(self.operands.len())..]
+        self.words_from(index)
             .iter()
             .map(|&raw| {
                 if raw == 0 {
@@ -451,7 +457,7 @@ impl RawInstruction<'_> {
 
     fn string_from(&self, index: usize) -> Result<String, DecodeError> {
         let mut bytes = Vec::new();
-        for word in &self.operands[index.min(self.operands.len())..] {
+        for word in self.words_from(index) {
             bytes.extend_from_slice(&word.to_le_bytes());
         }
         let end = bytes
@@ -690,12 +696,12 @@ fn decode_body_instruction(raw: &RawInstruction<'_>) -> Result<Instruction, Deco
         opcode::COMPOSITE_CONSTRUCT => Op::CompositeConstruct { parts: raw.ids_from(2)? },
         opcode::COMPOSITE_EXTRACT => Op::CompositeExtract {
             composite: raw.id(2)?,
-            indices: raw.operands[3..].to_vec(),
+            indices: raw.words_from(3).to_vec(),
         },
         opcode::COMPOSITE_INSERT => Op::CompositeInsert {
             object: raw.id(2)?,
             composite: raw.id(3)?,
-            indices: raw.operands[4..].to_vec(),
+            indices: raw.words_from(4).to_vec(),
         },
         opcode::VARIABLE => {
             let storage = storage_from(raw.word(2)?, raw.offset)?;
@@ -712,7 +718,7 @@ fn decode_body_instruction(raw: &RawInstruction<'_>) -> Result<Instruction, Deco
         }
         opcode::CALL => Op::Call { callee: raw.id(2)?, args: raw.ids_from(3)? },
         opcode::PHI => {
-            let pairs = &raw.operands[2..];
+            let pairs = raw.words_from(2);
             if !pairs.len().is_multiple_of(2) {
                 return Err(DecodeError::new(raw.offset, "odd phi operand count"));
             }

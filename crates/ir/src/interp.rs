@@ -85,28 +85,122 @@ impl fmt::Display for Value {
     }
 }
 
+/// A budget for materialising values: bounds the number of scalar leaves
+/// created and the nesting depth walked, so hostile modules with giant or
+/// cyclic aggregate types fault instead of exhausting memory or the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueBudget {
+    /// Scalar leaves that may still be created.
+    pub remaining: u64,
+    /// Nesting levels that may still be descended.
+    pub depth: u32,
+}
+
+impl ValueBudget {
+    /// The default budget used by the convenience constructors: ample for
+    /// every module the builder can produce, tiny next to host memory.
+    pub const DEFAULT: ValueBudget = ValueBudget { remaining: 1 << 20, depth: 64 };
+
+    fn spend_leaf(&mut self) -> Result<(), Fault> {
+        if self.remaining == 0 {
+            return Err(Fault::ValueLimitExceeded);
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+
+    fn descend(&mut self) -> Result<ValueBudget, Fault> {
+        if self.depth == 0 {
+            return Err(Fault::ValueLimitExceeded);
+        }
+        Ok(ValueBudget { remaining: self.remaining, depth: self.depth - 1 })
+    }
+}
+
 impl Value {
     /// The zero value of type `ty` in `module`.
     ///
     /// # Panics
     ///
-    /// Panics if `ty` is not a data type (e.g. void or function).
+    /// Panics if `ty` is not a data type (e.g. void or function) or exceeds
+    /// [`ValueBudget::DEFAULT`]. Interpreter paths use the fallible
+    /// [`Value::try_zero_of`] instead; this wrapper serves callers that hold
+    /// a validated module, where the panic is unreachable.
     #[must_use]
     pub fn zero_of(module: &Module, ty: Id) -> Value {
-        match module.type_of(ty).expect("type must be declared") {
-            Type::Bool => Value::Bool(false),
-            Type::Int => Value::Int(0),
-            Type::Float => Value::Float(0.0),
-            Type::Vector { component, count } => Value::Composite(
-                (0..*count).map(|_| Value::zero_of(module, *component)).collect(),
-            ),
-            Type::Array { element, len } => Value::Composite(
-                (0..*len).map(|_| Value::zero_of(module, *element)).collect(),
-            ),
-            Type::Struct { members } => Value::Composite(
-                members.iter().map(|&m| Value::zero_of(module, m)).collect(),
-            ),
-            other => panic!("no zero value for type {other:?}"),
+        match Value::try_zero_of(module, ty) {
+            Ok(v) => v,
+            Err(fault) => panic!("no zero value for type {ty}: {fault}"),
+        }
+    }
+
+    /// The zero value of type `ty` in `module`, or a typed [`Fault`] when
+    /// `ty` is undeclared, not a data type, or too large to materialise.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::UnsupportedType`] for undeclared/non-data types,
+    /// [`Fault::ValueLimitExceeded`] when [`ValueBudget::DEFAULT`] runs out.
+    pub fn try_zero_of(module: &Module, ty: Id) -> Result<Value, Fault> {
+        let mut budget = ValueBudget::DEFAULT;
+        Value::zero_of_bounded(module, ty, &mut budget)
+    }
+
+    /// As [`Value::try_zero_of`] with an explicit, shared budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Value::try_zero_of`].
+    pub fn zero_of_bounded(
+        module: &Module,
+        ty: Id,
+        budget: &mut ValueBudget,
+    ) -> Result<Value, Fault> {
+        let declared = module
+            .type_of(ty)
+            .ok_or_else(|| Fault::UnsupportedType(format!("undeclared type {ty}")))?;
+        match declared {
+            Type::Bool => {
+                budget.spend_leaf()?;
+                Ok(Value::Bool(false))
+            }
+            Type::Int => {
+                budget.spend_leaf()?;
+                Ok(Value::Int(0))
+            }
+            Type::Float => {
+                budget.spend_leaf()?;
+                Ok(Value::Float(0.0))
+            }
+            Type::Vector { component, count } => {
+                let (component, count) = (*component, *count);
+                let mut inner = budget.descend()?;
+                let parts = (0..count)
+                    .map(|_| Value::zero_of_bounded(module, component, &mut inner))
+                    .collect::<Result<_, _>>()?;
+                budget.remaining = inner.remaining;
+                Ok(Value::Composite(parts))
+            }
+            Type::Array { element, len } => {
+                let (element, len) = (*element, *len);
+                let mut inner = budget.descend()?;
+                let parts = (0..len)
+                    .map(|_| Value::zero_of_bounded(module, element, &mut inner))
+                    .collect::<Result<_, _>>()?;
+                budget.remaining = inner.remaining;
+                Ok(Value::Composite(parts))
+            }
+            Type::Struct { members } => {
+                let members = members.clone();
+                let mut inner = budget.descend()?;
+                let parts = members
+                    .iter()
+                    .map(|&m| Value::zero_of_bounded(module, m, &mut inner))
+                    .collect::<Result<_, _>>()?;
+                budget.remaining = inner.remaining;
+                Ok(Value::Composite(parts))
+            }
+            other => Err(Fault::UnsupportedType(format!("{other:?}"))),
         }
     }
 
@@ -114,16 +208,58 @@ impl Value {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not a constant of `module`.
+    /// Panics if `id` is not a constant of `module`. Interpreter paths use
+    /// the fallible [`Value::try_of_constant`] instead.
     #[must_use]
     pub fn of_constant(module: &Module, id: Id) -> Value {
-        let c = module.constant(id).expect("id must name a constant");
+        match Value::try_of_constant(module, id) {
+            Ok(v) => v,
+            Err(fault) => panic!("id {id} does not name a usable constant: {fault}"),
+        }
+    }
+
+    /// The runtime value of a declared constant, or a typed [`Fault`] when
+    /// `id` is not a constant or its composite structure is hostile
+    /// (cyclic or over-sized).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Trap`] for an unknown constant id,
+    /// [`Fault::ValueLimitExceeded`] when [`ValueBudget::DEFAULT`] runs out.
+    pub fn try_of_constant(module: &Module, id: Id) -> Result<Value, Fault> {
+        let mut budget = ValueBudget::DEFAULT;
+        Value::of_constant_bounded(module, id, &mut budget)
+    }
+
+    fn of_constant_bounded(
+        module: &Module,
+        id: Id,
+        budget: &mut ValueBudget,
+    ) -> Result<Value, Fault> {
+        let c = module
+            .constant(id)
+            .ok_or_else(|| Fault::Trap(format!("id {id} does not name a constant")))?;
         match &c.value {
-            ConstantValue::Bool(v) => Value::Bool(*v),
-            ConstantValue::Int(v) => Value::Int(*v),
-            ConstantValue::Float(bits) => Value::Float(f32::from_bits(*bits)),
+            ConstantValue::Bool(v) => {
+                budget.spend_leaf()?;
+                Ok(Value::Bool(*v))
+            }
+            ConstantValue::Int(v) => {
+                budget.spend_leaf()?;
+                Ok(Value::Int(*v))
+            }
+            ConstantValue::Float(bits) => {
+                budget.spend_leaf()?;
+                Ok(Value::Float(f32::from_bits(*bits)))
+            }
             ConstantValue::Composite(parts) => {
-                Value::Composite(parts.iter().map(|&p| Value::of_constant(module, p)).collect())
+                let mut inner = budget.descend()?;
+                let values = parts
+                    .iter()
+                    .map(|&p| Value::of_constant_bounded(module, p, &mut inner))
+                    .collect::<Result<_, _>>()?;
+                budget.remaining = inner.remaining;
+                Ok(Value::Composite(values))
             }
         }
     }
@@ -210,6 +346,15 @@ pub enum Fault {
     StepLimitExceeded,
     /// The call-depth limit was exceeded.
     CallDepthExceeded,
+    /// The memory budget (number of live cells) was exceeded.
+    MemoryLimitExceeded,
+    /// Materialising a value would exceed the value budget (scalar count or
+    /// nesting depth) — e.g. a hostile module declaring a giant or cyclic
+    /// aggregate type.
+    ValueLimitExceeded,
+    /// A value of this type cannot be materialised (void, function,
+    /// pointer-typed zero, an undeclared type id, ...).
+    UnsupportedType(String),
     /// The module was malformed at the point of execution. Validated modules
     /// never trap; a trap from an optimized module indicates the optimizer
     /// emitted garbage.
@@ -221,6 +366,9 @@ impl fmt::Display for Fault {
         match self {
             Fault::StepLimitExceeded => write!(f, "step limit exceeded"),
             Fault::CallDepthExceeded => write!(f, "call depth exceeded"),
+            Fault::MemoryLimitExceeded => write!(f, "memory limit exceeded"),
+            Fault::ValueLimitExceeded => write!(f, "value limit exceeded"),
+            Fault::UnsupportedType(msg) => write!(f, "unsupported type: {msg}"),
             Fault::Trap(msg) => write!(f, "trap: {msg}"),
         }
     }
@@ -235,11 +383,28 @@ pub struct ExecConfig {
     pub step_limit: u64,
     /// Maximum call depth.
     pub call_depth_limit: u32,
+    /// Maximum number of live memory cells (globals plus `Op::Variable`
+    /// allocations). Exceeding it yields [`Fault::MemoryLimitExceeded`].
+    pub memory_limit: usize,
+    /// Maximum scalar leaves per materialised value (zero values, constants).
+    /// Exceeding it yields [`Fault::ValueLimitExceeded`].
+    pub value_limit: u64,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { step_limit: 200_000, call_depth_limit: 64 }
+        ExecConfig {
+            step_limit: 200_000,
+            call_depth_limit: 64,
+            memory_limit: 65_536,
+            value_limit: 1 << 20,
+        }
+    }
+}
+
+impl ExecConfig {
+    fn value_budget(&self) -> ValueBudget {
+        ValueBudget { remaining: self.value_limit, depth: ValueBudget::DEFAULT.depth }
     }
 }
 
@@ -373,17 +538,17 @@ impl<'m> Machine<'m> {
                         .chain(&module.interface.builtins)
                         .find(|b| b.global == g.id)
                         .map(|b| b.name.as_str());
-                    name.and_then(|n| inputs.get(n))
-                        .cloned()
-                        .unwrap_or_else(|| Value::zero_of(module, pointee))
+                    match name.and_then(|n| inputs.get(n)) {
+                        Some(v) => v.clone(),
+                        None => machine.zero_value(pointee)?,
+                    }
                 }
-                _ => g
-                    .initializer
-                    .map(|c| Value::of_constant(module, c))
-                    .unwrap_or_else(|| Value::zero_of(module, pointee)),
+                _ => match g.initializer {
+                    Some(c) => machine.constant_value(c)?,
+                    None => machine.zero_value(pointee)?,
+                },
             };
-            let cell = machine.memory.len();
-            machine.memory.push(initial);
+            let cell = machine.alloc_cell(initial)?;
             machine.global_cells.insert(g.id, cell);
         }
         Ok(machine)
@@ -396,6 +561,28 @@ impl<'m> Machine<'m> {
         } else {
             Ok(())
         }
+    }
+
+    /// Materialises the zero value of `ty` under this machine's value budget.
+    fn zero_value(&self, ty: Id) -> Result<Value, Fault> {
+        let mut budget = self.config.value_budget();
+        Value::zero_of_bounded(self.module, ty, &mut budget)
+    }
+
+    /// Materialises the value of constant `id` under this machine's budget.
+    fn constant_value(&self, id: Id) -> Result<Value, Fault> {
+        let mut budget = self.config.value_budget();
+        Value::of_constant_bounded(self.module, id, &mut budget)
+    }
+
+    /// Appends a memory cell, faulting when the cell budget is spent.
+    fn alloc_cell(&mut self, initial: Value) -> Result<usize, Fault> {
+        if self.memory.len() >= self.config.memory_limit {
+            return Err(Fault::MemoryLimitExceeded);
+        }
+        let cell = self.memory.len();
+        self.memory.push(initial);
+        Ok(cell)
     }
 
     fn run_function(
@@ -436,7 +623,10 @@ impl<'m> Machine<'m> {
                                 Fault::Trap(format!("phi in {current} misses predecessor {prev}"))
                             })?;
                         let value = self.read(&regs, source)?;
-                        Ok((phi.result.expect("phi has a result"), value))
+                        let result = phi
+                            .result
+                            .ok_or_else(|| Fault::Trap(format!("phi in {current} has no result")))?;
+                        Ok((result, value))
                     })
                     .collect::<Result<_, Fault>>()?;
                 regs.extend(phi_values);
@@ -510,7 +700,7 @@ impl<'m> Machine<'m> {
             return Ok(v.clone());
         }
         if self.module.constant(id).is_some() {
-            return Ok(Value::of_constant(self.module, id));
+            return self.constant_value(id);
         }
         if let Some(cell) = self.global_cells.get(&id) {
             return Ok(Value::Pointer(Pointer { cell: *cell, path: Vec::new() }));
@@ -564,7 +754,7 @@ impl<'m> Machine<'m> {
             Op::Undef => {
                 // Deterministic choice: undef is the zero value.
                 let ty = ty.ok_or_else(|| Fault::Trap("undef without type".into()))?;
-                Value::zero_of(self.module, ty)
+                self.zero_value(ty)?
             }
             Op::CopyObject { src } => self.read(regs, *src)?,
             Op::Binary { op, lhs, rhs } => {
@@ -609,11 +799,11 @@ impl<'m> Machine<'m> {
                     Some(&Type::Pointer { pointee, .. }) => pointee,
                     _ => return Err(Fault::Trap("variable type is not a pointer".into())),
                 };
-                let initial = initializer
-                    .map(|c| Value::of_constant(self.module, c))
-                    .unwrap_or_else(|| Value::zero_of(self.module, pointee));
-                let cell = self.memory.len();
-                self.memory.push(initial);
+                let initial = match initializer {
+                    Some(c) => self.constant_value(*c)?,
+                    None => self.zero_value(pointee)?,
+                };
+                let cell = self.alloc_cell(initial)?;
                 Value::Pointer(Pointer { cell, path: Vec::new() })
             }
             Op::AccessChain { base, indices } => {
@@ -847,7 +1037,7 @@ mod tests {
         let fault = execute_with_config(
             &m,
             &Inputs::default(),
-            ExecConfig { step_limit: 1000, call_depth_limit: 8 },
+            ExecConfig { step_limit: 1000, call_depth_limit: 8, ..ExecConfig::default() },
         )
         .unwrap_err();
         assert_eq!(fault, Fault::StepLimitExceeded);
@@ -951,5 +1141,67 @@ mod tests {
     fn value_equality_is_bitwise_for_floats() {
         assert_eq!(Value::Float(f32::NAN), Value::Float(f32::NAN));
         assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+    }
+
+    #[test]
+    fn zero_of_non_data_type_faults() {
+        let mut b = ModuleBuilder::new();
+        let t_void = b.type_void();
+        let mut f = b.begin_entry_function("main");
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        let fault = Value::try_zero_of(&m, t_void).unwrap_err();
+        assert!(matches!(fault, Fault::UnsupportedType(_)), "got {fault:?}");
+        // Undeclared ids fault the same way instead of panicking.
+        let fault = Value::try_zero_of(&m, Id::PLACEHOLDER).unwrap_err();
+        assert!(matches!(fault, Fault::UnsupportedType(_)), "got {fault:?}");
+    }
+
+    #[test]
+    fn giant_aggregate_type_hits_value_limit() {
+        // A 4-deep tower of 4096-element arrays describes ~2^48 scalars;
+        // materialising its zero value must fault, not allocate.
+        let mut b = ModuleBuilder::new();
+        let mut ty = b.type_int();
+        for _ in 0..4 {
+            ty = b.type_array(ty, 4096);
+        }
+        let mut f = b.begin_entry_function("main");
+        f.ret();
+        f.finish();
+        let m = b.finish();
+        let fault = Value::try_zero_of(&m, ty).unwrap_err();
+        assert_eq!(fault, Fault::ValueLimitExceeded);
+    }
+
+    #[test]
+    fn variable_allocation_hits_memory_limit() {
+        // Each call re-executes the callee's hoisted `Op::Variable`, so a
+        // loop of calls allocates a fresh cell per iteration and must trip
+        // the cell budget long before the step budget.
+        let mut b = ModuleBuilder::new();
+        let t_int = b.type_int();
+        let t_void = b.type_void();
+        let mut g = b.begin_function(t_void, &[]);
+        let _ = g.local_var(t_int, None);
+        g.ret();
+        let g_id = g.finish();
+
+        let mut f = b.begin_entry_function("main");
+        let spin = f.reserve_label();
+        f.branch(spin);
+        f.begin_block_with_label(spin);
+        let _ = f.call(g_id, Vec::new());
+        f.branch(spin);
+        f.finish();
+        let m = b.finish();
+        let fault = execute_with_config(
+            &m,
+            &Inputs::default(),
+            ExecConfig { memory_limit: 16, ..ExecConfig::default() },
+        )
+        .unwrap_err();
+        assert_eq!(fault, Fault::MemoryLimitExceeded);
     }
 }

@@ -145,15 +145,24 @@ impl Module {
         self.functions.iter_mut().find(|f| f.id == id)
     }
 
+    /// The entry-point function, if the entry point id names one. Decoded
+    /// (unvalidated) modules may not have one; use this accessor on any
+    /// module that has not passed validation.
+    #[must_use]
+    pub fn try_entry_function(&self) -> Option<&Function> {
+        self.function(self.entry_point)
+    }
+
     /// The entry-point function.
     ///
     /// # Panics
     ///
     /// Panics if the entry point id does not name a function (never true for
-    /// validated modules).
+    /// validated modules). For unvalidated modules use
+    /// [`Module::try_entry_function`].
     #[must_use]
     pub fn entry_function(&self) -> &Function {
-        self.function(self.entry_point)
+        self.try_entry_function()
             .expect("entry point must name a function")
     }
 

@@ -1,0 +1,194 @@
+//! Property tests for the binary encoding: the decoder must be total over
+//! arbitrary input (returning `Err`, never panicking), and encode→decode
+//! must round-trip every module the builder can produce.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trx_ir::{binary, BinOp, Id, Module, ModuleBuilder, Op, StorageClass, UnOp};
+
+/// Packs little-endian bytes into the word stream the decoder consumes,
+/// mirroring how a file of arbitrary bytes would be loaded from disk.
+fn words_of_bytes(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks(4)
+        .map(|c| {
+            let mut quad = [0u8; 4];
+            quad[..c.len()].copy_from_slice(c);
+            u32::from_le_bytes(quad)
+        })
+        .collect()
+}
+
+/// Builds a pseudo-random module exercising the whole builder surface:
+/// every type constructor, every constant kind, all three interface binding
+/// kinds, private globals, a helper function with parameters, and an entry
+/// function mixing straight-line ops, selection, and a phi loop.
+fn arbitrary_module(seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ModuleBuilder::new();
+
+    let t_void = b.type_void();
+    let _t_bool = b.type_bool();
+    let t_int = b.type_int();
+    let t_float = b.type_float();
+    let vec_len = rng.gen_range(2u32..=4);
+    let t_vec = b.type_vector(t_int, vec_len);
+    let t_arr = b.type_array(t_float, rng.gen_range(1u32..=8));
+    let t_struct = b.type_struct(vec![t_int, t_vec, t_arr]);
+    let _t_fn = b.type_function(t_int, vec![t_int, t_int]);
+    let _t_ptr = b.type_pointer(StorageClass::Private, t_struct);
+
+    let c_true = b.constant_bool(rng.gen_bool(0.5));
+    let c_a = b.constant_int(rng.gen_range(-100i32..100));
+    let c_b = b.constant_int(rng.gen_range(-100i32..100));
+    let c_idx0 = b.constant_int(0);
+    let c_f = b.constant_float(rng.gen_range(0u32..1000) as f32 * 0.25);
+    let parts: Vec<Id> = (0..3).map(|_| c_a).collect();
+    let c_vec3 = {
+        let t_vec3 = b.type_vector(t_int, 3);
+        b.constant_composite(t_vec3, parts)
+    };
+
+    let u = b.uniform("u_scale", t_int);
+    let builtin = b.builtin("frag_coord", t_float);
+    let _priv = b.private_global(t_int, rng.gen_bool(0.5).then_some(c_a));
+
+    // Helper: int helper(int x, int y) { return x <op> y; }
+    let mut g = b.begin_function(t_int, &[t_int, t_int]);
+    let params = g.param_ids();
+    let op = [BinOp::IAdd, BinOp::ISub, BinOp::IMul, BinOp::SDiv][rng.gen_range(0usize..4)];
+    let combined = g.binary(op, t_int, params[0], params[1]);
+    g.ret_value(combined);
+    let g_id = g.finish();
+
+    // Optional void helper exercising Nop/Undef/Kill encodings.
+    let void_helper = rng.gen_bool(0.5).then(|| {
+        let mut h = b.begin_function(t_void, &[]);
+        h.push_void(Op::Nop);
+        let _ = h.undef(t_int);
+        if rng.gen_bool(0.2) {
+            h.kill();
+        } else {
+            h.ret();
+        }
+        h.finish()
+    });
+
+    let mut f = b.begin_entry_function("main");
+    let loaded = f.load(u);
+    let coord = f.load(builtin);
+    let as_int = f.unary(UnOp::ConvertFToS, t_int, coord);
+    let called = f.call(g_id, vec![loaded, as_int]);
+    if let Some(h_id) = void_helper {
+        let _ = f.call(h_id, Vec::new());
+    }
+    let copied = f.copy_object(called);
+    let chosen = f.select(t_int, c_true, copied, c_b);
+
+    // Memory traffic: a struct-typed local, an access chain into it, and a
+    // composite insert via the raw `push` escape hatch.
+    let var = f.local_var(t_struct, None);
+    let elem = f.access_chain(var, vec![c_idx0]);
+    f.store(elem, chosen);
+    let whole = f.load(var);
+    let extracted = f.composite_extract(whole, vec![0]);
+    let inserted = f.push(
+        t_struct,
+        Op::CompositeInsert { object: extracted, composite: whole, indices: vec![0] },
+    );
+    let reextracted = f.composite_extract(inserted, vec![1, 0]);
+    let constructed =
+        f.composite_construct(t_vec, (0..vec_len).map(|_| reextracted).collect());
+    let first = f.composite_extract(constructed, vec![0]);
+    let _ = c_vec3;
+
+    // Control flow: a selection, then a bounded phi loop.
+    let then_b = f.reserve_label();
+    let else_b = f.reserve_label();
+    let join = f.reserve_label();
+    let cond = f.slt(first, c_b);
+    f.selection_merge(join);
+    f.branch_cond(cond, then_b, else_b);
+    f.begin_block_with_label(then_b);
+    let t_val = f.iadd(t_int, first, c_a);
+    f.branch(join);
+    f.begin_block_with_label(else_b);
+    let e_val = f.isub(t_int, first, c_a);
+    f.branch(join);
+    f.begin_block_with_label(join);
+    let merged = f.phi(t_int, vec![(t_val, then_b), (e_val, else_b)]);
+
+    let fsum = f.fadd(t_float, c_f, coord);
+    let _ = f.unary(UnOp::FNegate, t_float, fsum);
+    f.store_output("out", merged);
+    if rng.gen_bool(0.1) {
+        f.kill();
+    } else {
+        f.ret();
+    }
+    f.finish();
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte strings decode to `Err` or a module — never a panic.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in vec(0u8..=255, 0..512)) {
+        let words = words_of_bytes(&bytes);
+        let _ = binary::decode(&words);
+    }
+
+    /// Arbitrary words behind a valid header reach the instruction decoder
+    /// (past the magic/version gate) and still never panic.
+    #[test]
+    fn decode_arbitrary_body_never_panics(body in vec(0u32..=u32::MAX, 0..256)) {
+        let mut words = vec![binary::MAGIC, binary::VERSION, 1000, 0];
+        words.extend(body);
+        let _ = binary::decode(&words);
+    }
+
+    /// Single-word corruption of a valid stream never panics the decoder.
+    #[test]
+    fn decode_corrupted_stream_never_panics(
+        seed in 0u64..1_000_000,
+        position in 0usize..4096,
+        replacement in 0u32..=u32::MAX,
+    ) {
+        let mut words = binary::encode(&arbitrary_module(seed));
+        let position = position % words.len();
+        words[position] = replacement;
+        let _ = binary::decode(&words);
+    }
+
+    /// Truncation at every possible point never panics the decoder.
+    #[test]
+    fn decode_truncated_stream_never_panics(
+        seed in 0u64..1_000_000,
+        keep in 0usize..4096,
+    ) {
+        let words = binary::encode(&arbitrary_module(seed));
+        let keep = keep % (words.len() + 1);
+        let _ = binary::decode(&words[..keep]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode→decode round-trips builder-producible modules exactly.
+    #[test]
+    fn encode_decode_round_trips(seed in 0u64..u64::MAX) {
+        let module = arbitrary_module(seed);
+        let words = binary::encode(&module);
+        let back = match binary::decode(&words) {
+            Ok(m) => m,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(module, back);
+    }
+}

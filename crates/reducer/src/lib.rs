@@ -30,10 +30,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
 use trx_core::{apply_sequence, Context, Transformation};
 
 /// Statistics about a reduction run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReductionStats {
     /// Number of interestingness-test invocations.
     pub tests_run: usize,
@@ -42,6 +46,78 @@ pub struct ReductionStats {
     /// Number of instructions removed from `AddFunction` payloads by the
     /// shrink phase.
     pub payload_instructions_removed: usize,
+    /// Number of probe invocations that faulted instead of answering.
+    pub probe_faults: usize,
+    /// Number of interestingness queries abandoned because the probe kept
+    /// faulting on the candidate (poison-test quarantine).
+    pub poisoned_queries: usize,
+}
+
+/// A fault raised by an interestingness probe itself — the worker crashed,
+/// hung past its watchdog deadline, or otherwise failed to produce a
+/// verdict. Distinct from the probe *answering* "not interesting".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeFault(pub String);
+
+impl fmt::Display for ProbeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interestingness probe faulted: {}", self.0)
+    }
+}
+
+impl Error for ProbeFault {}
+
+/// One journaled probe invocation: the unit of the reducer's write-ahead
+/// attempt log. The reduction search is a pure function of the record
+/// stream, so replaying a log prefix resumes a crashed reduction on the
+/// exact path the uninterrupted run would have taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeRecord {
+    /// The probe ran to completion and answered.
+    Answered(bool),
+    /// The probe itself faulted; no verdict was produced.
+    Faulted,
+}
+
+/// The journaled attempt log of a reduction: every probe invocation, in
+/// order. Serialise records as they are emitted (see
+/// [`Reducer::reduce_journaled`]'s `on_record`) and replay them after a
+/// crash to resume deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionLog {
+    /// The records, in invocation order.
+    pub records: Vec<ProbeRecord>,
+}
+
+impl ReductionLog {
+    /// Creates an empty log (a fresh, non-resumed reduction).
+    #[must_use]
+    pub fn new() -> Self {
+        ReductionLog::default()
+    }
+
+    /// Number of journaled probe invocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// The outcome of a journaled reduction: the reduction itself plus the
+/// complete attempt log (replayed prefix and live suffix).
+#[derive(Debug, Clone)]
+pub struct JournaledReduction {
+    /// The reduction result.
+    pub reduction: Reduction,
+    /// The full attempt log; persisting it makes the reduction resumable
+    /// from any prefix.
+    pub log: ReductionLog,
 }
 
 /// The outcome of a reduction.
@@ -75,6 +151,12 @@ pub struct ReducerOptions {
     /// drives the per-query false-negative rate from `1 - p` down to
     /// `P[Binomial(n, p) < k]`.
     pub votes_required: u32,
+    /// Consecutive probe faults within one interestingness query before the
+    /// candidate is quarantined as a poison test: the query resolves to
+    /// "not interesting" (conservatively keeping the chunk) and
+    /// [`ReductionStats::poisoned_queries`] is bumped. Faulting probe runs
+    /// count against [`ReducerOptions::max_tests`] but cast no vote.
+    pub poison_retries: u32,
 }
 
 impl ReducerOptions {
@@ -103,6 +185,7 @@ impl Default for ReducerOptions {
             max_tests: 100_000,
             votes: 1,
             votes_required: 1,
+            poison_retries: 3,
         }
     }
 }
@@ -132,49 +215,132 @@ impl Reducer {
         sequence: &[Transformation],
         mut interesting: impl FnMut(&Context) -> bool,
     ) -> Reduction {
+        self.reduce_journaled(
+            original,
+            sequence,
+            &ReductionLog::new(),
+            |ctx| Ok(interesting(ctx)),
+            |_, _| {},
+        )
+        .reduction
+    }
+
+    /// Reduces `sequence` against `original` with a fallible probe and a
+    /// write-ahead attempt log.
+    ///
+    /// Every probe invocation appends one [`ProbeRecord`]; `on_record` fires
+    /// for each record *as it is produced* (with its index), so callers can
+    /// persist the log incrementally. The search consumes `prior`'s records
+    /// before invoking `probe` at all: resuming a crashed reduction with the
+    /// journaled prefix replays it onto the exact same search path,
+    /// bit-identically — whatever the probe would answer today.
+    ///
+    /// A probe returning `Err` casts no vote; after
+    /// [`ReducerOptions::poison_retries`] consecutive faults within one
+    /// query the candidate is quarantined ("poison test"): the query
+    /// resolves to *not interesting*, conservatively keeping the chunk.
+    pub fn reduce_journaled(
+        &self,
+        original: &Context,
+        sequence: &[Transformation],
+        prior: &ReductionLog,
+        mut probe: impl FnMut(&Context) -> Result<bool, ProbeFault>,
+        mut on_record: impl FnMut(usize, ProbeRecord),
+    ) -> JournaledReduction {
         let mut stats = ReductionStats::default();
         let mut current: Vec<Transformation> = sequence.to_vec();
+        let mut log = ReductionLog::new();
+        let mut replay_pos = 0usize;
 
         let max_tests = self.options.max_tests;
         let votes = self.options.votes.max(1);
         let votes_required = self.options.votes_required.clamp(1, votes);
+        let poison_retries = self.options.poison_retries.max(1);
+
+        // One probe invocation: replayed from the journal prefix when
+        // available, live (and journaled) otherwise.
+        let mut invoke = move |ctx: &Context, log: &mut ReductionLog| -> ProbeRecord {
+            let record = if replay_pos < prior.records.len() {
+                let r = prior.records[replay_pos];
+                replay_pos += 1;
+                r
+            } else {
+                let r = match probe(ctx) {
+                    Ok(verdict) => ProbeRecord::Answered(verdict),
+                    Err(_) => ProbeRecord::Faulted,
+                };
+                on_record(log.records.len(), r);
+                r
+            };
+            log.records.push(record);
+            record
+        };
+
         // One k-of-n interestingness query. Early exit once the verdict is
         // decided, so votes only cost budget while the outcome is open;
         // `None` means the test budget ran out mid-query.
-        let mut poll = move |ctx: &Context, stats: &mut ReductionStats| -> Option<bool> {
+        let mut poll = move |ctx: &Context,
+                             stats: &mut ReductionStats,
+                             log: &mut ReductionLog|
+              -> Option<bool> {
             let mut yes = 0u32;
-            for cast in 0..votes {
+            let mut cast = 0u32;
+            let mut consecutive_faults = 0u32;
+            while cast < votes {
                 if stats.tests_run >= max_tests {
                     return None;
                 }
                 stats.tests_run += 1;
-                if interesting(ctx) {
-                    yes += 1;
-                }
-                if yes >= votes_required {
-                    return Some(true);
-                }
-                let remaining = votes - cast - 1;
-                if yes + remaining < votes_required {
-                    return Some(false);
+                match invoke(ctx, log) {
+                    ProbeRecord::Faulted => {
+                        stats.probe_faults += 1;
+                        consecutive_faults += 1;
+                        if consecutive_faults >= poison_retries {
+                            stats.poisoned_queries += 1;
+                            return Some(false);
+                        }
+                    }
+                    ProbeRecord::Answered(verdict) => {
+                        consecutive_faults = 0;
+                        cast += 1;
+                        if verdict {
+                            yes += 1;
+                        }
+                        if yes >= votes_required {
+                            return Some(true);
+                        }
+                        let remaining = votes - cast;
+                        if yes + remaining < votes_required {
+                            return Some(false);
+                        }
+                    }
                 }
             }
             Some(false)
         };
-        let mut check = |candidate: &[Transformation], stats: &mut ReductionStats| {
+        let mut check = |candidate: &[Transformation],
+                         stats: &mut ReductionStats,
+                         log: &mut ReductionLog| {
             let mut ctx = original.clone();
             apply_sequence(&mut ctx, candidate);
-            poll(&ctx, stats).map(|verdict| (verdict, ctx))
+            poll(&ctx, stats, log).map(|verdict| (verdict, ctx))
         };
 
         // The full sequence must be interesting to begin with.
-        let Some((initially_interesting, full_ctx)) = check(&current, &mut stats) else {
+        let Some((initially_interesting, full_ctx)) = check(&current, &mut stats, &mut log)
+        else {
             let mut ctx = original.clone();
             apply_sequence(&mut ctx, &current);
-            return Reduction { sequence: current, context: ctx, stats };
+            return JournaledReduction {
+                reduction: Reduction { sequence: current, context: ctx, stats },
+                log,
+            };
         };
         if !initially_interesting {
-            return Reduction { sequence: current, context: full_ctx, stats };
+            return JournaledReduction {
+                reduction: Reduction { sequence: current, context: full_ctx, stats },
+                log,
+            };
         }
 
         let mut chunk_size = (current.len() / 2).max(1);
@@ -189,7 +355,7 @@ impl Reducer {
                 let mut candidate = Vec::with_capacity(current.len() - (end - start));
                 candidate.extend_from_slice(&current[..start]);
                 candidate.extend_from_slice(&current[end..]);
-                match check(&candidate, &mut stats) {
+                match check(&candidate, &mut stats, &mut log) {
                     Some((true, _)) => {
                         current = candidate;
                         stats.chunks_removed += 1;
@@ -221,12 +387,15 @@ impl Reducer {
         }
 
         if self.options.shrink_added_functions && !budget_exhausted {
-            self.shrink_payloads(original, &mut current, &mut stats, &mut poll);
+            self.shrink_payloads(original, &mut current, &mut stats, &mut log, &mut poll);
         }
 
         let mut context = original.clone();
         apply_sequence(&mut context, &current);
-        Reduction { sequence: current, context, stats }
+        JournaledReduction {
+            reduction: Reduction { sequence: current, context, stats },
+            log,
+        }
     }
 
     /// Tries to delete instructions from the bodies of `AddFunction`
@@ -238,7 +407,8 @@ impl Reducer {
         original: &Context,
         current: &mut Vec<Transformation>,
         stats: &mut ReductionStats,
-        poll: &mut impl FnMut(&Context, &mut ReductionStats) -> Option<bool>,
+        log: &mut ReductionLog,
+        poll: &mut impl FnMut(&Context, &mut ReductionStats, &mut ReductionLog) -> Option<bool>,
     ) {
         for index in 0..current.len() {
             let Transformation::AddFunction(payload) = &current[index] else {
@@ -268,7 +438,7 @@ impl Reducer {
                     if !applied[index] {
                         continue;
                     }
-                    match poll(&ctx, stats) {
+                    match poll(&ctx, stats, log) {
                         None => return,
                         Some(true) => {
                             payload = candidate_payload;
@@ -492,6 +662,201 @@ mod tests {
             z ^= z >> 31;
             z % 1000 < self.flake_millis
         }
+    }
+
+    #[test]
+    fn journaled_reduction_matches_plain_reduction() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 17);
+        let oracle = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        let plain = Reducer::default().reduce(&ctx, &sequence, oracle);
+        let mut streamed = Vec::new();
+        let journaled = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            |variant| Ok(oracle(variant)),
+            |index, record| streamed.push((index, record)),
+        );
+        assert_eq!(journaled.reduction.sequence, plain.sequence);
+        assert_eq!(journaled.reduction.stats, plain.stats);
+        assert_eq!(journaled.log.len(), plain.stats.tests_run);
+        // on_record streamed every record, in order, with its index.
+        assert_eq!(streamed.len(), journaled.log.len());
+        for (i, (index, record)) in streamed.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert_eq!(*record, journaled.log.records[i]);
+        }
+    }
+
+    #[test]
+    fn resume_from_any_log_prefix_is_bit_identical() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 9);
+        let oracle = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        let golden = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            |variant| Ok(oracle(variant)),
+            |_, _| {},
+        );
+        // Crash after k journaled probes, for every k: resuming replays the
+        // prefix without touching the probe and lands on the same result.
+        for k in 0..=golden.log.len() {
+            let prefix = ReductionLog { records: golden.log.records[..k].to_vec() };
+            let mut live_probes = 0usize;
+            let resumed = Reducer::default().reduce_journaled(
+                &ctx,
+                &sequence,
+                &prefix,
+                |variant| {
+                    live_probes += 1;
+                    Ok(oracle(variant))
+                },
+                |_, _| {},
+            );
+            assert_eq!(resumed.reduction.sequence, golden.reduction.sequence, "prefix {k}");
+            assert_eq!(resumed.reduction.stats, golden.reduction.stats, "prefix {k}");
+            assert_eq!(resumed.log, golden.log, "prefix {k}");
+            assert_eq!(live_probes, golden.log.len() - k, "prefix {k}");
+        }
+    }
+
+    #[test]
+    fn resume_with_full_log_never_invokes_probe() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 9);
+        let golden = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            |variant| {
+                Ok(variant.module.function(helper).unwrap().control
+                    == FunctionControl::DontInline)
+            },
+            |_, _| {},
+        );
+        // A probe that would change every answer — and must never run.
+        let resumed = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &golden.log,
+            |_| panic!("resume with a complete log must not invoke the probe"),
+            |_, _| {},
+        );
+        assert_eq!(resumed.reduction.sequence, golden.reduction.sequence);
+        assert_eq!(resumed.log, golden.log);
+    }
+
+    #[test]
+    fn transient_probe_faults_are_retried() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 9);
+        let oracle = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        let clean = Reducer::default().reduce(&ctx, &sequence, oracle);
+        // Every third probe faults once; poison_retries 3 absorbs each.
+        let mut calls = 0usize;
+        let faulty = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            |variant| {
+                calls += 1;
+                if calls.is_multiple_of(3) {
+                    Err(ProbeFault("injected".into()))
+                } else {
+                    Ok(oracle(variant))
+                }
+            },
+            |_, _| {},
+        );
+        assert_eq!(faulty.reduction.sequence, clean.sequence);
+        assert!(faulty.reduction.stats.probe_faults > 0);
+        assert_eq!(faulty.reduction.stats.poisoned_queries, 0);
+        // Faults cost budget: more tests than the clean run.
+        assert!(faulty.reduction.stats.tests_run > clean.stats.tests_run);
+    }
+
+    #[test]
+    fn persistent_probe_faults_quarantine_the_candidate() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 9);
+        let oracle = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        // The probe faults persistently on every uninteresting variant —
+        // poison candidates. The reducer must quarantine those queries
+        // (verdict "not interesting", which here matches the oracle) and
+        // still converge on the same answer as a clean run.
+        let journaled = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            |variant| {
+                if oracle(variant) {
+                    Ok(true)
+                } else {
+                    Err(ProbeFault("poison".into()))
+                }
+            },
+            |_, _| {},
+        );
+        assert!(journaled.reduction.stats.poisoned_queries > 0);
+        assert_eq!(
+            journaled.reduction.stats.probe_faults,
+            journaled.reduction.stats.poisoned_queries * 3,
+            "each quarantine costs exactly poison_retries faulting probes"
+        );
+        // The result still triggers the bug.
+        assert!(oracle(&journaled.reduction.context));
+    }
+
+    #[test]
+    fn poisoned_reduction_resumes_bit_identically() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 9);
+        let oracle = |variant: &Context| {
+            variant.module.function(helper).unwrap().control == FunctionControl::DontInline
+        };
+        let probe = |variant: &Context| {
+            if oracle(variant) {
+                Ok(true)
+            } else {
+                Err(ProbeFault("poison".into()))
+            }
+        };
+        let golden = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            probe,
+            |_, _| {},
+        );
+        let mid = golden.log.len() / 2;
+        let prefix = ReductionLog { records: golden.log.records[..mid].to_vec() };
+        let resumed = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &prefix,
+            probe,
+            |_, _| {},
+        );
+        assert_eq!(resumed.reduction.sequence, golden.reduction.sequence);
+        assert_eq!(resumed.reduction.stats, golden.reduction.stats);
+        assert_eq!(resumed.log, golden.log);
     }
 
     #[test]

@@ -23,7 +23,12 @@ use crate::target::{CompileOutcome, Target, TargetResult, TestTarget};
 /// The interpreter budget used to force an injected hang: small enough that
 /// any module that reaches execution exhausts it immediately, surfacing as
 /// `Fault::StepLimitExceeded` — indistinguishable from a genuine timeout.
-const HANG_BUDGET: ExecConfig = ExecConfig { step_limit: 1, call_depth_limit: 1 };
+const HANG_BUDGET: ExecConfig = ExecConfig {
+    step_limit: 1,
+    call_depth_limit: 1,
+    memory_limit: 65_536,
+    value_limit: 1 << 20,
+};
 
 /// The kind of fault a plan injects for a particular test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
