@@ -23,7 +23,13 @@
 //! under CI load would make the equivalence check flaky by design.
 //!
 //! Usage: `chaos_pipeline [--tests N] [--seed S] [--plan-seed P]
-//! [--out FILE] [--kill-points K]`
+//! [--out FILE] [--kill-points K] [--reduction-threads R]`
+//!
+//! `--reduction-threads R` (default 1) reduces pending bugs concurrently
+//! on an `R`-thread worker pool. The fault plan's persistent faults are a
+//! pure function of the probed module, so the parallel stage's
+//! bug-ordered record merge reproduces the serial journal byte for byte —
+//! which this binary verifies whenever the flag is set.
 //!
 //! A second mode drives real process-death testing from CI: `chaos_pipeline
 //! --wal FILE --report FILE [--kill-after N]` runs the pipeline once with
@@ -138,6 +144,7 @@ fn main() {
     let seed = arg_u64("--seed", 0);
     let plan_seed = arg_u64("--plan-seed", 500);
     let kill_points = arg_usize("--kill-points", 16).max(1);
+    let reduction_threads = arg_usize("--reduction-threads", 1).max(1);
     let out = arg_string("--out", "BENCH_robustness.json");
 
     // Persistent faults: probabilities fire per test key, never decaying
@@ -157,6 +164,7 @@ fn main() {
         executor: ExecutorConfig::default(),
         reducer: trx_reducer::ReducerOptions::default(),
         watchdog: WatchdogConfig { deadline_ms: 0 },
+        reduction_threads,
     };
 
     let wal = arg_string("--wal", "");

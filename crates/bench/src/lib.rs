@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
 pub mod robustness;
 
 /// Renders rows as a fixed-width text table with a header rule.

@@ -177,6 +177,45 @@ impl FactStore {
     pub fn live_safe_functions(&self) -> impl Iterator<Item = Id> + '_ {
         self.live_safe_functions.iter().copied()
     }
+
+    /// Mixes the store's contents into `hasher` in a canonical order.
+    ///
+    /// The ordered sets iterate sorted already; the union–find parent map
+    /// is a `HashMap`, so its pairs are collected and sorted first. Note
+    /// the fingerprint covers the *representation* of the synonym relation
+    /// (the parent pointers), which is itself deterministic because every
+    /// mutation of the store is — equal transformation histories yield
+    /// equal parent maps.
+    pub fn write_fingerprint(&self, hasher: &mut trx_ir::hash::StableHasher) {
+        let write_descriptor = |h: &mut trx_ir::hash::StableHasher, d: &DataDescriptor| {
+            h.write_u32(d.id.raw());
+            h.write_u64(d.path.len() as u64);
+            for step in &d.path {
+                h.write_u32(*step);
+            }
+        };
+        for (tag, set) in [
+            (0u32, &self.dead_blocks),
+            (1, &self.irrelevant_ids),
+            (2, &self.irrelevant_pointees),
+            (3, &self.live_safe_functions),
+        ] {
+            hasher.write_u32(tag);
+            hasher.write_u64(set.len() as u64);
+            for id in set {
+                hasher.write_u32(id.raw());
+            }
+        }
+        let mut pairs: Vec<(&DataDescriptor, &DataDescriptor)> =
+            self.synonym_parent.iter().collect();
+        pairs.sort_unstable();
+        hasher.write_u32(4);
+        hasher.write_u64(pairs.len() as u64);
+        for (child, parent) in pairs {
+            write_descriptor(hasher, child);
+            write_descriptor(hasher, parent);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! Structural fingerprints over whole [`Context`]s.
+//!
+//! The reducer memoizes interestingness verdicts by context: delta-debugging
+//! repeatedly re-probes candidate sequences that *normalize* to a context it
+//! has already asked the oracle about (repeat passes at the same chunk size,
+//! halved chunks whose removals are no-ops because the preconditions already
+//! failed, …). Two contexts are interchangeable for a deterministic oracle
+//! exactly when module, inputs and facts all coincide, so the memo key is a
+//! stable structural hash over all three (see [`trx_ir::hash`] for why the
+//! hash must be seed-free).
+
+use trx_ir::hash::{module_fingerprint, StableHasher};
+
+use crate::context::Context;
+
+/// Stable 64-bit structural fingerprint of a context: module (via its
+/// canonical binary encoding), interpreter inputs, and fact store.
+#[must_use]
+pub fn context_fingerprint(ctx: &Context) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(module_fingerprint(&ctx.module));
+    h.write_inputs(&ctx.inputs);
+    ctx.facts.write_fingerprint(&mut h);
+    h.finish()
+}
+
+/// Stable 64-bit identity of a transformation *value*, used by
+/// [`crate::PrefixCache`] to key state transitions without cloning or
+/// comparing whole transformations.
+///
+/// The hash runs over the derived `Debug` rendering, which is a faithful,
+/// deterministic function of the structure (field names, variant names,
+/// every payload value — floats included, via Rust's shortest-roundtrip
+/// formatting). Two equal transformations always share an id; distinct
+/// transformations collide with probability ~2⁻⁶⁴, the same standing
+/// assumption the verdict memo makes about [`context_fingerprint`].
+#[must_use]
+pub fn transformation_id(t: &crate::Transformation) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(&format!("{t:?}"));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformations::SetFunctionControl;
+    use crate::{apply, Transformation};
+    use trx_ir::{FunctionControl, ModuleBuilder};
+
+    fn tiny_context() -> Context {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        Context::new(b.finish(), trx_ir::Inputs::new()).expect("valid module")
+    }
+
+    #[test]
+    fn equal_contexts_share_a_fingerprint() {
+        assert_eq!(
+            context_fingerprint(&tiny_context()),
+            context_fingerprint(&tiny_context())
+        );
+    }
+
+    #[test]
+    fn facts_affect_the_fingerprint() {
+        let base = tiny_context();
+        let mut facted = base.clone();
+        facted.facts.add_irrelevant(trx_ir::Id::new(1));
+        assert_ne!(context_fingerprint(&base), context_fingerprint(&facted));
+    }
+
+    #[test]
+    fn applied_transformations_change_the_fingerprint() {
+        let base = tiny_context();
+        let mut transformed = base.clone();
+        let function = transformed.module.functions[0].id;
+        let t: Transformation =
+            SetFunctionControl { function, control: FunctionControl::DontInline }.into();
+        if apply(&mut transformed, &t) {
+            assert_ne!(context_fingerprint(&base), context_fingerprint(&transformed));
+        }
+    }
+}

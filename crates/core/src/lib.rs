@@ -51,10 +51,14 @@
 mod context;
 mod descriptor;
 mod facts;
+mod fingerprint;
+mod prefix;
 mod transformation;
 pub mod transformations;
 
 pub use context::Context;
 pub use descriptor::{Anchor, InstructionDescriptor, ResolvedPoint, UseDescriptor};
 pub use facts::{DataDescriptor, FactStore};
+pub use fingerprint::{context_fingerprint, transformation_id};
+pub use prefix::{Materialized, PrefixCache, PrefixCacheStats};
 pub use transformation::{apply, apply_sequence, Transformation, TransformationKind};

@@ -270,31 +270,22 @@ pub fn run_campaign<T: TestTarget>(
     CampaignOutcome { per_test }
 }
 
-/// A simple indexed parallel map over `0..count` using scoped threads.
+/// A simple indexed parallel map over `0..count`.
+///
+/// Runs on a [`trx_pool`] worker pool spawned for the call (workers are
+/// created once, not per chunk; long-lived stages that map many batches
+/// should hold their own [`trx_pool::with_pool`] scope and call
+/// [`trx_pool::WorkerPool::map`] directly — see the resilient executor).
+/// A panicking job re-raises on the calling thread after the batch drains.
 pub fn parallel_map<T: Send>(
     threads: usize,
     count: usize,
-    f: impl Fn(usize) -> T + Sync,
+    f: impl Fn(usize) -> T + Send + Sync,
 ) -> Vec<T> {
     if count == 0 {
         return Vec::new();
     }
-    let threads = threads.clamp(1, count);
-    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let chunk = count.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (worker, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (offset, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(worker * chunk + offset));
-                }
-            });
-        }
-    });
-    // A panicking worker re-raises out of the scope above, so every slot is
-    // filled here; the fallback avoids a panicking unwrap on the hot path.
-    results.into_iter().flatten().collect()
+    trx_pool::with_pool(threads.clamp(1, count), |pool| pool.map(count, f))
 }
 
 /// A reduced bug-triggering test: everything the §4.2/§4.3 experiments need.

@@ -48,8 +48,7 @@ use trx_ir::{Fault, Inputs, Module};
 use trx_targets::{TargetResult, TestTarget};
 
 use crate::campaign::{
-    module_for_target, parallel_map, try_generate_test, BugSignature, CampaignOutcome,
-    Tool,
+    module_for_target, try_generate_test, BugSignature, CampaignOutcome, Tool,
 };
 use crate::corpus::donor_modules;
 use crate::errors::{panic_message, HarnessError};
@@ -533,19 +532,27 @@ pub fn resume_campaign<T: TestTarget>(
         },
     };
 
+    // One persistent worker pool serves every batch: under heavy triage
+    // traffic the executor used to spawn (and join) a fresh set of threads
+    // per checkpoint interval.
+    trx_pool::with_pool(threads, |pool| {
     while state.completed_tests < tests {
         let start = state.completed_tests;
         let batch = interval.min(tests - start);
         // The quarantine set is frozen for the whole batch, so workers are
-        // independent of scheduling.
-        let quarantined: Vec<bool> =
-            state.quarantined_at.iter().map(Option::is_some).collect();
+        // independent of scheduling. It is shared into the pool jobs via
+        // `Arc`: pool jobs may only capture state that outlives the pool,
+        // and this vector is rebuilt per batch.
+        let quarantined: std::sync::Arc<Vec<bool>> = std::sync::Arc::new(
+            state.quarantined_at.iter().map(Option::is_some).collect(),
+        );
 
-        let rows: Vec<RowResult> =
-            parallel_map(threads.min(batch), batch, |offset| {
+        let rows: Vec<RowResult> = {
+            let donors = &donors;
+            pool.map(batch, move |offset| {
                 let index = start + offset;
                 let seed = seed_base + index as u64;
-                let test = match try_generate_test(tool, seed, &donors) {
+                let test = match try_generate_test(tool, seed, donors) {
                     Ok(test) => test,
                     Err(e) => {
                         return RowResult {
@@ -556,7 +563,7 @@ pub fn resume_campaign<T: TestTarget>(
                 };
                 let cells = targets
                     .iter()
-                    .zip(&quarantined)
+                    .zip(quarantined.iter())
                     .map(|(target, &skip)| {
                         if skip {
                             CellResolution::Skipped
@@ -573,7 +580,8 @@ pub fn resume_campaign<T: TestTarget>(
                     })
                     .collect();
                 RowResult { generation_error: None, cells }
-            });
+            })
+        };
 
         // Serial fold in test order: ledger order and breaker transitions
         // are deterministic.
@@ -651,6 +659,7 @@ pub fn resume_campaign<T: TestTarget>(
         }
         on_checkpoint(&state);
     }
+    });
 
     // Transpose [test][target] rows into the CampaignOutcome shape.
     let mut per_test = vec![Vec::with_capacity(tests); targets.len()];

@@ -108,6 +108,15 @@ pub struct PipelineConfig {
     pub reducer: ReducerOptions,
     /// Wall-clock watchdog for each reduction probe.
     pub watchdog: WatchdogConfig,
+    /// Worker threads for the per-bug reduction stage. 1 (the default)
+    /// reduces bugs serially, streaming probe records to the WAL as they
+    /// happen. Higher values reduce pending bugs concurrently on a shared
+    /// worker pool and then emit their records in bug-index order, so the
+    /// journal (and therefore kill/resume) stays byte-identical to a
+    /// serial run with deterministic targets; the tradeoff is that a crash
+    /// mid-stage loses the in-flight bugs' probe records and re-reduces
+    /// those bugs on resume.
+    pub reduction_threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -119,6 +128,7 @@ impl Default for PipelineConfig {
             executor: ExecutorConfig::default(),
             reducer: ReducerOptions::default(),
             watchdog: WatchdogConfig::default(),
+            reduction_threads: 1,
         }
     }
 }
@@ -431,9 +441,14 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
         }
     };
 
-    let journaled = Reducer::new(config.reducer).reduce_journaled(
+    // The fuzzer already materialized the full-sequence variant while
+    // generating the test; seeding the reducer with it skips the initial
+    // whole-sequence replay (the journal is unaffected — the fuzzer's
+    // replay contract guarantees the same context either way).
+    let journaled = Reducer::new(config.reducer).reduce_journaled_seeded(
         &original,
         &test.transformations,
+        &test.variant,
         prior,
         probe,
         |_, record| sink(&WalRecord::Probe { bug: bug_index, record }),
@@ -499,20 +514,75 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
     // Stage 3: reduction per bug, each one journaled per probe; stage 4
     // interleaved: each completed reduction feeds the incremental dedup
     // state immediately, so dedup survives partial recovery too.
+    //
+    // With `reduction_threads > 1` the pending bugs are reduced
+    // concurrently on one worker pool, their record streams buffered
+    // per bug and merged into the WAL in bug-index order — the exact
+    // serial emission order, so the journal bytes (and every resume
+    // decision derived from them) match a serial run. Each concurrent
+    // reduction uses the serial reducer: per-probe speculation and
+    // per-bug parallelism must never share a pool (nested `map` on one
+    // pool can deadlock).
     let donors = donor_modules();
+    let pending: Vec<usize> =
+        (0..bugs.len()).filter(|i| !recovered.done.contains_key(i)).collect();
+    let mut parallel_results: BTreeMap<
+        usize,
+        Result<(TriagedBug, Vec<WalRecord>), HarnessError>,
+    > = BTreeMap::new();
+    if config.reduction_threads > 1 && pending.len() > 1 {
+        let bugs = &bugs;
+        let donors = &donors;
+        let pending = &pending;
+        let probe_logs = &recovered.probe_logs;
+        let outcomes = trx_pool::with_pool(config.reduction_threads, |pool| {
+            pool.map(pending.len(), move |j| {
+                let bug_index = pending[j];
+                let prior = probe_logs
+                    .get(&bug_index)
+                    .cloned()
+                    .unwrap_or_default();
+                let mut records = Vec::new();
+                let result = reduce_bug(
+                    config,
+                    targets,
+                    donors,
+                    &bugs[bug_index],
+                    bug_index,
+                    &prior,
+                    &mut |record: &WalRecord| records.push(record.clone()),
+                );
+                (bug_index, result.map(|summary| (summary, records)))
+            })
+        });
+        parallel_results.extend(outcomes);
+    }
+
     let mut dedup = IncrementalDedup::new();
     let mut summaries = Vec::with_capacity(bugs.len());
     for (bug_index, bug) in bugs.iter().enumerate() {
         let summary = match recovered.done.get(&bug_index) {
             Some(summary) => summary.clone(),
             None => {
-                let prior = recovered
-                    .probe_logs
-                    .get(&bug_index)
-                    .cloned()
-                    .unwrap_or_default();
-                let summary =
-                    reduce_bug(config, targets, &donors, bug, bug_index, &prior, &mut sink)?;
+                let summary = match parallel_results.remove(&bug_index) {
+                    Some(result) => {
+                        // Errors surface in bug order, exactly where the
+                        // serial loop would have stopped.
+                        let (summary, records) = result?;
+                        for record in &records {
+                            sink(record);
+                        }
+                        summary
+                    }
+                    None => {
+                        let prior = recovered
+                            .probe_logs
+                            .get(&bug_index)
+                            .cloned()
+                            .unwrap_or_default();
+                        reduce_bug(config, targets, &donors, bug, bug_index, &prior, &mut sink)?
+                    }
+                };
                 sink(&WalRecord::ReductionDone { bug: bug_index, summary: summary.clone() });
                 summary
             }
@@ -682,6 +752,17 @@ mod tests {
     }
 
     #[test]
+    fn parallel_reduction_matches_serial_byte_for_byte() {
+        let serial = small_config();
+        let parallel = PipelineConfig { reduction_threads: 4, ..small_config() };
+        let (report_s, records_s) = run_collecting(&serial, &clean_targets(), &Journal::new());
+        let (report_p, records_p) = run_collecting(&parallel, &clean_targets(), &Journal::new());
+        assert_eq!(report_s, report_p);
+        assert_eq!(records_s, records_p, "parallel reduction reordered the WAL");
+        assert_eq!(report_s.to_json().unwrap(), report_p.to_json().unwrap());
+    }
+
+    #[test]
     fn kill_at_any_wal_record_resumes_bit_identically() {
         let config = small_config();
         let targets = clean_targets();
@@ -710,6 +791,40 @@ mod tests {
                 emitted,
                 records[k..].to_vec(),
                 "journal suffix diverged resuming after record {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_with_parallel_reduction_is_bit_identical() {
+        // Satellite (f): the WAL is a merge of per-bug buffers emitted in
+        // bug order, so aborting mid-run and resuming with the parallel
+        // reducer enabled must still land on the serial golden bytes.
+        let serial = small_config();
+        let parallel = PipelineConfig { reduction_threads: 4, ..small_config() };
+        let (golden, records) = run_collecting(&serial, &clean_targets(), &Journal::new());
+        let golden_json = golden.to_json().expect("report serialises");
+
+        let stride = (records.len() / 8).max(1);
+        let mut cuts: Vec<usize> = (0..=records.len()).step_by(stride).collect();
+        if cuts.last() != Some(&records.len()) {
+            cuts.push(records.len());
+        }
+        for k in cuts {
+            let prefix = Journal { records: records[..k].to_vec() };
+            let mut emitted = Vec::new();
+            let resumed =
+                run_pipeline(&parallel, &clean_targets(), &prefix, |r| emitted.push(r.clone()))
+                    .expect("parallel resume runs");
+            assert_eq!(
+                resumed.to_json().expect("report serialises"),
+                golden_json,
+                "parallel resume report diverged after record {k}"
+            );
+            assert_eq!(
+                emitted,
+                records[k..].to_vec(),
+                "parallel resume journal suffix diverged after record {k}"
             );
         }
     }

@@ -52,6 +52,7 @@ mod builder;
 pub mod cfg;
 mod constant;
 pub mod disasm;
+pub mod hash;
 mod function;
 mod id;
 mod instruction;

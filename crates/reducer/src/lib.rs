@@ -26,15 +26,57 @@
 //! every interestingness query into a `k`-of-`n` vote. Each vote invokes
 //! the oracle once and counts against [`ReducerOptions::max_tests`], so
 //! voting trades test budget for robustness.
+//!
+//! ## The prefix-memoized engine
+//!
+//! A naive implementation pays O(|candidate|) transformation applications
+//! per probe. This engine threads every candidate materialization through a
+//! [`trx_core::PrefixCache`] of context snapshots keyed by
+//! applied-transformation prefix ([`ReducerOptions::prefix_cache_budget`]),
+//! so consecutive candidates replay only the part of the sequence the
+//! previous probes have not already computed. The cache is behaviorally
+//! invisible: verdicts, the [`ReductionLog`], and the reduced sequence are
+//! byte-identical to the uncached engine at every budget (including 0,
+//! which disables it).
+//!
+//! Two further layers are opt-in:
+//!
+//! * **Verdict memoization** ([`ReducerOptions::memoize_verdicts`]): probe
+//!   verdicts are memoized by the candidate context's structural
+//!   fingerprint, so candidates that *normalize* to an already-probed
+//!   context are answered without invoking the oracle. A memo hit still
+//!   counts against [`ReducerOptions::max_tests`] and is journaled as an
+//!   ordinary [`ProbeRecord`], so `reduce_journaled` resume stays
+//!   bit-identical; the memo itself is rebuilt deterministically from the
+//!   replayed records. Off by default because it changes how often a
+//!   *flaky* oracle is consulted (it is an exact optimization only for
+//!   deterministic oracles), and it is only active for 1-of-1 voting.
+//! * **Speculative parallel probing** ([`Reducer::reduce_speculative`],
+//!   width [`ReducerOptions::speculation`]): the independent chunk-removal
+//!   candidates of one delta-debugging round are probed concurrently on a
+//!   [`trx_pool::WorkerPool`], assuming rejections (the common case).
+//!   Outcomes are adopted in canonical back-to-front order as
+//!   first-invocation hints, so for a deterministic oracle the log and
+//!   result are byte-identical to the serial engine; speculative probes
+//!   that turn out stale are discarded unjournaled and cost no test
+//!   budget.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use trx_core::{apply_sequence, Context, Transformation};
+use trx_core::{
+    context_fingerprint, transformation_id, Context, PrefixCache, PrefixCacheStats,
+    Transformation,
+};
+use trx_pool::WorkerPool;
 
 /// Statistics about a reduction run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -120,6 +162,25 @@ pub struct JournaledReduction {
     pub log: ReductionLog,
 }
 
+/// Work counters for the prefix-memoized engine itself: how much the
+/// caching layers saved. Unlike [`ReductionStats`] (which is part of the
+/// journaled pipeline schema and describes the *search*), these describe
+/// the *machinery* and may differ between serial and speculative runs that
+/// are otherwise byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Prefix-cache counters (applications performed vs. saved, hit rate).
+    pub cache: PrefixCacheStats,
+    /// Interestingness queries answered from the verdict memo without
+    /// invoking the oracle.
+    pub memo_hits: u64,
+    /// Probes launched speculatively on the worker pool.
+    pub speculative_probes: u64,
+    /// Speculative probe outcomes actually consumed as query verdicts
+    /// (the rest were discarded as stale).
+    pub speculative_hits: u64,
+}
+
 /// The outcome of a reduction.
 #[derive(Debug, Clone)]
 pub struct Reduction {
@@ -129,6 +190,8 @@ pub struct Reduction {
     pub context: Context,
     /// Counters describing the run.
     pub stats: ReductionStats,
+    /// Counters describing the engine's caching and speculation layers.
+    pub engine: EngineStats,
 }
 
 /// Configuration for the reducer.
@@ -157,6 +220,25 @@ pub struct ReducerOptions {
     /// [`ReductionStats::poisoned_queries`] is bumped. Faulting probe runs
     /// count against [`ReducerOptions::max_tests`] but cast no vote.
     pub poison_retries: u32,
+    /// Maximum number of context snapshots (transition edges) the
+    /// [`trx_core::PrefixCache`] may hold while materializing candidates.
+    /// 0 disables the cache: every probe replays its whole candidate from
+    /// the original context — the serial reference behavior. The cache is
+    /// behaviorally invisible at any budget; raising it only trades memory
+    /// for fewer transformation applications.
+    pub prefix_cache_budget: usize,
+    /// Memoize probe verdicts by candidate-context fingerprint, answering
+    /// repeat contexts without invoking the oracle. Memo hits still count
+    /// against [`ReducerOptions::max_tests`] and are journaled, keeping
+    /// resume bit-identical. Only active for 1-of-1 voting; off by default
+    /// because with a *flaky* oracle it changes which probes actually run
+    /// (it is an exact optimization only for deterministic oracles).
+    pub memoize_verdicts: bool,
+    /// Speculation width for [`Reducer::reduce_speculative`]: how many of a
+    /// round's upcoming chunk-removal candidates are probed concurrently.
+    /// 0 means "match the worker pool's thread count"; 1 disables
+    /// speculation. Ignored by the serial entry points.
+    pub speculation: usize,
 }
 
 impl ReducerOptions {
@@ -186,6 +268,9 @@ impl Default for ReducerOptions {
             votes: 1,
             votes_required: 1,
             poison_retries: 3,
+            prefix_cache_budget: 256,
+            memoize_verdicts: false,
+            speculation: 1,
         }
     }
 }
@@ -244,60 +329,390 @@ impl Reducer {
         original: &Context,
         sequence: &[Transformation],
         prior: &ReductionLog,
-        mut probe: impl FnMut(&Context) -> Result<bool, ProbeFault>,
-        mut on_record: impl FnMut(usize, ProbeRecord),
+        probe: impl FnMut(&Context) -> Result<bool, ProbeFault>,
+        on_record: impl FnMut(usize, ProbeRecord),
     ) -> JournaledReduction {
-        let mut stats = ReductionStats::default();
-        let mut current: Vec<Transformation> = sequence.to_vec();
-        let mut log = ReductionLog::new();
-        let mut replay_pos = 0usize;
+        Engine::new(self.options, original, None, prior, probe, on_record, NoSpeculation)
+            .run(sequence)
+    }
 
-        let max_tests = self.options.max_tests;
-        let votes = self.options.votes.max(1);
-        let votes_required = self.options.votes_required.clamp(1, votes);
-        let poison_retries = self.options.poison_retries.max(1);
+    /// Like [`Reducer::reduce_journaled`], but seeded with `variant`, the
+    /// already-materialized context of the *full* sequence — in the triage
+    /// pipeline the fuzzer built exactly this context while generating the
+    /// test, so replaying the whole sequence once more just to run the
+    /// initial interestingness check is pure waste.
+    ///
+    /// `variant` must equal the result of applying `sequence` to
+    /// `original` (the fuzzer's replay contract). The probe then sees
+    /// bit-identical contexts, and the journal, reduced sequence and
+    /// statistics match the unseeded engine's byte for byte; only the
+    /// engine-work counters ([`EngineStats`]) differ.
+    pub fn reduce_journaled_seeded(
+        &self,
+        original: &Context,
+        sequence: &[Transformation],
+        variant: &Context,
+        prior: &ReductionLog,
+        probe: impl FnMut(&Context) -> Result<bool, ProbeFault>,
+        on_record: impl FnMut(usize, ProbeRecord),
+    ) -> JournaledReduction {
+        Engine::new(
+            self.options,
+            original,
+            Some(variant),
+            prior,
+            probe,
+            on_record,
+            NoSpeculation,
+        )
+        .run(sequence)
+    }
 
-        // One probe invocation: replayed from the journal prefix when
-        // available, live (and journaled) otherwise.
-        let mut invoke = move |ctx: &Context, log: &mut ReductionLog| -> ProbeRecord {
-            let record = if replay_pos < prior.records.len() {
-                let r = prior.records[replay_pos];
-                replay_pos += 1;
-                r
-            } else {
-                let r = match probe(ctx) {
-                    Ok(verdict) => ProbeRecord::Answered(verdict),
-                    Err(_) => ProbeRecord::Faulted,
-                };
-                on_record(log.records.len(), r);
-                r
-            };
-            log.records.push(record);
-            record
+    /// Like [`Reducer::reduce_journaled`], but probes a round's upcoming
+    /// chunk-removal candidates concurrently on `pool`, assuming rejections
+    /// (the common case once the sequence is near-minimal).
+    ///
+    /// Verdicts are adopted in canonical back-to-front order, so for a
+    /// *deterministic* probe the [`ReductionLog`], the reduced sequence,
+    /// and [`ReductionStats`] are byte-identical to the serial engine's:
+    /// speculative probes that turn out stale are discarded without being
+    /// journaled and cost no test budget. (For a flaky probe the two
+    /// engines may legitimately diverge — wasted speculative probes consume
+    /// oracle randomness the serial engine never sees.)
+    ///
+    /// The speculation width is [`ReducerOptions::speculation`]; 0 matches
+    /// the pool's thread count. Speculation pauses while `prior` records
+    /// are still being replayed, so resume never re-invokes the probe for
+    /// journaled prefixes.
+    pub fn reduce_speculative<'env, F>(
+        &self,
+        original: &Context,
+        sequence: &[Transformation],
+        prior: &ReductionLog,
+        probe: F,
+        on_record: impl FnMut(usize, ProbeRecord),
+        pool: &WorkerPool<'env>,
+    ) -> JournaledReduction
+    where
+        F: Fn(&Context) -> Result<bool, ProbeFault> + Send + Sync + 'env,
+    {
+        self.speculative_engine(original, sequence, None, prior, probe, on_record, pool)
+    }
+
+    /// [`Reducer::reduce_speculative`] seeded with the full sequence's
+    /// already-materialized `variant` context, with the same contract as
+    /// [`Reducer::reduce_journaled_seeded`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_speculative_seeded<'env, F>(
+        &self,
+        original: &Context,
+        sequence: &[Transformation],
+        variant: &Context,
+        prior: &ReductionLog,
+        probe: F,
+        on_record: impl FnMut(usize, ProbeRecord),
+        pool: &WorkerPool<'env>,
+    ) -> JournaledReduction
+    where
+        F: Fn(&Context) -> Result<bool, ProbeFault> + Send + Sync + 'env,
+    {
+        self.speculative_engine(original, sequence, Some(variant), prior, probe, on_record, pool)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn speculative_engine<'env, F>(
+        &self,
+        original: &Context,
+        sequence: &[Transformation],
+        initial: Option<&Context>,
+        prior: &ReductionLog,
+        probe: F,
+        on_record: impl FnMut(usize, ProbeRecord),
+        pool: &WorkerPool<'env>,
+    ) -> JournaledReduction
+    where
+        F: Fn(&Context) -> Result<bool, ProbeFault> + Send + Sync + 'env,
+    {
+        let probe = Arc::new(probe);
+        let width = match self.options.speculation {
+            0 => pool.threads(),
+            w => w,
         };
+        let speculation = PoolSpeculation {
+            pool,
+            probe: Arc::clone(&probe),
+            width,
+            hints: HashMap::new(),
+            launched: 0,
+            consumed: 0,
+        };
+        let live = move |ctx: &Context| probe(ctx);
+        Engine::new(self.options, original, initial, prior, live, on_record, speculation)
+            .run(sequence)
+    }
+}
 
-        // One k-of-n interestingness query. Early exit once the verdict is
-        // decided, so votes only cost budget while the outcome is open;
-        // `None` means the test budget ran out mid-query.
-        let mut poll = move |ctx: &Context,
-                             stats: &mut ReductionStats,
-                             log: &mut ReductionLog|
-              -> Option<bool> {
-            let mut yes = 0u32;
-            let mut cast = 0u32;
-            let mut consecutive_faults = 0u32;
-            while cast < votes {
-                if stats.tests_run >= max_tests {
-                    return None;
+/// Outcome of one speculative probe run: the probe's answer, or the panic
+/// it raised (re-raised only if the hint is actually consumed — a panic in
+/// a probe the serial engine would never have run stays invisible).
+type SpeculativeOutcome = std::thread::Result<Result<bool, ProbeFault>>;
+
+/// Strategy hook for running probes ahead of the search. The engine calls
+/// [`Speculate::prefetch`] with the contexts of upcoming candidates and
+/// consumes outcomes via [`Speculate::take`] as first-invocation hints.
+trait Speculate {
+    /// Whether prefetching is worth preparing batches for.
+    fn active(&self) -> bool {
+        false
+    }
+    /// How many candidates to batch per prefetch.
+    fn width(&self) -> usize {
+        1
+    }
+    /// Whether outcomes from a previous batch are still pending.
+    fn has_hints(&self) -> bool {
+        false
+    }
+    /// Probes `jobs` (fingerprint, context) concurrently, blocking until
+    /// the batch completes.
+    fn prefetch(&mut self, jobs: Vec<(u64, Context)>) {
+        drop(jobs);
+    }
+    /// Consumes the outcome for `fp`, if one was prefetched.
+    fn take(&mut self, fp: u64) -> Option<SpeculativeOutcome> {
+        let _ = fp;
+        None
+    }
+    /// Discards pending outcomes (the sequence changed; they are stale).
+    fn discard(&mut self) {}
+    /// (probes launched, outcomes consumed).
+    fn counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// The serial engine: never prefetches.
+struct NoSpeculation;
+
+impl Speculate for NoSpeculation {}
+
+/// Pool-backed speculation for [`Reducer::reduce_speculative`].
+struct PoolSpeculation<'p, 'env, F> {
+    pool: &'p WorkerPool<'env>,
+    probe: Arc<F>,
+    width: usize,
+    hints: HashMap<u64, SpeculativeOutcome>,
+    launched: u64,
+    consumed: u64,
+}
+
+impl<'env, F> Speculate for PoolSpeculation<'_, 'env, F>
+where
+    F: Fn(&Context) -> Result<bool, ProbeFault> + Send + Sync + 'env,
+{
+    fn active(&self) -> bool {
+        self.width > 1
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn has_hints(&self) -> bool {
+        !self.hints.is_empty()
+    }
+
+    fn prefetch(&mut self, jobs: Vec<(u64, Context)>) {
+        let (tx, rx) = channel::<(u64, SpeculativeOutcome)>();
+        let mut expected = 0usize;
+        for (fp, ctx) in jobs {
+            if self.hints.contains_key(&fp) {
+                continue;
+            }
+            let tx = tx.clone();
+            let probe = Arc::clone(&self.probe);
+            let ctx = Arc::new(ctx);
+            self.pool.submit(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| probe(&ctx)));
+                let _ = tx.send((fp, outcome));
+            });
+            expected += 1;
+        }
+        drop(tx);
+        for _ in 0..expected {
+            let (fp, outcome) = rx.recv().expect("pool dropped a speculative outcome");
+            self.hints.insert(fp, outcome);
+            self.launched += 1;
+        }
+    }
+
+    fn take(&mut self, fp: u64) -> Option<SpeculativeOutcome> {
+        let hint = self.hints.remove(&fp);
+        if hint.is_some() {
+            self.consumed += 1;
+        }
+        hint
+    }
+
+    fn discard(&mut self) {
+        self.hints.clear();
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        (self.launched, self.consumed)
+    }
+}
+
+/// [`ReducerOptions`] resolved into the engine's operating parameters.
+struct Resolved {
+    max_tests: usize,
+    votes: u32,
+    votes_required: u32,
+    poison_retries: u32,
+    shrink_added_functions: bool,
+    /// `memoize_verdicts` is only sound for 1-of-1 voting (a memo entry is
+    /// one probe verdict, not a vote tally), so it is resolved against it.
+    memoize: bool,
+}
+
+/// The prefix-memoized reduction engine: one reduction run's state.
+///
+/// The search itself is a pure function of the probe-record stream; the
+/// cache, memo and speculation layers only change how records are
+/// *produced*, never which records a deterministic run contains.
+struct Engine<'a, P, R, S> {
+    opts: Resolved,
+    original: &'a Context,
+    /// The full sequence's already-materialized context, when the caller
+    /// has one (the fuzzer's variant): the initial interestingness check
+    /// then skips the full-sequence replay entirely.
+    initial: Option<&'a Context>,
+    cache: PrefixCache,
+    memo: HashMap<u64, bool>,
+    memo_hits: u64,
+    prior: &'a ReductionLog,
+    replay_pos: usize,
+    probe: P,
+    on_record: R,
+    speculation: S,
+    log: ReductionLog,
+    stats: ReductionStats,
+}
+
+impl<'a, P, R, S> Engine<'a, P, R, S>
+where
+    P: FnMut(&Context) -> Result<bool, ProbeFault>,
+    R: FnMut(usize, ProbeRecord),
+    S: Speculate,
+{
+    fn new(
+        options: ReducerOptions,
+        original: &'a Context,
+        initial: Option<&'a Context>,
+        prior: &'a ReductionLog,
+        probe: P,
+        on_record: R,
+        speculation: S,
+    ) -> Self {
+        let votes = options.votes.max(1);
+        Engine {
+            opts: Resolved {
+                max_tests: options.max_tests,
+                votes,
+                votes_required: options.votes_required.clamp(1, votes),
+                poison_retries: options.poison_retries.max(1),
+                shrink_added_functions: options.shrink_added_functions,
+                memoize: options.memoize_verdicts && votes == 1,
+            },
+            original,
+            initial,
+            cache: PrefixCache::new(options.prefix_cache_budget),
+            memo: HashMap::new(),
+            memo_hits: 0,
+            prior,
+            replay_pos: 0,
+            probe,
+            on_record,
+            speculation,
+            log: ReductionLog::new(),
+            stats: ReductionStats::default(),
+        }
+    }
+
+    /// Emits one live (non-replayed) record: journals it and streams it to
+    /// the caller.
+    fn emit(&mut self, record: ProbeRecord) -> ProbeRecord {
+        (self.on_record)(self.log.records.len(), record);
+        self.log.records.push(record);
+        record
+    }
+
+    /// One probe invocation. Sources, in priority order: the replayed
+    /// journal prefix; on a query's first invocation only, the verdict
+    /// memo, then a speculative hint; finally the live probe.
+    fn invoke(&mut self, ctx: &Context, fp: Option<u64>, first: bool) -> ProbeRecord {
+        if self.replay_pos < self.prior.records.len() {
+            let record = self.prior.records[self.replay_pos];
+            self.replay_pos += 1;
+            self.log.records.push(record);
+            return record;
+        }
+        if first {
+            if let Some(fp) = fp {
+                if self.opts.memoize {
+                    if let Some(&verdict) = self.memo.get(&fp) {
+                        self.memo_hits += 1;
+                        return self.emit(ProbeRecord::Answered(verdict));
+                    }
                 }
-                stats.tests_run += 1;
-                match invoke(ctx, log) {
+                if let Some(outcome) = self.speculation.take(fp) {
+                    let record = match outcome {
+                        Ok(Ok(verdict)) => ProbeRecord::Answered(verdict),
+                        Ok(Err(_)) => ProbeRecord::Faulted,
+                        // The serial engine would have run this probe on
+                        // the search thread; re-raise where it would have
+                        // panicked.
+                        Err(payload) => resume_unwind(payload),
+                    };
+                    return self.emit(record);
+                }
+            }
+        }
+        let record = match (self.probe)(ctx) {
+            Ok(verdict) => ProbeRecord::Answered(verdict),
+            Err(_) => ProbeRecord::Faulted,
+        };
+        self.emit(record)
+    }
+
+    /// One k-of-n interestingness query over an already-materialized
+    /// context. Early exit once the verdict is decided, so votes only cost
+    /// budget while the outcome is open; `None` means the test budget ran
+    /// out mid-query.
+    fn query(&mut self, ctx: &Context, fp: Option<u64>) -> Option<bool> {
+        let mut yes = 0u32;
+        let mut cast = 0u32;
+        let mut consecutive_faults = 0u32;
+        let mut invocations = 0u32;
+        let mut first_record = None;
+        let outcome = 'query: {
+            while cast < self.opts.votes {
+                if self.stats.tests_run >= self.opts.max_tests {
+                    break 'query None;
+                }
+                self.stats.tests_run += 1;
+                let record = self.invoke(ctx, fp, invocations == 0);
+                invocations += 1;
+                if invocations == 1 {
+                    first_record = Some(record);
+                }
+                match record {
                     ProbeRecord::Faulted => {
-                        stats.probe_faults += 1;
+                        self.stats.probe_faults += 1;
                         consecutive_faults += 1;
-                        if consecutive_faults >= poison_retries {
-                            stats.poisoned_queries += 1;
-                            return Some(false);
+                        if consecutive_faults >= self.opts.poison_retries {
+                            self.stats.poisoned_queries += 1;
+                            break 'query Some(false);
                         }
                     }
                     ProbeRecord::Answered(verdict) => {
@@ -306,41 +721,114 @@ impl Reducer {
                         if verdict {
                             yes += 1;
                         }
-                        if yes >= votes_required {
-                            return Some(true);
+                        if yes >= self.opts.votes_required {
+                            break 'query Some(true);
                         }
-                        let remaining = votes - cast;
-                        if yes + remaining < votes_required {
-                            return Some(false);
+                        let remaining = self.opts.votes - cast;
+                        if yes + remaining < self.opts.votes_required {
+                            break 'query Some(false);
                         }
                     }
                 }
             }
             Some(false)
         };
-        let mut check = |candidate: &[Transformation],
-                         stats: &mut ReductionStats,
-                         log: &mut ReductionLog| {
-            let mut ctx = original.clone();
-            apply_sequence(&mut ctx, candidate);
-            poll(&ctx, stats, log).map(|verdict| (verdict, ctx))
-        };
+        // Memoize single-invocation answered queries. The rule is a pure
+        // function of the record stream, so replaying a journal rebuilds
+        // the memo the original run had at every point — resume stays
+        // bit-identical even though memo hits skip the live probe.
+        if self.opts.memoize && invocations == 1 {
+            if let (Some(fp), Some(ProbeRecord::Answered(verdict))) = (fp, first_record) {
+                self.memo.insert(fp, verdict);
+            }
+        }
+        outcome
+    }
 
-        // The full sequence must be interesting to begin with.
-        let Some((initially_interesting, full_ctx)) = check(&current, &mut stats, &mut log)
-        else {
-            let mut ctx = original.clone();
-            apply_sequence(&mut ctx, &current);
-            return JournaledReduction {
-                reduction: Reduction { sequence: current, context: ctx, stats },
-                log,
-            };
+    /// Materializes `candidate` (through the prefix cache) and queries it.
+    /// The verdict is `None` when the test budget ran out; the context is
+    /// always returned, so callers never replay the sequence again.
+    fn check(&mut self, candidate: &[Transformation], ids: &[u64]) -> (Option<bool>, Context) {
+        let m = self.cache.materialize_with_ids(self.original, candidate, ids);
+        let fp = self.resolve_fp(&m);
+        let verdict = self.query(&m.context, fp);
+        (verdict, m.context)
+    }
+
+    /// The fingerprint accompanying a materialized candidate: the cache's,
+    /// or computed on demand when a cache-less run still needs one for the
+    /// memo or speculation hints.
+    fn resolve_fp(&self, m: &trx_core::Materialized) -> Option<u64> {
+        m.fingerprint.or_else(|| {
+            (self.opts.memoize || self.speculation.active())
+                .then(|| context_fingerprint(&m.context))
+        })
+    }
+
+    /// Launches the next batch of speculative probes: the chunk-removal
+    /// candidates the back-to-front round will try next, assuming every
+    /// probe up to them answers "not interesting" (rejections keep the
+    /// sequence unchanged, so those candidates are exactly predictable).
+    fn maybe_prefetch(&mut self, current: &[Transformation], ids: &[u64], end: usize, chunk: usize) {
+        if !self.speculation.active() || self.speculation.has_hints() {
+            return;
+        }
+        // Never speculate while replaying a journal: replayed queries must
+        // not re-invoke the probe at all.
+        if self.replay_pos < self.prior.records.len() {
+            return;
+        }
+        let width = self.speculation.width();
+        let mut jobs = Vec::new();
+        let mut seen = HashSet::new();
+        let mut e = end;
+        while e > 0 && jobs.len() < width {
+            let s = e.saturating_sub(chunk);
+            let mut candidate = Vec::with_capacity(current.len() - (e - s));
+            candidate.extend_from_slice(&current[..s]);
+            candidate.extend_from_slice(&current[e..]);
+            let cand_ids: Vec<u64> = ids[..s].iter().chain(&ids[e..]).copied().collect();
+            let m = self.cache.materialize_with_ids(self.original, &candidate, &cand_ids);
+            let fp = m
+                .fingerprint
+                .unwrap_or_else(|| context_fingerprint(&m.context));
+            // Contexts the memo already answers never need a probe; a
+            // duplicate fingerprint within the batch needs only one.
+            if !(self.opts.memoize && self.memo.contains_key(&fp)) && seen.insert(fp) {
+                jobs.push((fp, m.context));
+            }
+            e = s;
+        }
+        if !jobs.is_empty() {
+            self.speculation.prefetch(jobs);
+        }
+    }
+
+    /// The §3.4 delta-debugging search, followed by the optional payload
+    /// shrink phase.
+    fn run(mut self, sequence: &[Transformation]) -> JournaledReduction {
+        let mut current: Vec<Transformation> = sequence.to_vec();
+        let mut ids: Vec<u64> = current.iter().map(transformation_id).collect();
+
+        // The full sequence must be interesting to begin with. Its
+        // materialized context doubles as the result context on the
+        // early-return paths — no separate replay. When the caller handed
+        // over the already-built variant (the fuzzer's own output), even
+        // the first replay is skipped: the prefix chain is then rebuilt
+        // lazily, and only up to the deepest prefix a candidate ever
+        // needs.
+        let (initial_verdict, initial_ctx) = match self.initial {
+            Some(ctx) => {
+                let fp = (self.opts.memoize || self.speculation.active())
+                    .then(|| context_fingerprint(ctx));
+                (self.query(ctx, fp), ctx.clone())
+            }
+            None => self.check(&current, &ids),
         };
-        if !initially_interesting {
-            return JournaledReduction {
-                reduction: Reduction { sequence: current, context: full_ctx, stats },
-                log,
-            };
+        let mut current_ctx = initial_ctx;
+        match initial_verdict {
+            Some(true) => {}
+            Some(false) | None => return self.finish(current, current_ctx),
         }
 
         let mut chunk_size = (current.len() / 2).max(1);
@@ -352,18 +840,27 @@ impl Reducer {
             let mut end = current.len();
             while end > 0 {
                 let start = end.saturating_sub(chunk_size);
+                self.maybe_prefetch(&current, &ids, end, chunk_size);
                 let mut candidate = Vec::with_capacity(current.len() - (end - start));
                 candidate.extend_from_slice(&current[..start]);
                 candidate.extend_from_slice(&current[end..]);
-                match check(&candidate, &mut stats, &mut log) {
-                    Some((true, _)) => {
+                let cand_ids: Vec<u64> =
+                    ids[..start].iter().chain(&ids[end..]).copied().collect();
+                let (verdict, ctx) = self.check(&candidate, &cand_ids);
+                match verdict {
+                    Some(true) => {
                         current = candidate;
-                        stats.chunks_removed += 1;
+                        ids = cand_ids;
+                        current_ctx = ctx;
+                        self.stats.chunks_removed += 1;
                         removed_any = true;
-                        // Continue leftwards over the shortened sequence.
+                        // Continue leftwards over the shortened sequence;
+                        // pending speculative outcomes assumed the old
+                        // sequence and are stale.
+                        self.speculation.discard();
                         end = start.min(current.len());
                     }
-                    Some((false, _)) => {
+                    Some(false) => {
                         end = start;
                     }
                     None => {
@@ -386,29 +883,22 @@ impl Reducer {
             chunk_size = (chunk_size / 2).max(1);
         }
 
-        if self.options.shrink_added_functions && !budget_exhausted {
-            self.shrink_payloads(original, &mut current, &mut stats, &mut log, &mut poll);
+        if self.opts.shrink_added_functions && !budget_exhausted {
+            self.shrink_payloads(&mut current, &mut ids, &mut current_ctx);
         }
 
-        let mut context = original.clone();
-        apply_sequence(&mut context, &current);
-        JournaledReduction {
-            reduction: Reduction { sequence: current, context, stats },
-            log,
-        }
+        self.finish(current, current_ctx)
     }
 
     /// Tries to delete instructions from the bodies of `AddFunction`
     /// payloads while the test stays interesting (the spirv-reduce
-    /// analogue). `poll` is the shared k-of-n interestingness query;
-    /// `None` means the test budget ran out.
+    /// analogue). Candidates share the prefix cache: only the modified
+    /// payload and its suffix are re-applied per shrink attempt.
     fn shrink_payloads(
-        &self,
-        original: &Context,
+        &mut self,
         current: &mut Vec<Transformation>,
-        stats: &mut ReductionStats,
-        log: &mut ReductionLog,
-        poll: &mut impl FnMut(&Context, &mut ReductionStats, &mut ReductionLog) -> Option<bool>,
+        ids: &mut Vec<u64>,
+        current_ctx: &mut Context,
     ) {
         for index in 0..current.len() {
             let Transformation::AddFunction(payload) = &current[index] else {
@@ -431,19 +921,23 @@ impl Reducer {
                     candidate_payload.function.blocks[bi].instructions.remove(ii);
                     let mut candidate = current.clone();
                     candidate[index] = Transformation::AddFunction(candidate_payload.clone());
-                    let mut ctx = original.clone();
-                    let applied = apply_sequence(&mut ctx, &candidate);
+                    let mut cand_ids = ids.clone();
+                    cand_ids[index] = transformation_id(&candidate[index]);
+                    let m = self.cache.materialize_with_ids(self.original, &candidate, &cand_ids);
                     // The shrunken payload must still apply — otherwise the
                     // variant silently loses the whole function.
-                    if !applied[index] {
+                    if !m.mask[index] {
                         continue;
                     }
-                    match poll(&ctx, stats, log) {
+                    let fp = self.resolve_fp(&m);
+                    match self.query(&m.context, fp) {
                         None => return,
                         Some(true) => {
                             payload = candidate_payload;
                             *current = candidate;
-                            stats.payload_instructions_removed += 1;
+                            *ids = cand_ids;
+                            *current_ctx = m.context;
+                            self.stats.payload_instructions_removed += 1;
                             progress = true;
                             break;
                         }
@@ -453,12 +947,31 @@ impl Reducer {
             }
         }
     }
+
+    fn finish(self, sequence: Vec<Transformation>, context: Context) -> JournaledReduction {
+        let (speculative_probes, speculative_hits) = self.speculation.counters();
+        JournaledReduction {
+            reduction: Reduction {
+                sequence,
+                context,
+                stats: self.stats,
+                engine: EngineStats {
+                    cache: self.cache.stats(),
+                    memo_hits: self.memo_hits,
+                    speculative_probes,
+                    speculative_hits,
+                },
+            },
+            log: self.log,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use trx_core::transformations::SetFunctionControl;
+    use trx_core::apply_sequence;
     use trx_ir::{FunctionControl, Inputs, ModuleBuilder};
 
     fn tiny_context() -> Context {
@@ -995,6 +1508,41 @@ mod shrink_tests {
         );
         // The surviving payload still applies and keeps the function.
         assert_eq!(reduction.context.module.functions.len(), 2);
+    }
+
+    #[test]
+    fn payload_shrink_is_cache_invariant() {
+        // The shrink phase routes candidates through the prefix cache;
+        // disabling the cache (budget 0) must not change a single byte of
+        // the journal or the result, only the amount of replay work.
+        let (ctx, sequence) = context_and_bloated_function();
+        let run = |budget: usize| {
+            Reducer::new(ReducerOptions {
+                prefix_cache_budget: budget,
+                ..ReducerOptions::default()
+            })
+            .reduce_journaled(
+                &ctx,
+                &sequence,
+                &ReductionLog::new(),
+                |variant| Ok(variant.module.functions.len() == 2),
+                |_, _| {},
+            )
+        };
+        let uncached = run(0);
+        let cached = run(256);
+        assert_eq!(cached.log, uncached.log);
+        assert_eq!(cached.reduction.sequence, uncached.reduction.sequence);
+        assert_eq!(cached.reduction.stats, uncached.reduction.stats);
+        assert_eq!(
+            cached.reduction.context.module,
+            uncached.reduction.context.module
+        );
+        assert!(
+            cached.reduction.engine.cache.transformations_applied
+                < uncached.reduction.engine.cache.transformations_applied,
+            "shrink candidates should reuse cached prefixes"
+        );
     }
 
     #[test]
