@@ -23,13 +23,21 @@
 //! under CI load would make the equivalence check flaky by design.
 //!
 //! Usage: `chaos_pipeline [--tests N] [--seed S] [--plan-seed P]
-//! [--out FILE] [--kill-points K] [--reduction-threads R]`
+//! [--out FILE] [--kill-points K] [--reduction-threads R]
+//! [--metrics-out FILE]`
 //!
 //! `--reduction-threads R` (default 1) reduces pending bugs concurrently
 //! on an `R`-thread worker pool. The fault plan's persistent faults are a
 //! pure function of the probed module, so the parallel stage's
 //! bug-ordered record merge reproduces the serial journal byte for byte —
 //! which this binary verifies whenever the flag is set.
+//!
+//! `--metrics-out FILE` attaches a deterministic-mode
+//! [`trx_observe::RecordingSink`] to the golden run and writes its
+//! snapshot as JSON. Deterministic mode drops scheduling- and wall-clock-
+//! dependent counters, so two invocations differing only in
+//! `--reduction-threads` must produce byte-identical metrics files — the
+//! property CI diffs.
 //!
 //! A second mode drives real process-death testing from CI: `chaos_pipeline
 //! --wal FILE --report FILE [--kill-after N]` runs the pipeline once with
@@ -46,10 +54,23 @@ use trx_bench::{arg_string, arg_u64, arg_usize, render_table};
 use trx_harness::campaign::Tool;
 use trx_harness::executor::ExecutorConfig;
 use trx_harness::pipeline::{
-    run_pipeline, run_pipeline_on_file, Journal, PipelineConfig, WalRecord,
+    run_pipeline, run_pipeline_observed, run_pipeline_on_file, Journal, PipelineConfig,
+    WalRecord,
 };
 use trx_harness::watchdog::WatchdogConfig;
+use trx_observe::{RecordingSink, SinkHandle};
 use trx_targets::{catalog, FaultPlan, FaultyTarget};
+
+/// Writes a deterministic-mode metrics snapshot, failing loudly: a CI job
+/// that diffs two of these files must not compare half-written output.
+fn write_metrics(sink: &RecordingSink, path: &str) {
+    let json = sink.snapshot().to_json();
+    if let Err(e) = std::fs::write(path, json + "\n") {
+        eprintln!("FAIL: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
 
 /// Fresh fault-injected targets: per-target derived plan seeds, empty
 /// attempt counters — the state a restarted process would hold.
@@ -75,6 +96,7 @@ fn run_once(
     wal: &str,
     report_path: &str,
     kill_after: usize,
+    metrics_out: &str,
 ) -> ! {
     use std::io::Write;
 
@@ -110,20 +132,32 @@ fn run_once(
         Ok(file) => file,
         Err(e) => fail(format!("cannot append to {wal}: {e}")),
     };
+    let sink = Arc::new(RecordingSink::deterministic());
+    let observe = if metrics_out.is_empty() {
+        SinkHandle::noop()
+    } else {
+        SinkHandle::new(sink.clone())
+    };
     let mut appended = 0usize;
-    let report = run_pipeline(config, &make_targets(plan), &journal, |record| {
-        if let Ok(line) = Journal::encode_line(record) {
-            let _ = writeln!(file, "{line}");
-            let _ = file.flush();
-        }
-        appended += 1;
-        if kill_after > 0 && appended == kill_after {
-            // The injected fault point: die like a crashed process, not a
-            // clean shutdown — no destructors, no final report.
-            eprintln!("aborting after journal append {appended}");
-            std::process::abort();
-        }
-    });
+    let report = run_pipeline_observed(
+        config,
+        &make_targets(plan),
+        &journal,
+        |record| {
+            if let Ok(line) = Journal::encode_line(record) {
+                let _ = writeln!(file, "{line}");
+                let _ = file.flush();
+            }
+            appended += 1;
+            if kill_after > 0 && appended == kill_after {
+                // The injected fault point: die like a crashed process,
+                // not a clean shutdown — no destructors, no final report.
+                eprintln!("aborting after journal append {appended}");
+                std::process::abort();
+            }
+        },
+        &observe,
+    );
     match report {
         Ok(report) => match report.to_json() {
             Ok(json) => {
@@ -131,6 +165,9 @@ fn run_once(
                     fail(format!("cannot write {report_path}: {e}"));
                 }
                 eprintln!("wrote {report_path} ({appended} records appended to {wal})");
+                if !metrics_out.is_empty() {
+                    write_metrics(&sink, metrics_out);
+                }
                 std::process::exit(0);
             }
             Err(e) => fail(format!("report does not serialise: {e}")),
@@ -146,6 +183,7 @@ fn main() {
     let kill_points = arg_usize("--kill-points", 16).max(1);
     let reduction_threads = arg_usize("--reduction-threads", 1).max(1);
     let out = arg_string("--out", "BENCH_robustness.json");
+    let metrics_out = arg_string("--metrics-out", "");
 
     // Persistent faults: probabilities fire per test key, never decaying
     // with attempts, so probe outcomes are a pure function of the module.
@@ -172,25 +210,40 @@ fn main() {
         std::panic::set_hook(Box::new(|_| {}));
         let report_path = arg_string("--report", "chaos_pipeline_report.json");
         let kill_after = arg_usize("--kill-after", 0);
-        run_once(&config, &plan, &wal, &report_path, kill_after);
+        run_once(&config, &plan, &wal, &report_path, kill_after, &metrics_out);
     }
 
     // Injected panics are expected by the hundred; silence the default
     // hook's backtrace spam (every payload is journaled anyway).
     std::panic::set_hook(Box::new(|_| {}));
 
-    // Golden uninterrupted run.
+    // Golden uninterrupted run, instrumented when --metrics-out is given
+    // (the resumed verification runs stay uninstrumented: their counters
+    // legitimately cover only the suffix of the work).
     eprintln!("golden run: {tests} tests x {} targets ...", catalog::all_targets().len());
+    let metrics_sink = Arc::new(RecordingSink::deterministic());
+    let observe = if metrics_out.is_empty() {
+        SinkHandle::noop()
+    } else {
+        SinkHandle::new(metrics_sink.clone())
+    };
     let mut records: Vec<WalRecord> = Vec::new();
-    let golden = match run_pipeline(&config, &make_targets(&plan), &Journal::new(), |r| {
-        records.push(r.clone());
-    }) {
+    let golden = match run_pipeline_observed(
+        &config,
+        &make_targets(&plan),
+        &Journal::new(),
+        |r| records.push(r.clone()),
+        &observe,
+    ) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("FAIL: golden pipeline run errored: {e}");
             std::process::exit(1);
         }
     };
+    if !metrics_out.is_empty() {
+        write_metrics(&metrics_sink, &metrics_out);
+    }
     let golden_json = match golden.to_json() {
         Ok(json) => json,
         Err(e) => {

@@ -30,7 +30,13 @@
 //! full-replay reduction quadratic.
 //!
 //! Usage: `perf_triage [--tests N] [--rounds R] [--seed S] [--threads T]
-//! [--out FILE]`
+//! [--out FILE] [--metrics-out FILE]`
+//!
+//! `--metrics-out FILE` runs one extra *untimed* pass over the triage set
+//! with a deterministic-mode [`trx_observe::RecordingSink`] attached to
+//! the cached engine and writes the snapshot as JSON. The timed stages
+//! always run with the no-op sink, so the flag cannot perturb the
+//! recorded wall-clock numbers.
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +49,7 @@ use trx_core::Context;
 use trx_fuzzer::{Fuzzer, FuzzerOptions};
 use trx_harness::campaign::{classify, generate_test, BugSignature, GeneratedTest, Tool};
 use trx_harness::corpus::donor_modules;
+use trx_observe::{RecordingSink, Scope, SinkHandle};
 use trx_pool::with_pool;
 use trx_reducer::{
     EngineStats, JournaledReduction, ProbeFault, Reducer, ReducerOptions, ReductionLog,
@@ -190,6 +197,7 @@ fn main() {
     let threads = arg_usize("--threads", 4).max(1);
     let cache_budget = arg_usize("--cache-budget", 4096).max(1);
     let out = arg_string("--out", "BENCH_perf.json");
+    let metrics_out = arg_string("--metrics-out", "");
     let tool = Tool::SpirvFuzz;
 
     // Stage 1: find the triage set — one bug per (target, signature). A bug
@@ -300,6 +308,35 @@ fn main() {
         })
     };
     let parallel_wall_ms = start.elapsed().as_millis() as u64;
+
+    // Optional instrumented pass, after every timed stage: re-reduce the
+    // triage set with the cached engine streaming counters to a
+    // deterministic-mode sink (one reduction scope per bug, the pipeline's
+    // convention) and write the snapshot.
+    if !metrics_out.is_empty() {
+        let sink = Arc::new(RecordingSink::deterministic());
+        let handle = SinkHandle::new(sink.clone());
+        let live_observed = AtomicU64::new(0);
+        for (i, p) in problems.iter().enumerate() {
+            let probe = make_probe(&targets, p, &live_observed);
+            let _ = Reducer::new(cached_opts)
+                .with_sink(handle.clone(), Scope::Reduction(i))
+                .reduce_journaled_seeded(
+                    &p.test.original,
+                    &p.test.transformations,
+                    &p.test.variant,
+                    &ReductionLog::new(),
+                    probe,
+                    |_, _| {},
+                );
+        }
+        let json = sink.snapshot().to_json();
+        if let Err(e) = std::fs::write(&metrics_out, json + "\n") {
+            eprintln!("FAIL: cannot write {metrics_out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {metrics_out}");
+    }
 
     // Stage 4: the contract — every configuration lands on the same bytes.
     let equivalent = same("cached", &cached_runs, &serial_runs)

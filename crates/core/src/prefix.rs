@@ -47,6 +47,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use trx_observe::{Counter, Scope, SinkHandle};
 
 use crate::context::Context;
 use crate::fingerprint::{context_fingerprint, transformation_id};
@@ -113,6 +114,11 @@ pub struct PrefixCache {
     root_fp: Option<u64>,
     edges: HashMap<(u64, u64), Edge>,
     stats: PrefixCacheStats,
+    sink: SinkHandle,
+    sink_scope: Scope,
+    /// Stats already reported to the sink; deltas are emitted per
+    /// materialize so the hot loop never touches the sink per edge.
+    flushed: PrefixCacheStats,
 }
 
 impl PrefixCache {
@@ -126,7 +132,18 @@ impl PrefixCache {
             root_fp: None,
             edges: HashMap::new(),
             stats: PrefixCacheStats::default(),
+            sink: SinkHandle::noop(),
+            sink_scope: Scope::Pipeline,
+            flushed: PrefixCacheStats::default(),
         }
+    }
+
+    /// Routes this cache's counters to `sink` under `scope`. Counter deltas
+    /// are batched per [`PrefixCache::materialize_with_ids`] call, so an
+    /// enabled sink costs one batch of events per probe, not per edge.
+    pub fn set_sink(&mut self, sink: SinkHandle, scope: Scope) {
+        self.sink = sink;
+        self.sink_scope = scope;
     }
 
     /// The edge budget this cache was created with.
@@ -176,6 +193,7 @@ impl PrefixCache {
             let mut ctx = original.clone();
             self.stats.transformations_applied += candidate.len() as u64;
             let mask = candidate.iter().map(|t| apply(&mut ctx, t)).collect();
+            self.flush_sink();
             return Materialized { context: ctx, mask, fingerprint: None };
         }
         self.clock += 1;
@@ -222,7 +240,32 @@ impl PrefixCache {
             Carrier::Chain(k) => self.edges[&k].context.clone(),
             Carrier::Owned(ctx) => *ctx,
         };
+        self.flush_sink();
         Materialized { context, mask, fingerprint: Some(state_fp) }
+    }
+
+    /// Emits the stat deltas accumulated since the last flush.
+    fn flush_sink(&mut self) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let scope = self.sink_scope;
+        let now = self.stats;
+        let prev = self.flushed;
+        self.sink.count(scope, Counter::CacheLookups, now.lookups - prev.lookups);
+        self.sink.count(scope, Counter::CacheHits, now.hits - prev.hits);
+        self.sink.count(
+            scope,
+            Counter::CacheApplications,
+            now.transformations_applied - prev.transformations_applied,
+        );
+        self.sink.count(
+            scope,
+            Counter::CacheSaved,
+            now.transformations_saved - prev.transformations_saved,
+        );
+        self.sink.count(scope, Counter::CacheEvictions, now.evictions - prev.evictions);
+        self.flushed = now;
     }
 
     fn insert(&mut self, key: (u64, u64), edge: Edge) {

@@ -31,6 +31,7 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use trx_core::{Transformation, TransformationKind};
+use trx_observe::{Counter, Scope, SinkHandle};
 
 /// The set of transformation types characterising a reduced test, with
 /// supporting types removed (§3.5).
@@ -48,6 +49,23 @@ pub fn interesting_types(sequence: &[Transformation]) -> BTreeSet<Transformation
 #[must_use]
 pub fn all_types(sequence: &[Transformation]) -> BTreeSet<TransformationKind> {
     sequence.iter().map(Transformation::kind).collect()
+}
+
+/// [`interesting_types`], additionally reporting how many distinct
+/// *supporting* kinds the §3.5 ignore list removed from this sequence
+/// (`dedup_supporting_excluded` on `sink` under `scope`).
+#[must_use]
+pub fn interesting_types_observed(
+    sequence: &[Transformation],
+    sink: &SinkHandle,
+    scope: Scope,
+) -> BTreeSet<TransformationKind> {
+    let interesting = interesting_types(sequence);
+    if sink.enabled() {
+        let excluded = all_types(sequence).len() - interesting.len();
+        sink.count(scope, Counter::DedupSupportingExcluded, excluded as u64);
+    }
+    interesting
 }
 
 /// Runs the Figure 6 algorithm over pre-computed type sets, returning the
@@ -80,6 +98,32 @@ pub fn deduplicate_sets(type_sets: &[BTreeSet<TransformationKind>]) -> Vec<usize
         }
     }
     to_investigate
+}
+
+/// [`deduplicate_sets`], reporting the corpus shape to `sink` under
+/// `scope`: `dedup_sets_observed` (total sets), `dedup_empty_sets` (sets
+/// empty after supporting-type filtering, which are never recommended) and
+/// `dedup_kept` (recommended tests).
+///
+/// These counters are *logical*: an [`IncrementalDedup`] that absorbed the
+/// same sets one at a time through
+/// [`IncrementalDedup::observe_with_sink`] /
+/// [`IncrementalDedup::recommend_with_sink`] reports identical values —
+/// the invariant suite uses that equality as a batch-vs-incremental oracle.
+#[must_use]
+pub fn deduplicate_sets_observed(
+    type_sets: &[BTreeSet<TransformationKind>],
+    sink: &SinkHandle,
+    scope: Scope,
+) -> Vec<usize> {
+    let kept = deduplicate_sets(type_sets);
+    if sink.enabled() {
+        sink.count(scope, Counter::DedupSetsObserved, type_sets.len() as u64);
+        let empty = type_sets.iter().filter(|s| s.is_empty()).count();
+        sink.count(scope, Counter::DedupEmptySets, empty as u64);
+        sink.count(scope, Counter::DedupKept, kept.len() as u64);
+    }
+    kept
 }
 
 /// Convenience wrapper: deduplicates reduced transformation sequences
@@ -130,6 +174,21 @@ impl IncrementalDedup {
         self.observe(interesting_types(sequence))
     }
 
+    /// [`IncrementalDedup::observe`], bumping `dedup_sets_observed` (and
+    /// `dedup_empty_sets` when the set is empty) on `sink` under `scope`.
+    pub fn observe_with_sink(
+        &mut self,
+        types: BTreeSet<TransformationKind>,
+        sink: &SinkHandle,
+        scope: Scope,
+    ) -> usize {
+        sink.count(scope, Counter::DedupSetsObserved, 1);
+        if types.is_empty() {
+            sink.count(scope, Counter::DedupEmptySets, 1);
+        }
+        self.observe(types)
+    }
+
     /// Number of tests observed so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -155,6 +214,16 @@ impl IncrementalDedup {
     #[must_use]
     pub fn recommend(&self) -> Vec<usize> {
         deduplicate_sets(&self.sets)
+    }
+
+    /// [`IncrementalDedup::recommend`], bumping `dedup_kept` by the number
+    /// of recommended tests. Callers that recommend repeatedly on a growing
+    /// corpus should report only the final call.
+    #[must_use]
+    pub fn recommend_with_sink(&self, sink: &SinkHandle, scope: Scope) -> Vec<usize> {
+        let kept = self.recommend();
+        sink.count(scope, Counter::DedupKept, kept.len() as u64);
+        kept
     }
 }
 
@@ -314,6 +383,78 @@ mod tests {
         }
         assert_eq!(inc.recommend(), deduplicate_sets(&sets));
         assert_eq!(inc.len(), sets.len());
+    }
+
+    #[test]
+    fn incremental_observes_same_counters_as_batch() {
+        use std::sync::Arc;
+        use trx_observe::RecordingSink;
+
+        // §3.5 counter invariant: feeding the same corpus through the batch
+        // API and through the incremental accumulator must report the same
+        // type-set counters — and the same recommendation.
+        let sets = vec![
+            set(&[K::AddDeadBlock, K::MoveBlockDown]),
+            set(&[K::AddDeadBlock]),
+            BTreeSet::new(),
+            set(&[K::CopyObject]),
+            BTreeSet::new(),
+            set(&[K::MoveBlockDown, K::CopyObject]),
+        ];
+
+        let batch_sink = Arc::new(RecordingSink::deterministic());
+        let batch_handle = SinkHandle::new(batch_sink.clone());
+        let batch = deduplicate_sets_observed(&sets, &batch_handle, Scope::Dedup);
+
+        let inc_sink = Arc::new(RecordingSink::deterministic());
+        let inc_handle = SinkHandle::new(inc_sink.clone());
+        let mut inc = IncrementalDedup::new();
+        for s in &sets {
+            inc.observe_with_sink(s.clone(), &inc_handle, Scope::Dedup);
+        }
+        let incremental = inc.recommend_with_sink(&inc_handle, Scope::Dedup);
+
+        assert_eq!(batch, incremental);
+        let a = batch_sink.snapshot();
+        let b = inc_sink.snapshot();
+        assert_eq!(a.to_json(), b.to_json(), "batch and incremental counters diverge");
+        assert_eq!(a.counter("dedup", Counter::DedupSetsObserved), sets.len() as u64);
+        assert_eq!(a.counter("dedup", Counter::DedupEmptySets), 2);
+        assert_eq!(a.counter("dedup", Counter::DedupKept), batch.len() as u64);
+    }
+
+    #[test]
+    fn supporting_kinds_are_counted_as_excluded() {
+        use std::sync::Arc;
+        use trx_core::transformations::{AddType, SetFunctionControl, SplitBlock};
+        use trx_core::{Anchor, InstructionDescriptor};
+        use trx_ir::{FunctionControl, Id, Type};
+        use trx_observe::RecordingSink;
+
+        // Two distinct supporting kinds (AddType, SplitBlock) and one
+        // interesting kind: the observed variant must report exactly the
+        // supporting kinds the §3.5 ignore list removed.
+        let seq: Vec<Transformation> = vec![
+            AddType { fresh_id: Id::new(100), ty: Type::Int }.into(),
+            SplitBlock {
+                position: InstructionDescriptor {
+                    anchor: Anchor::BlockStart(Id::new(2)),
+                    skip: 0,
+                },
+                fresh_block_id: Id::new(101),
+            }
+            .into(),
+            SetFunctionControl {
+                function: Id::new(1),
+                control: FunctionControl::DontInline,
+            }
+            .into(),
+        ];
+        let sink = Arc::new(RecordingSink::deterministic());
+        let handle = SinkHandle::new(sink.clone());
+        let types = interesting_types_observed(&seq, &handle, Scope::Dedup);
+        assert_eq!(types, set(&[K::SetFunctionControl]));
+        assert_eq!(sink.snapshot().counter("dedup", Counter::DedupSupportingExcluded), 2);
     }
 
     #[test]

@@ -45,6 +45,7 @@ use serde::{Deserialize, Serialize};
 
 use trx_core::Context;
 use trx_ir::{Fault, Inputs, Module};
+use trx_observe::{Counter, Scope, SinkHandle};
 use trx_targets::{TargetResult, TestTarget};
 
 use crate::campaign::{
@@ -499,7 +500,43 @@ pub fn resume_campaign<T: TestTarget>(
     seed_base: u64,
     config: &ExecutorConfig,
     checkpoint: Option<CampaignCheckpoint>,
+    on_checkpoint: impl FnMut(&CampaignCheckpoint),
+) -> Result<ResilientOutcome, HarnessError> {
+    resume_campaign_observed(
+        tool,
+        targets,
+        tests,
+        seed_base,
+        config,
+        checkpoint,
+        on_checkpoint,
+        &SinkHandle::noop(),
+    )
+}
+
+/// [`resume_campaign`], reporting campaign counters to `observe` under
+/// [`Scope::Campaign`] (plus volatile pool-task counts under
+/// [`Scope::Pool`] and per-batch wall-clock histograms).
+///
+/// The campaign counters (`incidents`, `retries`, `quarantined_targets`,
+/// `tests_completed`, `skipped_by_quarantine`) are emitted once from the
+/// final checkpoint state, so they are logical-level: identical across
+/// thread counts *and* across kill/resume boundaries.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::CheckpointMismatch`] when `checkpoint` does not
+/// describe this `(tool, targets, tests, seed_base)` campaign.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_campaign_observed<T: TestTarget>(
+    tool: Tool,
+    targets: &[T],
+    tests: usize,
+    seed_base: u64,
+    config: &ExecutorConfig,
+    checkpoint: Option<CampaignCheckpoint>,
     mut on_checkpoint: impl FnMut(&CampaignCheckpoint),
+    observe: &SinkHandle,
 ) -> Result<ResilientOutcome, HarnessError> {
     let donors = donor_modules();
     let threads = if config.threads == 0 {
@@ -535,8 +572,9 @@ pub fn resume_campaign<T: TestTarget>(
     // One persistent worker pool serves every batch: under heavy triage
     // traffic the executor used to spawn (and join) a fresh set of threads
     // per checkpoint interval.
-    trx_pool::with_pool(threads, |pool| {
+    trx_pool::with_pool_observed(threads, observe.clone(), |pool| {
     while state.completed_tests < tests {
+        let batch_started = observe.enabled().then(std::time::Instant::now);
         let start = state.completed_tests;
         let batch = interval.min(tests - start);
         // The quarantine set is frozen for the whole batch, so workers are
@@ -658,6 +696,13 @@ pub fn resume_campaign<T: TestTarget>(
             state.completed_tests += 1;
         }
         on_checkpoint(&state);
+        if let Some(started) = batch_started {
+            observe.duration(
+                Scope::Campaign,
+                Counter::CampaignBatchNanos,
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
     }
     });
 
@@ -668,12 +713,25 @@ pub fn resume_campaign<T: TestTarget>(
             per_test[t].push(cell.clone());
         }
     }
-    let quarantined = state
+    let quarantined: Vec<(String, usize)> = state
         .quarantined_at
         .iter()
         .enumerate()
         .filter_map(|(t, at)| at.map(|index| (state.target_names[t].clone(), index)))
         .collect();
+    if observe.enabled() {
+        // Totals come from the checkpoint state, which accumulates across
+        // resumes — the counters are resume-invariant, not run-local.
+        observe.count(Scope::Campaign, Counter::Incidents, state.ledger.len() as u64);
+        observe.count(Scope::Campaign, Counter::Retries, state.retries_spent);
+        observe.count(Scope::Campaign, Counter::QuarantinedTargets, quarantined.len() as u64);
+        observe.count(Scope::Campaign, Counter::TestsCompleted, state.completed_tests as u64);
+        observe.count(
+            Scope::Campaign,
+            Counter::SkippedByQuarantine,
+            state.skipped_by_quarantine,
+        );
+    }
     Ok(ResilientOutcome {
         outcome: CampaignOutcome { per_test },
         ledger: state.ledger,

@@ -42,7 +42,8 @@ pub use executor::{
 };
 pub use experiments::ExperimentConfig;
 pub use pipeline::{
-    Journal, PipelineConfig, PipelineReport, TriagedBug, WalRecord,
-    run_pipeline, run_pipeline_on_file,
+    CampaignMetrics, DedupMetrics, Journal, PipelineConfig, PipelineMetrics, PipelineReport,
+    ReductionMetrics, TriagedBug, WalMetrics, WalRecord, run_pipeline, run_pipeline_observed,
+    run_pipeline_on_file,
 };
-pub use watchdog::{supervise, WatchdogConfig, WatchdogOutcome};
+pub use watchdog::{supervise, supervise_observed, WatchdogConfig, WatchdogOutcome};

@@ -79,6 +79,7 @@ use serde::{Deserialize, Serialize};
 
 use trx_core::{Context, TransformationKind};
 use trx_dedup::IncrementalDedup;
+use trx_observe::{Counter, Scope, SinkHandle};
 use trx_reducer::{ProbeFault, ProbeRecord, Reducer, ReducerOptions, ReductionLog, ReductionStats};
 use trx_targets::TestTarget;
 
@@ -86,10 +87,10 @@ use crate::campaign::{module_for_target, try_generate_test, BugSignature, Tool};
 use crate::corpus::donor_modules;
 use crate::errors::HarnessError;
 use crate::executor::{
-    attempt_classify, resume_campaign, Attempt, CampaignCheckpoint, ExecutorConfig,
+    attempt_classify, resume_campaign_observed, Attempt, CampaignCheckpoint, ExecutorConfig,
     ResilientOutcome,
 };
-use crate::watchdog::{supervise, WatchdogConfig, WatchdogOutcome};
+use crate::watchdog::{supervise_observed, WatchdogConfig, WatchdogOutcome};
 
 /// Everything that defines one triage pipeline run. Two runs with equal
 /// configurations (and deterministic targets) produce identical journals
@@ -254,6 +255,78 @@ impl Journal {
     }
 }
 
+/// Campaign-stage totals for the report's metrics section.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignMetrics {
+    /// Incidents recorded in the executor's error ledger.
+    pub incidents: usize,
+    /// Retries spent recovering transient target failures.
+    pub retries: u64,
+    /// Targets quarantined by the circuit breaker.
+    pub quarantined_targets: usize,
+    /// Tests the campaign ran to completion.
+    pub tests_completed: usize,
+    /// Tests skipped because their target was quarantined.
+    pub skipped_by_quarantine: u64,
+}
+
+/// Reduction-stage totals, summed over every triaged bug.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionMetrics {
+    /// Bugs that went through the reduction stage.
+    pub bugs_triaged: usize,
+    /// Interestingness queries issued by the §3.4 search.
+    pub tests_run: usize,
+    /// Transformation chunks removed.
+    pub chunks_removed: usize,
+    /// Instructions removed by the payload shrink phase.
+    pub payload_instructions_removed: usize,
+    /// Probe invocations that faulted.
+    pub probe_faults: usize,
+    /// Queries abandoned by the poison-test quarantine.
+    pub poisoned_queries: usize,
+}
+
+/// Dedup-stage totals (§3.5).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DedupMetrics {
+    /// Type sets fed to the incremental deduplicator.
+    pub sets_observed: usize,
+    /// Sets that were empty after supporting-type filtering.
+    pub empty_sets: usize,
+    /// Tests recommended for manual investigation.
+    pub kept: usize,
+}
+
+/// Write-ahead-log totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalMetrics {
+    /// Total journal records (replayed prefix plus records emitted this
+    /// run).
+    pub records: usize,
+    /// Probe-granularity records among them.
+    pub probe_records: usize,
+}
+
+/// The report's `metrics` section.
+///
+/// Every value here is computed from *resume-invariant* state — campaign
+/// checkpoint totals, journaled reduction summaries, and the journal
+/// prefix-plus-suffix length — never from live instrumentation, so a
+/// resumed run's metrics match an uninterrupted run's byte for byte (the
+/// same contract the rest of the report honours).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineMetrics {
+    /// Campaign-stage totals.
+    pub campaign: CampaignMetrics,
+    /// Reduction-stage totals.
+    pub reduction: ReductionMetrics,
+    /// Dedup-stage totals.
+    pub dedup: DedupMetrics,
+    /// Journal totals.
+    pub wal: WalMetrics,
+}
+
 /// The pipeline's final report. Serialisation is deterministic, so two
 /// equal reports render to bit-identical JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -276,6 +349,8 @@ pub struct PipelineReport {
     pub bugs: Vec<TriagedBug>,
     /// Indices into `bugs` of the tests dedup recommends keeping.
     pub kept: Vec<usize>,
+    /// Per-stage counter totals (see [`PipelineMetrics`]).
+    pub metrics: PipelineMetrics,
 }
 
 impl PipelineReport {
@@ -393,7 +468,9 @@ fn replay(journal: &Journal, config: &PipelineConfig) -> Result<Recovered, Harne
 }
 
 /// Reduces one bug under the watchdog, journaling every probe invocation
-/// through `sink` and resuming from `prior`.
+/// through `sink` and resuming from `prior`. Counters and probe/reduction
+/// timings stream to `observe` under [`Scope::Reduction`] of `bug_index`.
+#[allow(clippy::too_many_arguments)]
 fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     config: &PipelineConfig,
     targets: &Arc<Vec<T>>,
@@ -402,6 +479,7 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     bug_index: usize,
     prior: &ReductionLog,
     sink: &mut impl FnMut(&WalRecord),
+    observe: &SinkHandle,
 ) -> Result<TriagedBug, HarnessError> {
     let test = try_generate_test(config.tool, bug.seed, donors)?;
     let original = test.original.clone();
@@ -415,6 +493,8 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     let probe_original = original.clone();
     let probe_inputs = original.inputs.clone();
     let probe_signature = bug.signature.clone();
+    let scope = Scope::Reduction(bug_index);
+    let probe_sink = observe.clone();
     // Each probe ships owned clones onto the watchdog's worker thread; at
     // triage scale (one reduction per distinct signature) the clone cost
     // is noise next to the execution itself.
@@ -423,7 +503,7 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
         let original = probe_original.clone();
         let variant_module = variant.module.clone();
         let inputs = probe_inputs.clone();
-        let outcome = supervise(watchdog, move || {
+        let outcome = supervise_observed(watchdog, &probe_sink, scope, move || {
             attempt_classify(tool, &targets[target_index], &original, &variant_module, &inputs)
         });
         match outcome {
@@ -445,7 +525,8 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     // generating the test; seeding the reducer with it skips the initial
     // whole-sequence replay (the journal is unaffected — the fuzzer's
     // replay contract guarantees the same context either way).
-    let journaled = Reducer::new(config.reducer).reduce_journaled_seeded(
+    let started = observe.enabled().then(std::time::Instant::now);
+    let journaled = Reducer::new(config.reducer).with_sink(observe.clone(), scope).reduce_journaled_seeded(
         &original,
         &test.transformations,
         &test.variant,
@@ -453,6 +534,13 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
         probe,
         |_, record| sink(&WalRecord::Probe { bug: bug_index, record }),
     );
+    if let Some(started) = started {
+        observe.duration(
+            scope,
+            Counter::ReductionNanos,
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
     let reduction = journaled.reduction;
     let reduced_count = module_for_target(config.tool, &reduction.context.module)
         .instruction_count();
@@ -463,7 +551,7 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
         signature: bug.signature.clone(),
         reduced_length: reduction.sequence.len(),
         delta_instructions: reduced_count.abs_diff(original_count),
-        kinds: trx_dedup::interesting_types(&reduction.sequence),
+        kinds: trx_dedup::interesting_types_observed(&reduction.sequence, observe, Scope::Dedup),
         stats: reduction.stats,
     })
 }
@@ -484,9 +572,47 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
     config: &PipelineConfig,
     targets: &Arc<Vec<T>>,
     journal: &Journal,
-    mut sink: impl FnMut(&WalRecord),
+    sink: impl FnMut(&WalRecord),
+) -> Result<PipelineReport, HarnessError> {
+    run_pipeline_observed(config, targets, journal, sink, &SinkHandle::noop())
+}
+
+/// [`run_pipeline`] with live instrumentation: every stage streams
+/// counters and timings to `observe` (see [`trx_observe`] for the counter
+/// glossary and determinism levels).
+///
+/// The report's [`PipelineMetrics`] section is *not* read back from the
+/// sink — it is recomputed from resume-invariant state, so passing a
+/// [`SinkHandle::noop`] (as [`run_pipeline`] does) changes nothing about
+/// the report or the journal.
+///
+/// # Errors
+///
+/// Exactly [`run_pipeline`]'s errors.
+pub fn run_pipeline_observed<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+    journal: &Journal,
+    mut outer_sink: impl FnMut(&WalRecord),
+    observe: &SinkHandle,
 ) -> Result<PipelineReport, HarnessError> {
     let recovered = replay(journal, config)?;
+    let prior_records = journal.records.len();
+    let prior_probe_records = journal
+        .records
+        .iter()
+        .filter(|r| matches!(r, WalRecord::Probe { .. }))
+        .count();
+    let mut emitted_records = 0usize;
+    let mut emitted_probe_records = 0usize;
+    let mut sink = |record: &WalRecord| {
+        emitted_records += 1;
+        if matches!(record, WalRecord::Probe { .. }) {
+            emitted_probe_records += 1;
+        }
+        observe.count(Scope::Pipeline, Counter::WalRecords, 1);
+        outer_sink(record);
+    };
     if !recovered.started {
         sink(&WalRecord::Start {
             tool: config.tool.name().to_owned(),
@@ -496,7 +622,7 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
     }
 
     // Stage 1: campaign, resuming from the last journaled checkpoint.
-    let outcome = resume_campaign(
+    let outcome = resume_campaign_observed(
         config.tool,
         targets.as_slice(),
         config.tests,
@@ -504,12 +630,14 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
         &config.executor,
         recovered.checkpoint,
         |cp| sink(&WalRecord::Campaign(cp.clone())),
+        observe,
     )?;
 
     // Stage 2: the deterministic bug list.
     let target_names: Vec<String> =
         targets.iter().map(|t| t.name().to_owned()).collect();
     let bugs = select_bugs(&outcome, &target_names, config.seed_base);
+    observe.count(Scope::Pipeline, Counter::BugsTriaged, bugs.len() as u64);
 
     // Stage 3: reduction per bug, each one journaled per probe; stage 4
     // interleaved: each completed reduction feeds the incremental dedup
@@ -535,26 +663,28 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
         let donors = &donors;
         let pending = &pending;
         let probe_logs = &recovered.probe_logs;
-        let outcomes = trx_pool::with_pool(config.reduction_threads, |pool| {
-            pool.map(pending.len(), move |j| {
-                let bug_index = pending[j];
-                let prior = probe_logs
-                    .get(&bug_index)
-                    .cloned()
-                    .unwrap_or_default();
-                let mut records = Vec::new();
-                let result = reduce_bug(
-                    config,
-                    targets,
-                    donors,
-                    &bugs[bug_index],
-                    bug_index,
-                    &prior,
-                    &mut |record: &WalRecord| records.push(record.clone()),
-                );
-                (bug_index, result.map(|summary| (summary, records)))
-            })
-        });
+        let outcomes =
+            trx_pool::with_pool_observed(config.reduction_threads, observe.clone(), |pool| {
+                pool.map(pending.len(), move |j| {
+                    let bug_index = pending[j];
+                    let prior = probe_logs
+                        .get(&bug_index)
+                        .cloned()
+                        .unwrap_or_default();
+                    let mut records = Vec::new();
+                    let result = reduce_bug(
+                        config,
+                        targets,
+                        donors,
+                        &bugs[bug_index],
+                        bug_index,
+                        &prior,
+                        &mut |record: &WalRecord| records.push(record.clone()),
+                        observe,
+                    );
+                    (bug_index, result.map(|summary| (summary, records)))
+                })
+            });
         parallel_results.extend(outcomes);
     }
 
@@ -580,14 +710,16 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
                             .get(&bug_index)
                             .cloned()
                             .unwrap_or_default();
-                        reduce_bug(config, targets, &donors, bug, bug_index, &prior, &mut sink)?
+                        reduce_bug(
+                            config, targets, &donors, bug, bug_index, &prior, &mut sink, observe,
+                        )?
                     }
                 };
                 sink(&WalRecord::ReductionDone { bug: bug_index, summary: summary.clone() });
                 summary
             }
         };
-        let arrival = dedup.observe(summary.kinds.clone());
+        let arrival = dedup.observe_with_sink(summary.kinds.clone(), observe, Scope::Dedup);
         if !recovered.dedup_observed.contains(&bug_index) {
             sink(&WalRecord::DedupObserved { bug: bug_index, arrival });
         }
@@ -598,10 +730,44 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
     let kept = match recovered.verdict {
         Some(kept) => kept,
         None => {
-            let kept = dedup.recommend();
+            let kept = dedup.recommend_with_sink(observe, Scope::Dedup);
             sink(&WalRecord::Verdict { kept: kept.clone() });
             kept
         }
+    };
+
+    // The metrics section is a pure function of resume-invariant state
+    // (checkpoint totals, journaled summaries, prefix + suffix record
+    // counts), never of the live sink — so resumed, parallel, and
+    // uninstrumented runs all report the same bytes.
+    let metrics = PipelineMetrics {
+        campaign: CampaignMetrics {
+            incidents: outcome.ledger.len(),
+            retries: outcome.retries_spent,
+            quarantined_targets: outcome.quarantined.len(),
+            tests_completed: outcome.tests_completed,
+            skipped_by_quarantine: outcome.skipped_by_quarantine,
+        },
+        reduction: ReductionMetrics {
+            bugs_triaged: summaries.len(),
+            tests_run: summaries.iter().map(|b| b.stats.tests_run).sum(),
+            chunks_removed: summaries.iter().map(|b| b.stats.chunks_removed).sum(),
+            payload_instructions_removed: summaries
+                .iter()
+                .map(|b| b.stats.payload_instructions_removed)
+                .sum(),
+            probe_faults: summaries.iter().map(|b| b.stats.probe_faults).sum(),
+            poisoned_queries: summaries.iter().map(|b| b.stats.poisoned_queries).sum(),
+        },
+        dedup: DedupMetrics {
+            sets_observed: summaries.len(),
+            empty_sets: summaries.iter().filter(|b| b.kinds.is_empty()).count(),
+            kept: kept.len(),
+        },
+        wal: WalMetrics {
+            records: prior_records + emitted_records,
+            probe_records: prior_probe_records + emitted_probe_records,
+        },
     };
 
     Ok(PipelineReport {
@@ -613,6 +779,7 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
         quarantined: outcome.quarantined,
         bugs: summaries,
         kept,
+        metrics,
     })
 }
 

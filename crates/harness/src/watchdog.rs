@@ -29,6 +29,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use trx_observe::{Counter, Scope, SinkHandle};
 
 use crate::errors::panic_message;
 
@@ -93,6 +94,22 @@ pub fn supervise<T: Send + 'static>(
         Ok(Err(payload)) => WatchdogOutcome::Panicked(panic_message(payload)),
         Err(_) => WatchdogOutcome::TimedOut { deadline_ms: config.deadline_ms },
     }
+}
+
+/// [`supervise`], bumping the volatile `watchdog_timeouts` counter on
+/// `sink` under `scope` when the deadline fires. Timeouts are wall-clock
+/// events, so the counter is excluded from deterministic snapshots.
+pub fn supervise_observed<T: Send + 'static>(
+    config: WatchdogConfig,
+    sink: &SinkHandle,
+    scope: Scope,
+    job: impl FnOnce() -> T + Send + 'static,
+) -> WatchdogOutcome<T> {
+    let outcome = supervise(config, job);
+    if matches!(outcome, WatchdogOutcome::TimedOut { .. }) {
+        sink.count(scope, Counter::WatchdogTimeouts, 1);
+    }
+    outcome
 }
 
 #[cfg(test)]

@@ -1,0 +1,268 @@
+//! Cross-stage observability invariants, thread-invariance proptests, and
+//! the pipeline-report golden snapshot.
+//!
+//! The recorded counters double as a cross-engine oracle: the same
+//! campaign must report the same logical counters whether bugs are reduced
+//! serially or on a pool, and the report's `metrics` section (recomputed
+//! from resume-invariant state) must agree with what the live sink saw on
+//! a fresh uninterrupted run.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use trx_harness::pipeline::{run_pipeline, run_pipeline_observed, Journal, WalRecord};
+use trx_harness::{ExecutorConfig, PipelineConfig, PipelineReport, WatchdogConfig};
+use trx_observe::{Counter, MetricsReport, RecordingSink, SinkHandle};
+use trx_targets::{catalog, FaultPlan, FaultyTarget, Target, TestTarget};
+
+fn small_config() -> PipelineConfig {
+    PipelineConfig {
+        tests: 12,
+        executor: ExecutorConfig {
+            threads: 2,
+            checkpoint_interval: 4,
+            ..ExecutorConfig::default()
+        },
+        // Inline probes keep the suite fast and fully deterministic.
+        watchdog: WatchdogConfig { deadline_ms: 0 },
+        ..PipelineConfig::default()
+    }
+}
+
+fn clean_targets() -> Arc<Vec<Target>> {
+    Arc::new(catalog::all_targets().into_iter().take(2).collect())
+}
+
+/// Persistent (attempt-independent) fault wrappers: the fault decision is
+/// a pure function of the probed context, so outcomes — and therefore
+/// deterministic-mode counters — cannot depend on scheduling.
+fn faulty_targets(seed: u64, panic_p: f64, hang_p: f64) -> Arc<Vec<FaultyTarget>> {
+    let plan = FaultPlan {
+        seed,
+        panic_probability: panic_p,
+        hang_probability: hang_p,
+        transient_crash_probability: 0.0,
+        flip_flop_probability: 0.0,
+        transient_ttl: 1_000_000,
+    };
+    Arc::new(
+        catalog::all_targets()
+            .into_iter()
+            .take(2)
+            .map(|t| FaultyTarget::new(t, plan.clone()))
+            .collect(),
+    )
+}
+
+/// Fresh instrumented run: report, deterministic-mode snapshot, records.
+fn run_recorded<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+) -> (PipelineReport, MetricsReport, Vec<WalRecord>) {
+    let sink = Arc::new(RecordingSink::deterministic());
+    let handle = SinkHandle::new(sink.clone());
+    let mut records = Vec::new();
+    let report = run_pipeline_observed(
+        config,
+        targets,
+        &Journal::new(),
+        |r| records.push(r.clone()),
+        &handle,
+    )
+    .expect("instrumented pipeline runs");
+    (report, sink.snapshot(), records)
+}
+
+#[test]
+fn metrics_section_agrees_with_live_counters_on_a_fresh_run() {
+    let config = small_config();
+    let (report, snap, records) = run_recorded(&config, &clean_targets());
+    let m = &report.metrics;
+
+    // Reduction totals: report sums journaled per-bug stats, the sink saw
+    // the engines emit the same quantities live.
+    assert_eq!(m.reduction.tests_run as u64, snap.reduction_total(Counter::TestsRun));
+    assert_eq!(m.reduction.chunks_removed as u64, snap.reduction_total(Counter::ChunksRemoved));
+    assert_eq!(
+        m.reduction.payload_instructions_removed as u64,
+        snap.reduction_total(Counter::PayloadInstructionsRemoved)
+    );
+    assert_eq!(m.reduction.probe_faults as u64, snap.reduction_total(Counter::ProbeFaults));
+    assert_eq!(
+        m.reduction.poisoned_queries as u64,
+        snap.reduction_total(Counter::PoisonedQueries)
+    );
+    assert_eq!(m.reduction.bugs_triaged as u64, snap.counter("pipeline", Counter::BugsTriaged));
+
+    // Campaign totals come from the final checkpoint on both sides.
+    assert_eq!(m.campaign.incidents as u64, snap.counter("campaign", Counter::Incidents));
+    assert_eq!(m.campaign.retries, snap.counter("campaign", Counter::Retries));
+    assert_eq!(
+        m.campaign.quarantined_targets as u64,
+        snap.counter("campaign", Counter::QuarantinedTargets)
+    );
+    assert_eq!(
+        m.campaign.tests_completed as u64,
+        snap.counter("campaign", Counter::TestsCompleted)
+    );
+    assert_eq!(
+        m.campaign.skipped_by_quarantine,
+        snap.counter("campaign", Counter::SkippedByQuarantine)
+    );
+
+    // Dedup totals.
+    assert_eq!(m.dedup.sets_observed as u64, snap.counter("dedup", Counter::DedupSetsObserved));
+    assert_eq!(m.dedup.empty_sets as u64, snap.counter("dedup", Counter::DedupEmptySets));
+    assert_eq!(m.dedup.kept as u64, snap.counter("dedup", Counter::DedupKept));
+
+    // WAL totals: a fresh run has no replayed prefix, so the live count is
+    // the whole journal.
+    assert_eq!(m.wal.records, records.len());
+    assert_eq!(m.wal.records as u64, snap.counter("pipeline", Counter::WalRecords));
+    assert_eq!(
+        m.wal.probe_records,
+        records.iter().filter(|r| matches!(r, WalRecord::Probe { .. })).count()
+    );
+
+    // Probe conservation on clean targets: no faults, so every query is
+    // answered by exactly one live probe or one memo hit.
+    assert_eq!(m.reduction.probe_faults, 0);
+    assert_eq!(
+        snap.reduction_total(Counter::TestsRun),
+        snap.reduction_total(Counter::LiveProbes) + snap.reduction_total(Counter::MemoHits),
+    );
+
+    // The default prefix-cache budget is enabled, and 12 tests surface at
+    // least one reducible bug, so the cache must have been consulted.
+    assert!(config.reducer.prefix_cache_budget > 0);
+    assert!(m.reduction.tests_run > 0);
+    assert!(snap.reduction_total(Counter::CacheLookups) > 0);
+    if report.bugs.iter().any(|b| b.stats.chunks_removed > 0) {
+        assert!(
+            snap.reduction_total(Counter::CacheHits) > 0,
+            "a removal succeeded under a nonzero budget but the cache never hit"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_runs_record_identical_deterministic_snapshots() {
+    let serial = small_config();
+    let parallel = PipelineConfig { reduction_threads: 4, ..small_config() };
+    let (report_s, snap_s, _) = run_recorded(&serial, &clean_targets());
+    let (report_p, snap_p, _) = run_recorded(&parallel, &clean_targets());
+    assert_eq!(report_s, report_p);
+    assert_eq!(
+        snap_s.to_json(),
+        snap_p.to_json(),
+        "deterministic snapshots diverged across reduction_threads"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Satellite (a): on random persistent fault plans, the deterministic
+    /// recording sink's output is byte-identical between
+    /// `reduction_threads = 1` and `= 4`.
+    #[test]
+    fn deterministic_snapshots_are_thread_invariant_under_fault_plans(
+        seed in 0u64..=u64::MAX,
+        panic_steps in 0u32..=3,
+        hang_steps in 0u32..=2,
+    ) {
+        let panic_p = f64::from(panic_steps) * 0.1;
+        let hang_p = f64::from(hang_steps) * 0.1;
+        let config = PipelineConfig { tests: 8, ..small_config() };
+        let parallel = PipelineConfig { reduction_threads: 4, ..config };
+        // Fresh wrappers per run: FaultyTarget keeps interior attempt
+        // counters, and sharing one instance would leak state from the
+        // serial run into the parallel one.
+        let (report_s, snap_s, records_s) =
+            run_recorded(&config, &faulty_targets(seed, panic_p, hang_p));
+        let (report_p, snap_p, records_p) =
+            run_recorded(&parallel, &faulty_targets(seed, panic_p, hang_p));
+        prop_assert_eq!(report_s, report_p);
+        prop_assert_eq!(records_s, records_p);
+        prop_assert_eq!(
+            snap_s.to_json(),
+            snap_p.to_json(),
+            "fault plan (seed {}, panic {}, hang {}) broke snapshot thread-invariance",
+            seed, panic_p, hang_p
+        );
+    }
+}
+
+#[test]
+fn resumed_run_reports_the_same_metrics_section() {
+    let config = small_config();
+    let (golden, _, records) = run_recorded(&config, &clean_targets());
+    let cut = records.len() / 2;
+    let prefix = Journal { records: records[..cut].to_vec() };
+    let (resumed, _, _) = {
+        let sink = Arc::new(RecordingSink::deterministic());
+        let handle = SinkHandle::new(sink.clone());
+        let mut emitted = Vec::new();
+        let report = run_pipeline_observed(
+            &config,
+            &clean_targets(),
+            &prefix,
+            |r| emitted.push(r.clone()),
+            &handle,
+        )
+        .expect("resumed instrumented run");
+        (report, sink.snapshot(), emitted)
+    };
+    // The metrics section is recomputed from resume-invariant state, so
+    // the whole report (metrics included) matches byte for byte.
+    assert_eq!(resumed, golden);
+    assert_eq!(resumed.to_json().unwrap(), golden.to_json().unwrap());
+}
+
+/// Satellite (c): golden-file snapshot of the full pipeline report,
+/// including the `metrics` section.
+///
+/// To regenerate after an intentional report-format change, run:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test -p trx-harness --test observability \
+///     pipeline_report_matches_golden_snapshot
+/// ```
+///
+/// and commit the rewritten `tests/golden/pipeline_report.json`. Review
+/// the diff — every field change here is a WAL/report format change that
+/// downstream consumers will see.
+#[test]
+fn pipeline_report_matches_golden_snapshot() {
+    let config = small_config();
+    let (report, _) = {
+        let mut records = Vec::new();
+        let report =
+            run_pipeline(&config, &clean_targets(), &Journal::new(), |r| records.push(r.clone()))
+                .expect("pipeline runs");
+        (report, records)
+    };
+    let mut rendered = report.to_json().expect("report serialises");
+    rendered.push('\n');
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("pipeline_report.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1 (see test docs)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "pipeline report diverged from tests/golden/pipeline_report.json; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 (see test docs)"
+    );
+}

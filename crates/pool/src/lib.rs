@@ -35,6 +35,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
+use trx_observe::{Counter, Scope, SinkHandle};
+
 /// A boxed unit of work executed by a pool worker.
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 
@@ -42,6 +44,7 @@ type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 pub struct WorkerPool<'env> {
     sender: Sender<Job<'env>>,
     threads: usize,
+    sink: SinkHandle,
 }
 
 impl<'env> WorkerPool<'env> {
@@ -55,6 +58,10 @@ impl<'env> WorkerPool<'env> {
     /// — share shorter-lived state via `Arc`/moves and report results over
     /// a channel owned by the caller.
     pub fn submit(&self, job: impl FnOnce() + Send + 'env) {
+        // Pool task counts are scheduling-dependent (a serial run never
+        // creates a pool), so the counter is volatile-level and absent from
+        // deterministic metrics snapshots.
+        self.sink.count(Scope::Pool, Counter::PoolTasks, 1);
         // Send only fails if every worker exited, which cannot happen while
         // the pool (the only sender) is alive.
         let _ = self.sender.send(Box::new(job));
@@ -106,6 +113,16 @@ impl<'env> WorkerPool<'env> {
 /// workers once `f` returns. Jobs submitted by `f` may capture anything
 /// that outlives the `with_pool` call itself.
 pub fn with_pool<'env, R>(threads: usize, f: impl FnOnce(&WorkerPool<'env>) -> R) -> R {
+    with_pool_observed(threads, SinkHandle::noop(), f)
+}
+
+/// Like [`with_pool`], but every submitted job bumps the volatile
+/// `pool_tasks` counter on `sink` (scope `pool`).
+pub fn with_pool_observed<'env, R>(
+    threads: usize,
+    sink: SinkHandle,
+    f: impl FnOnce(&WorkerPool<'env>) -> R,
+) -> R {
     let threads = threads.max(1);
     thread::scope(|scope| {
         let (sender, receiver) = channel::<Job<'env>>();
@@ -114,7 +131,7 @@ pub fn with_pool<'env, R>(threads: usize, f: impl FnOnce(&WorkerPool<'env>) -> R
             let receiver = Arc::clone(&receiver);
             scope.spawn(move || worker_loop(&receiver));
         }
-        let pool = WorkerPool { sender, threads };
+        let pool = WorkerPool { sender, threads, sink };
         let result = f(&pool);
         // Dropping the pool closes the job channel; every worker's `recv`
         // errors out and the scope can join them. Without this the scope
@@ -194,6 +211,16 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn observed_pool_counts_submitted_jobs() {
+        let sink = Arc::new(trx_observe::RecordingSink::full());
+        let handle = SinkHandle::new(sink.clone());
+        with_pool_observed(2, handle, |pool| {
+            let _ = pool.map(9, |i| i);
+        });
+        assert_eq!(sink.snapshot().counter("pool", Counter::PoolTasks), 9);
     }
 
     #[test]

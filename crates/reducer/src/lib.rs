@@ -76,6 +76,7 @@ use trx_core::{
     context_fingerprint, transformation_id, Context, PrefixCache, PrefixCacheStats,
     Transformation,
 };
+use trx_observe::{Counter, Scope, SinkHandle};
 use trx_pool::WorkerPool;
 
 /// Statistics about a reduction run.
@@ -279,13 +280,29 @@ impl Default for ReducerOptions {
 #[derive(Debug, Clone, Default)]
 pub struct Reducer {
     options: ReducerOptions,
+    sink: SinkHandle,
+    scope: Scope,
 }
 
 impl Reducer {
     /// Creates a reducer with the given options.
     #[must_use]
     pub fn new(options: ReducerOptions) -> Self {
-        Reducer { options }
+        Reducer { options, sink: SinkHandle::noop(), scope: Scope::Pipeline }
+    }
+
+    /// Routes this reducer's counters to `sink`, attributed to `scope`
+    /// (typically [`Scope::Reduction`] keyed by the bug's WAL index).
+    ///
+    /// Search counters ([`ReductionStats`]) and engine counters
+    /// ([`EngineStats`], including the prefix cache's) are emitted in
+    /// batches, so the default noop sink costs one `enabled()` check per
+    /// probe, not per transformation.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle, scope: Scope) -> Self {
+        self.sink = sink;
+        self.scope = scope;
+        self
     }
 
     /// Reduces `sequence` against `original`, keeping subsequences for which
@@ -310,6 +327,34 @@ impl Reducer {
         .reduction
     }
 
+    /// The engine for this reducer's sink configuration.
+    fn engine<'a, P, R, S>(
+        &self,
+        original: &'a Context,
+        initial: Option<&'a Context>,
+        prior: &'a ReductionLog,
+        probe: P,
+        on_record: R,
+        speculation: S,
+    ) -> Engine<'a, P, R, S>
+    where
+        P: FnMut(&Context) -> Result<bool, ProbeFault>,
+        R: FnMut(usize, ProbeRecord),
+        S: Speculate,
+    {
+        Engine::new(
+            self.options,
+            self.sink.clone(),
+            self.scope,
+            original,
+            initial,
+            prior,
+            probe,
+            on_record,
+            speculation,
+        )
+    }
+
     /// Reduces `sequence` against `original` with a fallible probe and a
     /// write-ahead attempt log.
     ///
@@ -332,8 +377,7 @@ impl Reducer {
         probe: impl FnMut(&Context) -> Result<bool, ProbeFault>,
         on_record: impl FnMut(usize, ProbeRecord),
     ) -> JournaledReduction {
-        Engine::new(self.options, original, None, prior, probe, on_record, NoSpeculation)
-            .run(sequence)
+        self.engine(original, None, prior, probe, on_record, NoSpeculation).run(sequence)
     }
 
     /// Like [`Reducer::reduce_journaled`], but seeded with `variant`, the
@@ -356,16 +400,8 @@ impl Reducer {
         probe: impl FnMut(&Context) -> Result<bool, ProbeFault>,
         on_record: impl FnMut(usize, ProbeRecord),
     ) -> JournaledReduction {
-        Engine::new(
-            self.options,
-            original,
-            Some(variant),
-            prior,
-            probe,
-            on_record,
-            NoSpeculation,
-        )
-        .run(sequence)
+        self.engine(original, Some(variant), prior, probe, on_record, NoSpeculation)
+            .run(sequence)
     }
 
     /// Like [`Reducer::reduce_journaled`], but probes a round's upcoming
@@ -447,8 +483,7 @@ impl Reducer {
             consumed: 0,
         };
         let live = move |ctx: &Context| probe(ctx);
-        Engine::new(self.options, original, initial, prior, live, on_record, speculation)
-            .run(sequence)
+        self.engine(original, initial, prior, live, on_record, speculation).run(sequence)
     }
 }
 
@@ -582,6 +617,11 @@ struct Resolved {
 /// *produced*, never which records a deterministic run contains.
 struct Engine<'a, P, R, S> {
     opts: Resolved,
+    sink: SinkHandle,
+    scope: Scope,
+    /// Probes that reached the live oracle (neither replayed, memoized,
+    /// nor satisfied by a speculative hint).
+    live_probes: u64,
     original: &'a Context,
     /// The full sequence's already-materialized context, when the caller
     /// has one (the fuzzer's variant): the initial interestingness check
@@ -605,8 +645,11 @@ where
     R: FnMut(usize, ProbeRecord),
     S: Speculate,
 {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         options: ReducerOptions,
+        sink: SinkHandle,
+        scope: Scope,
         original: &'a Context,
         initial: Option<&'a Context>,
         prior: &'a ReductionLog,
@@ -615,6 +658,8 @@ where
         speculation: S,
     ) -> Self {
         let votes = options.votes.max(1);
+        let mut cache = PrefixCache::new(options.prefix_cache_budget);
+        cache.set_sink(sink.clone(), scope);
         Engine {
             opts: Resolved {
                 max_tests: options.max_tests,
@@ -624,9 +669,12 @@ where
                 shrink_added_functions: options.shrink_added_functions,
                 memoize: options.memoize_verdicts && votes == 1,
             },
+            sink,
+            scope,
+            live_probes: 0,
             original,
             initial,
-            cache: PrefixCache::new(options.prefix_cache_budget),
+            cache,
             memo: HashMap::new(),
             memo_hits: 0,
             prior,
@@ -678,10 +726,19 @@ where
                 }
             }
         }
+        self.live_probes += 1;
+        let started = self.sink.enabled().then(std::time::Instant::now);
         let record = match (self.probe)(ctx) {
             Ok(verdict) => ProbeRecord::Answered(verdict),
             Err(_) => ProbeRecord::Faulted,
         };
+        if let Some(started) = started {
+            self.sink.duration(
+                self.scope,
+                Counter::ProbeNanos,
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         self.emit(record)
     }
 
@@ -950,18 +1007,35 @@ where
 
     fn finish(self, sequence: Vec<Transformation>, context: Context) -> JournaledReduction {
         let (speculative_probes, speculative_hits) = self.speculation.counters();
+        let engine = EngineStats {
+            cache: self.cache.stats(),
+            memo_hits: self.memo_hits,
+            speculative_probes,
+            speculative_hits,
+        };
+        if self.sink.enabled() {
+            let scope = self.scope;
+            let stats = self.stats;
+            // Search counters (logical level; the cache already streamed
+            // its own counters per materialize).
+            self.sink.count(scope, Counter::TestsRun, stats.tests_run as u64);
+            self.sink.count(scope, Counter::ChunksRemoved, stats.chunks_removed as u64);
+            self.sink.count(
+                scope,
+                Counter::PayloadInstructionsRemoved,
+                stats.payload_instructions_removed as u64,
+            );
+            self.sink.count(scope, Counter::ProbeFaults, stats.probe_faults as u64);
+            self.sink.count(scope, Counter::PoisonedQueries, stats.poisoned_queries as u64);
+            // Engine counters (engine level: fresh-run invariant, shrink on
+            // resume because replayed probes skip live work).
+            self.sink.count(scope, Counter::MemoHits, engine.memo_hits);
+            self.sink.count(scope, Counter::LiveProbes, self.live_probes);
+            self.sink.count(scope, Counter::SpeculativeLaunches, engine.speculative_probes);
+            self.sink.count(scope, Counter::SpeculativeHits, engine.speculative_hits);
+        }
         JournaledReduction {
-            reduction: Reduction {
-                sequence,
-                context,
-                stats: self.stats,
-                engine: EngineStats {
-                    cache: self.cache.stats(),
-                    memo_hits: self.memo_hits,
-                    speculative_probes,
-                    speculative_hits,
-                },
-            },
+            reduction: Reduction { sequence, context, stats: self.stats, engine },
             log: self.log,
         }
     }

@@ -8,15 +8,37 @@
 //! to the serial budget-0 reference engine. Resume from any journal
 //! prefix must land on the same bytes too.
 
+use std::sync::Arc;
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use trx_core::transformations::{AddConstant, SetFunctionControl};
 use trx_core::{context_fingerprint, Context, Transformation};
 use trx_ir::{ConstantValue, FunctionControl, Id, Inputs, ModuleBuilder, Type};
+use trx_observe::{Counter, MetricsReport, RecordingSink, Scope, SinkHandle};
 use trx_pool::with_pool;
 use trx_reducer::{
     JournaledReduction, ProbeFault, Reducer, ReducerOptions, ReductionLog,
 };
+
+/// A fresh deterministic-mode recording sink plus its handle.
+fn recording() -> (Arc<RecordingSink>, SinkHandle) {
+    let sink = Arc::new(RecordingSink::deterministic());
+    let handle = SinkHandle::new(sink.clone());
+    (sink, handle)
+}
+
+/// The logical (engine-independent) reduction counters of a snapshot: any
+/// two engines that claim byte-equivalence must agree on all of these.
+fn logical_counters(snapshot: &MetricsReport) -> [u64; 5] {
+    [
+        snapshot.total(Counter::TestsRun),
+        snapshot.total(Counter::ChunksRemoved),
+        snapshot.total(Counter::PayloadInstructionsRemoved),
+        snapshot.total(Counter::ProbeFaults),
+        snapshot.total(Counter::PoisonedQueries),
+    ]
+}
 
 /// Entry point plus one helper function whose inline control the flip
 /// transformations toggle.
@@ -156,8 +178,8 @@ proptest! {
         }
         .with_votes(votes_required, votes);
 
-        let run_serial = |opts: ReducerOptions| {
-            Reducer::new(opts).reduce_journaled(
+        let run_observed = |opts: ReducerOptions, handle: SinkHandle| {
+            Reducer::new(opts).with_sink(handle, Scope::Reduction(0)).reduce_journaled(
                 &original,
                 &sequence,
                 &ReductionLog::new(),
@@ -165,26 +187,76 @@ proptest! {
                 |_, _| {},
             )
         };
+        let run_serial = |opts: ReducerOptions| run_observed(opts, SinkHandle::noop());
 
-        let reference = run_serial(base_opts);
+        let (reference_sink, reference_handle) = recording();
+        let reference = run_observed(base_opts, reference_handle);
+        let reference_metrics = reference_sink.snapshot();
+        prop_assert_eq!(
+            reference_metrics.total(Counter::TestsRun) as usize,
+            reference.reduction.stats.tests_run,
+            "sink and stats disagree on tests_run"
+        );
+        // Without memo, speculation, or replayed prefix, every journal
+        // record is one live oracle invocation (faulted attempts included).
+        prop_assert_eq!(
+            reference_metrics.total(Counter::LiveProbes) as usize,
+            reference.log.len(),
+            "serial run: every probe invocation is live"
+        );
 
         // Every cache budget is behaviorally invisible; the verdict memo is
         // an exact optimization for this (deterministic) probe.
         for budget in [1usize, 4, 64] {
-            let got = run_serial(ReducerOptions { prefix_cache_budget: budget, ..base_opts });
+            let (sink, handle) = recording();
+            let got =
+                run_observed(ReducerOptions { prefix_cache_budget: budget, ..base_opts }, handle);
             assert_same(&format!("budget {budget}"), &got, &reference)?;
             prop_assert!(
                 got.reduction.engine.cache.transformations_applied
                     <= reference.reduction.engine.cache.transformations_applied,
                 "budget {budget}: cache increased work"
             );
+            let metrics = sink.snapshot();
+            prop_assert_eq!(
+                logical_counters(&metrics),
+                logical_counters(&reference_metrics),
+                "budget {}: logical counters diverged from serial", budget
+            );
+            // Counter-level cache oracle: whenever the whole sequence fits
+            // in the cache, the search did real work (some chunk was
+            // removed), and the sequence is long enough for a removal
+            // candidate to share a nonempty prefix with the cached full
+            // sequence, the cache must have hit at least once.
+            if budget >= sequence.len()
+                && sequence.len() >= 3
+                && got.reduction.stats.chunks_removed > 0
+            {
+                prop_assert!(
+                    metrics.total(Counter::CacheHits) > 0,
+                    "budget {}: cache never hit on a reducible sequence", budget
+                );
+            }
         }
-        let memo = run_serial(ReducerOptions {
-            prefix_cache_budget: 64,
-            memoize_verdicts: true,
-            ..base_opts
-        });
+        let (memo_sink, memo_handle) = recording();
+        let memo = run_observed(
+            ReducerOptions { prefix_cache_budget: 64, memoize_verdicts: true, ..base_opts },
+            memo_handle,
+        );
         assert_same("memo", &memo, &reference)?;
+        let memo_metrics = memo_sink.snapshot();
+        prop_assert_eq!(
+            logical_counters(&memo_metrics),
+            logical_counters(&reference_metrics),
+            "memo: logical counters diverged from serial"
+        );
+        // The memo conservation law: every query the memo answers is one
+        // live probe the serial engine performed, one for one.
+        prop_assert_eq!(
+            memo_metrics.total(Counter::LiveProbes) + memo_metrics.total(Counter::MemoHits),
+            reference_metrics.total(Counter::LiveProbes),
+            "memo hits and live probes must partition the serial probe count"
+        );
 
         // Seeding the engine with the pre-built variant context skips the
         // initial full-sequence replay but must not move a single byte.
@@ -204,15 +276,19 @@ proptest! {
         assert_same("seeded", &seeded, &reference)?;
 
         // Speculative probing adopts verdicts in canonical order, so the
-        // bytes match the serial engine at every width.
+        // bytes match the serial engine at every width — and so do the
+        // logical counters, which is the cross-engine oracle the pipeline
+        // invariant suite leans on.
         for width in [2usize, 5] {
+            let (spec_sink, spec_handle) = recording();
             let got = with_pool(3, |pool| {
                 let reducer = Reducer::new(ReducerOptions {
                     prefix_cache_budget: 64,
                     memoize_verdicts: knobs % 4 == 1,
                     speculation: width,
                     ..base_opts
-                });
+                })
+                .with_sink(spec_handle.clone(), Scope::Reduction(0));
                 // One width per case also exercises the seeded entry point.
                 if width == 5 {
                     reducer.reduce_speculative_seeded(
@@ -236,6 +312,19 @@ proptest! {
                 }
             });
             assert_same(&format!("speculation {width}"), &got, &reference)?;
+            let metrics = spec_sink.snapshot();
+            prop_assert_eq!(
+                logical_counters(&metrics),
+                logical_counters(&reference_metrics),
+                "speculation {}: logical counters diverged from serial", width
+            );
+            // A speculative verdict can only be consumed after it was
+            // launched, so hits are bounded by launches.
+            prop_assert!(
+                metrics.total(Counter::SpeculativeHits)
+                    <= metrics.total(Counter::SpeculativeLaunches),
+                "speculation {}: more hits than launches", width
+            );
         }
 
         // Kill/resume: replaying any journal prefix of the memoized run
@@ -272,15 +361,18 @@ fn cache_strictly_reduces_applications_on_reducible_sequences() {
     let probe =
         move |ctx: &Context| -> Result<bool, ProbeFault> { Ok(ctx.module.constants.len() >= needed) };
     let run = |budget: usize| {
-        Reducer::new(ReducerOptions {
+        let (sink, handle) = recording();
+        let out = Reducer::new(ReducerOptions {
             shrink_added_functions: false,
             prefix_cache_budget: budget,
             ..ReducerOptions::default()
         })
-        .reduce_journaled(&original, &sequence, &ReductionLog::new(), probe, |_, _| {})
+        .with_sink(handle, Scope::Reduction(0))
+        .reduce_journaled(&original, &sequence, &ReductionLog::new(), probe, |_, _| {});
+        (out, sink.snapshot())
     };
-    let serial = run(0);
-    let cached = run(256);
+    let (serial, serial_metrics) = run(0);
+    let (cached, cached_metrics) = run(256);
     assert_eq!(serial.log, cached.log);
     assert_eq!(serial.reduction.sequence, cached.reduction.sequence);
     let serial_applied = serial.reduction.engine.cache.transformations_applied;
@@ -290,6 +382,22 @@ fn cache_strictly_reduces_applications_on_reducible_sequences() {
         "cache saved nothing: {cached_applied} vs {serial_applied}"
     );
     assert!(cached.reduction.engine.cache.hits > 0);
+
+    // The recorded counters mirror the engine's own statistics exactly.
+    assert_eq!(logical_counters(&cached_metrics), logical_counters(&serial_metrics));
+    assert_eq!(
+        cached_metrics.total(Counter::CacheHits),
+        cached.reduction.engine.cache.hits
+    );
+    assert_eq!(
+        cached_metrics.total(Counter::CacheApplications),
+        cached.reduction.engine.cache.transformations_applied
+    );
+    assert_eq!(
+        cached_metrics.total(Counter::CacheSaved),
+        cached.reduction.engine.cache.transformations_saved
+    );
+    assert!(cached_metrics.total(Counter::CacheSaved) > 0, "cache saved no applications");
 }
 
 /// The memo answers repeat contexts without consulting the oracle: on a
@@ -309,11 +417,13 @@ fn memo_skips_live_probes_for_repeat_contexts() {
     };
     let run = |memoize: bool| {
         let mut live = 0usize;
+        let (sink, handle) = recording();
         let out = Reducer::new(ReducerOptions {
             shrink_added_functions: false,
             memoize_verdicts: memoize,
             ..ReducerOptions::default()
         })
+        .with_sink(handle, Scope::Reduction(0))
         .reduce_journaled(
             &original,
             &sequence,
@@ -324,10 +434,10 @@ fn memo_skips_live_probes_for_repeat_contexts() {
             },
             |_, _| {},
         );
-        (out, live)
+        (out, live, sink.snapshot())
     };
-    let (plain, plain_live) = run(false);
-    let (memoized, memo_live) = run(true);
+    let (plain, plain_live, plain_metrics) = run(false);
+    let (memoized, memo_live, memo_metrics) = run(true);
     assert_eq!(plain.log, memoized.log, "memo must not change the journal");
     assert_eq!(plain.reduction.sequence, memoized.reduction.sequence);
     assert_eq!(plain.reduction.stats, memoized.reduction.stats);
@@ -341,4 +451,16 @@ fn memo_skips_live_probes_for_repeat_contexts() {
         plain_live as u64,
         "every skipped live probe must be a memo hit"
     );
+
+    // The same conservation law, read back from the recorded counters: the
+    // sink's live-probe count matches the hand count on both runs, and
+    // memoized probes plus memo hits partition the plain run's traffic.
+    assert_eq!(plain_metrics.total(Counter::LiveProbes), plain_live as u64);
+    assert_eq!(memo_metrics.total(Counter::LiveProbes), memo_live as u64);
+    assert_eq!(memo_metrics.total(Counter::MemoHits), memoized.reduction.engine.memo_hits);
+    assert_eq!(
+        memo_metrics.total(Counter::LiveProbes) + memo_metrics.total(Counter::MemoHits),
+        plain_metrics.total(Counter::LiveProbes),
+    );
+    assert_eq!(memo_metrics.total(Counter::TestsRun), plain_metrics.total(Counter::TestsRun));
 }
