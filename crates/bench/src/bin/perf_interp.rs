@@ -1,0 +1,250 @@
+//! Perf interp: benchmarks the pre-decoded interpreter on the render-grid
+//! workload and writes `BENCH_interp.json`.
+//!
+//! The workload renders every frag-coord-dependent render reference over a
+//! `--width` × `--height` fragment grid, `--repeats` times, with three
+//! configurations:
+//!
+//! 1. **reference** — the old stepper
+//!    ([`trx_ir::interp::reference`]): per-fragment module walk with
+//!    hash-map registers;
+//! 2. **predecoded** — [`CompiledModule`]: one decode pass per module, then
+//!    the whole grid through the register-file execution core, serially;
+//! 3. **predecoded-parallel** — the same decoded form with rows spread
+//!    across a `trx-pool` worker pool (`--threads`).
+//!
+//! Before writing the baseline the binary asserts the engine contract:
+//! byte-identical images across all three configurations and across thread
+//! counts 1, 2 and `--threads`; identical faults under a starvation step
+//! budget; and identical step counts per probe. Any violation exits
+//! nonzero, so CI runs this in smoke mode (small grid) as a regression
+//! gate. `--min-speedup X` additionally fails the run when the parallel
+//! configuration is below `X`× the reference throughput (left at 0 in
+//! smoke mode, where debug builds and tiny grids make timings
+//! meaningless).
+//!
+//! Usage: `perf_interp [--width W] [--height H] [--repeats R]
+//! [--threads T] [--min-speedup X] [--out FILE]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trx_bench::interp::{EngineRender, InterpBaseline};
+use trx_bench::{arg_string, arg_usize, render_table};
+use trx_harness::corpus::{render_references, Reference};
+use trx_ir::interp::fast::CompiledModule;
+use trx_ir::interp::{self, reference, ExecConfig};
+use trx_observe::{Counter, RecordingSink, SinkHandle};
+
+fn engine_summary(name: &str, wall_ns: u128, fragments: u64) -> EngineRender {
+    let secs = wall_ns as f64 / 1e9;
+    EngineRender {
+        name: name.to_owned(),
+        wall_ms: (wall_ns / 1_000_000) as u64,
+        fragments_per_sec: fragments as f64 / secs.max(1e-9),
+        per_fragment_ns: wall_ns as f64 / fragments.max(1) as f64,
+    }
+}
+
+/// Cross-checks every engine and thread count on one reference: images must
+/// be byte-identical, faults under a starvation budget identical, and step
+/// counts per probe identical. Prints and returns `false` on divergence.
+fn check_equivalence(r: &Reference, width: u32, height: u32, threads: usize) -> bool {
+    let mut ok = true;
+    let config = ExecConfig::default();
+    let reference_img = reference::render_with_config(&r.module, &r.inputs, width, height, config);
+    let compiled = CompiledModule::compile(&r.module, config);
+    let serial = compiled.render(&r.inputs, width, height);
+    if serial != reference_img {
+        eprintln!("FAIL: {}: predecoded image diverges from reference", r.name);
+        ok = false;
+    }
+    for t in [2, threads] {
+        if compiled.render_parallel(&r.inputs, width, height, t) != serial {
+            eprintln!("FAIL: {}: parallel image diverges at {t} threads", r.name);
+            ok = false;
+        }
+    }
+
+    // Step counts per probe: one invocation, both engines counted.
+    let (fast_result, fast_stats) = interp::execute_counted(&r.module, &r.inputs, config);
+    let (ref_result, ref_stats) = reference::execute_counted(&r.module, &r.inputs, config);
+    if fast_result != ref_result || fast_stats != ref_stats {
+        eprintln!("FAIL: {}: counted execution diverges", r.name);
+        ok = false;
+    }
+
+    // Faults under starvation: a budget most fragments cannot finish in.
+    let starved = ExecConfig { step_limit: fast_stats.steps.saturating_sub(1).max(1), ..config };
+    let ref_starved = reference::render_with_config(&r.module, &r.inputs, width, height, starved);
+    let starved_compiled = CompiledModule::compile(&r.module, starved);
+    if starved_compiled.render(&r.inputs, width, height) != ref_starved {
+        eprintln!("FAIL: {}: starved render diverges from reference", r.name);
+        ok = false;
+    }
+    for t in [2, threads] {
+        if starved_compiled.render_parallel(&r.inputs, width, height, t) != ref_starved {
+            eprintln!("FAIL: {}: starved parallel render diverges at {t} threads", r.name);
+            ok = false;
+        }
+    }
+    ok
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let width = arg_usize("--width", 48) as u32;
+    let height = arg_usize("--height", 48) as u32;
+    let repeats = arg_usize("--repeats", 8).max(1);
+    let threads = arg_usize("--threads", 4).max(2);
+    let min_speedup: f64 = arg_string("--min-speedup", "0").parse().unwrap_or(0.0);
+    let out = arg_string("--out", "BENCH_interp.json");
+
+    let references = render_references();
+    let per_pass: u64 = references.len() as u64 * u64::from(width) * u64::from(height);
+    let fragments_total = per_pass * repeats as u64;
+    let config = ExecConfig::default();
+
+    // Equivalence first: timings mean nothing if the engines disagree.
+    let equivalent = references
+        .iter()
+        .map(|r| check_equivalence(r, width, height, threads))
+        .fold(true, |acc, ok| acc & ok);
+
+    // One untimed warmup round per configuration, then the timed passes
+    // interleaved per repeat: contiguous per-engine blocks would let
+    // frequency drift over the run's lifetime bias whichever engine is
+    // measured last, which alternation cancels.
+    for r in &references {
+        let _ = reference::render_with_config(&r.module, &r.inputs, width, height, config);
+        let compiled = CompiledModule::compile(&r.module, config);
+        let _ = compiled.render(&r.inputs, width, height);
+        let _ = compiled.render_parallel(&r.inputs, width, height, threads);
+    }
+    let mut reference_ns: u128 = 0;
+    let mut predecoded_ns: u128 = 0;
+    let mut parallel_ns: u128 = 0;
+    for _ in 0..repeats {
+        // 1. The old stepper: re-walks the module for every fragment.
+        let start = Instant::now();
+        for r in &references {
+            let _ = reference::render_with_config(&r.module, &r.inputs, width, height, config);
+        }
+        reference_ns += start.elapsed().as_nanos();
+
+        // 2. Pre-decoded, serial grid: one decode per module per pass.
+        let start = Instant::now();
+        for r in &references {
+            let compiled = CompiledModule::compile(&r.module, config);
+            let _ = compiled.render(&r.inputs, width, height);
+        }
+        predecoded_ns += start.elapsed().as_nanos();
+
+        // 3. Pre-decoded, data-parallel grid.
+        let start = Instant::now();
+        for r in &references {
+            let compiled = CompiledModule::compile(&r.module, config);
+            let _ = compiled.render_parallel(&r.inputs, width, height, threads);
+        }
+        parallel_ns += start.elapsed().as_nanos();
+    }
+
+    // Untimed observed pass: instructions retired and fragments rendered
+    // through the trx-observe counters the fast core emits.
+    let sink = Arc::new(RecordingSink::deterministic());
+    let handle = SinkHandle::new(sink.clone());
+    for r in &references {
+        let compiled = CompiledModule::compile_observed(&r.module, config, &handle);
+        let _ = compiled.render_observed(&r.inputs, width, height, 1, &handle);
+    }
+    let report = sink.snapshot();
+    let instructions_retired = report.counter("render", Counter::InterpInstructionsRetired);
+    let fragments_observed = report.counter("render", Counter::FragmentsRendered);
+
+    let reference_engine = engine_summary("reference", reference_ns, fragments_total);
+    let predecoded = engine_summary("predecoded", predecoded_ns, fragments_total);
+    let predecoded_parallel = engine_summary("predecoded-parallel", parallel_ns, fragments_total);
+    let speedup_predecoded =
+        predecoded.fragments_per_sec / reference_engine.fragments_per_sec.max(1e-9);
+    let speedup_parallel =
+        predecoded_parallel.fragments_per_sec / reference_engine.fragments_per_sec.max(1e-9);
+
+    let baseline = InterpBaseline {
+        references: references.len(),
+        width,
+        height,
+        repeats,
+        threads,
+        fragments_total,
+        reference_engine,
+        predecoded,
+        predecoded_parallel,
+        speedup_predecoded,
+        speedup_parallel,
+        instructions_retired,
+        fragments_observed,
+        equivalent,
+    };
+
+    let fmt_engine = |e: &EngineRender| {
+        vec![
+            vec![format!("{} wall ms", e.name), e.wall_ms.to_string()],
+            vec![
+                format!("{} fragments/sec", e.name),
+                format!("{:.0}", e.fragments_per_sec),
+            ],
+            vec![
+                format!("{} ns/fragment", e.name),
+                format!("{:.0}", e.per_fragment_ns),
+            ],
+        ]
+    };
+    let mut rows = vec![
+        vec!["references".to_owned(), baseline.references.to_string()],
+        vec!["grid".to_owned(), format!("{width}x{height} x{repeats}")],
+        vec!["fragments total".to_owned(), baseline.fragments_total.to_string()],
+    ];
+    rows.extend(fmt_engine(&baseline.reference_engine));
+    rows.extend(fmt_engine(&baseline.predecoded));
+    rows.extend(fmt_engine(&baseline.predecoded_parallel));
+    rows.push(vec![
+        "speedup predecoded".to_owned(),
+        format!("{:.2}x", baseline.speedup_predecoded),
+    ]);
+    rows.push(vec![
+        "speedup parallel".to_owned(),
+        format!("{:.2}x", baseline.speedup_parallel),
+    ]);
+    rows.push(vec![
+        "instructions retired".to_owned(),
+        baseline.instructions_retired.to_string(),
+    ]);
+    rows.push(vec!["equivalent".to_owned(), baseline.equivalent.to_string()]);
+    println!("{}", render_table(&["metric", "value"], &rows));
+
+    if let Err(e) = baseline.save(&out) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+
+    let mut failed = false;
+    if !baseline.equivalent {
+        eprintln!("FAIL: an engine configuration diverged");
+        failed = true;
+    }
+    if baseline.instructions_retired == 0 || baseline.fragments_observed == 0 {
+        eprintln!("FAIL: the observed pass recorded no work");
+        failed = true;
+    }
+    if min_speedup > 0.0 && baseline.speedup_parallel < min_speedup {
+        eprintln!(
+            "FAIL: parallel speedup {:.2}x is below the required {min_speedup:.2}x",
+            baseline.speedup_parallel
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

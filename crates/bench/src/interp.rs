@@ -1,0 +1,124 @@
+//! The shared schema of `BENCH_interp.json`.
+//!
+//! `perf_interp` renders the frag-coord-dependent render corpus over a
+//! fragment grid with three interpreter configurations — the per-fragment
+//! reference stepper, the pre-decoded fast engine, and the pre-decoded
+//! engine with the grid spread data-parallel across `trx-pool` workers —
+//! and records fragments/sec and per-fragment latency here. CI re-runs the
+//! binary in smoke mode and asserts the invariant the file encodes: all
+//! three configurations produce byte-identical images (and identical
+//! faults under a starvation budget) at every thread count.
+
+use serde::{Deserialize, Serialize};
+
+/// Throughput numbers for one interpreter configuration over the whole
+/// benchmark workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineRender {
+    /// Configuration name (`reference`, `predecoded`,
+    /// `predecoded-parallel`).
+    pub name: String,
+    /// Wall-clock for the full workload, in milliseconds.
+    pub wall_ms: u64,
+    /// Fragments executed per second.
+    pub fragments_per_sec: f64,
+    /// Mean latency per fragment (one full shader invocation), in
+    /// nanoseconds.
+    pub per_fragment_ns: f64,
+}
+
+/// The machine-readable interpreter baseline (`BENCH_interp.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpBaseline {
+    /// Render references in the workload.
+    pub references: usize,
+    /// Fragment grid width.
+    pub width: u32,
+    /// Fragment grid height.
+    pub height: u32,
+    /// Full-corpus render passes per configuration.
+    pub repeats: usize,
+    /// Worker threads for the parallel configuration.
+    pub threads: usize,
+    /// Total fragments executed per configuration
+    /// (`references * width * height * repeats`).
+    pub fragments_total: u64,
+    /// The old per-fragment stepper ([`trx_ir::interp::reference`]).
+    pub reference_engine: EngineRender,
+    /// Pre-decoded fast engine, serial grid.
+    pub predecoded: EngineRender,
+    /// Pre-decoded fast engine, data-parallel grid.
+    pub predecoded_parallel: EngineRender,
+    /// `predecoded.fragments_per_sec / reference_engine.fragments_per_sec`.
+    pub speedup_predecoded: f64,
+    /// `predecoded_parallel.fragments_per_sec /
+    /// reference_engine.fragments_per_sec`.
+    pub speedup_parallel: f64,
+    /// Instructions retired by the fast engine over one observed workload
+    /// pass ([`trx_observe::Counter::InterpInstructionsRetired`]).
+    pub instructions_retired: u64,
+    /// Fragments rendered in the observed pass
+    /// ([`trx_observe::Counter::FragmentsRendered`]).
+    pub fragments_observed: u64,
+    /// Whether every configuration produced byte-identical images at every
+    /// thread count, identical faults under a starvation step budget, and
+    /// identical step counts per probe.
+    pub equivalent: bool,
+}
+
+impl InterpBaseline {
+    /// Loads the baseline from `path`, returning `None` when the file is
+    /// missing or does not parse.
+    #[must_use]
+    pub fn load(path: &str) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Writes the baseline to `path` as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's or filesystem's error message.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let engine = |name: &str| EngineRender {
+            name: name.to_owned(),
+            wall_ms: 10,
+            fragments_per_sec: 1000.0,
+            per_fragment_ns: 1_000_000.0,
+        };
+        let baseline = InterpBaseline {
+            references: 6,
+            width: 8,
+            height: 8,
+            repeats: 2,
+            threads: 4,
+            fragments_total: 768,
+            reference_engine: engine("reference"),
+            predecoded: engine("predecoded"),
+            predecoded_parallel: engine("predecoded-parallel"),
+            speedup_predecoded: 1.0,
+            speedup_parallel: 1.0,
+            instructions_retired: 12345,
+            fragments_observed: 384,
+            equivalent: true,
+        };
+        let dir = std::env::temp_dir().join("trx_interp_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_interp.json");
+        baseline.save(path.to_str().unwrap()).unwrap();
+        let loaded = InterpBaseline::load(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, baseline);
+    }
+}

@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod interp;
 pub mod perf;
 pub mod robustness;
 

@@ -222,6 +222,170 @@ fn composite_shader(salt: i32) -> (&'static str, Module, Inputs) {
     ("composite", b.finish(), inputs)
 }
 
+/// Number of render-mode reference shaders (see [`render_reference`]).
+pub const RENDER_REFERENCE_COUNT: usize = 6;
+
+/// Builds the full set of render-mode reference shaders.
+#[must_use]
+pub fn render_references() -> Vec<Reference> {
+    (0..RENDER_REFERENCE_COUNT).map(render_reference).collect()
+}
+
+/// Builds render-mode reference shader number `index` (deterministic).
+///
+/// Unlike [`reference_shader`], every render reference reads the
+/// `frag_coord` builtin, so its output varies across a fragment grid. These
+/// feed the render-mode image-diff campaign, where "miscompilations manifest
+/// as an unexpected image being rendered" (§3.4) — including wrong-code bugs
+/// that a single invocation on fixed inputs cannot observe.
+///
+/// # Panics
+///
+/// Panics if `index >= RENDER_REFERENCE_COUNT`.
+#[must_use]
+pub fn render_reference(index: usize) -> Reference {
+    assert!(
+        index < RENDER_REFERENCE_COUNT,
+        "only {RENDER_REFERENCE_COUNT} render references exist"
+    );
+    let salt = (index as i32) + 1;
+    let (name, module, inputs) = match index % 3 {
+        0 => coord_loop_shader(salt),
+        1 => coord_diamond_shader(salt),
+        _ => coord_arith_shader(salt),
+    };
+    Reference { name: format!("{name}-{index}"), module, inputs }
+}
+
+/// A loop whose inclusive bound comes from `frag_coord.x` — exactly the
+/// shape whose last iteration the Figure 8a loop bug skips, visible only as
+/// a per-fragment image diff.
+fn coord_loop_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_float = b.type_float();
+    let t_vec2 = b.type_vector(t_float, 2);
+    let frag = b.builtin("frag_coord", t_vec2);
+    let u = b.uniform("k", t_int);
+    let c0 = b.constant_int(0);
+    let c1 = b.constant_int(1);
+    let c_step = b.constant_int(salt);
+    let mut f = b.begin_entry_function("main");
+    let coord = f.load(frag);
+    let x = f.composite_extract(coord, vec![0]);
+    let limit = f.unary(trx_ir::UnOp::ConvertFToS, t_int, x);
+    let loaded = f.load(u);
+    let pre = f.current_label();
+    let header = f.reserve_label();
+    let body = f.reserve_label();
+    let cont = f.reserve_label();
+    let merge = f.reserve_label();
+    f.branch(header);
+    f.begin_block_with_label(header);
+    let i = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+    let sum = f.phi(t_int, vec![(loaded, pre), (Id::PLACEHOLDER, cont)]);
+    let cond = f.sle(i, limit);
+    f.loop_merge(merge, cont);
+    f.branch_cond(cond, body, merge);
+    f.begin_block_with_label(body);
+    let sum2 = f.iadd(t_int, sum, c_step);
+    f.branch(cont);
+    f.begin_block_with_label(cont);
+    let i2 = f.iadd(t_int, i, c1);
+    f.branch(header);
+    f.begin_block_with_label(merge);
+    f.store_output("color", sum);
+    f.ret();
+    f.finish();
+    let mut module = b.finish();
+    let header_block = module
+        .functions
+        .iter_mut()
+        .find(|f| f.id == module.entry_point)
+        .and_then(|f| f.block_mut(header));
+    if let Some(header_block) = header_block {
+        if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+            incoming[1].0 = i2;
+        }
+        if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+            incoming[1].0 = sum2;
+        }
+    }
+    let inputs = Inputs::new().with("k", Value::Int(salt * 2));
+    ("coord-loop", module, inputs)
+}
+
+/// A diamond whose branch condition compares `frag_coord.x` against a
+/// uniform threshold: different fragments take different arms.
+fn coord_diamond_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_float = b.type_float();
+    let t_vec2 = b.type_vector(t_float, 2);
+    let frag = b.builtin("frag_coord", t_vec2);
+    let u = b.uniform("threshold", t_int);
+    let c_a = b.constant_int(salt * 3);
+    let c_b = b.constant_int(salt + 10);
+    let mut f = b.begin_entry_function("main");
+    let coord = f.load(frag);
+    let x = f.composite_extract(coord, vec![0]);
+    let xi = f.unary(trx_ir::UnOp::ConvertFToS, t_int, x);
+    let loaded = f.load(u);
+    let cond = f.slt(xi, loaded);
+    let then_l = f.reserve_label();
+    let else_l = f.reserve_label();
+    let merge_l = f.reserve_label();
+    f.selection_merge(merge_l);
+    f.branch_cond(cond, then_l, else_l);
+    f.begin_block_with_label(then_l);
+    let a = f.imul(t_int, xi, c_a);
+    f.branch(merge_l);
+    f.begin_block_with_label(else_l);
+    let b_val = f.iadd(t_int, xi, c_b);
+    f.branch(merge_l);
+    f.begin_block_with_label(merge_l);
+    let phi = f.phi(t_int, vec![(a, then_l), (b_val, else_l)]);
+    f.store_output("color", phi);
+    f.ret();
+    f.finish();
+    let inputs = Inputs::new().with("threshold", Value::Int(2 + salt));
+    ("coord-diamond", b.finish(), inputs)
+}
+
+/// Straight-line arithmetic over both fragment coordinates mixed with a
+/// uniform, through a vector local.
+fn coord_arith_shader(salt: i32) -> (&'static str, Module, Inputs) {
+    let mut b = ModuleBuilder::new();
+    let t_int = b.type_int();
+    let t_float = b.type_float();
+    let t_vec2 = b.type_vector(t_float, 2);
+    let t_ivec2 = b.type_vector(t_int, 2);
+    let frag = b.builtin("frag_coord", t_vec2);
+    let u = b.uniform("k", t_int);
+    let c_m = b.constant_int(salt);
+    let idx1 = b.constant_int(1);
+    let mut f = b.begin_entry_function("main");
+    let coord = f.load(frag);
+    let x = f.composite_extract(coord, vec![0]);
+    let y = f.composite_extract(coord, vec![1]);
+    let xi = f.unary(trx_ir::UnOp::ConvertFToS, t_int, x);
+    let yi = f.unary(trx_ir::UnOp::ConvertFToS, t_int, y);
+    let loaded = f.load(u);
+    let scaled = f.imul(t_int, xi, c_m);
+    let mixed = f.iadd(t_int, scaled, yi);
+    let pair = f.composite_construct(t_ivec2, vec![mixed, loaded]);
+    let v = f.local_var(t_ivec2, None);
+    f.store(v, pair);
+    let p1 = f.access_chain(v, vec![idx1]);
+    let e1 = f.load(p1);
+    let out = f.iadd(t_int, mixed, e1);
+    f.store_output("color", out);
+    f.ret();
+    f.finish();
+    let inputs = Inputs::new().with("k", Value::Int(salt * 5));
+    ("coord-arith", b.finish(), inputs)
+}
+
 /// Builds the full set of donor modules. Donor functions are self-contained
 /// (no globals, no calls) so both fuzzers can transplant them.
 #[must_use]
@@ -397,5 +561,24 @@ mod tests {
     fn generation_is_deterministic() {
         assert_eq!(reference_shader(7).module, reference_shader(7).module);
         assert_eq!(donor_module(11), donor_module(11));
+        assert_eq!(render_reference(3).module, render_reference(3).module);
+    }
+
+    #[test]
+    fn render_references_validate_and_vary_across_the_grid() {
+        for r in render_references() {
+            validate(&r.module).unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            let image = interp::render(&r.module, &r.inputs, 6, 2)
+                .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            // Every render reference must actually depend on frag_coord:
+            // at least two fragments differ.
+            let per_fragment = image.channels.len().max(1);
+            let distinct: std::collections::BTreeSet<_> = image
+                .values
+                .chunks(per_fragment)
+                .map(|p| format!("{p:?}"))
+                .collect();
+            assert!(distinct.len() > 1, "{} is coordinate-invariant", r.name);
+        }
     }
 }

@@ -29,6 +29,7 @@ pub mod executor;
 pub mod experiments;
 pub mod pipeline;
 pub mod regression;
+pub mod render;
 pub mod report;
 pub mod stats;
 pub mod venn;

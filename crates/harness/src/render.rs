@@ -1,0 +1,335 @@
+//! The render-mode image-diff campaign (§3.4): every variant is rendered
+//! over a fragment grid and compared against its reference per fragment, so
+//! "miscompilations manifest as an unexpected image being rendered" — even
+//! wrong-code bugs that only fire for some fragment coordinates.
+//!
+//! Built on the fast interpreter: each module is pre-decoded once with
+//! [`CompiledModule::compile`], then the whole grid executes through the
+//! decoded form, data-parallel across `trx-pool` workers when `threads > 1`.
+//! Reference images are cached per `(target, reference)` pair — the campaign
+//! emits [`Counter::ModulesDecoded`] for each fresh compile and
+//! [`Counter::DecodeReuses`] for each cache hit.
+
+use std::collections::HashMap;
+
+use trx_core::Context;
+use trx_ir::interp::fast::CompiledModule;
+use trx_ir::interp::{ExecConfig, Image};
+use trx_ir::Module;
+use trx_observe::{Counter, Scope, SinkHandle};
+use trx_targets::{CompileOutcome, TestTarget};
+
+use crate::campaign::{module_for_target, BugSignature, Tool};
+use crate::corpus::{donor_modules, render_reference, Reference, RENDER_REFERENCE_COUNT};
+use crate::errors::HarnessError;
+
+/// Knobs for a render-mode campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderCampaignConfig {
+    /// Fragment grid width.
+    pub width: u32,
+    /// Fragment grid height.
+    pub height: u32,
+    /// Worker threads for the data-parallel grid render (1 = serial).
+    pub threads: usize,
+    /// Number of fuzzed tests to run.
+    pub tests: usize,
+    /// First seed; test `i` uses `seed_base + i`.
+    pub seed_base: u64,
+}
+
+impl Default for RenderCampaignConfig {
+    fn default() -> Self {
+        RenderCampaignConfig { width: 8, height: 4, threads: 1, tests: 16, seed_base: 0 }
+    }
+}
+
+/// One bug surfaced by the image oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderFinding {
+    /// The target that misbehaved.
+    pub target: String,
+    /// The seed of the fuzzed test.
+    pub seed: u64,
+    /// The render reference the test was derived from.
+    pub reference: String,
+    /// The classified signature.
+    pub signature: BugSignature,
+    /// Fragments whose results differ from the reference image (zero for
+    /// crash signatures, where no image exists to diff).
+    pub diff_fragments: usize,
+    /// Total fragments in the grid.
+    pub total_fragments: usize,
+}
+
+/// What a render campaign observed.
+#[derive(Debug, Clone, Default)]
+pub struct RenderCampaignOutcome {
+    /// Every finding, in (seed, target) order.
+    pub findings: Vec<RenderFinding>,
+    /// Tests actually generated and classified.
+    pub tests_run: usize,
+    /// Reference images compiled + rendered fresh (cache misses).
+    pub reference_renders: u64,
+    /// Reference images served from the per-`(target, reference)` cache.
+    pub reference_reuses: u64,
+}
+
+impl RenderCampaignOutcome {
+    /// Findings classified as miscompilations (wrong images).
+    #[must_use]
+    pub fn miscompilations(&self) -> Vec<&RenderFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.signature == BugSignature::Miscompilation)
+            .collect()
+    }
+}
+
+/// A fuzzed render test: a render reference and its transformed variant.
+#[derive(Debug, Clone)]
+pub struct RenderTest {
+    /// The reference it was derived from.
+    pub reference: Reference,
+    /// Index of the reference within the render corpus.
+    pub reference_index: usize,
+    /// The original context.
+    pub original: Context,
+    /// The transformed variant module.
+    pub variant: Module,
+}
+
+/// Generates the render-mode test for `(tool, seed)`: picks a render
+/// reference round-robin and fuzzes it, exactly as [`crate::campaign`] does
+/// for the single-invocation corpus.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::ReferenceInvalid`] if the render reference fails
+/// validation.
+pub fn try_generate_render_test(
+    tool: Tool,
+    seed: u64,
+    donors: &[Module],
+) -> Result<RenderTest, HarnessError> {
+    let reference_index = seed as usize % RENDER_REFERENCE_COUNT;
+    let reference = render_reference(reference_index);
+    let original = Context::new(reference.module.clone(), reference.inputs.clone())
+        .map_err(|e| HarnessError::ReferenceInvalid { seed, reason: e.to_string() })?;
+    let variant = match tool {
+        Tool::SpirvFuzz | Tool::SpirvFuzzSimple => {
+            let options = if tool == Tool::SpirvFuzz {
+                trx_fuzzer::FuzzerOptions::default()
+            } else {
+                trx_fuzzer::FuzzerOptions::simple()
+            };
+            trx_fuzzer::Fuzzer::new(options)
+                .run(original.clone(), donors, seed)
+                .context
+                .module
+        }
+        Tool::GlslFuzz => {
+            trx_baseline::BaselineFuzzer::default()
+                .run(original.clone(), donors, seed)
+                .context
+                .module
+        }
+    };
+    Ok(RenderTest { reference, reference_index, original, variant })
+}
+
+/// Classifies one variant against one target with the image oracle, reusing
+/// a cached reference image when available.
+///
+/// Returns `(signature, diff_fragments)`.
+fn classify_with_cache<T: TestTarget + ?Sized>(
+    tool: Tool,
+    target: &T,
+    target_index: usize,
+    test: &RenderTest,
+    config: &RenderCampaignConfig,
+    cache: &mut HashMap<(usize, usize), Option<Image>>,
+    sink: &SinkHandle,
+) -> Option<(BugSignature, usize)> {
+    let prepared_variant = module_for_target(tool, &test.variant);
+    let compiled_variant = match target.compile(&prepared_variant) {
+        CompileOutcome::Crash { signature, .. } => {
+            return Some((BugSignature::Crash(signature), 0));
+        }
+        CompileOutcome::Success { module, .. } => module,
+    };
+    let decoded = CompiledModule::compile_observed(&compiled_variant, ExecConfig::default(), sink);
+    let variant_image = match decoded.render_observed(
+        &test.original.inputs,
+        config.width,
+        config.height,
+        config.threads,
+        sink,
+    ) {
+        Ok(image) => image,
+        Err(fault) => {
+            return Some((BugSignature::Crash(format!("runtime fault: {fault}")), 0));
+        }
+    };
+
+    // The reference image for this (target, reference) pair: compiled and
+    // rendered at most once per campaign.
+    let key = (target_index, test.reference_index);
+    let cached = if let Some(entry) = cache.get(&key) {
+        sink.count(Scope::Render, Counter::DecodeReuses, 1);
+        entry
+    } else {
+        let original_module = module_for_target(tool, &test.original.module);
+        let entry = match target.compile(&original_module) {
+            // The reference itself crashes this target: nothing to diff
+            // against, now or for any later test of this reference.
+            CompileOutcome::Crash { .. } => None,
+            CompileOutcome::Success { module, .. } => {
+                CompiledModule::compile_observed(&module, ExecConfig::default(), sink)
+                    .render_observed(
+                        &test.original.inputs,
+                        config.width,
+                        config.height,
+                        config.threads,
+                        sink,
+                    )
+                    .ok()
+            }
+        };
+        cache.entry(key).or_insert(entry)
+    };
+    let reference_image = cached.as_ref()?;
+    let diff = reference_image.diff_count(&variant_image);
+    (diff > 0).then_some((BugSignature::Miscompilation, diff))
+}
+
+/// Runs a render-mode campaign: `config.tests` fuzzed variants of the
+/// render references, each rendered on every target and diffed per fragment
+/// against the target's cached reference image.
+#[must_use]
+pub fn run_render_campaign<T: TestTarget>(
+    tool: Tool,
+    targets: &[T],
+    config: &RenderCampaignConfig,
+) -> RenderCampaignOutcome {
+    run_render_campaign_observed(tool, targets, config, &SinkHandle::noop())
+}
+
+/// [`run_render_campaign`] with decode/render counters emitted to `sink`
+/// under [`Scope::Render`].
+#[must_use]
+pub fn run_render_campaign_observed<T: TestTarget>(
+    tool: Tool,
+    targets: &[T],
+    config: &RenderCampaignConfig,
+    sink: &SinkHandle,
+) -> RenderCampaignOutcome {
+    let donors = donor_modules();
+    let total_fragments = (config.width as usize) * (config.height as usize);
+    let mut cache: HashMap<(usize, usize), Option<Image>> = HashMap::new();
+    let mut outcome = RenderCampaignOutcome::default();
+    for i in 0..config.tests {
+        let seed = config.seed_base + i as u64;
+        let Ok(test) = try_generate_render_test(tool, seed, &donors) else {
+            continue;
+        };
+        outcome.tests_run += 1;
+        for (target_index, target) in targets.iter().enumerate() {
+            let misses_before = cache.len();
+            let classified = classify_with_cache(
+                tool,
+                target,
+                target_index,
+                &test,
+                config,
+                &mut cache,
+                sink,
+            );
+            if cache.len() > misses_before {
+                outcome.reference_renders += 1;
+            } else if classified
+                .as_ref()
+                .is_none_or(|(s, _)| *s == BugSignature::Miscompilation)
+            {
+                // The image path ran and hit the cache (crash signatures
+                // return before the reference image is needed).
+                outcome.reference_reuses += 1;
+            }
+            if let Some((signature, diff_fragments)) = classified {
+                outcome.findings.push(RenderFinding {
+                    target: target.name().to_string(),
+                    seed,
+                    reference: test.reference.name.clone(),
+                    signature,
+                    diff_fragments,
+                    total_fragments,
+                });
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_observe::RecordingSink;
+    use trx_targets::catalog;
+
+    fn small_config() -> RenderCampaignConfig {
+        RenderCampaignConfig { width: 8, height: 2, threads: 1, tests: 18, seed_base: 0 }
+    }
+
+    #[test]
+    fn campaign_surfaces_a_miscompilation_across_all_nine_targets() {
+        let targets = catalog::all_targets();
+        assert_eq!(targets.len(), 9, "the catalog simulates nine targets");
+        let outcome = run_render_campaign(Tool::SpirvFuzz, &targets, &small_config());
+        assert_eq!(outcome.tests_run, 18);
+        let miscompilations = outcome.miscompilations();
+        assert!(
+            !miscompilations.is_empty(),
+            "the image oracle should surface at least one wrong image: {:?}",
+            outcome.findings
+        );
+        for f in &miscompilations {
+            assert!(f.diff_fragments > 0, "a miscompilation must diff: {f:?}");
+            assert!(f.diff_fragments <= f.total_fragments);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_thread_invariant() {
+        let targets = catalog::all_targets();
+        let serial = run_render_campaign(Tool::SpirvFuzz, &targets, &small_config());
+        let parallel_config = RenderCampaignConfig { threads: 4, ..small_config() };
+        let parallel = run_render_campaign(Tool::SpirvFuzz, &targets, &parallel_config);
+        assert_eq!(serial.findings, parallel.findings);
+        assert_eq!(serial.reference_renders, parallel.reference_renders);
+        assert_eq!(serial.reference_reuses, parallel.reference_reuses);
+    }
+
+    #[test]
+    fn reference_images_are_cached_per_target_and_reference() {
+        let targets = catalog::all_targets();
+        let config = small_config();
+        let sink = std::sync::Arc::new(RecordingSink::deterministic());
+        let outcome = run_render_campaign_observed(
+            Tool::SpirvFuzz,
+            &targets,
+            &config,
+            &SinkHandle::new(sink.clone()),
+        );
+        // 18 tests over 6 references: every (target, reference) pair is
+        // compiled at most once; later hits reuse the cache.
+        assert!(outcome.reference_renders <= (targets.len() * RENDER_REFERENCE_COUNT) as u64);
+        assert!(outcome.reference_reuses > 0, "18 tests must revisit references");
+        let report = sink.snapshot();
+        assert_eq!(
+            report.counter("render", Counter::DecodeReuses),
+            outcome.reference_reuses
+        );
+        assert!(report.counter("render", Counter::ModulesDecoded) > 0);
+        assert!(report.counter("render", Counter::FragmentsRendered) > 0);
+    }
+}

@@ -1,4 +1,4 @@
-//! A deterministic reference interpreter for [`Module`]s.
+//! A deterministic interpreter for [`Module`]s.
 //!
 //! This plays the role of `Semantics(P, I)` from Definition 2.1 of the paper:
 //! executing a validated module on an input either yields a deterministic
@@ -11,16 +11,33 @@
 //! out-of-range runtime indexes clamp. Because the semantics is total, no
 //! transformation can introduce undefined behaviour — the property the
 //! paper's "almost free" reduction relies on.
+//!
+//! Two engines implement the same semantics:
+//!
+//! * [`reference`] — the original one-`match`-per-step tree walker. Slow but
+//!   simple; it is the executable specification.
+//! * [`fast`] — a two-phase engine: a one-time pre-decode pass flattens a
+//!   module into dense instruction streams (operands resolved to register /
+//!   constant-pool / global-cell indices, jump targets resolved to block
+//!   indices), then a reusable execution core dispatches over the decoded
+//!   ops with a register-file `Vec` instead of per-id hash lookups.
+//!
+//! The module-level entry points ([`execute`], [`execute_with_config`],
+//! [`render`]) route through the fast engine; both engines charge step and
+//! memory budgets at identical points and produce identical outputs, faults,
+//! and step counts (pinned by the cross-engine proptest in
+//! `tests/interp_equivalence.rs`).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    BinOp, ConstantValue, Function, Id, Module, Op, StorageClass, Terminator, Type, UnOp,
-};
+use crate::{BinOp, ConstantValue, Id, Module, Type, UnOp};
+
+pub mod fast;
+pub mod reference;
 
 /// A runtime value.
 ///
@@ -408,7 +425,25 @@ impl ExecConfig {
     }
 }
 
+/// Resource usage observed by one execution, identical across engines: both
+/// charge step and memory budgets at the same program points, so any drift
+/// is a bug (pinned by the cross-engine equivalence proptest).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Steps charged (block entries plus non-phi instructions). At
+    /// [`Fault::StepLimitExceeded`] this reads `step_limit + 1`: the fault
+    /// fires on the first step past the budget.
+    pub steps: u64,
+    /// Live memory cells at exit (globals plus `Op::Variable` allocations).
+    /// At [`Fault::MemoryLimitExceeded`] this reads `memory_limit`: the
+    /// allocation that would exceed it is refused, not performed.
+    pub memory_cells: usize,
+}
+
 /// Executes `module` on `inputs` with default limits.
+///
+/// Routed through the [`fast`] engine; [`reference::execute`] runs the
+/// original stepper.
 ///
 /// # Errors
 ///
@@ -428,37 +463,76 @@ pub fn execute_with_config(
     inputs: &Inputs,
     config: ExecConfig,
 ) -> Result<Execution, Fault> {
-    let mut state = Machine::new(module, inputs, config)?;
-    let entry = module
-        .function(module.entry_point)
-        .ok_or_else(|| Fault::Trap("entry point missing".into()))?;
-    let outcome = state.run_function(entry, Vec::new(), 0)?;
-    let killed = matches!(outcome, FnOutcome::Killed);
-    let mut outputs = BTreeMap::new();
-    for binding in &module.interface.outputs {
-        let cell = state
-            .global_cells
-            .get(&binding.global)
-            .ok_or_else(|| Fault::Trap("output global missing".into()))?;
-        outputs.insert(binding.name.clone(), state.memory[*cell].clone());
-    }
-    Ok(Execution { outputs, killed })
+    fast::CompiledModule::compile(module, config).execute(inputs)
 }
 
-/// A rendered image: one [`Execution`] per fragment of a `width` × `height`
-/// grid, with the builtin `frag_coord` set to the fragment's coordinates.
+/// As [`execute_with_config`], also reporting the resources the run
+/// consumed (even when it faulted).
+pub fn execute_counted(
+    module: &Module,
+    inputs: &Inputs,
+    config: ExecConfig,
+) -> (Result<Execution, Fault>, ExecStats) {
+    fast::CompiledModule::compile(module, config).execute_counted(inputs)
+}
+
+/// A rendered image over a `width` × `height` fragment grid, with the
+/// builtin `frag_coord` set to each fragment's coordinates.
+///
+/// Stored columnar: the interface output names appear once in `channels`,
+/// and per-fragment results are one flat row-major value vector with
+/// `channels.len()` values per fragment plus one kill flag per fragment.
+/// The batch renderer writes straight into the flat buffers, so image
+/// assembly costs no per-fragment map or key allocations.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Image {
     /// Grid width in fragments.
     pub width: u32,
     /// Grid height in fragments.
     pub height: u32,
-    /// Per-fragment results, row-major.
-    pub pixels: Vec<Execution>,
+    /// Interface output names, sorted, shared by every fragment (all
+    /// fragments of one module have the same outputs). Empty for an empty
+    /// grid.
+    pub channels: Vec<String>,
+    /// Fragment results, row-major: `channels.len()` values per fragment,
+    /// in channel order.
+    pub values: Vec<Value>,
+    /// Per-fragment kill flags, row-major.
+    pub killed: Vec<bool>,
 }
 
 impl Image {
-    /// Number of fragments whose results differ from `other`.
+    /// Assembles an image from one [`Execution`] per fragment (row-major).
+    /// The channel list comes from the first fragment; all fragments of one
+    /// module share an output interface.
+    #[must_use]
+    pub fn from_executions(width: u32, height: u32, pixels: Vec<Execution>) -> Image {
+        let channels: Vec<String> = pixels
+            .first()
+            .map(|e| e.outputs.keys().cloned().collect())
+            .unwrap_or_default();
+        let mut values = Vec::with_capacity(pixels.len() * channels.len());
+        let mut killed = Vec::with_capacity(pixels.len());
+        for e in pixels {
+            debug_assert!(e.outputs.keys().eq(channels.iter()));
+            killed.push(e.killed);
+            values.extend(e.outputs.into_values());
+        }
+        Image { width, height, channels, values, killed }
+    }
+
+    /// The output value named `name` at fragment `(x, y)`.
+    #[must_use]
+    pub fn output(&self, x: u32, y: u32, name: &str) -> Option<&Value> {
+        let channel = self.channels.iter().position(|c| c == name)?;
+        let frag = (y as usize) * (self.width as usize) + (x as usize);
+        self.values.get(frag * self.channels.len() + channel)
+    }
+
+    /// Number of fragments whose results differ from `other` (differing
+    /// kill flag or any differing output value; two images with different
+    /// output interfaces differ at every fragment, exactly as comparing
+    /// per-fragment result maps would).
     ///
     /// # Panics
     ///
@@ -466,10 +540,17 @@ impl Image {
     #[must_use]
     pub fn diff_count(&self, other: &Image) -> usize {
         assert_eq!((self.width, self.height), (other.width, other.height));
-        self.pixels
-            .iter()
-            .zip(&other.pixels)
-            .filter(|(a, b)| a != b)
+        let total = (self.width as usize) * (self.height as usize);
+        if self.channels != other.channels {
+            return total;
+        }
+        let n = self.channels.len();
+        (0..total)
+            .filter(|&i| {
+                self.killed.get(i) != other.killed.get(i)
+                    || self.values.get(i * n..(i + 1) * n)
+                        != other.values.get(i * n..(i + 1) * n)
+            })
             .count()
     }
 }
@@ -478,381 +559,56 @@ impl Image {
 ///
 /// Each invocation receives the builtin named `frag_coord` (when declared) as
 /// a 2-component float vector holding the fragment's `(x, y)` position.
+/// Pre-decodes the module once and reuses one execution core for every
+/// fragment; [`fast::CompiledModule::render_parallel`] spreads the grid
+/// across `trx-pool` workers.
 ///
 /// # Errors
 ///
-/// Returns the first [`Fault`] any invocation produces.
+/// Returns the first [`Fault`] any invocation produces (row-major order).
 pub fn render(
     module: &Module,
     inputs: &Inputs,
     width: u32,
     height: u32,
 ) -> Result<Image, Fault> {
-    let mut pixels = Vec::with_capacity((width * height) as usize);
-    for y in 0..height {
-        for x in 0..width {
-            let frag = Value::Composite(vec![
-                Value::Float(x as f32 + 0.5),
-                Value::Float(y as f32 + 0.5),
-            ]);
-            let per_pixel = inputs.clone().with("frag_coord", frag);
-            pixels.push(execute(module, &per_pixel)?);
-        }
-    }
-    Ok(Image { width, height, pixels })
+    fast::CompiledModule::compile(module, ExecConfig::default()).render(inputs, width, height)
 }
 
-enum FnOutcome {
-    Returned(Option<Value>),
-    Killed,
+/// Walks a composite value along `path`, clamping each index to keep the
+/// semantics total. Shared by both engines.
+fn navigate<'v>(value: &'v Value, path: &[u32]) -> Result<&'v Value, Fault> {
+    let mut current = value;
+    for &idx in path {
+        match current {
+            Value::Composite(parts) => {
+                // Clamp, keeping the semantics total.
+                let idx = (idx as usize).min(parts.len().saturating_sub(1));
+                current = parts
+                    .get(idx)
+                    .ok_or_else(|| Fault::Trap("index into empty composite".into()))?;
+            }
+            _ => return Err(Fault::Trap("pointer path into non-composite".into())),
+        }
+    }
+    Ok(current)
 }
 
-struct Machine<'m> {
-    module: &'m Module,
-    config: ExecConfig,
-    steps: u64,
-    memory: Vec<Value>,
-    global_cells: HashMap<Id, usize>,
-}
-
-impl<'m> Machine<'m> {
-    fn new(module: &'m Module, inputs: &Inputs, config: ExecConfig) -> Result<Self, Fault> {
-        let mut machine = Machine {
-            module,
-            config,
-            steps: 0,
-            memory: Vec::new(),
-            global_cells: HashMap::new(),
-        };
-        for g in &module.globals {
-            let pointee = match module.type_of(g.ty) {
-                Some(&Type::Pointer { pointee, .. }) => pointee,
-                _ => return Err(Fault::Trap(format!("global {} is not a pointer", g.id))),
-            };
-            let initial = match g.storage {
-                StorageClass::Uniform | StorageClass::Input => {
-                    let name = module
-                        .interface
-                        .uniforms
-                        .iter()
-                        .chain(&module.interface.builtins)
-                        .find(|b| b.global == g.id)
-                        .map(|b| b.name.as_str());
-                    match name.and_then(|n| inputs.get(n)) {
-                        Some(v) => v.clone(),
-                        None => machine.zero_value(pointee)?,
-                    }
-                }
-                _ => match g.initializer {
-                    Some(c) => machine.constant_value(c)?,
-                    None => machine.zero_value(pointee)?,
-                },
-            };
-            let cell = machine.alloc_cell(initial)?;
-            machine.global_cells.insert(g.id, cell);
-        }
-        Ok(machine)
-    }
-
-    fn step(&mut self) -> Result<(), Fault> {
-        self.steps += 1;
-        if self.steps > self.config.step_limit {
-            Err(Fault::StepLimitExceeded)
-        } else {
-            Ok(())
+/// As [`navigate`], yielding a mutable place.
+fn navigate_mut<'v>(value: &'v mut Value, path: &[u32]) -> Result<&'v mut Value, Fault> {
+    let mut current = value;
+    for &idx in path {
+        match current {
+            Value::Composite(parts) => {
+                let idx = (idx as usize).min(parts.len().saturating_sub(1));
+                current = parts
+                    .get_mut(idx)
+                    .ok_or_else(|| Fault::Trap("index into empty composite".into()))?;
+            }
+            _ => return Err(Fault::Trap("pointer path into non-composite".into())),
         }
     }
-
-    /// Materialises the zero value of `ty` under this machine's value budget.
-    fn zero_value(&self, ty: Id) -> Result<Value, Fault> {
-        let mut budget = self.config.value_budget();
-        Value::zero_of_bounded(self.module, ty, &mut budget)
-    }
-
-    /// Materialises the value of constant `id` under this machine's budget.
-    fn constant_value(&self, id: Id) -> Result<Value, Fault> {
-        let mut budget = self.config.value_budget();
-        Value::of_constant_bounded(self.module, id, &mut budget)
-    }
-
-    /// Appends a memory cell, faulting when the cell budget is spent.
-    fn alloc_cell(&mut self, initial: Value) -> Result<usize, Fault> {
-        if self.memory.len() >= self.config.memory_limit {
-            return Err(Fault::MemoryLimitExceeded);
-        }
-        let cell = self.memory.len();
-        self.memory.push(initial);
-        Ok(cell)
-    }
-
-    fn run_function(
-        &mut self,
-        function: &Function,
-        args: Vec<Value>,
-        depth: u32,
-    ) -> Result<FnOutcome, Fault> {
-        if depth > self.config.call_depth_limit {
-            return Err(Fault::CallDepthExceeded);
-        }
-        let mut regs: HashMap<Id, Value> = HashMap::new();
-        if args.len() != function.params.len() {
-            return Err(Fault::Trap("call arity mismatch".into()));
-        }
-        for (param, arg) in function.params.iter().zip(args) {
-            regs.insert(param.id, arg);
-        }
-        let mut current = function.entry_label();
-        let mut previous: Option<Id> = None;
-        loop {
-            self.step()?;
-            let block = function
-                .block(current)
-                .ok_or_else(|| Fault::Trap(format!("missing block {current}")))?;
-
-            // Phis read their inputs simultaneously on entry.
-            if let Some(prev) = previous {
-                let phi_values: Vec<(Id, Value)> = block
-                    .phis()
-                    .map(|phi| {
-                        let Op::Phi { incoming } = &phi.op else { unreachable!() };
-                        let source = incoming
-                            .iter()
-                            .find(|(_, pred)| *pred == prev)
-                            .map(|(value, _)| *value)
-                            .ok_or_else(|| {
-                                Fault::Trap(format!("phi in {current} misses predecessor {prev}"))
-                            })?;
-                        let value = self.read(&regs, source)?;
-                        let result = phi
-                            .result
-                            .ok_or_else(|| Fault::Trap(format!("phi in {current} has no result")))?;
-                        Ok((result, value))
-                    })
-                    .collect::<Result<_, Fault>>()?;
-                regs.extend(phi_values);
-            } else if block.phi_count() > 0 {
-                return Err(Fault::Trap(format!("phi in entry block {current}")));
-            }
-
-            for inst in block.instructions.iter().skip(block.phi_count()) {
-                self.step()?;
-                match &inst.op {
-                    Op::Call { callee, args } => {
-                        let callee_fn = self
-                            .module
-                            .function(*callee)
-                            .ok_or_else(|| Fault::Trap(format!("missing callee {callee}")))?;
-                        let arg_values = args
-                            .iter()
-                            .map(|&a| self.read(&regs, a))
-                            .collect::<Result<Vec<_>, _>>()?;
-                        match self.run_function(callee_fn, arg_values, depth + 1)? {
-                            FnOutcome::Killed => return Ok(FnOutcome::Killed),
-                            FnOutcome::Returned(value) => {
-                                if let Some(result) = inst.result {
-                                    regs.insert(
-                                        result,
-                                        value.unwrap_or(Value::Bool(false)),
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    op => {
-                        if let Some(value) = self.eval(&mut regs, inst.result, inst.ty, op)? {
-                            let result = inst
-                                .result
-                                .ok_or_else(|| Fault::Trap("value with no result id".into()))?;
-                            regs.insert(result, value);
-                        }
-                    }
-                }
-            }
-
-            match &block.terminator {
-                Terminator::Branch { target } => {
-                    previous = Some(current);
-                    current = *target;
-                }
-                Terminator::BranchConditional { cond, true_target, false_target } => {
-                    let cond = self
-                        .read(&regs, *cond)?
-                        .as_bool()
-                        .ok_or_else(|| Fault::Trap("non-bool branch condition".into()))?;
-                    previous = Some(current);
-                    current = if cond { *true_target } else { *false_target };
-                }
-                Terminator::Return => return Ok(FnOutcome::Returned(None)),
-                Terminator::ReturnValue { value } => {
-                    let value = self.read(&regs, *value)?;
-                    return Ok(FnOutcome::Returned(Some(value)));
-                }
-                Terminator::Kill => return Ok(FnOutcome::Killed),
-                Terminator::Unreachable => {
-                    return Err(Fault::Trap("executed OpUnreachable".into()))
-                }
-            }
-        }
-    }
-
-    fn read(&self, regs: &HashMap<Id, Value>, id: Id) -> Result<Value, Fault> {
-        if let Some(v) = regs.get(&id) {
-            return Ok(v.clone());
-        }
-        if self.module.constant(id).is_some() {
-            return self.constant_value(id);
-        }
-        if let Some(cell) = self.global_cells.get(&id) {
-            return Ok(Value::Pointer(Pointer { cell: *cell, path: Vec::new() }));
-        }
-        Err(Fault::Trap(format!("read of undefined id {id}")))
-    }
-
-    fn navigate<'v>(value: &'v Value, path: &[u32]) -> Result<&'v Value, Fault> {
-        let mut current = value;
-        for &idx in path {
-            match current {
-                Value::Composite(parts) => {
-                    // Clamp, keeping the semantics total.
-                    let idx = (idx as usize).min(parts.len().saturating_sub(1));
-                    current = parts
-                        .get(idx)
-                        .ok_or_else(|| Fault::Trap("index into empty composite".into()))?;
-                }
-                _ => return Err(Fault::Trap("pointer path into non-composite".into())),
-            }
-        }
-        Ok(current)
-    }
-
-    fn navigate_mut<'v>(value: &'v mut Value, path: &[u32]) -> Result<&'v mut Value, Fault> {
-        let mut current = value;
-        for &idx in path {
-            match current {
-                Value::Composite(parts) => {
-                    let idx = (idx as usize).min(parts.len().saturating_sub(1));
-                    current = parts
-                        .get_mut(idx)
-                        .ok_or_else(|| Fault::Trap("index into empty composite".into()))?;
-                }
-                _ => return Err(Fault::Trap("pointer path into non-composite".into())),
-            }
-        }
-        Ok(current)
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn eval(
-        &mut self,
-        regs: &mut HashMap<Id, Value>,
-        result: Option<Id>,
-        ty: Option<Id>,
-        op: &Op,
-    ) -> Result<Option<Value>, Fault> {
-        let value = match op {
-            Op::Nop => return Ok(None),
-            Op::Undef => {
-                // Deterministic choice: undef is the zero value.
-                let ty = ty.ok_or_else(|| Fault::Trap("undef without type".into()))?;
-                self.zero_value(ty)?
-            }
-            Op::CopyObject { src } => self.read(regs, *src)?,
-            Op::Binary { op, lhs, rhs } => {
-                let l = self.read(regs, *lhs)?;
-                let r = self.read(regs, *rhs)?;
-                eval_binary(*op, &l, &r)?
-            }
-            Op::Unary { op, src } => {
-                let v = self.read(regs, *src)?;
-                eval_unary(*op, &v)?
-            }
-            Op::Select { cond, if_true, if_false } => {
-                let c = self
-                    .read(regs, *cond)?
-                    .as_bool()
-                    .ok_or_else(|| Fault::Trap("non-bool select condition".into()))?;
-                if c {
-                    self.read(regs, *if_true)?
-                } else {
-                    self.read(regs, *if_false)?
-                }
-            }
-            Op::CompositeConstruct { parts } => Value::Composite(
-                parts
-                    .iter()
-                    .map(|&p| self.read(regs, p))
-                    .collect::<Result<_, _>>()?,
-            ),
-            Op::CompositeExtract { composite, indices } => {
-                let v = self.read(regs, *composite)?;
-                Self::navigate(&v, indices)?.clone()
-            }
-            Op::CompositeInsert { object, composite, indices } => {
-                let mut v = self.read(regs, *composite)?;
-                let object = self.read(regs, *object)?;
-                *Self::navigate_mut(&mut v, indices)? = object;
-                v
-            }
-            Op::Variable { initializer, .. } => {
-                let ty = ty.ok_or_else(|| Fault::Trap("variable without type".into()))?;
-                let pointee = match self.module.type_of(ty) {
-                    Some(&Type::Pointer { pointee, .. }) => pointee,
-                    _ => return Err(Fault::Trap("variable type is not a pointer".into())),
-                };
-                let initial = match initializer {
-                    Some(c) => self.constant_value(*c)?,
-                    None => self.zero_value(pointee)?,
-                };
-                let cell = self.alloc_cell(initial)?;
-                Value::Pointer(Pointer { cell, path: Vec::new() })
-            }
-            Op::AccessChain { base, indices } => {
-                let base = match self.read(regs, *base)? {
-                    Value::Pointer(p) => p,
-                    _ => return Err(Fault::Trap("access chain base is not a pointer".into())),
-                };
-                let mut path = base.path;
-                for &idx in indices {
-                    let idx = self
-                        .read(regs, idx)?
-                        .as_int()
-                        .ok_or_else(|| Fault::Trap("non-int access index".into()))?;
-                    path.push(u32::try_from(idx.max(0)).unwrap_or(0));
-                }
-                Value::Pointer(Pointer { cell: base.cell, path })
-            }
-            Op::Load { pointer } => {
-                let p = match self.read(regs, *pointer)? {
-                    Value::Pointer(p) => p,
-                    _ => return Err(Fault::Trap("load from non-pointer".into())),
-                };
-                let cell = self
-                    .memory
-                    .get(p.cell)
-                    .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
-                Self::navigate(cell, &p.path)?.clone()
-            }
-            Op::Store { pointer, value } => {
-                let p = match self.read(regs, *pointer)? {
-                    Value::Pointer(p) => p,
-                    _ => return Err(Fault::Trap("store to non-pointer".into())),
-                };
-                let value = self.read(regs, *value)?;
-                let cell = self
-                    .memory
-                    .get_mut(p.cell)
-                    .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
-                *Self::navigate_mut(cell, &p.path)? = value;
-                return Ok(None);
-            }
-            Op::Phi { .. } => {
-                return Err(Fault::Trap("phi executed outside block entry".into()))
-            }
-            Op::Call { .. } => unreachable!("calls handled by run_function"),
-        };
-        let _ = result;
-        Ok(Some(value))
-    }
+    Ok(current)
 }
 
 fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, Fault> {
@@ -929,7 +685,7 @@ fn eval_unary(op: UnOp, v: &Value) -> Result<Value, Fault> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ModuleBuilder;
+    use crate::{ModuleBuilder, Op};
 
     #[test]
     fn straight_line_arithmetic() {
@@ -1132,8 +888,9 @@ mod tests {
         f.finish();
         let m = b.finish();
         let img = render(&m, &Inputs::default(), 4, 2).unwrap();
-        assert_eq!(img.pixels.len(), 8);
-        assert_ne!(img.pixels[0].outputs["color"], img.pixels[1].outputs["color"]);
+        assert_eq!(img.killed.len(), 8);
+        assert_eq!(img.channels, vec!["color".to_owned()]);
+        assert_ne!(img.output(0, 0, "color"), img.output(1, 0, "color"));
         assert_eq!(img.diff_count(&img.clone()), 0);
     }
 

@@ -1,0 +1,1446 @@
+//! The fast two-phase execution engine.
+//!
+//! **Phase 1 — pre-decode** ([`CompiledModule::compile`]): a one-time pass
+//! flattens each function into a single dense instruction stream. Every
+//! operand id is resolved to a register slot, constant-pool index, or
+//! global-cell index; jump targets become absolute instruction offsets; and
+//! every control-flow edge carries a pre-resolved *move list* — the phi
+//! assignments the reference engine would perform on entering the target
+//! block from that particular predecessor — so no predecessor matching
+//! happens at runtime. Constants, global-cell pointers, and the
+//! zero/initializer values of `Undef`/`Variable` are materialised once into
+//! pools. Anything that would fault at runtime (missing blocks, undeclared
+//! callees, non-pointer globals, phis missing a predecessor, over-budget
+//! values) is recorded as a stored [`Fault`] and raised lazily at the exact
+//! program point the reference engine would raise it, so decode itself
+//! never fails.
+//!
+//! **Phase 2 — execute** ([`CompiledModule::execute`]): a reusable
+//! [`Runner`] holds a register file `Vec` (frames are contiguous windows, no
+//! per-id hashing), an arena-style memory `Vec`, and an explicit call-stack.
+//! Dispatch is one tight match over the flat ops driven by a local program
+//! counter; operand reads borrow straight out of the register file or the
+//! pools, so arithmetic never clones values; taking an edge is one step
+//! charge, the edge's moves, and a pc assignment. Step and memory budgets
+//! are charged at exactly the same points as the reference engine: one step
+//! per block entry, one per non-phi instruction, memory checked before each
+//! cell allocation.
+//!
+//! **Batch render**: [`CompiledModule::render`] decodes once, binds the
+//! inputs into a per-render template of initial global cells, and reuses
+//! one runner for the whole fragment grid; [`CompiledModule::render_parallel`]
+//! spreads rows across `trx-pool` workers. Rows are assembled in row-major
+//! order and the first faulting row wins, so images, faults, and the
+//! deterministic counters are byte-identical across thread counts.
+//!
+//! Known divergence from the reference engine (documented, out of contract
+//! for validated modules): calling a function with zero blocks yields
+//! `Trap("function has no blocks")` here, while the reference engine panics
+//! indexing an empty block list.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use trx_observe::{Counter, Scope, SinkHandle};
+use trx_pool::with_pool;
+
+use crate::{BinOp, Id, Module, Op, StorageClass, Terminator, Type, UnOp};
+
+use super::{
+    eval_binary, eval_unary, navigate, navigate_mut, ExecConfig, ExecStats, Execution, Fault,
+    Image, Inputs, Pointer, Value,
+};
+
+/// How an operand id is fetched at runtime, mirroring the reference
+/// engine's dynamic lookup order: register file, then constants, then
+/// global cells, then a trap.
+#[derive(Debug, Clone)]
+enum Operand {
+    /// A register slot; reading it before any write traps as an undefined
+    /// id (the slot's id is in [`FuncPlan::reg_ids`] for the message).
+    Reg(u32),
+    /// A register slot that shadows a pooled constant until first written.
+    RegElseConst(u32, u32),
+    /// A register slot that shadows a global cell until first written.
+    RegElseGlobal(u32, u32),
+    /// A pooled constant (index into [`CompiledModule::consts`]).
+    Const(u32),
+    /// A pointer to a global cell.
+    Global(u32),
+    /// An id that names nothing; always traps.
+    Undefined(Id),
+}
+
+/// A pre-decoded instruction in a function's flat stream. Value ops charge
+/// one step each; control ops charge the target's block-entry step through
+/// their edge.
+#[derive(Debug, Clone)]
+enum FastOp {
+    Nop,
+    /// Raise a stored fault (e.g. a phi stranded after the leading prefix).
+    Fail(Fault),
+    Undef { val: u32, dst: Option<u32> },
+    Copy { src: Operand, dst: Option<u32> },
+    Binary { op: BinOp, lhs: Operand, rhs: Operand, dst: Option<u32> },
+    Unary { op: UnOp, src: Operand, dst: Option<u32> },
+    Select { cond: Operand, if_true: Operand, if_false: Operand, dst: Option<u32> },
+    Construct { parts: Box<[Operand]>, dst: Option<u32> },
+    Extract { composite: Operand, indices: Box<[u32]>, dst: Option<u32> },
+    Insert { composite: Operand, object: Operand, indices: Box<[u32]>, dst: Option<u32> },
+    Variable { init: u32, dst: Option<u32> },
+    AccessChain { base: Operand, indices: Box<[Operand]>, dst: Option<u32> },
+    Load { pointer: Operand, dst: Option<u32> },
+    Store { pointer: Operand, value: Operand },
+    Call { callee: Result<usize, Fault>, args: Box<[Operand]>, dst: Option<u32> },
+    /// Unconditional branch through a pre-resolved edge.
+    Jump { edge: u32 },
+    /// Conditional branch; both edges pre-resolved.
+    CondJump { cond: Operand, true_edge: u32, false_edge: u32 },
+    Return,
+    ReturnValue(Operand),
+    Kill,
+    Unreachable,
+}
+
+/// What taking an edge does after the block-entry step charge.
+#[derive(Debug, Clone)]
+enum EdgeEffect {
+    /// The happy path: the target block's phi assignments for this
+    /// predecessor, as a parallel copy (sources all read, then written).
+    /// `direct` marks copies whose destinations feed no source, which can
+    /// write in order without scratch.
+    Moves { moves: Box<[(Operand, u32)]>, direct: bool },
+    /// The entry traps: perform `reads` in reference order, then raise the
+    /// stored fault (missing target block, phi missing this predecessor,
+    /// phi without a result id).
+    Traps { reads: Box<[Operand]>, fault: Fault },
+}
+
+/// A control-flow edge resolved at decode time: where to go (an absolute
+/// offset into the function's flat stream) and what entering there does.
+#[derive(Debug, Clone)]
+struct EdgePlan {
+    target_pc: usize,
+    effect: EdgeEffect,
+}
+
+#[derive(Debug, Clone)]
+struct FuncPlan {
+    /// Register slot bound by each parameter, in declaration order.
+    param_slots: Box<[usize]>,
+    /// Total register slots (params plus every instruction result).
+    reg_count: usize,
+    /// Slot index → the id it interns (for "read of undefined id" traps).
+    reg_ids: Box<[Id]>,
+    /// The function's blocks flattened into one instruction stream; entry
+    /// is offset 0.
+    code: Box<[FastOp]>,
+    /// Every control-flow edge of the function, referenced by index from
+    /// [`FastOp::Jump`]/[`FastOp::CondJump`].
+    edges: Box<[EdgePlan]>,
+    /// Raised on function entry, after the entry block's step charge
+    /// (an entry block opening with phis).
+    entry_fail: Option<Fault>,
+}
+
+/// How a global's initial cell value is produced.
+#[derive(Debug, Clone)]
+enum GlobalPlan {
+    /// The global's declared type is not a pointer; raised on init.
+    Invalid(Fault),
+    /// Uniform/Input storage: bound by interface name from the inputs,
+    /// falling back to the stored zero value.
+    External { name: Option<Box<str>>, zero: Result<Value, Fault> },
+    /// Private storage: the stored initializer (or zero) value.
+    Internal(Result<Value, Fault>),
+}
+
+/// The initial global cells for one render, with the inputs already bound:
+/// per fragment only the `frag_coord` cells change, so per-fragment setup
+/// is a bulk clone of this template instead of re-resolving every
+/// interface binding through the input map.
+struct GlobalTemplate {
+    cells: Vec<Value>,
+    frag_cells: Vec<usize>,
+}
+
+/// A module flattened for fast execution: decode once, execute many times.
+///
+/// The compiled form is tied to the [`ExecConfig`] it was compiled with,
+/// because the value budget bounds the constant/zero pools.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    config: ExecConfig,
+    consts: Box<[Result<Value, Fault>]>,
+    /// Pre-materialised `Undef` zeros and `Variable` initial values.
+    prepared: Box<[Result<Value, Fault>]>,
+    /// Pre-materialised `Pointer` values, one per global cell, so reading a
+    /// global-valued operand borrows from the pool instead of building a
+    /// pointer value.
+    global_ptrs: Box<[Value]>,
+    globals: Box<[GlobalPlan]>,
+    funcs: Box<[FuncPlan]>,
+    entry: Option<usize>,
+    outputs: Box<[(String, Option<usize>)]>,
+    /// `outputs` deduplicated by name (last declaration wins, as a map
+    /// insert would) and sorted — the image channel order of the render
+    /// path.
+    render_outputs: Box<[(String, Option<usize>)]>,
+}
+
+/// Overwrites `dst` with `src`, reusing `dst`'s composite buffers when the
+/// shapes line up (a derived `clone_from` would reallocate instead). Used
+/// to re-seed global cells between fragments of a render grid.
+fn assign_value(dst: &mut Value, src: &Value) {
+    match (dst, src) {
+        (Value::Composite(d), Value::Composite(s)) => {
+            d.truncate(s.len());
+            let shared = d.len();
+            for (dv, sv) in d.iter_mut().zip(&s[..shared]) {
+                assign_value(dv, sv);
+            }
+            for sv in &s[shared..] {
+                d.push(sv.clone());
+            }
+        }
+        (d, s) => *d = s.clone(),
+    }
+}
+
+/// Narrows a pool/slot index to the packed `u32` form used by decoded
+/// ops. Real modules are far below `u32::MAX` entries; a saturated index
+/// simply falls outside every pool and surfaces as an internal fault.
+fn small(idx: usize) -> u32 {
+    u32::try_from(idx).unwrap_or(u32::MAX)
+}
+
+fn internal_fault(msg: &str) -> Fault {
+    debug_assert!(false, "internal interpreter invariant violated: {msg}");
+    Fault::Trap(format!("internal interpreter error: {msg}"))
+}
+
+/// The reusable execution core: register file, memory arena, call stack.
+/// `reset` keeps the allocations, so a render grid reuses one runner's
+/// capacity for every fragment.
+#[derive(Debug, Default)]
+struct Runner {
+    memory: Vec<Value>,
+    steps: u64,
+    regs: Vec<Option<Value>>,
+    frames: Vec<Frame>,
+    phi_scratch: Vec<(usize, Value)>,
+    /// Template cells stored to since the last re-seed. Cells at or above
+    /// `watermark` are variable allocations, truncated away on re-seed, so
+    /// only cells below it are tracked; untracked cells still hold their
+    /// template value and need no reassignment.
+    dirty: Vec<usize>,
+    dirty_flags: Vec<bool>,
+    watermark: usize,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: usize,
+    reg_base: usize,
+    /// Saved program counter: where execution resumes when control returns
+    /// to this frame.
+    pc: usize,
+    /// Absolute register index the call result lands in, if any.
+    ret_dst: Option<usize>,
+}
+
+impl Runner {
+    fn new() -> Self {
+        Runner::default()
+    }
+
+    fn reset(&mut self) {
+        self.memory.clear();
+        self.steps = 0;
+        self.regs.clear();
+        self.frames.clear();
+        self.phi_scratch.clear();
+        self.dirty.clear();
+        self.dirty_flags.clear();
+        self.watermark = 0;
+    }
+
+    #[inline(always)]
+    fn step(&mut self, limit: u64) -> Result<(), Fault> {
+        self.steps += 1;
+        if self.steps > limit {
+            Err(Fault::StepLimitExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn alloc_cell(&mut self, limit: usize, initial: Value) -> Result<usize, Fault> {
+        if self.memory.len() >= limit {
+            return Err(Fault::MemoryLimitExceeded);
+        }
+        let cell = self.memory.len();
+        self.memory.push(initial);
+        Ok(cell)
+    }
+}
+
+/// One row of a rendered grid plus the resources it consumed; the unit of
+/// parallel work in [`CompiledModule::render_parallel`]. Output values are
+/// already flat in image channel order, ready to splice into the
+/// [`Image`]'s columnar buffers.
+struct RowResult {
+    values: Vec<Value>,
+    killed: Vec<bool>,
+    steps: u64,
+    fault: Option<Fault>,
+}
+
+impl CompiledModule {
+    /// Pre-decodes `module` for execution under `config`. Never fails:
+    /// malformed constructs decode into stored faults raised at the program
+    /// point the reference engine would raise them.
+    #[must_use]
+    pub fn compile(module: &Module, config: ExecConfig) -> CompiledModule {
+        let mut const_index: HashMap<Id, usize> = HashMap::new();
+        let mut consts: Vec<Result<Value, Fault>> = Vec::new();
+        for c in &module.constants {
+            if const_index.contains_key(&c.id) {
+                continue; // first declaration wins, as in `Module::constant`
+            }
+            let mut budget = config.value_budget();
+            let value = Value::of_constant_bounded(module, c.id, &mut budget);
+            const_index.insert(c.id, consts.len());
+            consts.push(value);
+        }
+
+        let mut global_cell: HashMap<Id, usize> = HashMap::new();
+        let mut globals: Vec<GlobalPlan> = Vec::new();
+        for (cell, g) in module.globals.iter().enumerate() {
+            // Cells are allocated in declaration order, so the cell index is
+            // the declaration index; duplicate ids resolve to the last cell.
+            global_cell.insert(g.id, cell);
+            let pointee = match module.type_of(g.ty) {
+                Some(&Type::Pointer { pointee, .. }) => pointee,
+                _ => {
+                    globals.push(GlobalPlan::Invalid(Fault::Trap(format!(
+                        "global {} is not a pointer",
+                        g.id
+                    ))));
+                    continue;
+                }
+            };
+            let zero = || {
+                let mut budget = config.value_budget();
+                Value::zero_of_bounded(module, pointee, &mut budget)
+            };
+            let plan = match g.storage {
+                StorageClass::Uniform | StorageClass::Input => {
+                    let name = module
+                        .interface
+                        .uniforms
+                        .iter()
+                        .chain(&module.interface.builtins)
+                        .find(|b| b.global == g.id)
+                        .map(|b| b.name.as_str().into());
+                    GlobalPlan::External { name, zero: zero() }
+                }
+                _ => GlobalPlan::Internal(match g.initializer {
+                    Some(c) => {
+                        let mut budget = config.value_budget();
+                        Value::of_constant_bounded(module, c, &mut budget)
+                    }
+                    None => zero(),
+                }),
+            };
+            globals.push(plan);
+        }
+        let global_ptrs: Box<[Value]> = (0..globals.len())
+            .map(|cell| Value::Pointer(Pointer { cell, path: Vec::new() }))
+            .collect();
+
+        let mut func_index: HashMap<Id, usize> = HashMap::new();
+        for (i, f) in module.functions.iter().enumerate() {
+            func_index.entry(f.id).or_insert(i); // first declaration wins
+        }
+
+        let mut prepared: Vec<Result<Value, Fault>> = Vec::new();
+        let funcs = module
+            .functions
+            .iter()
+            .map(|f| {
+                decode_function(
+                    module,
+                    &config,
+                    f,
+                    &const_index,
+                    &global_cell,
+                    &func_index,
+                    &mut prepared,
+                )
+            })
+            .collect();
+
+        let outputs: Box<[(String, Option<usize>)]> = module
+            .interface
+            .outputs
+            .iter()
+            .map(|b| (b.name.clone(), global_cell.get(&b.global).copied()))
+            .collect();
+        let render_outputs = outputs
+            .iter()
+            .cloned()
+            .collect::<BTreeMap<String, Option<usize>>>()
+            .into_iter()
+            .collect();
+
+        CompiledModule {
+            config,
+            consts: consts.into_boxed_slice(),
+            prepared: prepared.into_boxed_slice(),
+            global_ptrs,
+            globals: globals.into_boxed_slice(),
+            funcs,
+            entry: func_index.get(&module.entry_point).copied(),
+            outputs,
+            render_outputs,
+        }
+    }
+
+    /// As [`CompiledModule::compile`], bumping the `modules_decoded` counter
+    /// on `sink` (scope `render`).
+    #[must_use]
+    pub fn compile_observed(
+        module: &Module,
+        config: ExecConfig,
+        sink: &SinkHandle,
+    ) -> CompiledModule {
+        sink.count(Scope::Render, Counter::ModulesDecoded, 1);
+        CompiledModule::compile(module, config)
+    }
+
+    /// The limits this module was compiled under.
+    #[must_use]
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Executes the compiled module on `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// As [`super::execute`].
+    pub fn execute(&self, inputs: &Inputs) -> Result<Execution, Fault> {
+        let mut runner = Runner::new();
+        self.execute_in(&mut runner, inputs)
+    }
+
+    /// As [`CompiledModule::execute`], also reporting resource usage (even
+    /// when the run faulted).
+    pub fn execute_counted(&self, inputs: &Inputs) -> (Result<Execution, Fault>, ExecStats) {
+        let mut runner = Runner::new();
+        let result = self.execute_in(&mut runner, inputs);
+        let stats = ExecStats { steps: runner.steps, memory_cells: runner.memory.len() };
+        (result, stats)
+    }
+
+    /// Renders the compiled module over a fragment grid with one reused
+    /// execution core.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Fault`] any fragment produces (row-major order).
+    pub fn render(&self, inputs: &Inputs, width: u32, height: u32) -> Result<Image, Fault> {
+        self.render_counted(inputs, width, height, 1).0
+    }
+
+    /// As [`CompiledModule::render`], spreading rows across `trx-pool`
+    /// workers. `threads` is an upper bound: the executor never spawns more
+    /// workers than the machine reports as available parallelism, and falls
+    /// back to the serial path when one worker (or one row) remains. The
+    /// image, fault, and deterministic counters are byte-identical to the
+    /// serial render for every thread count: rows are assembled in
+    /// row-major order and the first faulting row wins.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledModule::render`].
+    pub fn render_parallel(
+        &self,
+        inputs: &Inputs,
+        width: u32,
+        height: u32,
+        threads: usize,
+    ) -> Result<Image, Fault> {
+        self.render_counted(inputs, width, height, threads).0
+    }
+
+    /// As [`CompiledModule::render_parallel`], reporting the deterministic
+    /// render counters (`fragments_rendered`, `interp_instructions_retired`)
+    /// to `sink` under scope `render`.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledModule::render`].
+    pub fn render_observed(
+        &self,
+        inputs: &Inputs,
+        width: u32,
+        height: u32,
+        threads: usize,
+        sink: &SinkHandle,
+    ) -> Result<Image, Fault> {
+        let (result, fragments, steps) = self.render_counted(inputs, width, height, threads);
+        sink.count(Scope::Render, Counter::FragmentsRendered, fragments);
+        sink.count(Scope::Render, Counter::InterpInstructionsRetired, steps);
+        result
+    }
+
+    /// Renders and reports `(result, fragments completed, steps retired)`.
+    /// Counts cover the row-major prefix up to and including the first
+    /// faulting fragment, independent of thread count.
+    fn render_counted(
+        &self,
+        inputs: &Inputs,
+        width: u32,
+        height: u32,
+        threads: usize,
+    ) -> (Result<Image, Fault>, u64, u64) {
+        let template = match self.global_template(inputs) {
+            Ok(template) => template,
+            // Global init faults before any step is charged; every fragment
+            // would fault identically, so the render faults with zero work
+            // recorded — exactly what the per-fragment path reports when
+            // fragment (0, 0) faults during init.
+            Err(fault) => return (Err(fault), 0, 0),
+        };
+        let threads = threads.min(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        );
+        let rows: Vec<RowResult> = if threads <= 1 || height <= 1 {
+            let mut runner = Runner::new();
+            let mut rows = Vec::with_capacity(height as usize);
+            for y in 0..height {
+                let row = self.render_row(&mut runner, &template, width, y);
+                let faulted = row.fault.is_some();
+                rows.push(row);
+                if faulted {
+                    break;
+                }
+            }
+            rows
+        } else {
+            with_pool(threads, |pool| {
+                pool.map(height as usize, |y| {
+                    let mut runner = Runner::new();
+                    self.render_row(&mut runner, &template, width, y as u32)
+                })
+            })
+        };
+
+        let total = (width as usize) * (height as usize);
+        let mut values = Vec::with_capacity(total * self.render_outputs.len());
+        let mut killed = Vec::with_capacity(total);
+        let mut fragments = 0u64;
+        let mut steps = 0u64;
+        for row in rows {
+            fragments += row.killed.len() as u64;
+            steps += row.steps;
+            values.extend(row.values);
+            killed.extend(row.killed);
+            if let Some(fault) = row.fault {
+                return (Err(fault), fragments, steps);
+            }
+        }
+        // An empty grid renders no fragment, so (as when assembling from
+        // per-fragment executions) it reports no channels.
+        let channels = if killed.is_empty() {
+            Vec::new()
+        } else {
+            self.render_outputs.iter().map(|(n, _)| n.clone()).collect()
+        };
+        (Ok(Image { width, height, channels, values, killed }), fragments, steps)
+    }
+
+    /// Renders one row, stopping at the row's first fault. `steps` covers
+    /// every fragment attempted, including a faulting one. The frag-coord
+    /// composite is built once and mutated in place per fragment.
+    fn render_row(
+        &self,
+        runner: &mut Runner,
+        template: &GlobalTemplate,
+        width: u32,
+        y: u32,
+    ) -> RowResult {
+        let mut values = Vec::with_capacity((width as usize) * self.render_outputs.len());
+        let mut killed = Vec::with_capacity(width as usize);
+        let mut steps = 0u64;
+        let mut frag = Value::Composite(vec![Value::Float(0.0), Value::Float(y as f32 + 0.5)]);
+        for x in 0..width {
+            if let Value::Composite(parts) = &mut frag {
+                if let Some(first) = parts.first_mut() {
+                    *first = Value::Float(x as f32 + 0.5);
+                }
+            }
+            self.seed_template(runner, template, &frag);
+            let result = self.run_fragment(runner, &mut values);
+            steps += runner.steps;
+            match result {
+                Ok(was_killed) => killed.push(was_killed),
+                Err(fault) => return RowResult { values, killed, steps, fault: Some(fault) },
+            }
+        }
+        RowResult { values, killed, steps, fault: None }
+    }
+
+    /// Resolves the initial global cells for a render of `inputs`,
+    /// preserving the per-cell fault order of the execute path (an invalid
+    /// global or over-budget zero value outranks the memory limit for the
+    /// same cell).
+    fn global_template(&self, inputs: &Inputs) -> Result<GlobalTemplate, Fault> {
+        let mut cells = Vec::with_capacity(self.globals.len());
+        let mut frag_cells = Vec::new();
+        for plan in self.globals.iter() {
+            let initial = match plan {
+                GlobalPlan::Invalid(fault) => return Err(fault.clone()),
+                GlobalPlan::External { name, zero } => {
+                    if name.as_deref() == Some("frag_coord") {
+                        frag_cells.push(cells.len());
+                    }
+                    match name.as_deref().and_then(|n| inputs.get(n)) {
+                        Some(v) => v.clone(),
+                        None => zero.clone()?,
+                    }
+                }
+                GlobalPlan::Internal(init) => init.clone()?,
+            };
+            if cells.len() >= self.config.memory_limit {
+                return Err(Fault::MemoryLimitExceeded);
+            }
+            cells.push(initial);
+        }
+        Ok(GlobalTemplate { cells, frag_cells })
+    }
+
+    /// Prepares `runner` for one fragment: seed memory from the template
+    /// and bind the frag coordinate.
+    fn seed_template(&self, runner: &mut Runner, template: &GlobalTemplate, frag: &Value) {
+        runner.steps = 0;
+        runner.regs.clear();
+        runner.frames.clear();
+        runner.phi_scratch.clear();
+        let watermark = template.cells.len();
+        if runner.memory.len() >= watermark && runner.watermark == watermark {
+            // Re-seed in place, touching only the cells the previous
+            // fragment stored to: every other cell still holds its template
+            // value, and `assign_value` reuses composite buffers rather
+            // than reallocating them.
+            runner.memory.truncate(watermark);
+            for cell in runner.dirty.drain(..) {
+                if let Some(flag) = runner.dirty_flags.get_mut(cell) {
+                    *flag = false;
+                }
+                if let (Some(slot), Some(init)) =
+                    (runner.memory.get_mut(cell), template.cells.get(cell))
+                {
+                    assign_value(slot, init);
+                }
+            }
+        } else {
+            runner.memory.clear();
+            runner.memory.extend(template.cells.iter().cloned());
+            runner.dirty.clear();
+            runner.dirty_flags.clear();
+            runner.dirty_flags.resize(watermark, false);
+            runner.watermark = watermark;
+        }
+        for &cell in &template.frag_cells {
+            // Frag cells index the template the seed just wrote, so the
+            // slot always exists.
+            if let Some(slot) = runner.memory.get_mut(cell) {
+                assign_value(slot, frag);
+            }
+        }
+    }
+
+    /// Dispatches one seeded fragment, appending its outputs (in image
+    /// channel order) to `values`. Returns whether the invocation was
+    /// killed.
+    fn run_fragment(&self, runner: &mut Runner, values: &mut Vec<Value>) -> Result<bool, Fault> {
+        let entry = self
+            .entry
+            .ok_or_else(|| Fault::Trap("entry point missing".into()))?;
+        let mut no_args = Vec::new();
+        push_call(self, runner, entry, &mut no_args, None)?;
+        let killed = dispatch(self, runner)?;
+        // Validate in declaration order first, so a missing output global
+        // faults exactly where the map-building path would.
+        for (_, cell) in self.outputs.iter() {
+            let cell = cell.ok_or_else(|| Fault::Trap("output global missing".into()))?;
+            if runner.memory.get(cell).is_none() {
+                return Err(internal_fault("output cell out of range"));
+            }
+        }
+        for (_, cell) in self.render_outputs.iter() {
+            let value = cell
+                .and_then(|c| runner.memory.get(c))
+                .ok_or_else(|| internal_fault("output cell out of range"))?;
+            values.push(value.clone());
+        }
+        Ok(killed)
+    }
+
+    /// Runs one execution in `runner` with the inputs resolved on the fly
+    /// (the single-invocation path; renders go through the template).
+    fn execute_in(&self, runner: &mut Runner, inputs: &Inputs) -> Result<Execution, Fault> {
+        runner.reset();
+        for plan in self.globals.iter() {
+            let initial = match plan {
+                GlobalPlan::Invalid(fault) => return Err(fault.clone()),
+                GlobalPlan::External { name, zero } => {
+                    match name.as_deref().and_then(|n| inputs.get(n)) {
+                        Some(v) => v.clone(),
+                        None => zero.clone()?,
+                    }
+                }
+                GlobalPlan::Internal(init) => init.clone()?,
+            };
+            runner.alloc_cell(self.config.memory_limit, initial)?;
+        }
+        self.run_entry(runner)
+    }
+
+    /// Pushes the entry function and dispatches to completion, collecting
+    /// the interface outputs.
+    fn run_entry(&self, runner: &mut Runner) -> Result<Execution, Fault> {
+        let entry = self
+            .entry
+            .ok_or_else(|| Fault::Trap("entry point missing".into()))?;
+        let mut no_args = Vec::new();
+        push_call(self, runner, entry, &mut no_args, None)?;
+        let killed = dispatch(self, runner)?;
+        let mut outputs = BTreeMap::new();
+        for (name, cell) in self.outputs.iter() {
+            let cell = cell.ok_or_else(|| Fault::Trap("output global missing".into()))?;
+            let value = runner
+                .memory
+                .get(cell)
+                .ok_or_else(|| internal_fault("output cell out of range"))?;
+            outputs.insert(name.clone(), value.clone());
+        }
+        Ok(Execution { outputs, killed })
+    }
+}
+
+/// Interns per-function ids into register slots and flattens the blocks
+/// into one instruction stream with pre-resolved edges.
+fn decode_function(
+    module: &Module,
+    config: &ExecConfig,
+    function: &crate::Function,
+    const_index: &HashMap<Id, usize>,
+    global_cell: &HashMap<Id, usize>,
+    func_index: &HashMap<Id, usize>,
+    prepared: &mut Vec<Result<Value, Fault>>,
+) -> FuncPlan {
+    let mut slots: HashMap<Id, usize> = HashMap::new();
+    let mut reg_ids: Vec<Id> = Vec::new();
+    let intern = |id: Id, reg_ids: &mut Vec<Id>, slots: &mut HashMap<Id, usize>| -> usize {
+        *slots.entry(id).or_insert_with(|| {
+            reg_ids.push(id);
+            reg_ids.len() - 1
+        })
+    };
+
+    let param_slots: Box<[usize]> = function
+        .params
+        .iter()
+        .map(|p| intern(p.id, &mut reg_ids, &mut slots))
+        .collect();
+    for block in &function.blocks {
+        for inst in &block.instructions {
+            if let Some(result) = inst.result {
+                intern(result, &mut reg_ids, &mut slots);
+            }
+        }
+    }
+
+    let mut block_index: HashMap<Id, usize> = HashMap::new();
+    for (i, block) in function.blocks.iter().enumerate() {
+        block_index.entry(block.label).or_insert(i); // first label wins
+    }
+
+    // Block start offsets in the flat stream: one op per non-leading-phi
+    // instruction plus one terminator op per block.
+    let mut block_pc: Vec<usize> = Vec::with_capacity(function.blocks.len());
+    let mut next_pc = 0usize;
+    for block in &function.blocks {
+        block_pc.push(next_pc);
+        next_pc += block.instructions.len() - block.phi_count() + 1;
+    }
+
+    let resolve = |id: Id| -> Operand {
+        match (slots.get(&id), const_index.get(&id), global_cell.get(&id)) {
+            (Some(&s), Some(&c), _) => Operand::RegElseConst(small(s), small(c)),
+            (Some(&s), None, Some(&g)) => Operand::RegElseGlobal(small(s), small(g)),
+            (Some(&s), None, None) => Operand::Reg(small(s)),
+            (None, Some(&c), _) => Operand::Const(small(c)),
+            (None, None, Some(&g)) => Operand::Global(small(g)),
+            (None, None, None) => Operand::Undefined(id),
+        }
+    };
+
+    // The entry block must not open with phis (there is no predecessor).
+    let entry_fail = function.blocks.first().and_then(|b| {
+        (b.phi_count() > 0).then(|| Fault::Trap(format!("phi in entry block {}", b.label)))
+    });
+
+    let mut edges: Vec<EdgePlan> = Vec::new();
+    let mut code: Vec<FastOp> = Vec::with_capacity(next_pc);
+    for block in &function.blocks {
+        for inst in block.instructions.iter().skip(block.phi_count()) {
+            code.push(decode_op(module, config, inst, &resolve, func_index, prepared));
+        }
+        let mut make_edge = |target: Id| -> u32 {
+            edges.push(decode_edge(
+                function,
+                &block_index,
+                &block_pc,
+                &resolve,
+                &slots,
+                block.label,
+                target,
+            ));
+            small(edges.len() - 1)
+        };
+        let term = match &block.terminator {
+            Terminator::Branch { target } => FastOp::Jump { edge: make_edge(*target) },
+            Terminator::BranchConditional { cond, true_target, false_target } => {
+                let true_edge = make_edge(*true_target);
+                let false_edge = make_edge(*false_target);
+                FastOp::CondJump { cond: resolve(*cond), true_edge, false_edge }
+            }
+            Terminator::Return => FastOp::Return,
+            Terminator::ReturnValue { value } => FastOp::ReturnValue(resolve(*value)),
+            Terminator::Kill => FastOp::Kill,
+            Terminator::Unreachable => FastOp::Unreachable,
+        };
+        code.push(term);
+    }
+
+    FuncPlan {
+        param_slots,
+        reg_count: reg_ids.len(),
+        reg_ids: reg_ids.into_boxed_slice(),
+        code: code.into_boxed_slice(),
+        edges: edges.into_boxed_slice(),
+        entry_fail,
+    }
+}
+
+/// Pre-resolves one control-flow edge `from → target`: the target's
+/// absolute offset plus the phi assignments the reference engine performs
+/// on entering `target` from `from`. Static faults (missing target block,
+/// phi missing this predecessor, phi without a result id) decode into a
+/// trapping effect that first replays the operand reads the reference
+/// engine performs before raising the fault, preserving dynamic trap order.
+fn decode_edge(
+    function: &crate::Function,
+    block_index: &HashMap<Id, usize>,
+    block_pc: &[usize],
+    resolve: &dyn Fn(Id) -> Operand,
+    slots: &HashMap<Id, usize>,
+    from: Id,
+    target: Id,
+) -> EdgePlan {
+    let Some(&ti) = block_index.get(&target) else {
+        return EdgePlan {
+            target_pc: 0,
+            effect: EdgeEffect::Traps {
+                reads: Box::new([]),
+                fault: Fault::Trap(format!("missing block {target}")),
+            },
+        };
+    };
+    let tb = &function.blocks[ti];
+    let target_pc = block_pc[ti];
+    let mut sources: Vec<Operand> = Vec::new();
+    let mut moves: Vec<(Operand, u32)> = Vec::new();
+    let mut fault: Option<Fault> = None;
+    for phi in tb.phis() {
+        let incoming: &[(Id, Id)] = match &phi.op {
+            Op::Phi { incoming } => incoming,
+            _ => &[],
+        };
+        let Some(&(value, _)) = incoming.iter().find(|(_, pred)| *pred == from) else {
+            fault = Some(Fault::Trap(format!(
+                "phi in {} misses predecessor {from}",
+                tb.label
+            )));
+            break;
+        };
+        let src = resolve(value);
+        match phi.result.and_then(|id| slots.get(&id).copied()) {
+            Some(slot) => {
+                sources.push(src.clone());
+                moves.push((src, small(slot)));
+            }
+            None => {
+                sources.push(src);
+                fault = Some(Fault::Trap(format!("phi in {} has no result", tb.label)));
+                break;
+            }
+        }
+    }
+    if let Some(fault) = fault {
+        return EdgePlan {
+            target_pc,
+            effect: EdgeEffect::Traps { reads: sources.into_boxed_slice(), fault },
+        };
+    }
+    // A parallel copy can write in order iff no destination slot feeds any
+    // move's source; otherwise reads go through scratch first.
+    let dsts: HashSet<u32> = moves.iter().map(|(_, d)| *d).collect();
+    let direct = moves.iter().all(|(src, _)| match src {
+        Operand::Reg(s) | Operand::RegElseConst(s, _) | Operand::RegElseGlobal(s, _) => {
+            !dsts.contains(s)
+        }
+        _ => true,
+    });
+    EdgePlan {
+        target_pc,
+        effect: EdgeEffect::Moves { moves: moves.into_boxed_slice(), direct },
+    }
+}
+
+/// Decodes one non-phi instruction.
+fn decode_op(
+    module: &Module,
+    config: &ExecConfig,
+    inst: &crate::Instruction,
+    resolve: &dyn Fn(Id) -> Operand,
+    func_index: &HashMap<Id, usize>,
+    prepared: &mut Vec<Result<Value, Fault>>,
+) -> FastOp {
+    let dst = resolve_dst(inst.result, resolve);
+    match &inst.op {
+        Op::Nop => FastOp::Nop,
+        Op::Undef => {
+            let value = match inst.ty {
+                None => Err(Fault::Trap("undef without type".into())),
+                Some(ty) => {
+                    let mut budget = config.value_budget();
+                    Value::zero_of_bounded(module, ty, &mut budget)
+                }
+            };
+            prepared.push(value);
+            FastOp::Undef { val: small(prepared.len() - 1), dst }
+        }
+        Op::CopyObject { src } => FastOp::Copy { src: resolve(*src), dst },
+        Op::Binary { op, lhs, rhs } => FastOp::Binary {
+            op: *op,
+            lhs: resolve(*lhs),
+            rhs: resolve(*rhs),
+            dst,
+        },
+        Op::Unary { op, src } => FastOp::Unary { op: *op, src: resolve(*src), dst },
+        Op::Select { cond, if_true, if_false } => FastOp::Select {
+            cond: resolve(*cond),
+            if_true: resolve(*if_true),
+            if_false: resolve(*if_false),
+            dst,
+        },
+        Op::CompositeConstruct { parts } => FastOp::Construct {
+            parts: parts.iter().map(|&p| resolve(p)).collect(),
+            dst,
+        },
+        Op::CompositeExtract { composite, indices } => FastOp::Extract {
+            composite: resolve(*composite),
+            indices: indices.clone().into_boxed_slice(),
+            dst,
+        },
+        Op::CompositeInsert { object, composite, indices } => FastOp::Insert {
+            composite: resolve(*composite),
+            object: resolve(*object),
+            indices: indices.clone().into_boxed_slice(),
+            dst,
+        },
+        Op::Variable { initializer, .. } => {
+            let value = match inst.ty {
+                None => Err(Fault::Trap("variable without type".into())),
+                Some(ty) => match module.type_of(ty) {
+                    Some(&Type::Pointer { pointee, .. }) => match initializer {
+                        Some(c) => {
+                            let mut budget = config.value_budget();
+                            Value::of_constant_bounded(module, *c, &mut budget)
+                        }
+                        None => {
+                            let mut budget = config.value_budget();
+                            Value::zero_of_bounded(module, pointee, &mut budget)
+                        }
+                    },
+                    _ => Err(Fault::Trap("variable type is not a pointer".into())),
+                },
+            };
+            prepared.push(value);
+            FastOp::Variable { init: small(prepared.len() - 1), dst }
+        }
+        Op::AccessChain { base, indices } => FastOp::AccessChain {
+            base: resolve(*base),
+            indices: indices.iter().map(|&i| resolve(i)).collect(),
+            dst,
+        },
+        Op::Load { pointer } => FastOp::Load { pointer: resolve(*pointer), dst },
+        Op::Store { pointer, value } => FastOp::Store {
+            pointer: resolve(*pointer),
+            value: resolve(*value),
+        },
+        Op::Phi { .. } => {
+            FastOp::Fail(Fault::Trap("phi executed outside block entry".into()))
+        }
+        Op::Call { callee, args } => FastOp::Call {
+            callee: func_index
+                .get(callee)
+                .copied()
+                .ok_or_else(|| Fault::Trap(format!("missing callee {callee}"))),
+            args: args.iter().map(|&a| resolve(a)).collect(),
+            dst,
+        },
+    }
+}
+
+/// Maps an instruction's result id to its register slot. Results are
+/// resolved through `resolve` so shadowing rules match reads exactly.
+fn resolve_dst(result: Option<Id>, resolve: &dyn Fn(Id) -> Operand) -> Option<u32> {
+    match result.map(resolve)? {
+        Operand::Reg(s) | Operand::RegElseConst(s, _) | Operand::RegElseGlobal(s, _) => Some(s),
+        _ => None,
+    }
+}
+
+/// Reads an operand by reference — register file, constant pool, or global
+/// pointer pool — mirroring the reference engine's register → constant →
+/// global → trap order without cloning the value.
+#[inline(always)]
+fn read_ref<'a>(
+    cm: &'a CompiledModule,
+    fp: &'a FuncPlan,
+    regs: &'a [Option<Value>],
+    reg_base: usize,
+    op: &Operand,
+) -> Result<&'a Value, Fault> {
+    let slot_value = |slot: u32| -> Option<&'a Value> {
+        regs.get(reg_base + slot as usize).and_then(|v| v.as_ref())
+    };
+    let const_value = |idx: u32| -> Result<&'a Value, Fault> {
+        match cm.consts.get(idx as usize) {
+            Some(Ok(v)) => Ok(v),
+            Some(Err(f)) => Err(f.clone()),
+            None => Err(internal_fault("constant pool index out of range")),
+        }
+    };
+    let global_value = |idx: u32| -> Result<&'a Value, Fault> {
+        cm.global_ptrs
+            .get(idx as usize)
+            .ok_or_else(|| internal_fault("global pointer pool out of range"))
+    };
+    match op {
+        Operand::Reg(slot) => match slot_value(*slot) {
+            Some(v) => Ok(v),
+            None => {
+                let id = fp
+                    .reg_ids
+                    .get(*slot as usize)
+                    .ok_or_else(|| internal_fault("register id table out of range"))?;
+                Err(Fault::Trap(format!("read of undefined id {id}")))
+            }
+        },
+        Operand::RegElseConst(slot, c) => match slot_value(*slot) {
+            Some(v) => Ok(v),
+            None => const_value(*c),
+        },
+        Operand::RegElseGlobal(slot, g) => match slot_value(*slot) {
+            Some(v) => Ok(v),
+            None => global_value(*g),
+        },
+        Operand::Const(c) => const_value(*c),
+        Operand::Global(g) => global_value(*g),
+        Operand::Undefined(id) => Err(Fault::Trap(format!("read of undefined id {id}"))),
+    }
+}
+
+/// As [`read_ref`], cloning into an owned value (edge moves, call
+/// arguments, return values).
+fn read_operand(
+    cm: &CompiledModule,
+    fp: &FuncPlan,
+    regs: &[Option<Value>],
+    reg_base: usize,
+    op: &Operand,
+) -> Result<Value, Fault> {
+    read_ref(cm, fp, regs, reg_base, op).cloned()
+}
+
+/// Writes a value-producing op's result, trapping when the instruction has
+/// no result id (matching the reference engine).
+#[inline(always)]
+fn write_result(
+    runner: &mut Runner,
+    reg_base: usize,
+    dst: Option<u32>,
+    value: Value,
+) -> Result<(), Fault> {
+    match dst {
+        Some(d) => {
+            let slot = runner
+                .regs
+                .get_mut(reg_base + d as usize)
+                .ok_or_else(|| internal_fault("register slot out of range"))?;
+            *slot = Some(value);
+            Ok(())
+        }
+        None => Err(Fault::Trap("value with no result id".into())),
+    }
+}
+
+/// Pushes a call frame: depth check, arity check, parameter binding, the
+/// entry block's step charge, and the entry-phi trap. `args` is drained,
+/// keeping its capacity with the caller for reuse.
+fn push_call(
+    cm: &CompiledModule,
+    runner: &mut Runner,
+    func: usize,
+    args: &mut Vec<Value>,
+    ret_dst: Option<usize>,
+) -> Result<(), Fault> {
+    if runner.frames.len() as u64 > u64::from(cm.config.call_depth_limit) {
+        return Err(Fault::CallDepthExceeded);
+    }
+    let fp = cm
+        .funcs
+        .get(func)
+        .ok_or_else(|| internal_fault("function index out of range"))?;
+    if args.len() != fp.param_slots.len() {
+        return Err(Fault::Trap("call arity mismatch".into()));
+    }
+    if fp.code.is_empty() {
+        // The reference engine panics here (out of contract for validated
+        // modules); the fast engine stays total with a typed trap.
+        return Err(Fault::Trap("function has no blocks".into()));
+    }
+    let reg_base = runner.regs.len();
+    runner.regs.resize(reg_base + fp.reg_count, None);
+    for (i, arg) in args.drain(..).enumerate() {
+        let slot = fp
+            .param_slots
+            .get(i)
+            .copied()
+            .ok_or_else(|| internal_fault("parameter slot out of range"))?;
+        let target = runner
+            .regs
+            .get_mut(reg_base + slot)
+            .ok_or_else(|| internal_fault("parameter register out of range"))?;
+        *target = Some(arg);
+    }
+    runner.frames.push(Frame { func, reg_base, pc: 0, ret_dst });
+    // The entry block's entry step, charged at the same point the reference
+    // engine charges it (after binding, before the first instruction).
+    runner.step(cm.config.step_limit)?;
+    if let Some(fault) = &fp.entry_fail {
+        return Err(fault.clone());
+    }
+    Ok(())
+}
+
+/// Pops the current frame on return. Returns `true` when the outermost
+/// frame finished.
+fn finish_return(runner: &mut Runner, value: Option<Value>) -> Result<bool, Fault> {
+    let frame = runner
+        .frames
+        .pop()
+        .ok_or_else(|| internal_fault("return without frame"))?;
+    runner.regs.truncate(frame.reg_base);
+    if runner.frames.is_empty() {
+        return Ok(true);
+    }
+    if let Some(abs) = frame.ret_dst {
+        let slot = runner
+            .regs
+            .get_mut(abs)
+            .ok_or_else(|| internal_fault("return register out of range"))?;
+        *slot = Some(value.unwrap_or(Value::Bool(false)));
+    }
+    Ok(false)
+}
+
+/// Takes a pre-resolved edge: charges the target's block-entry step,
+/// performs the edge's phi moves (or trap replay), and returns the new
+/// program counter.
+fn take_edge(
+    cm: &CompiledModule,
+    fp: &FuncPlan,
+    r: &mut Runner,
+    reg_base: usize,
+    edge: usize,
+) -> Result<usize, Fault> {
+    r.step(cm.config.step_limit)?;
+    let plan = fp
+        .edges
+        .get(edge)
+        .ok_or_else(|| internal_fault("edge index out of range"))?;
+    match &plan.effect {
+        EdgeEffect::Moves { moves, direct } => {
+            if moves.is_empty() {
+                // Nothing to do.
+            } else if *direct {
+                for (src, dst) in moves.iter() {
+                    let value = read_operand(cm, fp, &r.regs, reg_base, src)?;
+                    let slot = r
+                        .regs
+                        .get_mut(reg_base + *dst as usize)
+                        .ok_or_else(|| internal_fault("phi register out of range"))?;
+                    *slot = Some(value);
+                }
+            } else {
+                // The general parallel copy: read every source first, then
+                // write, as the reference engine does.
+                let mut scratch = std::mem::take(&mut r.phi_scratch);
+                scratch.clear();
+                for (src, dst) in moves.iter() {
+                    match read_operand(cm, fp, &r.regs, reg_base, src) {
+                        Ok(value) => scratch.push((*dst as usize, value)),
+                        Err(f) => {
+                            r.phi_scratch = scratch;
+                            return Err(f);
+                        }
+                    }
+                }
+                for (d, value) in scratch.drain(..) {
+                    let slot = r
+                        .regs
+                        .get_mut(reg_base + d)
+                        .ok_or_else(|| internal_fault("phi register out of range"))?;
+                    *slot = Some(value);
+                }
+                r.phi_scratch = scratch;
+            }
+        }
+        EdgeEffect::Traps { reads, fault } => {
+            for src in reads.iter() {
+                read_operand(cm, fp, &r.regs, reg_base, src)?;
+            }
+            return Err(fault.clone());
+        }
+    }
+    Ok(plan.target_pc)
+}
+
+/// The threaded dispatch loop: a local program counter walks the current
+/// function's flat stream in one match per op; operand reads borrow from
+/// the register file and pools, so arithmetic never clones values. Calls
+/// and returns reload the frame-local state. Returns whether the
+/// invocation was killed.
+#[allow(clippy::too_many_lines)]
+fn dispatch(cm: &CompiledModule, r: &mut Runner) -> Result<bool, Fault> {
+    let step_limit = cm.config.step_limit;
+    let mut arg_scratch: Vec<Value> = Vec::new();
+    'frames: loop {
+        let (func_idx, reg_base, mut pc) = {
+            let frame = r
+                .frames
+                .last()
+                .ok_or_else(|| internal_fault("dispatch without frame"))?;
+            (frame.func, frame.reg_base, frame.pc)
+        };
+        let fp = cm
+            .funcs
+            .get(func_idx)
+            .ok_or_else(|| internal_fault("frame function out of range"))?;
+        loop {
+            let op = fp
+                .code
+                .get(pc)
+                .ok_or_else(|| internal_fault("program counter out of range"))?;
+            match op {
+                FastOp::Jump { edge } => {
+                    pc = take_edge(cm, fp, r, reg_base, *edge as usize)?;
+                    continue;
+                }
+                FastOp::CondJump { cond, true_edge, false_edge } => {
+                    let c = read_ref(cm, fp, &r.regs, reg_base, cond)?
+                        .as_bool()
+                        .ok_or_else(|| Fault::Trap("non-bool branch condition".into()))?;
+                    let edge = if c { *true_edge } else { *false_edge };
+                    pc = take_edge(cm, fp, r, reg_base, edge as usize)?;
+                    continue;
+                }
+                FastOp::Return => {
+                    if finish_return(r, None)? {
+                        return Ok(false);
+                    }
+                    continue 'frames;
+                }
+                FastOp::ReturnValue(opnd) => {
+                    let value = read_operand(cm, fp, &r.regs, reg_base, opnd)?;
+                    if finish_return(r, Some(value))? {
+                        return Ok(false);
+                    }
+                    continue 'frames;
+                }
+                FastOp::Kill => return Ok(true),
+                FastOp::Unreachable => {
+                    return Err(Fault::Trap("executed OpUnreachable".into()));
+                }
+                FastOp::Call { callee, args, dst } => {
+                    r.step(step_limit)?;
+                    let callee = match callee {
+                        Ok(i) => *i,
+                        Err(fault) => return Err(fault.clone()),
+                    };
+                    arg_scratch.clear();
+                    for arg in args.iter() {
+                        arg_scratch.push(read_operand(cm, fp, &r.regs, reg_base, arg)?);
+                    }
+                    let ret_dst = dst.map(|d| reg_base + d as usize);
+                    if let Some(frame) = r.frames.last_mut() {
+                        frame.pc = pc + 1;
+                    }
+                    push_call(cm, r, callee, &mut arg_scratch, ret_dst)?;
+                    continue 'frames;
+                }
+                FastOp::Nop => {
+                    r.step(step_limit)?;
+                }
+                FastOp::Fail(fault) => {
+                    r.step(step_limit)?;
+                    return Err(fault.clone());
+                }
+                FastOp::Undef { val, dst } => {
+                    r.step(step_limit)?;
+                    let value = cm
+                        .prepared
+                        .get(*val as usize)
+                        .ok_or_else(|| internal_fault("prepared pool out of range"))?
+                        .clone()?;
+                    write_result(r, reg_base, *dst, value)?;
+                }
+                FastOp::Copy { src, dst } => {
+                    r.step(step_limit)?;
+                    let value = read_ref(cm, fp, &r.regs, reg_base, src)?.clone();
+                    write_result(r, reg_base, *dst, value)?;
+                }
+                FastOp::Binary { op, lhs, rhs, dst } => {
+                    r.step(step_limit)?;
+                    let l = read_ref(cm, fp, &r.regs, reg_base, lhs)?;
+                    let rhs = read_ref(cm, fp, &r.regs, reg_base, rhs)?;
+                    let value = eval_binary(*op, l, rhs)?;
+                    write_result(r, reg_base, *dst, value)?;
+                }
+                FastOp::Unary { op, src, dst } => {
+                    r.step(step_limit)?;
+                    let v = read_ref(cm, fp, &r.regs, reg_base, src)?;
+                    let value = eval_unary(*op, v)?;
+                    write_result(r, reg_base, *dst, value)?;
+                }
+                FastOp::Select { cond, if_true, if_false, dst } => {
+                    r.step(step_limit)?;
+                    let c = read_ref(cm, fp, &r.regs, reg_base, cond)?
+                        .as_bool()
+                        .ok_or_else(|| Fault::Trap("non-bool select condition".into()))?;
+                    let chosen = if c { if_true } else { if_false };
+                    let value = read_ref(cm, fp, &r.regs, reg_base, chosen)?.clone();
+                    write_result(r, reg_base, *dst, value)?;
+                }
+                FastOp::Construct { parts, dst } => {
+                    r.step(step_limit)?;
+                    let mut values = Vec::with_capacity(parts.len());
+                    for part in parts.iter() {
+                        values.push(read_ref(cm, fp, &r.regs, reg_base, part)?.clone());
+                    }
+                    write_result(r, reg_base, *dst, Value::Composite(values))?;
+                }
+                FastOp::Extract { composite, indices, dst } => {
+                    r.step(step_limit)?;
+                    let v = read_ref(cm, fp, &r.regs, reg_base, composite)?;
+                    let value = navigate(v, indices)?.clone();
+                    write_result(r, reg_base, *dst, value)?;
+                }
+                FastOp::Insert { composite, object, indices, dst } => {
+                    r.step(step_limit)?;
+                    let mut v = read_ref(cm, fp, &r.regs, reg_base, composite)?.clone();
+                    let object = read_ref(cm, fp, &r.regs, reg_base, object)?.clone();
+                    *navigate_mut(&mut v, indices)? = object;
+                    write_result(r, reg_base, *dst, v)?;
+                }
+                FastOp::Variable { init, dst } => {
+                    r.step(step_limit)?;
+                    let initial = cm
+                        .prepared
+                        .get(*init as usize)
+                        .ok_or_else(|| internal_fault("prepared pool out of range"))?
+                        .clone()?;
+                    let cell = r.alloc_cell(cm.config.memory_limit, initial)?;
+                    write_result(
+                        r,
+                        reg_base,
+                        *dst,
+                        Value::Pointer(Pointer { cell, path: Vec::new() }),
+                    )?;
+                }
+                FastOp::AccessChain { base, indices, dst } => {
+                    r.step(step_limit)?;
+                    let (cell, mut path) = match read_ref(cm, fp, &r.regs, reg_base, base)? {
+                        Value::Pointer(p) => (p.cell, p.path.clone()),
+                        _ => {
+                            return Err(Fault::Trap("access chain base is not a pointer".into()))
+                        }
+                    };
+                    for index in indices.iter() {
+                        let idx = read_ref(cm, fp, &r.regs, reg_base, index)?
+                            .as_int()
+                            .ok_or_else(|| Fault::Trap("non-int access index".into()))?;
+                        path.push(u32::try_from(idx.max(0)).unwrap_or(0));
+                    }
+                    write_result(r, reg_base, *dst, Value::Pointer(Pointer { cell, path }))?;
+                }
+                FastOp::Load { pointer, dst } => {
+                    r.step(step_limit)?;
+                    let p = match read_ref(cm, fp, &r.regs, reg_base, pointer)? {
+                        Value::Pointer(p) => p,
+                        _ => return Err(Fault::Trap("load from non-pointer".into())),
+                    };
+                    let cell = r
+                        .memory
+                        .get(p.cell)
+                        .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
+                    let value = navigate(cell, &p.path)?.clone();
+                    write_result(r, reg_base, *dst, value)?;
+                }
+                FastOp::Store { pointer, value } => {
+                    r.step(step_limit)?;
+                    let p = match read_ref(cm, fp, &r.regs, reg_base, pointer)? {
+                        Value::Pointer(p) => p,
+                        _ => return Err(Fault::Trap("store to non-pointer".into())),
+                    };
+                    let value = read_ref(cm, fp, &r.regs, reg_base, value)?.clone();
+                    let ci = p.cell;
+                    let cell = r
+                        .memory
+                        .get_mut(ci)
+                        .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
+                    *navigate_mut(cell, &p.path)? = value;
+                    if ci < r.watermark {
+                        if let Some(flag) = r.dirty_flags.get_mut(ci) {
+                            if !*flag {
+                                *flag = true;
+                                r.dirty.push(ci);
+                            }
+                        }
+                    }
+                }
+            }
+            pc += 1;
+        }
+    }
+}

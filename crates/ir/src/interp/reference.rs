@@ -1,0 +1,437 @@
+//! The original tree-walking interpreter, kept as the executable
+//! specification the [`super::fast`] engine is checked against.
+//!
+//! Every instruction is dispatched by re-matching on the IR enum, operands
+//! are resolved by per-id hash lookups, and constants are re-materialised on
+//! every read — slow, but each step is in obvious correspondence with the
+//! semantics. The cross-engine proptest (`tests/interp_equivalence.rs`)
+//! pins the fast engine to this one: identical outputs, faults, step counts
+//! and memory-cell counts on arbitrary modules and budgets.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::{Function, Id, Module, Op, StorageClass, Terminator, Type};
+
+use super::{
+    eval_binary, eval_unary, navigate, navigate_mut, ExecConfig, ExecStats, Execution, Fault,
+    Image, Inputs, Pointer, Value,
+};
+
+/// Executes `module` on `inputs` with default limits using the reference
+/// stepper.
+///
+/// # Errors
+///
+/// As [`super::execute`].
+pub fn execute(module: &Module, inputs: &Inputs) -> Result<Execution, Fault> {
+    execute_with_config(module, inputs, ExecConfig::default())
+}
+
+/// Executes `module` on `inputs` with explicit limits using the reference
+/// stepper.
+///
+/// # Errors
+///
+/// As [`super::execute`].
+pub fn execute_with_config(
+    module: &Module,
+    inputs: &Inputs,
+    config: ExecConfig,
+) -> Result<Execution, Fault> {
+    execute_counted(module, inputs, config).0
+}
+
+/// As [`execute_with_config`], also reporting resource usage (even when the
+/// run faulted). The counts must match [`super::execute_counted`] exactly.
+pub fn execute_counted(
+    module: &Module,
+    inputs: &Inputs,
+    config: ExecConfig,
+) -> (Result<Execution, Fault>, ExecStats) {
+    let mut state = Machine::empty(module, config);
+    let result = run(&mut state, inputs);
+    let stats = ExecStats { steps: state.steps, memory_cells: state.memory.len() };
+    (result, stats)
+}
+
+fn run(state: &mut Machine<'_>, inputs: &Inputs) -> Result<Execution, Fault> {
+    state.init_globals(inputs)?;
+    let module = state.module;
+    let entry = module
+        .function(module.entry_point)
+        .ok_or_else(|| Fault::Trap("entry point missing".into()))?;
+    let outcome = state.run_function(entry, Vec::new(), 0)?;
+    let killed = matches!(outcome, FnOutcome::Killed);
+    let mut outputs = BTreeMap::new();
+    for binding in &module.interface.outputs {
+        let cell = state
+            .global_cells
+            .get(&binding.global)
+            .ok_or_else(|| Fault::Trap("output global missing".into()))?;
+        outputs.insert(binding.name.clone(), state.memory[*cell].clone());
+    }
+    Ok(Execution { outputs, killed })
+}
+
+/// Renders `module` over a fragment grid, executing every fragment through
+/// the reference stepper (no pre-decoding, no parallelism).
+///
+/// # Errors
+///
+/// Returns the first [`Fault`] any invocation produces (row-major order).
+pub fn render(
+    module: &Module,
+    inputs: &Inputs,
+    width: u32,
+    height: u32,
+) -> Result<Image, Fault> {
+    render_with_config(module, inputs, width, height, ExecConfig::default())
+}
+
+/// As [`render`] with explicit limits.
+///
+/// # Errors
+///
+/// As [`render`].
+pub fn render_with_config(
+    module: &Module,
+    inputs: &Inputs,
+    width: u32,
+    height: u32,
+    config: ExecConfig,
+) -> Result<Image, Fault> {
+    let mut pixels = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            let frag = Value::Composite(vec![
+                Value::Float(x as f32 + 0.5),
+                Value::Float(y as f32 + 0.5),
+            ]);
+            let per_pixel = inputs.clone().with("frag_coord", frag);
+            pixels.push(execute_with_config(module, &per_pixel, config)?);
+        }
+    }
+    Ok(Image::from_executions(width, height, pixels))
+}
+
+enum FnOutcome {
+    Returned(Option<Value>),
+    Killed,
+}
+
+struct Machine<'m> {
+    module: &'m Module,
+    config: ExecConfig,
+    steps: u64,
+    memory: Vec<Value>,
+    global_cells: HashMap<Id, usize>,
+}
+
+impl<'m> Machine<'m> {
+    fn empty(module: &'m Module, config: ExecConfig) -> Self {
+        Machine {
+            module,
+            config,
+            steps: 0,
+            memory: Vec::new(),
+            global_cells: HashMap::new(),
+        }
+    }
+
+    fn init_globals(&mut self, inputs: &Inputs) -> Result<(), Fault> {
+        let module = self.module;
+        for g in &module.globals {
+            let pointee = match module.type_of(g.ty) {
+                Some(&Type::Pointer { pointee, .. }) => pointee,
+                _ => return Err(Fault::Trap(format!("global {} is not a pointer", g.id))),
+            };
+            let initial = match g.storage {
+                StorageClass::Uniform | StorageClass::Input => {
+                    let name = module
+                        .interface
+                        .uniforms
+                        .iter()
+                        .chain(&module.interface.builtins)
+                        .find(|b| b.global == g.id)
+                        .map(|b| b.name.as_str());
+                    match name.and_then(|n| inputs.get(n)) {
+                        Some(v) => v.clone(),
+                        None => self.zero_value(pointee)?,
+                    }
+                }
+                _ => match g.initializer {
+                    Some(c) => self.constant_value(c)?,
+                    None => self.zero_value(pointee)?,
+                },
+            };
+            let cell = self.alloc_cell(initial)?;
+            self.global_cells.insert(g.id, cell);
+        }
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), Fault> {
+        self.steps += 1;
+        if self.steps > self.config.step_limit {
+            Err(Fault::StepLimitExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Materialises the zero value of `ty` under this machine's value budget.
+    fn zero_value(&self, ty: Id) -> Result<Value, Fault> {
+        let mut budget = self.config.value_budget();
+        Value::zero_of_bounded(self.module, ty, &mut budget)
+    }
+
+    /// Materialises the value of constant `id` under this machine's budget.
+    fn constant_value(&self, id: Id) -> Result<Value, Fault> {
+        let mut budget = self.config.value_budget();
+        Value::of_constant_bounded(self.module, id, &mut budget)
+    }
+
+    /// Appends a memory cell, faulting when the cell budget is spent.
+    fn alloc_cell(&mut self, initial: Value) -> Result<usize, Fault> {
+        if self.memory.len() >= self.config.memory_limit {
+            return Err(Fault::MemoryLimitExceeded);
+        }
+        let cell = self.memory.len();
+        self.memory.push(initial);
+        Ok(cell)
+    }
+
+    fn run_function(
+        &mut self,
+        function: &Function,
+        args: Vec<Value>,
+        depth: u32,
+    ) -> Result<FnOutcome, Fault> {
+        if depth > self.config.call_depth_limit {
+            return Err(Fault::CallDepthExceeded);
+        }
+        let mut regs: HashMap<Id, Value> = HashMap::new();
+        if args.len() != function.params.len() {
+            return Err(Fault::Trap("call arity mismatch".into()));
+        }
+        for (param, arg) in function.params.iter().zip(args) {
+            regs.insert(param.id, arg);
+        }
+        let mut current = function.entry_label();
+        let mut previous: Option<Id> = None;
+        loop {
+            self.step()?;
+            let block = function
+                .block(current)
+                .ok_or_else(|| Fault::Trap(format!("missing block {current}")))?;
+
+            // Phis read their inputs simultaneously on entry.
+            if let Some(prev) = previous {
+                let phi_values: Vec<(Id, Value)> = block
+                    .phis()
+                    .map(|phi| {
+                        let Op::Phi { incoming } = &phi.op else { unreachable!() };
+                        let source = incoming
+                            .iter()
+                            .find(|(_, pred)| *pred == prev)
+                            .map(|(value, _)| *value)
+                            .ok_or_else(|| {
+                                Fault::Trap(format!("phi in {current} misses predecessor {prev}"))
+                            })?;
+                        let value = self.read(&regs, source)?;
+                        let result = phi
+                            .result
+                            .ok_or_else(|| Fault::Trap(format!("phi in {current} has no result")))?;
+                        Ok((result, value))
+                    })
+                    .collect::<Result<_, Fault>>()?;
+                regs.extend(phi_values);
+            } else if block.phi_count() > 0 {
+                return Err(Fault::Trap(format!("phi in entry block {current}")));
+            }
+
+            for inst in block.instructions.iter().skip(block.phi_count()) {
+                self.step()?;
+                match &inst.op {
+                    Op::Call { callee, args } => {
+                        let callee_fn = self
+                            .module
+                            .function(*callee)
+                            .ok_or_else(|| Fault::Trap(format!("missing callee {callee}")))?;
+                        let arg_values = args
+                            .iter()
+                            .map(|&a| self.read(&regs, a))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        match self.run_function(callee_fn, arg_values, depth + 1)? {
+                            FnOutcome::Killed => return Ok(FnOutcome::Killed),
+                            FnOutcome::Returned(value) => {
+                                if let Some(result) = inst.result {
+                                    regs.insert(
+                                        result,
+                                        value.unwrap_or(Value::Bool(false)),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    op => {
+                        if let Some(value) = self.eval(&mut regs, inst.ty, op)? {
+                            let result = inst
+                                .result
+                                .ok_or_else(|| Fault::Trap("value with no result id".into()))?;
+                            regs.insert(result, value);
+                        }
+                    }
+                }
+            }
+
+            match &block.terminator {
+                Terminator::Branch { target } => {
+                    previous = Some(current);
+                    current = *target;
+                }
+                Terminator::BranchConditional { cond, true_target, false_target } => {
+                    let cond = self
+                        .read(&regs, *cond)?
+                        .as_bool()
+                        .ok_or_else(|| Fault::Trap("non-bool branch condition".into()))?;
+                    previous = Some(current);
+                    current = if cond { *true_target } else { *false_target };
+                }
+                Terminator::Return => return Ok(FnOutcome::Returned(None)),
+                Terminator::ReturnValue { value } => {
+                    let value = self.read(&regs, *value)?;
+                    return Ok(FnOutcome::Returned(Some(value)));
+                }
+                Terminator::Kill => return Ok(FnOutcome::Killed),
+                Terminator::Unreachable => {
+                    return Err(Fault::Trap("executed OpUnreachable".into()))
+                }
+            }
+        }
+    }
+
+    fn read(&self, regs: &HashMap<Id, Value>, id: Id) -> Result<Value, Fault> {
+        if let Some(v) = regs.get(&id) {
+            return Ok(v.clone());
+        }
+        if self.module.constant(id).is_some() {
+            return self.constant_value(id);
+        }
+        if let Some(cell) = self.global_cells.get(&id) {
+            return Ok(Value::Pointer(Pointer { cell: *cell, path: Vec::new() }));
+        }
+        Err(Fault::Trap(format!("read of undefined id {id}")))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn eval(
+        &mut self,
+        regs: &mut HashMap<Id, Value>,
+        ty: Option<Id>,
+        op: &Op,
+    ) -> Result<Option<Value>, Fault> {
+        let value = match op {
+            Op::Nop => return Ok(None),
+            Op::Undef => {
+                // Deterministic choice: undef is the zero value.
+                let ty = ty.ok_or_else(|| Fault::Trap("undef without type".into()))?;
+                self.zero_value(ty)?
+            }
+            Op::CopyObject { src } => self.read(regs, *src)?,
+            Op::Binary { op, lhs, rhs } => {
+                let l = self.read(regs, *lhs)?;
+                let r = self.read(regs, *rhs)?;
+                eval_binary(*op, &l, &r)?
+            }
+            Op::Unary { op, src } => {
+                let v = self.read(regs, *src)?;
+                eval_unary(*op, &v)?
+            }
+            Op::Select { cond, if_true, if_false } => {
+                let c = self
+                    .read(regs, *cond)?
+                    .as_bool()
+                    .ok_or_else(|| Fault::Trap("non-bool select condition".into()))?;
+                if c {
+                    self.read(regs, *if_true)?
+                } else {
+                    self.read(regs, *if_false)?
+                }
+            }
+            Op::CompositeConstruct { parts } => Value::Composite(
+                parts
+                    .iter()
+                    .map(|&p| self.read(regs, p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Op::CompositeExtract { composite, indices } => {
+                let v = self.read(regs, *composite)?;
+                navigate(&v, indices)?.clone()
+            }
+            Op::CompositeInsert { object, composite, indices } => {
+                let mut v = self.read(regs, *composite)?;
+                let object = self.read(regs, *object)?;
+                *navigate_mut(&mut v, indices)? = object;
+                v
+            }
+            Op::Variable { initializer, .. } => {
+                let ty = ty.ok_or_else(|| Fault::Trap("variable without type".into()))?;
+                let pointee = match self.module.type_of(ty) {
+                    Some(&Type::Pointer { pointee, .. }) => pointee,
+                    _ => return Err(Fault::Trap("variable type is not a pointer".into())),
+                };
+                let initial = match initializer {
+                    Some(c) => self.constant_value(*c)?,
+                    None => self.zero_value(pointee)?,
+                };
+                let cell = self.alloc_cell(initial)?;
+                Value::Pointer(Pointer { cell, path: Vec::new() })
+            }
+            Op::AccessChain { base, indices } => {
+                let base = match self.read(regs, *base)? {
+                    Value::Pointer(p) => p,
+                    _ => return Err(Fault::Trap("access chain base is not a pointer".into())),
+                };
+                let mut path = base.path;
+                for &idx in indices {
+                    let idx = self
+                        .read(regs, idx)?
+                        .as_int()
+                        .ok_or_else(|| Fault::Trap("non-int access index".into()))?;
+                    path.push(u32::try_from(idx.max(0)).unwrap_or(0));
+                }
+                Value::Pointer(Pointer { cell: base.cell, path })
+            }
+            Op::Load { pointer } => {
+                let p = match self.read(regs, *pointer)? {
+                    Value::Pointer(p) => p,
+                    _ => return Err(Fault::Trap("load from non-pointer".into())),
+                };
+                let cell = self
+                    .memory
+                    .get(p.cell)
+                    .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
+                navigate(cell, &p.path)?.clone()
+            }
+            Op::Store { pointer, value } => {
+                let p = match self.read(regs, *pointer)? {
+                    Value::Pointer(p) => p,
+                    _ => return Err(Fault::Trap("store to non-pointer".into())),
+                };
+                let value = self.read(regs, *value)?;
+                let cell = self
+                    .memory
+                    .get_mut(p.cell)
+                    .ok_or_else(|| Fault::Trap("dangling pointer".into()))?;
+                *navigate_mut(cell, &p.path)? = value;
+                return Ok(None);
+            }
+            Op::Phi { .. } => {
+                return Err(Fault::Trap("phi executed outside block entry".into()))
+            }
+            Op::Call { .. } => unreachable!("calls handled by run_function"),
+        };
+        Ok(Some(value))
+    }
+}

@@ -1,0 +1,338 @@
+//! Cross-engine equivalence: the fast pre-decoded engine must be
+//! observationally identical to the reference stepper — same outputs, same
+//! faults, same step counts, same memory-cell counts — on arbitrary valid
+//! modules, arbitrary (including hostile) budgets, and deliberately
+//! corrupted modules that exercise the trap paths.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trx_ir::interp::{fast::CompiledModule, reference, ExecConfig};
+use trx_ir::{interp, BinOp, Id, Inputs, Module, ModuleBuilder, Op, Terminator, UnOp, Value};
+
+/// Builds a pseudo-random valid module mixing uniforms, the `frag_coord`
+/// builtin, a helper call, composites, memory traffic, selection, and a
+/// bounded phi loop whose trip count depends on a uniform.
+fn arbitrary_module(seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ModuleBuilder::new();
+
+    let t_int = b.type_int();
+    let t_float = b.type_float();
+    let t_vec2 = b.type_vector(t_float, 2);
+    let t_vec = b.type_vector(t_int, 3);
+    let t_struct = b.type_struct(vec![t_int, t_vec]);
+
+    let c0 = b.constant_int(0);
+    let c1 = b.constant_int(1);
+    let c_cap = b.constant_int(rng.gen_range(1i32..10));
+    let c_a = b.constant_int(rng.gen_range(-100i32..100));
+    let c_b = b.constant_int(rng.gen_range(-100i32..100));
+    let c_true = b.constant_bool(rng.gen_bool(0.5));
+
+    let u_k = b.uniform("k", t_int);
+    let frag = b.builtin("frag_coord", t_vec2);
+    let _priv = b.private_global(t_int, rng.gen_bool(0.5).then_some(c_a));
+
+    // Helper: int helper(int x, int y) { return x <op> y; }
+    let mut g = b.begin_function(t_int, &[t_int, t_int]);
+    let params = g.param_ids();
+    let op = [BinOp::IAdd, BinOp::ISub, BinOp::IMul, BinOp::SDiv][rng.gen_range(0usize..4)];
+    let combined = g.binary(op, t_int, params[0], params[1]);
+    g.ret_value(combined);
+    let g_id = g.finish();
+
+    let mut f = b.begin_entry_function("main");
+    let k = f.load(u_k);
+    let coord = f.load(frag);
+    let x = f.composite_extract(coord, vec![0]);
+    let xi = f.unary(UnOp::ConvertFToS, t_int, x);
+    // Bound the loop count: (|k + xi| % cap) + 1.
+    let mixed = f.iadd(t_int, k, xi);
+    let bounded = f.binary(BinOp::SRem, t_int, mixed, c_cap);
+    let chosen = f.select(t_int, c_true, bounded, c_a);
+
+    // Memory traffic through a struct-typed local.
+    let var = f.local_var(t_struct, None);
+    let elem = f.access_chain(var, vec![c0]);
+    f.store(elem, chosen);
+    let whole = f.load(var);
+    let first = f.composite_extract(whole, vec![0]);
+    let inserted = f.push(
+        t_struct,
+        Op::CompositeInsert { object: first, composite: whole, indices: vec![1, 0] },
+    );
+    let re = f.composite_extract(inserted, vec![1, 0]);
+
+    // Loop: sum += helper(i, a) for i in 0..cap.
+    let header = f.reserve_label();
+    let body = f.reserve_label();
+    let cont = f.reserve_label();
+    let merge = f.reserve_label();
+    let pre = f.current_label();
+    f.branch(header);
+
+    f.begin_block_with_label(header);
+    let i = f.phi(t_int, vec![(c0, pre), (Id::PLACEHOLDER, cont)]);
+    let sum = f.phi(t_int, vec![(re, pre), (Id::PLACEHOLDER, cont)]);
+    let cond = f.slt(i, c_cap);
+    f.loop_merge(merge, cont);
+    f.branch_cond(cond, body, merge);
+
+    f.begin_block_with_label(body);
+    let called = f.call(g_id, vec![i, c_a]);
+    let sum2 = f.iadd(t_int, sum, called);
+    f.branch(cont);
+
+    f.begin_block_with_label(cont);
+    let i2 = f.iadd(t_int, i, c1);
+    f.branch(header);
+
+    f.begin_block_with_label(merge);
+    let out = f.iadd(t_int, sum, c_b);
+    f.store_output("out", out);
+    if rng.gen_bool(0.1) {
+        f.kill();
+    } else {
+        f.ret();
+    }
+    f.finish();
+    let mut m = b.finish();
+
+    // Patch the placeholder back-edge phi inputs.
+    let f = m.functions.last_mut().unwrap();
+    let header_block = f.block_mut(header).unwrap();
+    if let Op::Phi { incoming } = &mut header_block.instructions[0].op {
+        incoming[1].0 = i2;
+    }
+    if let Op::Phi { incoming } = &mut header_block.instructions[1].op {
+        incoming[1].0 = sum2;
+    }
+    m
+}
+
+/// Deliberately damages a valid module to force one of the trap paths both
+/// engines must agree on.
+fn corrupt_module(mut m: Module, selector: u8) -> Module {
+    match selector % 6 {
+        0 => {
+            // Jump to a label no block carries.
+            if let Some(f) = m.functions.last_mut() {
+                if let Some(block) = f.blocks.first_mut() {
+                    block.terminator = Terminator::Branch { target: Id::PLACEHOLDER };
+                }
+            }
+        }
+        1 => {
+            // Call an undeclared function.
+            for f in &mut m.functions {
+                for block in &mut f.blocks {
+                    for inst in &mut block.instructions {
+                        if let Op::Call { callee, .. } = &mut inst.op {
+                            *callee = Id::PLACEHOLDER;
+                        }
+                    }
+                }
+            }
+        }
+        2 => {
+            // Strip every result id: value-producing ops must trap.
+            for f in &mut m.functions {
+                for block in &mut f.blocks {
+                    for inst in &mut block.instructions {
+                        inst.result = None;
+                    }
+                }
+            }
+        }
+        3 => {
+            // Orphan the phis: no incoming edge matches any predecessor.
+            for f in &mut m.functions {
+                for block in &mut f.blocks {
+                    for inst in &mut block.instructions {
+                        if let Op::Phi { incoming } = &mut inst.op {
+                            for (_, pred) in incoming.iter_mut() {
+                                *pred = Id::PLACEHOLDER;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        4 => {
+            // No function carries the entry point id.
+            m.entry_point = Id::PLACEHOLDER;
+        }
+        _ => {
+            // An output binding pointing at no global.
+            if let Some(binding) = m.interface.outputs.first_mut() {
+                binding.global = Id::PLACEHOLDER;
+            }
+        }
+    }
+    m
+}
+
+fn compare_engines(m: &Module, inputs: &Inputs, config: ExecConfig) -> Result<(), String> {
+    let (fast_result, fast_stats) = interp::execute_counted(m, inputs, config);
+    let (ref_result, ref_stats) = reference::execute_counted(m, inputs, config);
+    if fast_result != ref_result {
+        return Err(format!("results diverge: fast={fast_result:?} reference={ref_result:?}"));
+    }
+    if fast_stats != ref_stats {
+        return Err(format!(
+            "stats diverge ({fast_result:?}): fast={fast_stats:?} reference={ref_stats:?}"
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Valid modules under arbitrary budgets: identical outputs, faults,
+    /// step counts, and memory-cell counts.
+    #[test]
+    fn engines_agree_on_valid_modules(
+        seed in 0u64..u64::MAX,
+        k in -50i32..50,
+        step_limit in 1u64..400,
+        memory_limit in 0usize..24,
+        call_depth_limit in 0u32..4,
+        value_limit in 0u64..64,
+    ) {
+        let m = arbitrary_module(seed);
+        let inputs = Inputs::new().with("k", Value::Int(k));
+        let config = ExecConfig { step_limit, memory_limit, call_depth_limit, value_limit };
+        if let Err(msg) = compare_engines(&m, &inputs, config) {
+            return Err(format!("seed {seed}: {msg}"));
+        }
+        // Ample budgets must agree too (and typically complete).
+        if let Err(msg) = compare_engines(&m, &inputs, ExecConfig::default()) {
+            return Err(format!("seed {seed} (default config): {msg}"));
+        }
+    }
+
+    /// Corrupted modules: both engines raise the same typed trap at the
+    /// same step, whatever the corruption.
+    #[test]
+    fn engines_agree_on_corrupted_modules(
+        seed in 0u64..u64::MAX,
+        selector in 0u8..=255,
+        step_limit in 1u64..400,
+    ) {
+        let m = corrupt_module(arbitrary_module(seed), selector);
+        let inputs = Inputs::new().with("k", Value::Int(3));
+        let config = ExecConfig { step_limit, ..ExecConfig::default() };
+        if let Err(msg) = compare_engines(&m, &inputs, config) {
+            return Err(format!("seed {seed} selector {selector}: {msg}"));
+        }
+    }
+
+    /// Rendering is engine- and thread-count-invariant: the reference
+    /// per-fragment render, the fast serial render, and the fast parallel
+    /// render at several worker counts produce byte-identical images.
+    #[test]
+    fn render_is_engine_and_thread_invariant(seed in 0u64..u64::MAX, k in -20i32..20) {
+        let m = arbitrary_module(seed);
+        let inputs = Inputs::new().with("k", Value::Int(k));
+        let reference_img = reference::render(&m, &inputs, 5, 4);
+        let compiled = CompiledModule::compile(&m, ExecConfig::default());
+        let serial = compiled.render(&inputs, 5, 4);
+        prop_assert_eq!(&reference_img, &serial);
+        for threads in [2usize, 4] {
+            let parallel = compiled.render_parallel(&inputs, 5, 4, threads);
+            prop_assert_eq!(&serial, &parallel);
+        }
+    }
+}
+
+/// A deterministic straight-line + loop module for boundary pinning.
+fn boundary_module() -> Module {
+    arbitrary_module(7)
+}
+
+/// Satellite: budgets are charged at identical points, pinned at the exact
+/// exhaustion boundary. With the natural cost S, `step_limit = S` completes
+/// and `step_limit = S - 1` faults with `steps == S` in both engines.
+#[test]
+fn step_budget_boundary_is_exact() {
+    let m = boundary_module();
+    let inputs = Inputs::new().with("k", Value::Int(5));
+    let (result, stats) = interp::execute_counted(&m, &inputs, ExecConfig::default());
+    assert!(result.is_ok(), "boundary module should complete: {result:?}");
+    let natural = stats.steps;
+    assert!(natural > 2, "boundary module should take several steps");
+
+    for (limit, expect_fault) in [
+        (natural + 1, false),
+        (natural, false),
+        (natural - 1, true),
+        (natural / 2, true),
+        (1, true),
+    ] {
+        let config = ExecConfig { step_limit: limit, ..ExecConfig::default() };
+        let (fast_result, fast_stats) = interp::execute_counted(&m, &inputs, config);
+        let (ref_result, ref_stats) = reference::execute_counted(&m, &inputs, config);
+        assert_eq!(fast_result, ref_result, "limit {limit}");
+        assert_eq!(fast_stats, ref_stats, "limit {limit}");
+        if expect_fault {
+            assert_eq!(
+                fast_result.unwrap_err(),
+                trx_ir::Fault::StepLimitExceeded,
+                "limit {limit}"
+            );
+            // The fault fires on the first step past the budget.
+            assert_eq!(fast_stats.steps, limit + 1, "limit {limit}");
+        } else {
+            assert!(fast_result.is_ok(), "limit {limit}");
+            assert_eq!(fast_stats.steps, natural);
+        }
+    }
+}
+
+/// Satellite: the memory budget boundary is exact in both engines — the
+/// allocation that would exceed the limit is refused, never performed.
+#[test]
+fn memory_budget_boundary_is_exact() {
+    let m = boundary_module();
+    let inputs = Inputs::new().with("k", Value::Int(5));
+    let (result, stats) = interp::execute_counted(&m, &inputs, ExecConfig::default());
+    assert!(result.is_ok());
+    let natural = stats.memory_cells;
+    assert!(natural > 1, "boundary module should allocate cells");
+
+    for (limit, expect_fault) in [(natural, false), (natural - 1, true)] {
+        let config = ExecConfig { memory_limit: limit, ..ExecConfig::default() };
+        let (fast_result, fast_stats) = interp::execute_counted(&m, &inputs, config);
+        let (ref_result, ref_stats) = reference::execute_counted(&m, &inputs, config);
+        assert_eq!(fast_result, ref_result, "limit {limit}");
+        assert_eq!(fast_stats, ref_stats, "limit {limit}");
+        if expect_fault {
+            assert_eq!(fast_result.unwrap_err(), trx_ir::Fault::MemoryLimitExceeded);
+            assert_eq!(fast_stats.memory_cells, limit, "cells stop at the limit");
+        } else {
+            assert!(fast_result.is_ok());
+        }
+    }
+}
+
+/// A faulting fragment aborts the render identically in every engine and at
+/// every thread count: same fault, same (prefix) image behaviour.
+#[test]
+fn faulting_render_is_thread_invariant() {
+    let m = boundary_module();
+    let inputs = Inputs::new().with("k", Value::Int(5));
+    // A step budget that lets some fragments finish but not all: fragment
+    // cost varies with frag_coord.x, so some pixel in the grid trips it.
+    let (_, stats) = interp::execute_counted(&m, &inputs, ExecConfig::default());
+    let config = ExecConfig { step_limit: stats.steps + 6, ..ExecConfig::default() };
+    let compiled = CompiledModule::compile(&m, config);
+    let serial = compiled.render(&inputs, 8, 8);
+    let reference_img = reference::render_with_config(&m, &inputs, 8, 8, config);
+    assert_eq!(serial, reference_img);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(serial, compiled.render_parallel(&inputs, 8, 8, threads));
+    }
+}

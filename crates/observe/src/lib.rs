@@ -122,6 +122,18 @@ pub enum Counter {
     /// Sets recommended for manual inspection (Figure 6 greedy cover;
     /// engine-level in the pipeline: a recovered verdict emits nothing).
     DedupKept,
+    // --- interpreter / render grid ---
+    /// Interpreter steps retired (block entries plus non-phi instructions).
+    InterpInstructionsRetired,
+    /// Fragments fully executed by a render grid (the row-major prefix
+    /// before the first fault, so the count is thread-count independent).
+    FragmentsRendered,
+    /// Modules pre-decoded into a fast-engine [`CompiledModule`] form
+    /// (engine-level: caching changes how often decode runs).
+    ModulesDecoded,
+    /// Render requests served from an already-decoded module (engine-level:
+    /// a cold cache decodes instead of reusing).
+    DecodeReuses,
     // --- scheduling / wall clock (volatile) ---
     /// Jobs submitted to a worker pool.
     PoolTasks,
@@ -164,6 +176,10 @@ impl Counter {
             Counter::DedupEmptySets => "dedup_empty_sets",
             Counter::DedupSupportingExcluded => "dedup_supporting_excluded",
             Counter::DedupKept => "dedup_kept",
+            Counter::InterpInstructionsRetired => "interp_instructions_retired",
+            Counter::FragmentsRendered => "fragments_rendered",
+            Counter::ModulesDecoded => "modules_decoded",
+            Counter::DecodeReuses => "decode_reuses",
             Counter::PoolTasks => "pool_tasks",
             Counter::WatchdogTimeouts => "watchdog_timeouts",
             Counter::ProbeNanos => "probe_nanos",
@@ -187,8 +203,12 @@ impl Counter {
             | Counter::SkippedByQuarantine
             | Counter::BugsTriaged
             | Counter::DedupSetsObserved
+            | Counter::InterpInstructionsRetired
+            | Counter::FragmentsRendered
             | Counter::DedupEmptySets => Level::Logical,
             Counter::WalRecords
+            | Counter::ModulesDecoded
+            | Counter::DecodeReuses
             | Counter::DedupSupportingExcluded
             | Counter::DedupKept
             | Counter::CacheLookups
@@ -224,6 +244,8 @@ pub enum Scope {
     Reduction(usize),
     /// The transformation-type-set deduplicator.
     Dedup,
+    /// The fast interpreter's render-grid executor.
+    Render,
     /// Worker-pool scheduling.
     Pool,
 }
@@ -237,6 +259,7 @@ impl Scope {
             Scope::Campaign => "campaign".to_string(),
             Scope::Reduction(i) => format!("reduction/{i:04}"),
             Scope::Dedup => "dedup".to_string(),
+            Scope::Render => "render".to_string(),
             Scope::Pool => "pool".to_string(),
         }
     }
@@ -662,6 +685,7 @@ mod tests {
     fn scope_order_is_canonical() {
         let mut scopes = vec![
             Scope::Pool,
+            Scope::Render,
             Scope::Dedup,
             Scope::Reduction(11),
             Scope::Reduction(2),
@@ -677,6 +701,7 @@ mod tests {
                 Scope::Reduction(2),
                 Scope::Reduction(11),
                 Scope::Dedup,
+                Scope::Render,
                 Scope::Pool,
             ]
         );
@@ -722,6 +747,10 @@ mod tests {
             Counter::DedupEmptySets,
             Counter::DedupSupportingExcluded,
             Counter::DedupKept,
+            Counter::InterpInstructionsRetired,
+            Counter::FragmentsRendered,
+            Counter::ModulesDecoded,
+            Counter::DecodeReuses,
             Counter::PoolTasks,
             Counter::WatchdogTimeouts,
             Counter::ProbeNanos,

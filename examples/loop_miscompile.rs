@@ -65,10 +65,8 @@ fn main() {
 }
 
 fn print_row(label: &str, image: &interp::Image) {
-    let row: Vec<String> = image
-        .pixels
-        .iter()
-        .map(|e| match e.outputs.get("color") {
+    let row: Vec<String> = (0..image.width)
+        .map(|x| match image.output(x, 0, "color") {
             Some(Value::Int(v)) => v.to_string(),
             other => format!("{other:?}"),
         })
