@@ -167,8 +167,11 @@ fn main() {
     rows.extend(scenario_rows(&persistent, tests));
     println!("{}", render_table(&["metric", "value"], &rows));
 
-    // Preserve chaos_pipeline's section if the file already carries one.
-    let pipeline = RobustnessBaseline::load(&out).and_then(|b| b.pipeline);
+    // Preserve chaos_pipeline's and chaos_server's sections if the file
+    // already carries them.
+    let prior = RobustnessBaseline::load(&out);
+    let pipeline = prior.as_ref().and_then(|b| b.pipeline.clone());
+    let server = prior.and_then(|b| b.server);
     let baseline = RobustnessBaseline {
         tool: Tool::SpirvFuzz.name().to_owned(),
         tests,
@@ -176,6 +179,7 @@ fn main() {
         executor: config,
         scenarios: vec![chaos, persistent],
         pipeline,
+        server,
     };
     if let Err(e) = baseline.save(&out) {
         eprintln!("failed to write {out}: {e}");

@@ -356,7 +356,8 @@ fn main() {
     ];
     println!("{}", render_table(&["metric", "value"], &rows));
 
-    // Fill the pipeline section, preserving chaos_campaign's scenarios.
+    // Fill the pipeline section, preserving chaos_campaign's scenarios
+    // and chaos_server's section.
     let mut baseline = RobustnessBaseline::load(&out).unwrap_or_else(|| {
         eprintln!("note: {out} missing or unparseable; writing a skeleton (run chaos_campaign to fill the scenarios)");
         RobustnessBaseline {
@@ -366,6 +367,7 @@ fn main() {
             executor: ExecutorConfig::default(),
             scenarios: Vec::new(),
             pipeline: None,
+            server: None,
         }
     });
     baseline.pipeline = Some(section.clone());

@@ -1,0 +1,249 @@
+//! Chaos server: the triage daemon under shard slaughter.
+//!
+//! Two runs over the same batch of jobs on a multi-shard daemon. The
+//! golden run is uninterrupted. The chaos run arms a kill schedule on
+//! every job — a real panic out of the pipeline at a chosen journal
+//! append — so each shard thread dies mid-job and is replaced by its
+//! supervisor at least once (verified; the binary fails otherwise).
+//! Killed jobs restart-with-resume from their journals, and the verdict
+//! is byte equality: the chaos run's drained merged report and merged
+//! journal must be identical to the golden run's.
+//!
+//! Alongside the equivalence verdict the binary measures service-level
+//! numbers — completed jobs per second and p50/p99 job latency under
+//! chaos — and writes the `server` section of `BENCH_robustness.json`,
+//! preserving the sections owned by `chaos_campaign` and
+//! `chaos_pipeline`.
+//!
+//! Usage: `chaos_server [--jobs N] [--shards S] [--tests T] [--seed B]
+//! [--out FILE] [--golden-report FILE] [--chaos-report FILE]`
+//!
+//! `--golden-report` / `--chaos-report` additionally write each run's
+//! drained merged report to a file, so CI can `cmp` the two artifacts
+//! directly instead of trusting this binary's own verdict.
+
+use std::time::{Duration, Instant};
+
+use trx_bench::robustness::{RobustnessBaseline, ServerBaseline};
+use trx_bench::{arg_string, arg_u64, arg_usize, render_table};
+use trx_harness::campaign::Tool;
+use trx_harness::executor::ExecutorConfig;
+use trx_observe::SinkHandle;
+use trx_server::{Daemon, DaemonConfig, InProcessClient, JobPhase, JobSpec, Request, Response};
+use trx_targets::catalog;
+
+fn fail(message: &str) -> ! {
+    eprintln!("FAIL: {message}");
+    std::process::exit(1);
+}
+
+struct RunOutcome {
+    merged_report: String,
+    merged_journal: String,
+    shard_deaths: Vec<u64>,
+    resume_replays: u64,
+    quarantined: u64,
+    latencies: Vec<Duration>,
+    elapsed: Duration,
+}
+
+/// Submits `specs` to a fresh daemon, polls every job to completion
+/// (recording per-job admission-to-done latency), then drains.
+fn run_batch(config: DaemonConfig, specs: &[JobSpec]) -> RunOutcome {
+    let daemon = Daemon::start(config, SinkHandle::noop());
+    let mut client = InProcessClient::connect(daemon);
+    let started = Instant::now();
+    let mut submitted = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        match client.request(&Request::Submit(spec.clone())) {
+            Response::Accepted { job } => {
+                if job != i as u64 {
+                    fail(&format!("job ids drifted: expected {i}, got {job}"));
+                }
+                submitted.push(Instant::now());
+            }
+            other => fail(&format!("submit {i} refused: {other:?}")),
+        }
+    }
+
+    // Poll all jobs round-robin, recording the first time each is seen
+    // terminal. Coarse (one poll loop per millisecond) but unbiased: every
+    // job is visited each sweep.
+    let mut done_at: Vec<Option<Instant>> = vec![None; specs.len()];
+    while done_at.iter().any(Option::is_none) {
+        for (i, slot) in done_at.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            match client.request(&Request::Status { job: i as u64 }) {
+                Response::Status(status) => {
+                    if matches!(status.phase, JobPhase::Done | JobPhase::Quarantined) {
+                        *slot = Some(Instant::now());
+                    }
+                }
+                other => fail(&format!("status {i} failed: {other:?}")),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let elapsed = started.elapsed();
+
+    let (shard_deaths, resume_replays, quarantined) = match client.request(&Request::Stats) {
+        Response::Stats(stats) => (stats.shard_deaths, stats.resume_replays, stats.quarantined),
+        other => fail(&format!("stats failed: {other:?}")),
+    };
+    let (merged_report, merged_journal) = match client.request(&Request::Drain) {
+        Response::Drained { merged_report, merged_journal } => (merged_report, merged_journal),
+        other => fail(&format!("drain failed: {other:?}")),
+    };
+    let latencies = submitted
+        .iter()
+        .zip(&done_at)
+        .map(|(s, d)| d.expect("all jobs terminal") - *s)
+        .collect();
+    RunOutcome {
+        merged_report,
+        merged_journal,
+        shard_deaths,
+        resume_replays,
+        quarantined,
+        latencies,
+        elapsed,
+    }
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1000.0
+}
+
+fn main() {
+    let jobs = arg_usize("--jobs", 200).max(1);
+    let shards = arg_usize("--shards", 2).max(2);
+    let tests = arg_usize("--tests", 6).max(1);
+    let seed = arg_u64("--seed", 0);
+    let out = arg_string("--out", "BENCH_robustness.json");
+    let golden_report = arg_string("--golden-report", "");
+    let chaos_report = arg_string("--chaos-report", "");
+
+    let config = DaemonConfig {
+        shards,
+        queue_capacity: jobs,
+        ..DaemonConfig::default()
+    };
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| JobSpec {
+            tests,
+            ..JobSpec::small(seed.wrapping_add(i as u64))
+        })
+        .collect();
+
+    // Injected kills are real panics on shard threads; silence the default
+    // hook's backtrace spam (each death is accounted for in the stats).
+    std::panic::set_hook(Box::new(|_| {}));
+
+    eprintln!("golden run: {jobs} jobs x {tests} tests on {shards} shards ...");
+    let golden = run_batch(config, &specs);
+    if golden.shard_deaths.iter().any(|&d| d > 0) {
+        fail("the golden run killed a shard — the clean pipeline panicked");
+    }
+    if golden.quarantined > 0 {
+        fail("the golden run quarantined a job");
+    }
+
+    // Chaos schedule: every job kills its shard exactly once, at an append
+    // index staggered across jobs so deaths land in different pipeline
+    // stages. One kill per job stays far inside the restart budget — a
+    // quarantine would (correctly) break byte-equivalence.
+    let chaos_specs: Vec<JobSpec> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| JobSpec {
+            kill_at_appends: vec![1 + (i % 5)],
+            ..spec.clone()
+        })
+        .collect();
+    eprintln!("chaos run: killing every job's shard once mid-job ...");
+    let chaos = run_batch(config, &chaos_specs);
+    let _ = std::panic::take_hook();
+
+    let total_deaths: u64 = chaos.shard_deaths.iter().sum();
+    if chaos.shard_deaths.contains(&0) {
+        fail(&format!(
+            "a shard survived the chaos run unkilled (deaths per shard: {:?}); \
+             every shard must recover from at least one mid-job death",
+            chaos.shard_deaths
+        ));
+    }
+    if chaos.quarantined > 0 {
+        fail("the chaos run quarantined a job; equivalence is not meaningful");
+    }
+
+    let equivalent = chaos.merged_report == golden.merged_report
+        && chaos.merged_journal == golden.merged_journal;
+
+    for (path, report) in [(&golden_report, &golden), (&chaos_report, &chaos)] {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(path, format!("{}\n", report.merged_report)) {
+                fail(&format!("cannot write {path}: {e}"));
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+
+    let mut sorted = chaos.latencies.clone();
+    sorted.sort_unstable();
+    let section = ServerBaseline {
+        shards,
+        jobs,
+        tests_per_job: tests,
+        shard_deaths: chaos.shard_deaths.clone(),
+        resume_replays: chaos.resume_replays,
+        quarantined: chaos.quarantined,
+        jobs_per_second: jobs as f64 / chaos.elapsed.as_secs_f64(),
+        p50_latency_ms: percentile_ms(&sorted, 0.50),
+        p99_latency_ms: percentile_ms(&sorted, 0.99),
+        equivalent,
+    };
+
+    let rows = vec![
+        vec!["jobs completed".to_owned(), jobs.to_string()],
+        vec!["shards".to_owned(), shards.to_string()],
+        vec!["shard deaths (chaos)".to_owned(), format!("{:?}", section.shard_deaths)],
+        vec!["resume replays".to_owned(), section.resume_replays.to_string()],
+        vec!["jobs/second (chaos)".to_owned(), format!("{:.1}", section.jobs_per_second)],
+        vec!["p50 latency (ms)".to_owned(), format!("{:.1}", section.p50_latency_ms)],
+        vec!["p99 latency (ms)".to_owned(), format!("{:.1}", section.p99_latency_ms)],
+        vec!["merged artifacts equivalent".to_owned(), equivalent.to_string()],
+    ];
+    println!("{}", render_table(&["metric", "value"], &rows));
+
+    // Fill the server section, preserving the other binaries' sections.
+    let mut baseline = RobustnessBaseline::load(&out).unwrap_or_else(|| {
+        eprintln!(
+            "note: {out} missing or unparseable; writing a skeleton (run chaos_campaign and \
+             chaos_pipeline to fill the other sections)"
+        );
+        RobustnessBaseline {
+            tool: Tool::SpirvFuzz.name().to_owned(),
+            tests: 0,
+            targets: catalog::all_targets().iter().map(|t| t.name().to_owned()).collect(),
+            executor: ExecutorConfig::default(),
+            scenarios: Vec::new(),
+            pipeline: None,
+            server: None,
+        }
+    });
+    baseline.server = Some(section);
+    if let Err(e) = baseline.save(&out) {
+        fail(&format!("failed to write {out}: {e}"));
+    }
+    eprintln!("wrote {out} ({total_deaths} shard deaths recovered)");
+
+    if !equivalent {
+        fail("chaos-run merged artifacts diverged from the uninterrupted run");
+    }
+}

@@ -100,4 +100,5 @@ pub fn accumulate(total: &mut EngineStats, delta: &EngineStats) {
     total.memo_hits += delta.memo_hits;
     total.speculative_probes += delta.speculative_probes;
     total.speculative_hits += delta.speculative_hits;
+    total.speculative_throttles += delta.speculative_throttles;
 }

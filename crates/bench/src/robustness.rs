@@ -76,6 +76,35 @@ pub struct PipelineBaseline {
     pub torn_tail_recovered: bool,
 }
 
+/// Metrics for the triage daemon under shard chaos (`chaos_server`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerBaseline {
+    /// Shard workers the daemon ran.
+    pub shards: usize,
+    /// Jobs submitted (and completed) per run.
+    pub jobs: usize,
+    /// Campaign tests per job.
+    pub tests_per_job: usize,
+    /// Per-shard death count during the chaos run (index = shard id).
+    /// Every entry must be at least 1: the schedule kills every shard
+    /// mid-job at least once.
+    pub shard_deaths: Vec<u64>,
+    /// Journal records replayed across all restart-with-resume cycles.
+    pub resume_replays: u64,
+    /// Jobs the circuit breaker quarantined (must be 0 for the
+    /// equivalence verdict to be meaningful).
+    pub quarantined: u64,
+    /// Completed jobs per second of chaos-run wall clock.
+    pub jobs_per_second: f64,
+    /// Median job latency (admission to completion), milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile job latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Whether the chaos run's drained merged report and journal are
+    /// byte-identical to the uninterrupted run's.
+    pub equivalent: bool,
+}
+
 /// The machine-readable robustness baseline (`BENCH_robustness.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RobustnessBaseline {
@@ -92,6 +121,9 @@ pub struct RobustnessBaseline {
     /// Triage-pipeline results (written by `chaos_pipeline`; `null` until
     /// that binary has run).
     pub pipeline: Option<PipelineBaseline>,
+    /// Triage-daemon results (written by `chaos_server`; `null` until
+    /// that binary has run).
+    pub server: Option<ServerBaseline>,
 }
 
 impl RobustnessBaseline {

@@ -334,6 +334,100 @@ pub(crate) fn attempt_classify<T: TestTarget + ?Sized>(
     }
 }
 
+/// The fixed reference side of one reduction's interestingness probes.
+///
+/// Every probe of a reduction cross-checks the same `(original module,
+/// inputs)` pair, yet [`attempt_classify`] re-prepares and re-executes the
+/// reference — a fresh module decode and interpreter run per probe. The
+/// reference path is deterministic by contract ([`TestTarget::
+/// execute_reference`] stays clean even under fault injection), so its
+/// result can be computed once per reduction and replayed from memory.
+///
+/// The first fill happens under the lock, so concurrent speculative probes
+/// still produce exactly one execution — keeping the engine-level
+/// `modules_decoded`/`decode_reuses` counters thread-invariant.
+pub(crate) struct ReferenceOracle {
+    /// The already-prepared (tool-encoded and re-decoded) reference module.
+    module: Module,
+    inputs: Inputs,
+    result: std::sync::Mutex<Option<TargetResult>>,
+}
+
+impl ReferenceOracle {
+    /// Prepares the reference side of a reduction's probes: `original` is
+    /// the unreduced context the variant is cross-checked against.
+    pub(crate) fn new(tool: Tool, original: &Context) -> Self {
+        ReferenceOracle {
+            module: module_for_target(tool, &original.module),
+            inputs: original.inputs.clone(),
+            result: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// The reference execution result, computed on first use and replayed
+    /// from memory afterwards. Counters: one `ModulesDecoded` per fill, one
+    /// `DecodeReuses` per replay, both under `scope`.
+    fn result<T: TestTarget + ?Sized>(
+        &self,
+        target: &T,
+        observe: &SinkHandle,
+        scope: Scope,
+    ) -> TargetResult {
+        let mut slot = self
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(cached) = slot.as_ref() {
+            observe.count(scope, Counter::DecodeReuses, 1);
+            return cached.clone();
+        }
+        let result = target.execute_reference(&self.module, &self.inputs);
+        observe.count(scope, Counter::ModulesDecoded, 1);
+        *slot = Some(result.clone());
+        result
+    }
+}
+
+/// [`attempt_classify`] with the reference side served from a
+/// per-reduction [`ReferenceOracle`] instead of re-executed per probe. The
+/// variant still runs live every time — only the fixed reference half is
+/// cached, so the verdict stream is identical to the uncached oracle.
+pub(crate) fn attempt_classify_cached<T: TestTarget + ?Sized>(
+    tool: Tool,
+    target: &T,
+    reference: &ReferenceOracle,
+    variant_module: &Module,
+    observe: &SinkHandle,
+    scope: Scope,
+) -> Attempt {
+    let run = || {
+        let prepared_variant = module_for_target(tool, variant_module);
+        match target.execute(&prepared_variant, &reference.inputs) {
+            TargetResult::RuntimeFault(Fault::StepLimitExceeded) => Attempt::Hang,
+            TargetResult::CompilerCrash(signature) => {
+                Attempt::Signature(Some(BugSignature::Crash(signature)))
+            }
+            TargetResult::RuntimeFault(fault) => Attempt::Signature(Some(
+                BugSignature::Crash(format!("runtime fault: {fault}")),
+            )),
+            TargetResult::Executed(variant_result) => {
+                match reference.result(target, observe, scope) {
+                    TargetResult::RuntimeFault(Fault::StepLimitExceeded) => Attempt::Hang,
+                    TargetResult::Executed(original_result) => Attempt::Signature(
+                        (original_result != variant_result)
+                            .then_some(BugSignature::Miscompilation),
+                    ),
+                    _ => Attempt::Signature(None),
+                }
+            }
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(attempt) => attempt,
+        Err(payload) => Attempt::Panicked(panic_message(payload)),
+    }
+}
+
 /// How one `(test, target)` cell resolved after retries and confirmation.
 enum CellResolution {
     /// The target was quarantined before this batch started.

@@ -87,7 +87,8 @@ use crate::campaign::{module_for_target, try_generate_test, BugSignature, Tool};
 use crate::corpus::donor_modules;
 use crate::errors::HarnessError;
 use crate::executor::{
-    attempt_classify, resume_campaign_observed, Attempt, CampaignCheckpoint, ExecutorConfig,
+    attempt_classify_cached, resume_campaign_observed, Attempt, CampaignCheckpoint,
+    ExecutorConfig, ReferenceOracle,
     ResilientOutcome,
 };
 use crate::watchdog::{supervise_observed, WatchdogConfig, WatchdogOutcome};
@@ -490,21 +491,31 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     let watchdog = config.watchdog;
     let target_index = bug.target_index;
     let probe_targets = Arc::clone(targets);
-    let probe_original = original.clone();
-    let probe_inputs = original.inputs.clone();
     let probe_signature = bug.signature.clone();
     let scope = Scope::Reduction(bug_index);
     let probe_sink = observe.clone();
+    // The reference side of every probe is the same (original, inputs)
+    // pair; the oracle prepares it once and caches its execution, so each
+    // probe only pays for the variant run (the decode-reuse counters make
+    // the saving observable).
+    let probe_reference = Arc::new(ReferenceOracle::new(tool, &original));
     // Each probe ships owned clones onto the watchdog's worker thread; at
     // triage scale (one reduction per distinct signature) the clone cost
     // is noise next to the execution itself.
     let probe = move |variant: &Context| -> Result<bool, ProbeFault> {
         let targets = Arc::clone(&probe_targets);
-        let original = probe_original.clone();
+        let reference = Arc::clone(&probe_reference);
         let variant_module = variant.module.clone();
-        let inputs = probe_inputs.clone();
+        let observe = probe_sink.clone();
         let outcome = supervise_observed(watchdog, &probe_sink, scope, move || {
-            attempt_classify(tool, &targets[target_index], &original, &variant_module, &inputs)
+            attempt_classify_cached(
+                tool,
+                &targets[target_index],
+                &reference,
+                &variant_module,
+                &observe,
+                scope,
+            )
         });
         match outcome {
             WatchdogOutcome::Completed(Attempt::Signature(signature)) => {

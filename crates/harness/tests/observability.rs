@@ -146,6 +146,27 @@ fn metrics_section_agrees_with_live_counters_on_a_fresh_run() {
 }
 
 #[test]
+fn probe_reference_cache_decodes_once_per_reduction() {
+    let config = small_config();
+    let (report, snap, _) = run_recorded(&config, &clean_targets());
+
+    // Each reduction's probes share one ReferenceOracle: at most one
+    // reference execution (fill) per bug, no matter how many probes ran,
+    // and crash reductions — whose variants never execute cleanly — fill
+    // nothing at all.
+    let decoded = snap.reduction_total(Counter::ModulesDecoded);
+    let reused = snap.reduction_total(Counter::DecodeReuses);
+    assert!(
+        decoded <= report.bugs.len() as u64,
+        "{decoded} reference fills for {} reductions — the per-reduction cache is not caching",
+        report.bugs.len()
+    );
+    // Miscompilation probes consult the reference on every clean-variant
+    // run, so reuses must dominate fills on this workload.
+    assert!(reused > decoded, "probes barely reused the cached reference: {reused} reuses vs {decoded} fills");
+}
+
+#[test]
 fn serial_and_parallel_runs_record_identical_deterministic_snapshots() {
     let serial = small_config();
     let parallel = PipelineConfig { reduction_threads: 4, ..small_config() };

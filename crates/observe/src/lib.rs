@@ -94,6 +94,9 @@ pub enum Counter {
     SpeculativeLaunches,
     /// Speculative probes whose results were consumed by the search.
     SpeculativeHits,
+    /// Speculative prefetches skipped because the observed prefix-cache hit
+    /// rate fell below the configured threshold.
+    SpeculativeThrottles,
     // --- campaign executor (logical) ---
     /// Target incidents recorded in the error ledger.
     Incidents,
@@ -134,7 +137,25 @@ pub enum Counter {
     /// Render requests served from an already-decoded module (engine-level:
     /// a cold cache decodes instead of reusing).
     DecodeReuses,
+    // --- triage daemon ---
+    /// Jobs accepted into the daemon's admission queue.
+    JobsAdmitted,
+    /// Jobs that reached a terminal state (finished or quarantined).
+    JobsCompleted,
+    /// Shard deaths answered by a restart-with-resume (engine-level: the
+    /// count follows the fault schedule, not the logical workload).
+    ShardRestarts,
+    /// Journal records replayed while resuming jobs after shard deaths
+    /// (engine-level: an uninterrupted run replays nothing).
+    ResumeReplays,
+    /// Jobs quarantined by the circuit breaker after repeatedly killing
+    /// their shard (engine-level: follows the fault schedule).
+    JobsQuarantined,
     // --- scheduling / wall clock (volatile) ---
+    /// Jobs rejected with an `Overloaded` reply by admission control.
+    JobsShed,
+    /// Duration series: wall time from job admission to terminal state.
+    JobLatencyNanos,
     /// Jobs submitted to a worker pool.
     PoolTasks,
     /// Probes killed by the watchdog deadline.
@@ -165,6 +186,7 @@ impl Counter {
             Counter::LiveProbes => "live_probes",
             Counter::SpeculativeLaunches => "speculative_launches",
             Counter::SpeculativeHits => "speculative_hits",
+            Counter::SpeculativeThrottles => "speculative_throttles",
             Counter::Incidents => "incidents",
             Counter::Retries => "retries",
             Counter::QuarantinedTargets => "quarantined_targets",
@@ -180,6 +202,13 @@ impl Counter {
             Counter::FragmentsRendered => "fragments_rendered",
             Counter::ModulesDecoded => "modules_decoded",
             Counter::DecodeReuses => "decode_reuses",
+            Counter::JobsAdmitted => "jobs_admitted",
+            Counter::JobsCompleted => "jobs_completed",
+            Counter::ShardRestarts => "shard_restarts",
+            Counter::ResumeReplays => "resume_replays",
+            Counter::JobsQuarantined => "jobs_quarantined",
+            Counter::JobsShed => "jobs_shed",
+            Counter::JobLatencyNanos => "job_latency_nanos",
             Counter::PoolTasks => "pool_tasks",
             Counter::WatchdogTimeouts => "watchdog_timeouts",
             Counter::ProbeNanos => "probe_nanos",
@@ -205,6 +234,8 @@ impl Counter {
             | Counter::DedupSetsObserved
             | Counter::InterpInstructionsRetired
             | Counter::FragmentsRendered
+            | Counter::JobsAdmitted
+            | Counter::JobsCompleted
             | Counter::DedupEmptySets => Level::Logical,
             Counter::WalRecords
             | Counter::ModulesDecoded
@@ -219,8 +250,14 @@ impl Counter {
             | Counter::MemoHits
             | Counter::LiveProbes
             | Counter::SpeculativeLaunches
-            | Counter::SpeculativeHits => Level::Engine,
+            | Counter::SpeculativeHits
+            | Counter::SpeculativeThrottles
+            | Counter::ShardRestarts
+            | Counter::ResumeReplays
+            | Counter::JobsQuarantined => Level::Engine,
             Counter::PoolTasks
+            | Counter::JobsShed
+            | Counter::JobLatencyNanos
             | Counter::WatchdogTimeouts
             | Counter::ProbeNanos
             | Counter::ReductionNanos
@@ -248,6 +285,8 @@ pub enum Scope {
     Render,
     /// Worker-pool scheduling.
     Pool,
+    /// The triage daemon's supervisor and admission control.
+    Server,
 }
 
 impl Scope {
@@ -261,6 +300,7 @@ impl Scope {
             Scope::Dedup => "dedup".to_string(),
             Scope::Render => "render".to_string(),
             Scope::Pool => "pool".to_string(),
+            Scope::Server => "server".to_string(),
         }
     }
 }
@@ -684,6 +724,7 @@ mod tests {
     #[test]
     fn scope_order_is_canonical() {
         let mut scopes = vec![
+            Scope::Server,
             Scope::Pool,
             Scope::Render,
             Scope::Dedup,
@@ -703,6 +744,7 @@ mod tests {
                 Scope::Dedup,
                 Scope::Render,
                 Scope::Pool,
+                Scope::Server,
             ]
         );
         // Zero-padded rendering keeps lexical order aligned with Ord order.
@@ -736,6 +778,7 @@ mod tests {
             Counter::LiveProbes,
             Counter::SpeculativeLaunches,
             Counter::SpeculativeHits,
+            Counter::SpeculativeThrottles,
             Counter::Incidents,
             Counter::Retries,
             Counter::QuarantinedTargets,
@@ -751,6 +794,13 @@ mod tests {
             Counter::FragmentsRendered,
             Counter::ModulesDecoded,
             Counter::DecodeReuses,
+            Counter::JobsAdmitted,
+            Counter::JobsCompleted,
+            Counter::ShardRestarts,
+            Counter::ResumeReplays,
+            Counter::JobsQuarantined,
+            Counter::JobsShed,
+            Counter::JobLatencyNanos,
             Counter::PoolTasks,
             Counter::WatchdogTimeouts,
             Counter::ProbeNanos,

@@ -180,6 +180,9 @@ pub struct EngineStats {
     /// Speculative probe outcomes actually consumed as query verdicts
     /// (the rest were discarded as stale).
     pub speculative_hits: u64,
+    /// Speculative batches suppressed by the cache hit-rate throttle
+    /// ([`ReducerOptions::speculation_min_hit_permille`]).
+    pub speculative_throttles: u64,
 }
 
 /// The outcome of a reduction.
@@ -240,6 +243,16 @@ pub struct ReducerOptions {
     /// 0 means "match the worker pool's thread count"; 1 disables
     /// speculation. Ignored by the serial entry points.
     pub speculation: usize,
+    /// Prefix-cache hit-rate floor, in permille (0–1000), below which new
+    /// speculative batches stop launching. Speculative probing replays
+    /// candidate prefixes eagerly, and when those replays keep missing the
+    /// cache they thrash the LRU edge budget for no benefit; this throttle
+    /// keys launch decisions off the observed hit rate (the same numbers
+    /// the `cache_lookups`/`cache_hits` counters report). 0 disables the
+    /// throttle. The throttle only suppresses *prefetch* — verdicts are
+    /// still adopted in canonical order — so reduction output is
+    /// byte-identical at any setting.
+    pub speculation_min_hit_permille: u32,
 }
 
 impl ReducerOptions {
@@ -272,6 +285,7 @@ impl Default for ReducerOptions {
             prefix_cache_budget: 256,
             memoize_verdicts: false,
             speculation: 1,
+            speculation_min_hit_permille: 0,
         }
     }
 }
@@ -599,6 +613,11 @@ where
 }
 
 /// [`ReducerOptions`] resolved into the engine's operating parameters.
+/// Prefix-cache lookups observed before the speculation hit-rate throttle
+/// may fire: a cold cache starts at a 0% hit rate, so the floor is only
+/// meaningful once the rate is measurable.
+const SPECULATION_WARMUP_LOOKUPS: u64 = 32;
+
 struct Resolved {
     max_tests: usize,
     votes: u32,
@@ -608,6 +627,7 @@ struct Resolved {
     /// `memoize_verdicts` is only sound for 1-of-1 voting (a memo entry is
     /// one probe verdict, not a vote tally), so it is resolved against it.
     memoize: bool,
+    speculation_min_hit_permille: u32,
 }
 
 /// The prefix-memoized reduction engine: one reduction run's state.
@@ -622,6 +642,8 @@ struct Engine<'a, P, R, S> {
     /// Probes that reached the live oracle (neither replayed, memoized,
     /// nor satisfied by a speculative hint).
     live_probes: u64,
+    /// Speculative batches suppressed by the hit-rate throttle.
+    speculative_throttles: u64,
     original: &'a Context,
     /// The full sequence's already-materialized context, when the caller
     /// has one (the fuzzer's variant): the initial interestingness check
@@ -668,10 +690,12 @@ where
                 poison_retries: options.poison_retries.max(1),
                 shrink_added_functions: options.shrink_added_functions,
                 memoize: options.memoize_verdicts && votes == 1,
+                speculation_min_hit_permille: options.speculation_min_hit_permille,
             },
             sink,
             scope,
             live_probes: 0,
+            speculative_throttles: 0,
             original,
             initial,
             cache,
@@ -834,6 +858,23 @@ where
         // not re-invoke the probe at all.
         if self.replay_pos < self.prior.records.len() {
             return;
+        }
+        // Hit-rate throttle: once the cache has warmed up, a hit rate below
+        // the configured floor means speculative replays are thrashing the
+        // LRU edge budget — stop launching new batches until it recovers.
+        // Suppressing prefetch never changes verdicts, only who computes
+        // them, so the reduction output stays byte-identical.
+        if self.opts.speculation_min_hit_permille > 0 {
+            let cache = self.cache.stats();
+            if cache.lookups >= SPECULATION_WARMUP_LOOKUPS
+                && cache.hits.saturating_mul(1000)
+                    < cache
+                        .lookups
+                        .saturating_mul(u64::from(self.opts.speculation_min_hit_permille))
+            {
+                self.speculative_throttles += 1;
+                return;
+            }
         }
         let width = self.speculation.width();
         let mut jobs = Vec::new();
@@ -1012,6 +1053,7 @@ where
             memo_hits: self.memo_hits,
             speculative_probes,
             speculative_hits,
+            speculative_throttles: self.speculative_throttles,
         };
         if self.sink.enabled() {
             let scope = self.scope;
@@ -1033,6 +1075,7 @@ where
             self.sink.count(scope, Counter::LiveProbes, self.live_probes);
             self.sink.count(scope, Counter::SpeculativeLaunches, engine.speculative_probes);
             self.sink.count(scope, Counter::SpeculativeHits, engine.speculative_hits);
+            self.sink.count(scope, Counter::SpeculativeThrottles, engine.speculative_throttles);
         }
         JournaledReduction {
             reduction: Reduction { sequence, context, stats: self.stats, engine },

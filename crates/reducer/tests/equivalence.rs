@@ -464,3 +464,75 @@ fn memo_skips_live_probes_for_repeat_contexts() {
     );
     assert_eq!(memo_metrics.total(Counter::TestsRun), plain_metrics.total(Counter::TestsRun));
 }
+
+/// The speculation hit-rate throttle suppresses prefetch launches (and the
+/// eviction churn they cause) when the prefix cache keeps missing, without
+/// moving a single byte of the reduction output.
+#[test]
+fn speculation_throttle_suppresses_launches_without_changing_bytes() {
+    let original = base_context();
+    let genes: Vec<u8> = (0..28u8).map(|i| [1, 2, 3, 0][usize::from(i) % 4]).collect();
+    let sequence = decode(&original, &genes);
+    let needed = {
+        let mut full = original.clone();
+        trx_core::apply_sequence(&mut full, &sequence);
+        full.module.constants.len()
+    };
+    let probe =
+        move |ctx: &Context| -> Result<bool, ProbeFault> { Ok(ctx.module.constants.len() >= needed) };
+    // Budget 1 keeps the hit rate on the floor, so a speculative run
+    // thrashes the cache — exactly the pathology the throttle targets.
+    let run = |min_hit_permille: u32| {
+        let (sink, handle) = recording();
+        let out = with_pool(3, |pool| {
+            Reducer::new(ReducerOptions {
+                shrink_added_functions: false,
+                prefix_cache_budget: 1,
+                speculation: 4,
+                speculation_min_hit_permille: min_hit_permille,
+                ..ReducerOptions::default()
+            })
+            .with_sink(handle, Scope::Reduction(0))
+            .reduce_speculative(&original, &sequence, &ReductionLog::new(), probe, |_, _| {}, pool)
+        });
+        (out, sink.snapshot())
+    };
+    let (free, free_metrics) = run(0);
+    // A floor above 1000 permille can never be satisfied: every post-warmup
+    // batch is suppressed, which pins the throttle's worst case.
+    let (throttled, throttled_metrics) = run(1001);
+
+    assert_eq!(free.log, throttled.log, "throttle must not change the journal");
+    assert_eq!(free.reduction.sequence, throttled.reduction.sequence);
+    assert_eq!(free.reduction.stats, throttled.reduction.stats);
+    assert_eq!(free.reduction.context.module, throttled.reduction.context.module);
+
+    assert!(
+        throttled.reduction.engine.speculative_throttles > 0,
+        "throttle never fired on a thrashing cache"
+    );
+    assert!(
+        throttled.reduction.engine.speculative_probes
+            < free.reduction.engine.speculative_probes,
+        "throttle suppressed no launches: {} vs {}",
+        throttled.reduction.engine.speculative_probes,
+        free.reduction.engine.speculative_probes,
+    );
+    assert!(
+        throttled.reduction.engine.cache.evictions < free.reduction.engine.cache.evictions,
+        "throttle saved no evictions: {} vs {}",
+        throttled.reduction.engine.cache.evictions,
+        free.reduction.engine.cache.evictions,
+    );
+    // The recorded counters agree with the engine's own statistics.
+    assert_eq!(
+        throttled_metrics.total(Counter::SpeculativeThrottles),
+        throttled.reduction.engine.speculative_throttles
+    );
+    assert_eq!(free_metrics.total(Counter::SpeculativeThrottles), 0);
+    assert_eq!(
+        logical_counters(&free_metrics),
+        logical_counters(&throttled_metrics),
+        "logical counters must not see the throttle"
+    );
+}

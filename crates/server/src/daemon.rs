@@ -1,0 +1,569 @@
+//! The triage daemon: a supervised, sharded campaign service.
+//!
+//! # Supervision tree
+//!
+//! [`Daemon::start`] spawns `shards` worker threads. Each shard claims
+//! jobs from a bounded admission queue and runs one full triage pipeline
+//! per job ([`trx_harness::pipeline::run_pipeline_observed`]) under
+//! [`std::panic::catch_unwind`]. Every WAL record the pipeline emits is
+//! appended to the job's in-memory journal *before* anything can kill the
+//! shard, so the journal is always a valid resume prefix — the same
+//! write-ahead discipline the on-disk pipeline uses.
+//!
+//! A panic that escapes a job (injected by a chaos schedule or a real
+//! defect) counts as a **shard death**: the dying thread performs the
+//! supervisor bookkeeping — records the death, applies the restart policy
+//! to the job it was running, spawns its own replacement thread — and
+//! exits. The replacement re-claims queued work, and a restarted job
+//! resumes from its journal prefix, which the PR 2 recovery contract
+//! guarantees is byte-identical to never having died.
+//!
+//! # Restart policy
+//!
+//! Restarts are bounded per job: each death charges the job one restart
+//! and a *logical* exponential backoff (`backoff_base_ms << (restarts-1)`,
+//! recorded rather than slept — the executor's determinism discipline).
+//! A job that kills its shard more than [`DaemonConfig::max_restarts`]
+//! times is circuit-broken into [`JobPhase::Quarantined`]: its journal is
+//! kept for post-mortem, the shard pool stops retrying it, and the rest of
+//! the queue keeps flowing.
+//!
+//! # Backpressure and drain
+//!
+//! Admission is a bounded queue: past `queue_capacity` waiting jobs, new
+//! submissions get a typed [`Response::Overloaded`] instead of unbounded
+//! growth. [`Daemon::drain`] closes admission, lets in-flight and queued
+//! jobs finish, and merges every job's report and journal **in job-id
+//! order** — so a drained daemon's merged artifacts are byte-identical to
+//! an uninterrupted run's, no matter how many shards died along the way.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use trx_harness::pipeline::{run_pipeline_observed, Journal, PipelineConfig, PipelineReport};
+use trx_harness::{ExecutorConfig, Tool, WatchdogConfig};
+use trx_observe::{Counter, Scope, SinkHandle};
+use trx_reducer::ReducerOptions;
+use trx_targets::{catalog, FaultPlan, FaultyTarget};
+
+use crate::wire::{
+    DaemonStats, JobPhase, JobSpec, JobStatus, Request, Response,
+};
+
+/// Tuning knobs for [`Daemon::start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonConfig {
+    /// Concurrent shard workers. Each runs one job at a time.
+    pub shards: usize,
+    /// Jobs that may wait in the admission queue before submissions are
+    /// shed with [`Response::Overloaded`].
+    pub queue_capacity: usize,
+    /// Shard deaths one job may cause before the circuit breaker
+    /// quarantines it.
+    pub max_restarts: u32,
+    /// Base of the logical exponential backoff charged per restart, in
+    /// milliseconds (recorded, not slept).
+    pub backoff_base_ms: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            shards: 2,
+            queue_capacity: 64,
+            max_restarts: 3,
+            backoff_base_ms: 10,
+        }
+    }
+}
+
+/// One job's report slot in the merged drain artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedJob {
+    /// The job id.
+    pub job: u64,
+    /// Whether the circuit breaker quarantined the job.
+    pub quarantined: bool,
+    /// The pipeline report; `None` for quarantined jobs.
+    pub report: Option<PipelineReport>,
+}
+
+/// Every job's outcome, in job-id order. Serialisation is deterministic:
+/// two drains over the same admitted job set render bit-identical JSON
+/// regardless of shard scheduling or deaths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedReport {
+    /// Jobs in id (admission) order.
+    pub jobs: Vec<MergedJob>,
+}
+
+impl MergedReport {
+    /// Deterministic pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses what [`MergedReport::to_json`] wrote.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// One admitted job's full state.
+struct Job {
+    spec: JobSpec,
+    phase: JobPhase,
+    /// Encoded WAL lines appended so far — the durable resume prefix.
+    journal: Vec<String>,
+    /// Kill points already consumed from `spec.kill_at_appends`.
+    kills_fired: usize,
+    restarts: u32,
+    backoff_ms: u64,
+    report: Option<PipelineReport>,
+    error: Option<String>,
+    admitted_at: Instant,
+}
+
+/// Mutable daemon state behind the one lock.
+struct State {
+    jobs: Vec<Job>,
+    queue: VecDeque<usize>,
+    draining: bool,
+    /// Jobs currently executing on some shard.
+    running: usize,
+    shard_deaths: Vec<u64>,
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    quarantined: u64,
+    resume_replays: u64,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    observe: SinkHandle,
+    state: Mutex<State>,
+    /// Signaled when work arrives or drain starts (shards wait here).
+    work: Condvar,
+    /// Signaled when a job reaches a terminal phase (drain waits here).
+    settled: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A shard that panics inside a chaos kill holds no lock (appends
+        // release it first), but stay robust to poisoning anyway: state
+        // transitions are all crash-consistent.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The long-lived triage service. Cheap to clone — all clones share one
+/// supervision tree.
+#[derive(Clone)]
+pub struct Daemon {
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Starts the shard pool and returns a handle to it. Counters for
+    /// every admission and failure path stream to `observe` under
+    /// [`Scope::Server`].
+    #[must_use]
+    pub fn start(config: DaemonConfig, observe: SinkHandle) -> Daemon {
+        let shards = config.shards.max(1);
+        let config = DaemonConfig { shards, ..config };
+        let shared = Arc::new(Shared {
+            config,
+            observe,
+            state: Mutex::new(State {
+                jobs: Vec::new(),
+                queue: VecDeque::new(),
+                draining: false,
+                running: 0,
+                shard_deaths: vec![0; shards],
+                admitted: 0,
+                shed: 0,
+                completed: 0,
+                quarantined: 0,
+                resume_replays: 0,
+            }),
+            work: Condvar::new(),
+            settled: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for shard in 0..shards {
+            spawn_shard(Arc::clone(&shared), shard);
+        }
+        Daemon { shared }
+    }
+
+    /// Submits a job. Admission control may answer
+    /// [`Response::Overloaded`] (queue full) or [`Response::Error`]
+    /// (draining); success is [`Response::Accepted`].
+    pub fn submit(&self, spec: JobSpec) -> Response {
+        let shared = &self.shared;
+        let mut st = shared.lock();
+        if st.draining {
+            return Response::Error { message: "daemon is draining".to_owned() };
+        }
+        if st.queue.len() >= shared.config.queue_capacity {
+            st.shed += 1;
+            shared.observe.count(Scope::Server, Counter::JobsShed, 1);
+            return Response::Overloaded {
+                queued: st.queue.len(),
+                capacity: shared.config.queue_capacity,
+            };
+        }
+        let id = st.jobs.len();
+        let mut spec = spec;
+        spec.kill_at_appends.sort_unstable();
+        spec.kill_at_appends.dedup();
+        st.jobs.push(Job {
+            spec,
+            phase: JobPhase::Queued,
+            journal: Vec::new(),
+            kills_fired: 0,
+            restarts: 0,
+            backoff_ms: 0,
+            report: None,
+            error: None,
+            admitted_at: Instant::now(),
+        });
+        st.queue.push_back(id);
+        st.admitted += 1;
+        shared.observe.count(Scope::Server, Counter::JobsAdmitted, 1);
+        drop(st);
+        shared.work.notify_one();
+        Response::Accepted { job: id as u64 }
+    }
+
+    /// One job's status, or an error for an unknown id.
+    pub fn status(&self, job: u64) -> Response {
+        let st = self.shared.lock();
+        match st.jobs.get(job as usize) {
+            None => Response::Error { message: format!("unknown job {job}") },
+            Some(j) => Response::Status(JobStatus {
+                job,
+                phase: j.phase,
+                restarts: j.restarts,
+                backoff_ms: j.backoff_ms,
+                journal_records: j.journal.len(),
+            }),
+        }
+    }
+
+    /// A job's journal records from `from`, plus whether more can come.
+    pub fn findings(&self, job: u64, from: usize) -> Response {
+        let st = self.shared.lock();
+        match st.jobs.get(job as usize) {
+            None => Response::Error { message: format!("unknown job {job}") },
+            Some(j) => Response::Findings {
+                job,
+                from,
+                records: j.journal.iter().skip(from).cloned().collect(),
+                terminal: matches!(j.phase, JobPhase::Done | JobPhase::Quarantined),
+            },
+        }
+    }
+
+    /// Daemon-level counters and supervision state.
+    pub fn stats(&self) -> DaemonStats {
+        let st = self.shared.lock();
+        DaemonStats {
+            shards: self.shared.config.shards,
+            shard_deaths: st.shard_deaths.clone(),
+            admitted: st.admitted,
+            shed: st.shed,
+            completed: st.completed,
+            quarantined: st.quarantined,
+            resume_replays: st.resume_replays,
+            queued: st.queue.len(),
+        }
+    }
+
+    /// Closes admission, waits for every job to reach a terminal phase,
+    /// and returns the deterministic job-order merged artifacts.
+    pub fn drain(&self) -> (MergedReport, String) {
+        let shared = &self.shared;
+        let mut st = shared.lock();
+        st.draining = true;
+        shared.work.notify_all();
+        while !(st.queue.is_empty() && st.running == 0) {
+            st = shared
+                .settled
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let merged = MergedReport {
+            jobs: st
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(id, j)| MergedJob {
+                    job: id as u64,
+                    quarantined: matches!(j.phase, JobPhase::Quarantined),
+                    report: j.report.clone(),
+                })
+                .collect(),
+        };
+        let mut journal = String::new();
+        for (id, j) in st.jobs.iter().enumerate() {
+            journal.push_str(&format!("# job {id}\n"));
+            for line in &j.journal {
+                journal.push_str(line);
+                journal.push('\n');
+            }
+        }
+        (merged, journal)
+    }
+
+    /// Whether [`Request::Shutdown`] was received; transports poll this.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Serves one request. Both transports funnel through here, so the
+    /// in-process harness exercises exactly the TCP dispatch path.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Submit(spec) => self.submit(spec),
+            Request::Status { job } => self.status(job),
+            Request::Findings { job, from } => self.findings(job, from),
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Drain => {
+                let (merged, journal) = self.drain();
+                match merged.to_json() {
+                    Ok(merged_report) => {
+                        Response::Drained { merged_report, merged_journal: journal }
+                    }
+                    Err(message) => Response::Error { message },
+                }
+            }
+            Request::Shutdown => {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+        }
+    }
+}
+
+/// Builds the per-job pipeline configuration. Shards give the daemon its
+/// parallelism, so the campaign stage inside a job stays serial; the
+/// reduction stage may still fan out on `trx-pool` workers per the spec.
+fn job_config(spec: &JobSpec) -> PipelineConfig {
+    PipelineConfig {
+        tool: Tool::SpirvFuzz,
+        tests: spec.tests,
+        seed_base: spec.seed_base,
+        executor: ExecutorConfig { threads: 1, ..ExecutorConfig::default() },
+        reducer: ReducerOptions::default(),
+        watchdog: WatchdogConfig { deadline_ms: spec.deadline_ms },
+        reduction_threads: spec.reduction_threads.max(1),
+    }
+}
+
+/// Builds the job's targets. Every target is wrapped in a fault injector
+/// (an empty plan injects nothing), with per-target derived seeds so fault
+/// decisions are decorrelated across targets — the chaos-campaign idiom.
+/// Fresh wrappers per (re)start reset the injector's attempt counters, so
+/// a resumed job replays the exact fault schedule of its first run.
+fn job_targets(spec: &JobSpec) -> Arc<Vec<FaultyTarget>> {
+    let all = catalog::all_targets();
+    let count = if spec.target_count == 0 {
+        all.len()
+    } else {
+        spec.target_count.min(all.len())
+    };
+    let plan = spec.plan.clone().unwrap_or_else(|| FaultPlan::none(0));
+    Arc::new(
+        all.into_iter()
+            .take(count)
+            .enumerate()
+            .map(|(t, target)| {
+                let plan = FaultPlan { seed: plan.seed.wrapping_add(t as u64), ..plan.clone() };
+                FaultyTarget::new(target, plan)
+            })
+            .collect(),
+    )
+}
+
+/// Spawns one shard worker thread (or its replacement after a death).
+fn spawn_shard(shared: Arc<Shared>, shard: usize) {
+    let spawned = std::thread::Builder::new()
+        .name(format!("trx-shard-{shard}"))
+        .spawn(move || shard_loop(shared, shard));
+    // Thread exhaustion at spawn time leaves the daemon with fewer shards
+    // but still live: remaining shards keep draining the queue.
+    drop(spawned);
+}
+
+fn shard_loop(shared: Arc<Shared>, shard: usize) {
+    loop {
+        // Claim the next job, or exit when the daemon is draining and the
+        // queue is dry.
+        let (job_id, spec, prior_lines) = {
+            let mut st = shared.lock();
+            let claimed = loop {
+                if let Some(id) = st.queue.pop_front() {
+                    break id;
+                }
+                if st.draining {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            };
+            st.running += 1;
+            let job = &mut st.jobs[claimed];
+            job.phase = JobPhase::Running;
+            // Kill points at or below the resume prefix already fired (they
+            // are why the prefix ends where it does); never re-arm them.
+            let prefix = job.journal.len();
+            while job.kills_fired < job.spec.kill_at_appends.len()
+                && job.spec.kill_at_appends[job.kills_fired] <= prefix
+            {
+                job.kills_fired += 1;
+            }
+            if job.restarts > 0 {
+                st.resume_replays += prefix as u64;
+                shared
+                    .observe
+                    .count(Scope::Server, Counter::ResumeReplays, prefix as u64);
+            }
+            let spec = st.jobs[claimed].spec.clone();
+            let lines = st.jobs[claimed].journal.join("\n");
+            (claimed, spec, lines)
+        };
+
+        let config = job_config(&spec);
+        let targets = job_targets(&spec);
+        let sink_shared = Arc::clone(&shared);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let journal = Journal::parse(&prior_lines)?;
+            run_pipeline_observed(
+                &config,
+                &targets,
+                &journal,
+                |record| {
+                    // Append-then-maybe-kill: the record is durable in the
+                    // job's journal before the chaos schedule may panic, so
+                    // the journal is always a valid resume prefix. Encoding
+                    // cannot fail for records the pipeline just built; if
+                    // it ever does, the panic is absorbed as a shard death
+                    // and the restart budget decides the job's fate.
+                    let line = match Journal::encode_line(record) {
+                        Ok(line) => line,
+                        Err(e) => panic!("WAL record failed to encode: {e}"),
+                    };
+                    let mut st = sink_shared.lock();
+                    let job = &mut st.jobs[job_id];
+                    job.journal.push(line);
+                    let appended = job.journal.len();
+                    let kill = job.kills_fired < job.spec.kill_at_appends.len()
+                        && job.spec.kill_at_appends[job.kills_fired] == appended;
+                    if kill {
+                        job.kills_fired += 1;
+                    }
+                    drop(st);
+                    if kill {
+                        panic!("chaos kill: job {job_id} at journal record {appended}");
+                    }
+                },
+                // Per-job pipeline metrics live in each report's own
+                // `metrics` section; the daemon's sink only carries
+                // server-scope counters, so concurrent jobs cannot
+                // interleave their reduction scopes.
+                &SinkHandle::noop(),
+            )
+        }));
+
+        match outcome {
+            Ok(Ok(report)) => {
+                let mut st = shared.lock();
+                st.running -= 1;
+                st.completed += 1;
+                let job = &mut st.jobs[job_id];
+                job.phase = JobPhase::Done;
+                job.report = Some(report);
+                let latency = job.admitted_at.elapsed();
+                drop(st);
+                shared.observe.count(Scope::Server, Counter::JobsCompleted, 1);
+                shared.observe.duration(
+                    Scope::Server,
+                    Counter::JobLatencyNanos,
+                    u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+                );
+                shared.settled.notify_all();
+            }
+            Ok(Err(e)) => {
+                // A typed pipeline error (corrupt journal, serialization)
+                // is not a shard death: the job is terminally failed and
+                // quarantined with its journal for post-mortem.
+                let mut st = shared.lock();
+                st.running -= 1;
+                st.quarantined += 1;
+                let job = &mut st.jobs[job_id];
+                job.phase = JobPhase::Quarantined;
+                job.error = Some(e.to_string());
+                drop(st);
+                shared.observe.count(Scope::Server, Counter::JobsQuarantined, 1);
+                shared.settled.notify_all();
+            }
+            Err(payload) => {
+                // Shard death. The dying thread is its own supervisor:
+                // bookkeeping, restart policy, replacement spawn, exit.
+                let message = panic_text(payload.as_ref());
+                let quarantine;
+                {
+                    let mut st = shared.lock();
+                    st.running -= 1;
+                    st.shard_deaths[shard] += 1;
+                    let max_restarts = shared.config.max_restarts;
+                    let backoff_base = shared.config.backoff_base_ms;
+                    let job = &mut st.jobs[job_id];
+                    job.restarts += 1;
+                    quarantine = job.restarts > max_restarts;
+                    if quarantine {
+                        job.phase = JobPhase::Quarantined;
+                        job.error = Some(message);
+                        st.quarantined += 1;
+                    } else {
+                        // Deterministic logical backoff, recorded instead
+                        // of slept — doubling per consecutive death.
+                        job.backoff_ms +=
+                            backoff_base << (job.restarts.saturating_sub(1)).min(16);
+                        job.phase = JobPhase::Queued;
+                        st.queue.push_front(job_id);
+                    }
+                }
+                shared.observe.count(Scope::Server, Counter::ShardRestarts, 1);
+                if quarantine {
+                    shared.observe.count(Scope::Server, Counter::JobsQuarantined, 1);
+                    shared.settled.notify_all();
+                } else {
+                    shared.work.notify_one();
+                }
+                let replacement = Arc::clone(&shared);
+                spawn_shard(replacement, shard);
+                return;
+            }
+        }
+    }
+}
+
+/// Renders a panic payload without taking ownership of it.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

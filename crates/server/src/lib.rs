@@ -1,0 +1,29 @@
+//! `trx-server` — the long-lived triage daemon.
+//!
+//! Everything upstream of this crate runs one campaign and exits; this
+//! crate turns the journaled pipeline into a *service*. Clients submit
+//! triage jobs over a length-prefixed JSON wire protocol ([`wire`]), a
+//! shard supervisor runs them concurrently with per-shard panic isolation
+//! and WAL-backed restart-with-resume ([`daemon`]), and transports bind
+//! the same dispatch path to TCP or to a deterministic in-process loop
+//! ([`transport`]).
+//!
+//! The headline robustness contract: a daemon whose shards are killed
+//! mid-job — at *any* journal append — drains to merged reports and
+//! journals byte-identical to an uninterrupted run, because each job's
+//! in-memory journal obeys the same write-ahead prefix discipline the
+//! on-disk pipeline does.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod daemon;
+pub mod transport;
+pub mod wire;
+
+pub use daemon::{Daemon, DaemonConfig, MergedJob, MergedReport};
+pub use transport::{serve_tcp, InProcessClient, TcpClient};
+pub use wire::{
+    DaemonStats, FrameDecoder, FrameError, JobPhase, JobSpec, JobStatus, Request, Response,
+    DEFAULT_MAX_FRAME,
+};

@@ -1,0 +1,187 @@
+//! Transports binding the daemon's dispatch path to the outside world.
+//!
+//! Both transports round-trip every request and response through the real
+//! frame codec, so the deterministic in-process client exercises exactly
+//! the byte path a TCP client does — encode, length-check, decode,
+//! dispatch — with no socket nondeterminism in tests.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::daemon::Daemon;
+use crate::wire::{
+    decode_message, encode_frame, encode_message, FrameDecoder, Request, Response,
+    DEFAULT_MAX_FRAME,
+};
+
+/// A client whose "connection" is a function call, but whose bytes are
+/// real: each request is framed, fed through a [`FrameDecoder`], decoded,
+/// dispatched, and the response makes the same round trip back.
+pub struct InProcessClient {
+    daemon: Daemon,
+    inbound: FrameDecoder,
+    outbound: FrameDecoder,
+}
+
+impl InProcessClient {
+    /// Connects to a daemon with the default frame ceiling.
+    #[must_use]
+    pub fn connect(daemon: Daemon) -> Self {
+        InProcessClient {
+            daemon,
+            inbound: FrameDecoder::new(DEFAULT_MAX_FRAME),
+            outbound: FrameDecoder::new(DEFAULT_MAX_FRAME),
+        }
+    }
+
+    /// Sends one request through the full codec path and returns the
+    /// daemon's response. Codec failures surface as [`Response::Error`],
+    /// exactly as the TCP transport reports them.
+    pub fn request(&mut self, request: &Request) -> Response {
+        let frame = match encode_message(request) {
+            Ok(frame) => frame,
+            Err(e) => return Response::Error { message: e.to_string() },
+        };
+        self.inbound.push(&frame);
+        let response = match self.inbound.next_frame() {
+            Ok(Some(payload)) => match decode_message::<Request>(&payload) {
+                Ok(req) => self.daemon.handle(req),
+                Err(e) => Response::Error { message: e.to_string() },
+            },
+            Ok(None) => Response::Error { message: "truncated frame".to_owned() },
+            Err(e) => Response::Error { message: e.to_string() },
+        };
+        let reply_frame = match encode_message(&response) {
+            Ok(frame) => frame,
+            Err(e) => return Response::Error { message: e.to_string() },
+        };
+        self.outbound.push(&reply_frame);
+        match self.outbound.next_frame() {
+            Ok(Some(payload)) => match decode_message::<Response>(&payload) {
+                Ok(resp) => resp,
+                Err(e) => Response::Error { message: e.to_string() },
+            },
+            Ok(None) => Response::Error { message: "truncated reply frame".to_owned() },
+            Err(e) => Response::Error { message: e.to_string() },
+        }
+    }
+}
+
+/// A blocking TCP client speaking the daemon's wire protocol.
+pub struct TcpClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl TcpClient {
+    /// Connects to a listening daemon.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Ok(TcpClient { stream: TcpStream::connect(addr)?, decoder: FrameDecoder::new(DEFAULT_MAX_FRAME) })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        let frame = encode_message(request)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        self.stream.write_all(&frame)?;
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(payload) = self
+                .decoder
+                .next_frame()
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?
+            {
+                return decode_message::<Response>(&payload)
+                    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.decoder.push(&buf[..n]);
+        }
+    }
+}
+
+/// Serves the daemon on a TCP listener until [`Request::Shutdown`]
+/// arrives (from any connection). One thread per connection; a framing
+/// violation gets a typed [`Response::Error`] and the connection is
+/// closed, never a crash.
+pub fn serve_tcp(daemon: Daemon, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut workers = Vec::new();
+    loop {
+        if daemon.shutdown_requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let daemon = daemon.clone();
+                if let Ok(handle) =
+                    std::thread::Builder::new().name("trx-conn".to_owned()).spawn(move || {
+                        serve_connection(&daemon, stream);
+                    })
+                {
+                    workers.push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+fn serve_connection(daemon: &Daemon, mut stream: TcpStream) {
+    let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+    let mut buf = [0u8; 4096];
+    loop {
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(payload)) => {
+                    let response = match decode_message::<Request>(&payload) {
+                        Ok(request) => daemon.handle(request),
+                        Err(e) => Response::Error { message: e.to_string() },
+                    };
+                    if !send_response(&mut stream, &response) {
+                        return;
+                    }
+                    if daemon.shutdown_requested() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing violation (oversized declaration): reply with
+                    // the typed error and drop the connection — the decoder
+                    // is poisoned by design, resynchronisation is unsafe.
+                    let response = Response::Error { message: e.to_string() };
+                    send_response(&mut stream, &response);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn send_response(stream: &mut TcpStream, response: &Response) -> bool {
+    match encode_message(response) {
+        Ok(frame) => stream.write_all(&frame).is_ok(),
+        Err(_) => stream.write_all(&encode_frame(b"{}")).is_ok(),
+    }
+}

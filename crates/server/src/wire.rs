@@ -1,0 +1,373 @@
+//! Length-prefixed JSON wire protocol for the triage daemon.
+//!
+//! Every message — request or response — travels as one *frame*: a 4-byte
+//! big-endian payload length followed by that many bytes of JSON. The
+//! framing layer is deliberately defensive, mirroring the binary decoder's
+//! contract in `trx-ir`: [`FrameDecoder`] is total over arbitrary bytes
+//! (it returns typed [`FrameError`]s, never panics) and rejects frames
+//! whose declared length exceeds the configured ceiling *before* buffering
+//! them, so a hostile or corrupt peer cannot balloon daemon memory.
+//!
+//! The payload schema is the externally-tagged JSON of [`Request`] and
+//! [`Response`]. JSON keeps the protocol debuggable with `nc` and makes
+//! the in-process transport byte-identical to the TCP one.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use trx_targets::FaultPlan;
+
+/// Default ceiling on one frame's payload, in bytes.
+pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
+
+/// Bytes of length prefix per frame.
+pub const FRAME_HEADER: usize = 4;
+
+/// A typed framing failure. Any error tears the connection down — framing
+/// has no resynchronization point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer declared a payload longer than the configured ceiling.
+    Oversized {
+        /// The declared payload length.
+        declared: usize,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+    /// A complete frame's payload was not the expected JSON.
+    BadPayload {
+        /// The parser's message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} bytes, ceiling is {max}")
+            }
+            FrameError::BadPayload { reason } => {
+                write!(f, "frame payload is not a valid message: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wraps `payload` in a length-prefixed frame.
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Serializes `value` to JSON and frames it.
+pub fn encode_message<T: Serialize>(value: &T) -> Result<Vec<u8>, FrameError> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| FrameError::BadPayload { reason: e.to_string() })?;
+    Ok(encode_frame(json.as_bytes()))
+}
+
+/// Parses one frame payload back into a message.
+pub fn decode_message<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| FrameError::BadPayload { reason: e.to_string() })?;
+    serde_json::from_str(text).map_err(|e| FrameError::BadPayload { reason: e.to_string() })
+}
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+///
+/// Feed bytes with [`FrameDecoder::push`] as they arrive; drain complete
+/// payloads with [`FrameDecoder::next_frame`]. The declared length is
+/// validated against the ceiling as soon as the 4-byte header is visible,
+/// before any payload accumulates.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame` as the payload ceiling.
+    #[must_use]
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder { buf: Vec::new(), max_frame, poisoned: false }
+    }
+
+    /// Appends newly received bytes. Bytes past an already-detected
+    /// oversized header are ignored — the connection is dead.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if !self.poisoned {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes currently buffered (header included).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The next complete payload, `Ok(None)` if more bytes are needed, or
+    /// the typed error that should tear the connection down.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Oversized { declared: 0, max: self.max_frame });
+        }
+        if self.buf.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let declared = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+            as usize;
+        if declared > self.max_frame {
+            // Poison rather than consume: every later call reports the
+            // same terminal condition instead of misparsing the stream.
+            self.poisoned = true;
+            self.buf.clear();
+            return Err(FrameError::Oversized { declared, max: self.max_frame });
+        }
+        if self.buf.len() < FRAME_HEADER + declared {
+            return Ok(None);
+        }
+        let payload = self.buf[FRAME_HEADER..FRAME_HEADER + declared].to_vec();
+        self.buf.drain(..FRAME_HEADER + declared);
+        Ok(Some(payload))
+    }
+}
+
+/// One triage job as submitted over the wire: a self-contained campaign →
+/// reduction → dedup pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Campaign tests to generate.
+    pub tests: usize,
+    /// First campaign seed.
+    pub seed_base: u64,
+    /// How many catalog targets the job runs against (clamped to the
+    /// catalog size; 0 means the whole catalog).
+    pub target_count: usize,
+    /// Optional fault injection wrapped around every target. `None` runs
+    /// clean targets.
+    pub plan: Option<FaultPlan>,
+    /// Wall-clock watchdog deadline per reduction probe, in milliseconds.
+    /// 0 runs probes inline (deterministic), mirroring the pipeline knob.
+    pub deadline_ms: u64,
+    /// Worker threads for the job's per-bug reduction stage (1 = serial).
+    pub reduction_threads: usize,
+    /// Chaos schedule: kill the shard running this job (a real panic out
+    /// of the pipeline) when the job's journal reaches each of these
+    /// record counts. Sorted and deduplicated at admission. Production
+    /// jobs leave it empty; benches and tests use it to prove
+    /// restart-with-resume is byte-exact.
+    pub kill_at_appends: Vec<usize>,
+}
+
+impl JobSpec {
+    /// A small clean job — the building block benches and tests scale up.
+    #[must_use]
+    pub fn small(seed_base: u64) -> Self {
+        JobSpec {
+            tests: 4,
+            seed_base,
+            target_count: 2,
+            plan: None,
+            deadline_ms: 0,
+            reduction_threads: 1,
+            kill_at_appends: Vec::new(),
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Admitted, waiting for a shard.
+    Queued,
+    /// Executing on a shard.
+    Running,
+    /// Finished with a report.
+    Done,
+    /// Circuit-broken: the job killed its shard more than the restart
+    /// budget allows and was isolated with its journal intact.
+    Quarantined,
+}
+
+/// A job's externally visible status.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// The job id.
+    pub job: u64,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Times the job was restarted after killing a shard.
+    pub restarts: u32,
+    /// Total logical backoff charged before restarts, in milliseconds
+    /// (recorded, not slept — the same discipline as the executor).
+    pub backoff_ms: u64,
+    /// Journal records durably appended so far.
+    pub journal_records: usize,
+}
+
+/// A snapshot of daemon-level counters and supervision state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// Configured shard count.
+    pub shards: usize,
+    /// Per-shard death count (index = shard id). Every death was answered
+    /// by a replacement thread.
+    pub shard_deaths: Vec<u64>,
+    /// Jobs accepted into the queue.
+    pub admitted: u64,
+    /// Jobs rejected with [`Response::Overloaded`].
+    pub shed: u64,
+    /// Jobs that finished with a report.
+    pub completed: u64,
+    /// Jobs quarantined by the circuit breaker.
+    pub quarantined: u64,
+    /// Journal records replayed across all restarts.
+    pub resume_replays: u64,
+    /// Jobs currently queued (not running).
+    pub queued: usize,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a job for triage.
+    Submit(JobSpec),
+    /// Poll one job's status.
+    Status {
+        /// The job id to inspect.
+        job: u64,
+    },
+    /// Stream a job's findings: its journal records from index `from`.
+    Findings {
+        /// The job id to stream from.
+        job: u64,
+        /// First record index wanted.
+        from: usize,
+    },
+    /// Snapshot daemon-level counters.
+    Stats,
+    /// Stop admission, finish in-flight jobs, and return the merged
+    /// drain artifacts.
+    Drain,
+    /// Ask the daemon process to stop serving (transports exit their
+    /// accept loops). Does not imply a drain.
+    Shutdown,
+}
+
+/// A daemon reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The job was admitted under this id.
+    Accepted {
+        /// The assigned job id.
+        job: u64,
+    },
+    /// Admission control shed the job: the queue is full.
+    Overloaded {
+        /// Jobs already queued.
+        queued: usize,
+        /// The queue capacity they filled.
+        capacity: usize,
+    },
+    /// Status of one job.
+    Status(JobStatus),
+    /// A slice of one job's journal.
+    Findings {
+        /// The job id streamed from.
+        job: u64,
+        /// Index of the first returned record.
+        from: usize,
+        /// The records, one encoded WAL line each.
+        records: Vec<String>,
+        /// Whether the job is terminal (no more records will ever come).
+        terminal: bool,
+    },
+    /// Daemon-level counters.
+    Stats(DaemonStats),
+    /// The drain finished; every job is terminal.
+    Drained {
+        /// Deterministic job-order merged report (JSON).
+        merged_report: String,
+        /// Deterministic job-order merged journal (JSON lines with
+        /// `# job N` separators).
+        merged_journal: String,
+    },
+    /// The daemon acknowledged [`Request::Shutdown`].
+    ShuttingDown,
+    /// The request could not be served.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let spec = JobSpec::small(7);
+        let bytes = encode_message(&Request::Submit(spec.clone())).unwrap();
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        // Feed byte-by-byte: reassembly must not depend on chunking.
+        for b in &bytes {
+            decoder.push(&[*b]);
+        }
+        let payload = decoder.next_frame().unwrap().expect("one whole frame");
+        let back: Request = decode_message(&payload).unwrap();
+        assert_eq!(back, Request::Submit(spec));
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_header_is_a_typed_error_before_payload_arrives() {
+        let mut decoder = FrameDecoder::new(16);
+        decoder.push(&u32::MAX.to_be_bytes());
+        match decoder.next_frame() {
+            Err(FrameError::Oversized { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 16);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The decoder stays poisoned: later pushes cannot resurrect it.
+        decoder.push(&[0, 0, 0, 1, 42]);
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn two_frames_in_one_push_drain_in_order() {
+        let a = encode_message(&Request::Stats).unwrap();
+        let b = encode_message(&Request::Drain).unwrap();
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        decoder.push(&joined);
+        let first: Request =
+            decode_message(&decoder.next_frame().unwrap().unwrap()).unwrap();
+        let second: Request =
+            decode_message(&decoder.next_frame().unwrap().unwrap()).unwrap();
+        assert_eq!(first, Request::Stats);
+        assert_eq!(second, Request::Drain);
+        assert!(decoder.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_payload_is_a_typed_error() {
+        let frame = encode_frame(b"not json");
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        decoder.push(&frame);
+        let payload = decoder.next_frame().unwrap().unwrap();
+        let parsed: Result<Request, FrameError> = decode_message(&payload);
+        assert!(matches!(parsed, Err(FrameError::BadPayload { .. })));
+    }
+}

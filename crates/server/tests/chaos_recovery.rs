@@ -1,0 +1,315 @@
+//! Satellite (d) and the daemon's supervision contracts.
+//!
+//! The headline matrix: a two-shard daemon whose shards are killed at
+//! *every* journal append of every job drains to merged reports and
+//! journals byte-identical to an uninterrupted run, and each resumed
+//! job's journal suffix is exactly the golden suffix. Around it: the
+//! circuit breaker, admission backpressure, drain semantics, findings
+//! streaming, observe counters, and the TCP transport.
+
+use std::sync::Arc;
+
+use trx_harness::pipeline::Journal;
+use trx_observe::{Counter, RecordingSink, SinkHandle};
+use trx_server::{
+    serve_tcp, Daemon, DaemonConfig, InProcessClient, JobPhase, JobSpec, MergedReport, Request,
+    Response, TcpClient,
+};
+
+/// Injected chaos kills are real panics on shard threads; silence their
+/// default-hook backtraces without hiding the test's own assertions.
+fn quiet_shard_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_shard = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("trx-shard-"));
+            if !on_shard {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn two_shards() -> DaemonConfig {
+    DaemonConfig { shards: 2, ..DaemonConfig::default() }
+}
+
+fn tiny(seed: u64) -> JobSpec {
+    JobSpec { tests: 8, ..JobSpec::small(seed) }
+}
+
+fn submit(client: &mut InProcessClient, spec: JobSpec) -> u64 {
+    match client.request(&Request::Submit(spec)) {
+        Response::Accepted { job } => job,
+        other => panic!("submit refused: {other:?}"),
+    }
+}
+
+fn drain(client: &mut InProcessClient) -> (String, String) {
+    match client.request(&Request::Drain) {
+        Response::Drained { merged_report, merged_journal } => (merged_report, merged_journal),
+        other => panic!("drain failed: {other:?}"),
+    }
+}
+
+fn findings(client: &mut InProcessClient, job: u64, from: usize) -> (Vec<String>, bool) {
+    match client.request(&Request::Findings { job, from }) {
+        Response::Findings { records, terminal, .. } => (records, terminal),
+        other => panic!("findings failed: {other:?}"),
+    }
+}
+
+/// Runs `specs` (with per-job kill schedules applied) through a fresh
+/// two-shard daemon to completion. Returns the merged report, the merged
+/// journal, and each job's full journal.
+fn run_batch(specs: &[JobSpec], kills: &[Vec<usize>]) -> (String, String, Vec<Vec<String>>) {
+    let daemon = Daemon::start(two_shards(), SinkHandle::noop());
+    let mut client = InProcessClient::connect(daemon);
+    for (i, spec) in specs.iter().enumerate() {
+        let mut spec = spec.clone();
+        if let Some(k) = kills.get(i) {
+            spec.kill_at_appends = k.clone();
+        }
+        assert_eq!(submit(&mut client, spec), i as u64);
+    }
+    let (merged, journal) = drain(&mut client);
+    let per_job = (0..specs.len())
+        .map(|j| {
+            let (records, terminal) = findings(&mut client, j as u64, 0);
+            assert!(terminal, "job {j} not terminal after drain");
+            records
+        })
+        .collect();
+    (merged, journal, per_job)
+}
+
+/// Satellite (d): the kill-at-every-append matrix over two jobs on two
+/// shards. Every kill point must recover to byte-identical merged
+/// artifacts, with the resumed journal's suffix exactly the golden one.
+#[test]
+fn kill_at_every_append_matrix_is_byte_identical() {
+    quiet_shard_panics();
+    let specs = [tiny(11), tiny(97)];
+    let (golden_merged, golden_journal, golden_jobs) = run_batch(&specs, &[]);
+    for (j, golden) in golden_jobs.iter().enumerate() {
+        assert!(!golden.is_empty(), "job {j} journaled nothing");
+        for k in 1..=golden.len() {
+            let mut kills = vec![Vec::new(); specs.len()];
+            kills[j] = vec![k];
+            let (merged, journal, jobs) = run_batch(&specs, &kills);
+            assert_eq!(
+                merged, golden_merged,
+                "merged report diverged after killing job {j} at append {k}"
+            );
+            assert_eq!(
+                journal, golden_journal,
+                "merged journal diverged after killing job {j} at append {k}"
+            );
+            assert_eq!(
+                &jobs[j][k..],
+                &golden[k..],
+                "journal suffix diverged after killing job {j} at append {k}"
+            );
+        }
+    }
+}
+
+/// Two kills on the same job: restart-with-resume composes, and the
+/// logical backoff doubles per consecutive death.
+#[test]
+fn repeated_kills_compose_and_charge_exponential_backoff() {
+    quiet_shard_panics();
+    let specs = [tiny(11), tiny(97)];
+    let (golden_merged, golden_journal, golden_jobs) = run_batch(&specs, &[]);
+    let len = golden_jobs[0].len();
+    assert!(len >= 3, "job 0 journaled only {len} records");
+    // Second kill lands on the very last append: the resumed run replays
+    // the whole journal and must still complete with nothing new to emit.
+    let (merged, journal, _) = run_batch(&specs, &[vec![2, len]]);
+    assert_eq!(merged, golden_merged);
+    assert_eq!(journal, golden_journal);
+
+    // Re-run the same schedule on a live daemon to inspect status.
+    let daemon = Daemon::start(two_shards(), SinkHandle::noop());
+    let mut client = InProcessClient::connect(daemon);
+    let job = submit(&mut client, JobSpec { kill_at_appends: vec![2, len], ..tiny(11) });
+    drain(&mut client);
+    match client.request(&Request::Status { job }) {
+        Response::Status(status) => {
+            assert_eq!(status.phase, JobPhase::Done);
+            assert_eq!(status.restarts, 2);
+            // base << 0 then base << 1 with the default 10 ms base.
+            assert_eq!(status.backoff_ms, 30);
+            assert_eq!(status.journal_records, len);
+        }
+        other => panic!("status failed: {other:?}"),
+    }
+}
+
+/// A job that kills its shard past the restart budget is quarantined with
+/// its journal intact; other jobs and the daemon keep working.
+#[test]
+fn circuit_breaker_quarantines_persistent_shard_killers() {
+    quiet_shard_panics();
+    let config = DaemonConfig { max_restarts: 2, ..two_shards() };
+    let sink = Arc::new(RecordingSink::full());
+    let daemon = Daemon::start(config, SinkHandle::new(sink.clone()));
+    let mut client = InProcessClient::connect(daemon);
+    // Kills at appends 1..=3: deaths 1 and 2 are within budget, death 3
+    // exceeds max_restarts = 2 and trips the breaker.
+    let killer = submit(&mut client, JobSpec { kill_at_appends: vec![1, 2, 3], ..tiny(5) });
+    let healthy = submit(&mut client, tiny(97));
+    let (merged, _) = drain(&mut client);
+
+    match client.request(&Request::Status { job: killer }) {
+        Response::Status(status) => {
+            assert_eq!(status.phase, JobPhase::Quarantined);
+            assert_eq!(status.restarts, 3);
+            assert!(status.journal_records >= 3, "quarantine discarded the journal");
+        }
+        other => panic!("status failed: {other:?}"),
+    }
+    match client.request(&Request::Status { job: healthy }) {
+        Response::Status(status) => assert_eq!(status.phase, JobPhase::Done),
+        other => panic!("status failed: {other:?}"),
+    }
+
+    let report = MergedReport::from_json(&merged).expect("merged report parses");
+    assert_eq!(report.jobs.len(), 2);
+    assert!(report.jobs[killer as usize].quarantined);
+    assert!(report.jobs[killer as usize].report.is_none());
+    assert!(!report.jobs[healthy as usize].quarantined);
+    assert!(report.jobs[healthy as usize].report.is_some());
+
+    let snap = sink.snapshot();
+    assert_eq!(snap.counter("server", Counter::JobsAdmitted), 2);
+    assert_eq!(snap.counter("server", Counter::JobsCompleted), 1);
+    assert_eq!(snap.counter("server", Counter::JobsQuarantined), 1);
+    assert_eq!(snap.counter("server", Counter::ShardRestarts), 3);
+    assert!(snap.counter("server", Counter::ResumeReplays) > 0);
+}
+
+/// Admission control: a full queue answers with the typed `Overloaded`
+/// reply, and a draining daemon refuses new work.
+#[test]
+fn admission_sheds_over_capacity_and_refuses_while_draining() {
+    quiet_shard_panics();
+    let sink = Arc::new(RecordingSink::full());
+    let config = DaemonConfig { queue_capacity: 0, ..two_shards() };
+    let daemon = Daemon::start(config, SinkHandle::new(sink.clone()));
+    let mut client = InProcessClient::connect(daemon);
+    match client.request(&Request::Submit(tiny(1))) {
+        Response::Overloaded { queued, capacity } => {
+            assert_eq!(queued, 0);
+            assert_eq!(capacity, 0);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(sink.snapshot().counter("server", Counter::JobsShed), 1);
+
+    drain(&mut client);
+    match client.request(&Request::Submit(tiny(2))) {
+        Response::Error { message } => assert!(message.contains("draining")),
+        other => panic!("expected Error while draining, got {other:?}"),
+    }
+
+    // A draining refusal is not a shed: only queue-full rejections count.
+    match client.request(&Request::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.shed, 1);
+            assert_eq!(stats.admitted, 0);
+            assert_eq!(stats.queued, 0);
+        }
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+/// Findings stream incrementally, terminate, and concatenate into a
+/// journal the pipeline itself can parse.
+#[test]
+fn findings_stream_incrementally_and_parse_as_a_journal() {
+    quiet_shard_panics();
+    let daemon = Daemon::start(two_shards(), SinkHandle::noop());
+    let mut client = InProcessClient::connect(daemon);
+    let job = submit(&mut client, tiny(42));
+    drain(&mut client);
+
+    let (all, terminal) = findings(&mut client, job, 0);
+    assert!(terminal);
+    assert!(!all.is_empty());
+    // Resuming the stream mid-way returns exactly the tail.
+    let mid = all.len() / 2;
+    let (tail, terminal) = findings(&mut client, job, mid);
+    assert!(terminal);
+    assert_eq!(tail, all[mid..].to_vec());
+    let (empty, terminal) = findings(&mut client, job, all.len());
+    assert!(terminal);
+    assert!(empty.is_empty());
+
+    let text = all.join("\n");
+    let journal = Journal::parse(&text).expect("streamed findings parse as a journal");
+    assert_eq!(journal.records.len(), all.len());
+
+    match client.request(&Request::Findings { job: 999, from: 0 }) {
+        Response::Error { message } => assert!(message.contains("unknown job")),
+        other => panic!("expected Error for unknown job, got {other:?}"),
+    }
+}
+
+/// The TCP transport serves the same dispatch path: submit, poll to
+/// completion, drain, reject an oversized frame with a typed error, and
+/// exit the accept loop on shutdown.
+#[test]
+fn tcp_transport_round_trips_and_shuts_down() {
+    quiet_shard_panics();
+    let daemon = Daemon::start(two_shards(), SinkHandle::noop());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = {
+        let daemon = daemon.clone();
+        std::thread::spawn(move || serve_tcp(daemon, listener))
+    };
+
+    let mut client = TcpClient::connect(&addr).expect("connect");
+    let job = match client.request(&Request::Submit(tiny(7))).expect("submit") {
+        Response::Accepted { job } => job,
+        other => panic!("submit refused: {other:?}"),
+    };
+    loop {
+        match client.request(&Request::Status { job }).expect("status") {
+            Response::Status(status) if status.phase == JobPhase::Done => break,
+            Response::Status(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            other => panic!("status failed: {other:?}"),
+        }
+    }
+    match client.request(&Request::Drain).expect("drain") {
+        Response::Drained { merged_report, .. } => {
+            let report = MergedReport::from_json(&merged_report).expect("parses");
+            assert_eq!(report.jobs.len(), 1);
+            assert!(report.jobs[0].report.is_some());
+        }
+        other => panic!("drain failed: {other:?}"),
+    }
+
+    // A second connection declaring an oversized frame gets a typed error
+    // back, not a hung or crashed daemon.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
+        raw.write_all(&u32::MAX.to_be_bytes()).expect("write oversized header");
+        let mut reply = Vec::new();
+        raw.read_to_end(&mut reply).expect("read error reply");
+        assert!(reply.len() > 4, "no reply to an oversized frame");
+        let text = String::from_utf8_lossy(&reply[4..]);
+        assert!(text.contains("ceiling"), "unexpected reply: {text}");
+    }
+
+    match client.request(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    server.join().expect("accept loop joins").expect("serve_tcp exits cleanly");
+}

@@ -1,0 +1,115 @@
+//! Satellite (a): the frame decoder is total over arbitrary bytes.
+//!
+//! Whatever a peer sends — random garbage, adversarial chunkings, frames
+//! declaring absurd lengths — the decoder returns `Ok`/typed `Err` and
+//! never panics, never buffers past the configured ceiling, and
+//! reassembles well-formed frames byte-exactly regardless of chunking.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use trx_server::wire::{
+    decode_message, encode_frame, encode_message, FrameDecoder, FrameError, Request,
+    FRAME_HEADER,
+};
+use trx_server::{JobSpec, DEFAULT_MAX_FRAME};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte streams never panic the decoder, and the buffer
+    /// never grows past header + ceiling.
+    #[test]
+    fn decoder_is_total_over_arbitrary_bytes(
+        bytes in vec(0u8..=255, 0..512),
+        chunk in 1usize..64,
+        max_frame in 0usize..256,
+    ) {
+        let mut decoder = FrameDecoder::new(max_frame);
+        for piece in bytes.chunks(chunk) {
+            decoder.push(piece);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(payload)) => prop_assert!(payload.len() <= max_frame),
+                    Ok(None) => break,
+                    Err(FrameError::Oversized { declared, max }) => {
+                        prop_assert!(declared > max);
+                        prop_assert_eq!(max, max_frame);
+                        // Poisoned: stays a typed error forever, drops input.
+                        decoder.push(&bytes);
+                        prop_assert!(decoder.next_frame().is_err());
+                        prop_assert_eq!(decoder.buffered(), 0);
+                        return Ok(());
+                    }
+                    Err(FrameError::BadPayload { .. }) => {
+                        prop_assert!(false, "framing layer produced a payload error");
+                    }
+                }
+            }
+            prop_assert!(decoder.buffered() <= FRAME_HEADER + max_frame);
+        }
+    }
+
+    /// A declared length over the ceiling is rejected as soon as the
+    /// header is visible — before any payload bytes are buffered.
+    #[test]
+    fn oversized_declaration_is_rejected_at_the_header(
+        max_frame in 0usize..1024,
+        excess in 1usize..4096,
+    ) {
+        let declared = max_frame + excess;
+        let mut decoder = FrameDecoder::new(max_frame);
+        decoder.push(&(declared as u32).to_be_bytes());
+        match decoder.next_frame() {
+            Err(FrameError::Oversized { declared: d, max }) => {
+                prop_assert_eq!(d, declared);
+                prop_assert_eq!(max, max_frame);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// Well-formed frames reassemble byte-exactly under any chunking, and
+    /// real protocol messages survive the full encode → decode trip.
+    #[test]
+    fn frames_reassemble_under_any_chunking(
+        payloads in vec(vec(0u8..=255, 0..64), 0..8),
+        chunk in 1usize..16,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(payload) = decoder.next_frame().unwrap() {
+                out.push(payload);
+            }
+        }
+        prop_assert_eq!(out, payloads);
+    }
+
+    /// Request round trip: framing plus JSON codec is the identity on
+    /// submissions with arbitrary knobs.
+    #[test]
+    fn submissions_round_trip(
+        seed in 0u64..=u64::MAX,
+        tests in 0usize..100,
+        kills in vec(0usize..50, 0..4),
+    ) {
+        let spec = JobSpec {
+            tests,
+            kill_at_appends: kills,
+            ..JobSpec::small(seed)
+        };
+        let request = Request::Submit(spec);
+        let frame = encode_message(&request).unwrap();
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        decoder.push(&frame);
+        let payload = decoder.next_frame().unwrap().expect("whole frame");
+        let back: Request = decode_message(&payload).unwrap();
+        prop_assert_eq!(back, request);
+    }
+}
