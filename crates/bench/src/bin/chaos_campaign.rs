@@ -167,11 +167,13 @@ fn main() {
     rows.extend(scenario_rows(&persistent, tests));
     println!("{}", render_table(&["metric", "value"], &rows));
 
-    // Preserve chaos_pipeline's and chaos_server's sections if the file
-    // already carries them.
+    // Preserve the sections owned by chaos_pipeline, chaos_server and
+    // chaos_state if the file already carries them.
     let prior = RobustnessBaseline::load(&out);
     let pipeline = prior.as_ref().and_then(|b| b.pipeline.clone());
-    let server = prior.and_then(|b| b.server);
+    let server = prior.as_ref().and_then(|b| b.server.clone());
+    let overload = prior.as_ref().and_then(|b| b.overload.clone());
+    let state = prior.and_then(|b| b.state);
     let baseline = RobustnessBaseline {
         tool: Tool::SpirvFuzz.name().to_owned(),
         tests,
@@ -180,6 +182,8 @@ fn main() {
         scenarios: vec![chaos, persistent],
         pipeline,
         server,
+        overload,
+        state,
     };
     if let Err(e) = baseline.save(&out) {
         eprintln!("failed to write {out}: {e}");

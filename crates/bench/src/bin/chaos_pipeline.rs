@@ -368,6 +368,8 @@ fn main() {
             scenarios: Vec::new(),
             pipeline: None,
             server: None,
+            overload: None,
+            state: None,
         }
     });
     baseline.pipeline = Some(section.clone());

@@ -1,4 +1,4 @@
-//! Chaos server: the triage daemon under shard slaughter.
+//! Chaos server: the triage daemon under shard slaughter and overload.
 //!
 //! Two runs over the same batch of jobs on a multi-shard daemon. The
 //! golden run is uninterrupted. The chaos run arms a kill schedule on
@@ -11,12 +11,23 @@
 //!
 //! Alongside the equivalence verdict the binary measures service-level
 //! numbers — completed jobs per second and p50/p99 job latency under
-//! chaos — and writes the `server` section of `BENCH_robustness.json`,
-//! preserving the sections owned by `chaos_campaign` and
-//! `chaos_pipeline`.
+//! chaos — and writes the `server` section of `BENCH_robustness.json`.
+//! Latencies are the daemon's own admission-to-terminal clocks (fetched
+//! via `Request::Latencies`), so queue wait is included and the client's
+//! poll cadence cannot skew the percentiles.
+//!
+//! `--overload` instead sweeps offered load past the admission queue's
+//! capacity with per-job deadlines and the durable signature store
+//! active, and writes the `overload` section: p50/p99 latency, shed
+//! rate, deadline terminations, and the store's dedup-hit suppression
+//! ratio at each offered load. The top point offers more jobs than the
+//! queue holds, so the curve shows graceful shedding at `queued >= 2000`
+//! rather than collapse.
 //!
 //! Usage: `chaos_server [--jobs N] [--shards S] [--tests T] [--seed B]
 //! [--out FILE] [--golden-report FILE] [--chaos-report FILE]`
+//! or `chaos_server --overload [--shards S] [--queue-capacity Q]
+//! [--deadline-ms D] [--seed-pool P] [--out FILE]`
 //!
 //! `--golden-report` / `--chaos-report` additionally write each run's
 //! drained merged report to a file, so CI can `cmp` the two artifacts
@@ -24,8 +35,10 @@
 
 use std::time::{Duration, Instant};
 
-use trx_bench::robustness::{RobustnessBaseline, ServerBaseline};
-use trx_bench::{arg_string, arg_u64, arg_usize, render_table};
+use trx_bench::robustness::{
+    OverloadBaseline, OverloadPoint, RobustnessBaseline, ServerBaseline,
+};
+use trx_bench::{arg_flag, arg_string, arg_u64, arg_usize, render_table};
 use trx_harness::campaign::Tool;
 use trx_harness::executor::ExecutorConfig;
 use trx_observe::SinkHandle;
@@ -47,38 +60,57 @@ struct RunOutcome {
     elapsed: Duration,
 }
 
-/// Submits `specs` to a fresh daemon, polls every job to completion
-/// (recording per-job admission-to-done latency), then drains.
+fn is_terminal(phase: &JobPhase) -> bool {
+    matches!(
+        phase,
+        JobPhase::Done | JobPhase::Quarantined | JobPhase::DeadlineExceeded
+    )
+}
+
+/// Fetches the daemon's own admission-to-terminal latencies, failing on
+/// any job that has no clock yet (callers only ask once every job is
+/// terminal).
+fn daemon_latencies(client: &mut InProcessClient) -> Vec<Duration> {
+    match client.request(&Request::Latencies) {
+        Response::Latencies { nanos } => nanos
+            .into_iter()
+            .map(|n| Duration::from_nanos(n.expect("terminal job has a latency")))
+            .collect(),
+        other => fail(&format!("latencies failed: {other:?}")),
+    }
+}
+
+/// Submits `specs` to a fresh daemon, polls every job to completion,
+/// then drains. Per-job latency is the daemon's admission-to-terminal
+/// measurement, not the client's poll-observed time.
 fn run_batch(config: DaemonConfig, specs: &[JobSpec]) -> RunOutcome {
     let daemon = Daemon::start(config, SinkHandle::noop());
     let mut client = InProcessClient::connect(daemon);
     let started = Instant::now();
-    let mut submitted = Vec::with_capacity(specs.len());
     for (i, spec) in specs.iter().enumerate() {
         match client.request(&Request::Submit(spec.clone())) {
             Response::Accepted { job } => {
                 if job != i as u64 {
                     fail(&format!("job ids drifted: expected {i}, got {job}"));
                 }
-                submitted.push(Instant::now());
             }
             other => fail(&format!("submit {i} refused: {other:?}")),
         }
     }
 
-    // Poll all jobs round-robin, recording the first time each is seen
-    // terminal. Coarse (one poll loop per millisecond) but unbiased: every
-    // job is visited each sweep.
-    let mut done_at: Vec<Option<Instant>> = vec![None; specs.len()];
-    while done_at.iter().any(Option::is_none) {
-        for (i, slot) in done_at.iter_mut().enumerate() {
-            if slot.is_some() {
+    // Poll all jobs round-robin until every one is terminal. Coarse (one
+    // poll loop per millisecond) but unbiased: every job is visited each
+    // sweep.
+    let mut done = vec![false; specs.len()];
+    while done.iter().any(|d| !d) {
+        for (i, slot) in done.iter_mut().enumerate() {
+            if *slot {
                 continue;
             }
             match client.request(&Request::Status { job: i as u64 }) {
                 Response::Status(status) => {
-                    if matches!(status.phase, JobPhase::Done | JobPhase::Quarantined) {
-                        *slot = Some(Instant::now());
+                    if is_terminal(&status.phase) {
+                        *slot = true;
                     }
                 }
                 other => fail(&format!("status {i} failed: {other:?}")),
@@ -92,15 +124,12 @@ fn run_batch(config: DaemonConfig, specs: &[JobSpec]) -> RunOutcome {
         Response::Stats(stats) => (stats.shard_deaths, stats.resume_replays, stats.quarantined),
         other => fail(&format!("stats failed: {other:?}")),
     };
+    let latencies = daemon_latencies(&mut client);
     let (merged_report, merged_journal) = match client.request(&Request::Drain) {
         Response::Drained { merged_report, merged_journal } => (merged_report, merged_journal),
         other => fail(&format!("drain failed: {other:?}")),
     };
-    let latencies = submitted
-        .iter()
-        .zip(&done_at)
-        .map(|(s, d)| d.expect("all jobs terminal") - *s)
-        .collect();
+    let _ = client.request(&Request::Shutdown);
     RunOutcome {
         merged_report,
         merged_journal,
@@ -120,12 +149,207 @@ fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
     sorted[rank - 1].as_secs_f64() * 1000.0
 }
 
+/// Runs one offered-load point of the overload sweep on a fresh daemon
+/// and returns its curve point plus the largest queue depth observed.
+fn overload_point(
+    config: &DaemonConfig,
+    offered: usize,
+    tests: usize,
+    deadline_ms: u64,
+    seed_pool: u64,
+) -> (OverloadPoint, usize) {
+    let daemon = Daemon::start(config.clone(), SinkHandle::noop());
+    let mut client = InProcessClient::connect(daemon);
+
+    // Seeds cycle through a small pool, so later jobs resubmit bugs the
+    // store has already reduced — the source of the suppression ratio.
+    let mut admitted_jobs = Vec::new();
+    let mut shed = 0u64;
+    for i in 0..offered {
+        let spec = JobSpec {
+            tests,
+            deadline_ms,
+            consult_store: true,
+            ..JobSpec::small(i as u64 % seed_pool)
+        };
+        match client.request(&Request::Submit(spec)) {
+            Response::Accepted { job } => admitted_jobs.push(job),
+            Response::Overloaded { .. } => shed += 1,
+            other => fail(&format!("overload submit {i} failed: {other:?}")),
+        }
+    }
+
+    // Poll the admitted jobs to terminal, tracking the deepest queue the
+    // daemon reported along the way.
+    let mut max_queued = 0usize;
+    let mut done = vec![false; admitted_jobs.len()];
+    while done.iter().any(|d| !d) {
+        match client.request(&Request::Stats) {
+            Response::Stats(stats) => max_queued = max_queued.max(stats.queued),
+            other => fail(&format!("overload stats failed: {other:?}")),
+        }
+        for (slot, job) in done.iter_mut().zip(&admitted_jobs) {
+            if *slot {
+                continue;
+            }
+            match client.request(&Request::Status { job: *job }) {
+                Response::Status(status) => {
+                    if is_terminal(&status.phase) {
+                        *slot = true;
+                    }
+                }
+                other => fail(&format!("overload status {job} failed: {other:?}")),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let stats = match client.request(&Request::Stats) {
+        Response::Stats(stats) => stats,
+        other => fail(&format!("overload stats failed: {other:?}")),
+    };
+    if stats.quarantined > 0 {
+        fail("the overload sweep quarantined a job; no chaos was injected");
+    }
+    if stats.shed != shed {
+        fail(&format!(
+            "shed accounting drifted: daemon says {}, client saw {shed}",
+            stats.shed
+        ));
+    }
+    let mut sorted = daemon_latencies(&mut client);
+    sorted.sort_unstable();
+    let _ = client.request(&Request::Shutdown);
+
+    let reduced = stats.store_signatures;
+    let suppressed = stats.duplicates_suppressed;
+    let judged = suppressed + reduced;
+    let point = OverloadPoint {
+        offered,
+        admitted: stats.admitted,
+        shed,
+        completed: stats.completed,
+        deadline_exceeded: stats.deadline_exceeded,
+        shed_rate: shed as f64 / offered as f64,
+        p50_latency_ms: percentile_ms(&sorted, 0.50),
+        p99_latency_ms: percentile_ms(&sorted, 0.99),
+        duplicates_suppressed: suppressed,
+        signatures_reduced: reduced,
+        suppression_ratio: if judged == 0 { 0.0 } else { suppressed as f64 / judged as f64 },
+    };
+    (point, max_queued)
+}
+
+/// The `--overload` mode: sweep offered load past queue capacity with
+/// deadlines and the signature store active, and write the `overload`
+/// section of the baseline.
+fn run_overload(out: &str) {
+    let shards = arg_usize("--shards", 3).max(1);
+    let queue_capacity = arg_usize("--queue-capacity", 2048).max(1);
+    let deadline_ms = arg_u64("--deadline-ms", 2_000).max(1);
+    let tests = arg_usize("--tests", 2).max(1);
+    let seed_pool = arg_u64("--seed-pool", 40).max(1);
+
+    let config = DaemonConfig {
+        shards,
+        queue_capacity,
+        ..DaemonConfig::default()
+    };
+    // Mid-run deadline enforcement unwinds the shard with a panic
+    // sentinel; silence the default hook's backtrace spam (every
+    // termination is accounted for in the stats).
+    std::panic::set_hook(Box::new(|_| {}));
+    // The sweep ends well past capacity: the top point offers a quarter
+    // more jobs than the queue holds, so shedding (not collapse) is what
+    // the curve has to show.
+    let offered_loads = [
+        queue_capacity / 8,
+        queue_capacity / 2,
+        queue_capacity + queue_capacity / 4,
+    ];
+
+    let mut points = Vec::new();
+    let mut max_queued = 0usize;
+    for offered in offered_loads {
+        eprintln!(
+            "overload point: {offered} jobs offered to a {queue_capacity}-deep queue \
+             on {shards} shards (deadline {deadline_ms} ms) ..."
+        );
+        let (point, deepest) = overload_point(&config, offered, tests, deadline_ms, seed_pool);
+        max_queued = max_queued.max(deepest);
+        points.push(point);
+    }
+
+    if max_queued < 2000 {
+        fail(&format!(
+            "overload sweep never queued 2000 jobs (deepest observed: {max_queued}); \
+             raise --queue-capacity"
+        ));
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.offered.to_string(),
+                p.admitted.to_string(),
+                format!("{:.3}", p.shed_rate),
+                p.completed.to_string(),
+                p.deadline_exceeded.to_string(),
+                format!("{:.1}", p.p50_latency_ms),
+                format!("{:.1}", p.p99_latency_ms),
+                format!("{:.3}", p.suppression_ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["offered", "admitted", "shed rate", "completed", "deadline", "p50 ms", "p99 ms",
+              "suppression"],
+            &rows
+        )
+    );
+
+    let section = OverloadBaseline { shards, queue_capacity, deadline_ms, max_queued, points };
+    let mut baseline = RobustnessBaseline::load(out).unwrap_or_else(|| skeleton(out));
+    baseline.overload = Some(section);
+    if let Err(e) = baseline.save(out) {
+        fail(&format!("failed to write {out}: {e}"));
+    }
+    eprintln!("wrote {out} (deepest queue: {max_queued} jobs)");
+}
+
+/// A fresh baseline when `out` is missing or carries an older schema.
+fn skeleton(out: &str) -> RobustnessBaseline {
+    eprintln!(
+        "note: {out} missing or unparseable; writing a skeleton (run chaos_campaign and \
+         chaos_pipeline to fill the other sections)"
+    );
+    RobustnessBaseline {
+        tool: Tool::SpirvFuzz.name().to_owned(),
+        tests: 0,
+        targets: catalog::all_targets().iter().map(|t| t.name().to_owned()).collect(),
+        executor: ExecutorConfig::default(),
+        scenarios: Vec::new(),
+        pipeline: None,
+        server: None,
+        overload: None,
+        state: None,
+    }
+}
+
 fn main() {
+    let out = arg_string("--out", "BENCH_robustness.json");
+    if arg_flag("--overload") {
+        run_overload(&out);
+        return;
+    }
+
     let jobs = arg_usize("--jobs", 200).max(1);
     let shards = arg_usize("--shards", 2).max(2);
     let tests = arg_usize("--tests", 6).max(1);
     let seed = arg_u64("--seed", 0);
-    let out = arg_string("--out", "BENCH_robustness.json");
     let golden_report = arg_string("--golden-report", "");
     let chaos_report = arg_string("--chaos-report", "");
 
@@ -146,7 +370,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
 
     eprintln!("golden run: {jobs} jobs x {tests} tests on {shards} shards ...");
-    let golden = run_batch(config, &specs);
+    let golden = run_batch(config.clone(), &specs);
     if golden.shard_deaths.iter().any(|&d| d > 0) {
         fail("the golden run killed a shard — the clean pipeline panicked");
     }
@@ -222,21 +446,7 @@ fn main() {
     println!("{}", render_table(&["metric", "value"], &rows));
 
     // Fill the server section, preserving the other binaries' sections.
-    let mut baseline = RobustnessBaseline::load(&out).unwrap_or_else(|| {
-        eprintln!(
-            "note: {out} missing or unparseable; writing a skeleton (run chaos_campaign and \
-             chaos_pipeline to fill the other sections)"
-        );
-        RobustnessBaseline {
-            tool: Tool::SpirvFuzz.name().to_owned(),
-            tests: 0,
-            targets: catalog::all_targets().iter().map(|t| t.name().to_owned()).collect(),
-            executor: ExecutorConfig::default(),
-            scenarios: Vec::new(),
-            pipeline: None,
-            server: None,
-        }
-    });
+    let mut baseline = RobustnessBaseline::load(&out).unwrap_or_else(|| skeleton(&out));
     baseline.server = Some(section);
     if let Err(e) = baseline.save(&out) {
         fail(&format!("failed to write {out}: {e}"));

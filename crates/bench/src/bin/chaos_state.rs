@@ -1,0 +1,517 @@
+//! Chaos state: the durable signature store under kill matrices,
+//! injected storage faults, and daemon restarts.
+//!
+//! The default (`--matrix`) mode drives four recovery matrices and
+//! writes the `state` section of `BENCH_robustness.json`:
+//!
+//! 1. **Kill after every commit** — a synthetic commit stream is cut
+//!    after each commit (crash to the durable watermark) and recovered;
+//!    the recovered corpus must be byte-identical to a golden replay of
+//!    the committed prefix. Run twice: WAL-only, and with automatic
+//!    compaction every third commit, so the snapshot/WAL interplay is
+//!    exercised at every kill point too.
+//! 2. **WAL truncated at every byte** — the full stream's WAL is cut at
+//!    every byte offset; recovery must land on a committed-prefix corpus
+//!    (the torn tail is dropped, never replayed corruptly).
+//! 3. **Injected-fault storage** — short writes, torn records, fsync
+//!    loss, disk full, and a mixed plan, each over several seeds. The
+//!    oracle is the *acknowledged* commit sequence: recovery must be a
+//!    byte-identical golden replay of a prefix of the commits the store
+//!    acked, and for plans without lossy acks (no sync loss, no torn
+//!    record) the whole acked sequence must survive.
+//! 4. **Daemon restart** — a one-shard daemon runs k of N store-backed
+//!    jobs over shared storage, is crashed, and a fresh daemon over the
+//!    same storage resubmits all N; its corpus must be byte-identical to
+//!    an uninterrupted golden daemon's, for every k.
+//!
+//! The `--run` mode is the CI building block for the same property with
+//! a real process and a real directory: it runs N store-backed jobs on a
+//! one-shard daemon over `--state-dir`, then writes the daemon's corpus
+//! verdict to `--verdict-out`. With `--abort-after-commits C` the
+//! process `abort()`s (SIGABRT — no destructors, no flushes) once the
+//! store has committed C jobs, so CI can kill a run mid-stream, restart
+//! against the same directory, and `cmp` the verdict against an
+//! uninterrupted golden run's.
+//!
+//! Usage: `chaos_state [--matrix] [--commits N] [--fault-seeds S]
+//! [--out FILE]`
+//! or `chaos_state --run --state-dir DIR [--jobs N] [--seed-pool P]
+//! [--verdict-out FILE] [--abort-after-commits C]`
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use trx_bench::robustness::{RobustnessBaseline, StateBaseline};
+use trx_bench::{arg_flag, arg_string, arg_u64, arg_usize, render_table};
+use trx_core::TransformationKind;
+use trx_harness::campaign::Tool;
+use trx_harness::executor::ExecutorConfig;
+use trx_observe::SinkHandle;
+use trx_server::{
+    Daemon, DaemonConfig, FaultyStorage, InProcessClient, JobPhase, JobSpec, MemStorage,
+    NovelSignature, Request, Response, SignatureEntry, StateFile, StateStore, StorageFaultPlan,
+};
+use trx_targets::catalog;
+
+fn fail(message: &str) -> ! {
+    eprintln!("FAIL: {message}");
+    std::process::exit(1);
+}
+
+/// A small pool of kinds for synthetic signature entries.
+const POOL: [TransformationKind; 8] = [
+    TransformationKind::AddDeadBlock,
+    TransformationKind::CopyObject,
+    TransformationKind::AddLoad,
+    TransformationKind::AddStore,
+    TransformationKind::MoveBlockDown,
+    TransformationKind::InlineFunction,
+    TransformationKind::AddFunction,
+    TransformationKind::FunctionCall,
+];
+
+fn kinds_for(job: usize, slot: usize) -> BTreeSet<TransformationKind> {
+    (0..=(job + slot) % 3).map(|k| POOL[(job * 3 + slot + k) % POOL.len()]).collect()
+}
+
+/// A deterministic synthetic commit stream: job `j` contributes one or
+/// two signatures under keys distinct across the stream.
+fn synthetic_stream(jobs: usize) -> Vec<(u64, Vec<NovelSignature>)> {
+    (0..jobs)
+        .map(|j| {
+            let novel = (0..1 + j % 2)
+                .map(|s| NovelSignature {
+                    key: format!("t{}|crash: sig-{j}-{s}", j % 2),
+                    entry: SignatureEntry {
+                        kinds: kinds_for(j, s),
+                        first_job: j as u64,
+                        reduced_length: 1 + (j + s) % 5,
+                    },
+                })
+                .collect();
+            (j as u64, novel)
+        })
+        .collect()
+}
+
+/// Replays `stream` on clean storage, returning the canonical-JSON
+/// fingerprint after each commit (index `k` = `k` commits applied).
+fn golden_fingerprints(stream: &[(u64, Vec<NovelSignature>)]) -> Vec<String> {
+    let mut store =
+        StateStore::open(Box::new(MemStorage::new()), 0).unwrap_or_else(|e| fail(&format!("golden open: {e}")));
+    let mut fingerprints =
+        vec![store.canonical_json().unwrap_or_else(|e| fail(&format!("golden fingerprint: {e}")))];
+    for (job, novel) in stream {
+        store
+            .commit(*job, novel.clone())
+            .unwrap_or_else(|e| fail(&format!("golden commit {job}: {e}")));
+        fingerprints
+            .push(store.canonical_json().unwrap_or_else(|e| fail(&format!("golden fingerprint: {e}"))));
+    }
+    fingerprints
+}
+
+/// Matrix 1: kill (crash to the durable watermark) after every commit,
+/// at `snapshot_every` compaction cadence. Returns kill points checked.
+fn kill_after_every_commit(
+    stream: &[(u64, Vec<NovelSignature>)],
+    golden: &[String],
+    snapshot_every: usize,
+) -> usize {
+    for k in 0..=stream.len() {
+        let mem = MemStorage::new();
+        let mut store = StateStore::open(Box::new(mem.clone()), snapshot_every)
+            .unwrap_or_else(|e| fail(&format!("open: {e}")));
+        for (job, novel) in &stream[..k] {
+            store
+                .commit(*job, novel.clone())
+                .unwrap_or_else(|e| fail(&format!("commit {job}: {e}")));
+        }
+        drop(store);
+        mem.crash();
+        let recovered = StateStore::open(Box::new(mem), snapshot_every)
+            .unwrap_or_else(|e| fail(&format!("recover after {k} commits: {e}")));
+        let fingerprint = recovered
+            .canonical_json()
+            .unwrap_or_else(|e| fail(&format!("fingerprint: {e}")));
+        if fingerprint != golden[k] {
+            fail(&format!(
+                "kill after commit {k} (snapshot_every {snapshot_every}) diverged from golden"
+            ));
+        }
+    }
+    stream.len() + 1
+}
+
+/// Matrix 2: the full WAL truncated at every byte must recover a
+/// committed-prefix corpus. Returns kill points checked.
+fn wal_truncated_at_every_byte(
+    stream: &[(u64, Vec<NovelSignature>)],
+    golden: &[String],
+) -> usize {
+    let mem = MemStorage::new();
+    let mut store = StateStore::open(Box::new(mem.clone()), 0)
+        .unwrap_or_else(|e| fail(&format!("open: {e}")));
+    for (job, novel) in stream {
+        store
+            .commit(*job, novel.clone())
+            .unwrap_or_else(|e| fail(&format!("commit {job}: {e}")));
+    }
+    drop(store);
+    let wal = mem.raw(StateFile::Wal);
+    for cut in 0..=wal.len() {
+        let torn = MemStorage::new();
+        torn.set_raw(StateFile::Wal, wal[..cut].to_vec());
+        let recovered = StateStore::open(Box::new(torn), 0)
+            .unwrap_or_else(|e| fail(&format!("recover at byte {cut}: {e}")));
+        let prefix = recovered.state().jobs_committed as usize;
+        if prefix > stream.len() {
+            fail(&format!("truncation at byte {cut} recovered more jobs than committed"));
+        }
+        let fingerprint = recovered
+            .canonical_json()
+            .unwrap_or_else(|e| fail(&format!("fingerprint: {e}")));
+        if fingerprint != golden[prefix] {
+            fail(&format!("truncation at byte {cut} diverged from golden prefix {prefix}"));
+        }
+    }
+    wal.len() + 1
+}
+
+/// Matrix 3: injected-fault storage. Returns fault scenarios checked.
+fn injected_fault_matrix(stream: &[(u64, Vec<NovelSignature>)], fault_seeds: u64) -> usize {
+    let plans: [(&str, StorageFaultPlan); 5] = [
+        ("short-write", StorageFaultPlan {
+            short_write_probability: 0.25,
+            ..StorageFaultPlan::none(0)
+        }),
+        ("torn-record", StorageFaultPlan {
+            torn_record_probability: 0.2,
+            ..StorageFaultPlan::none(0)
+        }),
+        ("sync-loss", StorageFaultPlan {
+            sync_loss_probability: 0.25,
+            ..StorageFaultPlan::none(0)
+        }),
+        ("disk-full", StorageFaultPlan {
+            disk_full_probability: 0.25,
+            ..StorageFaultPlan::none(0)
+        }),
+        ("mixed", StorageFaultPlan {
+            short_write_probability: 0.1,
+            torn_record_probability: 0.08,
+            sync_loss_probability: 0.1,
+            disk_full_probability: 0.08,
+            ..StorageFaultPlan::none(0)
+        }),
+    ];
+
+    let mut scenarios = 0;
+    for (name, base) in &plans {
+        // Acks can vanish at the crash only when the plan injects faults
+        // that lie about durability.
+        let lossy_acks = base.sync_loss_probability > 0.0 || base.torn_record_probability > 0.0;
+        for seed in 0..fault_seeds {
+            let plan = StorageFaultPlan { seed: seed.wrapping_mul(1013), ..base.clone() };
+            let mem = MemStorage::new();
+            let faulty = FaultyStorage::new(mem.clone(), plan);
+            let mut store = StateStore::open(Box::new(faulty), 0)
+                .unwrap_or_else(|e| fail(&format!("{name}/{seed} open: {e}")));
+            let mut acked = Vec::new();
+            for (job, novel) in stream {
+                if store.commit(*job, novel.clone()).is_ok() {
+                    acked.push((*job, novel.clone()));
+                }
+            }
+            drop(store);
+            mem.crash();
+            let recovered = StateStore::open(Box::new(mem), 0)
+                .unwrap_or_else(|e| fail(&format!("{name}/{seed} recover: {e}")));
+            let records = recovered.state().jobs_committed as usize;
+            if records > acked.len() {
+                fail(&format!("{name}/{seed}: recovered more commits than were acked"));
+            }
+            if !lossy_acks && records != acked.len() {
+                fail(&format!(
+                    "{name}/{seed}: lost an acked commit without a lossy fault \
+                     ({records} of {} recovered)",
+                    acked.len()
+                ));
+            }
+            let golden = golden_fingerprints(&acked[..records]);
+            let fingerprint = recovered
+                .canonical_json()
+                .unwrap_or_else(|e| fail(&format!("fingerprint: {e}")));
+            if fingerprint != golden[records] {
+                fail(&format!("{name}/{seed}: recovery diverged from the acked golden prefix"));
+            }
+            scenarios += 1;
+        }
+    }
+    scenarios
+}
+
+fn is_terminal(phase: &JobPhase) -> bool {
+    matches!(
+        phase,
+        JobPhase::Done | JobPhase::Quarantined | JobPhase::DeadlineExceeded
+    )
+}
+
+fn store_job(seed: u64) -> JobSpec {
+    JobSpec { tests: 8, consult_store: true, ..JobSpec::small(seed) }
+}
+
+/// The `--run` mode's job shape: the seed also picks how far into the
+/// nine-target catalog the job reaches, so distinct seeds reduce
+/// signatures on targets earlier jobs never ran — several jobs commit,
+/// which is what gives `--abort-after-commits` a mid-stream kill point.
+fn ci_job(seed: u64) -> JobSpec {
+    JobSpec {
+        target_count: 2 + (seed as usize % 7),
+        ..store_job(seed)
+    }
+}
+
+/// Submits the first `count` of `seeds` as store-backed jobs to a fresh
+/// one-shard daemon over `storage`, waits for them, and returns the
+/// daemon's corpus verdict as pretty JSON.
+fn run_incarnation(storage: MemStorage, seeds: &[u64], count: usize) -> String {
+    let config = DaemonConfig { shards: 1, queue_capacity: seeds.len(), ..DaemonConfig::default() };
+    let daemon = Daemon::start_with_storage(config, Box::new(storage), SinkHandle::noop())
+        .unwrap_or_else(|e| fail(&format!("daemon open: {e}")));
+    let mut client = InProcessClient::connect(daemon);
+    for (i, seed) in seeds[..count].iter().enumerate() {
+        match client.request(&Request::Submit(store_job(*seed))) {
+            Response::Accepted { .. } => {}
+            other => fail(&format!("submit {i} refused: {other:?}")),
+        }
+    }
+    wait_all_terminal(&mut client, count);
+    let corpus = client.request(&Request::Corpus);
+    if !matches!(corpus, Response::Corpus { .. }) {
+        fail(&format!("corpus failed: {corpus:?}"));
+    }
+    let json = serde_json::to_string_pretty(&corpus)
+        .unwrap_or_else(|e| fail(&format!("corpus serialize: {e}")));
+    let _ = client.request(&Request::Shutdown);
+    json
+}
+
+fn wait_all_terminal(client: &mut InProcessClient, count: usize) {
+    let mut done = vec![false; count];
+    while done.iter().any(|d| !d) {
+        for (i, slot) in done.iter_mut().enumerate() {
+            if *slot {
+                continue;
+            }
+            match client.request(&Request::Status { job: i as u64 }) {
+                Response::Status(status) => {
+                    if is_terminal(&status.phase) {
+                        *slot = true;
+                    }
+                }
+                other => fail(&format!("status {i} failed: {other:?}")),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Matrix 4: kill a daemon after k of N store-backed jobs, restart over
+/// the same storage, resubmit all N — the corpus must match the
+/// uninterrupted golden daemon's for every k. Returns restart points.
+fn daemon_restart_matrix() -> usize {
+    // Includes a repeated seed, so cross-restart suppression is on the
+    // path the matrix proves byte-identical.
+    let seeds = [11u64, 97, 42, 11];
+    let golden = run_incarnation(MemStorage::new(), &seeds, seeds.len());
+    for k in 0..=seeds.len() {
+        let mem = MemStorage::new();
+        let _ = run_incarnation(mem.clone(), &seeds, k);
+        mem.crash();
+        let recovered = run_incarnation(mem, &seeds, seeds.len());
+        if recovered != golden {
+            fail(&format!("daemon restarted after {k} jobs diverged from the golden corpus"));
+        }
+    }
+    seeds.len() + 1
+}
+
+fn run_matrix(out: &str) {
+    let commits = arg_usize("--commits", 20).max(1);
+    let fault_seeds = arg_u64("--fault-seeds", 4).max(1);
+
+    let stream = synthetic_stream(commits);
+    let golden = golden_fingerprints(&stream);
+
+    eprintln!("matrix 1: kill after every commit ({commits} commits, WAL-only and compacting) ...");
+    let mut kill_points = kill_after_every_commit(&stream, &golden, 0);
+    kill_points += kill_after_every_commit(&stream, &golden, 3);
+
+    eprintln!("matrix 2: WAL truncated at every byte ...");
+    kill_points += wal_truncated_at_every_byte(&stream, &golden);
+
+    eprintln!("matrix 3: injected-fault storage (5 plans x {fault_seeds} seeds) ...");
+    let fault_scenarios = injected_fault_matrix(&stream, fault_seeds);
+
+    eprintln!("matrix 4: daemon kill-and-restart over shared storage ...");
+    let daemon_restart_points = daemon_restart_matrix();
+
+    // Reaching this point means every matrix assertion held — any
+    // divergence fails the binary before the baseline is written.
+    let section = StateBaseline {
+        commits,
+        kill_points_checked: kill_points,
+        fault_scenarios,
+        daemon_restart_points,
+        store_recovered_byte_identical: true,
+        daemon_recovered_byte_identical: true,
+        equivalent: true,
+    };
+
+    let rows = vec![
+        vec!["synthetic commits".to_owned(), commits.to_string()],
+        vec!["kill points checked".to_owned(), kill_points.to_string()],
+        vec!["fault scenarios".to_owned(), fault_scenarios.to_string()],
+        vec!["daemon restart points".to_owned(), daemon_restart_points.to_string()],
+        vec!["store recovery byte-identical".to_owned(), "true".to_owned()],
+        vec!["daemon recovery byte-identical".to_owned(), "true".to_owned()],
+    ];
+    println!("{}", render_table(&["metric", "value"], &rows));
+
+    let mut baseline = RobustnessBaseline::load(out).unwrap_or_else(|| {
+        eprintln!(
+            "note: {out} missing or unparseable; writing a skeleton (run chaos_campaign, \
+             chaos_pipeline and chaos_server to fill the other sections)"
+        );
+        RobustnessBaseline {
+            tool: Tool::SpirvFuzz.name().to_owned(),
+            tests: 0,
+            targets: catalog::all_targets().iter().map(|t| t.name().to_owned()).collect(),
+            executor: ExecutorConfig::default(),
+            scenarios: Vec::new(),
+            pipeline: None,
+            server: None,
+            overload: None,
+            state: None,
+        }
+    });
+    baseline.state = Some(section);
+    if let Err(e) = baseline.save(out) {
+        fail(&format!("failed to write {out}: {e}"));
+    }
+    eprintln!("wrote {out}");
+}
+
+/// The CI `--run` mode: real daemon, real directory, optional mid-stream
+/// abort.
+fn run_against_dir() {
+    let state_dir = arg_string("--state-dir", "");
+    if state_dir.is_empty() {
+        fail("--run requires --state-dir DIR");
+    }
+    let jobs = arg_usize("--jobs", 8).max(1);
+    let seed_pool = arg_u64("--seed-pool", 4).max(1);
+    let verdict_out = arg_string("--verdict-out", "");
+    let abort_after = arg_u64("--abort-after-commits", 0);
+
+    let config = DaemonConfig {
+        shards: 1,
+        queue_capacity: jobs,
+        state_dir: Some(state_dir.clone()),
+        snapshot_every: 4,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config, SinkHandle::noop());
+    let mut client = InProcessClient::connect(daemon);
+    for i in 0..jobs {
+        match client.request(&Request::Submit(ci_job(i as u64 % seed_pool))) {
+            Response::Accepted { .. } => {}
+            other => fail(&format!("submit {i} refused: {other:?}")),
+        }
+    }
+
+    let mut done = vec![false; jobs];
+    while done.iter().any(|d| !d) {
+        if abort_after > 0 {
+            match client.request(&Request::Stats) {
+                Response::Stats(stats) => {
+                    if stats.store_jobs_committed >= abort_after {
+                        eprintln!(
+                            "aborting after {} committed jobs (as requested)",
+                            stats.store_jobs_committed
+                        );
+                        // SIGABRT: no destructors, no flushes — the WAL on
+                        // disk is all the next incarnation gets.
+                        std::process::abort();
+                    }
+                }
+                other => fail(&format!("stats failed: {other:?}")),
+            }
+        }
+        for (i, slot) in done.iter_mut().enumerate() {
+            if *slot {
+                continue;
+            }
+            match client.request(&Request::Status { job: i as u64 }) {
+                Response::Status(status) => {
+                    if is_terminal(&status.phase) {
+                        *slot = true;
+                    }
+                }
+                other => fail(&format!("status {i} failed: {other:?}")),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if abort_after > 0 {
+        fail(&format!(
+            "all {jobs} jobs finished before the store committed {abort_after}; \
+             lower --abort-after-commits"
+        ));
+    }
+
+    let stats = match client.request(&Request::Stats) {
+        Response::Stats(stats) => stats,
+        other => fail(&format!("stats failed: {other:?}")),
+    };
+    let corpus = client.request(&Request::Corpus);
+    if !matches!(corpus, Response::Corpus { .. }) {
+        fail(&format!("corpus failed: {corpus:?}"));
+    }
+    let verdict = serde_json::to_string_pretty(&corpus)
+        .unwrap_or_else(|e| fail(&format!("corpus serialize: {e}")));
+    let _ = client.request(&Request::Shutdown);
+
+    let rows = vec![
+        vec!["jobs run".to_owned(), jobs.to_string()],
+        vec!["store jobs committed".to_owned(), stats.store_jobs_committed.to_string()],
+        vec!["store signatures".to_owned(), stats.store_signatures.to_string()],
+        vec!["duplicates suppressed".to_owned(), stats.duplicates_suppressed.to_string()],
+        vec!["records recovered at open".to_owned(), stats.store_recovered_records.to_string()],
+        vec!["compactions".to_owned(), stats.store_compactions.to_string()],
+        vec!["commit failures".to_owned(), stats.store_commit_failures.to_string()],
+    ];
+    println!("{}", render_table(&["metric", "value"], &rows));
+    if stats.store_commit_failures > 0 {
+        fail("the store reported commit failures on a healthy disk");
+    }
+
+    if verdict_out.is_empty() {
+        println!("{verdict}");
+    } else if let Err(e) = std::fs::write(&verdict_out, format!("{verdict}\n")) {
+        fail(&format!("cannot write {verdict_out}: {e}"));
+    } else {
+        eprintln!("wrote {verdict_out}");
+    }
+}
+
+fn main() {
+    if arg_flag("--run") {
+        run_against_dir();
+        return;
+    }
+    let out = arg_string("--out", "BENCH_robustness.json");
+    run_matrix(&out);
+}

@@ -72,6 +72,13 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Reads a bare `--flag` style option, returning whether `name` appears
+/// anywhere on the command line.
+#[must_use]
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// Reads `--flag value` style options, returning the value for `name` as a
 /// string, or `default`.
 #[must_use]

@@ -105,6 +105,73 @@ pub struct ServerBaseline {
     pub equivalent: bool,
 }
 
+/// One offered-load point of the latency-under-overload curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadPoint {
+    /// Jobs offered to admission at this point.
+    pub offered: usize,
+    /// Jobs admitted into the queue.
+    pub admitted: u64,
+    /// Jobs shed with a typed `Overloaded` response.
+    pub shed: u64,
+    /// Jobs that completed with a report.
+    pub completed: u64,
+    /// Jobs terminated by the per-job deadline.
+    pub deadline_exceeded: u64,
+    /// Fraction of offered jobs shed at admission.
+    pub shed_rate: f64,
+    /// Median admission→terminal latency, milliseconds (queue wait
+    /// included).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile admission→terminal latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Bug signatures answered from the durable store without a new
+    /// reduction.
+    pub duplicates_suppressed: u64,
+    /// Signatures reduced for the first time and committed.
+    pub signatures_reduced: u64,
+    /// duplicates / (duplicates + reduced): how much reduction work the
+    /// store suppressed at this point.
+    pub suppression_ratio: f64,
+}
+
+/// The latency-under-overload curve (`chaos_server --overload`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadBaseline {
+    /// Shard workers the daemon ran.
+    pub shards: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Per-job deadline enforced during the sweep, milliseconds.
+    pub deadline_ms: u64,
+    /// Largest queue depth reached across the sweep (the ≥ 2000 gate).
+    pub max_queued: usize,
+    /// The curve, one point per offered load.
+    pub points: Vec<OverloadPoint>,
+}
+
+/// Recovery-matrix results for the durable state store (`chaos_state`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateBaseline {
+    /// Synthetic job commits in the store-level matrices.
+    pub commits: usize,
+    /// Kill points exercised (after every commit plus every WAL byte).
+    pub kill_points_checked: usize,
+    /// Injected-fault storage scenarios exercised (short write, torn
+    /// record, fsync loss, disk full, mixed).
+    pub fault_scenarios: usize,
+    /// Daemon incarnations killed and restarted over shared storage.
+    pub daemon_restart_points: usize,
+    /// Whether every store-level recovery was byte-identical to the
+    /// golden prefix of acknowledged commits.
+    pub store_recovered_byte_identical: bool,
+    /// Whether every daemon restart recovered a corpus byte-identical to
+    /// the uninterrupted golden daemon's.
+    pub daemon_recovered_byte_identical: bool,
+    /// The section's headline verdict: both matrices byte-identical.
+    pub equivalent: bool,
+}
+
 /// The machine-readable robustness baseline (`BENCH_robustness.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RobustnessBaseline {
@@ -124,6 +191,12 @@ pub struct RobustnessBaseline {
     /// Triage-daemon results (written by `chaos_server`; `null` until
     /// that binary has run).
     pub server: Option<ServerBaseline>,
+    /// Latency-under-overload curve (written by `chaos_server
+    /// --overload`; `null` until that mode has run).
+    pub overload: Option<OverloadBaseline>,
+    /// Durable-state recovery matrices (written by `chaos_state`; `null`
+    /// until that binary has run).
+    pub state: Option<StateBaseline>,
 }
 
 impl RobustnessBaseline {

@@ -225,6 +225,47 @@ impl IncrementalDedup {
         sink.count(scope, Counter::DedupKept, kept.len() as u64);
         kept
     }
+
+    /// Appends every set of `other` to this corpus, in `other`'s arrival
+    /// order, returning how many sets were absorbed. Merging corpora A then
+    /// B is equivalent to observing A's sets followed by B's.
+    pub fn merge(&mut self, other: &IncrementalDedup) -> usize {
+        self.sets.extend(other.sets.iter().cloned());
+        other.sets.len()
+    }
+
+    /// Serialises the corpus as JSON lines — one type set per line, in
+    /// arrival order — the same append-only discipline the pipeline WAL
+    /// uses. A crash can tear at most the final line, which
+    /// [`IncrementalDedup::from_lines_lossy`] drops.
+    #[must_use]
+    pub fn to_lines(&self) -> String {
+        let mut out = String::new();
+        for set in &self.sets {
+            // A BTreeSet of unit variants always serialises; fall back to an
+            // empty array rather than poisoning the whole corpus.
+            let line = serde_json::to_string(set).unwrap_or_else(|_| "[]".to_owned());
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Recovers a corpus from (possibly truncated) [`IncrementalDedup::to_lines`]
+    /// output. Parsing stops at the first line that fails to decode — a torn
+    /// tail from a crashed append — so the result is always an exact prefix
+    /// of the corpus that was being written. Never panics, for any input.
+    #[must_use]
+    pub fn from_lines_lossy(text: &str) -> IncrementalDedup {
+        let mut sets = Vec::new();
+        for line in text.lines() {
+            match serde_json::from_str::<BTreeSet<TransformationKind>>(line) {
+                Ok(set) => sets.push(set),
+                Err(_) => break,
+            }
+        }
+        IncrementalDedup { sets }
+    }
 }
 
 #[cfg(test)]
@@ -455,6 +496,51 @@ mod tests {
         let types = interesting_types_observed(&seq, &handle, Scope::Dedup);
         assert_eq!(types, set(&[K::SetFunctionControl]));
         assert_eq!(sink.snapshot().counter("dedup", Counter::DedupSupportingExcluded), 2);
+    }
+
+    #[test]
+    fn merge_equals_sequential_observation() {
+        let first = [set(&[K::AddDeadBlock]), set(&[K::CopyObject])];
+        let second = [set(&[K::AddLoad]), BTreeSet::new()];
+        let mut a = IncrementalDedup::new();
+        for s in &first {
+            a.observe(s.clone());
+        }
+        let mut b = IncrementalDedup::new();
+        for s in &second {
+            b.observe(s.clone());
+        }
+        let mut merged = a.clone();
+        assert_eq!(merged.merge(&b), second.len());
+
+        let mut sequential = IncrementalDedup::new();
+        for s in first.iter().chain(&second) {
+            sequential.observe(s.clone());
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.recommend(), sequential.recommend());
+    }
+
+    #[test]
+    fn lines_round_trip_and_truncation_recovers_a_prefix() {
+        let sets = [
+            set(&[K::AddDeadBlock, K::MoveBlockDown]),
+            BTreeSet::new(),
+            set(&[K::CopyObject]),
+        ];
+        let mut full = IncrementalDedup::new();
+        for s in &sets {
+            full.observe(s.clone());
+        }
+        let text = full.to_lines();
+        assert_eq!(IncrementalDedup::from_lines_lossy(&text), full);
+
+        // Truncating at every byte boundary recovers an exact prefix.
+        for cut in 0..=text.len() {
+            let recovered = IncrementalDedup::from_lines_lossy(&text[..cut]);
+            assert!(recovered.len() <= full.len());
+            assert_eq!(recovered.sets(), &full.sets()[..recovered.len()]);
+        }
     }
 
     #[test]

@@ -135,6 +135,20 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Signatures already reduced by earlier jobs, keyed by
+/// [`signature_key`] and carrying the interesting transformation kinds of
+/// the reduced sequence. A pipeline seeded with this map answers matching
+/// bugs as duplicates without re-reducing them (see
+/// [`run_pipeline_with_known`]).
+pub type KnownSignatures = BTreeMap<String, BTreeSet<TransformationKind>>;
+
+/// The stable cross-job identity of a bug: target name and signature,
+/// joined so equal keys mean "the same bug as far as triage is concerned".
+#[must_use]
+pub fn signature_key(target: &str, signature: &BugSignature) -> String {
+    format!("{target}|{signature}")
+}
+
 /// The journaled summary of one completed reduction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TriagedBug {
@@ -186,6 +200,15 @@ pub enum WalRecord {
         bug: usize,
         /// The completed reduction.
         summary: TriagedBug,
+    },
+    /// Bug `bug` matched a known cross-job signature and was suppressed
+    /// without reduction. Journaled like any other per-bug decision so a
+    /// resumed run repeats it instead of re-deciding.
+    Duplicate {
+        /// Index into the pipeline's deterministic bug list.
+        bug: usize,
+        /// The matched [`signature_key`].
+        key: String,
     },
     /// Bug `bug` was folded into the incremental dedup state as arrival
     /// `arrival`.
@@ -297,6 +320,9 @@ pub struct DedupMetrics {
     pub empty_sets: usize,
     /// Tests recommended for manual investigation.
     pub kept: usize,
+    /// Bugs answered from the cross-job [`KnownSignatures`] map without a
+    /// new reduction.
+    pub cross_job_duplicates: usize,
 }
 
 /// Write-ahead-log totals.
@@ -348,6 +374,10 @@ pub struct PipelineReport {
     /// Every triaged bug, in deterministic (target-major, first-seen)
     /// order.
     pub bugs: Vec<TriagedBug>,
+    /// Bugs suppressed as cross-job duplicates: their signature matched
+    /// the [`KnownSignatures`] map the caller seeded, so no reduction ran
+    /// and they do not appear in `bugs`.
+    pub duplicates: Vec<DuplicateBug>,
     /// Indices into `bugs` of the tests dedup recommends keeping.
     pub kept: Vec<usize>,
     /// Per-stage counter totals (see [`PipelineMetrics`]).
@@ -373,6 +403,21 @@ impl PipelineReport {
     pub fn from_json(json: &str) -> Result<Self, HarnessError> {
         Ok(serde_json::from_str(json)?)
     }
+}
+
+/// A bug answered from the cross-job signature store instead of reduced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DuplicateBug {
+    /// Target the bug was observed on.
+    pub target: String,
+    /// Campaign test index that first triggered the signature.
+    pub test_index: usize,
+    /// Seed of that test.
+    pub seed: u64,
+    /// The bug signature.
+    pub signature: BugSignature,
+    /// The [`signature_key`] it matched in the known map.
+    pub key: String,
 }
 
 /// A bug awaiting reduction, identified deterministically from the
@@ -417,6 +462,7 @@ struct Recovered {
     checkpoint: Option<CampaignCheckpoint>,
     probe_logs: BTreeMap<usize, ReductionLog>,
     done: BTreeMap<usize, TriagedBug>,
+    duplicates: BTreeSet<usize>,
     dedup_observed: BTreeSet<usize>,
     verdict: Option<Vec<usize>>,
     started: bool,
@@ -458,6 +504,9 @@ fn replay(journal: &Journal, config: &PipelineConfig) -> Result<Recovered, Harne
             }
             WalRecord::ReductionDone { bug, summary } => {
                 recovered.done.insert(*bug, summary.clone());
+            }
+            WalRecord::Duplicate { bug, .. } => {
+                recovered.duplicates.insert(*bug);
             }
             WalRecord::DedupObserved { bug, .. } => {
                 recovered.dedup_observed.insert(*bug);
@@ -588,6 +637,27 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
     run_pipeline_observed(config, targets, journal, sink, &SinkHandle::noop())
 }
 
+/// [`run_pipeline`] seeded with the signatures earlier jobs already
+/// reduced: a bug whose [`signature_key`] appears in `known` is journaled
+/// as a [`WalRecord::Duplicate`], reported under
+/// [`PipelineReport::duplicates`], and costs zero reduction probes. The
+/// decision is made once per bug and journaled, so kill/resume replays it
+/// instead of re-deciding — resuming with a *different* `known` map still
+/// honours the journaled decisions.
+///
+/// # Errors
+///
+/// Exactly [`run_pipeline`]'s errors.
+pub fn run_pipeline_with_known<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+    known: &KnownSignatures,
+    journal: &Journal,
+    sink: impl FnMut(&WalRecord),
+) -> Result<PipelineReport, HarnessError> {
+    run_pipeline_with_known_observed(config, targets, known, journal, sink, &SinkHandle::noop())
+}
+
 /// [`run_pipeline`] with live instrumentation: every stage streams
 /// counters and timings to `observe` (see [`trx_observe`] for the counter
 /// glossary and determinism levels).
@@ -603,6 +673,30 @@ pub fn run_pipeline<T: TestTarget + Send + Sync + 'static>(
 pub fn run_pipeline_observed<T: TestTarget + Send + Sync + 'static>(
     config: &PipelineConfig,
     targets: &Arc<Vec<T>>,
+    journal: &Journal,
+    outer_sink: impl FnMut(&WalRecord),
+    observe: &SinkHandle,
+) -> Result<PipelineReport, HarnessError> {
+    run_pipeline_with_known_observed(
+        config,
+        targets,
+        &KnownSignatures::new(),
+        journal,
+        outer_sink,
+        observe,
+    )
+}
+
+/// [`run_pipeline_with_known`] with live instrumentation; each suppressed
+/// duplicate additionally bumps `dedup_store_hits` under [`Scope::Dedup`].
+///
+/// # Errors
+///
+/// Exactly [`run_pipeline`]'s errors.
+pub fn run_pipeline_with_known_observed<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+    known: &KnownSignatures,
     journal: &Journal,
     mut outer_sink: impl FnMut(&WalRecord),
     observe: &SinkHandle,
@@ -663,8 +757,21 @@ pub fn run_pipeline_observed<T: TestTarget + Send + Sync + 'static>(
     // per-bug parallelism must never share a pool (nested `map` on one
     // pool can deadlock).
     let donors = donor_modules();
-    let pending: Vec<usize> =
-        (0..bugs.len()).filter(|i| !recovered.done.contains_key(i)).collect();
+    // The cross-job duplicate decision per bug: journaled decisions (done
+    // or duplicate) always win; only undecided bugs consult `known`.
+    let duplicate_keys: BTreeMap<usize, String> = bugs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !recovered.done.contains_key(i))
+        .filter_map(|(i, bug)| {
+            let key = signature_key(&bug.target, &bug.signature);
+            (recovered.duplicates.contains(&i) || known.contains_key(&key))
+                .then_some((i, key))
+        })
+        .collect();
+    let pending: Vec<usize> = (0..bugs.len())
+        .filter(|i| !recovered.done.contains_key(i) && !duplicate_keys.contains_key(i))
+        .collect();
     let mut parallel_results: BTreeMap<
         usize,
         Result<(TriagedBug, Vec<WalRecord>), HarnessError>,
@@ -701,7 +808,22 @@ pub fn run_pipeline_observed<T: TestTarget + Send + Sync + 'static>(
 
     let mut dedup = IncrementalDedup::new();
     let mut summaries = Vec::with_capacity(bugs.len());
+    let mut duplicates = Vec::new();
     for (bug_index, bug) in bugs.iter().enumerate() {
+        if let Some(key) = duplicate_keys.get(&bug_index) {
+            if !recovered.duplicates.contains(&bug_index) {
+                sink(&WalRecord::Duplicate { bug: bug_index, key: key.clone() });
+            }
+            observe.count(Scope::Dedup, Counter::DedupStoreHits, 1);
+            duplicates.push(DuplicateBug {
+                target: bug.target.clone(),
+                test_index: bug.test_index,
+                seed: bug.seed,
+                signature: bug.signature.clone(),
+                key: key.clone(),
+            });
+            continue;
+        }
         let summary = match recovered.done.get(&bug_index) {
             Some(summary) => summary.clone(),
             None => {
@@ -774,6 +896,7 @@ pub fn run_pipeline_observed<T: TestTarget + Send + Sync + 'static>(
             sets_observed: summaries.len(),
             empty_sets: summaries.iter().filter(|b| b.kinds.is_empty()).count(),
             kept: kept.len(),
+            cross_job_duplicates: duplicates.len(),
         },
         wal: WalMetrics {
             records: prior_records + emitted_records,
@@ -789,6 +912,7 @@ pub fn run_pipeline_observed<T: TestTarget + Send + Sync + 'static>(
         incidents: outcome.ledger.len(),
         quarantined: outcome.quarantined,
         bugs: summaries,
+        duplicates,
         kept,
         metrics,
     })
@@ -917,6 +1041,86 @@ mod tests {
         // The journal starts with a header and ends with the verdict.
         assert!(matches!(records.first(), Some(WalRecord::Start { .. })));
         assert!(matches!(records.last(), Some(WalRecord::Verdict { .. })));
+    }
+
+    #[test]
+    fn known_signatures_suppress_reduction_without_probes() {
+        let config = small_config();
+        let targets = clean_targets();
+        let (first, _) = run_collecting(&config, &targets, &Journal::new());
+        assert!(!first.bugs.is_empty());
+
+        // Seed a second run with everything the first one reduced: every
+        // bug is answered as a duplicate and zero probes run.
+        let known: KnownSignatures = first
+            .bugs
+            .iter()
+            .map(|b| (signature_key(&b.target, &b.signature), b.kinds.clone()))
+            .collect();
+        let mut records = Vec::new();
+        let rerun = run_pipeline_with_known(&config, &targets, &known, &Journal::new(), |r| {
+            records.push(r.clone());
+        })
+        .expect("seeded rerun");
+        assert!(rerun.bugs.is_empty());
+        assert!(rerun.kept.is_empty());
+        assert_eq!(rerun.duplicates.len(), first.bugs.len());
+        assert_eq!(rerun.metrics.reduction.tests_run, 0);
+        assert_eq!(rerun.metrics.reduction.bugs_triaged, 0);
+        assert_eq!(rerun.metrics.dedup.cross_job_duplicates, first.bugs.len());
+        for (dup, bug) in rerun.duplicates.iter().zip(&first.bugs) {
+            assert_eq!(dup.key, signature_key(&bug.target, &bug.signature));
+            assert_eq!(dup.signature, bug.signature);
+        }
+        assert!(records.iter().any(|r| matches!(r, WalRecord::Duplicate { .. })));
+        assert!(!records.iter().any(|r| matches!(r, WalRecord::Probe { .. })));
+    }
+
+    #[test]
+    fn seeded_pipeline_kill_and_resume_is_bit_identical() {
+        // The duplicate decision is journaled, so kill/resume with the
+        // same known map replays it to byte-identical artifacts — and a
+        // resume that lost the known map (empty) still honours decisions
+        // already in the journal.
+        let config = small_config();
+        let targets = clean_targets();
+        let (first, _) = run_collecting(&config, &targets, &Journal::new());
+        let known: KnownSignatures = first
+            .bugs
+            .iter()
+            .take(1)
+            .map(|b| (signature_key(&b.target, &b.signature), b.kinds.clone()))
+            .collect();
+
+        let mut records = Vec::new();
+        let golden = run_pipeline_with_known(&config, &targets, &known, &Journal::new(), |r| {
+            records.push(r.clone());
+        })
+        .expect("seeded golden run");
+        assert_eq!(golden.duplicates.len(), 1);
+        let golden_json = golden.to_json().expect("serialises");
+
+        for k in 0..=records.len() {
+            let prefix = Journal { records: records[..k].to_vec() };
+            let mut emitted = Vec::new();
+            let resumed = run_pipeline_with_known(&config, &targets, &known, &prefix, |r| {
+                emitted.push(r.clone());
+            })
+            .expect("seeded resume");
+            assert_eq!(resumed.to_json().expect("serialises"), golden_json);
+            assert_eq!(emitted, records[k..].to_vec());
+        }
+
+        // Resume past the journaled Duplicate record with no known map:
+        // the journal alone carries the decision.
+        let decided = records
+            .iter()
+            .position(|r| matches!(r, WalRecord::Duplicate { .. }))
+            .expect("a duplicate was journaled")
+            + 1;
+        let prefix = Journal { records: records[..decided].to_vec() };
+        let resumed = run_pipeline(&config, &targets, &prefix, |_| {}).expect("bare resume");
+        assert_eq!(resumed.to_json().expect("serialises"), golden_json);
     }
 
     #[test]

@@ -151,7 +151,25 @@ pub enum Counter {
     /// Jobs quarantined by the circuit breaker after repeatedly killing
     /// their shard (engine-level: follows the fault schedule).
     JobsQuarantined,
+    // --- durable cross-job state ---
+    /// Bugs answered from the cross-job signature store without a new
+    /// reduction (engine-level: depends on what earlier jobs committed).
+    DedupStoreHits,
+    /// Job commits durably appended to the state store's WAL (engine-level:
+    /// only signature-contributing jobs append a record).
+    StateCommits,
+    /// Job commits the state store failed to make durable (engine-level:
+    /// follows the injected storage-fault schedule).
+    StateCommitFailures,
+    /// Snapshot-and-truncate compactions of the state store's WAL.
+    StateCompactions,
+    /// WAL records folded in while recovering the state store at startup
+    /// (engine-level: an uninterrupted, freshly compacted store replays
+    /// nothing).
+    StateRecoveredRecords,
     // --- scheduling / wall clock (volatile) ---
+    /// Jobs terminated because their wall-clock deadline elapsed.
+    JobsDeadlineExceeded,
     /// Jobs rejected with an `Overloaded` reply by admission control.
     JobsShed,
     /// Duration series: wall time from job admission to terminal state.
@@ -207,6 +225,12 @@ impl Counter {
             Counter::ShardRestarts => "shard_restarts",
             Counter::ResumeReplays => "resume_replays",
             Counter::JobsQuarantined => "jobs_quarantined",
+            Counter::DedupStoreHits => "dedup_store_hits",
+            Counter::StateCommits => "state_commits",
+            Counter::StateCommitFailures => "state_commit_failures",
+            Counter::StateCompactions => "state_compactions",
+            Counter::StateRecoveredRecords => "state_recovered_records",
+            Counter::JobsDeadlineExceeded => "jobs_deadline_exceeded",
             Counter::JobsShed => "jobs_shed",
             Counter::JobLatencyNanos => "job_latency_nanos",
             Counter::PoolTasks => "pool_tasks",
@@ -254,8 +278,14 @@ impl Counter {
             | Counter::SpeculativeThrottles
             | Counter::ShardRestarts
             | Counter::ResumeReplays
+            | Counter::DedupStoreHits
+            | Counter::StateCommits
+            | Counter::StateCommitFailures
+            | Counter::StateCompactions
+            | Counter::StateRecoveredRecords
             | Counter::JobsQuarantined => Level::Engine,
             Counter::PoolTasks
+            | Counter::JobsDeadlineExceeded
             | Counter::JobsShed
             | Counter::JobLatencyNanos
             | Counter::WatchdogTimeouts
@@ -799,6 +829,12 @@ mod tests {
             Counter::ShardRestarts,
             Counter::ResumeReplays,
             Counter::JobsQuarantined,
+            Counter::DedupStoreHits,
+            Counter::StateCommits,
+            Counter::StateCommitFailures,
+            Counter::StateCompactions,
+            Counter::StateRecoveredRecords,
+            Counter::JobsDeadlineExceeded,
             Counter::JobsShed,
             Counter::JobLatencyNanos,
             Counter::PoolTasks,

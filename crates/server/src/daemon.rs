@@ -39,23 +39,30 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use trx_harness::pipeline::{run_pipeline_observed, Journal, PipelineConfig, PipelineReport};
-use trx_harness::{ExecutorConfig, Tool, WatchdogConfig};
+use trx_harness::pipeline::{
+    run_pipeline_with_known_observed, signature_key, Journal, KnownSignatures, PipelineConfig,
+    PipelineReport,
+};
+use trx_harness::{BugSignature, ExecutorConfig, Tool, WatchdogConfig};
 use trx_observe::{Counter, Scope, SinkHandle};
 use trx_reducer::ReducerOptions;
 use trx_targets::{catalog, FaultPlan, FaultyTarget};
 
+use crate::state::{
+    DiskStorage, MemStorage, NovelSignature, SignatureEntry, StateError, StateStorage, StateStore,
+};
 use crate::wire::{
     DaemonStats, JobPhase, JobSpec, JobStatus, Request, Response,
 };
 
 /// Tuning knobs for [`Daemon::start`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DaemonConfig {
     /// Concurrent shard workers. Each runs one job at a time.
     pub shards: usize,
@@ -68,6 +75,12 @@ pub struct DaemonConfig {
     /// Base of the logical exponential backoff charged per restart, in
     /// milliseconds (recorded, not slept).
     pub backoff_base_ms: u64,
+    /// Directory for the durable signature store. `None` keeps the store
+    /// in memory: cross-job dedup still works, but dies with the process.
+    pub state_dir: Option<String>,
+    /// WAL records that trigger automatic store compaction after a
+    /// commit; 0 never auto-compacts.
+    pub snapshot_every: usize,
 }
 
 impl Default for DaemonConfig {
@@ -77,6 +90,8 @@ impl Default for DaemonConfig {
             queue_capacity: 64,
             max_restarts: 3,
             backoff_base_ms: 10,
+            state_dir: None,
+            snapshot_every: 64,
         }
     }
 }
@@ -88,7 +103,10 @@ pub struct MergedJob {
     pub job: u64,
     /// Whether the circuit breaker quarantined the job.
     pub quarantined: bool,
-    /// The pipeline report; `None` for quarantined jobs.
+    /// Whether the job's deadline expired before it could finish.
+    pub deadline_exceeded: bool,
+    /// The pipeline report; `None` for quarantined or deadline-exceeded
+    /// jobs.
     pub report: Option<PipelineReport>,
 }
 
@@ -126,6 +144,12 @@ struct Job {
     report: Option<PipelineReport>,
     error: Option<String>,
     admitted_at: Instant,
+    /// Admission→terminal latency, set exactly once at the terminal
+    /// transition (so queue wait is included — the honest p99).
+    latency: Option<Duration>,
+    /// The store's known-signature map, pinned at the job's *first* claim
+    /// so restarts resume against the same map and stay byte-identical.
+    known: Option<Arc<KnownSignatures>>,
 }
 
 /// Mutable daemon state behind the one lock.
@@ -141,12 +165,18 @@ struct State {
     completed: u64,
     quarantined: u64,
     resume_replays: u64,
+    deadline_exceeded: u64,
+    duplicates_suppressed: u64,
 }
 
 struct Shared {
     config: DaemonConfig,
     observe: SinkHandle,
     state: Mutex<State>,
+    /// The durable signature store, behind its own lock. Lock discipline:
+    /// never held together with `state` — every path takes one, drops it,
+    /// then may take the other, so the pair cannot deadlock.
+    store: Mutex<StateStore>,
     /// Signaled when work arrives or drain starts (shards wait here).
     work: Condvar,
     /// Signaled when a job reaches a terminal phase (drain waits here).
@@ -161,7 +191,16 @@ impl Shared {
         // transitions are all crash-consistent.
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    fn lock_store(&self) -> MutexGuard<'_, StateStore> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
+
+/// Panic payload marking a deliberate deadline abort — not a shard death.
+/// The unwind is just transport: the shard catches it, rolls the job into
+/// [`JobPhase::DeadlineExceeded`], and keeps running without a respawn.
+struct DeadlineAbort;
 
 /// The long-lived triage service. Cheap to clone — all clones share one
 /// supervision tree.
@@ -174,10 +213,48 @@ impl Daemon {
     /// Starts the shard pool and returns a handle to it. Counters for
     /// every admission and failure path stream to `observe` under
     /// [`Scope::Server`].
+    ///
+    /// The durable signature store opens from `config.state_dir` (or in
+    /// memory when `None`) and is recovered before the first shard runs.
+    ///
+    /// # Panics
+    ///
+    /// If the store cannot be opened or is corrupt — a daemon must not
+    /// serve over state it cannot trust. Use
+    /// [`Daemon::start_with_storage`] to handle the error.
     #[must_use]
     pub fn start(config: DaemonConfig, observe: SinkHandle) -> Daemon {
+        let storage: Box<dyn StateStorage> = match &config.state_dir {
+            Some(dir) => Box::new(
+                DiskStorage::open(&PathBuf::from(dir))
+                    .expect("daemon state_dir must be creatable"),
+            ),
+            None => Box::new(MemStorage::new()),
+        };
+        Daemon::start_with_storage(config, storage, observe)
+            .expect("daemon state store must recover cleanly")
+    }
+
+    /// [`Daemon::start`] over an explicit storage backend — the hook the
+    /// fault-injection and restart matrices use ([`MemStorage`] handles
+    /// survive a daemon "process" and carry its durable bytes to the
+    /// next incarnation).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] when the store cannot be recovered from `storage`.
+    pub fn start_with_storage(
+        config: DaemonConfig,
+        storage: Box<dyn StateStorage>,
+        observe: SinkHandle,
+    ) -> Result<Daemon, StateError> {
         let shards = config.shards.max(1);
         let config = DaemonConfig { shards, ..config };
+        let store = StateStore::open(storage, config.snapshot_every)?;
+        let recovered = store.recovery().wal_records_replayed as u64;
+        if recovered > 0 {
+            observe.count(Scope::Server, Counter::StateRecoveredRecords, recovered);
+        }
         let shared = Arc::new(Shared {
             config,
             observe,
@@ -192,7 +269,10 @@ impl Daemon {
                 completed: 0,
                 quarantined: 0,
                 resume_replays: 0,
+                deadline_exceeded: 0,
+                duplicates_suppressed: 0,
             }),
+            store: Mutex::new(store),
             work: Condvar::new(),
             settled: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -200,7 +280,7 @@ impl Daemon {
         for shard in 0..shards {
             spawn_shard(Arc::clone(&shared), shard);
         }
-        Daemon { shared }
+        Ok(Daemon { shared })
     }
 
     /// Submits a job. Admission control may answer
@@ -234,6 +314,8 @@ impl Daemon {
             report: None,
             error: None,
             admitted_at: Instant::now(),
+            latency: None,
+            known: None,
         });
         st.queue.push_back(id);
         st.admitted += 1;
@@ -267,23 +349,83 @@ impl Daemon {
                 job,
                 from,
                 records: j.journal.iter().skip(from).cloned().collect(),
-                terminal: matches!(j.phase, JobPhase::Done | JobPhase::Quarantined),
+                terminal: matches!(
+                    j.phase,
+                    JobPhase::Done | JobPhase::Quarantined | JobPhase::DeadlineExceeded
+                ),
             },
         }
     }
 
     /// Daemon-level counters and supervision state.
     pub fn stats(&self) -> DaemonStats {
+        let mut stats = {
+            let st = self.shared.lock();
+            DaemonStats {
+                shards: self.shared.config.shards,
+                shard_deaths: st.shard_deaths.clone(),
+                admitted: st.admitted,
+                shed: st.shed,
+                completed: st.completed,
+                quarantined: st.quarantined,
+                resume_replays: st.resume_replays,
+                queued: st.queue.len(),
+                deadline_exceeded: st.deadline_exceeded,
+                duplicates_suppressed: st.duplicates_suppressed,
+                store_signatures: 0,
+                store_jobs_committed: 0,
+                store_commit_failures: 0,
+                store_recovered_records: 0,
+                store_compactions: 0,
+            }
+        };
+        // State lock released before the store lock (see `Shared.store`).
+        let store = self.shared.lock_store();
+        stats.store_signatures = store.state().signatures.len() as u64;
+        stats.store_jobs_committed = store.state().jobs_committed;
+        stats.store_commit_failures = store.counters().commit_failures;
+        stats.store_recovered_records = store.recovery().wal_records_replayed as u64;
+        stats.store_compactions = store.counters().compactions;
+        stats
+    }
+
+    /// Admission→terminal latency per job in submission order; `None` for
+    /// jobs not yet terminal. This is the honest curve: queue wait
+    /// included.
+    #[must_use]
+    pub fn latencies(&self) -> Vec<Option<u64>> {
         let st = self.shared.lock();
-        DaemonStats {
-            shards: self.shared.config.shards,
-            shard_deaths: st.shard_deaths.clone(),
-            admitted: st.admitted,
-            shed: st.shed,
-            completed: st.completed,
-            quarantined: st.quarantined,
-            resume_replays: st.resume_replays,
-            queued: st.queue.len(),
+        st.jobs
+            .iter()
+            .map(|j| {
+                j.latency
+                    .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            })
+            .collect()
+    }
+
+    /// Answers a signature lookup against the durable store.
+    pub fn signature(&self, target: &str, signature: &BugSignature) -> Response {
+        let key = signature_key(target, signature);
+        let store = self.shared.lock_store();
+        match store.lookup(&key) {
+            Some(entry) => Response::Duplicate {
+                key,
+                kinds: entry.kinds.clone(),
+                first_job: entry.first_job,
+                reduced_length: entry.reduced_length,
+            },
+            None => Response::Novel { key },
+        }
+    }
+
+    /// The durable store's corpus snapshot.
+    pub fn corpus(&self) -> Response {
+        let store = self.shared.lock_store();
+        Response::Corpus {
+            jobs_committed: store.state().jobs_committed,
+            signatures: store.state().signatures.len() as u64,
+            kept_keys: store.verdict(),
         }
     }
 
@@ -308,6 +450,7 @@ impl Daemon {
                 .map(|(id, j)| MergedJob {
                     job: id as u64,
                     quarantined: matches!(j.phase, JobPhase::Quarantined),
+                    deadline_exceeded: matches!(j.phase, JobPhase::DeadlineExceeded),
                     report: j.report.clone(),
                 })
                 .collect(),
@@ -337,6 +480,9 @@ impl Daemon {
             Request::Status { job } => self.status(job),
             Request::Findings { job, from } => self.findings(job, from),
             Request::Stats => Response::Stats(self.stats()),
+            Request::Signature { target, signature } => self.signature(&target, &signature),
+            Request::Corpus => self.corpus(),
+            Request::Latencies => Response::Latencies { nanos: self.latencies() },
             Request::Drain => {
                 let (merged, journal) = self.drain();
                 match merged.to_json() {
@@ -364,7 +510,10 @@ fn job_config(spec: &JobSpec) -> PipelineConfig {
         seed_base: spec.seed_base,
         executor: ExecutorConfig { threads: 1, ..ExecutorConfig::default() },
         reducer: ReducerOptions::default(),
-        watchdog: WatchdogConfig { deadline_ms: spec.deadline_ms },
+        // `spec.deadline_ms` is the *job's* wall-clock budget, enforced by
+        // the shard from admission time; probes always run inline so the
+        // pipeline stays deterministic under resume.
+        watchdog: WatchdogConfig { deadline_ms: 0 },
         reduction_threads: spec.reduction_threads.max(1),
     }
 }
@@ -407,17 +556,37 @@ fn spawn_shard(shared: Arc<Shared>, shard: usize) {
 fn shard_loop(shared: Arc<Shared>, shard: usize) {
     loop {
         // Claim the next job, or exit when the daemon is draining and the
-        // queue is dry.
-        let (job_id, spec, prior_lines) = {
+        // queue is dry. A queued job whose deadline already expired is
+        // terminated here, cheaply — under overload this is what keeps
+        // dead work from occupying shards.
+        let (job_id, spec, prior_lines, deadline) = {
             let mut st = shared.lock();
             let claimed = loop {
-                if let Some(id) = st.queue.pop_front() {
-                    break id;
+                let Some(id) = st.queue.pop_front() else {
+                    if st.draining {
+                        return;
+                    }
+                    st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                };
+                let job = &mut st.jobs[id];
+                let deadline_ms = job.spec.deadline_ms;
+                if deadline_ms > 0
+                    && job.admitted_at.elapsed() >= Duration::from_millis(deadline_ms)
+                {
+                    job.phase = JobPhase::DeadlineExceeded;
+                    job.latency = Some(job.admitted_at.elapsed());
+                    job.error = Some(format!(
+                        "deadline of {deadline_ms} ms expired in the admission queue"
+                    ));
+                    st.deadline_exceeded += 1;
+                    shared
+                        .observe
+                        .count(Scope::Server, Counter::JobsDeadlineExceeded, 1);
+                    shared.settled.notify_all();
+                    continue;
                 }
-                if st.draining {
-                    return;
-                }
-                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+                break id;
             };
             st.running += 1;
             let job = &mut st.jobs[claimed];
@@ -438,7 +607,30 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
             }
             let spec = st.jobs[claimed].spec.clone();
             let lines = st.jobs[claimed].journal.join("\n");
-            (claimed, spec, lines)
+            let deadline = (spec.deadline_ms > 0)
+                .then(|| (st.jobs[claimed].admitted_at, Duration::from_millis(spec.deadline_ms)));
+            (claimed, spec, lines, deadline)
+        };
+
+        // Pin the job's known-signature map at its first claim. Restarts
+        // reuse the pinned map even if the store has since learned more,
+        // so a resumed job replays byte-identically. The store lock is
+        // taken with the state lock released (see `Shared.store`).
+        let known: Arc<KnownSignatures> = {
+            let pinned = shared.lock().jobs[job_id].known.clone();
+            match pinned {
+                Some(known) => known,
+                None => {
+                    let fresh = Arc::new(if spec.consult_store {
+                        shared.lock_store().known()
+                    } else {
+                        KnownSignatures::new()
+                    });
+                    let mut st = shared.lock();
+                    let job = &mut st.jobs[job_id];
+                    job.known.get_or_insert(fresh).clone()
+                }
+            }
         };
 
         let config = job_config(&spec);
@@ -446,9 +638,10 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
         let sink_shared = Arc::clone(&shared);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let journal = Journal::parse(&prior_lines)?;
-            run_pipeline_observed(
+            run_pipeline_with_known_observed(
                 &config,
                 &targets,
+                &known,
                 &journal,
                 |record| {
                     // Append-then-maybe-kill: the record is durable in the
@@ -471,6 +664,15 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
                         job.kills_fired += 1;
                     }
                     drop(st);
+                    // The deadline is checked at the same granularity the
+                    // journal advances: the record above is durable, so the
+                    // abort rolls the job back to a valid resume prefix and
+                    // never tears the store (commits happen only on Done).
+                    if let Some((admitted_at, budget)) = deadline {
+                        if admitted_at.elapsed() >= budget {
+                            std::panic::panic_any(DeadlineAbort);
+                        }
+                    }
                     if kill {
                         panic!("chaos kill: job {job_id} at journal record {appended}");
                     }
@@ -485,13 +687,64 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
 
         match outcome {
             Ok(Ok(report)) => {
+                // Commit the job's novel signatures *before* it becomes
+                // visible as Done: a client that sees Done and resubmits
+                // the same bugs is guaranteed to hit the store.
+                let suppressed = report.duplicates.len() as u64;
+                if spec.consult_store {
+                    let novel: Vec<NovelSignature> = report
+                        .bugs
+                        .iter()
+                        .map(|bug| NovelSignature {
+                            key: signature_key(&bug.target, &bug.signature),
+                            entry: SignatureEntry {
+                                kinds: bug.kinds.clone(),
+                                first_job: job_id as u64,
+                                reduced_length: bug.reduced_length,
+                            },
+                        })
+                        .collect();
+                    let committed = {
+                        let mut store = shared.lock_store();
+                        store.commit(job_id as u64, novel)
+                    };
+                    match committed {
+                        Ok(outcome) => {
+                            if outcome.novel > 0 {
+                                shared
+                                    .observe
+                                    .count(Scope::Server, Counter::StateCommits, 1);
+                            }
+                            if outcome.compacted {
+                                shared
+                                    .observe
+                                    .count(Scope::Server, Counter::StateCompactions, 1);
+                            }
+                        }
+                        Err(_) => {
+                            // The job's report stands; the store just failed
+                            // to learn from it. Surfaced via stats and the
+                            // counter — never by corrupting the store.
+                            shared
+                                .observe
+                                .count(Scope::Server, Counter::StateCommitFailures, 1);
+                        }
+                    }
+                }
+                if suppressed > 0 {
+                    shared
+                        .observe
+                        .count(Scope::Server, Counter::DedupStoreHits, suppressed);
+                }
                 let mut st = shared.lock();
                 st.running -= 1;
                 st.completed += 1;
+                st.duplicates_suppressed += suppressed;
                 let job = &mut st.jobs[job_id];
                 job.phase = JobPhase::Done;
                 job.report = Some(report);
                 let latency = job.admitted_at.elapsed();
+                job.latency = Some(latency);
                 drop(st);
                 shared.observe.count(Scope::Server, Counter::JobsCompleted, 1);
                 shared.observe.duration(
@@ -511,8 +764,27 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
                 let job = &mut st.jobs[job_id];
                 job.phase = JobPhase::Quarantined;
                 job.error = Some(e.to_string());
+                job.latency = Some(job.admitted_at.elapsed());
                 drop(st);
                 shared.observe.count(Scope::Server, Counter::JobsQuarantined, 1);
+                shared.settled.notify_all();
+            }
+            Err(payload) if payload.downcast_ref::<DeadlineAbort>().is_some() => {
+                // A deliberate deadline abort, not a shard death: the job
+                // rolls back to its (valid) journal prefix, nothing was
+                // committed to the store, and this shard keeps running.
+                let mut st = shared.lock();
+                st.running -= 1;
+                st.deadline_exceeded += 1;
+                let job = &mut st.jobs[job_id];
+                job.phase = JobPhase::DeadlineExceeded;
+                job.latency = Some(job.admitted_at.elapsed());
+                job.error =
+                    Some(format!("deadline of {} ms exceeded mid-run", spec.deadline_ms));
+                drop(st);
+                shared
+                    .observe
+                    .count(Scope::Server, Counter::JobsDeadlineExceeded, 1);
                 shared.settled.notify_all();
             }
             Err(payload) => {
@@ -532,6 +804,7 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
                     if quarantine {
                         job.phase = JobPhase::Quarantined;
                         job.error = Some(message);
+                        job.latency = Some(job.admitted_at.elapsed());
                         st.quarantined += 1;
                     } else {
                         // Deterministic logical backoff, recorded instead

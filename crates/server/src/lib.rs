@@ -12,17 +12,26 @@
 //! mid-job — at *any* journal append — drains to merged reports and
 //! journals byte-identical to an uninterrupted run, because each job's
 //! in-memory journal obeys the same write-ahead prefix discipline the
-//! on-disk pipeline does.
+//! on-disk pipeline does. The [`state`] module extends that contract
+//! across restarts: a crash-safe snapshot + WAL store keeps the dedup
+//! corpus alive, so repeat signatures are answered as duplicates without
+//! re-reduction even after the daemon process is killed and restarted.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod daemon;
+pub mod state;
 pub mod transport;
 pub mod wire;
 
 pub use daemon::{Daemon, DaemonConfig, MergedJob, MergedReport};
-pub use transport::{serve_tcp, InProcessClient, TcpClient};
+pub use state::{
+    CorpusState, DiskStorage, FaultyStorage, MemStorage, NovelSignature, RecoveryInfo,
+    SignatureEntry, StateError, StateFile, StateStorage, StateStore, StorageFault,
+    StorageFaultPlan, StoreCounters,
+};
+pub use transport::{serve_tcp, serve_tcp_with, InProcessClient, TcpClient, TcpServerConfig};
 pub use wire::{
     DaemonStats, FrameDecoder, FrameError, JobPhase, JobSpec, JobStatus, Request, Response,
     DEFAULT_MAX_FRAME,

@@ -7,6 +7,8 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::daemon::Daemon;
@@ -14,6 +16,30 @@ use crate::wire::{
     decode_message, encode_frame, encode_message, FrameDecoder, Request, Response,
     DEFAULT_MAX_FRAME,
 };
+
+/// Resource bounds for [`serve_tcp_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpServerConfig {
+    /// Concurrent connections served; one past this gets a single typed
+    /// [`Response::Overloaded`] frame and is dropped.
+    pub max_connections: usize,
+    /// Idle read timeout per connection, in milliseconds: a client that
+    /// sends nothing for this long is disconnected, so a stalled peer
+    /// cannot pin a worker thread forever. 0 disables the timeout.
+    pub idle_timeout_ms: u64,
+    /// Frame payload ceiling for connections, in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> Self {
+        TcpServerConfig {
+            max_connections: 64,
+            idle_timeout_ms: 30_000,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
 
 /// A client whose "connection" is a function call, but whose bytes are
 /// real: each request is framed, fed through a [`FrameDecoder`], decoded,
@@ -107,26 +133,62 @@ impl TcpClient {
     }
 }
 
-/// Serves the daemon on a TCP listener until [`Request::Shutdown`]
-/// arrives (from any connection). One thread per connection; a framing
-/// violation gets a typed [`Response::Error`] and the connection is
-/// closed, never a crash.
+/// [`serve_tcp_with`] under [`TcpServerConfig::default`]: serves the
+/// daemon on a TCP listener until [`Request::Shutdown`] arrives (from any
+/// connection).
 pub fn serve_tcp(daemon: Daemon, listener: TcpListener) -> std::io::Result<()> {
+    serve_tcp_with(daemon, listener, TcpServerConfig::default())
+}
+
+/// Serves the daemon on a TCP listener until [`Request::Shutdown`]
+/// arrives (from any connection). One thread per connection, bounded by
+/// `config.max_connections` — an over-cap connection is answered with one
+/// typed [`Response::Overloaded`] frame and dropped, mirroring admission
+/// control on the job queue. A framing violation gets a typed
+/// [`Response::Error`] and the connection is closed, never a crash; a
+/// connection idle past `config.idle_timeout_ms` is disconnected.
+pub fn serve_tcp_with(
+    daemon: Daemon,
+    listener: TcpListener,
+    config: TcpServerConfig,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let mut workers = Vec::new();
+    let active = Arc::new(AtomicUsize::new(0));
     loop {
         if daemon.shutdown_requested() {
             break;
         }
         match listener.accept() {
-            Ok((stream, _addr)) => {
+            Ok((mut stream, _addr)) => {
+                // Claim a slot optimistically; losing the race undoes it.
+                let slot = active.fetch_add(1, Ordering::SeqCst);
+                if slot >= config.max_connections.max(1) {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    // One typed frame, then drop: the client learns why
+                    // instead of watching an unexplained reset.
+                    send_response(
+                        &mut stream,
+                        &Response::Overloaded {
+                            queued: slot,
+                            capacity: config.max_connections.max(1),
+                        },
+                    );
+                    continue;
+                }
                 let daemon = daemon.clone();
-                if let Ok(handle) =
+                let worker_active = Arc::clone(&active);
+                let spawned =
                     std::thread::Builder::new().name("trx-conn".to_owned()).spawn(move || {
-                        serve_connection(&daemon, stream);
-                    })
-                {
-                    workers.push(handle);
+                        serve_connection(&daemon, stream, config);
+                        worker_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                match spawned {
+                    Ok(handle) => workers.push(handle),
+                    // Thread exhaustion: release the claimed slot.
+                    Err(_) => {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -141,8 +203,13 @@ pub fn serve_tcp(daemon: Daemon, listener: TcpListener) -> std::io::Result<()> {
     Ok(())
 }
 
-fn serve_connection(daemon: &Daemon, mut stream: TcpStream) {
-    let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+fn serve_connection(daemon: &Daemon, mut stream: TcpStream, config: TcpServerConfig) {
+    if config.idle_timeout_ms > 0 {
+        // A failed setsockopt degrades to the old unbounded behaviour
+        // rather than refusing the connection.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(config.idle_timeout_ms)));
+    }
+    let mut decoder = FrameDecoder::new(config.max_frame);
     let mut buf = [0u8; 4096];
     loop {
         loop {
@@ -174,6 +241,9 @@ fn serve_connection(daemon: &Daemon, mut stream: TcpStream) {
             Ok(0) => return,
             Ok(n) => decoder.push(&buf[..n]),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // WouldBlock/TimedOut here is the idle timeout expiring: the
+            // client sent nothing for the whole window, so the connection
+            // is closed and its thread released.
             Err(_) => return,
         }
     }

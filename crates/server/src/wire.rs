@@ -14,7 +14,11 @@
 
 use std::fmt;
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
+use trx_core::TransformationKind;
+use trx_harness::BugSignature;
 use trx_targets::FaultPlan;
 
 /// Default ceiling on one frame's payload, in bytes.
@@ -165,6 +169,12 @@ pub struct JobSpec {
     /// jobs leave it empty; benches and tests use it to prove
     /// restart-with-resume is byte-exact.
     pub kill_at_appends: Vec<usize>,
+    /// Whether the job consults the daemon's durable signature store:
+    /// signatures the store already knows are answered as duplicates
+    /// without re-reduction, and the job's novel signatures are committed
+    /// back atomically with its verdict. `false` runs the job fully
+    /// self-contained (the PR 6 behaviour).
+    pub consult_store: bool,
 }
 
 impl JobSpec {
@@ -179,6 +189,7 @@ impl JobSpec {
             deadline_ms: 0,
             reduction_threads: 1,
             kill_at_appends: Vec::new(),
+            consult_store: false,
         }
     }
 }
@@ -195,6 +206,11 @@ pub enum JobPhase {
     /// Circuit-broken: the job killed its shard more than the restart
     /// budget allows and was isolated with its journal intact.
     Quarantined,
+    /// The job's per-job deadline (measured from admission) expired — in
+    /// the queue or mid-run. The run was rolled back cleanly: its partial
+    /// journal is retained for inspection, nothing was committed to the
+    /// durable store, and the shard survived.
+    DeadlineExceeded,
 }
 
 /// A job's externally visible status.
@@ -233,6 +249,21 @@ pub struct DaemonStats {
     pub resume_replays: u64,
     /// Jobs currently queued (not running).
     pub queued: usize,
+    /// Jobs terminated because their per-job deadline expired.
+    pub deadline_exceeded: u64,
+    /// Bug signatures answered from the durable store as duplicates
+    /// (reductions suppressed).
+    pub duplicates_suppressed: u64,
+    /// Signatures the durable store currently knows.
+    pub store_signatures: u64,
+    /// Jobs that committed at least one novel signature to the store.
+    pub store_jobs_committed: u64,
+    /// Store commits that failed even after tail repair and retry.
+    pub store_commit_failures: u64,
+    /// WAL records the store replayed when this daemon opened it.
+    pub store_recovered_records: u64,
+    /// Snapshot-and-truncate compactions performed by this daemon.
+    pub store_compactions: u64,
 }
 
 /// A client request.
@@ -254,6 +285,18 @@ pub enum Request {
     },
     /// Snapshot daemon-level counters.
     Stats,
+    /// Ask the durable store whether it already knows a signature.
+    Signature {
+        /// The target the signature was seen on.
+        target: String,
+        /// The signature itself.
+        signature: BugSignature,
+    },
+    /// Snapshot the durable store's corpus: committed jobs, known
+    /// signatures, and the global dedup verdict.
+    Corpus,
+    /// Per-job admission→terminal latencies, in submission order.
+    Latencies,
     /// Stop admission, finish in-flight jobs, and return the merged
     /// drain artifacts.
     Drain,
@@ -292,6 +335,40 @@ pub enum Response {
     },
     /// Daemon-level counters.
     Stats(DaemonStats),
+    /// The durable store already knows this signature: no reduction
+    /// needed.
+    Duplicate {
+        /// The store's cross-job signature key.
+        key: String,
+        /// Interesting transformation kinds of the stored reduced
+        /// sequence — the dedup key.
+        kinds: BTreeSet<TransformationKind>,
+        /// Job that first reduced the signature.
+        first_job: u64,
+        /// Length of that reduced sequence.
+        reduced_length: usize,
+    },
+    /// The durable store has not seen this signature.
+    Novel {
+        /// The key it would be stored under.
+        key: String,
+    },
+    /// The durable store's corpus snapshot.
+    Corpus {
+        /// Jobs that committed at least one novel signature.
+        jobs_committed: u64,
+        /// Signatures known.
+        signatures: u64,
+        /// The global dedup verdict: kept signature keys in Figure 6
+        /// selection order.
+        kept_keys: Vec<String>,
+    },
+    /// Admission→terminal latency per job (submission order); `None` for
+    /// jobs not yet terminal.
+    Latencies {
+        /// Latencies in nanoseconds.
+        nanos: Vec<Option<u64>>,
+    },
     /// The drain finished; every job is terminal.
     Drained {
         /// Deterministic job-order merged report (JSON).

@@ -1,0 +1,341 @@
+//! The durable-state contracts of ISSUE 8: cross-job dedup suppression,
+//! daemon restart recovery over the shared store, real per-job deadlines,
+//! and the bounded TCP transport.
+
+use std::sync::Arc;
+
+use trx_harness::BugSignature;
+use trx_observe::{Counter, RecordingSink, SinkHandle};
+use trx_server::{
+    serve_tcp_with, Daemon, DaemonConfig, InProcessClient, JobPhase, JobSpec, MemStorage,
+    MergedReport, Request, Response, TcpClient, TcpServerConfig, DEFAULT_MAX_FRAME,
+};
+
+/// Injected chaos kills are real panics on shard threads; silence their
+/// default-hook backtraces without hiding the test's own assertions.
+fn quiet_shard_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_shard = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("trx-shard-"));
+            if !on_shard {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn one_shard() -> DaemonConfig {
+    DaemonConfig { shards: 1, ..DaemonConfig::default() }
+}
+
+/// A small job that consults the durable store.
+fn store_job(seed: u64) -> JobSpec {
+    JobSpec { tests: 8, consult_store: true, ..JobSpec::small(seed) }
+}
+
+fn submit(client: &mut InProcessClient, spec: JobSpec) -> u64 {
+    match client.request(&Request::Submit(spec)) {
+        Response::Accepted { job } => job,
+        other => panic!("submit refused: {other:?}"),
+    }
+}
+
+fn wait_terminal(client: &mut InProcessClient, job: u64) -> JobPhase {
+    loop {
+        match client.request(&Request::Status { job }) {
+            Response::Status(status) => match status.phase {
+                JobPhase::Queued | JobPhase::Running => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                terminal => return terminal,
+            },
+            other => panic!("status failed: {other:?}"),
+        }
+    }
+}
+
+fn drain(client: &mut InProcessClient) -> MergedReport {
+    match client.request(&Request::Drain) {
+        Response::Drained { merged_report, .. } => {
+            MergedReport::from_json(&merged_report).expect("merged report parses")
+        }
+        other => panic!("drain failed: {other:?}"),
+    }
+}
+
+fn stats(client: &mut InProcessClient) -> trx_server::DaemonStats {
+    match client.request(&Request::Stats) {
+        Response::Stats(stats) => stats,
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+/// The corpus response as canonical JSON — the restart matrix's
+/// byte-equality artifact.
+fn corpus_json(client: &mut InProcessClient) -> String {
+    match client.request(&Request::Corpus) {
+        response @ Response::Corpus { .. } => {
+            serde_json::to_string_pretty(&response).expect("corpus serializes")
+        }
+        other => panic!("corpus failed: {other:?}"),
+    }
+}
+
+/// The ISSUE 8 acceptance check: resubmitting a completed job's bugs
+/// yields `Duplicate` answers with zero new reduction probes, observable
+/// through the trx-observe counters and the merged report.
+#[test]
+fn resubmitted_job_is_fully_suppressed_without_probes() {
+    quiet_shard_panics();
+    let sink = Arc::new(RecordingSink::full());
+    let daemon = Daemon::start(one_shard(), SinkHandle::new(sink.clone()));
+    let mut client = InProcessClient::connect(daemon);
+
+    let first = submit(&mut client, store_job(11));
+    assert_eq!(wait_terminal(&mut client, first), JobPhase::Done);
+    let after_first = stats(&mut client);
+    assert!(after_first.store_signatures > 0, "seed 11 found no bugs to commit");
+    assert_eq!(after_first.store_jobs_committed, 1);
+
+    // The same spec again: every signature is already in the store.
+    let second = submit(&mut client, store_job(11));
+    assert_eq!(wait_terminal(&mut client, second), JobPhase::Done);
+
+    let merged = drain(&mut client);
+    let first_report = merged.jobs[first as usize].report.as_ref().expect("first report");
+    let second_report =
+        merged.jobs[second as usize].report.as_ref().expect("second report");
+    assert!(!first_report.bugs.is_empty());
+    assert!(first_report.duplicates.is_empty());
+    // Full suppression: no reduced bugs, every signature answered as a
+    // duplicate, zero reduction probes run.
+    assert!(second_report.bugs.is_empty(), "a known signature was re-reduced");
+    assert_eq!(second_report.duplicates.len(), first_report.bugs.len());
+    assert_eq!(second_report.metrics.reduction.tests_run, 0);
+    assert_eq!(second_report.metrics.wal.probe_records, 0);
+    assert_eq!(
+        second_report.metrics.dedup.cross_job_duplicates,
+        first_report.bugs.len()
+    );
+
+    let after = stats(&mut client);
+    assert_eq!(after.duplicates_suppressed, first_report.bugs.len() as u64);
+    // The duplicate job contributed nothing new to the store.
+    assert_eq!(after.store_jobs_committed, 1);
+    assert_eq!(after.store_signatures, after_first.store_signatures);
+
+    let snap = sink.snapshot();
+    assert_eq!(
+        snap.counter("server", Counter::DedupStoreHits),
+        first_report.bugs.len() as u64
+    );
+    assert_eq!(snap.counter("server", Counter::StateCommits), 1);
+    assert_eq!(snap.counter("server", Counter::StateCommitFailures), 0);
+
+    // The wire-level signature lookup agrees with the suppression.
+    let bug = &first_report.bugs[0];
+    match client.request(&Request::Signature {
+        target: bug.target.clone(),
+        signature: bug.signature.clone(),
+    }) {
+        Response::Duplicate { first_job, reduced_length, kinds, .. } => {
+            assert_eq!(first_job, first);
+            assert_eq!(reduced_length, bug.reduced_length);
+            assert_eq!(kinds, bug.kinds);
+        }
+        other => panic!("expected Duplicate, got {other:?}"),
+    }
+    match client.request(&Request::Signature {
+        target: "no-such-target".to_owned(),
+        signature: BugSignature::Crash("never seen".to_owned()),
+    }) {
+        Response::Novel { key } => assert!(key.contains("no-such-target")),
+        other => panic!("expected Novel, got {other:?}"),
+    }
+}
+
+/// Runs `seeds[..count]` as store-consulting jobs through a daemon over
+/// `storage`, drains, and returns the corpus artifact.
+fn run_incarnation(storage: MemStorage, seeds: &[u64], count: usize) -> String {
+    let daemon =
+        Daemon::start_with_storage(one_shard(), Box::new(storage), SinkHandle::noop())
+            .expect("store recovers");
+    let mut client = InProcessClient::connect(daemon);
+    for seed in &seeds[..count] {
+        submit(&mut client, store_job(*seed));
+    }
+    drain(&mut client);
+    corpus_json(&mut client)
+}
+
+/// The daemon-level restart matrix: for every prefix length k, run k jobs,
+/// kill the daemon (crash its storage, dropping unsynced bytes), start a
+/// fresh daemon over the same bytes, resubmit all N jobs, and require the
+/// corpus verdict byte-identical to an uninterrupted golden daemon's.
+#[test]
+fn daemon_restart_matrix_recovers_byte_identical_corpus() {
+    quiet_shard_panics();
+    let seeds = [11u64, 97, 42];
+    let golden = run_incarnation(MemStorage::new(), &seeds, seeds.len());
+    assert!(golden.contains("jobs_committed"), "corpus artifact malformed");
+
+    for k in 0..=seeds.len() {
+        let mem = MemStorage::new();
+        if k > 0 {
+            let first_life = run_incarnation(mem.clone(), &seeds, k);
+            assert!(!first_life.is_empty());
+        }
+        mem.crash(); // SIGKILL: unsynced bytes gone
+        let recovered = run_incarnation(mem, &seeds, seeds.len());
+        assert_eq!(
+            recovered, golden,
+            "corpus diverged after killing the daemon past {k} jobs"
+        );
+    }
+}
+
+/// Chaos kills and the store compose: a store-consulting job whose shard
+/// is killed mid-run resumes against its pinned known-signature map and
+/// commits exactly once.
+#[test]
+fn chaos_killed_store_job_resumes_and_commits_once() {
+    quiet_shard_panics();
+    let golden = {
+        let daemon = Daemon::start(one_shard(), SinkHandle::noop());
+        let mut client = InProcessClient::connect(daemon);
+        submit(&mut client, store_job(11));
+        let merged = drain(&mut client);
+        (merged, corpus_json(&mut client))
+    };
+    let daemon = Daemon::start(one_shard(), SinkHandle::noop());
+    let mut client = InProcessClient::connect(daemon);
+    submit(&mut client, JobSpec { kill_at_appends: vec![2], ..store_job(11) });
+    let merged = drain(&mut client);
+    assert_eq!(merged, golden.0, "resumed report diverged");
+    assert_eq!(corpus_json(&mut client), golden.1, "resumed corpus diverged");
+    assert_eq!(stats(&mut client).store_jobs_committed, 1);
+}
+
+/// Deadlines are enforced for real: an expired job terminates with the
+/// typed phase, rolls back cleanly (no store commit, no shard death), and
+/// the daemon keeps serving.
+#[test]
+fn deadlines_expire_queued_jobs_cleanly() {
+    quiet_shard_panics();
+    let sink = Arc::new(RecordingSink::full());
+    let daemon = Daemon::start(one_shard(), SinkHandle::new(sink.clone()));
+    let mut client = InProcessClient::connect(daemon);
+
+    // The blocker occupies the only shard long enough for the victim's
+    // 1 ms budget to expire while it waits in the queue.
+    let blocker = submit(&mut client, store_job(11));
+    let victim = submit(&mut client, JobSpec { deadline_ms: 1, ..store_job(97) });
+    assert_eq!(wait_terminal(&mut client, victim), JobPhase::DeadlineExceeded);
+    assert_eq!(wait_terminal(&mut client, blocker), JobPhase::Done);
+
+    // The shard survived (a deadline abort is not a shard death) and
+    // still runs new work.
+    let healthy = submit(&mut client, store_job(42));
+    assert_eq!(wait_terminal(&mut client, healthy), JobPhase::Done);
+
+    let after = stats(&mut client);
+    assert_eq!(after.deadline_exceeded, 1);
+    assert_eq!(after.shard_deaths, vec![0]);
+    assert_eq!(after.completed, 2);
+    assert_eq!(sink.snapshot().counter("server", Counter::JobsDeadlineExceeded), 1);
+
+    let merged = drain(&mut client);
+    let victim_slot = &merged.jobs[victim as usize];
+    assert!(victim_slot.deadline_exceeded);
+    assert!(!victim_slot.quarantined);
+    assert!(victim_slot.report.is_none());
+
+    // Admission→terminal latencies exist for every job, including the
+    // expired one (its latency is the time it sat in the queue).
+    match client.request(&Request::Latencies) {
+        Response::Latencies { nanos } => {
+            assert_eq!(nanos.len(), 3);
+            assert!(nanos.iter().all(Option::is_some));
+        }
+        other => panic!("latencies failed: {other:?}"),
+    }
+}
+
+/// The TCP connection cap answers the over-cap connection with one typed
+/// `Overloaded` frame instead of an unexplained reset.
+#[test]
+fn tcp_connection_cap_sheds_with_a_typed_frame() {
+    quiet_shard_panics();
+    let daemon = Daemon::start(one_shard(), SinkHandle::noop());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let config = TcpServerConfig {
+        max_connections: 1,
+        idle_timeout_ms: 0,
+        max_frame: DEFAULT_MAX_FRAME,
+    };
+    let server = {
+        let daemon = daemon.clone();
+        std::thread::spawn(move || serve_tcp_with(daemon, listener, config))
+    };
+
+    let mut first = TcpClient::connect(&addr).expect("connect first");
+    match first.request(&Request::Stats).expect("first connection serves") {
+        Response::Stats(_) => {}
+        other => panic!("stats failed: {other:?}"),
+    }
+
+    let mut second = TcpClient::connect(&addr).expect("connect second");
+    match second.request(&Request::Stats) {
+        Ok(Response::Overloaded { capacity, .. }) => assert_eq!(capacity, 1),
+        other => panic!("expected Overloaded for the over-cap connection, got {other:?}"),
+    }
+
+    match first.request(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    server.join().expect("join").expect("serve_tcp_with exits cleanly");
+}
+
+/// The idle read timeout disconnects a stalled client, freeing its
+/// thread; a live client is unaffected within the window.
+#[test]
+fn tcp_idle_timeout_disconnects_stalled_clients() {
+    quiet_shard_panics();
+    let daemon = Daemon::start(one_shard(), SinkHandle::noop());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let config = TcpServerConfig {
+        max_connections: 4,
+        idle_timeout_ms: 100,
+        max_frame: DEFAULT_MAX_FRAME,
+    };
+    let server = {
+        let daemon = daemon.clone();
+        std::thread::spawn(move || serve_tcp_with(daemon, listener, config))
+    };
+
+    let mut stalled = TcpClient::connect(&addr).expect("connect");
+    match stalled.request(&Request::Stats).expect("first request serves") {
+        Response::Stats(_) => {}
+        other => panic!("stats failed: {other:?}"),
+    }
+    // Stall past the idle window: the server must have hung up.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    assert!(
+        stalled.request(&Request::Stats).is_err(),
+        "stalled connection was not disconnected"
+    );
+
+    let mut fresh = TcpClient::connect(&addr).expect("reconnect");
+    match fresh.request(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("shutdown failed: {other:?}"),
+    }
+    server.join().expect("join").expect("serve_tcp_with exits cleanly");
+}
