@@ -24,13 +24,20 @@
 //!
 //! Usage: `chaos_pipeline [--tests N] [--seed S] [--plan-seed P]
 //! [--out FILE] [--kill-points K] [--reduction-threads R]
-//! [--metrics-out FILE]`
+//! [--cache-budget B] [--cache-shards S] [--metrics-out FILE]`
 //!
 //! `--reduction-threads R` (default 1) reduces pending bugs concurrently
 //! on an `R`-thread worker pool. The fault plan's persistent faults are a
 //! pure function of the probed module, so the parallel stage's
 //! bug-ordered record merge reproduces the serial journal byte for byte —
 //! which this binary verifies whenever the flag is set.
+//!
+//! `--cache-budget B` (default 0 = off) gives every incarnation a shared
+//! sharded prefix cache of `B` bytes split over `--cache-shards` shards.
+//! The cache is behaviorally invisible, so the kill/resume matrix and the
+//! `--wal` process-death mode must still reproduce the cacheless golden
+//! report byte for byte — the property CI checks by resuming a killed
+//! cache-enabled run against the cacheless golden report.
 //!
 //! `--metrics-out FILE` attaches a deterministic-mode
 //! [`trx_observe::RecordingSink`] to the golden run and writes its
@@ -182,6 +189,8 @@ fn main() {
     let plan_seed = arg_u64("--plan-seed", 500);
     let kill_points = arg_usize("--kill-points", 16).max(1);
     let reduction_threads = arg_usize("--reduction-threads", 1).max(1);
+    let cache_budget_bytes = arg_usize("--cache-budget", 0);
+    let cache_shards = arg_usize("--cache-shards", 8).max(1);
     let out = arg_string("--out", "BENCH_robustness.json");
     let metrics_out = arg_string("--metrics-out", "");
 
@@ -203,6 +212,8 @@ fn main() {
         reducer: trx_reducer::ReducerOptions::default(),
         watchdog: WatchdogConfig { deadline_ms: 0 },
         reduction_threads,
+        cache_budget_bytes,
+        cache_shards,
     };
 
     let wal = arg_string("--wal", "");

@@ -4,24 +4,39 @@
 //! The workload is the pipeline's own: run a campaign of generated tests
 //! against the clean target catalog, collect one bug per distinct
 //! `(target, signature)` pair, and reduce each bug's transformation
-//! sequence. Every bug is reduced under four configurations:
+//! sequence. Probes run exactly the pipeline's oracle path — the reference
+//! side served once per reduction from a [`ReferenceOracle`], the variant
+//! side executed on the **fast pre-decoded interpreter**
+//! ([`Target::with_fast_interp`]), so the recorded wall-clocks measure the
+//! engine the pipeline actually ships. Every bug is reduced under five
+//! configurations:
 //!
 //! 1. **serial** — prefix-cache budget 0, no verdict memo, no speculation:
 //!    the reference engine, which replays each candidate prefix with a
 //!    fresh `apply_sequence` (quadratic in sequence length);
-//! 2. **cached** — the prefix cache plus the verdict memo, serial probing;
-//! 3. **speculative** — cache + memo + speculative parallel probing on a
-//!    worker pool;
-//! 4. **parallel** — the cached engine with bugs reduced *concurrently*
+//! 2. **cached** — the per-reduction prefix cache plus the verdict memo,
+//!    serial probing;
+//! 3. **shared** — one sharded byte-budgeted [`SharedPrefixCache`] across
+//!    *all* bugs (sequential probing): sibling reductions walk each
+//!    other's transition chains instead of re-warming private caches;
+//! 4. **speculative** — shared cache + memo + speculative parallel probing
+//!    on a worker pool; prefetches insert through the cache's probationary
+//!    segment, so a prefetch storm cannot evict the confirmed path;
+//! 5. **parallel** — the cached engine with bugs reduced *concurrently*
 //!    across the pool (the pipeline's `reduction_threads` mode); only its
 //!    wall-clock is recorded.
 //!
 //! The binary asserts the engine's contract before writing the baseline:
 //! all configurations must produce byte-identical reduction logs, reduced
-//! sequences, search statistics, and final modules, and the cached engine
-//! must perform *strictly fewer* transformation applications than the
-//! serial reference. Any violation exits nonzero, so CI can run this in
-//! smoke mode (`--tests 8`) as a regression gate.
+//! sequences, search statistics, and final modules; the cached engine must
+//! perform *strictly fewer* transformation applications than the serial
+//! reference; and probe accounting must balance — on the serial row every
+//! cache lookup is either journaled or explicitly counted unprobed
+//! (`cache.lookups == probes_journaled + unprobed_lookups`; seeded rows
+//! journal one extra initial record per bug with no lookup). Any violation
+//! exits nonzero, so CI runs this in smoke mode (`--tests 8`) as a
+//! regression gate. Speculative-vs-cached wall-clock is reported but only
+//! warned about: shared CI runners make timing gates flaky by design.
 //!
 //! Campaign tests are deepened by chaining `--rounds` fuzzer runs end to
 //! end (each round fuzzes the previous round's variant, concatenating the
@@ -30,7 +45,8 @@
 //! full-replay reduction quadratic.
 //!
 //! Usage: `perf_triage [--tests N] [--rounds R] [--seed S] [--threads T]
-//! [--out FILE] [--metrics-out FILE]`
+//! [--cache-budget E] [--cache-budget-bytes B] [--cache-shards S]
+//! [--speculation W] [--out FILE] [--metrics-out FILE]`
 //!
 //! `--metrics-out FILE` runs one extra *untimed* pass over the triage set
 //! with a deterministic-mode [`trx_observe::RecordingSink`] attached to
@@ -45,10 +61,11 @@ use std::time::Instant;
 
 use trx_bench::perf::{accumulate, EngineBaseline, PerfBaseline};
 use trx_bench::{arg_string, arg_u64, arg_usize, render_table};
-use trx_core::Context;
+use trx_core::{Context, SharedPrefixCache};
 use trx_fuzzer::{Fuzzer, FuzzerOptions};
 use trx_harness::campaign::{classify, generate_test, BugSignature, GeneratedTest, Tool};
 use trx_harness::corpus::donor_modules;
+use trx_harness::{attempt_classify_cached, Attempt, ReferenceOracle};
 use trx_observe::{RecordingSink, Scope, SinkHandle};
 use trx_pool::with_pool;
 use trx_reducer::{
@@ -64,42 +81,56 @@ struct Problem {
 }
 
 /// The pipeline's interestingness oracle: does the variant still trigger
-/// the exact signature on the bug's target? Counts live invocations.
+/// the exact signature on the bug's target? The fixed reference side is
+/// served from `oracle` (one execution per reduction); the variant runs
+/// live on the fast interpreter every time. Counts live invocations.
 fn make_probe<'a>(
     targets: &'a Arc<Vec<Target>>,
     problem: &'a Problem,
+    oracle: &'a ReferenceOracle,
     live: &'a AtomicU64,
 ) -> impl Fn(&Context) -> Result<bool, ProbeFault> + Send + Sync + 'a {
     move |variant: &Context| {
         live.fetch_add(1, Ordering::Relaxed);
-        Ok(classify(
+        match attempt_classify_cached(
             problem.test.tool,
             &targets[problem.target_index],
-            &problem.test.original,
+            oracle,
             &variant.module,
-            &problem.test.original.inputs,
-        )
-        .as_ref()
-            == Some(&problem.signature))
+            &SinkHandle::noop(),
+            Scope::Reduction(0),
+        ) {
+            Attempt::Signature(signature) => {
+                Ok(signature.as_ref() == Some(&problem.signature))
+            }
+            Attempt::Hang => Err(ProbeFault("interpreter fuel budget exhausted".to_owned())),
+            Attempt::Panicked(message) => Err(ProbeFault(message)),
+        }
     }
 }
 
 /// Reduces every problem back to back with one engine configuration. A
 /// seeded run hands the fuzzer's own variant context to the engine (the
 /// pipeline's mode); the unseeded reference replays the full sequence for
-/// the initial check, as the pre-cache engine did.
+/// the initial check, as the pre-cache engine did. When `shared` is given,
+/// every reducer walks that cache instead of a private one.
 fn reduce_all(
     problems: &[Problem],
     targets: &Arc<Vec<Target>>,
     options: ReducerOptions,
     seeded: bool,
+    shared: Option<&Arc<SharedPrefixCache>>,
     live: &AtomicU64,
 ) -> Vec<JournaledReduction> {
     problems
         .iter()
         .map(|p| {
-            let probe = make_probe(targets, p, live);
-            let reducer = Reducer::new(options);
+            let oracle = ReferenceOracle::new(p.test.tool, &p.test.original);
+            let probe = make_probe(targets, p, &oracle, live);
+            let mut reducer = Reducer::new(options);
+            if let Some(cache) = shared {
+                reducer = reducer.with_shared_cache(Arc::clone(cache));
+            }
             if seeded {
                 reducer.reduce_journaled_seeded(
                     &p.test.original,
@@ -140,6 +171,15 @@ fn summarize(
         engine,
         wall_ms,
     }
+}
+
+/// The probe-accounting balance: every cache lookup is either journaled or
+/// counted unprobed. Seeded runs journal one extra initial record per bug
+/// with no lookup behind it, so the journal side subtracts one per bug.
+fn lookup_gap(row: &EngineBaseline, seeded_bugs: u64) -> i128 {
+    i128::from(row.engine.cache.lookups)
+        - (i128::from(row.probes_journaled) - i128::from(seeded_bugs)
+            + i128::from(row.engine.unprobed_lookups))
 }
 
 /// Byte-level equivalence of two runs over the same problem list.
@@ -196,6 +236,9 @@ fn main() {
     let seed_base = arg_u64("--seed", 0);
     let threads = arg_usize("--threads", 4).max(1);
     let cache_budget = arg_usize("--cache-budget", 4096).max(1);
+    let cache_budget_bytes = arg_usize("--cache-budget-bytes", 64 << 20).max(1);
+    let cache_shards = arg_usize("--cache-shards", 8).max(1);
+    let speculation = arg_usize("--speculation", 2);
     let out = arg_string("--out", "BENCH_perf.json");
     let metrics_out = arg_string("--metrics-out", "");
     let tool = Tool::SpirvFuzz;
@@ -207,7 +250,8 @@ fn main() {
     // matters). Deepened problems are kept only when the final variant
     // still triggers the same signature, so the reduction is a pure
     // function of the deep sequence.
-    let targets: Arc<Vec<Target>> = Arc::new(catalog::all_targets());
+    let targets: Arc<Vec<Target>> =
+        Arc::new(catalog::all_targets().into_iter().map(Target::with_fast_interp).collect());
     let donors = donor_modules();
     let mut problems: Vec<Problem> = Vec::new();
     let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
@@ -248,41 +292,77 @@ fn main() {
         memoize_verdicts: true,
         ..serial_opts
     };
-    let speculative_opts = ReducerOptions { speculation: 0, ..cached_opts };
+    // The speculative row runs with the hit-rate/pressure throttle armed:
+    // on a cold shared cache prefetch materializations replay deep
+    // prefixes from scratch, so batches stay suppressed until sibling
+    // reductions have warmed the cache enough that prefetch replays are
+    // chain walks. The width defaults to an explicit 2 rather than the
+    // auto width (0): auto clamps to the host's parallelism, which on a
+    // single-CPU CI runner disables prefetch entirely and would leave the
+    // row measuring nothing but the shared cache.
+    let speculative_opts = ReducerOptions {
+        speculation,
+        speculation_min_hit_permille: 500,
+        ..cached_opts
+    };
 
-    // Stage 2: the three back-to-back configurations.
+    // Stage 2: the sequential configurations, back to back.
     let live_serial = AtomicU64::new(0);
     let start = Instant::now();
-    let serial_runs = reduce_all(&problems, &targets, serial_opts, false, &live_serial);
+    let serial_runs = reduce_all(&problems, &targets, serial_opts, false, None, &live_serial);
     let serial_wall = start.elapsed().as_millis() as u64;
 
     let live_cached = AtomicU64::new(0);
     let start = Instant::now();
-    let cached_runs = reduce_all(&problems, &targets, cached_opts, true, &live_cached);
+    let cached_runs = reduce_all(&problems, &targets, cached_opts, true, None, &live_cached);
     let cached_wall = start.elapsed().as_millis() as u64;
 
+    let live_shared = AtomicU64::new(0);
+    let shared_cache = Arc::new(SharedPrefixCache::new(cache_budget_bytes, cache_shards));
+    let start = Instant::now();
+    let shared_runs = reduce_all(
+        &problems,
+        &targets,
+        cached_opts,
+        true,
+        Some(&shared_cache),
+        &live_shared,
+    );
+    let shared_wall = start.elapsed().as_millis() as u64;
+
+    // Stage 3: speculative parallel probing against a fresh shared cache —
+    // prefetches land in the probationary segment and the eviction-pressure
+    // throttle reads the cache's global churn.
     let live_spec = AtomicU64::new(0);
+    let spec_cache = Arc::new(SharedPrefixCache::new(cache_budget_bytes, cache_shards));
+    let spec_oracles: Vec<ReferenceOracle> = problems
+        .iter()
+        .map(|p| ReferenceOracle::new(p.test.tool, &p.test.original))
+        .collect();
     let start = Instant::now();
     let spec_runs = with_pool(threads, |pool| {
         problems
             .iter()
-            .map(|p| {
-                let probe = make_probe(&targets, p, &live_spec);
-                Reducer::new(speculative_opts).reduce_speculative_seeded(
-                    &p.test.original,
-                    &p.test.transformations,
-                    &p.test.variant,
-                    &ReductionLog::new(),
-                    probe,
-                    |_, _| {},
-                    pool,
-                )
+            .zip(&spec_oracles)
+            .map(|(p, oracle)| {
+                let probe = make_probe(&targets, p, oracle, &live_spec);
+                Reducer::new(speculative_opts)
+                    .with_shared_cache(Arc::clone(&spec_cache))
+                    .reduce_speculative_seeded(
+                        &p.test.original,
+                        &p.test.transformations,
+                        &p.test.variant,
+                        &ReductionLog::new(),
+                        probe,
+                        |_, _| {},
+                        pool,
+                    )
             })
             .collect::<Vec<_>>()
     });
     let spec_wall = start.elapsed().as_millis() as u64;
 
-    // Stage 3: per-bug parallelism (the pipeline's reduction_threads mode):
+    // Stage 4: per-bug parallelism (the pipeline's reduction_threads mode):
     // cached serial engines, bugs distributed over the pool.
     let live_parallel = AtomicU64::new(0);
     let start = Instant::now();
@@ -295,7 +375,8 @@ fn main() {
         with_pool(threads.min(problems.len()), |pool| {
             pool.map(problems.len(), move |i| {
                 let p = &problems[i];
-                let probe = make_probe(targets, p, live_parallel);
+                let oracle = ReferenceOracle::new(p.test.tool, &p.test.original);
+                let probe = make_probe(targets, p, &oracle, live_parallel);
                 Reducer::new(cached_opts).reduce_journaled_seeded(
                     &p.test.original,
                     &p.test.transformations,
@@ -318,7 +399,8 @@ fn main() {
         let handle = SinkHandle::new(sink.clone());
         let live_observed = AtomicU64::new(0);
         for (i, p) in problems.iter().enumerate() {
-            let probe = make_probe(&targets, p, &live_observed);
+            let oracle = ReferenceOracle::new(p.test.tool, &p.test.original);
+            let probe = make_probe(&targets, p, &oracle, &live_observed);
             let _ = Reducer::new(cached_opts)
                 .with_sink(handle.clone(), Scope::Reduction(i))
                 .reduce_journaled_seeded(
@@ -338,13 +420,15 @@ fn main() {
         eprintln!("wrote {metrics_out}");
     }
 
-    // Stage 4: the contract — every configuration lands on the same bytes.
+    // Stage 5: the contract — every configuration lands on the same bytes.
     let equivalent = same("cached", &cached_runs, &serial_runs)
+        & same("shared", &shared_runs, &serial_runs)
         & same("speculative", &spec_runs, &serial_runs)
         & same("parallel", &parallel_runs, &serial_runs);
 
     let serial = summarize("serial", &serial_runs, &live_serial, serial_wall);
     let cached = summarize("cached", &cached_runs, &live_cached, cached_wall);
+    let shared = summarize("shared", &shared_runs, &live_shared, shared_wall);
     let speculative = summarize("speculative", &spec_runs, &live_spec, spec_wall);
 
     let serial_applied = serial.engine.cache.transformations_applied;
@@ -360,8 +444,11 @@ fn main() {
         threads,
         bugs_reduced: problems.len(),
         sequence_transformations,
+        cache_budget_bytes,
+        cache_shards,
         serial,
         cached,
+        shared,
         speculative,
         parallel_wall_ms,
         apply_reduction_factor,
@@ -373,6 +460,11 @@ fn main() {
         vec![
             vec![format!("{} probes journaled", e.name), e.probes_journaled.to_string()],
             vec![format!("{} live probes", e.name), e.live_probes.to_string()],
+            vec![format!("{} lookups", e.name), e.engine.cache.lookups.to_string()],
+            vec![
+                format!("{} unprobed lookups", e.name),
+                e.engine.unprobed_lookups.to_string(),
+            ],
             vec![
                 format!("{} applications", e.name),
                 e.engine.cache.transformations_applied.to_string(),
@@ -381,6 +473,7 @@ fn main() {
                 format!("{} applications saved", e.name),
                 e.engine.cache.transformations_saved.to_string(),
             ],
+            vec![format!("{} evictions", e.name), e.engine.cache.evictions.to_string()],
             vec![format!("{} memo hits", e.name), e.engine.memo_hits.to_string()],
             vec![format!("{} wall ms", e.name), e.wall_ms.to_string()],
         ]
@@ -394,6 +487,7 @@ fn main() {
     ];
     rows.extend(fmt_engine(&baseline.serial));
     rows.extend(fmt_engine(&baseline.cached));
+    rows.extend(fmt_engine(&baseline.shared));
     rows.extend(fmt_engine(&baseline.speculative));
     rows.push(vec![
         "speculative launches".to_owned(),
@@ -402,6 +496,10 @@ fn main() {
     rows.push(vec![
         "speculative hits".to_owned(),
         baseline.speculative.engine.speculative_hits.to_string(),
+    ]);
+    rows.push(vec![
+        "speculative pressure throttles".to_owned(),
+        baseline.speculative.engine.speculative_pressure_throttles.to_string(),
     ]);
     rows.push(vec![
         "parallel wall ms".to_owned(),
@@ -439,6 +537,36 @@ fn main() {
              serial applied {serial_applied} — the cache must strictly reduce work"
         );
         failed = true;
+    }
+    // The probe-accounting balance on every deterministic sequential row.
+    // (The speculative row obeys the same algebra — each materialize is one
+    // lookup, either journaled or counted unprobed — but its totals depend
+    // on prefetch timing, so it is reported, not gated.)
+    let bugs = baseline.bugs_reduced as u64;
+    for (row, seeded_bugs) in
+        [(&baseline.serial, 0), (&baseline.cached, bugs), (&baseline.shared, bugs)]
+    {
+        let gap = lookup_gap(row, seeded_bugs);
+        if gap != 0 {
+            eprintln!(
+                "FAIL: {} row lookup accounting is off by {gap}: lookups {} vs \
+                 probes_journaled {} - seeded {seeded_bugs} + unprobed {}",
+                row.name, row.engine.cache.lookups, row.probes_journaled,
+                row.engine.unprobed_lookups,
+            );
+            failed = true;
+        }
+    }
+    let spec_gap = lookup_gap(&baseline.speculative, bugs);
+    if spec_gap != 0 {
+        eprintln!("note: speculative row lookup gap {spec_gap} (timing-dependent, not gated)");
+    }
+    if baseline.speculative.wall_ms > baseline.cached.wall_ms {
+        eprintln!(
+            "WARN: speculative wall-clock {} ms exceeds cached {} ms (not gated: \
+             shared runners make timing flaky)",
+            baseline.speculative.wall_ms, baseline.cached.wall_ms,
+        );
     }
     if failed {
         std::process::exit(1);

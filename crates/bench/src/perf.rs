@@ -2,10 +2,14 @@
 //!
 //! `perf_triage` measures the prefix-memoized reduction engine against the
 //! serial budget-0 reference on a real triage workload (campaign bugs from
-//! the clean target catalog) and records the result here. CI re-runs the
-//! binary in smoke mode and asserts the invariants the file encodes —
-//! strictly fewer transformation applications for the cached engine, and
-//! byte-identical reduction artifacts across all engine configurations.
+//! the clean target catalog, probed on the fast pre-decoded interpreter)
+//! and records the result here. CI re-runs the binary in smoke mode and
+//! asserts the invariants the file encodes — strictly fewer transformation
+//! applications for the cached engine, byte-identical reduction artifacts
+//! across all engine configurations, and the probe-accounting balance
+//! `cache.lookups == probes_journaled + unprobed_lookups` on the serial
+//! row (seeded rows journal one extra initial record per bug with no
+//! lookup).
 
 use serde::{Deserialize, Serialize};
 
@@ -15,7 +19,7 @@ use trx_reducer::EngineStats;
 /// every bug in the benchmark's triage set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineBaseline {
-    /// Configuration name (`serial`, `cached`, `speculative`).
+    /// Configuration name (`serial`, `cached`, `shared`, `speculative`).
     pub name: String,
     /// Journaled probe invocations (replayed + live + memo hits) — equal
     /// across configurations by the equivalence invariant.
@@ -49,11 +53,21 @@ pub struct PerfBaseline {
     /// Total transformation-sequence length over all bugs (the `n` that
     /// delta debugging replays quadratically without the cache).
     pub sequence_transformations: usize,
+    /// The byte budget of the shared sharded prefix cache (the `shared`
+    /// and `speculative` rows), in bytes.
+    pub cache_budget_bytes: usize,
+    /// Shard count of the shared sharded prefix cache.
+    pub cache_shards: usize,
     /// The budget-0, memo-off, speculation-off reference engine.
     pub serial: EngineBaseline,
-    /// Prefix cache + verdict memo, serial probing.
+    /// Per-reduction prefix cache + verdict memo, serial probing.
     pub cached: EngineBaseline,
-    /// Prefix cache + verdict memo + speculative parallel probing.
+    /// One shared sharded byte-budgeted prefix cache across all bugs
+    /// (sequential probing): sibling reductions reuse each other's
+    /// transition chains instead of re-warming private caches.
+    pub shared: EngineBaseline,
+    /// Shared cache + verdict memo + speculative parallel probing;
+    /// prefetches insert through the cache's probationary segment.
     pub speculative: EngineBaseline,
     /// Wall-clock for the cached engine reducing bugs concurrently across
     /// the worker pool (the pipeline's `reduction_threads` mode), in
@@ -101,4 +115,6 @@ pub fn accumulate(total: &mut EngineStats, delta: &EngineStats) {
     total.speculative_probes += delta.speculative_probes;
     total.speculative_hits += delta.speculative_hits;
     total.speculative_throttles += delta.speculative_throttles;
+    total.speculative_pressure_throttles += delta.speculative_pressure_throttles;
+    total.unprobed_lookups += delta.unprobed_lookups;
 }

@@ -178,6 +178,30 @@ impl FactStore {
         self.live_safe_functions.iter().copied()
     }
 
+    /// Rough heap footprint of the store in bytes, used by the shared
+    /// prefix cache's size-aware eviction budget. This is an estimate of
+    /// owned payload, not allocator-exact accounting: each fact id is
+    /// charged its in-set size, each synonym pair the size of both
+    /// descriptors plus their index paths.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let descriptor_bytes = |d: &DataDescriptor| {
+            size_of::<DataDescriptor>() + d.path.len() * size_of::<u32>()
+        };
+        let set_bytes = (self.dead_blocks.len()
+            + self.irrelevant_ids.len()
+            + self.irrelevant_pointees.len()
+            + self.live_safe_functions.len())
+            * size_of::<Id>();
+        let synonym_bytes: usize = self
+            .synonym_parent
+            .iter()
+            .map(|(child, parent)| descriptor_bytes(child) + descriptor_bytes(parent))
+            .sum();
+        set_bytes + synonym_bytes
+    }
+
     /// Mixes the store's contents into `hasher` in a canonical order.
     ///
     /// The ordered sets iterate sorted already; the union–find parent map

@@ -53,6 +53,8 @@ mod descriptor;
 mod facts;
 mod fingerprint;
 mod prefix;
+mod prefix_shared;
+mod size;
 mod transformation;
 pub mod transformations;
 
@@ -61,4 +63,8 @@ pub use descriptor::{Anchor, InstructionDescriptor, ResolvedPoint, UseDescriptor
 pub use facts::{DataDescriptor, FactStore};
 pub use fingerprint::{context_fingerprint, transformation_id};
 pub use prefix::{Materialized, PrefixCache, PrefixCacheStats};
+pub use prefix_shared::{
+    InsertOutcome, InsertPriority, SharedCacheSession, SharedCacheStats, SharedPrefixCache,
+};
+pub use size::context_size_estimate;
 pub use transformation::{apply, apply_sequence, Transformation, TransformationKind};

@@ -1,0 +1,155 @@
+//! Cheap byte-size estimation for transformation contexts.
+//!
+//! The shared prefix cache evicts by *bytes*, not edge count, so every
+//! cached transition must be charged a cost proportional to the memory the
+//! snapshot actually pins. An exact measurement (serialize, or walk the
+//! allocator) would cost more than the `apply` call the cache exists to
+//! avoid; instead [`context_size_estimate`] does one linear pass over the
+//! module, inputs and fact store, summing `size_of` for every owned node
+//! plus the spilled length of every heap vector. The estimate is:
+//!
+//! * **monotone** — a context with strictly more instructions, constants or
+//!   facts never estimates smaller, which is all an eviction policy needs;
+//! * **deterministic** — a pure function of the context value, so two
+//!   structurally equal contexts are charged identically on every thread;
+//! * **cheap** — no hashing, no allocation, one pass.
+
+use std::mem::size_of;
+
+use trx_ir::{
+    Block, ConstantValue, Function, Instruction, Module, Op, Type, Value,
+};
+
+use crate::context::Context;
+
+/// Estimated bytes of memory a cached clone of `ctx` pins, counting the
+/// struct spine plus the spilled payload of every owned vector and map.
+#[must_use]
+pub fn context_size_estimate(ctx: &Context) -> usize {
+    size_of::<Context>()
+        + module_bytes(&ctx.module)
+        + inputs_bytes(ctx)
+        + ctx.facts.approx_heap_bytes()
+}
+
+fn module_bytes(module: &Module) -> usize {
+    let mut bytes = 0usize;
+    bytes += module.types.len() * size_of::<trx_ir::TypeDecl>();
+    for decl in &module.types {
+        bytes += match &decl.ty {
+            Type::Struct { members } => members.len() * size_of::<trx_ir::Id>(),
+            Type::Function { params, .. } => params.len() * size_of::<trx_ir::Id>(),
+            _ => 0,
+        };
+    }
+    bytes += module.constants.len() * size_of::<trx_ir::ConstantDecl>();
+    for decl in &module.constants {
+        if let ConstantValue::Composite(parts) = &decl.value {
+            bytes += parts.len() * size_of::<trx_ir::Id>();
+        }
+    }
+    bytes += module.globals.len() * size_of::<trx_ir::GlobalVariable>();
+    for binding in module
+        .interface
+        .uniforms
+        .iter()
+        .chain(&module.interface.builtins)
+        .chain(&module.interface.outputs)
+    {
+        bytes += size_of::<trx_ir::Id>() + binding.name.len();
+    }
+    for function in &module.functions {
+        bytes += function_bytes(function);
+    }
+    bytes
+}
+
+fn function_bytes(function: &Function) -> usize {
+    let mut bytes = size_of::<Function>();
+    bytes += function.params.len() * size_of::<trx_ir::FunctionParam>();
+    for block in &function.blocks {
+        bytes += block_bytes(block);
+    }
+    bytes
+}
+
+fn block_bytes(block: &Block) -> usize {
+    let mut bytes = size_of::<Block>();
+    bytes += block.instructions.len() * size_of::<Instruction>();
+    for instruction in &block.instructions {
+        bytes += op_heap_bytes(&instruction.op);
+    }
+    bytes
+}
+
+fn op_heap_bytes(op: &Op) -> usize {
+    match op {
+        Op::CompositeConstruct { parts } => parts.len() * size_of::<trx_ir::Id>(),
+        Op::CompositeExtract { indices, .. } | Op::CompositeInsert { indices, .. } => {
+            indices.len() * size_of::<u32>()
+        }
+        Op::AccessChain { indices, .. } | Op::Call { args: indices, .. } => {
+            indices.len() * size_of::<trx_ir::Id>()
+        }
+        Op::Phi { incoming } => incoming.len() * size_of::<(trx_ir::Id, trx_ir::Id)>(),
+        _ => 0,
+    }
+}
+
+fn inputs_bytes(ctx: &Context) -> usize {
+    ctx.inputs
+        .iter()
+        .map(|(name, value)| name.len() + value_bytes(value))
+        .sum()
+}
+
+fn value_bytes(value: &Value) -> usize {
+    size_of::<Value>()
+        + match value {
+            Value::Composite(parts) => parts.iter().map(value_bytes).sum(),
+            Value::Pointer(p) => p.path.len() * size_of::<u32>(),
+            _ => 0,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformation::apply;
+    use crate::transformations::AddConstant;
+    use trx_ir::{ConstantValue, Id, Inputs, ModuleBuilder};
+
+    fn tiny_context() -> Context {
+        let mut b = ModuleBuilder::new();
+        let c = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        Context::new(b.finish(), Inputs::default()).unwrap()
+    }
+
+    #[test]
+    fn estimate_is_positive_and_deterministic() {
+        let ctx = tiny_context();
+        let a = context_size_estimate(&ctx);
+        let b = context_size_estimate(&ctx.clone());
+        assert!(a > size_of::<Context>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn growing_a_context_grows_the_estimate() {
+        let mut ctx = tiny_context();
+        let before = context_size_estimate(&ctx);
+        let t_int = ctx.module.types[0].id;
+        let grow = AddConstant {
+            fresh_id: Id::new(900),
+            ty: t_int,
+            value: ConstantValue::Int(7),
+        }
+        .into();
+        assert!(apply(&mut ctx, &grow));
+        assert!(context_size_estimate(&ctx) > before);
+    }
+}

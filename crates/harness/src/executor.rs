@@ -287,7 +287,8 @@ pub struct ResilientOutcome {
 }
 
 /// How one attempt at a `(test, target)` cell ended.
-pub(crate) enum Attempt {
+#[derive(Debug)]
+pub enum Attempt {
     /// The oracle resolved (possibly to "no bug").
     Signature(Option<BugSignature>),
     /// The fuel budget ran out — a suspected hang.
@@ -346,7 +347,7 @@ pub(crate) fn attempt_classify<T: TestTarget + ?Sized>(
 /// The first fill happens under the lock, so concurrent speculative probes
 /// still produce exactly one execution — keeping the engine-level
 /// `modules_decoded`/`decode_reuses` counters thread-invariant.
-pub(crate) struct ReferenceOracle {
+pub struct ReferenceOracle {
     /// The already-prepared (tool-encoded and re-decoded) reference module.
     module: Module,
     inputs: Inputs,
@@ -356,7 +357,8 @@ pub(crate) struct ReferenceOracle {
 impl ReferenceOracle {
     /// Prepares the reference side of a reduction's probes: `original` is
     /// the unreduced context the variant is cross-checked against.
-    pub(crate) fn new(tool: Tool, original: &Context) -> Self {
+    #[must_use]
+    pub fn new(tool: Tool, original: &Context) -> Self {
         ReferenceOracle {
             module: module_for_target(tool, &original.module),
             inputs: original.inputs.clone(),
@@ -392,7 +394,7 @@ impl ReferenceOracle {
 /// per-reduction [`ReferenceOracle`] instead of re-executed per probe. The
 /// variant still runs live every time — only the fixed reference half is
 /// cached, so the verdict stream is identical to the uncached oracle.
-pub(crate) fn attempt_classify_cached<T: TestTarget + ?Sized>(
+pub fn attempt_classify_cached<T: TestTarget + ?Sized>(
     tool: Tool,
     target: &T,
     reference: &ReferenceOracle,

@@ -38,8 +38,8 @@ pub mod watchdog;
 pub use campaign::{BugSignature, Tool};
 pub use errors::HarnessError;
 pub use executor::{
-    CampaignCheckpoint, ErrorLedger, ExecutorConfig, FailureKind, LedgerEntry,
-    ResilientOutcome,
+    attempt_classify_cached, Attempt, CampaignCheckpoint, ErrorLedger, ExecutorConfig,
+    FailureKind, LedgerEntry, ReferenceOracle, ResilientOutcome,
 };
 pub use experiments::ExperimentConfig;
 pub use pipeline::{

@@ -77,7 +77,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use trx_core::{Context, TransformationKind};
+use trx_core::{Context, SharedPrefixCache, TransformationKind};
 use trx_dedup::IncrementalDedup;
 use trx_observe::{Counter, Scope, SinkHandle};
 use trx_reducer::{ProbeFault, ProbeRecord, Reducer, ReducerOptions, ReductionLog, ReductionStats};
@@ -119,6 +119,20 @@ pub struct PipelineConfig {
     /// mid-stage loses the in-flight bugs' probe records and re-reduces
     /// those bugs on resume.
     pub reduction_threads: usize,
+    /// Byte budget of the run-wide [`trx_core::SharedPrefixCache`]: one
+    /// sharded, size-aware cache shared by every reduction of the run
+    /// (serial or parallel), in place of each reduction's private
+    /// edge-count cache. 0 (the default) disables sharing and keeps the
+    /// per-reduction caches governed by
+    /// [`ReducerOptions::prefix_cache_budget`]. Like the private cache the
+    /// shared one is behaviorally invisible: journal bytes and reports are
+    /// unchanged at any budget.
+    pub cache_budget_bytes: usize,
+    /// Shard count of the shared prefix cache (clamped to at least 1;
+    /// only meaningful with `cache_budget_bytes > 0`). More shards cut
+    /// lock contention between concurrent reductions at the price of a
+    /// less precisely balanced per-shard byte budget.
+    pub cache_shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -131,6 +145,8 @@ impl Default for PipelineConfig {
             reducer: ReducerOptions::default(),
             watchdog: WatchdogConfig::default(),
             reduction_threads: 1,
+            cache_budget_bytes: 0,
+            cache_shards: 8,
         }
     }
 }
@@ -528,6 +544,7 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     bug: &PendingBug,
     bug_index: usize,
     prior: &ReductionLog,
+    shared_cache: Option<&Arc<SharedPrefixCache>>,
     sink: &mut impl FnMut(&WalRecord),
     observe: &SinkHandle,
 ) -> Result<TriagedBug, HarnessError> {
@@ -586,7 +603,11 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     // whole-sequence replay (the journal is unaffected — the fuzzer's
     // replay contract guarantees the same context either way).
     let started = observe.enabled().then(std::time::Instant::now);
-    let journaled = Reducer::new(config.reducer).with_sink(observe.clone(), scope).reduce_journaled_seeded(
+    let mut reducer = Reducer::new(config.reducer).with_sink(observe.clone(), scope);
+    if let Some(cache) = shared_cache {
+        reducer = reducer.with_shared_cache(Arc::clone(cache));
+    }
+    let journaled = reducer.reduce_journaled_seeded(
         &original,
         &test.transformations,
         &test.variant,
@@ -698,8 +719,46 @@ pub fn run_pipeline_with_known_observed<T: TestTarget + Send + Sync + 'static>(
     targets: &Arc<Vec<T>>,
     known: &KnownSignatures,
     journal: &Journal,
+    outer_sink: impl FnMut(&WalRecord),
+    observe: &SinkHandle,
+) -> Result<PipelineReport, HarnessError> {
+    // One shared cache per run, when the byte budget enables it; callers
+    // that want the cache to outlive the run (the triage daemon, which
+    // keeps one per worker shard across jobs) use
+    // [`run_pipeline_with_known_observed_cached`] instead.
+    let own_cache = (config.cache_budget_bytes > 0)
+        .then(|| Arc::new(SharedPrefixCache::new(config.cache_budget_bytes, config.cache_shards)));
+    run_pipeline_with_known_observed_cached(
+        config,
+        targets,
+        known,
+        journal,
+        outer_sink,
+        observe,
+        own_cache.as_ref(),
+    )
+}
+
+/// [`run_pipeline_with_known_observed`] walking reductions through a
+/// caller-owned [`SharedPrefixCache`] (or private per-reduction caches
+/// when `shared_cache` is `None`, regardless of
+/// [`PipelineConfig::cache_budget_bytes`]). Passing a cache that outlives
+/// the run lets later jobs reuse snapshots earlier jobs paid for; the
+/// cache is behaviorally invisible either way, so the journal and report
+/// bytes never depend on it.
+///
+/// # Errors
+///
+/// Exactly [`run_pipeline`]'s errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_with_known_observed_cached<T: TestTarget + Send + Sync + 'static>(
+    config: &PipelineConfig,
+    targets: &Arc<Vec<T>>,
+    known: &KnownSignatures,
+    journal: &Journal,
     mut outer_sink: impl FnMut(&WalRecord),
     observe: &SinkHandle,
+    shared_cache: Option<&Arc<SharedPrefixCache>>,
 ) -> Result<PipelineReport, HarnessError> {
     let recovered = replay(journal, config)?;
     let prior_records = journal.records.len();
@@ -797,6 +856,7 @@ pub fn run_pipeline_with_known_observed<T: TestTarget + Send + Sync + 'static>(
                         &bugs[bug_index],
                         bug_index,
                         &prior,
+                        shared_cache,
                         &mut |record: &WalRecord| records.push(record.clone()),
                         observe,
                     );
@@ -844,7 +904,15 @@ pub fn run_pipeline_with_known_observed<T: TestTarget + Send + Sync + 'static>(
                             .cloned()
                             .unwrap_or_default();
                         reduce_bug(
-                            config, targets, &donors, bug, bug_index, &prior, &mut sink, observe,
+                            config,
+                            targets,
+                            &donors,
+                            bug,
+                            bug_index,
+                            &prior,
+                            shared_cache,
+                            &mut sink,
+                            observe,
                         )?
                     }
                 };
@@ -857,6 +925,12 @@ pub fn run_pipeline_with_known_observed<T: TestTarget + Send + Sync + 'static>(
             sink(&WalRecord::DedupObserved { bug: bug_index, arrival });
         }
         summaries.push(summary);
+    }
+
+    // The shared cache's per-shard occupancy and churn counters (all
+    // volatile level: contents depend on reduction timing).
+    if let Some(cache) = shared_cache {
+        cache.flush_to_sink(observe);
     }
 
     // Stage 4 finale: the dedup verdict (§3.5, Figure 6).
@@ -1142,6 +1216,74 @@ mod tests {
         assert_eq!(report_s, report_p);
         assert_eq!(records_s, records_p, "parallel reduction reordered the WAL");
         assert_eq!(report_s.to_json().unwrap(), report_p.to_json().unwrap());
+    }
+
+    #[test]
+    fn shared_cache_pipeline_matches_private_byte_for_byte() {
+        // The run-wide shared prefix cache must be behaviorally invisible:
+        // WAL bytes and reports match the private-cache run whether the
+        // reductions are serial or concurrent, and whatever the shard
+        // count or byte budget (including one tight enough to evict).
+        let (golden, records) = run_collecting(&small_config(), &clean_targets(), &Journal::new());
+        for (budget, shards, threads) in [
+            (4 << 20, 1, 1),
+            (4 << 20, 4, 4),
+            (16 << 10, 2, 4),
+        ] {
+            let config = PipelineConfig {
+                cache_budget_bytes: budget,
+                cache_shards: shards,
+                reduction_threads: threads,
+                ..small_config()
+            };
+            let (report, shared_records) =
+                run_collecting(&config, &clean_targets(), &Journal::new());
+            assert_eq!(
+                report, golden,
+                "budget {budget}, {shards} shards, {threads} threads: reports diverged"
+            );
+            assert_eq!(
+                shared_records, records,
+                "budget {budget}, {shards} shards, {threads} threads: WAL diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn caller_owned_cache_is_reused_across_runs() {
+        // The daemon hands each worker shard a cache that outlives any one
+        // job; a second identical run over the same cache must produce the
+        // same bytes while paying fewer transformation applications.
+        let config = PipelineConfig { cache_budget_bytes: 8 << 20, ..small_config() };
+        let targets = clean_targets();
+        let cache = Arc::new(SharedPrefixCache::new(
+            config.cache_budget_bytes,
+            config.cache_shards,
+        ));
+        let run = || {
+            let mut records = Vec::new();
+            let report = run_pipeline_with_known_observed_cached(
+                &config,
+                &targets,
+                &KnownSignatures::new(),
+                &Journal::new(),
+                |r| records.push(r.clone()),
+                &SinkHandle::noop(),
+                Some(&cache),
+            )
+            .expect("pipeline runs");
+            (report, records)
+        };
+        let (first, records_first) = run();
+        let (second, records_second) = run();
+        assert_eq!(first, second);
+        assert_eq!(records_first, records_second);
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "a rerun over a warm cross-job cache should hit: {stats:?}"
+        );
+        cache.debug_check_accounting();
     }
 
     #[test]

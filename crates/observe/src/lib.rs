@@ -85,6 +85,11 @@ pub enum Counter {
     CacheSaved,
     /// Cache entries evicted by the LRU budget.
     CacheEvictions,
+    /// Materializations that were never followed by a journaled probe
+    /// (mask-filtered shrink candidates, speculative prefetches, and
+    /// budget-exhausted walks) — the audited remainder of
+    /// `cache_lookups - tests_run`.
+    CacheUnprobedLookups,
     /// Interestingness queries answered by the verdict memo.
     MemoHits,
     /// Probes that reached the live target (not replayed, memoized,
@@ -167,6 +172,33 @@ pub enum Counter {
     /// (engine-level: an uninterrupted, freshly compacted store replays
     /// nothing).
     StateRecoveredRecords,
+    // --- shared prefix cache (volatile: contents depend on the timing of
+    // concurrent reducers, even though reduced outputs do not) ---
+    /// Materializations served by a shared-cache session.
+    SharedCacheLookups,
+    /// Shared-cache lookups that reused at least one cached transition.
+    SharedCacheHits,
+    /// Transformations applied while materializing through the shared cache.
+    SharedCacheApplications,
+    /// Transformation applications avoided via shared cached transitions.
+    SharedCacheSaved,
+    /// Transition edges admitted into a shared-cache shard.
+    SharedCacheInsertions,
+    /// Transition edges evicted by a shard's byte budget.
+    SharedCacheEvictions,
+    /// Insertions refused outright (entry larger than the shard budget, or
+    /// a speculative entry that could not make room in probation).
+    SharedCacheRejected,
+    /// Probationary entries promoted to the protected segment by a
+    /// confirmed-path hit.
+    SharedCachePromotions,
+    /// Bytes resident in a shard at flush time (gauge reported as a count).
+    SharedCacheResidentBytes,
+    /// High-water mark of resident bytes in a shard.
+    SharedCachePeakBytes,
+    /// Speculative prefetches skipped because shared-cache eviction
+    /// pressure exceeded the configured threshold.
+    SpeculativePressureThrottles,
     // --- scheduling / wall clock (volatile) ---
     /// Jobs terminated because their wall-clock deadline elapsed.
     JobsDeadlineExceeded,
@@ -200,6 +232,7 @@ impl Counter {
             Counter::CacheApplications => "cache_applications",
             Counter::CacheSaved => "cache_saved",
             Counter::CacheEvictions => "cache_evictions",
+            Counter::CacheUnprobedLookups => "cache_unprobed_lookups",
             Counter::MemoHits => "memo_hits",
             Counter::LiveProbes => "live_probes",
             Counter::SpeculativeLaunches => "speculative_launches",
@@ -230,6 +263,17 @@ impl Counter {
             Counter::StateCommitFailures => "state_commit_failures",
             Counter::StateCompactions => "state_compactions",
             Counter::StateRecoveredRecords => "state_recovered_records",
+            Counter::SharedCacheLookups => "shared_cache_lookups",
+            Counter::SharedCacheHits => "shared_cache_hits",
+            Counter::SharedCacheApplications => "shared_cache_applications",
+            Counter::SharedCacheSaved => "shared_cache_saved",
+            Counter::SharedCacheInsertions => "shared_cache_insertions",
+            Counter::SharedCacheEvictions => "shared_cache_evictions",
+            Counter::SharedCacheRejected => "shared_cache_rejected",
+            Counter::SharedCachePromotions => "shared_cache_promotions",
+            Counter::SharedCacheResidentBytes => "shared_cache_resident_bytes",
+            Counter::SharedCachePeakBytes => "shared_cache_peak_bytes",
+            Counter::SpeculativePressureThrottles => "speculative_pressure_throttles",
             Counter::JobsDeadlineExceeded => "jobs_deadline_exceeded",
             Counter::JobsShed => "jobs_shed",
             Counter::JobLatencyNanos => "job_latency_nanos",
@@ -271,6 +315,7 @@ impl Counter {
             | Counter::CacheApplications
             | Counter::CacheSaved
             | Counter::CacheEvictions
+            | Counter::CacheUnprobedLookups
             | Counter::MemoHits
             | Counter::LiveProbes
             | Counter::SpeculativeLaunches
@@ -284,7 +329,18 @@ impl Counter {
             | Counter::StateCompactions
             | Counter::StateRecoveredRecords
             | Counter::JobsQuarantined => Level::Engine,
-            Counter::PoolTasks
+            Counter::SharedCacheLookups
+            | Counter::SharedCacheHits
+            | Counter::SharedCacheApplications
+            | Counter::SharedCacheSaved
+            | Counter::SharedCacheInsertions
+            | Counter::SharedCacheEvictions
+            | Counter::SharedCacheRejected
+            | Counter::SharedCachePromotions
+            | Counter::SharedCacheResidentBytes
+            | Counter::SharedCachePeakBytes
+            | Counter::SpeculativePressureThrottles
+            | Counter::PoolTasks
             | Counter::JobsDeadlineExceeded
             | Counter::JobsShed
             | Counter::JobLatencyNanos
@@ -317,6 +373,8 @@ pub enum Scope {
     Pool,
     /// The triage daemon's supervisor and admission control.
     Server,
+    /// One shard of the shared prefix cache, keyed by shard index.
+    CacheShard(usize),
 }
 
 impl Scope {
@@ -331,6 +389,7 @@ impl Scope {
             Scope::Render => "render".to_string(),
             Scope::Pool => "pool".to_string(),
             Scope::Server => "server".to_string(),
+            Scope::CacheShard(i) => format!("cache-shard/{i:04}"),
         }
     }
 }
@@ -779,6 +838,33 @@ mod tests {
         );
         // Zero-padded rendering keeps lexical order aligned with Ord order.
         assert_eq!(Scope::Reduction(2).render(), "reduction/0002");
+        assert_eq!(Scope::CacheShard(3).render(), "cache-shard/0003");
+        assert!(Scope::Server < Scope::CacheShard(0));
+    }
+
+    #[test]
+    fn shared_cache_counters_are_volatile() {
+        // The shared prefix cache's contents depend on concurrent reducer
+        // timing; its counters must never reach a deterministic snapshot,
+        // or the cross-thread-count metrics cmp in CI would flake.
+        for c in [
+            Counter::SharedCacheLookups,
+            Counter::SharedCacheHits,
+            Counter::SharedCacheApplications,
+            Counter::SharedCacheSaved,
+            Counter::SharedCacheInsertions,
+            Counter::SharedCacheEvictions,
+            Counter::SharedCacheRejected,
+            Counter::SharedCachePromotions,
+            Counter::SharedCacheResidentBytes,
+            Counter::SharedCachePeakBytes,
+            Counter::SpeculativePressureThrottles,
+        ] {
+            assert_eq!(c.level(), Level::Volatile, "{}", c.name());
+        }
+        // The unprobed-lookup audit counter mirrors the private cache's
+        // accounting, which is engine-deterministic on a fresh run.
+        assert_eq!(Counter::CacheUnprobedLookups.level(), Level::Engine);
     }
 
     #[test]
@@ -804,6 +890,7 @@ mod tests {
             Counter::CacheApplications,
             Counter::CacheSaved,
             Counter::CacheEvictions,
+            Counter::CacheUnprobedLookups,
             Counter::MemoHits,
             Counter::LiveProbes,
             Counter::SpeculativeLaunches,
@@ -834,6 +921,17 @@ mod tests {
             Counter::StateCommitFailures,
             Counter::StateCompactions,
             Counter::StateRecoveredRecords,
+            Counter::SharedCacheLookups,
+            Counter::SharedCacheHits,
+            Counter::SharedCacheApplications,
+            Counter::SharedCacheSaved,
+            Counter::SharedCacheInsertions,
+            Counter::SharedCacheEvictions,
+            Counter::SharedCacheRejected,
+            Counter::SharedCachePromotions,
+            Counter::SharedCacheResidentBytes,
+            Counter::SharedCachePeakBytes,
+            Counter::SpeculativePressureThrottles,
             Counter::JobsDeadlineExceeded,
             Counter::JobsShed,
             Counter::JobLatencyNanos,

@@ -39,6 +39,13 @@
 //! byte-identical to the uncached engine at every budget (including 0,
 //! which disables it).
 //!
+//! With [`Reducer::with_shared_cache`], the per-reduction cache is replaced
+//! by a session onto a [`trx_core::SharedPrefixCache`] shared across all of
+//! a run's concurrent reductions: sharded, byte-budgeted, and still
+//! behaviorally invisible. Confirmed search candidates insert at full
+//! priority; speculative prefetch inserts through a probationary segment
+//! that can never evict confirmed-path entries.
+//!
 //! Two further layers are opt-in:
 //!
 //! * **Verdict memoization** ([`ReducerOptions::memoize_verdicts`]): probe
@@ -73,8 +80,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use trx_core::{
-    context_fingerprint, transformation_id, Context, PrefixCache, PrefixCacheStats,
-    Transformation,
+    context_fingerprint, transformation_id, Context, InsertPriority, Materialized, PrefixCache,
+    PrefixCacheStats, SharedCacheSession, SharedPrefixCache, Transformation,
 };
 use trx_observe::{Counter, Scope, SinkHandle};
 use trx_pool::WorkerPool;
@@ -183,6 +190,19 @@ pub struct EngineStats {
     /// Speculative batches suppressed by the cache hit-rate throttle
     /// ([`ReducerOptions::speculation_min_hit_permille`]).
     pub speculative_throttles: u64,
+    /// Speculative batches suppressed by the eviction-pressure signal: the
+    /// cache was churning (evicting or rejecting a large fraction of
+    /// inserts), so prefetch replays would only thrash it further. Active
+    /// whenever [`ReducerOptions::speculation_min_hit_permille`] is set.
+    pub speculative_pressure_throttles: u64,
+    /// Cache lookups whose materialization was never journaled as a probe:
+    /// shrink candidates whose payload failed to re-apply, speculative
+    /// prefetch materializations, and queries abandoned by budget
+    /// exhaustion before casting a vote. For an unseeded, 1-of-1,
+    /// deterministic run the books balance exactly:
+    /// `cache.lookups == probes_journaled + unprobed_lookups`
+    /// (a seeded run journals one extra initial record with no lookup).
+    pub unprobed_lookups: u64,
 }
 
 /// The outcome of a reduction.
@@ -296,13 +316,40 @@ pub struct Reducer {
     options: ReducerOptions,
     sink: SinkHandle,
     scope: Scope,
+    shared_cache: Option<Arc<SharedPrefixCache>>,
 }
 
 impl Reducer {
     /// Creates a reducer with the given options.
     #[must_use]
     pub fn new(options: ReducerOptions) -> Self {
-        Reducer { options, sink: SinkHandle::noop(), scope: Scope::Pipeline }
+        Reducer {
+            options,
+            sink: SinkHandle::noop(),
+            scope: Scope::Pipeline,
+            shared_cache: None,
+        }
+    }
+
+    /// Materializes candidates through `cache` — a [`SharedPrefixCache`]
+    /// shared with other concurrent reductions of the same run — instead of
+    /// a private per-reduction [`PrefixCache`].
+    ///
+    /// The shared cache is keyed by `(state fingerprint, transformation
+    /// id)`, so reductions of different bugs only collide on genuinely
+    /// identical prefixes, where sharing is exactly the point. Like the
+    /// private cache it is behaviorally invisible: the journal, reduced
+    /// sequence and search stats are byte-identical to a private-cache run
+    /// for a deterministic probe; only [`EngineStats`] differ. Confirmed
+    /// search candidates insert at [`InsertPriority::Confirmed`];
+    /// speculative prefetch inserts through the cache's probationary
+    /// segment and can never evict confirmed-path entries.
+    /// [`ReducerOptions::prefix_cache_budget`] is ignored while a shared
+    /// cache is attached (the shared byte budget governs instead).
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<SharedPrefixCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
     }
 
     /// Routes this reducer's counters to `sink`, attributed to `scope`
@@ -358,6 +405,7 @@ impl Reducer {
     {
         Engine::new(
             self.options,
+            self.shared_cache.clone(),
             self.sink.clone(),
             self.scope,
             original,
@@ -484,8 +532,18 @@ impl Reducer {
         F: Fn(&Context) -> Result<bool, ProbeFault> + Send + Sync + 'env,
     {
         let probe = Arc::new(probe);
+        // The auto width (0) clamps to the host's actual parallelism: a
+        // prefetch fleet wider than the CPU count only time-slices one
+        // core — every materialization still runs, but the probes it was
+        // supposed to hide now context-switch against the search thread.
+        // Suppression never changes verdicts, so outputs stay
+        // byte-identical across hosts; on a single-CPU machine the auto
+        // width degenerates to 1 and the engine runs the serial cached
+        // path. An explicit width is honored as given (tests and
+        // experiments deliberately oversubscribe).
+        let host = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
         let width = match self.options.speculation {
-            0 => pool.threads(),
+            0 => pool.threads().min(host),
             w => w,
         };
         let speculation = PoolSpeculation {
@@ -618,6 +676,92 @@ where
 /// meaningful once the rate is measurable.
 const SPECULATION_WARMUP_LOOKUPS: u64 = 32;
 
+/// Eviction-pressure ceiling, in permille of insert attempts, above which
+/// speculative prefetch stops launching. Pressure counts evictions plus
+/// outright rejections against insert attempts — a cache past this point
+/// is replacing most of what speculation feeds it, so prefetch replays
+/// cost transformation applications without ever being reusable. The
+/// signal rides on the same switch as the hit-rate throttle
+/// ([`ReducerOptions::speculation_min_hit_permille`] non-zero).
+const SPECULATION_MAX_PRESSURE_PERMILLE: u64 = 500;
+
+/// The engine's prefix-cache handle: a private per-reduction cache (the
+/// default), or a session onto a [`SharedPrefixCache`] shared across the
+/// run's concurrent reductions. Both are behaviorally invisible; the
+/// handle only decides who pays for and who may reuse each snapshot.
+enum CacheHandle {
+    Private(PrefixCache),
+    Shared(SharedCacheSession),
+}
+
+impl CacheHandle {
+    fn set_sink(&mut self, sink: SinkHandle, scope: Scope) {
+        match self {
+            CacheHandle::Private(cache) => cache.set_sink(sink, scope),
+            CacheHandle::Shared(session) => session.set_sink(sink, scope),
+        }
+    }
+
+    /// Materializes `candidate` through the cache. `priority` chooses the
+    /// shared cache's insert segment (confirmed vs. probationary) and is
+    /// ignored by the private cache, which has no cross-reduction
+    /// contention to protect against.
+    fn materialize_with_ids(
+        &mut self,
+        original: &Context,
+        candidate: &[Transformation],
+        ids: &[u64],
+        priority: InsertPriority,
+    ) -> Materialized {
+        match self {
+            CacheHandle::Private(cache) => cache.materialize_with_ids(original, candidate, ids),
+            CacheHandle::Shared(session) => {
+                session.materialize_with_ids(original, candidate, ids, priority)
+            }
+        }
+    }
+
+    fn stats(&self) -> PrefixCacheStats {
+        match self {
+            CacheHandle::Private(cache) => cache.stats(),
+            CacheHandle::Shared(session) => session.stats(),
+        }
+    }
+
+    /// `(lookups, hits)` feeding the speculation hit-rate throttle. Like
+    /// the pressure signal, a shared session reads the *global* cache —
+    /// one short reduction sees too few of its own lookups to clear the
+    /// warmup floor, but the cache it walks has a measurable hit rate the
+    /// moment any sibling has warmed it.
+    fn hit_signal(&self) -> (u64, u64) {
+        match self {
+            CacheHandle::Private(cache) => {
+                let stats = cache.stats();
+                (stats.lookups, stats.hits)
+            }
+            CacheHandle::Shared(session) => {
+                let stats = session.cache().stats();
+                (stats.lookups, stats.hits)
+            }
+        }
+    }
+
+    /// Evictions-plus-rejections per insert attempt, in permille. For the
+    /// shared cache this is the *global* churn across every session — the
+    /// whole point of the signal is that one reduction's speculation can
+    /// feel another's working set. The private cache approximates it from
+    /// its own stats (every applied transformation attempts one insert).
+    fn eviction_pressure_permille(&self) -> u64 {
+        match self {
+            CacheHandle::Private(cache) => {
+                let stats = cache.stats();
+                stats.evictions.saturating_mul(1000) / stats.transformations_applied.max(1)
+            }
+            CacheHandle::Shared(session) => session.cache().eviction_pressure_permille(),
+        }
+    }
+}
+
 struct Resolved {
     max_tests: usize,
     votes: u32,
@@ -644,12 +788,17 @@ struct Engine<'a, P, R, S> {
     live_probes: u64,
     /// Speculative batches suppressed by the hit-rate throttle.
     speculative_throttles: u64,
+    /// Speculative batches suppressed by the eviction-pressure signal.
+    pressure_throttles: u64,
+    /// Cache lookups never paired with a journaled probe (see
+    /// [`EngineStats::unprobed_lookups`]).
+    unprobed_lookups: u64,
     original: &'a Context,
     /// The full sequence's already-materialized context, when the caller
     /// has one (the fuzzer's variant): the initial interestingness check
     /// then skips the full-sequence replay entirely.
     initial: Option<&'a Context>,
-    cache: PrefixCache,
+    cache: CacheHandle,
     memo: HashMap<u64, bool>,
     memo_hits: u64,
     prior: &'a ReductionLog,
@@ -670,6 +819,7 @@ where
     #[allow(clippy::too_many_arguments)]
     fn new(
         options: ReducerOptions,
+        shared_cache: Option<Arc<SharedPrefixCache>>,
         sink: SinkHandle,
         scope: Scope,
         original: &'a Context,
@@ -680,7 +830,10 @@ where
         speculation: S,
     ) -> Self {
         let votes = options.votes.max(1);
-        let mut cache = PrefixCache::new(options.prefix_cache_budget);
+        let mut cache = match shared_cache {
+            Some(shared) => CacheHandle::Shared(SharedCacheSession::new(shared)),
+            None => CacheHandle::Private(PrefixCache::new(options.prefix_cache_budget)),
+        };
         cache.set_sink(sink.clone(), scope);
         Engine {
             opts: Resolved {
@@ -696,6 +849,8 @@ where
             scope,
             live_probes: 0,
             speculative_throttles: 0,
+            pressure_throttles: 0,
+            unprobed_lookups: 0,
             original,
             initial,
             cache,
@@ -830,9 +985,21 @@ where
     /// The verdict is `None` when the test budget ran out; the context is
     /// always returned, so callers never replay the sequence again.
     fn check(&mut self, candidate: &[Transformation], ids: &[u64]) -> (Option<bool>, Context) {
-        let m = self.cache.materialize_with_ids(self.original, candidate, ids);
+        let m = self.cache.materialize_with_ids(
+            self.original,
+            candidate,
+            ids,
+            InsertPriority::Confirmed,
+        );
         let fp = self.resolve_fp(&m);
+        let journaled = self.log.records.len();
         let verdict = self.query(&m.context, fp);
+        // A query abandoned by budget exhaustion before any invocation
+        // journals nothing; the lookup goes on the unprobed ledger so
+        // cache and journal accounting stay reconcilable.
+        if self.log.records.len() == journaled {
+            self.unprobed_lookups += 1;
+        }
         (verdict, m.context)
     }
 
@@ -865,14 +1032,22 @@ where
         // Suppressing prefetch never changes verdicts, only who computes
         // them, so the reduction output stays byte-identical.
         if self.opts.speculation_min_hit_permille > 0 {
-            let cache = self.cache.stats();
-            if cache.lookups >= SPECULATION_WARMUP_LOOKUPS
-                && cache.hits.saturating_mul(1000)
-                    < cache
-                        .lookups
-                        .saturating_mul(u64::from(self.opts.speculation_min_hit_permille))
+            let (lookups, hits) = self.cache.hit_signal();
+            if lookups >= SPECULATION_WARMUP_LOOKUPS
+                && hits.saturating_mul(1000)
+                    < lookups.saturating_mul(u64::from(self.opts.speculation_min_hit_permille))
             {
                 self.speculative_throttles += 1;
+                return;
+            }
+            // Eviction-pressure signal: a cache churning through most of
+            // what it admits (shared caches feel every session's churn
+            // here) gains nothing from eager prefetch replays — they only
+            // displace entries the confirmed path still wants.
+            if lookups >= SPECULATION_WARMUP_LOOKUPS
+                && self.cache.eviction_pressure_permille() > SPECULATION_MAX_PRESSURE_PERMILLE
+            {
+                self.pressure_throttles += 1;
                 return;
             }
         }
@@ -886,7 +1061,18 @@ where
             candidate.extend_from_slice(&current[..s]);
             candidate.extend_from_slice(&current[e..]);
             let cand_ids: Vec<u64> = ids[..s].iter().chain(&ids[e..]).copied().collect();
-            let m = self.cache.materialize_with_ids(self.original, &candidate, &cand_ids);
+            // Prefetch materializations insert speculatively: on the shared
+            // cache they pass through the probationary segment and can
+            // never displace confirmed-path entries. The later confirmed
+            // check() re-looks the candidate up and journals the probe;
+            // this lookup itself is never journaled.
+            let m = self.cache.materialize_with_ids(
+                self.original,
+                &candidate,
+                &cand_ids,
+                InsertPriority::Speculative,
+            );
+            self.unprobed_lookups += 1;
             let fp = m
                 .fingerprint
                 .unwrap_or_else(|| context_fingerprint(&m.context));
@@ -1021,14 +1207,26 @@ where
                     candidate[index] = Transformation::AddFunction(candidate_payload.clone());
                     let mut cand_ids = ids.clone();
                     cand_ids[index] = transformation_id(&candidate[index]);
-                    let m = self.cache.materialize_with_ids(self.original, &candidate, &cand_ids);
+                    let m = self.cache.materialize_with_ids(
+                        self.original,
+                        &candidate,
+                        &cand_ids,
+                        InsertPriority::Confirmed,
+                    );
                     // The shrunken payload must still apply — otherwise the
-                    // variant silently loses the whole function.
+                    // variant silently loses the whole function. Skipped
+                    // candidates cost a lookup but never a probe.
                     if !m.mask[index] {
+                        self.unprobed_lookups += 1;
                         continue;
                     }
                     let fp = self.resolve_fp(&m);
-                    match self.query(&m.context, fp) {
+                    let journaled = self.log.records.len();
+                    let verdict = self.query(&m.context, fp);
+                    if self.log.records.len() == journaled {
+                        self.unprobed_lookups += 1;
+                    }
+                    match verdict {
                         None => return,
                         Some(true) => {
                             payload = candidate_payload;
@@ -1054,6 +1252,8 @@ where
             speculative_probes,
             speculative_hits,
             speculative_throttles: self.speculative_throttles,
+            speculative_pressure_throttles: self.pressure_throttles,
+            unprobed_lookups: self.unprobed_lookups,
         };
         if self.sink.enabled() {
             let scope = self.scope;
@@ -1076,6 +1276,14 @@ where
             self.sink.count(scope, Counter::SpeculativeLaunches, engine.speculative_probes);
             self.sink.count(scope, Counter::SpeculativeHits, engine.speculative_hits);
             self.sink.count(scope, Counter::SpeculativeThrottles, engine.speculative_throttles);
+            self.sink.count(scope, Counter::CacheUnprobedLookups, engine.unprobed_lookups);
+            // Volatile: pressure reads global shared-cache churn, which
+            // depends on sibling-reduction timing.
+            self.sink.count(
+                scope,
+                Counter::SpeculativePressureThrottles,
+                engine.speculative_pressure_throttles,
+            );
         }
         JournaledReduction {
             reduction: Reduction { sequence, context, stats: self.stats, engine },
@@ -1091,7 +1299,7 @@ mod tests {
     use trx_core::apply_sequence;
     use trx_ir::{FunctionControl, Inputs, ModuleBuilder};
 
-    fn tiny_context() -> Context {
+    pub(crate) fn tiny_context() -> Context {
         let mut b = ModuleBuilder::new();
         let c = b.constant_int(1);
         let t_int = b.type_int();
@@ -1106,7 +1314,7 @@ mod tests {
         Context::new(b.finish(), Inputs::default()).unwrap()
     }
 
-    fn helper_of(ctx: &Context) -> trx_ir::Id {
+    pub(crate) fn helper_of(ctx: &Context) -> trx_ir::Id {
         ctx.module
             .functions
             .iter()
@@ -1116,7 +1324,7 @@ mod tests {
     }
 
     /// A synthetic sequence of N SetFunctionControl flips.
-    fn flip_sequence(ctx: &Context, n: usize) -> Vec<Transformation> {
+    pub(crate) fn flip_sequence(ctx: &Context, n: usize) -> Vec<Transformation> {
         let helper = helper_of(ctx);
         (0..n)
             .map(|i| {
@@ -1675,5 +1883,173 @@ mod shrink_tests {
             variant.module.functions.len() == 2
         });
         assert_eq!(reduction.stats.payload_instructions_removed, 0);
+    }
+
+    #[test]
+    fn unprobed_lookups_reconcile_cache_lookups_with_the_journal() {
+        // Unseeded, 1-of-1, deterministic, no speculation: every cache
+        // lookup either journals exactly one probe record or lands on the
+        // unprobed ledger — the shrink phase's mask-skipped candidates are
+        // the interesting source.
+        let (ctx, sequence) = context_and_bloated_function();
+        let out = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            |variant| Ok(variant.module.functions.len() == 2),
+            |_, _| {},
+        );
+        let engine = &out.reduction.engine;
+        assert!(
+            engine.unprobed_lookups > 0,
+            "shrinking a payload with data dependencies must skip some candidates"
+        );
+        assert_eq!(
+            engine.cache.lookups,
+            out.log.len() as u64 + engine.unprobed_lookups,
+            "cache lookups and the journal no longer reconcile"
+        );
+    }
+}
+
+#[cfg(test)]
+mod shared_cache_tests {
+    use super::tests::{flip_sequence, helper_of, tiny_context};
+    use super::*;
+    use trx_core::SharedPrefixCache;
+    use trx_ir::FunctionControl;
+
+    #[test]
+    fn shared_cache_reduction_is_byte_identical_to_private() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 17);
+        let oracle = move |variant: &Context| {
+            Ok(variant.module.function(helper).unwrap().control == FunctionControl::DontInline)
+        };
+        let private = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            oracle,
+            |_, _| {},
+        );
+        for shards in [1usize, 3, 8] {
+            let cache = Arc::new(SharedPrefixCache::new(1 << 20, shards));
+            let shared = Reducer::default()
+                .with_shared_cache(Arc::clone(&cache))
+                .reduce_journaled(&ctx, &sequence, &ReductionLog::new(), oracle, |_, _| {});
+            assert_eq!(shared.log, private.log, "{shards} shards: journals differ");
+            assert_eq!(shared.reduction.sequence, private.reduction.sequence);
+            assert_eq!(shared.reduction.stats, private.reduction.stats);
+            assert_eq!(shared.reduction.context.module, private.reduction.context.module);
+            cache.debug_check_accounting();
+        }
+    }
+
+    #[test]
+    fn shared_cache_reuses_sibling_work_across_reductions() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 17);
+        let cache = Arc::new(SharedPrefixCache::new(1 << 20, 4));
+        let run = || {
+            Reducer::default()
+                .with_shared_cache(Arc::clone(&cache))
+                .reduce_journaled(
+                    &ctx,
+                    &sequence,
+                    &ReductionLog::new(),
+                    move |variant| {
+                        Ok(variant.module.function(helper).unwrap().control
+                            == FunctionControl::DontInline)
+                    },
+                    |_, _| {},
+                )
+                .reduction
+        };
+        let first = run();
+        let second = run();
+        // Identical reductions: the second session walks entirely on the
+        // first one's snapshots.
+        assert_eq!(second.sequence, first.sequence);
+        assert!(
+            second.engine.cache.transformations_applied
+                < first.engine.cache.transformations_applied,
+            "second reduction re-applied as much as the first: {} vs {}",
+            second.engine.cache.transformations_applied,
+            first.engine.cache.transformations_applied,
+        );
+        assert!(second.engine.cache.transformations_saved > 0);
+    }
+
+    #[test]
+    fn speculative_shared_cache_is_byte_identical_even_under_pressure() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 17);
+        let oracle = move |variant: &Context| {
+            Ok(variant.module.function(helper).unwrap().control == FunctionControl::DontInline)
+        };
+        let reference = Reducer::default().reduce_journaled(
+            &ctx,
+            &sequence,
+            &ReductionLog::new(),
+            oracle,
+            |_, _| {},
+        );
+        // A deliberately tiny shared budget: inserts churn, eviction
+        // pressure spikes, and probationary inserts self-reject — none of
+        // which may move a byte of the reduction output.
+        let cache = Arc::new(SharedPrefixCache::new(2048, 2));
+        let got = trx_pool::with_pool(3, |pool| {
+            Reducer::new(ReducerOptions {
+                speculation: 4,
+                speculation_min_hit_permille: 200,
+                ..ReducerOptions::default()
+            })
+            .with_shared_cache(Arc::clone(&cache))
+            .reduce_speculative(&ctx, &sequence, &ReductionLog::new(), oracle, |_, _| {}, pool)
+        });
+        assert_eq!(got.log, reference.log, "speculation over the shared cache moved the journal");
+        assert_eq!(got.reduction.sequence, reference.reduction.sequence);
+        assert_eq!(got.reduction.stats, reference.reduction.stats);
+        assert_eq!(got.reduction.context.module, reference.reduction.context.module);
+        cache.debug_check_accounting();
+    }
+
+    #[test]
+    fn balance_holds_for_shared_cache_and_budget_exhaustion() {
+        let ctx = tiny_context();
+        let helper = helper_of(&ctx);
+        let sequence = flip_sequence(&ctx, 17);
+        for max_tests in [5usize, 100_000] {
+            for shared in [false, true] {
+                let mut reducer = Reducer::new(ReducerOptions {
+                    max_tests,
+                    ..ReducerOptions::default()
+                });
+                if shared {
+                    reducer = reducer
+                        .with_shared_cache(Arc::new(SharedPrefixCache::new(1 << 20, 2)));
+                }
+                let out = reducer.reduce_journaled(
+                    &ctx,
+                    &sequence,
+                    &ReductionLog::new(),
+                    move |variant| {
+                        Ok(variant.module.function(helper).unwrap().control
+                            == FunctionControl::DontInline)
+                    },
+                    |_, _| {},
+                );
+                let engine = &out.reduction.engine;
+                assert_eq!(
+                    engine.cache.lookups,
+                    out.log.len() as u64 + engine.unprobed_lookups,
+                    "max_tests {max_tests}, shared {shared}: books don't balance"
+                );
+            }
+        }
     }
 }

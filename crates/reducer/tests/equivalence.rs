@@ -13,7 +13,7 @@ use std::sync::Arc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 use trx_core::transformations::{AddConstant, SetFunctionControl};
-use trx_core::{context_fingerprint, Context, Transformation};
+use trx_core::{context_fingerprint, Context, SharedPrefixCache, Transformation};
 use trx_ir::{ConstantValue, FunctionControl, Id, Inputs, ModuleBuilder, Type};
 use trx_observe::{Counter, MetricsReport, RecordingSink, Scope, SinkHandle};
 use trx_pool::with_pool;
@@ -343,6 +343,98 @@ proptest! {
         })
         .reduce_journaled(&original, &sequence, &prefix, probe, |_, _| {});
         assert_same(&format!("resume cut {cut}"), &resumed, &golden)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole determinism contract: any number of reducers sharing
+    /// one sharded prefix cache must each produce a reduction
+    /// byte-identical to the serial budget-0 reference — cache *contents*
+    /// may depend on thread timing, reduced *outputs* may not. Exercised at
+    /// 1, 4 and 8 concurrent reducers over roomy and deliberately
+    /// pathological budgets (1 byte rejects every insert), plus kill/resume
+    /// against a cache warmed by a previous incarnation.
+    #[test]
+    fn shared_cache_reducers_match_serial_at_1_4_and_8_threads(
+        genes in vec(0u8..=15, 0..=14),
+        fault_salt in 0u64..=u64::MAX,
+        fault_every in 0u64..=6,
+        budget_pick in 0usize..3,
+        shards in 1usize..5,
+    ) {
+        let original = base_context();
+        let sequence = decode(&original, &genes);
+        let needed = {
+            let mut full = original.clone();
+            trx_core::apply_sequence(&mut full, &sequence);
+            full.module.constants.len()
+        };
+        let probe = move |ctx: &Context| -> Result<bool, ProbeFault> {
+            if fault_every > 0
+                && (context_fingerprint(ctx) ^ fault_salt).is_multiple_of(fault_every + 3)
+            {
+                return Err(ProbeFault("planned fault".into()));
+            }
+            Ok(ctx.module.constants.len() >= needed)
+        };
+        let opts = ReducerOptions {
+            shrink_added_functions: false,
+            poison_retries: 2,
+            prefix_cache_budget: 0,
+            ..ReducerOptions::default()
+        };
+        let reference = Reducer::new(opts).reduce_journaled(
+            &original,
+            &sequence,
+            &ReductionLog::new(),
+            probe,
+            |_, _| {},
+        );
+
+        let budget = [1usize, 64 << 10, 1 << 20][budget_pick];
+        for threads in [1usize, 4, 8] {
+            let cache = Arc::new(SharedPrefixCache::new(budget, shards));
+            let results: Vec<JournaledReduction> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cache = Arc::clone(&cache);
+                        let original = &original;
+                        let sequence = &sequence;
+                        s.spawn(move || {
+                            Reducer::new(opts).with_shared_cache(cache).reduce_journaled(
+                                original,
+                                sequence,
+                                &ReductionLog::new(),
+                                probe,
+                                |_, _| {},
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("reducer panicked")).collect()
+            });
+            for (i, got) in results.iter().enumerate() {
+                assert_same(&format!("threads {threads} reducer {i} budget {budget}"), got, &reference)?;
+            }
+            cache.debug_check_accounting();
+        }
+
+        // Kill/resume with the shared cache enabled: resuming from any
+        // journal prefix against an already-warm cache reproduces the
+        // golden bytes and the exact journal suffix.
+        let cache = Arc::new(SharedPrefixCache::new(budget, shards.max(2)));
+        let _ = Reducer::new(opts)
+            .with_shared_cache(Arc::clone(&cache))
+            .reduce_journaled(&original, &sequence, &ReductionLog::new(), probe, |_, _| {});
+        let cut = (fault_salt % (reference.log.len() as u64 + 1)) as usize;
+        let prefix = ReductionLog { records: reference.log.records[..cut].to_vec() };
+        let resumed = Reducer::new(opts)
+            .with_shared_cache(Arc::clone(&cache))
+            .reduce_journaled(&original, &sequence, &prefix, probe, |_, _| {});
+        assert_same(&format!("shared resume cut {cut}"), &resumed, &reference)?;
+        cache.debug_check_accounting();
     }
 }
 

@@ -45,9 +45,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
+use trx_core::SharedPrefixCache;
 use trx_harness::pipeline::{
-    run_pipeline_with_known_observed, signature_key, Journal, KnownSignatures, PipelineConfig,
-    PipelineReport,
+    run_pipeline_with_known_observed_cached, signature_key, Journal, KnownSignatures,
+    PipelineConfig, PipelineReport,
 };
 use trx_harness::{BugSignature, ExecutorConfig, Tool, WatchdogConfig};
 use trx_observe::{Counter, Scope, SinkHandle};
@@ -81,6 +82,16 @@ pub struct DaemonConfig {
     /// WAL records that trigger automatic store compaction after a
     /// commit; 0 never auto-compacts.
     pub snapshot_every: usize,
+    /// Byte budget of each worker shard's persistent
+    /// [`SharedPrefixCache`]. The cache outlives any one job, so later
+    /// jobs re-reducing overlapping transformation prefixes (resubmitted
+    /// campaigns, restart storms) walk snapshots earlier jobs paid for.
+    /// 0 (the default) disables the shard caches; journal bytes and
+    /// reports are identical either way.
+    pub cache_budget_bytes: usize,
+    /// Shard count *inside* each worker's prefix cache (not the daemon's
+    /// worker shards): concurrent reductions of one job contend on these.
+    pub cache_shards: usize,
 }
 
 impl Default for DaemonConfig {
@@ -92,6 +103,8 @@ impl Default for DaemonConfig {
             backoff_base_ms: 10,
             state_dir: None,
             snapshot_every: 64,
+            cache_budget_bytes: 0,
+            cache_shards: 8,
         }
     }
 }
@@ -182,6 +195,12 @@ struct Shared {
     /// Signaled when a job reaches a terminal phase (drain waits here).
     settled: Condvar,
     shutdown: AtomicBool,
+    /// One persistent prefix cache per worker shard (empty when
+    /// [`DaemonConfig::cache_budget_bytes`] is 0). Indexed by shard id;
+    /// survives both job boundaries and shard-thread deaths, so a
+    /// restarted job resumes against a warm cache — safely, because the
+    /// cache never influences journal bytes.
+    caches: Vec<Arc<SharedPrefixCache>>,
 }
 
 impl Shared {
@@ -255,6 +274,15 @@ impl Daemon {
         if recovered > 0 {
             observe.count(Scope::Server, Counter::StateRecoveredRecords, recovered);
         }
+        let caches: Vec<Arc<SharedPrefixCache>> = if config.cache_budget_bytes > 0 {
+            (0..shards)
+                .map(|_| {
+                    Arc::new(SharedPrefixCache::new(config.cache_budget_bytes, config.cache_shards))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let shared = Arc::new(Shared {
             config,
             observe,
@@ -276,6 +304,7 @@ impl Daemon {
             work: Condvar::new(),
             settled: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            caches,
         });
         for shard in 0..shards {
             spawn_shard(Arc::clone(&shared), shard);
@@ -515,6 +544,11 @@ fn job_config(spec: &JobSpec) -> PipelineConfig {
         // pipeline stays deterministic under resume.
         watchdog: WatchdogConfig { deadline_ms: 0 },
         reduction_threads: spec.reduction_threads.max(1),
+        // The daemon passes its own per-shard cache handle to the cached
+        // pipeline entry point; the in-config budget stays 0 so a job
+        // resumed on a cacheless daemon build behaves identically.
+        cache_budget_bytes: 0,
+        cache_shards: 1,
     }
 }
 
@@ -638,7 +672,7 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
         let sink_shared = Arc::clone(&shared);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let journal = Journal::parse(&prior_lines)?;
-            run_pipeline_with_known_observed(
+            run_pipeline_with_known_observed_cached(
                 &config,
                 &targets,
                 &known,
@@ -682,6 +716,9 @@ fn shard_loop(shared: Arc<Shared>, shard: usize) {
                 // server-scope counters, so concurrent jobs cannot
                 // interleave their reduction scopes.
                 &SinkHandle::noop(),
+                // This worker shard's persistent cache: jobs resubmitting
+                // overlapping campaigns reuse prior jobs' snapshots.
+                shared.caches.get(shard),
             )
         }));
 

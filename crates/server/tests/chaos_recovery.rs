@@ -66,7 +66,16 @@ fn findings(client: &mut InProcessClient, job: u64, from: usize) -> (Vec<String>
 /// two-shard daemon to completion. Returns the merged report, the merged
 /// journal, and each job's full journal.
 fn run_batch(specs: &[JobSpec], kills: &[Vec<usize>]) -> (String, String, Vec<Vec<String>>) {
-    let daemon = Daemon::start(two_shards(), SinkHandle::noop());
+    run_batch_on(two_shards(), specs, kills)
+}
+
+/// `run_batch` against an arbitrary daemon configuration.
+fn run_batch_on(
+    config: DaemonConfig,
+    specs: &[JobSpec],
+    kills: &[Vec<usize>],
+) -> (String, String, Vec<Vec<String>>) {
+    let daemon = Daemon::start(config, SinkHandle::noop());
     let mut client = InProcessClient::connect(daemon);
     for (i, spec) in specs.iter().enumerate() {
         let mut spec = spec.clone();
@@ -114,6 +123,27 @@ fn kill_at_every_append_matrix_is_byte_identical() {
                 "journal suffix diverged after killing job {j} at append {k}"
             );
         }
+    }
+}
+
+/// A daemon sharing a per-worker-shard prefix cache across jobs produces
+/// merged artifacts byte-identical to the cacheless daemon — including
+/// through a chaos kill, where the resumed job replays its journal against
+/// a cache already warmed by sibling jobs.
+#[test]
+fn shared_cache_daemon_matches_cacheless_byte_for_byte() {
+    quiet_shard_panics();
+    let specs = [tiny(11), tiny(97), tiny(42)];
+    let kills = [Vec::new(), vec![2], Vec::new()];
+    let golden = run_batch(&specs, &kills);
+    for (budget, cache_shards) in [(8 << 20, 4), (16 << 10, 2)] {
+        let config =
+            DaemonConfig { cache_budget_bytes: budget, cache_shards, ..two_shards() };
+        let cached = run_batch_on(config, &specs, &kills);
+        assert_eq!(
+            cached, golden,
+            "cache budget {budget} × {cache_shards} shards diverged from cacheless daemon"
+        );
     }
 }
 
