@@ -214,6 +214,7 @@ fn main() {
         reduction_threads,
         cache_budget_bytes,
         cache_shards,
+        dedup_backend: trx_dedup::DedupBackendKind::default(),
     };
 
     let wal = arg_string("--wal", "");

@@ -1,0 +1,74 @@
+//! Ground-truth dedup shootout: scores every pluggable dedup backend
+//! (transformation-set, pass-bisection, crash-signature) against the
+//! injected-bug labels across all nine catalog targets.
+//!
+//! Usage: `dedup_shootout [--tests N] [--cap K] [--seed S] [--out PATH]`
+//!
+//! Writes the full report as JSON to `--out` (default `BENCH_dedup.json`)
+//! and exits non-zero if the transformation-set backend's recommendations
+//! ever diverge from the legacy `deduplicate_sets` algorithm.
+
+use trx_bench::shootout::{run_shootout, ShootoutConfig};
+use trx_bench::{arg_string, arg_u64, arg_usize, render_table};
+
+fn main() {
+    let config = ShootoutConfig {
+        tests: arg_usize("--tests", 300),
+        cap: arg_usize("--cap", 6),
+        seed: arg_u64("--seed", 0),
+    };
+    let out = arg_string("--out", "BENCH_dedup.json");
+    eprintln!(
+        "running {} tests, cap {} reductions/signature (seed {}) ...",
+        config.tests, config.cap, config.seed
+    );
+    let report = run_shootout(&config);
+
+    println!("Dedup shootout: backend keys vs ground-truth injected bugs\n");
+    let headers = [
+        "Target", "Backend", "Findings", "Reports", "Distinct", "Dups", "Prec", "Rec", "PairAcc",
+        "Probes",
+    ];
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for row in report.targets.iter().chain(std::iter::once(&summary_row(&report))) {
+        for score in &row.backends {
+            table.push(vec![
+                row.target.clone(),
+                score.backend.clone(),
+                score.findings.to_string(),
+                score.reports.to_string(),
+                score.distinct.to_string(),
+                score.dups.to_string(),
+                format!("{:.3}", score.precision),
+                format!("{:.3}", score.recall),
+                format!("{:.3}", score.pair_accuracy),
+                score.bisect_probes.to_string(),
+            ]);
+        }
+    }
+    print!("{}", render_table(&headers, &table));
+    println!(
+        "\nequivalent (transformation-set == deduplicate_sets): {}",
+        report.equivalent
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out}");
+
+    if !report.equivalent {
+        eprintln!(
+            "FAIL: transformation-set backend diverged from trx_dedup::deduplicate_sets"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn summary_row(report: &trx_bench::shootout::ShootoutReport) -> trx_bench::shootout::TargetShootout {
+    trx_bench::shootout::TargetShootout {
+        target: "Total".to_owned(),
+        findings: report.totals.iter().map(|s| s.findings).max().unwrap_or(0),
+        labeled: report.totals.iter().map(|s| s.labeled).max().unwrap_or(0),
+        backends: report.totals.clone(),
+    }
+}

@@ -13,6 +13,7 @@
 pub mod interp;
 pub mod perf;
 pub mod robustness;
+pub mod shootout;
 
 /// Renders rows as a fixed-width text table with a header rule.
 #[must_use]

@@ -1,0 +1,402 @@
+//! Ground-truth dedup shootout: scores every pluggable dedup backend
+//! against the injected-bug labels (a Table-4 extension).
+//!
+//! The experiment mirrors `trx_harness::experiments::dedup_effectiveness`
+//! but widens it in three ways: it covers all nine catalog targets
+//! (NVIDIA included), it keeps miscompilation findings as well as
+//! crashes, and it keys every finding through each registered
+//! [`DedupBackend`](trx_dedup::DedupBackend) rather than only the
+//! transformation-set algorithm. Because each injected bug has a
+//! ground-truth [`BugId`](trx_targets::BugId), backend keys can be
+//! scored as a pair-level clustering problem: two findings should share
+//! a key exactly when they trip the same injected bug.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use trx_dedup::{DedupBackendKind, DedupKey, FindingEvidence, FindingOutcome};
+use trx_harness::campaign::{parallel_map, reduce_test, run_campaign, ReducedTest};
+use trx_harness::corpus::donor_modules;
+use trx_harness::{BugSignature, Tool};
+use trx_observe::{Counter, RecordingSink, SinkHandle};
+use trx_targets::{catalog, Target};
+
+/// The three backends the shootout compares, in report order.
+pub const BACKENDS: [DedupBackendKind; 3] = [
+    DedupBackendKind::TransformationSet,
+    DedupBackendKind::PassBisection,
+    DedupBackendKind::CrashSignature,
+];
+
+/// Campaign knobs for [`run_shootout`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ShootoutConfig {
+    /// Tests generated per campaign (each test runs against every target).
+    pub tests: usize,
+    /// Reductions kept per observed signature per target.
+    pub cap: usize,
+    /// Base seed for generation.
+    pub seed: u64,
+}
+
+/// Pair-level confusion matrix over ground-truth-labeled findings.
+///
+/// Every unordered pair of labeled findings falls in exactly one cell:
+/// the "truth" axis is whether the two findings trip the same injected
+/// bug, the "prediction" axis is whether the backend gave them the same
+/// dedup key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairConfusion {
+    /// Same injected bug, same key (true positive).
+    pub same_bug_same_key: usize,
+    /// Same injected bug, different keys (false negative — a bug the
+    /// backend over-splits, inflating duplicate reports).
+    pub same_bug_split_key: usize,
+    /// Different injected bugs, same key (false positive — distinct
+    /// bugs the backend merges, losing reports).
+    pub distinct_bug_same_key: usize,
+    /// Different injected bugs, different keys (true negative).
+    pub distinct_bug_split_key: usize,
+}
+
+impl PairConfusion {
+    fn ratio(numerator: usize, denominator: usize) -> f64 {
+        if denominator == 0 {
+            1.0
+        } else {
+            numerator as f64 / denominator as f64
+        }
+    }
+
+    /// Of the pairs the backend merged, how many were truly the same bug.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        Self::ratio(
+            self.same_bug_same_key,
+            self.same_bug_same_key + self.distinct_bug_same_key,
+        )
+    }
+
+    /// Of the truly-same-bug pairs, how many the backend merged.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        Self::ratio(
+            self.same_bug_same_key,
+            self.same_bug_same_key + self.same_bug_split_key,
+        )
+    }
+
+    /// Fraction of all labeled pairs classified correctly.
+    #[must_use]
+    pub fn pair_accuracy(&self) -> f64 {
+        Self::ratio(
+            self.same_bug_same_key + self.distinct_bug_split_key,
+            self.same_bug_same_key
+                + self.same_bug_split_key
+                + self.distinct_bug_same_key
+                + self.distinct_bug_split_key,
+        )
+    }
+
+    fn add(&mut self, other: &PairConfusion) {
+        self.same_bug_same_key += other.same_bug_same_key;
+        self.same_bug_split_key += other.same_bug_split_key;
+        self.distinct_bug_same_key += other.distinct_bug_same_key;
+        self.distinct_bug_split_key += other.distinct_bug_split_key;
+    }
+}
+
+/// One backend's score on one target (or, in totals, on the whole run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendScore {
+    /// Backend name (kebab-case, as `DedupBackendKind::name`).
+    pub backend: String,
+    /// Reduced findings the backend keyed.
+    pub findings: usize,
+    /// Findings with a ground-truth bug label.
+    pub labeled: usize,
+    /// Reports the backend would file (recommended findings).
+    pub reports: usize,
+    /// Distinct injected bugs among the recommended findings.
+    pub distinct: usize,
+    /// Recommended findings beyond one per distinct bug.
+    pub dups: usize,
+    /// Pair-level confusion matrix over labeled findings.
+    pub confusion: PairConfusion,
+    /// `confusion.precision()`, rounded for stable JSON.
+    pub precision: f64,
+    /// `confusion.recall()`, rounded for stable JSON.
+    pub recall: f64,
+    /// `confusion.pair_accuracy()`, rounded for stable JSON.
+    pub pair_accuracy: f64,
+    /// Bisection memo lookups the backend performed (zero for the
+    /// probe-free backends).
+    pub bisect_lookups: u64,
+    /// Compile/execute probes actually run (the bisection's cost).
+    pub bisect_probes: u64,
+    /// Lookups answered from the memo without a probe.
+    pub bisect_memo_hits: u64,
+}
+
+/// Every backend's score on one target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetShootout {
+    /// Target name.
+    pub target: String,
+    /// Reduced findings collected for this target.
+    pub findings: usize,
+    /// Findings with a ground-truth bug label.
+    pub labeled: usize,
+    /// Per-backend scores, in [`BACKENDS`] order.
+    pub backends: Vec<BackendScore>,
+}
+
+/// The full shootout report serialized to `BENCH_dedup.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShootoutReport {
+    /// Tests generated per campaign.
+    pub tests: usize,
+    /// Reductions kept per signature per target.
+    pub cap: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Per-target rows (targets with no findings are omitted).
+    pub targets: Vec<TargetShootout>,
+    /// Whole-run aggregates per backend, in [`BACKENDS`] order.
+    pub totals: Vec<BackendScore>,
+    /// Hard invariant: the transformation-set backend's recommendations
+    /// matched `trx_dedup::deduplicate_sets` on every target.
+    pub equivalent: bool,
+}
+
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// Collects reduced findings for one target: every observed signature
+/// (crash *and* miscompilation), capped per signature.
+fn collect_findings(
+    tool: Tool,
+    target: &Target,
+    signatures: &[Option<BugSignature>],
+    donors: &[trx_ir::Module],
+    config: &ShootoutConfig,
+) -> Vec<ReducedTest> {
+    let mut per_signature: BTreeMap<BugSignature, usize> = BTreeMap::new();
+    let mut work: Vec<(u64, BugSignature)> = Vec::new();
+    for (i, signature) in signatures.iter().enumerate() {
+        let Some(signature) = signature else {
+            continue;
+        };
+        let counter = per_signature.entry(signature.clone()).or_insert(0);
+        if *counter < config.cap {
+            *counter += 1;
+            work.push((config.seed + i as u64, signature.clone()));
+        }
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    parallel_map(threads, work.len(), |w| {
+        let (test_seed, signature) = &work[w];
+        reduce_test(tool, *test_seed, target, donors, signature)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn score_backend(
+    kind: DedupBackendKind,
+    target: &Target,
+    reduced: &[ReducedTest],
+    equivalent: &mut bool,
+) -> BackendScore {
+    let backend = kind.instantiate();
+    let sink = Arc::new(RecordingSink::deterministic());
+    let handle = SinkHandle::new(sink.clone());
+
+    let evidence: Vec<FindingEvidence> = reduced
+        .iter()
+        .map(|r| FindingEvidence {
+            target: target.name().to_owned(),
+            outcome: match &r.signature {
+                BugSignature::Crash(s) => FindingOutcome::Crash(s.clone()),
+                BugSignature::Miscompilation => FindingOutcome::Miscompilation,
+            },
+            sequence: r.sequence.clone(),
+            module: r.reduced_module.clone(),
+            inputs: r.inputs.clone(),
+        })
+        .collect();
+    let keys: Vec<DedupKey> = evidence.iter().map(|e| backend.key(e, &handle)).collect();
+    let picked = backend.recommend(&keys);
+
+    if kind == DedupBackendKind::TransformationSet {
+        // Hard invariant: the pluggable path reproduces the legacy
+        // Figure 6 recommendations exactly.
+        let type_sets: Vec<BTreeSet<trx_core::TransformationKind>> =
+            reduced.iter().map(|r| r.kinds.clone()).collect();
+        if picked != trx_dedup::deduplicate_sets(&type_sets) {
+            *equivalent = false;
+        }
+    }
+
+    let labels: Vec<Option<&trx_targets::BugId>> =
+        reduced.iter().map(|r| r.ground_truth.as_ref()).collect();
+    let mut confusion = PairConfusion::default();
+    for i in 0..keys.len() {
+        let Some(bug_i) = labels[i] else {
+            continue;
+        };
+        for j in i + 1..keys.len() {
+            let Some(bug_j) = labels[j] else {
+                continue;
+            };
+            match (bug_i == bug_j, keys[i] == keys[j]) {
+                (true, true) => confusion.same_bug_same_key += 1,
+                (true, false) => confusion.same_bug_split_key += 1,
+                (false, true) => confusion.distinct_bug_same_key += 1,
+                (false, false) => confusion.distinct_bug_split_key += 1,
+            }
+        }
+    }
+
+    let picked_bugs: BTreeSet<&trx_targets::BugId> =
+        picked.iter().filter_map(|&i| labels[i]).collect();
+    let report = sink.snapshot();
+    BackendScore {
+        backend: kind.name().to_owned(),
+        findings: reduced.len(),
+        labeled: labels.iter().flatten().count(),
+        reports: picked.len(),
+        distinct: picked_bugs.len(),
+        dups: picked.len().saturating_sub(picked_bugs.len()),
+        confusion,
+        precision: round6(confusion.precision()),
+        recall: round6(confusion.recall()),
+        pair_accuracy: round6(confusion.pair_accuracy()),
+        bisect_lookups: report.counter("dedup", Counter::DedupBisectLookups),
+        bisect_probes: report.counter("dedup", Counter::DedupBisectProbes),
+        bisect_memo_hits: report.counter("dedup", Counter::DedupBisectMemoHits),
+    }
+}
+
+fn aggregate(kind: DedupBackendKind, index: usize, rows: &[TargetShootout]) -> BackendScore {
+    let mut confusion = PairConfusion::default();
+    let mut total = BackendScore {
+        backend: kind.name().to_owned(),
+        findings: 0,
+        labeled: 0,
+        reports: 0,
+        distinct: 0,
+        dups: 0,
+        confusion,
+        precision: 1.0,
+        recall: 1.0,
+        pair_accuracy: 1.0,
+        bisect_lookups: 0,
+        bisect_probes: 0,
+        bisect_memo_hits: 0,
+    };
+    for row in rows {
+        let score = &row.backends[index];
+        total.findings += score.findings;
+        total.labeled += score.labeled;
+        total.reports += score.reports;
+        total.distinct += score.distinct;
+        total.dups += score.dups;
+        confusion.add(&score.confusion);
+        total.bisect_lookups += score.bisect_lookups;
+        total.bisect_probes += score.bisect_probes;
+        total.bisect_memo_hits += score.bisect_memo_hits;
+    }
+    total.confusion = confusion;
+    total.precision = round6(confusion.precision());
+    total.recall = round6(confusion.recall());
+    total.pair_accuracy = round6(confusion.pair_accuracy());
+    total
+}
+
+/// Runs the full shootout: one campaign across every catalog target,
+/// reduction of every capped finding, then each backend keyed and
+/// scored against the ground-truth labels.
+#[must_use]
+pub fn run_shootout(config: &ShootoutConfig) -> ShootoutReport {
+    let targets = catalog::all_targets();
+    let donors = donor_modules();
+    let tool = Tool::SpirvFuzz;
+    let outcome = run_campaign(tool, &targets, config.tests, config.seed);
+
+    let mut equivalent = true;
+    let mut rows: Vec<TargetShootout> = Vec::new();
+    for (t, target) in targets.iter().enumerate() {
+        let reduced = collect_findings(tool, target, &outcome.per_test[t], &donors, config);
+        if reduced.is_empty() {
+            continue;
+        }
+        let backends: Vec<BackendScore> = BACKENDS
+            .iter()
+            .map(|&kind| score_backend(kind, target, &reduced, &mut equivalent))
+            .collect();
+        rows.push(TargetShootout {
+            target: target.name().to_owned(),
+            findings: reduced.len(),
+            labeled: reduced.iter().filter(|r| r.ground_truth.is_some()).count(),
+            backends,
+        });
+    }
+
+    let totals = BACKENDS
+        .iter()
+        .enumerate()
+        .map(|(index, &kind)| aggregate(kind, index, &rows))
+        .collect();
+    ShootoutReport {
+        tests: config.tests,
+        cap: config.cap,
+        seed: config.seed,
+        targets: rows,
+        totals,
+        equivalent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_ratios_handle_empty_denominators() {
+        let empty = PairConfusion::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.pair_accuracy(), 1.0);
+
+        let mixed = PairConfusion {
+            same_bug_same_key: 3,
+            same_bug_split_key: 1,
+            distinct_bug_same_key: 1,
+            distinct_bug_split_key: 5,
+        };
+        assert!((mixed.precision() - 0.75).abs() < 1e-12);
+        assert!((mixed.recall() - 0.75).abs() < 1e-12);
+        assert!((mixed.pair_accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let config = ShootoutConfig {
+            tests: 8,
+            cap: 1,
+            seed: 7,
+        };
+        let report = run_shootout(&config);
+        assert_eq!(report.totals.len(), BACKENDS.len());
+        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        let back: ShootoutReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, report);
+        assert!(report.equivalent, "transformation-set must match legacy dedup");
+    }
+}

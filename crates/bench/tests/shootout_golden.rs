@@ -1,0 +1,73 @@
+//! Fixed-seed golden test for the dedup shootout (§3.5 extension).
+//!
+//! Runs the shootout in its smoke configuration and compares the full
+//! confusion-matrix report against the committed
+//! `results/dedup_shootout_golden.json`. Any drift in generation,
+//! reduction, backend keying, or scoring shows up here as a diff.
+//!
+//! To regenerate after an intentional change, run:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p trx-bench --test shootout_golden
+//! ```
+//!
+//! and commit the rewritten `results/dedup_shootout_golden.json`. Review
+//! the diff — a changed confusion matrix means dedup quality moved.
+
+use trx_bench::shootout::{run_shootout, ShootoutConfig, BACKENDS};
+
+/// The smoke configuration CI runs: small enough to finish in seconds,
+/// large enough that every target finds bugs and every backend's
+/// confusion matrix is non-trivial.
+fn smoke_config() -> ShootoutConfig {
+    ShootoutConfig {
+        tests: 60,
+        cap: 3,
+        seed: 0,
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results")
+        .join("dedup_shootout_golden.json")
+}
+
+#[test]
+fn shootout_confusion_matrices_match_golden_snapshot() {
+    let report = run_shootout(&smoke_config());
+
+    // Hard invariants before any golden comparison: the pluggable
+    // transformation-set path must reproduce the legacy algorithm, and
+    // every surviving target row must score all three backends.
+    assert!(
+        report.equivalent,
+        "transformation-set backend diverged from deduplicate_sets"
+    );
+    for row in &report.targets {
+        assert_eq!(row.backends.len(), BACKENDS.len(), "target {}", row.target);
+    }
+
+    let mut rendered = serde_json::to_string_pretty(&report).expect("report serialises");
+    rendered.push('\n');
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1 (see test docs)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "dedup shootout diverged from results/dedup_shootout_golden.json; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 (see test docs)"
+    );
+}

@@ -1,0 +1,376 @@
+//! Pluggable deduplication backends.
+//!
+//! The paper evaluates exactly one dedup heuristic — the transformation-type
+//! set of §3.5 — and can only compare it against crash-signature dedup
+//! because real compilers hide ground truth. Our simulated targets don't:
+//! every [`trx_targets::Target`] is an explicit pass pipeline with labeled
+//! injected bugs, so *any* dedup strategy can be scored for precision and
+//! recall against known bug identities. This module defines the common
+//! interface: a [`DedupBackend`] consumes one [`FindingEvidence`] per
+//! reduced finding and emits an opaque comparable [`DedupKey`]; findings
+//! with equal keys are considered duplicates.
+//!
+//! Three backends are provided:
+//!
+//! * [`TransformationSetBackend`] — the paper's heuristic, wrapping the
+//!   existing [`interesting_types`](crate::interesting_types) /
+//!   [`deduplicate_sets`](crate::deduplicate_sets) path. Its
+//!   recommendations are byte-identical to the legacy pipeline output.
+//! * [`CrashSignatureBackend`] — the industry baseline the paper compares
+//!   against: two findings are duplicates iff they came from the same
+//!   target with the same crash signature (or are both miscompilations).
+//! * [`PassBisectionBackend`](crate::bisect::PassBisectionBackend) — dedup
+//!   by the optimizer pass that introduces the failure, located by binary
+//!   search over pipeline prefixes (arXiv 2506.23281).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use trx_core::{Transformation, TransformationKind};
+use trx_ir::{Inputs, Module};
+use trx_observe::SinkHandle;
+
+use crate::{deduplicate_sets, interesting_types};
+
+/// How a finding manifested: a crash signature or a silent miscompilation.
+///
+/// Mirrors the harness's bug-signature taxonomy (compiler crashes and
+/// runtime faults both render as `Crash` with the scraped signature
+/// string).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FindingOutcome {
+    /// The target crashed (at compile time, or at runtime — rendered as
+    /// `runtime fault: …` by the harness).
+    Crash(String),
+    /// The target silently produced wrong output.
+    Miscompilation,
+}
+
+impl fmt::Display for FindingOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FindingOutcome::Crash(sig) => write!(f, "crash: {sig}"),
+            FindingOutcome::Miscompilation => write!(f, "miscompilation"),
+        }
+    }
+}
+
+/// Everything a backend may consult about one reduced finding.
+///
+/// The transformation-set backend reads only `sequence`; crash-signature
+/// reads `target` and `outcome`; pass bisection re-compiles `module` under
+/// pipeline prefixes and re-runs it on `inputs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FindingEvidence {
+    /// Name of the target the finding was observed on.
+    pub target: String,
+    /// How the finding manifested.
+    pub outcome: FindingOutcome,
+    /// The reduced transformation sequence that still exposes the bug.
+    pub sequence: Vec<Transformation>,
+    /// The reduced module, as prepared for the target (post
+    /// transformation-application, pre optimization).
+    pub module: Module,
+    /// The inputs that exposed the finding.
+    pub inputs: Inputs,
+}
+
+/// An opaque, comparable deduplication verdict: two findings are considered
+/// duplicates exactly when their keys are equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DedupKey {
+    /// The paper's §3.5 heuristic: the set of non-supporting
+    /// transformation kinds remaining after reduction.
+    TypeSet {
+        /// Interesting (non-supporting) transformation kinds in the
+        /// reduced sequence.
+        types: BTreeSet<TransformationKind>,
+    },
+    /// Crash-signature dedup: same target, same rendered outcome.
+    Signature {
+        /// Target the finding was observed on.
+        target: String,
+        /// Rendered outcome (`crash: …` or `miscompilation`).
+        signature: String,
+    },
+    /// Pass-bisection dedup: the pipeline pass that introduces the
+    /// failure.
+    Pass {
+        /// Target the finding was observed on.
+        target: String,
+        /// Name of the culprit pass, or `front-end` when the failure
+        /// fires before any pass runs.
+        culprit: String,
+    },
+    /// The backend could not assign a meaningful key (unknown target,
+    /// finding not reproducible under probing, …). Unresolved keys still
+    /// compare — two findings failing the same way share one.
+    Unresolved {
+        /// Target the finding was observed on.
+        target: String,
+        /// Why no key could be assigned.
+        reason: String,
+    },
+}
+
+/// A deduplication strategy: maps findings to comparable keys and picks
+/// which findings to recommend for manual inspection.
+pub trait DedupBackend: Send + Sync {
+    /// Stable backend name (used in reports and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Computes the dedup key for one finding. Probe-style backends report
+    /// their work through `sink` under [`trx_observe::Scope::Dedup`].
+    fn key(&self, evidence: &FindingEvidence, sink: &SinkHandle) -> DedupKey;
+
+    /// Given the keys of all findings in arrival order, returns the indices
+    /// to recommend for manual inspection. The default keeps the first
+    /// finding of each distinct key.
+    fn recommend(&self, keys: &[DedupKey]) -> Vec<usize> {
+        let mut seen: BTreeSet<&DedupKey> = BTreeSet::new();
+        let mut kept = Vec::new();
+        for (index, key) in keys.iter().enumerate() {
+            if seen.insert(key) {
+                kept.push(index);
+            }
+        }
+        kept
+    }
+}
+
+/// The paper's transformation-type-set heuristic as a [`DedupBackend`].
+///
+/// `recommend` routes through [`deduplicate_sets`], so its output is
+/// *identical* to the legacy non-backend pipeline path — including the
+/// greedy smallest-set-first cover and the rule that empty sets are never
+/// recommended (which the default first-per-key rule would violate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransformationSetBackend;
+
+impl DedupBackend for TransformationSetBackend {
+    fn name(&self) -> &'static str {
+        "transformation-set"
+    }
+
+    fn key(&self, evidence: &FindingEvidence, _sink: &SinkHandle) -> DedupKey {
+        DedupKey::TypeSet {
+            types: interesting_types(&evidence.sequence),
+        }
+    }
+
+    fn recommend(&self, keys: &[DedupKey]) -> Vec<usize> {
+        let sets: Vec<BTreeSet<TransformationKind>> = keys
+            .iter()
+            .map(|key| match key {
+                DedupKey::TypeSet { types } => types.clone(),
+                // Foreign keys carry no type set; treat as empty (never
+                // recommended), matching the legacy path's view.
+                _ => BTreeSet::new(),
+            })
+            .collect();
+        deduplicate_sets(&sets)
+    }
+}
+
+/// Crash-signature dedup: the baseline the paper's §5.4 compares against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashSignatureBackend;
+
+impl DedupBackend for CrashSignatureBackend {
+    fn name(&self) -> &'static str {
+        "crash-signature"
+    }
+
+    fn key(&self, evidence: &FindingEvidence, _sink: &SinkHandle) -> DedupKey {
+        DedupKey::Signature {
+            target: evidence.target.clone(),
+            signature: evidence.outcome.to_string(),
+        }
+    }
+}
+
+/// Which [`DedupBackend`] a pipeline run uses. Serialized into job specs
+/// and the pipeline WAL's `Start` record (as its kebab-case name — see the
+/// hand-written serde impls below); the default is skipped when serializing
+/// the `Start` record so existing golden files stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupBackendKind {
+    /// The paper's transformation-type-set heuristic (the default — the
+    /// legacy pipeline path, byte-identical output).
+    #[default]
+    TransformationSet,
+    /// Pass-prefix bisection (arXiv 2506.23281) against the catalog
+    /// targets.
+    PassBisection,
+    /// Same-target same-signature dedup.
+    CrashSignature,
+}
+
+impl DedupBackendKind {
+    /// True for the default kind — used as a `skip_serializing_if`
+    /// predicate so journals written before backends existed replay
+    /// unchanged.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == DedupBackendKind::TransformationSet
+    }
+
+    /// Stable kebab-case name, matching the serde representation.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DedupBackendKind::TransformationSet => "transformation-set",
+            DedupBackendKind::PassBisection => "pass-bisection",
+            DedupBackendKind::CrashSignature => "crash-signature",
+        }
+    }
+
+    /// Parses the kebab-case name back into a kind.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "transformation-set" => Some(DedupBackendKind::TransformationSet),
+            "pass-bisection" => Some(DedupBackendKind::PassBisection),
+            "crash-signature" => Some(DedupBackendKind::CrashSignature),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the backend. Pass bisection probes the standard
+    /// catalog targets; findings from unknown targets fall back to
+    /// signature keys.
+    #[must_use]
+    pub fn instantiate(self) -> Box<dyn DedupBackend> {
+        match self {
+            DedupBackendKind::TransformationSet => Box::new(TransformationSetBackend),
+            DedupBackendKind::PassBisection => {
+                Box::new(crate::bisect::PassBisectionBackend::from_catalog())
+            }
+            DedupBackendKind::CrashSignature => Box::new(CrashSignatureBackend),
+        }
+    }
+}
+
+impl fmt::Display for DedupBackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Hand-written (de)serialization: the offline serde stand-in has no
+// `#[serde(rename_all)]`, and the kind's wire form is its kebab-case name.
+impl Serialize for DedupBackendKind {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for DedupBackendKind {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        match content {
+            serde::Content::Str(name) => DedupBackendKind::parse(name).ok_or_else(|| {
+                serde::Error::msg(format!("DedupBackendKind: unknown backend `{name}`"))
+            }),
+            other => Err(serde::Error::msg(format!(
+                "DedupBackendKind: expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_core::transformations::{AddType, SetFunctionControl};
+    use trx_ir::{FunctionControl, Id, Type};
+
+    fn trivial_module() -> Module {
+        let mut b = trx_ir::ModuleBuilder::new();
+        let c = b.constant_int(0);
+        let mut f = b.begin_entry_function("main");
+        f.store_output("out", c);
+        f.ret();
+        f.finish();
+        b.finish()
+    }
+
+    fn evidence(sequence: Vec<Transformation>, outcome: FindingOutcome) -> FindingEvidence {
+        FindingEvidence {
+            target: "toy".to_string(),
+            outcome,
+            sequence,
+            module: trivial_module(),
+            inputs: Inputs::default(),
+        }
+    }
+
+    #[test]
+    fn transformation_set_backend_reproduces_legacy_recommendations() {
+        let seqs: Vec<Vec<Transformation>> = vec![
+            vec![SetFunctionControl {
+                function: Id::new(1),
+                control: FunctionControl::Inline,
+            }
+            .into()],
+            // Supporting-only sequence: empty set, never recommended.
+            vec![AddType {
+                fresh_id: Id::new(999),
+                ty: Type::Int,
+            }
+            .into()],
+            vec![SetFunctionControl {
+                function: Id::new(2),
+                control: FunctionControl::DontInline,
+            }
+            .into()],
+        ];
+        let backend = TransformationSetBackend;
+        let sink = SinkHandle::noop();
+        let keys: Vec<DedupKey> = seqs
+            .iter()
+            .map(|s| backend.key(&evidence(s.clone(), FindingOutcome::Miscompilation), &sink))
+            .collect();
+        let sets: Vec<_> = seqs.iter().map(|s| interesting_types(s)).collect();
+        assert_eq!(backend.recommend(&keys), deduplicate_sets(&sets));
+        // The empty set is not recommended even though its key is distinct
+        // from nothing — the default first-per-key rule would keep it.
+        assert_eq!(backend.recommend(&keys), vec![0]);
+    }
+
+    #[test]
+    fn crash_signature_backend_keys_on_target_and_outcome() {
+        let backend = CrashSignatureBackend;
+        let sink = SinkHandle::noop();
+        let a = backend.key(
+            &evidence(Vec::new(), FindingOutcome::Crash("boom".into())),
+            &sink,
+        );
+        let b = backend.key(
+            &evidence(Vec::new(), FindingOutcome::Crash("boom".into())),
+            &sink,
+        );
+        let c = backend.key(&evidence(Vec::new(), FindingOutcome::Miscompilation), &sink);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(backend.recommend(&[a, b, c]), vec![0, 2]);
+    }
+
+    #[test]
+    fn backend_kind_round_trips_names_and_serde() {
+        for kind in [
+            DedupBackendKind::TransformationSet,
+            DedupBackendKind::PassBisection,
+            DedupBackendKind::CrashSignature,
+        ] {
+            assert_eq!(DedupBackendKind::parse(kind.name()), Some(kind));
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(json, format!("\"{}\"", kind.name()));
+            let back: DedupBackendKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert!(DedupBackendKind::TransformationSet.is_default());
+        assert!(!DedupBackendKind::PassBisection.is_default());
+        assert_eq!(DedupBackendKind::parse("nope"), None);
+    }
+}

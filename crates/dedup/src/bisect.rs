@@ -1,0 +1,350 @@
+//! Pass-prefix bisection deduplication (arXiv 2506.23281).
+//!
+//! Two findings are duplicates when the *same optimizer pass* introduces
+//! their failure. For a real compiler that attribution needs a bisection
+//! over commit history or pass schedules; our simulated targets expose the
+//! pass pipeline directly ([`Target::pipeline`]) and can compile through
+//! any prefix of it ([`Target::compile_with_prefix`]), so the culprit pass
+//! is found by a deterministic binary search over prefix lengths:
+//!
+//! * `failing(0)` — the failure fires before any pass runs → `front-end`.
+//! * otherwise the search maintains `failing(lo) == false` and
+//!   `failing(hi) == true`, halving until `hi - lo == 1`; the culprit is
+//!   pass `hi - 1` (the pass whose inclusion flips the outcome).
+//! * `!failing(n)` for the full pipeline → the finding is not reproducible
+//!   under probing and gets an [`DedupKey::Unresolved`] key.
+//!
+//! Probes are pure functions of `(evidence, prefix length)`, so results
+//! are memoized on `(evidence fingerprint, prefix)` across findings. Probe
+//! work is reported through [`trx_observe`] under
+//! [`Scope::Dedup`](trx_observe::Scope::Dedup): every memo consultation
+//! counts a lookup, and `probes + memo_hits == lookups` always holds.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use trx_ir::hash::module_fingerprint;
+use trx_ir::{interp, Execution};
+use trx_observe::{Counter, Scope, SinkHandle};
+use trx_targets::{catalog, CompileOutcome, Target};
+
+use crate::backend::{DedupBackend, DedupKey, FindingEvidence, FindingOutcome};
+
+/// Culprit name used when the failure fires before any pipeline pass.
+pub const FRONT_END_CULPRIT: &str = "front-end";
+
+/// Dedup-by-culprit-pass backend: binary search over pipeline prefixes.
+///
+/// Holds the set of targets it may probe (by name) and a memo of probe
+/// verdicts shared across findings. Evidence from targets outside the set
+/// falls back to a signature key, never to a probe.
+pub struct PassBisectionBackend {
+    targets: BTreeMap<String, Target>,
+    memo: Mutex<HashMap<(u64, usize), bool>>,
+}
+
+impl PassBisectionBackend {
+    /// A backend probing the given targets.
+    #[must_use]
+    pub fn new(targets: impl IntoIterator<Item = Target>) -> Self {
+        PassBisectionBackend {
+            targets: targets
+                .into_iter()
+                .map(|t| (t.name().to_string(), t))
+                .collect(),
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A backend probing the standard catalog targets.
+    #[must_use]
+    pub fn from_catalog() -> Self {
+        PassBisectionBackend::new(catalog::all_targets())
+    }
+
+    /// Stable fingerprint of one piece of evidence: the probe memo is
+    /// keyed on this plus the prefix length, so two findings sharing a
+    /// module but differing in target/outcome/inputs never collide.
+    fn evidence_fingerprint(evidence: &FindingEvidence) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&module_fingerprint(&evidence.module).to_le_bytes());
+        eat(evidence.target.as_bytes());
+        eat(evidence.outcome.to_string().as_bytes());
+        // Inputs are a BTreeMap, so the JSON rendering is canonical.
+        eat(
+            serde_json::to_string(&evidence.inputs)
+                .unwrap_or_default()
+                .as_bytes(),
+        );
+        h
+    }
+
+    /// Memoized "does compiling through the first `prefix` passes still
+    /// reproduce the evidence's failure?".
+    fn failing(
+        &self,
+        target: &Target,
+        evidence: &FindingEvidence,
+        baseline: Option<&Execution>,
+        fingerprint: u64,
+        prefix: usize,
+        sink: &SinkHandle,
+    ) -> bool {
+        sink.count(Scope::Dedup, Counter::DedupBisectLookups, 1);
+        if let Some(&verdict) = self.memo.lock().unwrap().get(&(fingerprint, prefix)) {
+            sink.count(Scope::Dedup, Counter::DedupBisectMemoHits, 1);
+            return verdict;
+        }
+        sink.count(Scope::Dedup, Counter::DedupBisectProbes, 1);
+        let verdict = Self::probe(target, evidence, baseline, prefix);
+        self.memo
+            .lock()
+            .unwrap()
+            .insert((fingerprint, prefix), verdict);
+        verdict
+    }
+
+    /// One un-memoized probe: compile through `prefix` passes, run if
+    /// needed, and compare against the evidence's failure mode.
+    fn probe(
+        target: &Target,
+        evidence: &FindingEvidence,
+        baseline: Option<&Execution>,
+        prefix: usize,
+    ) -> bool {
+        match (
+            target.compile_with_prefix(&evidence.module, prefix),
+            &evidence.outcome,
+        ) {
+            (CompileOutcome::Crash { signature, .. }, FindingOutcome::Crash(expected)) => {
+                signature == *expected
+            }
+            (CompileOutcome::Crash { .. }, FindingOutcome::Miscompilation) => false,
+            (CompileOutcome::Success { module, .. }, outcome) => {
+                match interp::execute_with_config(&module, &evidence.inputs, target.exec_config())
+                {
+                    Ok(execution) => match (outcome, baseline) {
+                        // Miscompiled iff the optimized run diverges from
+                        // the unoptimized reference.
+                        (FindingOutcome::Miscompilation, Some(reference)) => {
+                            execution != *reference
+                        }
+                        _ => false,
+                    },
+                    Err(fault) => match outcome {
+                        FindingOutcome::Crash(expected) => {
+                            format!("runtime fault: {fault}") == *expected
+                        }
+                        FindingOutcome::Miscompilation => false,
+                    },
+                }
+            }
+        }
+    }
+}
+
+impl DedupBackend for PassBisectionBackend {
+    fn name(&self) -> &'static str {
+        "pass-bisection"
+    }
+
+    fn key(&self, evidence: &FindingEvidence, sink: &SinkHandle) -> DedupKey {
+        let Some(target) = self.targets.get(&evidence.target) else {
+            return DedupKey::Signature {
+                target: evidence.target.clone(),
+                signature: evidence.outcome.to_string(),
+            };
+        };
+        // Miscompilation evidence needs an unoptimized reference run to
+        // compare probe executions against.
+        let baseline = match &evidence.outcome {
+            FindingOutcome::Miscompilation => {
+                match interp::execute_with_config(
+                    &evidence.module,
+                    &evidence.inputs,
+                    target.exec_config(),
+                ) {
+                    Ok(execution) => Some(execution),
+                    Err(_) => {
+                        return DedupKey::Unresolved {
+                            target: evidence.target.clone(),
+                            reason: "reference-execution-faults".to_string(),
+                        };
+                    }
+                }
+            }
+            FindingOutcome::Crash(_) => None,
+        };
+        let baseline = baseline.as_ref();
+        let fingerprint = Self::evidence_fingerprint(evidence);
+        let n = target.pipeline().len();
+        if !self.failing(target, evidence, baseline, fingerprint, n, sink) {
+            return DedupKey::Unresolved {
+                target: evidence.target.clone(),
+                reason: "not-reproducible".to_string(),
+            };
+        }
+        if self.failing(target, evidence, baseline, fingerprint, 0, sink) {
+            return DedupKey::Pass {
+                target: evidence.target.clone(),
+                culprit: FRONT_END_CULPRIT.to_string(),
+            };
+        }
+        // Invariant: failing(lo) == false, failing(hi) == true.
+        let (mut lo, mut hi) = (0usize, n);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.failing(target, evidence, baseline, fingerprint, mid, sink) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        DedupKey::Pass {
+            target: evidence.target.clone(),
+            culprit: target.pipeline()[hi - 1].name().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trx_ir::{Inputs, ModuleBuilder};
+    use trx_observe::RecordingSink;
+    use trx_targets::{InjectedBug, PassKind, Trigger};
+
+    fn module_with_const_conditional() -> trx_ir::Module {
+        let mut b = ModuleBuilder::new();
+        let c_true = b.constant_bool(true);
+        let c1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let then_l = f.reserve_label();
+        let merge_l = f.reserve_label();
+        f.selection_merge(merge_l);
+        f.branch_cond(c_true, then_l, merge_l);
+        f.begin_block_with_label(then_l);
+        f.branch(merge_l);
+        f.begin_block_with_label(merge_l);
+        f.store_output("out", c1);
+        f.ret();
+        f.finish();
+        b.finish()
+    }
+
+    fn staged_crash_target(stage: Option<PassKind>) -> Target {
+        Target::new(
+            "toy",
+            "1.0",
+            "None",
+            vec![
+                PassKind::CopyPropagation,
+                PassKind::ConstantFolding,
+                PassKind::DeadCodeElimination,
+            ],
+            vec![InjectedBug::crash(
+                "toy-bug",
+                stage,
+                Trigger::ConstantConditionalPresent,
+                "assert failed: toy",
+            )],
+        )
+    }
+
+    fn crash_evidence(target: &Target) -> FindingEvidence {
+        FindingEvidence {
+            target: target.name().to_string(),
+            outcome: FindingOutcome::Crash("assert failed: toy".to_string()),
+            sequence: Vec::new(),
+            module: module_with_const_conditional(),
+            inputs: Inputs::default(),
+        }
+    }
+
+    fn counters(sink: &RecordingSink) -> (u64, u64, u64) {
+        let report = sink.snapshot();
+        (
+            report.counter("dedup", Counter::DedupBisectLookups),
+            report.counter("dedup", Counter::DedupBisectProbes),
+            report.counter("dedup", Counter::DedupBisectMemoHits),
+        )
+    }
+
+    #[test]
+    fn finds_the_staged_pass_and_honors_the_memo_invariant() {
+        let target = staged_crash_target(Some(PassKind::ConstantFolding));
+        let backend = PassBisectionBackend::new([target.clone()]);
+        let sink = std::sync::Arc::new(RecordingSink::deterministic());
+        let handle = SinkHandle::new(sink.clone());
+        let key = backend.key(&crash_evidence(&target), &handle);
+        assert_eq!(
+            key,
+            DedupKey::Pass {
+                target: "toy".to_string(),
+                culprit: PassKind::ConstantFolding.name().to_string(),
+            }
+        );
+        let (lookups, probes, memo_hits) = counters(&sink);
+        assert_eq!(probes + memo_hits, lookups);
+        assert!(probes >= 2, "a real bisection probes more than once");
+
+        // Keying the same evidence again answers purely from the memo.
+        let key2 = backend.key(&crash_evidence(&target), &handle);
+        assert_eq!(key, key2);
+        let (lookups2, probes2, memo_hits2) = counters(&sink);
+        assert_eq!(probes2, probes, "second run must not probe");
+        assert_eq!(probes2 + memo_hits2, lookups2);
+    }
+
+    #[test]
+    fn front_end_bugs_key_on_the_front_end() {
+        let target = staged_crash_target(None);
+        let backend = PassBisectionBackend::new([target.clone()]);
+        let key = backend.key(&crash_evidence(&target), &SinkHandle::noop());
+        assert_eq!(
+            key,
+            DedupKey::Pass {
+                target: "toy".to_string(),
+                culprit: FRONT_END_CULPRIT.to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_targets_fall_back_to_signature_keys() {
+        let backend = PassBisectionBackend::new(std::iter::empty());
+        let target = staged_crash_target(None);
+        let key = backend.key(&crash_evidence(&target), &SinkHandle::noop());
+        assert_eq!(
+            key,
+            DedupKey::Signature {
+                target: "toy".to_string(),
+                signature: "crash: assert failed: toy".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn irreproducible_evidence_is_unresolved() {
+        let target = staged_crash_target(Some(PassKind::ConstantFolding));
+        let backend = PassBisectionBackend::new([target.clone()]);
+        let mut evidence = crash_evidence(&target);
+        evidence.outcome = FindingOutcome::Crash("some other signature".to_string());
+        let key = backend.key(&evidence, &SinkHandle::noop());
+        assert_eq!(
+            key,
+            DedupKey::Unresolved {
+                target: "toy".to_string(),
+                reason: "not-reproducible".to_string(),
+            }
+        );
+    }
+}

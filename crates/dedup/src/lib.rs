@@ -27,11 +27,20 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
+pub mod bisect;
+
 use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use trx_core::{Transformation, TransformationKind};
 use trx_observe::{Counter, Scope, SinkHandle};
+
+pub use backend::{
+    CrashSignatureBackend, DedupBackend, DedupBackendKind, DedupKey, FindingEvidence,
+    FindingOutcome, TransformationSetBackend,
+};
+pub use bisect::PassBisectionBackend;
 
 /// The set of transformation types characterising a reduced test, with
 /// supporting types removed (§3.5).

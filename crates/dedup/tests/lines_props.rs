@@ -1,0 +1,101 @@
+//! Satellite: the line-oriented dedup corpus codec is an identity.
+//!
+//! `to_lines` → `from_lines_lossy` must reproduce an arbitrary observed
+//! corpus exactly — including empty type sets, which serialise as `[]`
+//! and are semantically load-bearing (an empty set deduplicates every
+//! later set, §3.5) — and `from_lines_lossy` must drop unparseable
+//! trailing garbage without disturbing the valid prefix.
+
+use std::collections::BTreeSet;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use trx_core::TransformationKind;
+use trx_dedup::IncrementalDedup;
+
+fn kind_set(indices: Vec<usize>) -> BTreeSet<TransformationKind> {
+    indices
+        .into_iter()
+        .map(|i| TransformationKind::ALL[i % TransformationKind::ALL.len()])
+        .collect()
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<BTreeSet<TransformationKind>>> {
+    vec(vec(0usize..TransformationKind::ALL.len(), 0..6), 0..12)
+        .prop_map(|sets| sets.into_iter().map(kind_set).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any corpus — empty sets included — survives the round trip.
+    #[test]
+    fn to_lines_from_lines_is_the_identity(corpus in corpus_strategy()) {
+        let mut dedup = IncrementalDedup::new();
+        for (i, set) in corpus.iter().enumerate() {
+            prop_assert_eq!(dedup.observe(set.clone()), i);
+        }
+        let restored = IncrementalDedup::from_lines_lossy(&dedup.to_lines());
+        prop_assert_eq!(restored.sets(), dedup.sets());
+        prop_assert_eq!(restored.sets(), corpus.as_slice());
+    }
+
+    /// Trailing garbage lines (torn writes, corruption) are dropped while
+    /// every line of the valid prefix is kept verbatim.
+    #[test]
+    fn trailing_garbage_is_dropped_not_fatal(
+        corpus in corpus_strategy(),
+        garbage in vec(
+            vec(32u8..127, 0..40).prop_map(|b| String::from_utf8(b).expect("ascii")),
+            1..4,
+        ),
+    ) {
+        let mut dedup = IncrementalDedup::new();
+        for set in &corpus {
+            dedup.observe(set.clone());
+        }
+        let mut text = dedup.to_lines();
+        let mut expected = corpus.clone();
+        for line in &garbage {
+            // An arbitrary line occasionally *is* a valid set ("[]") —
+            // then it legitimately extends the corpus instead.
+            if let Ok(set) =
+                serde_json::from_str::<BTreeSet<TransformationKind>>(line)
+            {
+                expected.push(set);
+            }
+            text.push_str(line);
+            text.push('\n');
+        }
+        let restored = IncrementalDedup::from_lines_lossy(&text);
+        prop_assert_eq!(restored.sets(), expected.as_slice());
+    }
+
+    /// A torn final line (no trailing newline, cut mid-record) never
+    /// corrupts the prefix.
+    #[test]
+    fn torn_final_line_keeps_the_prefix(corpus in corpus_strategy(), cut in 1usize..10) {
+        let mut dedup = IncrementalDedup::new();
+        for set in &corpus {
+            dedup.observe(set.clone());
+        }
+        let full = dedup.to_lines();
+        if full.is_empty() {
+            return Ok(()); // empty corpus: nothing to tear
+        }
+        // Cut somewhere inside the last line (strip the newline, then a
+        // few more bytes — never reaching back into earlier lines).
+        let mut torn = full.trim_end_matches('\n').to_owned();
+        let last_len = torn.rsplit('\n').next().map_or(torn.len(), str::len);
+        for _ in 0..cut.min(last_len) {
+            torn.pop();
+        }
+        let restored = IncrementalDedup::from_lines_lossy(&torn);
+        let intact = &dedup.sets()[..dedup.sets().len().saturating_sub(1)];
+        prop_assert!(
+            restored.sets().len() >= intact.len(),
+            "lost intact lines: {} < {}", restored.sets().len(), intact.len()
+        );
+        prop_assert_eq!(&restored.sets()[..intact.len()], intact);
+    }
+}

@@ -306,6 +306,14 @@ pub struct ReducedTest {
     pub reduced_length: usize,
     /// Interestingness tests run during reduction.
     pub tests_run: usize,
+    /// The reduced transformation sequence itself (glsl-fuzz units are
+    /// flattened to their parts) — dedup-backend evidence.
+    pub sequence: Vec<Transformation>,
+    /// The reduced module as prepared for the target — what
+    /// pass-bisection dedup probes.
+    pub reduced_module: Module,
+    /// The inputs the finding was observed on.
+    pub inputs: Inputs,
 }
 
 /// Reduces a bug-triggering test found by `(tool, seed)` on `target`.
@@ -336,7 +344,7 @@ pub fn reduce_test<T: TestTarget + ?Sized>(
 
     let original_count =
         module_for_target(tool, &original.module).instruction_count();
-    let (reduced_module, kinds, reduced_length, tests_run) = match tool {
+    let (reduced_module, sequence, kinds, reduced_length, tests_run) = match tool {
         Tool::SpirvFuzz | Tool::SpirvFuzzSimple => {
             let reduction = Reducer::default().reduce(
                 &original,
@@ -344,10 +352,12 @@ pub fn reduce_test<T: TestTarget + ?Sized>(
                 still_interesting,
             );
             let kinds = trx_dedup::interesting_types(&reduction.sequence);
+            let reduced_length = reduction.sequence.len();
             (
                 reduction.context.module,
+                reduction.sequence,
                 kinds,
-                reduction.sequence.len(),
+                reduced_length,
                 reduction.stats.tests_run,
             )
         }
@@ -357,15 +367,15 @@ pub fn reduce_test<T: TestTarget + ?Sized>(
                 &test.units,
                 still_interesting,
             );
-            let kinds = trx_dedup::interesting_types(
-                &reduction
-                    .units
-                    .iter()
-                    .flat_map(|u| u.parts.iter().cloned())
-                    .collect::<Vec<_>>(),
-            );
+            let sequence: Vec<Transformation> = reduction
+                .units
+                .iter()
+                .flat_map(|u| u.parts.iter().cloned())
+                .collect();
+            let kinds = trx_dedup::interesting_types(&sequence);
             (
                 reduction.context.module,
+                sequence,
                 kinds,
                 reduction.units.len(),
                 reduction.tests_run,
@@ -391,6 +401,9 @@ pub fn reduce_test<T: TestTarget + ?Sized>(
         kinds,
         reduced_length,
         tests_run,
+        sequence,
+        reduced_module: prepared,
+        inputs,
     })
 }
 

@@ -78,7 +78,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use trx_core::{Context, SharedPrefixCache, TransformationKind};
-use trx_dedup::IncrementalDedup;
+use trx_dedup::{
+    DedupBackend, DedupBackendKind, DedupKey, FindingEvidence, FindingOutcome, IncrementalDedup,
+};
 use trx_observe::{Counter, Scope, SinkHandle};
 use trx_reducer::{ProbeFault, ProbeRecord, Reducer, ReducerOptions, ReductionLog, ReductionStats};
 use trx_targets::TestTarget;
@@ -133,6 +135,14 @@ pub struct PipelineConfig {
     /// lock contention between concurrent reductions at the price of a
     /// less precisely balanced per-shard byte budget.
     pub cache_shards: usize,
+    /// Which deduplication backend decides the final verdict. The default
+    /// ([`DedupBackendKind::TransformationSet`]) is the paper's §3.5 path,
+    /// byte-identical to the pre-backend pipeline: journals and reports do
+    /// not change shape. Non-default backends compute a
+    /// [`TriagedBug::dedup_key`] per reduction (journaled inside
+    /// `ReductionDone`, so a resumed run never re-probes) and derive the
+    /// verdict from those keys instead of the incremental type-set state.
+    pub dedup_backend: DedupBackendKind,
 }
 
 impl Default for PipelineConfig {
@@ -147,6 +157,7 @@ impl Default for PipelineConfig {
             reduction_threads: 1,
             cache_budget_bytes: 0,
             cache_shards: 8,
+            dedup_backend: DedupBackendKind::default(),
         }
     }
 }
@@ -166,7 +177,11 @@ pub fn signature_key(target: &str, signature: &BugSignature) -> String {
 }
 
 /// The journaled summary of one completed reduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (see below): `dedup_key` is omitted when
+/// `None` and defaults to `None` when absent, so reports and journals from
+/// default-backend runs are byte-identical to the pre-backend format.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TriagedBug {
     /// Target the bug was observed on.
     pub target: String,
@@ -186,10 +201,72 @@ pub struct TriagedBug {
     pub kinds: BTreeSet<TransformationKind>,
     /// Reduction counters, including probe faults and poisoned queries.
     pub stats: ReductionStats,
+    /// The verdict key assigned by a non-default [`DedupBackend`]; `None`
+    /// under the default transformation-set path.
+    pub dedup_key: Option<DedupKey>,
+}
+
+impl Serialize for TriagedBug {
+    fn to_content(&self) -> serde::Content {
+        use serde::Content;
+        let key = |name: &str| Content::Str(name.to_string());
+        let mut entries = vec![
+            (key("target"), self.target.to_content()),
+            (key("test_index"), self.test_index.to_content()),
+            (key("seed"), self.seed.to_content()),
+            (key("signature"), self.signature.to_content()),
+            (key("reduced_length"), self.reduced_length.to_content()),
+            (key("delta_instructions"), self.delta_instructions.to_content()),
+            (key("kinds"), self.kinds.to_content()),
+            (key("stats"), self.stats.to_content()),
+        ];
+        if let Some(dedup_key) = &self.dedup_key {
+            entries.push((key("dedup_key"), dedup_key.to_content()));
+        }
+        Content::Map(entries)
+    }
+}
+
+impl Deserialize for TriagedBug {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let entries = serde::content_as_map(content, "TriagedBug")?;
+        Ok(TriagedBug {
+            target: serde::field(entries, "target", "TriagedBug")?,
+            test_index: serde::field(entries, "test_index", "TriagedBug")?,
+            seed: serde::field(entries, "seed", "TriagedBug")?,
+            signature: serde::field(entries, "signature", "TriagedBug")?,
+            reduced_length: serde::field(entries, "reduced_length", "TriagedBug")?,
+            delta_instructions: serde::field(entries, "delta_instructions", "TriagedBug")?,
+            kinds: serde::field(entries, "kinds", "TriagedBug")?,
+            stats: serde::field(entries, "stats", "TriagedBug")?,
+            dedup_key: optional_field(entries, "dedup_key")?,
+        })
+    }
+}
+
+/// Looks an *optional* field up in a struct map: absent (or `null`) means
+/// `None`. The offline serde stand-in has no `#[serde(default)]`, so
+/// backward-compatible additions spell it out.
+fn optional_field<T: Deserialize>(
+    entries: &[(serde::Content, serde::Content)],
+    name: &str,
+) -> Result<Option<T>, serde::Error> {
+    for (key, value) in entries {
+        if matches!(key, serde::Content::Str(k) if k == name) {
+            return Option::<T>::from_content(value);
+        }
+    }
+    Ok(None)
 }
 
 /// One journal entry. See the module docs for the format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written to keep the journal format stable: the
+/// derived externally-tagged layout is reproduced exactly, and `Start`'s
+/// `backend` field is omitted when it is the default kind (and defaults on
+/// read), so journals and goldens written before backends existed replay
+/// and reproduce byte-identically.
+#[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// Header: binds the journal to a pipeline configuration.
     Start {
@@ -199,6 +276,9 @@ pub enum WalRecord {
         tests: usize,
         /// First campaign seed.
         seed_base: u64,
+        /// The dedup backend the run was started with; resuming under a
+        /// different backend is a [`HarnessError::WalMismatch`].
+        backend: DedupBackendKind,
     },
     /// Campaign progress after one batch.
     Campaign(CampaignCheckpoint),
@@ -239,6 +319,123 @@ pub enum WalRecord {
         /// Kept bug indices, ascending.
         kept: Vec<usize>,
     },
+}
+
+impl Serialize for WalRecord {
+    fn to_content(&self) -> serde::Content {
+        use serde::Content;
+        let key = |name: &str| Content::Str(name.to_string());
+        let tagged = |tag: &str, value: Content| Content::Map(vec![(key(tag), value)]);
+        match self {
+            WalRecord::Start { tool, tests, seed_base, backend } => {
+                let mut fields = vec![
+                    (key("tool"), tool.to_content()),
+                    (key("tests"), tests.to_content()),
+                    (key("seed_base"), seed_base.to_content()),
+                ];
+                if !backend.is_default() {
+                    fields.push((key("backend"), backend.to_content()));
+                }
+                tagged("Start", Content::Map(fields))
+            }
+            WalRecord::Campaign(checkpoint) => tagged("Campaign", checkpoint.to_content()),
+            WalRecord::Probe { bug, record } => tagged(
+                "Probe",
+                Content::Map(vec![
+                    (key("bug"), bug.to_content()),
+                    (key("record"), record.to_content()),
+                ]),
+            ),
+            WalRecord::ReductionDone { bug, summary } => tagged(
+                "ReductionDone",
+                Content::Map(vec![
+                    (key("bug"), bug.to_content()),
+                    (key("summary"), summary.to_content()),
+                ]),
+            ),
+            WalRecord::Duplicate { bug, key: dup_key } => tagged(
+                "Duplicate",
+                Content::Map(vec![
+                    (key("bug"), bug.to_content()),
+                    (key("key"), dup_key.to_content()),
+                ]),
+            ),
+            WalRecord::DedupObserved { bug, arrival } => tagged(
+                "DedupObserved",
+                Content::Map(vec![
+                    (key("bug"), bug.to_content()),
+                    (key("arrival"), arrival.to_content()),
+                ]),
+            ),
+            WalRecord::Verdict { kept } => tagged(
+                "Verdict",
+                Content::Map(vec![(key("kept"), kept.to_content())]),
+            ),
+        }
+    }
+}
+
+impl Deserialize for WalRecord {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let entries = serde::content_as_map(content, "WalRecord")?;
+        let [(tag, value)] = entries else {
+            return Err(serde::Error::msg(
+                "WalRecord: expected a single-entry variant map",
+            ));
+        };
+        let serde::Content::Str(tag) = tag else {
+            return Err(serde::Error::msg("WalRecord: variant tag must be a string"));
+        };
+        match tag.as_str() {
+            "Start" => {
+                let fields = serde::content_as_map(value, "WalRecord::Start")?;
+                Ok(WalRecord::Start {
+                    tool: serde::field(fields, "tool", "WalRecord::Start")?,
+                    tests: serde::field(fields, "tests", "WalRecord::Start")?,
+                    seed_base: serde::field(fields, "seed_base", "WalRecord::Start")?,
+                    backend: optional_field(fields, "backend")?.unwrap_or_default(),
+                })
+            }
+            "Campaign" => Ok(WalRecord::Campaign(Deserialize::from_content(value)?)),
+            "Probe" => {
+                let fields = serde::content_as_map(value, "WalRecord::Probe")?;
+                Ok(WalRecord::Probe {
+                    bug: serde::field(fields, "bug", "WalRecord::Probe")?,
+                    record: serde::field(fields, "record", "WalRecord::Probe")?,
+                })
+            }
+            "ReductionDone" => {
+                let fields = serde::content_as_map(value, "WalRecord::ReductionDone")?;
+                Ok(WalRecord::ReductionDone {
+                    bug: serde::field(fields, "bug", "WalRecord::ReductionDone")?,
+                    summary: serde::field(fields, "summary", "WalRecord::ReductionDone")?,
+                })
+            }
+            "Duplicate" => {
+                let fields = serde::content_as_map(value, "WalRecord::Duplicate")?;
+                Ok(WalRecord::Duplicate {
+                    bug: serde::field(fields, "bug", "WalRecord::Duplicate")?,
+                    key: serde::field(fields, "key", "WalRecord::Duplicate")?,
+                })
+            }
+            "DedupObserved" => {
+                let fields = serde::content_as_map(value, "WalRecord::DedupObserved")?;
+                Ok(WalRecord::DedupObserved {
+                    bug: serde::field(fields, "bug", "WalRecord::DedupObserved")?,
+                    arrival: serde::field(fields, "arrival", "WalRecord::DedupObserved")?,
+                })
+            }
+            "Verdict" => {
+                let fields = serde::content_as_map(value, "WalRecord::Verdict")?;
+                Ok(WalRecord::Verdict {
+                    kept: serde::field(fields, "kept", "WalRecord::Verdict")?,
+                })
+            }
+            other => Err(serde::Error::msg(format!(
+                "WalRecord: unknown variant `{other}`"
+            ))),
+        }
+    }
 }
 
 /// A parsed write-ahead log.
@@ -492,7 +689,7 @@ fn replay(journal: &Journal, config: &PipelineConfig) -> Result<Recovered, Harne
             return Err(mismatch("journal does not begin with a Start record".to_owned()));
         }
         match record {
-            WalRecord::Start { tool, tests, seed_base } => {
+            WalRecord::Start { tool, tests, seed_base, backend } => {
                 if i != 0 {
                     return Err(mismatch(format!(
                         "unexpected second Start record at line {}",
@@ -510,6 +707,13 @@ fn replay(journal: &Journal, config: &PipelineConfig) -> Result<Recovered, Harne
                         "journal covers {tests} tests from seed {seed_base}, pipeline \
                          runs {} from seed {}",
                         config.tests, config.seed_base
+                    )));
+                }
+                if *backend != config.dedup_backend {
+                    return Err(mismatch(format!(
+                        "journal was written by dedup backend `{backend}`, pipeline \
+                         runs `{}`",
+                        config.dedup_backend
                     )));
                 }
                 recovered.started = true;
@@ -545,6 +749,7 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
     bug_index: usize,
     prior: &ReductionLog,
     shared_cache: Option<&Arc<SharedPrefixCache>>,
+    backend: Option<&dyn DedupBackend>,
     sink: &mut impl FnMut(&WalRecord),
     observe: &SinkHandle,
 ) -> Result<TriagedBug, HarnessError> {
@@ -623,8 +828,26 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
         );
     }
     let reduction = journaled.reduction;
-    let reduced_count = module_for_target(config.tool, &reduction.context.module)
-        .instruction_count();
+    let prepared_reduced = module_for_target(config.tool, &reduction.context.module);
+    let reduced_count = prepared_reduced.instruction_count();
+    // Non-default backends key the finding now, while the reduced module
+    // is in hand; the key is journaled inside `ReductionDone`, so resume
+    // replays it instead of re-probing.
+    let dedup_key = backend.map(|backend| {
+        backend.key(
+            &FindingEvidence {
+                target: bug.target.clone(),
+                outcome: match &bug.signature {
+                    BugSignature::Crash(signature) => FindingOutcome::Crash(signature.clone()),
+                    BugSignature::Miscompilation => FindingOutcome::Miscompilation,
+                },
+                sequence: reduction.sequence.clone(),
+                module: prepared_reduced,
+                inputs: reduction.context.inputs.clone(),
+            },
+            observe,
+        )
+    });
     Ok(TriagedBug {
         target: bug.target.clone(),
         test_index: bug.test_index,
@@ -634,6 +857,7 @@ fn reduce_bug<T: TestTarget + Send + Sync + 'static>(
         delta_instructions: reduced_count.abs_diff(original_count),
         kinds: trx_dedup::interesting_types_observed(&reduction.sequence, observe, Scope::Dedup),
         stats: reduction.stats,
+        dedup_key,
     })
 }
 
@@ -782,8 +1006,15 @@ pub fn run_pipeline_with_known_observed_cached<T: TestTarget + Send + Sync + 'st
             tool: config.tool.name().to_owned(),
             tests: config.tests,
             seed_base: config.seed_base,
+            backend: config.dedup_backend,
         });
     }
+    // One backend instance per run: probe-style backends (pass bisection)
+    // share their memo across every reduction of the run. `None` keeps the
+    // default transformation-set path literally untouched.
+    let backend_instance: Option<Box<dyn DedupBackend>> = (!config.dedup_backend.is_default())
+        .then(|| config.dedup_backend.instantiate());
+    let backend = backend_instance.as_deref();
 
     // Stage 1: campaign, resuming from the last journaled checkpoint.
     let outcome = resume_campaign_observed(
@@ -857,6 +1088,7 @@ pub fn run_pipeline_with_known_observed_cached<T: TestTarget + Send + Sync + 'st
                         bug_index,
                         &prior,
                         shared_cache,
+                        backend,
                         &mut |record: &WalRecord| records.push(record.clone()),
                         observe,
                     );
@@ -911,6 +1143,7 @@ pub fn run_pipeline_with_known_observed_cached<T: TestTarget + Send + Sync + 'st
                             bug_index,
                             &prior,
                             shared_cache,
+                            backend,
                             &mut sink,
                             observe,
                         )?
@@ -933,11 +1166,33 @@ pub fn run_pipeline_with_known_observed_cached<T: TestTarget + Send + Sync + 'st
         cache.flush_to_sink(observe);
     }
 
-    // Stage 4 finale: the dedup verdict (§3.5, Figure 6).
+    // Stage 4 finale: the dedup verdict. The default backend is the §3.5
+    // Figure 6 greedy cover over the incremental type-set state; any other
+    // backend recommends over the journaled per-bug keys (recovered
+    // summaries keep theirs, so resume never re-probes).
     let kept = match recovered.verdict {
         Some(kept) => kept,
         None => {
-            let kept = dedup.recommend_with_sink(observe, Scope::Dedup);
+            let kept = match backend {
+                None => dedup.recommend_with_sink(observe, Scope::Dedup),
+                Some(backend) => {
+                    let keys: Vec<DedupKey> = summaries
+                        .iter()
+                        .map(|summary| {
+                            summary.dedup_key.clone().unwrap_or_else(|| {
+                                // A summary journaled without a key (never
+                                // produced by this code path, but cheap to
+                                // tolerate) degrades to signature dedup.
+                                DedupKey::Signature {
+                                    target: summary.target.clone(),
+                                    signature: summary.signature.to_string(),
+                                }
+                            })
+                        })
+                        .collect();
+                    backend.recommend(&keys)
+                }
+            };
             sink(&WalRecord::Verdict { kept: kept.clone() });
             kept
         }
@@ -1354,6 +1609,81 @@ mod tests {
     }
 
     #[test]
+    fn pre_backend_journal_lines_parse_to_the_default_backend() {
+        // A Start line written before dedup backends existed has no
+        // `backend` key — it must parse to the default kind, and a
+        // default-backend Start must serialize without the key (golden
+        // WALs stay byte-identical).
+        let old_line = r#"{"Start":{"tool":"spirv-fuzz","tests":12,"seed_base":0}}"#;
+        let parsed: WalRecord = serde_json::from_str(old_line).expect("old Start parses");
+        assert_eq!(
+            parsed,
+            WalRecord::Start {
+                tool: "spirv-fuzz".to_owned(),
+                tests: 12,
+                seed_base: 0,
+                backend: DedupBackendKind::TransformationSet,
+            }
+        );
+        assert_eq!(Journal::encode_line(&parsed).expect("encodes"), old_line);
+
+        // A non-default backend is spelled out and round-trips.
+        let start = WalRecord::Start {
+            tool: "spirv-fuzz".to_owned(),
+            tests: 12,
+            seed_base: 0,
+            backend: DedupBackendKind::PassBisection,
+        };
+        let line = Journal::encode_line(&start).expect("encodes");
+        assert!(line.contains("\"backend\":\"pass-bisection\""), "{line}");
+        let reparsed: WalRecord = serde_json::from_str(&line).expect("reparses");
+        assert_eq!(reparsed, start);
+    }
+
+    #[test]
+    fn non_default_backends_key_every_bug_and_recommend_from_keys() {
+        for backend in [DedupBackendKind::PassBisection, DedupBackendKind::CrashSignature] {
+            let config = PipelineConfig { dedup_backend: backend, ..small_config() };
+            let (report, records) = run_collecting(&config, &clean_targets(), &Journal::new());
+            assert!(!report.bugs.is_empty());
+            for bug in &report.bugs {
+                let key = bug.dedup_key.as_ref().expect("backend runs key every bug");
+                match backend {
+                    DedupBackendKind::PassBisection => assert!(
+                        matches!(key, DedupKey::Pass { .. } | DedupKey::Unresolved { .. }),
+                        "unexpected bisection key {key:?}"
+                    ),
+                    DedupBackendKind::CrashSignature => {
+                        assert!(matches!(key, DedupKey::Signature { .. }))
+                    }
+                    DedupBackendKind::TransformationSet => unreachable!(),
+                }
+            }
+            // The verdict keeps exactly the first bug of each distinct key
+            // (both non-default backends use the first-per-key rule).
+            let mut seen = BTreeSet::new();
+            let expected: Vec<usize> = report
+                .bugs
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| seen.insert(b.dedup_key.clone()))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(report.kept, expected);
+
+            // Kill/resume equivalence holds under backend runs too: resume
+            // from every journal prefix and compare reports bytewise. The
+            // journaled keys make the resumed verdict probe-free.
+            let golden = report.to_json().expect("renders");
+            for k in [1, records.len() / 2, records.len().saturating_sub(1)] {
+                let journal = Journal { records: records[..k].to_vec() };
+                let (resumed, _) = run_collecting(&config, &clean_targets(), &journal);
+                assert_eq!(resumed.to_json().expect("renders"), golden);
+            }
+        }
+    }
+
+    #[test]
     fn journal_survives_text_round_trip_and_torn_tail() {
         let config = small_config();
         let (_, records) = run_collecting(&config, &clean_targets(), &Journal::new());
@@ -1387,6 +1717,20 @@ mod tests {
                 tool: config.tool.name().to_owned(),
                 tests: config.tests + 1,
                 seed_base: config.seed_base,
+                backend: DedupBackendKind::default(),
+            }],
+        };
+        let err = run_pipeline(&config, &targets, &journal, |_| {}).unwrap_err();
+        assert!(matches!(err, HarnessError::WalMismatch { .. }));
+
+        // A journal started under one dedup backend cannot resume under
+        // another.
+        let journal = Journal {
+            records: vec![WalRecord::Start {
+                tool: config.tool.name().to_owned(),
+                tests: config.tests,
+                seed_base: config.seed_base,
+                backend: DedupBackendKind::CrashSignature,
             }],
         };
         let err = run_pipeline(&config, &targets, &journal, |_| {}).unwrap_err();

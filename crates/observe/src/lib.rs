@@ -130,6 +130,15 @@ pub enum Counter {
     /// Sets recommended for manual inspection (Figure 6 greedy cover;
     /// engine-level in the pipeline: a recovered verdict emits nothing).
     DedupKept,
+    /// Memo-table consultations made by the pass-prefix bisector
+    /// (engine-level: memo sharing across findings changes the count).
+    DedupBisectLookups,
+    /// Pipeline-prefix probes the bisector actually compiled and executed
+    /// (engine-level: every memo hit avoids one).
+    DedupBisectProbes,
+    /// Bisector memo consultations answered from the memo table
+    /// (engine-level: `probes + memo_hits == lookups` always holds).
+    DedupBisectMemoHits,
     // --- interpreter / render grid ---
     /// Interpreter steps retired (block entries plus non-phi instructions).
     InterpInstructionsRetired,
@@ -249,6 +258,9 @@ impl Counter {
             Counter::DedupEmptySets => "dedup_empty_sets",
             Counter::DedupSupportingExcluded => "dedup_supporting_excluded",
             Counter::DedupKept => "dedup_kept",
+            Counter::DedupBisectLookups => "dedup_bisect_lookups",
+            Counter::DedupBisectProbes => "dedup_bisect_probes",
+            Counter::DedupBisectMemoHits => "dedup_bisect_memo_hits",
             Counter::InterpInstructionsRetired => "interp_instructions_retired",
             Counter::FragmentsRendered => "fragments_rendered",
             Counter::ModulesDecoded => "modules_decoded",
@@ -310,6 +322,9 @@ impl Counter {
             | Counter::DecodeReuses
             | Counter::DedupSupportingExcluded
             | Counter::DedupKept
+            | Counter::DedupBisectLookups
+            | Counter::DedupBisectProbes
+            | Counter::DedupBisectMemoHits
             | Counter::CacheLookups
             | Counter::CacheHits
             | Counter::CacheApplications
@@ -907,6 +922,9 @@ mod tests {
             Counter::DedupEmptySets,
             Counter::DedupSupportingExcluded,
             Counter::DedupKept,
+            Counter::DedupBisectLookups,
+            Counter::DedupBisectProbes,
+            Counter::DedupBisectMemoHits,
             Counter::InterpInstructionsRetired,
             Counter::FragmentsRendered,
             Counter::ModulesDecoded,

@@ -549,6 +549,7 @@ fn job_config(spec: &JobSpec) -> PipelineConfig {
         // resumed on a cacheless daemon build behaves identically.
         cache_budget_bytes: 0,
         cache_shards: 1,
+        dedup_backend: spec.dedup_backend,
     }
 }
 

@@ -18,6 +18,7 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use trx_core::TransformationKind;
+use trx_dedup::DedupBackendKind;
 use trx_harness::BugSignature;
 use trx_targets::FaultPlan;
 
@@ -175,6 +176,10 @@ pub struct JobSpec {
     /// back atomically with its verdict. `false` runs the job fully
     /// self-contained (the PR 6 behaviour).
     pub consult_store: bool,
+    /// Which dedup backend the job's pipeline uses for its verdict. The
+    /// default transformation-set kind is the paper's §3.5 path; see
+    /// [`trx_dedup::DedupBackendKind`] for the alternatives.
+    pub dedup_backend: DedupBackendKind,
 }
 
 impl JobSpec {
@@ -190,6 +195,7 @@ impl JobSpec {
             reduction_threads: 1,
             kill_at_appends: Vec::new(),
             consult_store: false,
+            dedup_backend: DedupBackendKind::default(),
         }
     }
 }

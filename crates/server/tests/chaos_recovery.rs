@@ -343,3 +343,38 @@ fn tcp_transport_round_trips_and_shuts_down() {
     }
     server.join().expect("accept loop joins").expect("serve_tcp exits cleanly");
 }
+
+/// A job submitted with a non-default dedup backend journals its backend
+/// choice in the `Start` record and a `dedup_key` on every triaged bug,
+/// and recovers byte-identically through a chaos kill (the resumed
+/// verdict re-reads journaled keys instead of re-probing).
+#[test]
+fn non_default_dedup_backend_jobs_journal_keys_and_recover() {
+    quiet_shard_panics();
+    let spec = JobSpec {
+        tests: 8,
+        dedup_backend: trx_dedup::DedupBackendKind::PassBisection,
+        ..JobSpec::small(11)
+    };
+    let specs = [spec.clone(), tiny(97)];
+    let (golden_merged, golden_journal, golden_jobs) = run_batch(&specs, &[]);
+
+    let start = &golden_jobs[0][0];
+    assert!(
+        start.contains("\"backend\":\"pass-bisection\""),
+        "Start record must journal the backend choice: {start}"
+    );
+    assert!(
+        !golden_jobs[1][0].contains("\"backend\""),
+        "default-backend Start records stay byte-identical to pre-backend runs"
+    );
+    let keyed = golden_jobs[0].iter().filter(|r| r.contains("\"dedup_key\"")).count();
+    let bugs = golden_jobs[0].iter().filter(|r| r.contains("\"ReductionDone\"")).count();
+    assert!(bugs > 0, "seed 11 must surface at least one bug");
+    assert_eq!(keyed, bugs, "every triaged bug must journal its dedup key");
+
+    let kills = [vec![2], Vec::new()];
+    let (merged, journal, _) = run_batch(&specs, &kills);
+    assert_eq!(merged, golden_merged, "merged report diverged after kill");
+    assert_eq!(journal, golden_journal, "merged journal diverged after kill");
+}

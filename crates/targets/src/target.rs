@@ -190,10 +190,27 @@ impl Target {
             .count()
     }
 
+    /// The optimizer pass pipeline, in execution order.
+    #[must_use]
+    pub fn pipeline(&self) -> &[PassKind] {
+        &self.pipeline
+    }
+
     /// Compiles (optimizes) `module`, triggering any injected bugs whose
     /// patterns appear.
     #[must_use]
     pub fn compile(&self, module: &Module) -> CompileOutcome {
+        self.compile_with_prefix(module, self.pipeline.len())
+    }
+
+    /// Compiles `module` through only the first `prefix` pipeline passes
+    /// (clamped to the pipeline length). Front-end bugs always run; a
+    /// pass's stage bugs run at every occurrence of that pass inside the
+    /// prefix, evaluated on the pass's input module — so `prefix ==
+    /// pipeline().len()` is exactly [`Target::compile`]. This is the
+    /// execution surface pass-prefix bisection dedup probes against.
+    #[must_use]
+    pub fn compile_with_prefix(&self, module: &Module, prefix: usize) -> CompileOutcome {
         let mut current = module.clone();
         let mut fired: Vec<BugId> = Vec::new();
 
@@ -201,18 +218,18 @@ impl Target {
         if let Some(outcome) = self.run_stage_bugs(None, &mut current, &mut fired) {
             return outcome;
         }
-        for (index, pass) in self.pipeline.iter().enumerate() {
+        let prefix = prefix.min(self.pipeline.len());
+        for pass in &self.pipeline[..prefix] {
             // A pass's bugs fire while it *processes* the offending pattern,
-            // so triggers are evaluated on the pass's input. Each bug is
-            // evaluated only at the first occurrence of its stage.
-            let first_occurrence =
-                self.pipeline.iter().position(|p| p == pass) == Some(index);
-            if first_occurrence {
-                if let Some(outcome) =
-                    self.run_stage_bugs(Some(*pass), &mut current, &mut fired)
-                {
-                    return outcome;
-                }
+            // so triggers are evaluated on the pass's input — at every
+            // occurrence of the pass, since a duplicated pass re-processes
+            // whatever earlier passes rewrote (crashes still return at the
+            // first firing, and miscompilations are armed at most once by
+            // the `fired` guard).
+            if let Some(outcome) =
+                self.run_stage_bugs(Some(*pass), &mut current, &mut fired)
+            {
+                return outcome;
             }
             pass.run(&mut current);
         }
@@ -339,6 +356,146 @@ mod tests {
                 interp::execute(&m, &Inputs::default()).unwrap()
             )
         );
+    }
+
+    /// Like [`module_with_const_conditional`], but the branch condition is
+    /// an `OpCopyObject` of the constant — so `ConstantConditionalPresent`
+    /// only holds after copy propagation rewrites the condition.
+    fn module_with_copied_conditional() -> Module {
+        let mut b = ModuleBuilder::new();
+        let c_true = b.constant_bool(true);
+        let c1 = b.constant_int(1);
+        let mut f = b.begin_entry_function("main");
+        let cond = f.copy_object(c_true);
+        let then_l = f.reserve_label();
+        let merge_l = f.reserve_label();
+        f.selection_merge(merge_l);
+        f.branch_cond(cond, then_l, merge_l);
+        f.begin_block_with_label(then_l);
+        f.branch(merge_l);
+        f.begin_block_with_label(merge_l);
+        f.store_output("out", c1);
+        f.ret();
+        f.finish();
+        b.finish()
+    }
+
+    /// A pipeline running constant folding twice with copy propagation in
+    /// between, and a crash bug staged at constant folding whose trigger
+    /// only holds once copy propagation has rewritten the branch condition
+    /// to a bare constant.
+    fn duplicated_pass_target() -> Target {
+        Target::new(
+            "toy-dup",
+            "1.0",
+            "None",
+            vec![
+                PassKind::ConstantFolding,
+                PassKind::CopyPropagation,
+                PassKind::ConstantFolding,
+            ],
+            vec![InjectedBug::crash(
+                "dup-fold-bug",
+                Some(PassKind::ConstantFolding),
+                Trigger::ConstantConditionalPresent,
+                "assert failed: fold_branch (second visit)",
+            )],
+        )
+    }
+
+    #[test]
+    fn stage_bugs_arm_at_every_occurrence_of_a_duplicated_pass() {
+        // Regression: arming used to be gated on the *first* occurrence of
+        // a pass (`pipeline.iter().position(..) == Some(index)`), so a bug
+        // whose trigger only holds at the second occurrence never fired.
+        let m = module_with_copied_conditional();
+        let target = duplicated_pass_target();
+        match target.compile(&m) {
+            CompileOutcome::Crash { signature, bug } => {
+                assert_eq!(signature, "assert failed: fold_branch (second visit)");
+                assert_eq!(bug.0, "dup-fold-bug");
+            }
+            CompileOutcome::Success { .. } => {
+                panic!("the duplicated pass's second occurrence must arm the bug")
+            }
+        }
+        // A prefix stopping before the second occurrence does not crash:
+        // the first constant-folding visit sees a copy, not a constant.
+        for prefix in 0..=2 {
+            assert!(
+                matches!(
+                    target.compile_with_prefix(&m, prefix),
+                    CompileOutcome::Success { .. }
+                ),
+                "prefix {prefix} must not reach the second occurrence"
+            );
+        }
+        assert!(matches!(
+            target.compile_with_prefix(&m, 3),
+            CompileOutcome::Crash { .. }
+        ));
+    }
+
+    #[test]
+    fn compile_with_prefix_full_length_matches_compile_and_clamps() {
+        let m = module_with_const_conditional();
+        let target = crash_target();
+        let full = target.pipeline().len();
+        for (a, b) in [
+            (target.compile(&m), target.compile_with_prefix(&m, full)),
+            // Over-long prefixes clamp to the pipeline length.
+            (target.compile_with_prefix(&m, full), target.compile_with_prefix(&m, full + 7)),
+        ] {
+            match (a, b) {
+                (
+                    CompileOutcome::Crash { signature: sa, bug: ba },
+                    CompileOutcome::Crash { signature: sb, bug: bb },
+                ) => {
+                    assert_eq!(sa, sb);
+                    assert_eq!(ba, bb);
+                }
+                (
+                    CompileOutcome::Success { module: ma, fired: fa },
+                    CompileOutcome::Success { module: mb, fired: fb },
+                ) => {
+                    assert_eq!(ma, mb);
+                    assert_eq!(fa, fb);
+                }
+                _ => panic!("compile and full-prefix compile diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_zero_runs_only_front_end_bugs() {
+        let m = module_with_const_conditional();
+        // `crash_target` stages its bug at the front end (stage `None`), so
+        // even a zero-length prefix trips it …
+        assert!(matches!(
+            crash_target().compile_with_prefix(&m, 0),
+            CompileOutcome::Crash { .. }
+        ));
+        // … while a pass-staged bug needs its pass inside the prefix.
+        let staged = Target::new(
+            "toy-staged",
+            "1.0",
+            "None",
+            vec![PassKind::ConstantFolding],
+            vec![InjectedBug::crash(
+                "staged-bug",
+                Some(PassKind::ConstantFolding),
+                Trigger::ConstantConditionalPresent,
+                "assert failed: fold_branch",
+            )],
+        );
+        assert!(matches!(
+            staged.compile_with_prefix(&m, 0),
+            CompileOutcome::Success { .. }
+        ));
+        assert!(matches!(
+            staged.compile_with_prefix(&m, 1),
+            CompileOutcome::Crash { .. }
+        ));
     }
 
     #[test]
